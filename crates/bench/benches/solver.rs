@@ -1,0 +1,91 @@
+//! Simulator-kernel benches: linear solvers, MNA assembly, transient
+//! throughput. These justify the solver architecture in DESIGN.md (dense
+//! LU below the size cutoff, Gilbert–Peierls sparse LU above it).
+
+use cml_cells::{CmlCircuitBuilder, CmlProcess};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spicier::analysis::dc::{operating_point, DcOptions};
+use spicier::analysis::tran::{transient, TranOptions};
+use spicier::linalg::{DenseMatrix, SparseLu, SparseMatrix, Triplets};
+use std::time::Duration;
+
+/// Circuit-like sparse system: a chain with nearest-neighbour coupling and
+/// a few long-range entries (like a shared test bus).
+fn chain_matrix(n: usize) -> Triplets {
+    let mut t = Triplets::new(n);
+    for i in 0..n {
+        t.add(i, i, 4.0 + (i % 3) as f64);
+        if i + 1 < n {
+            t.add(i, i + 1, -1.0);
+            t.add(i + 1, i, -1.0);
+        }
+        if i % 10 == 0 && i > 0 {
+            t.add(0, i, -0.1);
+            t.add(i, 0, -0.1);
+        }
+    }
+    t
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [40usize, 160, 640] {
+        let t = chain_matrix(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        if n <= 160 {
+            group.bench_with_input(BenchmarkId::new("dense", n), &t, |bench, t| {
+                bench.iter(|| {
+                    let mut m = DenseMatrix::from_triplets(t);
+                    let perm = m.lu_factor().expect("nonsingular");
+                    let mut rhs = b.clone();
+                    m.lu_solve(&perm, &mut rhs);
+                    rhs
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("sparse_gp", n), &t, |bench, t| {
+            bench.iter(|| {
+                let a = SparseMatrix::from_triplets(t);
+                let mut lu = SparseLu::new();
+                lu.factor(&a).expect("nonsingular");
+                let mut rhs = b.clone();
+                lu.solve(&mut rhs);
+                rhs
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("dc_op_fig3_chain", |b| {
+        let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = bld.diff("a");
+        bld.drive_static("a", input, true).expect("build");
+        bld.buffer_chain(&cml_cells::FIG3_NAMES, input).expect("build");
+        let circuit = bld.finish().compile().expect("compile");
+        b.iter(|| operating_point(&circuit, &DcOptions::default()).expect("op"))
+    });
+
+    group.bench_function("tran_fig3_chain_1period", |b| {
+        let freq = 1.0e9;
+        let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+        bld.fig3_chain(freq).expect("build");
+        let circuit = bld.finish().compile().expect("compile");
+        b.iter(|| transient(&circuit, &TranOptions::new(1.0 / freq)).expect("tran"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lu, bench_circuit_kernels);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates every table and figure of the paper in one run (the full
+//! evaluation of DESIGN.md §4). Set `EXP_SCALE=quick` for a smoke run.
+
+use cml_bench::{experiments as exp, Scale};
+
+type ExperimentFn = fn(Scale) -> Result<(), spicier::Error>;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+    let steps: Vec<(&str, ExperimentFn)> = vec![
+        ("FIG2", exp::fig2::execute),
+        ("FIG4", exp::fig4::execute),
+        ("TABLE1", exp::table1::execute),
+        ("TABLE2", exp::table2::execute),
+        ("FIG5", exp::fig5::execute),
+        ("FIG7", exp::fig7::execute),
+        ("FIG8", exp::fig8::execute),
+        ("FIG10", exp::fig10::execute),
+        ("FIG12", exp::fig12::execute),
+        ("FIG14", exp::fig14::execute),
+        ("THRESH", exp::thresholds::execute),
+        ("TOGGLE", exp::toggle::execute),
+        ("ABLATE", exp::ablations::execute),
+        ("ACCHAR", exp::acchar::execute),
+        ("ROBUST", exp::robust::execute),
+        ("STUCKAT", exp::stuckat::execute),
+        ("POWER", exp::power::execute),
+    ];
+    let mut failures = 0;
+    for (name, f) in steps {
+        let t = std::time::Instant::now();
+        match f(scale) {
+            Ok(()) => println!("[{name}] done in {:.1} s", t.elapsed().as_secs_f64()),
+            Err(e) => {
+                failures += 1;
+                eprintln!("[{name}] FAILED: {e}");
+            }
+        }
+    }
+    println!(
+        "\nall experiments finished in {:.1} s ({failures} failures)",
+        t0.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's FIG2 artifact (see DESIGN.md §4).
+//! Set `EXP_SCALE=quick` for a trimmed run.
+
+fn main() {
+    let scale = cml_bench::Scale::from_env();
+    if let Err(e) = cml_bench::experiments::fig2::execute(scale) {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the POWER supplementary study (see DESIGN.md).
+//! Set `EXP_SCALE=quick` for a trimmed run.
+
+fn main() {
+    let scale = cml_bench::Scale::from_env();
+    if let Err(e) = cml_bench::experiments::power::execute(scale) {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared circuit-building and measurement helpers for the experiments.
+
+use cml_cells::{waveform_of, BufferChain, CmlCircuitBuilder, CmlProcess};
+use faults::Defect;
+use spicier::analysis::tran::{transient, Probe, TranOptions, TranResult};
+use spicier::{Circuit, Error};
+use waveform::Waveform;
+
+/// The Figure 3 test circuit with an optional pipe on the DUT's Q3,
+/// compiled and ready to run.
+pub fn fig3_circuit(freq: f64, pipe_ohms: Option<f64>) -> Result<(BufferChain, Circuit), Error> {
+    let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+    let chain = b.fig3_chain(freq)?;
+    let mut nl = b.finish();
+    if let Some(ohms) = pipe_ohms {
+        Defect::pipe("DUT.Q3", ohms).inject(&mut nl)?;
+    }
+    Ok((chain, nl.compile()?))
+}
+
+/// Runs `periods / freq` of simulated time on `circuit` with default
+/// accuracy.
+pub fn run_periods(circuit: &Circuit, freq: f64, periods: f64) -> Result<TranResult, Error> {
+    transient(circuit, &TranOptions::new(periods / freq))
+}
+
+/// Runs with a restricted probe set (memory-friendly sweeps).
+pub fn run_periods_probed(
+    circuit: &Circuit,
+    freq: f64,
+    periods: f64,
+    probes: Vec<spicier::NodeId>,
+) -> Result<TranResult, Error> {
+    let mut opts = TranOptions::new(periods / freq);
+    opts.probes = Probe::Nodes(probes);
+    transient(circuit, &opts)
+}
+
+/// Extracts a waveform, mapping probe errors into [`Error`].
+pub fn wf(res: &TranResult, node: spicier::NodeId) -> Result<Waveform, Error> {
+    waveform_of(res, node).map_err(|e| Error::InvalidOptions(format!("missing probe: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_circuit_builds_clean_and_faulty() {
+        let (chain, clean) = fig3_circuit(100.0e6, None).unwrap();
+        assert_eq!(chain.len(), 8);
+        assert!(clean.dim() > 30);
+        let (_, faulty) = fig3_circuit(100.0e6, Some(4.0e3)).unwrap();
+        assert_eq!(faulty.dim(), clean.dim());
+        assert!(faulty.netlist().element("FLT.pipe.DUT.Q3").is_ok());
+    }
+
+    #[test]
+    fn run_periods_executes() {
+        let (chain, circuit) = fig3_circuit(1.0e9, None).unwrap();
+        let res = run_periods(&circuit, 1.0e9, 1.0).unwrap();
+        assert!(res.accepted_steps() > 10);
+        let w = wf(&res, chain.dut().output.p).unwrap();
+        assert!(w.len() > 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! FIG10 — variant-2 `tstability` and `Vmax` sweep at `vtest = 3.7 V`
+//! (paper Figure 10).
+//!
+//! Shape claims versus variant 1: the detectable pipe range extends to
+//! 4–5 kΩ (amplitudes down to ≈ 0.35 V), and `tstability` is much shorter
+//! because the raised base bias gives the detector transistors real
+//! drive even for small excursions.
+
+use super::fig8::{print_sweep, settle_sweep, SettlePoint};
+use crate::Scale;
+use spicier::Error;
+
+/// The paper's `vtest` for a VBE = 900 mV technology.
+pub const VTEST: f64 = 3.7;
+
+/// The FIG10 grids (includes the milder pipes variant 1 cannot see).
+pub fn grids(scale: Scale) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    match scale {
+        Scale::Full => (
+            vec![100.0e6, 250.0e6, 500.0e6, 1.0e9, 1.5e9, 2.0e9],
+            vec![1.0e3, 2.0e3, 3.0e3, 4.0e3, 5.0e3],
+            vec![10.0e-12, 1.0e-12],
+        ),
+        Scale::Quick => (vec![100.0e6], vec![1.0e3, 5.0e3], vec![1.0e-12]),
+    }
+}
+
+/// Runs the variant-2 settling sweep.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(scale: Scale) -> Result<Vec<SettlePoint>, Error> {
+    let (freqs, pipes, caps) = grids(scale);
+    settle_sweep(&freqs, &pipes, &caps, Some(VTEST))
+}
+
+/// Runs and prints the paper-shaped report.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn execute(scale: Scale) -> Result<(), Error> {
+    let points = run(scale)?;
+    print_sweep(
+        "FIG10: variant-2 (vtest = 3.7 V) tstability / Vmax sweep",
+        "fig10",
+        &points,
+    );
+    println!("  paper shapes: detects down to ~5 kΩ pipes (≈0.35 V); settles faster than variant 1");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant2_fires_even_on_5k_pipe() {
+        let points = settle_sweep(&[100.0e6], &[5.0e3], &[1.0e-12], Some(VTEST)).unwrap();
+        assert!(
+            points[0].t_stability.is_some(),
+            "variant 2 must fire on the mild 5 kΩ pipe"
+        );
+    }
+
+    #[test]
+    fn variant2_settles_faster_than_variant1_on_same_fault() {
+        let v1 = settle_sweep(&[100.0e6], &[2.0e3], &[1.0e-12], None).unwrap();
+        let v2 = settle_sweep(&[100.0e6], &[2.0e3], &[1.0e-12], Some(VTEST)).unwrap();
+        let t1 = v1[0].t_stability.expect("v1 fires at 2 kΩ");
+        let t2 = v2[0].t_stability.expect("v2 fires at 2 kΩ");
+        assert!(
+            t2 <= t1 * 1.2,
+            "variant 2 should settle at least as fast: {:.2} ns vs {:.2} ns",
+            t2 * 1e9,
+            t1 * 1e9
+        );
+    }
+}

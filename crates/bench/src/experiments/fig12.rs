@@ -1,0 +1,88 @@
+//! FIG12 — comparator hysteresis (paper Figure 12).
+//!
+//! The variant-3 comparator's positive feedback must create a hysteresis
+//! band wide enough for noise immunity but never wide enough to deadlock a
+//! fault-free gate in the "defective" state. The paper reports thresholds
+//! of 3.54 V (guaranteed fault) and 3.57 V (guaranteed healthy) under a
+//! 3.7 V test rail.
+
+use super::report::{print_table, v, write_rows_csv};
+use crate::Scale;
+use cml_cells::CmlProcess;
+use cml_dft::decision::{characterize_hysteresis, HysteresisCurve};
+use cml_dft::Variant3;
+use spicier::Error;
+
+/// Runs the hysteresis characterization.
+///
+/// # Errors
+///
+/// Propagates convergence failures.
+pub fn run(scale: Scale) -> Result<HysteresisCurve, Error> {
+    let points = match scale {
+        Scale::Full => 180,
+        Scale::Quick => 60,
+    };
+    characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), points)
+}
+
+/// Runs and prints the paper-shaped report.
+///
+/// # Errors
+///
+/// Propagates convergence failures.
+pub fn execute(scale: Scale) -> Result<(), Error> {
+    let curve = run(scale)?;
+    println!("\n== FIG12: variant-3 comparator hysteresis (vtest = 3.7 V) ==");
+    println!(
+        "  guaranteed-fault threshold  (vout ≤) = {} V   (paper: 3.54 V)",
+        v(curve.band.fail_below)
+    );
+    println!(
+        "  guaranteed-healthy threshold (vout ≥) = {} V   (paper: 3.57 V)",
+        v(curve.band.pass_above)
+    );
+    println!("  band width = {:.0} mV", curve.band.width() * 1e3);
+    let mut rows = Vec::new();
+    for p in &curve.down {
+        rows.push(vec![
+            "down".to_string(),
+            v(p.vout),
+            v(p.vfb),
+            v(p.flagp),
+        ]);
+    }
+    for p in &curve.up {
+        rows.push(vec!["up".to_string(), v(p.vout), v(p.vfb), v(p.flagp)]);
+    }
+    write_rows_csv("fig12", &["branch", "vout", "vfb", "flagp"], &rows);
+    print_table(
+        "FIG12 sample points (first/last of each branch)",
+        &["branch", "vout (V)", "vfb (V)", "flag (V)"],
+        &[
+            rows[0].clone(),
+            rows[curve.down.len() - 1].clone(),
+            rows[curve.down.len()].clone(),
+            rows[rows.len() - 1].clone(),
+        ],
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_is_ordered_and_near_the_test_rail() {
+        let curve = run(Scale::Quick).unwrap();
+        assert!(curve.band.fail_below < curve.band.pass_above);
+        // Under the 3.7 V rail, as in the paper's 3.54/3.57.
+        assert!(curve.band.pass_above < 3.70);
+        assert!(curve.band.fail_below > 3.30);
+        // The band is narrow relative to the comparator swing — a fault
+        // yielding the paper's 3.41 V reading is safely below it.
+        assert!(curve.band.width() < 0.2);
+        assert!(3.41 < curve.band.fail_below || curve.band.fail_below > 3.45);
+    }
+}

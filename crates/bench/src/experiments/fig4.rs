@@ -1,0 +1,142 @@
+//! FIG4 — chain outputs with a 4 kΩ pipe on the DUT's Q3 (paper Figure 4).
+//!
+//! The pipe nearly doubles the swing at the faulty gate's output, "but,
+//! after 4 logic gates, the degraded signal due to the pipe can be
+//! completely restored both in terms of logic levels and shape" — the
+//! *healing* phenomenon that motivates the whole DFT technique.
+
+use super::common::{fig3_circuit, run_periods, wf};
+use super::report::{out_dir, print_table, v, write_rows_csv};
+use crate::Scale;
+use spicier::Error;
+use waveform::{write_csv_file, LevelStats};
+
+/// Per-stage swing, fault-free vs faulty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Result {
+    /// `(stage name, fault-free swing, faulty swing)` per chain stage.
+    pub stages: Vec<(String, f64, f64)>,
+    /// Index of the DUT stage.
+    pub dut_index: usize,
+}
+
+impl Fig4Result {
+    /// Swing amplification at the faulty gate.
+    pub fn dut_amplification(&self) -> f64 {
+        let (_, ff, faulty) = &self.stages[self.dut_index];
+        faulty / ff
+    }
+
+    /// Residual swing error at the chain's 6th stage (X66, the stage the
+    /// paper plots), as a fraction of the fault-free swing.
+    pub fn healing_residual(&self) -> f64 {
+        let (_, ff, faulty) = &self.stages[6];
+        (faulty - ff).abs() / ff
+    }
+}
+
+/// Runs both chains at 100 MHz and measures per-stage swings.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(scale: Scale) -> Result<Fig4Result, Error> {
+    let freq = 100.0e6;
+    let periods = match scale {
+        Scale::Full => 4.0,
+        Scale::Quick => 3.0,
+    };
+    let (chain_ff, clean) = fig3_circuit(freq, None)?;
+    let (chain_flt, faulty) = fig3_circuit(freq, Some(4.0e3))?;
+    let res_ff = run_periods(&clean, freq, periods)?;
+    let res_flt = run_periods(&faulty, freq, periods)?;
+    let t0 = (periods - 2.0) / freq;
+    let t1 = periods / freq;
+    let mut stages = Vec::new();
+    for (cf, cx) in chain_ff.cells.iter().zip(&chain_flt.cells) {
+        let w_ff = wf(&res_ff, cf.output.p)?;
+        let w_flt = wf(&res_flt, cx.output.p)?;
+        stages.push((
+            cf.name.clone(),
+            LevelStats::measure(&w_ff, t0, t1).swing(),
+            LevelStats::measure(&w_flt, t0, t1).swing(),
+        ));
+    }
+    // Dump the paper's plotted signals: DUT and X66 outputs, both runs.
+    let dut_ff = wf(&res_ff, chain_ff.dut().output.p)?;
+    let dutb_ff = wf(&res_ff, chain_ff.dut().output.n)?;
+    let x66_ff = wf(&res_ff, chain_ff.cells[6].output.p)?;
+    write_csv_file(
+        out_dir().join("fig4_fault_free.csv"),
+        &[("op", &dut_ff), ("opb", &dutb_ff), ("op6", &x66_ff)],
+    )
+    .map_err(|e| Error::InvalidOptions(format!("csv: {e}")))?;
+    let dut_flt = wf(&res_flt, chain_flt.dut().output.p)?;
+    let dutb_flt = wf(&res_flt, chain_flt.dut().output.n)?;
+    let x66_flt = wf(&res_flt, chain_flt.cells[6].output.p)?;
+    write_csv_file(
+        out_dir().join("fig4_faulty.csv"),
+        &[("opf", &dut_flt), ("opbf", &dutb_flt), ("op6f", &x66_flt)],
+    )
+    .map_err(|e| Error::InvalidOptions(format!("csv: {e}")))?;
+    Ok(Fig4Result {
+        stages,
+        dut_index: cml_cells::FIG3_DUT_INDEX,
+    })
+}
+
+/// Runs and prints the paper-shaped report.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn execute(scale: Scale) -> Result<(), Error> {
+    let r = run(scale)?;
+    let rows: Vec<Vec<String>> = r
+        .stages
+        .iter()
+        .map(|(name, ff, flt)| {
+            vec![
+                name.clone(),
+                v(*ff),
+                v(*flt),
+                format!("{:.2}x", flt / ff),
+            ]
+        })
+        .collect();
+    print_table(
+        "FIG4: per-stage output swing, fault-free vs 4 kΩ pipe on DUT.Q3",
+        &["stage", "FF swing (V)", "pipe swing (V)", "ratio"],
+        &rows,
+    );
+    println!(
+        "  DUT swing amplification: {:.2}x (paper: \"nearly doubled\")",
+        r.dut_amplification()
+    );
+    println!(
+        "  healing residual at X66: {:.1}% (paper: completely restored)",
+        100.0 * r.healing_residual()
+    );
+    write_rows_csv("fig4_swings", &["stage", "ff", "pipe", "ratio"], &rows);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_roughly_doubles_dut_swing_and_heals() {
+        let r = run(Scale::Quick).unwrap();
+        let amp = r.dut_amplification();
+        assert!(
+            (1.6..3.2).contains(&amp),
+            "DUT amplification {amp} (paper: ~2x)"
+        );
+        assert!(
+            r.healing_residual() < 0.05,
+            "X66 should be healed, residual {}",
+            r.healing_residual()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! FIG5 — `Vlow` / `Vhigh` of the faulty output vs pipe value and
+//! frequency (paper Figure 5).
+//!
+//! Two shape claims: (1) as the pipe value grows the levels come back
+//! toward their defect-free values — the parametric disturbance becomes
+//! almost undetectable; (2) the excessive low excursion also decreases
+//! with increasing frequency (junction/wiring capacitance rounds off the
+//! excursion before it fully develops).
+
+use super::common::{fig3_circuit, run_periods_probed, wf};
+use super::report::{print_table, v, write_rows_csv};
+use crate::Scale;
+use spicier::analysis::sweep::{grid2, par_map};
+use spicier::Error;
+use waveform::LevelStats;
+
+/// One grid point of the Figure 5 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Point {
+    /// Pipe resistance (`f64::INFINITY` = fault-free).
+    pub pipe_ohms: f64,
+    /// Stimulus frequency, hertz.
+    pub freq: f64,
+    /// Measured low level at the DUT output, volts.
+    pub vlow: f64,
+    /// Measured high level, volts.
+    pub vhigh: f64,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Result {
+    /// All grid points, row-major (pipe outer, frequency inner).
+    pub points: Vec<Fig5Point>,
+    /// The frequency list used.
+    pub freqs: Vec<f64>,
+    /// The pipe list used (without the fault-free entry).
+    pub pipes: Vec<f64>,
+}
+
+impl Fig5Result {
+    /// Looks up a point.
+    pub fn at(&self, pipe: f64, freq: f64) -> Option<&Fig5Point> {
+        self.points.iter().find(|p| {
+            (p.pipe_ohms == pipe || (p.pipe_ohms.is_infinite() && pipe.is_infinite()))
+                && (p.freq - freq).abs() < 1.0
+        })
+    }
+}
+
+/// Runs the sweep (parallel over grid points).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(scale: Scale) -> Result<Fig5Result, Error> {
+    let (pipes, freqs): (Vec<f64>, Vec<f64>) = match scale {
+        Scale::Full => (
+            vec![1.0e3, 3.0e3, 5.0e3],
+            vec![
+                100.0e6, 200.0e6, 400.0e6, 600.0e6, 800.0e6, 1.0e9, 1.2e9, 1.5e9, 2.0e9,
+            ],
+        ),
+        Scale::Quick => (vec![1.0e3, 5.0e3], vec![100.0e6, 1.0e9]),
+    };
+    let mut grid: Vec<(f64, f64)> = grid2(&pipes, &freqs);
+    // Fault-free baseline at each frequency.
+    for &f in &freqs {
+        grid.push((f64::INFINITY, f));
+    }
+    let results = par_map(grid, |(pipe, freq)| -> Result<Fig5Point, Error> {
+        let pipe_opt = pipe.is_finite().then_some(pipe);
+        let (chain, circuit) = fig3_circuit(freq, pipe_opt)?;
+        let probes = vec![chain.dut().output.p, chain.dut().output.n];
+        // Enough periods to reach steady state at every frequency.
+        let periods = 6.0;
+        let res = run_periods_probed(&circuit, freq, periods, probes)?;
+        let w = wf(&res, chain.dut().output.p)?;
+        let stats = LevelStats::measure(&w, (periods - 3.0) / freq, periods / freq);
+        Ok(Fig5Point {
+            pipe_ohms: pipe,
+            freq,
+            vlow: stats.vlow,
+            vhigh: stats.vhigh,
+        })
+    });
+    let points: Vec<Fig5Point> = results.into_iter().collect::<Result<_, _>>()?;
+    Ok(Fig5Result {
+        points,
+        freqs,
+        pipes,
+    })
+}
+
+/// Runs and prints the paper-shaped report.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn execute(scale: Scale) -> Result<(), Error> {
+    let r = run(scale)?;
+    let mut rows = Vec::new();
+    for p in &r.points {
+        rows.push(vec![
+            if p.pipe_ohms.is_finite() {
+                format!("{:.0}", p.pipe_ohms)
+            } else {
+                "fault-free".to_string()
+            },
+            format!("{:.0}", p.freq / 1.0e6),
+            v(p.vlow),
+            v(p.vhigh),
+            v(p.vhigh - p.vlow),
+        ]);
+    }
+    print_table(
+        "FIG5: Vlow/Vhigh at the DUT output vs pipe value and frequency",
+        &["pipe (Ω)", "freq (MHz)", "Vlow (V)", "Vhigh (V)", "swing (V)"],
+        &rows,
+    );
+    write_rows_csv(
+        "fig5",
+        &["pipe_ohms", "freq_mhz", "vlow", "vhigh", "swing"],
+        &rows,
+    );
+    println!("  paper shapes: Vlow rises toward nominal as pipe grows; excursion shrinks with frequency");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_pipe_and_frequency() {
+        let r = run(Scale::Quick).unwrap();
+        let f = 100.0e6;
+        let ff = r.at(f64::INFINITY, f).unwrap();
+        let p1k = r.at(1.0e3, f).unwrap();
+        let p5k = r.at(5.0e3, f).unwrap();
+        // Pipe pushes Vlow below nominal; 1 kΩ is worse than 5 kΩ.
+        assert!(p1k.vlow < p5k.vlow, "1k {:.3} vs 5k {:.3}", p1k.vlow, p5k.vlow);
+        assert!(p5k.vlow < ff.vlow - 0.05);
+        // Vhigh stays near the rail for the mild pipe; for the severe
+        // 1 kΩ pipe the degraded upstream drive lets it sag somewhat.
+        assert!((p5k.vhigh - ff.vhigh).abs() < 0.05);
+        assert!((p1k.vhigh - ff.vhigh).abs() < 0.35);
+        // Frequency rolls the excursion off.
+        let p1k_hf = r.at(1.0e3, 1.0e9).unwrap();
+        assert!(
+            p1k_hf.vlow > p1k.vlow,
+            "excursion should shrink with frequency: {:.3} vs {:.3}",
+            p1k_hf.vlow,
+            p1k.vlow
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! One module per regenerated paper artifact. See DESIGN.md §4 for the
+//! experiment index.
+
+pub mod ablations;
+pub mod acchar;
+pub mod common;
+pub mod fig10;
+pub mod fig12;
+pub mod fig14;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod power;
+pub mod report;
+pub mod robust;
+pub mod stuckat;
+pub mod table1;
+pub mod table2;
+pub mod thresholds;
+pub mod toggle;

@@ -1,0 +1,83 @@
+//! Table printing and CSV output shared by all experiments.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (`target/experiments/`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiment output dir");
+    dir
+}
+
+/// Prints a titled, column-aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            if k < widths.len() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (k, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{cell:>width$}  ", width = widths[k.min(widths.len() - 1)]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes generic rows as CSV into `target/experiments/<name>.csv`.
+pub fn write_rows_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = out_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", headers.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    println!("  [csv] {}", path.display());
+}
+
+/// Formats seconds as picoseconds with one decimal.
+pub fn ps(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e12)
+}
+
+/// Formats seconds as nanoseconds with two decimals.
+pub fn ns(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e9)
+}
+
+/// Formats volts with three decimals.
+pub fn v(volts: f64) -> String {
+    format!("{volts:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ps(53.0e-12), "53.0");
+        assert_eq!(ns(25.5e-9), "25.50");
+        assert_eq!(v(3.305), "3.305");
+    }
+
+    #[test]
+    fn out_dir_exists() {
+        assert!(out_dir().is_dir());
+    }
+}

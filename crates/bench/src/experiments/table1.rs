@@ -1,0 +1,153 @@
+//! TAB1 — delays at the fixed 3.165 V-style crossing (paper Table 1).
+//!
+//! Delays are measured where each output crosses the *normal* crossing
+//! point of an output and its complement (`vcross` of the process) — "this
+//! voltage reference would be representative of how ECL-type gates would
+//! convert the observed output voltage into logical values". The paper's
+//! headline: the faulty DUT output appears ~58 ps late at this reference,
+//! yet the difference at the final chain output is insignificant.
+
+use super::common::{fig3_circuit, run_periods, wf};
+use super::report::{print_table, ps, write_rows_csv};
+use crate::Scale;
+use cml_cells::CmlProcess;
+use spicier::Error;
+use waveform::Edge;
+
+/// Crossing times relative to the input edge for one chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainCrossings {
+    /// Per stage: `(name, t_op, t_opb)` in seconds after the input edge.
+    pub stages: Vec<(String, Option<f64>, Option<f64>)>,
+}
+
+/// Table 1 data: fixed-level crossings for both chains plus deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// Fault-free chain.
+    pub fault_free: ChainCrossings,
+    /// Chain with the 4 kΩ pipe on DUT.Q3.
+    pub faulty: ChainCrossings,
+}
+
+impl Table1Result {
+    /// `Δt` on the `op` rail of stage `k` (faulty − fault-free), seconds.
+    pub fn delta_op(&self, k: usize) -> Option<f64> {
+        Some(self.faulty.stages[k].1? - self.fault_free.stages[k].1?)
+    }
+
+    /// `Δt` on the `opb` rail of stage `k`.
+    pub fn delta_opb(&self, k: usize) -> Option<f64> {
+        Some(self.faulty.stages[k].2? - self.fault_free.stages[k].2?)
+    }
+}
+
+fn measure_chain(pipe: Option<f64>, periods: f64) -> Result<ChainCrossings, Error> {
+    let freq = 100.0e6;
+    let p = CmlProcess::paper();
+    let (chain, circuit) = fig3_circuit(freq, pipe)?;
+    let res = run_periods(&circuit, freq, periods)?;
+    // Reference: the input's rising crossing after the chain has settled.
+    let w_in = wf(&res, chain.cells[0].input.p)?;
+    let t_in = w_in
+        .first_crossing_after(p.vcross(), Edge::Rising, (periods - 2.0) / freq)
+        .ok_or_else(|| Error::InvalidOptions("input never crosses".to_string()))?;
+    let mut stages = Vec::new();
+    for cell in &chain.cells {
+        let w_op = wf(&res, cell.output.p)?;
+        let w_opb = wf(&res, cell.output.n)?;
+        let t_op = w_op
+            .first_crossing_after(p.vcross(), Edge::Any, t_in)
+            .map(|t| t - t_in);
+        let t_opb = w_opb
+            .first_crossing_after(p.vcross(), Edge::Any, t_in)
+            .map(|t| t - t_in);
+        stages.push((cell.name.clone(), t_op, t_opb));
+    }
+    Ok(ChainCrossings { stages })
+}
+
+/// Runs both chains and extracts the fixed-level crossing table.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(scale: Scale) -> Result<Table1Result, Error> {
+    let periods = match scale {
+        Scale::Full => 4.0,
+        Scale::Quick => 3.0,
+    };
+    Ok(Table1Result {
+        fault_free: measure_chain(None, periods)?,
+        faulty: measure_chain(Some(4.0e3), periods)?,
+    })
+}
+
+/// Runs and prints the paper-shaped report.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn execute(scale: Scale) -> Result<(), Error> {
+    let r = run(scale)?;
+    let fmt = |t: Option<f64>| t.map(ps).unwrap_or_else(|| "-".to_string());
+    let mut rows = Vec::new();
+    for (k, (name, _, _)) in r.fault_free.stages.iter().enumerate() {
+        rows.push(vec![
+            format!("{name}.op"),
+            fmt(r.fault_free.stages[k].1),
+            fmt(r.faulty.stages[k].1),
+            fmt(r.delta_op(k)),
+        ]);
+        rows.push(vec![
+            format!("{name}.opb"),
+            fmt(r.fault_free.stages[k].2),
+            fmt(r.faulty.stages[k].2),
+            fmt(r.delta_opb(k)),
+        ]);
+    }
+    print_table(
+        "TABLE 1: crossing time at the fixed reference (ps after input edge)",
+        &["output", "FF (ps)", "pipe (ps)", "Δt (ps)"],
+        &rows,
+    );
+    let final_delta = r.delta_op(7).unwrap_or(f64::NAN).abs() * 1e12;
+    println!(
+        "  DUT-stage Δt is large, final-stage Δt = {final_delta:.1} ps \
+         (paper: fault heals to an insignificant difference)"
+    );
+    write_rows_csv("table1", &["output", "ff_ps", "pipe_ps", "delta_ps"], &rows);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dut_shifts_but_final_output_heals() {
+        let r = run(Scale::Quick).unwrap();
+        let dut = cml_cells::FIG3_DUT_INDEX;
+        let d_dut = r
+            .delta_op(dut)
+            .unwrap()
+            .abs()
+            .max(r.delta_opb(dut).unwrap().abs());
+        let d_final = r
+            .delta_op(7)
+            .unwrap()
+            .abs()
+            .max(r.delta_opb(7).unwrap().abs());
+        assert!(
+            d_dut > 20.0e-12,
+            "DUT crossing shift {:.1} ps (paper: ~58 ps)",
+            d_dut * 1e12
+        );
+        assert!(
+            d_final < 8.0e-12,
+            "final stage should heal, Δ = {:.1} ps",
+            d_final * 1e12
+        );
+        assert!(d_dut > 4.0 * d_final);
+    }
+}

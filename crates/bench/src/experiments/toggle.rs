@@ -1,0 +1,171 @@
+//! TOGGLE — the §6.6 testing approach on sequential benchmark circuits:
+//! random-pattern toggle coverage (= amplitude-fault coverage of the
+//! detector DFT) and the initialization-convergence property of \[13\].
+
+use super::report::{print_table, write_rows_csv};
+use crate::Scale;
+use cml_dft::testgen::{coverage_curve, toggle_test, ToggleTestPlan, ToggleTestReport};
+use cml_logic::{circuits, LogicNetwork};
+use spicier::Error;
+
+/// Per-benchmark toggle report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Gates + flip-flops monitored.
+    pub monitored: usize,
+    /// The toggle report.
+    pub report: ToggleTestReport,
+}
+
+/// Full experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToggleResult {
+    /// One entry per benchmark.
+    pub benchmarks: Vec<BenchmarkReport>,
+    /// Coverage-vs-patterns curve on the counter benchmark.
+    pub curve: Vec<(usize, f64)>,
+}
+
+fn benchmarks(scale: Scale) -> Vec<(String, LogicNetwork)> {
+    let mut out = vec![
+        ("alu_slice".to_string(), circuits::alu_slice()),
+        ("counter8".to_string(), circuits::counter(8)),
+        ("shift16".to_string(), circuits::shift_register(16)),
+        ("decade_fsm".to_string(), circuits::decade_fsm()),
+        ("lfsr8".to_string(), circuits::lfsr_register(8)),
+        ("rst_counter6".to_string(), circuits::resettable_counter(6)),
+    ];
+    if matches!(scale, Scale::Quick) {
+        out.truncate(3);
+    }
+    out
+}
+
+/// Runs toggle tests on every benchmark.
+///
+/// # Errors
+///
+/// Infallible today; `Result` kept for harness uniformity.
+pub fn run(scale: Scale) -> Result<ToggleResult, Error> {
+    let patterns = match scale {
+        Scale::Full => 4096,
+        Scale::Quick => 512,
+    };
+    let plan = ToggleTestPlan {
+        patterns,
+        seed: 0xACE1,
+        convergence_budget: 512,
+    };
+    let benchmarks: Vec<BenchmarkReport> = benchmarks(scale)
+        .into_iter()
+        .map(|(name, network)| {
+            let report = toggle_test(&network, &plan);
+            BenchmarkReport {
+                name,
+                monitored: report.monitored,
+                report,
+            }
+        })
+        .collect();
+    let curve = coverage_curve(
+        &circuits::counter(8),
+        &[8, 32, 128, 512, 2048],
+        plan.seed,
+    );
+    Ok(ToggleResult { benchmarks, curve })
+}
+
+/// Runs and prints the paper-shaped report.
+///
+/// # Errors
+///
+/// Propagates failures.
+pub fn execute(scale: Scale) -> Result<(), Error> {
+    let r = run(scale)?;
+    let rows: Vec<Vec<String>> = r
+        .benchmarks
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.clone(),
+                b.monitored.to_string(),
+                format!("{:.1}%", 100.0 * b.report.coverage),
+                b.report
+                    .convergence_cycles
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "no".to_string()),
+                b.report.untoggled.join(" "),
+            ]
+        })
+        .collect();
+    print_table(
+        "TOGGLE (§6.6): random-pattern amplitude-fault coverage",
+        &["circuit", "nets", "toggle cov", "converged@", "untoggled"],
+        &rows,
+    );
+    write_rows_csv(
+        "toggle",
+        &["circuit", "nets", "coverage", "convergence", "untoggled"],
+        &rows,
+    );
+    let curve_rows: Vec<Vec<String>> = r
+        .curve
+        .iter()
+        .map(|(n, c)| vec![n.to_string(), format!("{:.3}", c)])
+        .collect();
+    print_table(
+        "TOGGLE: coverage vs pattern count (counter8)",
+        &["patterns", "coverage"],
+        &curve_rows,
+    );
+    write_rows_csv("toggle_curve", &["patterns", "coverage"], &curve_rows);
+    // Test-application-time estimate for the largest benchmark.
+    if let Some(b) = r.benchmarks.iter().max_by_key(|b| b.monitored) {
+        use cml_dft::testgen::{estimate_test_time, TestTimeModel};
+        // One shared detector group per 22 nets (the measured safe limit).
+        let groups = b.monitored.div_ceil(22);
+        let t = estimate_test_time(&b.report, &TestTimeModel::default_session(groups));
+        println!(
+            "  test time for {} ({} nets, {} patterns @ 100 MHz, {} flag group(s)): {:.1} µs",
+            b.name,
+            b.monitored,
+            b.report.patterns,
+            groups,
+            t * 1e6
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_patterns_give_good_coverage_and_convergence() {
+        let r = run(Scale::Quick).unwrap();
+        for b in &r.benchmarks {
+            assert!(
+                b.report.coverage > 0.85,
+                "{}: coverage {}",
+                b.name,
+                b.report.coverage
+            );
+        }
+        // Shift register converges (the paper's [13] claim).
+        let shift = r
+            .benchmarks
+            .iter()
+            .find(|b| b.name.starts_with("shift"))
+            .unwrap();
+        assert!(shift.report.convergence_cycles.is_some());
+        // The resettable counter (run at Full scale) also converges.
+        if let Some(rc) = r.benchmarks.iter().find(|b| b.name.starts_with("rst")) {
+            assert!(rc.report.convergence_cycles.is_some());
+        }
+        // Coverage curve saturates.
+        assert!(r.curve.last().unwrap().1 >= r.curve.first().unwrap().1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation, plus ablations of its design choices.
+//!
+//! Each `experiments::*` module owns one paper artifact (experiment id in
+//! DESIGN.md): a `run(scale)` function returning typed results, and a
+//! `execute(scale)` entry point that prints the paper-shaped table and
+//! writes the underlying series as CSV under `target/experiments/`.
+//!
+//! Binaries `exp_*` (one per artifact, plus `exp_all`) drive these; the
+//! Criterion benches reuse the same kernels at [`Scale::Quick`].
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// How much of the full sweep an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// The full grids reported in EXPERIMENTS.md.
+    #[default]
+    Full,
+    /// Trimmed grids for smoke tests and Criterion benches.
+    Quick,
+}
+
+impl Scale {
+    /// Reads `EXP_SCALE=quick` from the environment (default: full).
+    pub fn from_env() -> Self {
+        match std::env::var("EXP_SCALE").as_deref() {
+            Ok("quick") | Ok("QUICK") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The circuit builder: rails, stimulus and the basic CML buffer.
+//!
+//! Cells instantiate into a shared [`spicier::Netlist`] with hierarchical
+//! names (`"DUT.Q3"`, `"X33.RL1"`), which is how the fault-injection crate
+//! addresses individual devices — exactly like editing a SPICE deck.
+
+use crate::process::CmlProcess;
+use spicier::netlist::{Netlist, SourceWave};
+use spicier::{Error, NodeId};
+
+/// A differential signal: the true and complement nets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffPair {
+    /// True net.
+    pub p: NodeId,
+    /// Complement net.
+    pub n: NodeId,
+}
+
+impl DiffPair {
+    /// Swaps true and complement (logical inversion is free in CML).
+    pub fn invert(self) -> Self {
+        Self {
+            p: self.n,
+            n: self.p,
+        }
+    }
+}
+
+/// Handle to an instantiated buffer (the paper's Figure 1 cell).
+#[derive(Debug, Clone)]
+pub struct BufferCell {
+    /// Instance name (prefix of all element names).
+    pub name: String,
+    /// Input pair.
+    pub input: DiffPair,
+    /// Output pair (`op`, `opb`).
+    pub output: DiffPair,
+    /// Common-emitter node of the differential pair (collector of the
+    /// current-source transistor Q3 — where the pipe defect lives).
+    pub tail: NodeId,
+}
+
+impl BufferCell {
+    /// Name of the current-source transistor (`<inst>.Q3`), the device the
+    /// paper plants its pipe defect on.
+    pub fn q3(&self) -> String {
+        format!("{}.Q3", self.name)
+    }
+}
+
+/// Builds CML circuits on top of a [`Netlist`].
+#[derive(Debug)]
+pub struct CmlCircuitBuilder {
+    nl: Netlist,
+    process: CmlProcess,
+    /// The high rail net.
+    pub vgnd: NodeId,
+    /// The shared current-source base bias net.
+    pub vbias: NodeId,
+}
+
+impl CmlCircuitBuilder {
+    /// Creates a builder with supply (`VGND`) and bias (`VBIAS`) sources
+    /// already in place.
+    pub fn new(process: CmlProcess) -> Self {
+        let mut nl = Netlist::new();
+        let vgnd = nl.node("vgnd");
+        let vbias = nl.node("vbias");
+        nl.vdc("VGND", vgnd, Netlist::GROUND, process.vgnd)
+            .expect("fresh netlist");
+        nl.vdc("VBIAS", vbias, Netlist::GROUND, process.vbias())
+            .expect("fresh netlist");
+        Self {
+            nl,
+            process,
+            vgnd,
+            vbias,
+        }
+    }
+
+    /// The process parameters in force.
+    pub fn process(&self) -> &CmlProcess {
+        &self.process
+    }
+
+    /// Access to the underlying netlist (for probes and custom elements).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.nl
+    }
+
+    /// Returns the node named `name`, creating it if necessary.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        self.nl.node(name)
+    }
+
+    /// Creates a named differential net pair `<name>` / `<name>b`.
+    pub fn diff(&mut self, name: &str) -> DiffPair {
+        DiffPair {
+            p: self.nl.node(name),
+            n: self.nl.node(&format!("{name}b")),
+        }
+    }
+
+    /// Finishes building and returns the netlist (inject faults here, then
+    /// compile).
+    pub fn finish(self) -> Netlist {
+        self.nl
+    }
+
+    /// Drives `pair` with complementary square waves toggling at `freq`
+    /// between the process logic levels; edge time is 10% of the half
+    /// period (the paper stimulates its chains this way at 100 MHz–2 GHz).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate source names `V<name>p` / `V<name>n`.
+    pub fn drive_differential(
+        &mut self,
+        name: &str,
+        pair: DiffPair,
+        freq: f64,
+    ) -> Result<(), Error> {
+        let (lo, hi) = (self.process.vlow(), self.process.vhigh());
+        self.nl.vsource(
+            &format!("V{name}p"),
+            pair.p,
+            Netlist::GROUND,
+            SourceWave::square(lo, hi, freq, 0.1),
+        )?;
+        // Complement starts high.
+        self.nl.vsource(
+            &format!("V{name}n"),
+            pair.n,
+            Netlist::GROUND,
+            SourceWave::square(hi, lo, freq, 0.1),
+        )?;
+        Ok(())
+    }
+
+    /// Holds `pair` at a DC logic value (for truth-table checks).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate source names.
+    pub fn drive_static(&mut self, name: &str, pair: DiffPair, value: bool) -> Result<(), Error> {
+        let (vp, vn) = if value {
+            (self.process.vhigh(), self.process.vlow())
+        } else {
+            (self.process.vlow(), self.process.vhigh())
+        };
+        self.nl
+            .vdc(&format!("V{name}p"), pair.p, Netlist::GROUND, vp)?;
+        self.nl
+            .vdc(&format!("V{name}n"), pair.n, Netlist::GROUND, vn)?;
+        Ok(())
+    }
+
+    /// Adds the tail current source transistor (Q3 of Figure 1): base on
+    /// the shared bias, emitter on `vee` (simulator ground), collector on
+    /// `tail`. Returns nothing; the element is `<inst>.Q3`.
+    pub(crate) fn tail_source(&mut self, inst: &str, tail: NodeId) -> Result<(), Error> {
+        self.nl
+            .bjt(&format!("{inst}.Q3"), tail, self.vbias, Netlist::GROUND, self.process.npn)
+    }
+
+    /// Adds a load resistor + wiring capacitance on an output node.
+    pub(crate) fn output_load(
+        &mut self,
+        inst: &str,
+        suffix: &str,
+        node: NodeId,
+    ) -> Result<(), Error> {
+        self.nl.resistor(
+            &format!("{inst}.RL{suffix}"),
+            self.vgnd,
+            node,
+            self.process.rload(),
+        )?;
+        self.nl.capacitor(
+            &format!("{inst}.CW{suffix}"),
+            node,
+            Netlist::GROUND,
+            self.process.cwire,
+        )
+    }
+
+    /// Instantiates the basic CML data buffer of the paper's Figure 1.
+    ///
+    /// `Q1` (base = input true) pulls `opb` low when the input is high;
+    /// `Q2` (base = input complement) pulls `op` low when the input is low;
+    /// `Q3` supplies the steady tail current.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn buffer(&mut self, inst: &str, input: DiffPair) -> Result<BufferCell, Error> {
+        let op = self.nl.node(&format!("{inst}.op"));
+        let opb = self.nl.node(&format!("{inst}.opb"));
+        let tail = self.nl.node(&format!("{inst}.tail"));
+        let npn = self.process.npn;
+        self.nl
+            .bjt(&format!("{inst}.Q1"), opb, input.p, tail, npn)?;
+        self.nl.bjt(&format!("{inst}.Q2"), op, input.n, tail, npn)?;
+        self.tail_source(inst, tail)?;
+        self.output_load(inst, "1", opb)?;
+        self.output_load(inst, "2", op)?;
+        Ok(BufferCell {
+            name: inst.to_string(),
+            input,
+            output: DiffPair { p: op, n: opb },
+            tail,
+        })
+    }
+
+    /// Emitter-follower level shifter: output sits one VBE below the input
+    /// (needed to drive the lower level of stacked gates, §2).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn level_shift(&mut self, inst: &str, input: NodeId) -> Result<NodeId, Error> {
+        let out = self.nl.node(&format!("{inst}.ls"));
+        self.nl
+            .bjt(&format!("{inst}.QLS"), self.vgnd, input, out, self.process.npn)?;
+        self.nl.resistor(
+            &format!("{inst}.RLS"),
+            out,
+            Netlist::GROUND,
+            self.process.r_shift,
+        )?;
+        Ok(out)
+    }
+
+    /// Level-shifts both nets of a differential pair.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn level_shift_pair(&mut self, inst: &str, input: DiffPair) -> Result<DiffPair, Error> {
+        let p = self.level_shift(&format!("{inst}.p"), input.p)?;
+        let n = self.level_shift(&format!("{inst}.n"), input.n)?;
+        Ok(DiffPair { p, n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spicier::analysis::dc::{operating_point, DcOptions};
+
+    #[test]
+    fn buffer_dc_levels_match_process() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_static("a", input, true).unwrap();
+        let cell = b.buffer("X1", input).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        let p = CmlProcess::paper();
+        // Input high → op high (at the rail), opb low (one swing down).
+        let vop = op.voltage(cell.output.p);
+        let vopb = op.voltage(cell.output.n);
+        assert!((vop - p.vhigh()).abs() < 0.02, "op = {vop}");
+        assert!((vopb - p.vlow()).abs() < 0.03, "opb = {vopb}");
+        // Tail sits ~one VBE below the high input.
+        let vtail = op.voltage(cell.tail);
+        assert!((2.2..2.5).contains(&vtail), "tail = {vtail}");
+    }
+
+    #[test]
+    fn buffer_inverts_on_complement_input() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_static("a", input, false).unwrap();
+        let cell = b.buffer("X1", input).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        let p = CmlProcess::paper();
+        assert!((op.voltage(cell.output.p) - p.vlow()).abs() < 0.03);
+        assert!((op.voltage(cell.output.n) - p.vhigh()).abs() < 0.02);
+    }
+
+    #[test]
+    fn level_shift_drops_one_vbe() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_static("a", input, true).unwrap();
+        let shifted = b.level_shift("LS1", input.p).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        let drop = 3.3 - op.voltage(shifted);
+        assert!((0.8..1.0).contains(&drop), "shift = {drop}");
+    }
+
+    #[test]
+    fn diff_pair_names() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let d = b.diff("sig");
+        let nl = b.finish();
+        assert_eq!(nl.node_name(d.p), "sig");
+        assert_eq!(nl.node_name(d.n), "sigb");
+        let inv = d.invert();
+        assert_eq!(inv.p, d.n);
+    }
+
+    #[test]
+    fn tail_current_is_itail() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_static("a", input, true).unwrap();
+        let cell = b.buffer("X1", input).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        // The low output's load resistor carries essentially the whole
+        // tail current.
+        let p = CmlProcess::paper();
+        let i = (p.vhigh() - op.voltage(cell.output.n)) / p.rload();
+        assert!(
+            (i - p.itail).abs() < 0.1 * p.itail,
+            "branch current {i} vs itail {}",
+            p.itail
+        );
+    }
+}

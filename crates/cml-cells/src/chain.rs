@@ -1,0 +1,137 @@
+//! Buffer chains — the paper's test circuit (Figure 3): eight cascaded
+//! buffers X11, X22, DUT, X33…X77, with the defect planted in the third.
+
+use crate::builder::{BufferCell, CmlCircuitBuilder, DiffPair};
+use spicier::Error;
+
+/// The instance names of the paper's Figure 3 chain, in order. The third
+/// buffer is the device under test.
+pub const FIG3_NAMES: [&str; 8] = ["X11", "X22", "DUT", "X33", "X44", "X55", "X66", "X77"];
+
+/// Index of the device under test within [`FIG3_NAMES`].
+pub const FIG3_DUT_INDEX: usize = 2;
+
+/// A chain of cascaded buffers.
+#[derive(Debug, Clone)]
+pub struct BufferChain {
+    /// The cells, in signal order.
+    pub cells: Vec<BufferCell>,
+}
+
+impl BufferChain {
+    /// The device under test of the Figure 3 chain (the third buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is shorter than three buffers.
+    pub fn dut(&self) -> &BufferCell {
+        &self.cells[FIG3_DUT_INDEX]
+    }
+
+    /// Output pair of the `k`-th buffer (0-based).
+    pub fn output(&self, k: usize) -> DiffPair {
+        self.cells[k].output
+    }
+
+    /// Final output pair.
+    pub fn last_output(&self) -> DiffPair {
+        self.cells.last().expect("non-empty chain").output
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the chain has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl CmlCircuitBuilder {
+    /// Builds a chain of `names.len()` buffers fed by `input`; each stage's
+    /// differential output drives the next stage directly (single-level
+    /// gates need no level shifting between stages).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn buffer_chain(&mut self, names: &[&str], input: DiffPair) -> Result<BufferChain, Error> {
+        let mut cells = Vec::with_capacity(names.len());
+        let mut stage_in = input;
+        for name in names {
+            let cell = self.buffer(name, stage_in)?;
+            stage_in = cell.output;
+            cells.push(cell);
+        }
+        Ok(BufferChain { cells })
+    }
+
+    /// Builds the paper's Figure 3 test circuit: input source pair `va`
+    /// driving eight buffers, toggling at `freq`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn fig3_chain(&mut self, freq: f64) -> Result<BufferChain, Error> {
+        let input = self.diff("va");
+        self.drive_differential("a", input, freq)?;
+        self.buffer_chain(&FIG3_NAMES, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::CmlProcess;
+    use spicier::analysis::dc::{operating_point, DcOptions};
+
+    #[test]
+    fn chain_propagates_dc_level() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_static("a", input, true).unwrap();
+        let chain = b.buffer_chain(&["B0", "B1", "B2", "B3"], input).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        let p = CmlProcess::paper();
+        // Buffers do not invert: every op is high.
+        for cell in &chain.cells {
+            let v = op.voltage(cell.output.p);
+            assert!(
+                (v - p.vhigh()).abs() < 0.03,
+                "{}: op = {v}",
+                cell.name
+            );
+            let vb = op.voltage(cell.output.n);
+            assert!(
+                (vb - p.vlow()).abs() < 0.04,
+                "{}: opb = {vb}",
+                cell.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_has_eight_buffers_with_paper_names() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let chain = b.fig3_chain(100.0e6).unwrap();
+        assert_eq!(chain.len(), 8);
+        assert_eq!(chain.dut().name, "DUT");
+        assert_eq!(chain.cells[0].name, "X11");
+        assert_eq!(chain.cells[7].name, "X77");
+        let nl = b.finish();
+        assert!(nl.element("DUT.Q3").is_ok());
+        assert!(nl.element("X66.Q1").is_ok());
+    }
+
+    #[test]
+    fn empty_chain_is_empty() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_static("a", input, true).unwrap();
+        let chain = b.buffer_chain(&[], input).unwrap();
+        assert!(chain.is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! Two-level stacked gates: AND/NAND, OR/NOR, XOR/XNOR, MUX and the CML
+//! latch (§2: "To implement more complex gates (e.g. AND, OR, MUX),
+//! vertical stacking of differential pairs is used").
+//!
+//! All gates level-shift the signal that drives the lower differential
+//! pair by one VBE (emitter follower), as the paper requires to avoid
+//! forward-biased base–collector junctions.
+
+use crate::builder::{CmlCircuitBuilder, DiffPair};
+use spicier::{Error, NodeId};
+
+/// Handle to an instantiated two-level gate.
+#[derive(Debug, Clone)]
+pub struct GateCell {
+    /// Instance name.
+    pub name: String,
+    /// Output pair (`op`, `opb`).
+    pub output: DiffPair,
+    /// Common-emitter node of the bottom level (collector of Q3).
+    pub tail: NodeId,
+}
+
+impl GateCell {
+    /// Name of the current-source transistor (`<inst>.Q3`).
+    pub fn q3(&self) -> String {
+        format!("{}.Q3", self.name)
+    }
+}
+
+impl CmlCircuitBuilder {
+    fn gate_frame(&mut self, inst: &str) -> (NodeId, NodeId, NodeId) {
+        let op = self.node(&format!("{inst}.op"));
+        let opb = self.node(&format!("{inst}.opb"));
+        let tail = self.node(&format!("{inst}.tail"));
+        (op, opb, tail)
+    }
+
+    /// Two-input AND: `out = a ∧ b` (`NAND` for free on the complement).
+    ///
+    /// Upper pair gated by `a`, lower pair by the level-shifted `b`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn and2(&mut self, inst: &str, a: DiffPair, b: DiffPair) -> Result<GateCell, Error> {
+        let (op, opb, tail) = self.gate_frame(inst);
+        let eup = self.node(&format!("{inst}.eup"));
+        let bs = self.level_shift_pair(&format!("{inst}.LSB"), b)?;
+        let npn = self.process().npn;
+        // Upper level: selected when b is high.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QA1"), opb, a.p, eup, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QA2"), op, a.n, eup, npn)?;
+        // Lower level: b steers between the upper pair and op directly.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QB1"), eup, bs.p, tail, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QB2"), op, bs.n, tail, npn)?;
+        self.tail_source(inst, tail)?;
+        self.output_load(inst, "1", opb)?;
+        self.output_load(inst, "2", op)?;
+        Ok(GateCell {
+            name: inst.to_string(),
+            output: DiffPair { p: op, n: opb },
+            tail,
+        })
+    }
+
+    /// Two-input OR: `out = a ∨ b` — De Morgan on [`and2`](Self::and2):
+    /// `a ∨ b = ¬(¬a ∧ ¬b)`, with inversions done by swapping differential
+    /// nets (free in CML).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn or2(&mut self, inst: &str, a: DiffPair, b: DiffPair) -> Result<GateCell, Error> {
+        let nand = self.and2(inst, a.invert(), b.invert())?;
+        Ok(GateCell {
+            name: nand.name,
+            output: nand.output.invert(),
+            tail: nand.tail,
+        })
+    }
+
+    /// Two-input XOR: `out = a ⊕ b` (`XNOR` on the complement).
+    ///
+    /// Two upper pairs with cross-coupled collectors, steered by the
+    /// level-shifted `b`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn xor2(&mut self, inst: &str, a: DiffPair, b: DiffPair) -> Result<GateCell, Error> {
+        let (op, opb, tail) = self.gate_frame(inst);
+        let e1 = self.node(&format!("{inst}.e1"));
+        let e2 = self.node(&format!("{inst}.e2"));
+        let bs = self.level_shift_pair(&format!("{inst}.LSB"), b)?;
+        let npn = self.process().npn;
+        // Upper pair selected when b high: out = ¬a.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QA1"), op, a.p, e1, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QA2"), opb, a.n, e1, npn)?;
+        // Upper pair selected when b low: out = a.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QA3"), opb, a.p, e2, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QA4"), op, a.n, e2, npn)?;
+        // Lower steering pair.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QB1"), e1, bs.p, tail, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QB2"), e2, bs.n, tail, npn)?;
+        self.tail_source(inst, tail)?;
+        self.output_load(inst, "1", opb)?;
+        self.output_load(inst, "2", op)?;
+        Ok(GateCell {
+            name: inst.to_string(),
+            output: DiffPair { p: op, n: opb },
+            tail,
+        })
+    }
+
+    /// Two-input multiplexer: `out = sel ? a : b`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn mux2(
+        &mut self,
+        inst: &str,
+        sel: DiffPair,
+        a: DiffPair,
+        b: DiffPair,
+    ) -> Result<GateCell, Error> {
+        let (op, opb, tail) = self.gate_frame(inst);
+        let e1 = self.node(&format!("{inst}.e1"));
+        let e2 = self.node(&format!("{inst}.e2"));
+        let ss = self.level_shift_pair(&format!("{inst}.LSS"), sel)?;
+        let npn = self.process().npn;
+        // sel high: pass a.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QA1"), opb, a.p, e1, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QA2"), op, a.n, e1, npn)?;
+        // sel low: pass b.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QB1"), opb, b.p, e2, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QB2"), op, b.n, e2, npn)?;
+        // Lower steering pair.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QS1"), e1, ss.p, tail, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QS2"), e2, ss.n, tail, npn)?;
+        self.tail_source(inst, tail)?;
+        self.output_load(inst, "1", opb)?;
+        self.output_load(inst, "2", op)?;
+        Ok(GateCell {
+            name: inst.to_string(),
+            output: DiffPair { p: op, n: opb },
+            tail,
+        })
+    }
+
+    /// Level-sensitive CML D-latch: transparent while `clk` is high,
+    /// holding (cross-coupled pair) while `clk` is low.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn latch(&mut self, inst: &str, d: DiffPair, clk: DiffPair) -> Result<GateCell, Error> {
+        let (op, opb, tail) = self.gate_frame(inst);
+        let etrk = self.node(&format!("{inst}.etrk"));
+        let ehld = self.node(&format!("{inst}.ehld"));
+        let cs = self.level_shift_pair(&format!("{inst}.LSC"), clk)?;
+        let npn = self.process().npn;
+        // Track pair: a buffer from d.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QT1"), opb, d.p, etrk, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QT2"), op, d.n, etrk, npn)?;
+        // Hold pair: regenerative cross-coupling.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QH1"), opb, op, ehld, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QH2"), op, opb, ehld, npn)?;
+        // Clock steering.
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QC1"), etrk, cs.p, tail, npn)?;
+        self.netlist_mut()
+            .bjt(&format!("{inst}.QC2"), ehld, cs.n, tail, npn)?;
+        self.tail_source(inst, tail)?;
+        self.output_load(inst, "1", opb)?;
+        self.output_load(inst, "2", op)?;
+        Ok(GateCell {
+            name: inst.to_string(),
+            output: DiffPair { p: op, n: opb },
+            tail,
+        })
+    }
+
+    /// Master–slave D flip-flop from two latches on opposite clock phases.
+    /// Returns `(master, slave)`; the flip-flop output is the slave's.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn dff(
+        &mut self,
+        inst: &str,
+        d: DiffPair,
+        clk: DiffPair,
+    ) -> Result<(GateCell, GateCell), Error> {
+        let master = self.latch(&format!("{inst}.M"), d, clk.invert())?;
+        let slave = self.latch(&format!("{inst}.S"), master.output, clk)?;
+        Ok((master, slave))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::CmlProcess;
+    use spicier::analysis::dc::{operating_point, DcOptions};
+    use spicier::Circuit;
+
+    /// Builds a gate with static inputs and returns (circuit, output pair).
+    fn build_gate2(
+        f: impl Fn(&mut CmlCircuitBuilder, DiffPair, DiffPair) -> GateCell,
+        a: bool,
+        b: bool,
+    ) -> (Circuit, DiffPair) {
+        let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+        let ia = bld.diff("a");
+        let ib = bld.diff("b");
+        bld.drive_static("a", ia, a).unwrap();
+        bld.drive_static("b", ib, b).unwrap();
+        let cell = f(&mut bld, ia, ib);
+        let out = cell.output;
+        (bld.finish().compile().unwrap(), out)
+    }
+
+    /// Reads the gate output as a boolean (differentially).
+    fn read_output(circuit: &Circuit, out: DiffPair) -> bool {
+        let op = operating_point(circuit, &DcOptions::default()).unwrap();
+        let diff = op.voltage(out.p) - op.voltage(out.n);
+        assert!(
+            diff.abs() > 0.1,
+            "output is not a clean logic level: {diff} V differential"
+        );
+        diff > 0.0
+    }
+
+    #[test]
+    fn and2_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (c, out) = build_gate2(|bld, x, y| bld.and2("G", x, y).unwrap(), a, b);
+                assert_eq!(read_output(&c, out), a && b, "AND({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn or2_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (c, out) = build_gate2(|bld, x, y| bld.or2("G", x, y).unwrap(), a, b);
+                assert_eq!(read_output(&c, out), a || b, "OR({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn xor2_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (c, out) = build_gate2(|bld, x, y| bld.xor2("G", x, y).unwrap(), a, b);
+                assert_eq!(read_output(&c, out), a ^ b, "XOR({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn mux2_truth_table() {
+        for sel in [false, true] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+                    let is = bld.diff("s");
+                    let ia = bld.diff("a");
+                    let ib = bld.diff("b");
+                    bld.drive_static("s", is, sel).unwrap();
+                    bld.drive_static("a", ia, a).unwrap();
+                    bld.drive_static("b", ib, b).unwrap();
+                    let cell = bld.mux2("G", is, ia, ib).unwrap();
+                    let out = cell.output;
+                    let c = bld.finish().compile().unwrap();
+                    let expected = if sel { a } else { b };
+                    assert_eq!(read_output(&c, out), expected, "MUX({sel},{a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latch_is_transparent_when_clock_high() {
+        for d in [false, true] {
+            let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+            let id = bld.diff("d");
+            let ic = bld.diff("c");
+            bld.drive_static("d", id, d).unwrap();
+            bld.drive_static("c", ic, true).unwrap();
+            let cell = bld.latch("L", id, ic).unwrap();
+            let out = cell.output;
+            let c = bld.finish().compile().unwrap();
+            assert_eq!(read_output(&c, out), d, "latch track {d}");
+        }
+    }
+
+    #[test]
+    fn dff_shifts_at_speed() {
+        // Master-slave flip-flop clocked at 1 GHz capturing a 250 MHz data
+        // square: q must follow d with one-cycle granularity.
+        use spicier::analysis::tran::{transient, TranOptions};
+        let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+        let d = bld.diff("d");
+        let clk = bld.diff("clk");
+        bld.drive_differential("d", d, 250.0e6).unwrap();
+        bld.drive_differential("clk", clk, 1.0e9).unwrap();
+        let (_master, slave) = bld.dff("FF", d, clk).unwrap();
+        let q = slave.output;
+        let circuit = bld.finish().compile().unwrap();
+        let res = transient(
+            &circuit,
+            &TranOptions::new(8.0e-9).with_probes(vec![q.p, q.n]),
+        )
+        .unwrap();
+        let p = CmlProcess::paper();
+        let wq = waveform::Waveform::from_slices(res.time(), res.trace(q.p).unwrap()).unwrap();
+        // After settling, q toggles at the data rate: 250 MHz → edges every
+        // 2 ns → 2-3 rising crossings in (2, 8) ns.
+        let crossings: Vec<f64> = wq
+            .crossings(p.vcross(), waveform::Edge::Rising)
+            .into_iter()
+            .filter(|&t| t > 2.0e-9)
+            .collect();
+        assert!(
+            (1..=3).contains(&crossings.len()),
+            "q crossings: {crossings:?}"
+        );
+        // Full CML swing at the flip-flop output.
+        let hi = wq.max_in(2.0e-9, 8.0e-9);
+        let lo = wq.min_in(2.0e-9, 8.0e-9);
+        assert!(hi - lo > 0.18, "q swing {:.3}", hi - lo);
+    }
+
+    #[test]
+    fn gate_q3_name() {
+        let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+        let ia = bld.diff("a");
+        let ib = bld.diff("b");
+        bld.drive_static("a", ia, true).unwrap();
+        bld.drive_static("b", ib, true).unwrap();
+        let g = bld.and2("G7", ia, ib).unwrap();
+        assert_eq!(g.q3(), "G7.Q3");
+        // The element really exists.
+        let nl = bld.finish();
+        assert!(nl.element("G7.Q3").is_ok());
+    }
+}

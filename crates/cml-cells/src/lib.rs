@@ -1,0 +1,50 @@
+//! Current-Mode Logic standard-cell library.
+//!
+//! Implements the circuits evaluated by *"Design For Testability Method
+//! for CML Digital Circuits"* (DATE 1999) on top of the [`spicier`]
+//! simulator:
+//!
+//! * the basic CML data buffer of the paper's Figure 1 (differential pair
+//!   + current-source transistor Q3 + load resistors);
+//! * two-level stacked gates (AND/OR/XOR/MUX) and the CML latch/flip-flop,
+//!   with one-VBE level shifters for the lower differential pairs (§2);
+//! * the Figure 3 test circuit: an 8-buffer chain with the defect planted
+//!   in the third buffer ("DUT");
+//! * differential square-wave stimulus at the process logic levels.
+//!
+//! # Example
+//!
+//! Build the Figure 3 chain and simulate one period at 100 MHz:
+//!
+//! ```
+//! use cml_cells::{CmlCircuitBuilder, CmlProcess};
+//! use spicier::analysis::tran::{transient, TranOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut builder = CmlCircuitBuilder::new(CmlProcess::paper());
+//! let chain = builder.fig3_chain(100.0e6)?;
+//! let circuit = builder.finish().compile()?;
+//! let result = transient(&circuit, &TranOptions::new(10.0e-9))?;
+//! let dut_out = result.trace(chain.dut().output.p).unwrap();
+//! assert!(dut_out.iter().all(|v| (2.5..3.5).contains(v)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod chain;
+mod gates;
+mod macros;
+mod probe;
+mod process;
+mod ring;
+
+pub use builder::{BufferCell, CmlCircuitBuilder, DiffPair};
+pub use chain::{BufferChain, FIG3_DUT_INDEX, FIG3_NAMES};
+pub use ring::RingOscillator;
+pub use gates::GateCell;
+pub use macros::{ClockDivider, FullAdder};
+pub use probe::{waveform_of, waveforms_of_pair};
+pub use process::CmlProcess;

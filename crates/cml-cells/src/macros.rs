@@ -1,0 +1,166 @@
+//! Multi-gate macro cells composed from the two-level gate library —
+//! the kind of "more complex gates" the paper's §6.6 testing approach
+//! targets (where some defects disturb only one output and must be
+//! sensitized).
+
+use crate::builder::{CmlCircuitBuilder, DiffPair};
+use crate::gates::GateCell;
+use spicier::Error;
+
+/// A full adder composed of five CML gates.
+#[derive(Debug, Clone)]
+pub struct FullAdder {
+    /// Sum output pair.
+    pub sum: DiffPair,
+    /// Carry output pair.
+    pub carry: DiffPair,
+    /// The constituent gates, for fault injection and detector placement:
+    /// `[axb, sum, g, p, carry]`.
+    pub gates: Vec<GateCell>,
+}
+
+impl FullAdder {
+    /// Output pairs of every internal gate (the nets a per-gate detector
+    /// scheme would monitor).
+    pub fn monitored_pairs(&self) -> Vec<DiffPair> {
+        self.gates.iter().map(|g| g.output).collect()
+    }
+}
+
+impl CmlCircuitBuilder {
+    /// Builds a full adder: `sum = a ⊕ b ⊕ cin`,
+    /// `carry = a·b + (a⊕b)·cin`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn full_adder(
+        &mut self,
+        inst: &str,
+        a: DiffPair,
+        b: DiffPair,
+        cin: DiffPair,
+    ) -> Result<FullAdder, Error> {
+        let axb = self.xor2(&format!("{inst}.AXB"), a, b)?;
+        let sum = self.xor2(&format!("{inst}.SUM"), axb.output, cin)?;
+        let g = self.and2(&format!("{inst}.G"), a, b)?;
+        let p = self.and2(&format!("{inst}.P"), axb.output, cin)?;
+        let carry = self.or2(&format!("{inst}.CARRY"), g.output, p.output)?;
+        Ok(FullAdder {
+            sum: sum.output,
+            carry: carry.output,
+            gates: vec![axb, sum, g, p, carry],
+        })
+    }
+}
+
+/// A divide-by-2 stage: a master–slave flip-flop whose inverted output
+/// feeds its own D input (loop closed with low-resistance jumpers, as in
+/// the ring oscillator).
+#[derive(Debug, Clone)]
+pub struct ClockDivider {
+    /// The divided output (toggles at half the clock rate).
+    pub q: DiffPair,
+}
+
+impl CmlCircuitBuilder {
+    /// Builds a divide-by-2 from a DFF with `q̄ → d` feedback.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names.
+    pub fn clock_divider(&mut self, inst: &str, clk: DiffPair) -> Result<ClockDivider, Error> {
+        let d = self.diff(&format!("{inst}.d"));
+        let (_master, slave) = self.dff(inst, d, clk)?;
+        let q = slave.output;
+        // Close the feedback with a twist: q → d.n, q̄ → d.p.
+        self.netlist_mut()
+            .resistor(&format!("{inst}.RF1"), q.p, d.n, 1.0)?;
+        self.netlist_mut()
+            .resistor(&format!("{inst}.RF2"), q.n, d.p, 1.0)?;
+        Ok(ClockDivider { q })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::CmlProcess;
+    use spicier::analysis::dc::{operating_point, DcOptions};
+
+    #[test]
+    fn full_adder_truth_table() {
+        for combo in 0..8u8 {
+            let (a, b, cin) = (combo & 1 != 0, combo & 2 != 0, combo & 4 != 0);
+            let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+            let ia = bld.diff("a");
+            let ib = bld.diff("b");
+            let ic = bld.diff("cin");
+            bld.drive_static("a", ia, a).unwrap();
+            bld.drive_static("b", ib, b).unwrap();
+            bld.drive_static("cin", ic, cin).unwrap();
+            let fa = bld.full_adder("FA", ia, ib, ic).unwrap();
+            let circuit = bld.finish().compile().unwrap();
+            let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+            let read = |pair: DiffPair| -> bool {
+                let diff = op.voltage(pair.p) - op.voltage(pair.n);
+                assert!(diff.abs() > 0.1, "weak output {diff} for combo {combo}");
+                diff > 0.0
+            };
+            let total = a as u8 + b as u8 + cin as u8;
+            assert_eq!(read(fa.sum), total & 1 == 1, "sum({a},{b},{cin})");
+            assert_eq!(read(fa.carry), total >= 2, "carry({a},{b},{cin})");
+        }
+    }
+
+    #[test]
+    fn clock_divider_halves_the_clock() {
+        use spicier::analysis::tran::{transient, TranOptions};
+        use waveform::{Edge, Waveform};
+        let freq = 1.0e9;
+        let p = CmlProcess::paper();
+        let mut bld = CmlCircuitBuilder::new(p.clone());
+        let clk = bld.diff("clk");
+        bld.drive_differential("clk", clk, freq).unwrap();
+        let div = bld.clock_divider("DIV", clk).unwrap();
+        let circuit = bld.finish().compile().unwrap();
+        let opts = TranOptions::new(10.0e-9)
+            .with_probes(vec![div.q.p])
+            .with_initial_voltage(div.q.p, p.vhigh());
+        let res = transient(&circuit, &opts).unwrap();
+        let w = Waveform::from_slices(res.time(), res.trace(div.q.p).unwrap()).unwrap();
+        // After settling, q toggles at freq/2: rising edges every 2 ns.
+        let crossings: Vec<f64> = w
+            .crossings(p.vcross(), Edge::Rising)
+            .into_iter()
+            .filter(|&t| t > 4.0e-9)
+            .collect();
+        assert!(crossings.len() >= 2, "divider output static: {crossings:?}");
+        let period = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
+        let f_out = 1.0 / period;
+        assert!(
+            (f_out - freq / 2.0).abs() < 0.1 * freq / 2.0,
+            "divided output at {:.2} MHz, expected {:.0} MHz",
+            f_out / 1e6,
+            freq / 2.0 / 1e6
+        );
+    }
+
+    #[test]
+    fn full_adder_exposes_monitored_pairs() {
+        let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+        let ia = bld.diff("a");
+        let ib = bld.diff("b");
+        let ic = bld.diff("cin");
+        bld.drive_static("a", ia, true).unwrap();
+        bld.drive_static("b", ib, false).unwrap();
+        bld.drive_static("cin", ic, true).unwrap();
+        let fa = bld.full_adder("FA", ia, ib, ic).unwrap();
+        assert_eq!(fa.monitored_pairs().len(), 5);
+        // Every gate's Q3 exists for fault injection.
+        let nl = bld.finish();
+        for g in &fa.gates {
+            assert!(nl.element(&g.q3()).is_ok(), "{}", g.q3());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Bridging simulator results to waveform measurements.
+
+use spicier::analysis::tran::TranResult;
+use spicier::NodeId;
+use waveform::{Waveform, WaveformError};
+
+/// Extracts the recorded trace of `node` as a [`Waveform`].
+///
+/// # Errors
+///
+/// Returns [`WaveformError::Empty`] when the node was not probed.
+pub fn waveform_of(result: &TranResult, node: NodeId) -> Result<Waveform, WaveformError> {
+    match result.trace(node) {
+        Some(values) => Waveform::from_slices(result.time(), values),
+        None => Err(WaveformError::Empty),
+    }
+}
+
+/// Extracts both nets of a differential pair.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::Empty`] when either node was not probed.
+pub fn waveforms_of_pair(
+    result: &TranResult,
+    pair: crate::builder::DiffPair,
+) -> Result<(Waveform, Waveform), WaveformError> {
+    Ok((waveform_of(result, pair.p)?, waveform_of(result, pair.n)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CmlCircuitBuilder;
+    use crate::process::CmlProcess;
+    use spicier::analysis::tran::{transient, TranOptions};
+
+    #[test]
+    fn waveform_round_trip() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_differential("a", input, 1.0e9).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let res = transient(&circuit, &TranOptions::new(2.0e-9)).unwrap();
+        let w = waveform_of(&res, input.p).unwrap();
+        assert_eq!(w.len(), res.time().len());
+        // The source toggles between the process levels.
+        let p = CmlProcess::paper();
+        assert!((w.max_in(0.0, 2.0e-9) - p.vhigh()).abs() < 1e-6);
+        assert!((w.min_in(0.0, 2.0e-9) - p.vlow()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_regeneration_squares_a_sine() {
+        // Drive the chain with a *sine* at the logic levels: each limiter
+        // stage squares it up further (the same regeneration that heals
+        // faulty levels in the paper's Figure 4), so harmonic distortion
+        // grows stage by stage.
+        use spicier::netlist::{Netlist, SourceWave};
+        use waveform::Spectrum;
+        let freq = 200.0e6;
+        let p = CmlProcess::paper();
+        let mut b = CmlCircuitBuilder::new(p.clone());
+        let input = b.diff("a");
+        let mid = p.vcross();
+        let amp = p.swing / 2.0;
+        b.netlist_mut()
+            .vsource(
+                "VAP",
+                input.p,
+                Netlist::GROUND,
+                SourceWave::Sin {
+                    offset: mid,
+                    amplitude: amp,
+                    freq,
+                    delay: 0.0,
+                },
+            )
+            .unwrap();
+        b.netlist_mut()
+            .vsource(
+                "VAN",
+                input.n,
+                Netlist::GROUND,
+                SourceWave::Sin {
+                    offset: mid,
+                    amplitude: -amp,
+                    freq,
+                    delay: 0.0,
+                },
+            )
+            .unwrap();
+        let chain = b.buffer_chain(&["S0", "S1", "S2"], input).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let periods = 6.0;
+        let res = transient(
+            &circuit,
+            &TranOptions::new(periods / freq).with_dv_max(0.03),
+        )
+        .unwrap();
+        // THD over the last 4 periods at the input and each stage.
+        let (t0, t1) = (2.0 / freq, periods / freq);
+        let thd_of = |node| {
+            let w = waveform_of(&res, node).unwrap();
+            Spectrum::of(&w, t0, t1, 1024).unwrap().thd(freq)
+        };
+        let thd_in = thd_of(input.p);
+        let thd_s0 = thd_of(chain.cells[0].output.p);
+        let thd_s2 = thd_of(chain.cells[2].output.p);
+        assert!(thd_in < 0.02, "source THD {thd_in}");
+        assert!(
+            thd_s0 > thd_in + 0.02,
+            "first stage should distort: {thd_s0} vs {thd_in}"
+        );
+        assert!(
+            thd_s2 > thd_s0,
+            "regeneration should square further: {thd_s2} vs {thd_s0}"
+        );
+        // By stage 3 the output approaches a square wave (THD → ~0.4+).
+        assert!(thd_s2 > 0.2, "stage-3 THD {thd_s2}");
+    }
+
+    #[test]
+    fn missing_probe_is_an_error() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_differential("a", input, 1.0e9).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let opts = TranOptions::new(1.0e-9).with_probes(vec![input.p]);
+        let res = transient(&circuit, &opts).unwrap();
+        assert!(waveform_of(&res, input.n).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Ring oscillator — the classic self-timed gate-delay monitor.
+//!
+//! A loop of buffers with one differential twist (inversion is free in
+//! CML) oscillates at `f = 1 / (2·N·t_pd)`, giving an independent
+//! measurement of the stage delay that the delay experiments (paper
+//! Tables 1–2) can be cross-checked against.
+
+use crate::builder::{BufferCell, CmlCircuitBuilder, DiffPair};
+use spicier::Error;
+
+/// Resistance of the jumpers closing the ring (negligible against the
+/// gate input impedance).
+const JUMPER_OHMS: f64 = 1.0;
+
+/// A closed ring of buffers.
+#[derive(Debug, Clone)]
+pub struct RingOscillator {
+    /// The cells, in loop order.
+    pub cells: Vec<BufferCell>,
+    /// A probe point (output of the last stage).
+    pub probe: DiffPair,
+}
+
+impl RingOscillator {
+    /// Expected oscillation frequency for a given per-stage delay.
+    pub fn expected_frequency(&self, stage_delay: f64) -> f64 {
+        1.0 / (2.0 * self.cells.len() as f64 * stage_delay)
+    }
+}
+
+impl CmlCircuitBuilder {
+    /// Builds an `n`-stage ring oscillator (`n ≥ 3`). The loop is closed
+    /// with low-resistance jumpers and one differential twist, so the ring
+    /// has net inversion and oscillates.
+    ///
+    /// Start a transient with an asymmetric initial condition (e.g.
+    /// [`spicier::analysis::tran::TranOptions::with_initial_voltage`] on
+    /// `probe.p`) to kick it out of the metastable symmetric state.
+    ///
+    /// # Errors
+    ///
+    /// Fails for `n < 3` or on duplicate instance names.
+    pub fn ring_oscillator(&mut self, inst: &str, n: usize) -> Result<RingOscillator, Error> {
+        if n < 3 {
+            return Err(Error::InvalidOptions(
+                "a ring oscillator needs at least 3 stages".to_string(),
+            ));
+        }
+        let ring_in = self.diff(&format!("{inst}.in"));
+        let names: Vec<String> = (0..n).map(|k| format!("{inst}.S{k}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let chain = self.buffer_chain(&name_refs, ring_in)?;
+        let last = chain.last_output();
+        // Close the loop with a twist: last.p → in.n, last.n → in.p.
+        self.netlist_mut()
+            .resistor(&format!("{inst}.RJ1"), last.p, ring_in.n, JUMPER_OHMS)?;
+        self.netlist_mut()
+            .resistor(&format!("{inst}.RJ2"), last.n, ring_in.p, JUMPER_OHMS)?;
+        Ok(RingOscillator {
+            cells: chain.cells,
+            probe: last,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::CmlProcess;
+    use spicier::analysis::tran::{transient, TranOptions};
+    use waveform::{Edge, Waveform};
+
+    #[test]
+    fn rejects_too_short_rings() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        assert!(b.ring_oscillator("R", 2).is_err());
+    }
+
+    #[test]
+    fn five_stage_ring_oscillates_at_the_gate_delay() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let ring = b.ring_oscillator("RING", 5).unwrap();
+        let circuit = b.finish().compile().unwrap();
+        let p = CmlProcess::paper();
+        // Kick one node off the metastable point and probe two nodes.
+        let opts = TranOptions::new(6.0e-9)
+            .with_probes(vec![ring.probe.p, ring.probe.n])
+            .with_initial_voltage(ring.probe.p, p.vhigh())
+            .with_initial_voltage(ring.probe.n, p.vlow());
+        let res = transient(&circuit, &opts).unwrap();
+        let w = Waveform::from_slices(res.time(), res.trace(ring.probe.p).unwrap()).unwrap();
+        // Discard startup; measure the period from rising crossings.
+        let crossings: Vec<f64> = w
+            .crossings(p.vcross(), Edge::Rising)
+            .into_iter()
+            .filter(|&t| t > 2.0e-9)
+            .collect();
+        assert!(
+            crossings.len() >= 3,
+            "ring did not oscillate: {} crossings",
+            crossings.len()
+        );
+        let period = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
+        let f_meas = 1.0 / period;
+        // Consistent with the ~70 ps stage delay measured in Table 2.
+        let f_low = ring.expected_frequency(100.0e-12);
+        let f_high = ring.expected_frequency(40.0e-12);
+        assert!(
+            (f_low..f_high).contains(&f_meas),
+            "ring frequency {:.2} GHz outside [{:.2}, {:.2}] GHz",
+            f_meas / 1e9,
+            f_low / 1e9,
+            f_high / 1e9
+        );
+        // Full-swing oscillation.
+        let hi = w.max_in(2.0e-9, 6.0e-9);
+        let lo = w.min_in(2.0e-9, 6.0e-9);
+        assert!(hi - lo > 0.15, "swing {:.3}", hi - lo);
+    }
+
+    #[test]
+    fn ring_frequency_scales_with_length() {
+        let measure = |n: usize| -> f64 {
+            let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+            let ring = b.ring_oscillator("RING", n).unwrap();
+            let circuit = b.finish().compile().unwrap();
+            let p = CmlProcess::paper();
+            let opts = TranOptions::new(8.0e-9)
+                .with_probes(vec![ring.probe.p])
+                .with_initial_voltage(ring.probe.p, p.vhigh());
+            let res = transient(&circuit, &opts).unwrap();
+            let w =
+                Waveform::from_slices(res.time(), res.trace(ring.probe.p).unwrap()).unwrap();
+            let crossings: Vec<f64> = w
+                .crossings(p.vcross(), Edge::Rising)
+                .into_iter()
+                .filter(|&t| t > 3.0e-9)
+                .collect();
+            let period = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
+            1.0 / period
+        };
+        let f5 = measure(5);
+        let f9 = measure(9);
+        let ratio = f5 / f9;
+        assert!(
+            (1.4..2.3).contains(&ratio),
+            "f5/f9 = {ratio:.2}, expected ≈ 9/5"
+        );
+    }
+}

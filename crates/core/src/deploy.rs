@@ -1,0 +1,72 @@
+//! Deploying detectors across a design ("implementing built-in detectors
+//! at the output of each buffer gate ... the testing is performed on all
+//! gate outputs", §7).
+
+use crate::detector::{DetectorHandle, DetectorLoad, Variant2};
+use cml_cells::{BufferChain, CmlCircuitBuilder};
+use spicier::Error;
+
+/// Per-gate instrumentation of a buffer chain: one variant-2 detector on
+/// every stage's output pair, each with its own readout node, sharing one
+/// test rail.
+#[derive(Debug, Clone)]
+pub struct InstrumentedChain {
+    /// Detector handles, in stage order (index matches the chain's cells).
+    pub detectors: Vec<DetectorHandle>,
+}
+
+impl InstrumentedChain {
+    /// Given settled detector readings (volts, in stage order) and their
+    /// fault-free baselines, returns the stages flagged as faulty (reading
+    /// at least `min_drop` below baseline).
+    pub fn flagged_stages(
+        &self,
+        readings: &[f64],
+        baselines: &[f64],
+        min_drop: f64,
+    ) -> Vec<usize> {
+        readings
+            .iter()
+            .zip(baselines)
+            .enumerate()
+            .filter(|(_, (r, b))| *b - *r >= min_drop)
+            .map(|(k, _)| k)
+            .collect()
+    }
+}
+
+/// Attaches one variant-2 detector (shared `vtest` value, dedicated loads)
+/// to every stage of `chain`.
+///
+/// # Errors
+///
+/// Fails on duplicate instance names.
+pub fn instrument_chain(
+    b: &mut CmlCircuitBuilder,
+    chain: &BufferChain,
+    load: DetectorLoad,
+    vtest: f64,
+) -> Result<InstrumentedChain, Error> {
+    let mut detectors = Vec::with_capacity(chain.len());
+    for (k, cell) in chain.cells.iter().enumerate() {
+        let det = Variant2::new(load, vtest).attach(b, &format!("DET{k}"), cell.output)?;
+        detectors.push(det);
+    }
+    Ok(InstrumentedChain { detectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagging_logic() {
+        let chain = InstrumentedChain {
+            detectors: Vec::new(),
+        };
+        let flagged = chain.flagged_stages(&[3.0, 2.7, 3.0], &[3.0, 3.0, 3.0], 0.15);
+        assert_eq!(flagged, vec![1]);
+        let none = chain.flagged_stages(&[3.0, 2.95], &[3.0, 3.0], 0.15);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Built-in voltage-excursion detectors for CML circuits — the primary
+//! contribution of *"Design For Testability Method for CML Digital
+//! Circuits"* (B. Antaki, Y. Savaria, S. M. I. Adham, N. Xiong, DATE
+//! 1999).
+//!
+//! CML defects such as a collector–emitter pipe on a gate's current-source
+//! transistor do **not** map to stuck-at faults: they enlarge the output
+//! voltage swing, and the degraded signal *heals* within a few downstream
+//! stages, escaping both logic and delay test. The paper's fix is a small
+//! built-in detector on every gate output pair that converts an abnormal
+//! excursion into a quasi-DC flag. This crate implements all three
+//! detector variants plus the deployment machinery:
+//!
+//! * [`Variant1`] — single-sided detector with a diode(-or-resistor)–
+//!   capacitor load; detects excursions ≳ 0.57 V (§6.1);
+//! * [`Variant2`] — double-sided detector with a raised test-mode base
+//!   bias `vtest`; detects excursions down to ≈ 0.35 V (§6.2);
+//! * [`Variant3`] — adds the `vtest`-supplied load cell with a 40 kΩ bleed
+//!   resistor, a positive-feedback comparator and a level shifter (§6.3);
+//! * [`SharedDetector`] — one load cell + comparator shared by up to ~45
+//!   gates (§6.4);
+//! * [`MultiEmitterStyle`] — the multiple-emitter area optimization
+//!   (§6.5);
+//! * [`overhead`] — area accounting against prior art;
+//! * [`robustness`] — §6.3's speed/power tuning study plus Monte-Carlo
+//!   process-variation yield of a fixed detector design;
+//! * [`testgen`] — the §6.6 testing approach: toggle testing with random
+//!   patterns, including the initialization-convergence check;
+//! * [`threshold`] — detectability analysis (which pipe values, hence
+//!   which amplitudes, each variant flags);
+//! * [`decision`] — hysteresis characterization and pass/fail
+//!   classification (Figure 12's 3.54 V / 3.57 V thresholds).
+//!
+//! # Quick start
+//!
+//! Attach a variant-2 detector to a buffer and check that a planted 2 kΩ
+//! pipe pulls the detector output away from the rail:
+//!
+//! ```
+//! use cml_cells::{CmlCircuitBuilder, CmlProcess};
+//! use cml_dft::{DetectorLoad, Variant2};
+//! use faults::Defect;
+//! use spicier::analysis::tran::{transient, TranOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+//! let input = b.diff("a");
+//! b.drive_differential("a", input, 100.0e6)?;
+//! let cell = b.buffer("DUT", input)?;
+//! let det = Variant2::new(DetectorLoad::diode_cap(1.0e-12), 3.7)
+//!     .attach(&mut b, "DET", cell.output)?;
+//! let mut nl = b.finish();
+//! Defect::pipe("DUT.Q3", 2.0e3).inject(&mut nl)?;
+//! let circuit = nl.compile()?;
+//! let res = transient(&circuit, &TranOptions::new(40.0e-9))?;
+//! let vout = res.trace(det.vout).unwrap();
+//! // The detector output has been dragged well below the 3.3 V rail.
+//! assert!(*vout.last().unwrap() < 3.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decision;
+pub mod deploy;
+mod detector;
+pub mod overhead;
+pub mod robustness;
+pub mod sharing;
+pub mod testgen;
+pub mod threshold;
+
+pub use decision::{DetectorVerdict, HysteresisBand};
+pub use detector::{
+    DetectorHandle, DetectorLoad, MultiEmitterStyle, Variant1, Variant2, Variant3, Variant3Handle,
+};
+pub use deploy::{instrument_chain, InstrumentedChain};
+pub use sharing::SharedDetector;

@@ -1,0 +1,237 @@
+//! Area-overhead accounting (§1, §6.4, §6.5).
+//!
+//! The paper motivates its detectors as "little overhead" against prior
+//! art — Menon's like-fault technique spends "one test gate for every
+//! circuit gate". This module counts devices for each scheme, including
+//! the load-sharing amortization (one load cell + comparator per up to 45
+//! gates) and the multiple-emitter merge.
+
+use crate::detector::{DetectorLoad, MultiEmitterStyle};
+use spicier::netlist::{Element, Netlist};
+
+/// Device counts under a name prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceCounts {
+    /// Bipolar transistors.
+    pub transistors: usize,
+    /// Resistors.
+    pub resistors: usize,
+    /// Capacitors.
+    pub capacitors: usize,
+}
+
+impl DeviceCounts {
+    /// Total devices.
+    pub fn total(&self) -> usize {
+        self.transistors + self.resistors + self.capacitors
+    }
+}
+
+/// Counts the devices of every element whose name starts with `prefix`.
+pub fn count_devices(netlist: &Netlist, prefix: &str) -> DeviceCounts {
+    let mut counts = DeviceCounts::default();
+    for (name, element) in netlist.elements() {
+        if !name.starts_with(prefix) {
+            continue;
+        }
+        match element {
+            Element::Bjt { .. } | Element::Diode { .. } => counts.transistors += 1,
+            Element::Resistor { .. } => counts.resistors += 1,
+            Element::Capacitor { .. } => counts.capacitors += 1,
+            _ => {}
+        }
+    }
+    counts
+}
+
+/// A DFT scheme whose area we account.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DftScheme {
+    /// Menon's like-fault technique \[4\]: one XOR test gate per circuit
+    /// gate (a two-level CML XOR: 7 transistors + 2 loads + a level-shift
+    /// pair).
+    MenonXorPerGate,
+    /// §6.1 single-sided detector, one per gate, dedicated load.
+    Variant1 {
+        /// Load network.
+        load: DetectorLoad,
+    },
+    /// §6.2 double-sided detector, one per gate, dedicated load.
+    Variant2 {
+        /// Load network.
+        load: DetectorLoad,
+        /// Device style.
+        style: MultiEmitterStyle,
+    },
+    /// §6.3/§6.4 production detector: per-gate pair plus ONE load cell +
+    /// comparator + level shifter shared by `shared_gates` gates.
+    Variant3 {
+        /// Device style of the per-gate pairs.
+        style: MultiEmitterStyle,
+        /// Gates sharing the load cell and comparator (≤ 45 per §6.4).
+        shared_gates: usize,
+    },
+}
+
+/// Amortized per-monitored-gate overhead of a scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Extra transistors per monitored gate (amortized).
+    pub transistors_per_gate: f64,
+    /// Extra resistors per gate (amortized).
+    pub resistors_per_gate: f64,
+    /// Extra capacitors per gate (amortized).
+    pub capacitors_per_gate: f64,
+    /// Overhead relative to a plain CML buffer (3 transistors + 2 load
+    /// resistors), transistor count basis.
+    pub relative_to_buffer: f64,
+}
+
+/// Transistors in the reference CML buffer (Q1, Q2, Q3).
+pub const BUFFER_TRANSISTORS: usize = 3;
+
+/// Computes the amortized overhead of `scheme`.
+///
+/// # Panics
+///
+/// Panics if a `Variant3` scheme declares `shared_gates == 0`.
+pub fn overhead(scheme: &DftScheme) -> OverheadReport {
+    let (t, r, c) = match *scheme {
+        DftScheme::MenonXorPerGate => {
+            // XOR tree (6) + tail (1) + level-shift pair (2) = 9
+            // transistors; 2 gate loads + 2 shifter pull-downs = 4 R.
+            (9.0, 4.0, 0.0)
+        }
+        DftScheme::Variant1 { load } => {
+            let load_t = load.transistor_count() as f64;
+            let load_r = if load_t == 0.0 { 1.0 } else { 0.0 };
+            (1.0 + load_t, load_r, 1.0)
+        }
+        DftScheme::Variant2 { load, style } => {
+            let load_t = load.transistor_count() as f64;
+            let load_r = if load_t == 0.0 { 1.0 } else { 0.0 };
+            (style.transistor_count() as f64 + load_t, load_r, 1.0)
+        }
+        DftScheme::Variant3 {
+            style,
+            shared_gates,
+        } => {
+            assert!(shared_gates > 0, "shared_gates must be positive");
+            let n = shared_gates as f64;
+            // Shared: load diode Q0 + comparator (QC1, QC2, QC3) + level
+            // shifter (QLS) = 5 transistors; R0 + RC1 + RC2 + RLS = 4 R;
+            // C0 = 1 C.
+            let shared_t = 5.0 / n;
+            let shared_r = 4.0 / n;
+            let shared_c = 1.0 / n;
+            (
+                style.transistor_count() as f64 + shared_t,
+                shared_r,
+                shared_c,
+            )
+        }
+    };
+    OverheadReport {
+        transistors_per_gate: t,
+        resistors_per_gate: r,
+        capacitors_per_gate: c,
+        relative_to_buffer: t / BUFFER_TRANSISTORS as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_cells::{CmlCircuitBuilder, CmlProcess};
+
+    #[test]
+    fn menon_costs_more_than_every_variant() {
+        let menon = overhead(&DftScheme::MenonXorPerGate);
+        for scheme in [
+            DftScheme::Variant1 {
+                load: DetectorLoad::diode_cap(1e-12),
+            },
+            DftScheme::Variant2 {
+                load: DetectorLoad::diode_cap(1e-12),
+                style: MultiEmitterStyle::TwoTransistors,
+            },
+            DftScheme::Variant3 {
+                style: MultiEmitterStyle::MergedEmitters,
+                shared_gates: 45,
+            },
+        ] {
+            let ours = overhead(&scheme);
+            assert!(
+                ours.transistors_per_gate < menon.transistors_per_gate / 2.0,
+                "{scheme:?}: {} vs Menon {}",
+                ours.transistors_per_gate,
+                menon.transistors_per_gate
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_amortizes() {
+        let alone = overhead(&DftScheme::Variant3 {
+            style: MultiEmitterStyle::TwoTransistors,
+            shared_gates: 1,
+        });
+        let shared = overhead(&DftScheme::Variant3 {
+            style: MultiEmitterStyle::TwoTransistors,
+            shared_gates: 45,
+        });
+        assert!(shared.transistors_per_gate < alone.transistors_per_gate);
+        // At N = 45 the shared hardware is nearly free: the per-gate cost
+        // approaches the bare detector pair.
+        assert!(shared.transistors_per_gate < 2.2);
+        assert!(alone.transistors_per_gate >= 7.0 - 1e-9);
+    }
+
+    #[test]
+    fn multi_emitter_saves_one_transistor_per_gate() {
+        let two = overhead(&DftScheme::Variant3 {
+            style: MultiEmitterStyle::TwoTransistors,
+            shared_gates: 45,
+        });
+        let merged = overhead(&DftScheme::Variant3 {
+            style: MultiEmitterStyle::MergedEmitters,
+            shared_gates: 45,
+        });
+        assert!((two.transistors_per_gate - merged.transistors_per_gate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn netlist_counting_matches_analytic_variant2() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_static("a", input, true).unwrap();
+        let cell = b.buffer("X1", input).unwrap();
+        crate::detector::Variant2::new(DetectorLoad::diode_cap(1e-12), 3.7)
+            .attach(&mut b, "DET", cell.output)
+            .unwrap();
+        let nl = b.finish();
+        let det = count_devices(&nl, "DET.");
+        // Q4 + Q5 + load diode Q5... the load transistor is `DET.Q5` and
+        // the pair is Q4/Q5 — naming gives Q4, Q5 (pair) + Q5 (load)?
+        // The load element is DET.Q5 only for variant 1; variant 2's load
+        // uses the same suffix — count totals instead of names.
+        let analytic = overhead(&DftScheme::Variant2 {
+            load: DetectorLoad::diode_cap(1e-12),
+            style: MultiEmitterStyle::TwoTransistors,
+        });
+        assert_eq!(det.transistors as f64, analytic.transistors_per_gate);
+        assert_eq!(det.capacitors as f64, analytic.capacitors_per_gate);
+    }
+
+    #[test]
+    fn buffer_reference_count() {
+        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+        let input = b.diff("a");
+        b.drive_static("a", input, true).unwrap();
+        b.buffer("X1", input).unwrap();
+        let nl = b.finish();
+        let counts = count_devices(&nl, "X1.");
+        assert_eq!(counts.transistors, BUFFER_TRANSISTORS);
+        assert_eq!(counts.resistors, 2);
+    }
+}

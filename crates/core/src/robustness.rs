@@ -1,0 +1,290 @@
+//! Robustness of the DFT scheme across process variation and cell
+//! speed/power settings.
+//!
+//! §6.3 cautions that "the ideal load circuit parameters may need to be
+//! adjusted as a function of the cells speed/power combination which is
+//! determined by the gate current source". This module quantifies that:
+//!
+//! * [`speed_power_study`] sweeps the gate tail current (the paper's
+//!   speed/power knob) and reports the detector's clean/faulty margins;
+//! * [`monte_carlo_study`] perturbs process parameters (±σ on resistors,
+//!   capacitors, saturation current) and reports how often a fixed
+//!   detector design still classifies a healthy gate as healthy and a
+//!   defective gate as defective.
+
+use crate::decision::characterize_hysteresis;
+use crate::detector::Variant3;
+use cml_cells::{CmlCircuitBuilder, CmlProcess};
+use faults::Defect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spicier::analysis::dc::{operating_point, DcOptions};
+use spicier::Error;
+
+/// Margins of a variant-3 detector at one operating condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorMargins {
+    /// Gate tail current, amperes.
+    pub itail: f64,
+    /// Fault-free DC `vout`, volts.
+    pub vout_clean: f64,
+    /// `vout` with a 2 kΩ pipe on the monitored gate's current source.
+    pub vout_faulty: f64,
+    /// `vout_clean − pass_above`: how much headroom a healthy gate keeps
+    /// above the guaranteed-pass threshold (negative = misclassified).
+    pub clean_headroom: f64,
+    /// `fail_below − vout_faulty`: how far the faulty reading sits below
+    /// the guaranteed-fail threshold (negative = fault escapes).
+    pub fault_margin: f64,
+}
+
+impl DetectorMargins {
+    /// Both classifications are unambiguous.
+    pub fn classifies_correctly(&self) -> bool {
+        self.clean_headroom > 0.0 && self.fault_margin > 0.0
+    }
+}
+
+fn margins_for(
+    process: &CmlProcess,
+    config: &Variant3,
+    pipe_ohms: f64,
+) -> Result<DetectorMargins, Error> {
+    let vout_at = |pipe: Option<f64>| -> Result<f64, Error> {
+        let mut b = CmlCircuitBuilder::new(process.clone());
+        let input = b.diff("a");
+        b.drive_static("a", input, true)?;
+        let cell = b.buffer("DUT", input)?;
+        let det = config.attach(&mut b, "DET", cell.output)?;
+        let mut nl = b.finish();
+        if let Some(ohms) = pipe {
+            Defect::pipe("DUT.Q3", ohms).inject(&mut nl)?;
+        }
+        let circuit = nl.compile()?;
+        let op = operating_point(&circuit, &DcOptions::default())?;
+        Ok(op.voltage(det.vout))
+    };
+    let vout_clean = vout_at(None)?;
+    let vout_faulty = vout_at(Some(pipe_ohms))?;
+    let band = characterize_hysteresis(config, process, 80)?.band;
+    Ok(DetectorMargins {
+        itail: process.itail,
+        vout_clean,
+        vout_faulty,
+        clean_headroom: vout_clean - band.pass_above,
+        fault_margin: band.fail_below - vout_faulty,
+    })
+}
+
+/// Sweeps the gate tail current (speed/power knob) with a *fixed* detector
+/// design and reports the classification margins at each setting.
+///
+/// # Errors
+///
+/// Propagates construction/convergence failures.
+pub fn speed_power_study(
+    itails: &[f64],
+    config: &Variant3,
+    pipe_ohms: f64,
+) -> Result<Vec<DetectorMargins>, Error> {
+    itails
+        .iter()
+        .map(|&itail| {
+            let process = CmlProcess::paper().with_itail(itail);
+            margins_for(&process, config, pipe_ohms)
+        })
+        .collect()
+}
+
+/// Parameters of the Monte-Carlo process perturbation (relative 1σ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Resistor value variation (affects `rload` via the swing knob).
+    pub resistor_sigma: f64,
+    /// Capacitance variation (wiring).
+    pub cap_sigma: f64,
+    /// Saturation-current variation (log-space; shifts VBE).
+    pub is_sigma: f64,
+    /// Tail-current variation.
+    pub itail_sigma: f64,
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self {
+            resistor_sigma: 0.05,
+            cap_sigma: 0.10,
+            is_sigma: 0.20,
+            itail_sigma: 0.05,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo robustness run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloReport {
+    /// Samples evaluated.
+    pub samples: usize,
+    /// Samples where both classifications were correct.
+    pub passing: usize,
+    /// Worst observed clean headroom, volts.
+    pub worst_clean_headroom: f64,
+    /// Worst observed fault margin, volts.
+    pub worst_fault_margin: f64,
+    /// Per-sample margins for further analysis.
+    pub margins: Vec<DetectorMargins>,
+}
+
+impl MonteCarloReport {
+    /// Yield of the fixed detector design over process variation.
+    pub fn yield_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            return 1.0;
+        }
+        self.passing as f64 / self.samples as f64
+    }
+}
+
+/// Uniform ±kσ perturbation helper (uniform keeps the study bounded and
+/// reproducible; the tails of a Gaussian add nothing to a shape claim).
+fn perturb(rng: &mut StdRng, nominal: f64, sigma: f64) -> f64 {
+    let k = rng.gen_range(-1.732..1.732); // uniform with unit variance·σ
+    nominal * (1.0 + sigma * k)
+}
+
+/// Draws a perturbed process.
+pub fn sample_process(rng: &mut StdRng, variation: &VariationModel) -> CmlProcess {
+    let mut p = CmlProcess::paper();
+    // Swing = itail·rload: perturb both knobs.
+    p.itail = perturb(rng, p.itail, variation.itail_sigma);
+    p.swing = perturb(rng, p.swing, variation.resistor_sigma);
+    p.cwire = perturb(rng, p.cwire, variation.cap_sigma);
+    p.r_shift = perturb(rng, p.r_shift, variation.resistor_sigma);
+    // Log-ish Is variation (shifts VBE by vt·ln(1+δ)).
+    p.npn.is = perturb(rng, p.npn.is, variation.is_sigma);
+    p
+}
+
+/// Runs the Monte-Carlo robustness study for a fixed detector design.
+///
+/// # Errors
+///
+/// Propagates construction/convergence failures (a sample that fails to
+/// converge is counted as not passing rather than aborting the study).
+pub fn monte_carlo_study(
+    samples: usize,
+    seed: u64,
+    variation: &VariationModel,
+    config: &Variant3,
+    pipe_ohms: f64,
+) -> Result<MonteCarloReport, Error> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut margins = Vec::with_capacity(samples);
+    let mut passing = 0usize;
+    let mut worst_clean = f64::INFINITY;
+    let mut worst_fault = f64::INFINITY;
+    for _ in 0..samples {
+        let process = sample_process(&mut rng, variation);
+        match margins_for(&process, config, pipe_ohms) {
+            Ok(m) => {
+                if m.classifies_correctly() {
+                    passing += 1;
+                }
+                worst_clean = worst_clean.min(m.clean_headroom);
+                worst_fault = worst_fault.min(m.fault_margin);
+                margins.push(m);
+            }
+            Err(_) => {
+                // Non-convergent corner: counted as failing.
+            }
+        }
+    }
+    Ok(MonteCarloReport {
+        samples,
+        passing,
+        worst_clean_headroom: worst_clean,
+        worst_fault_margin: worst_fault,
+        margins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_design_classifies_correctly() {
+        let m = margins_for(&CmlProcess::paper(), &Variant3::paper(), 2.0e3).unwrap();
+        assert!(
+            m.classifies_correctly(),
+            "nominal margins: clean {:.3}, fault {:.3}",
+            m.clean_headroom,
+            m.fault_margin
+        );
+    }
+
+    #[test]
+    fn speed_power_sweep_shows_the_tuning_need() {
+        // A detector designed for 0.4 mA gates: margins move as the gate
+        // current scales — the §6.3 adjustment warning.
+        let margins =
+            speed_power_study(&[0.2e-3, 0.4e-3, 0.8e-3], &Variant3::paper(), 2.0e3).unwrap();
+        assert_eq!(margins.len(), 3);
+        // Nominal works.
+        assert!(margins[1].classifies_correctly());
+        // Fault margin stays positive everywhere (the fault is gross)...
+        for m in &margins {
+            assert!(m.fault_margin > 0.0, "itail {}: {m:?}", m.itail);
+        }
+        // ...but the clean/faulty separation visibly depends on itail.
+        let sep: Vec<f64> = margins.iter().map(|m| m.vout_clean - m.vout_faulty).collect();
+        let spread = sep
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - sep.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.02, "separation spread {spread}");
+    }
+
+    #[test]
+    fn monte_carlo_yield_is_high_and_deterministic() {
+        let report = monte_carlo_study(
+            12,
+            42,
+            &VariationModel::default(),
+            &Variant3::paper(),
+            2.0e3,
+        )
+        .unwrap();
+        assert_eq!(report.samples, 12);
+        assert!(
+            report.yield_fraction() >= 0.75,
+            "yield {} (margins: {:?})",
+            report.yield_fraction(),
+            report.margins
+        );
+        // Deterministic for a fixed seed.
+        let again = monte_carlo_study(
+            12,
+            42,
+            &VariationModel::default(),
+            &Variant3::paper(),
+            2.0e3,
+        )
+        .unwrap();
+        assert_eq!(report.passing, again.passing);
+        assert_eq!(report.margins.len(), again.margins.len());
+    }
+
+    #[test]
+    fn perturbation_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let var = VariationModel::default();
+        for _ in 0..100 {
+            let p = sample_process(&mut rng, &var);
+            assert!((p.itail - 0.4e-3).abs() < 0.4e-3 * 0.05 * 1.8);
+            assert!((p.swing - 0.25).abs() < 0.25 * 0.05 * 1.8);
+            assert!(p.npn.is > 0.0);
+        }
+    }
+}

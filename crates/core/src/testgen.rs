@@ -1,0 +1,249 @@
+//! The testing approach of §6.6: toggle testing with random patterns.
+//!
+//! Pipe defects on a gate's current source disturb *both* outputs and are
+//! DC-testable, but in complex gates some defects disturb only one output;
+//! the fault must then be asserted by sensitizing a path through the
+//! faulty gate and toggling it (the detector's pull-down is much stronger
+//! than the load's pull-up, so a fault asserted half the cycles still
+//! flags). For sequential circuits the paper prescribes random patterns,
+//! relying on Soufi et al. \[13\] for initialization.
+//!
+//! This module turns a gate-level network into a DFT test report: toggle
+//! coverage achieved by an LFSR pattern source (= the amplitude-fault
+//! coverage of the detector scheme) plus the initialization-convergence
+//! check.
+
+use cml_logic::{initialization_convergence, Lfsr, LogicNetwork, Simulator, ToggleCoverage, V3};
+
+/// Plan for a random-pattern toggle test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToggleTestPlan {
+    /// Number of random patterns to apply.
+    pub patterns: usize,
+    /// LFSR seed for the pattern source.
+    pub seed: u32,
+    /// Cycle budget for the initialization-convergence check.
+    pub convergence_budget: usize,
+}
+
+impl Default for ToggleTestPlan {
+    fn default() -> Self {
+        Self {
+            patterns: 1024,
+            seed: 0xACE1,
+            convergence_budget: 256,
+        }
+    }
+}
+
+/// Result of a toggle test run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToggleTestReport {
+    /// Number of monitored nets (gate + flip-flop outputs).
+    pub monitored: usize,
+    /// Nets that toggled at least once (fault assertable → detectable).
+    pub toggled: usize,
+    /// Toggle coverage = amplitude-fault coverage of the detector DFT.
+    pub coverage: f64,
+    /// Names of nets that never toggled (their single-output amplitude
+    /// faults escape).
+    pub untoggled: Vec<String>,
+    /// Cycles until two different random power-up states converged to the
+    /// same trajectory (`None` = did not converge in budget; per \[13\] most
+    /// practical circuits converge quickly, the classic exceptions being
+    /// free-running counters and autonomous LFSRs).
+    pub convergence_cycles: Option<usize>,
+    /// Patterns applied.
+    pub patterns: usize,
+}
+
+/// Runs the §6.6 flow on `network`: LFSR random patterns, toggle
+/// accounting on every gate/flip-flop output, and the initialization-
+/// convergence check.
+pub fn toggle_test(network: &LogicNetwork, plan: &ToggleTestPlan) -> ToggleTestReport {
+    let mut sim = Simulator::new(network).expect("simulator construction");
+    let mut lfsr = Lfsr::new(plan.seed);
+    // Power-up: hardware comes up in *some* state; use LFSR bits.
+    sim.reset_state_with(|_| lfsr.next_bool().into());
+    let mut cov = ToggleCoverage::new(network);
+    for _ in 0..plan.patterns {
+        let inputs: Vec<V3> = (0..network.input_count())
+            .map(|_| lfsr.next_bool().into())
+            .collect();
+        sim.step(&inputs);
+        cov.observe(&sim);
+    }
+    let untoggled: Vec<String> = cov
+        .untoggled()
+        .into_iter()
+        .map(|s| network.signal_name(s).to_string())
+        .collect();
+    let monitored = cov.tracked_count();
+    let toggled = monitored - untoggled.len();
+
+    // Convergence check ([13]): two different random power-up states under
+    // the same pseudorandom stimulus.
+    let mut conv_lfsr = Lfsr::new(plan.seed.wrapping_mul(2654435761).max(1));
+    let mut init_lfsr = Lfsr::new(plan.seed.rotate_left(7).max(1));
+    let n_ff = network.dff_count().max(1);
+    let initial_a: Vec<bool> = init_lfsr.next_bits(n_ff);
+    let initial_b: Vec<bool> = init_lfsr.next_bits(n_ff);
+    let convergence_cycles = initialization_convergence(
+        network,
+        move |_, _| conv_lfsr.next_bool(),
+        move |k| initial_a[k % initial_a.len()],
+        move |k| !initial_b[k % initial_b.len()],
+        plan.convergence_budget,
+    );
+
+    ToggleTestReport {
+        monitored,
+        toggled,
+        coverage: cov.coverage(),
+        untoggled,
+        convergence_cycles,
+        patterns: plan.patterns,
+    }
+}
+
+/// Coverage as a function of pattern count: runs [`toggle_test`] at each
+/// budget in `budgets` (fresh simulator each time, same seed) — the
+/// classic coverage-vs-patterns curve.
+pub fn coverage_curve(
+    network: &LogicNetwork,
+    budgets: &[usize],
+    seed: u32,
+) -> Vec<(usize, f64)> {
+    budgets
+        .iter()
+        .map(|&patterns| {
+            let report = toggle_test(
+                network,
+                &ToggleTestPlan {
+                    patterns,
+                    seed,
+                    convergence_budget: 0,
+                },
+            );
+            (patterns, report.coverage)
+        })
+        .collect()
+}
+
+/// Test-application-time model for the §6.6 flow: initialize, stream
+/// random patterns at the functional clock while the detectors integrate,
+/// let the flags settle, then read one flag per shared-detector group at
+/// tester speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestTimeModel {
+    /// Functional clock during pattern application, hertz.
+    pub clock_hz: f64,
+    /// Detector settling time (`tstability` of the chosen variant/load),
+    /// seconds.
+    pub detector_settle: f64,
+    /// Tester time to sample one flag, seconds.
+    pub readout_per_group: f64,
+    /// Number of shared-detector groups (⌈gates / sharing N⌉).
+    pub groups: usize,
+}
+
+impl TestTimeModel {
+    /// A 100 MHz test session with variant-2 detectors (1 pF loads) and a
+    /// 1 µs-per-flag tester readout.
+    pub fn default_session(groups: usize) -> Self {
+        Self {
+            clock_hz: 100.0e6,
+            detector_settle: 25.0e-9,
+            readout_per_group: 1.0e-6,
+            groups,
+        }
+    }
+}
+
+/// Estimated total test time for a toggle-test session, seconds:
+/// `(init + patterns)·T_clock + settle + groups·readout`.
+pub fn estimate_test_time(report: &ToggleTestReport, model: &TestTimeModel) -> f64 {
+    let init = report.convergence_cycles.unwrap_or(0) as f64;
+    let cycles = init + report.patterns as f64;
+    cycles / model.clock_hz
+        + model.detector_settle
+        + model.groups as f64 * model.readout_per_group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_logic::circuits;
+
+    #[test]
+    fn alu_slice_reaches_full_toggle_coverage() {
+        let n = circuits::alu_slice();
+        let report = toggle_test(&n, &ToggleTestPlan::default());
+        assert_eq!(report.coverage, 1.0, "untoggled: {:?}", report.untoggled);
+        assert_eq!(report.toggled, report.monitored);
+    }
+
+    #[test]
+    fn shift_register_converges() {
+        let n = circuits::shift_register(8);
+        let report = toggle_test(&n, &ToggleTestPlan::default());
+        assert!(report.coverage > 0.99);
+        let cycles = report.convergence_cycles.expect("converges");
+        assert!(cycles <= 16, "converged in {cycles}");
+    }
+
+    #[test]
+    fn counter_covers_with_enough_patterns() {
+        let n = circuits::counter(4);
+        let report = toggle_test(&n, &ToggleTestPlan::default());
+        assert!(
+            report.coverage > 0.9,
+            "coverage {} untoggled {:?}",
+            report.coverage,
+            report.untoggled
+        );
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone() {
+        let n = circuits::alu_slice();
+        let curve = coverage_curve(&n, &[1, 4, 16, 64, 256], 0xACE1);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "curve dipped: {curve:?}");
+        }
+        assert!(curve.last().unwrap().1 > 0.99);
+    }
+
+    #[test]
+    fn test_time_estimate_adds_up() {
+        let n = circuits::shift_register(8);
+        let report = toggle_test(&n, &ToggleTestPlan::default());
+        let model = TestTimeModel::default_session(2);
+        let t = estimate_test_time(&report, &model);
+        // 1024 patterns (+ small init) at 100 MHz ≈ 10.3 µs, plus settle
+        // and two 1 µs readouts.
+        assert!(
+            (12.0e-6..14.0e-6).contains(&t),
+            "estimated test time {:.2} µs",
+            t * 1e6
+        );
+        // Pattern count dominates; readout scales with groups.
+        let big = TestTimeModel::default_session(100);
+        assert!(estimate_test_time(&report, &big) > t + 90.0e-6);
+    }
+
+    #[test]
+    fn report_names_untoggled_nets() {
+        // A constant-0 gate never toggles and must be named.
+        use cml_logic::{GateKind, NetworkBuilder};
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        let na = b.gate(GateKind::Not, &[a], "na").unwrap();
+        let dead = b.gate(GateKind::And, &[a, na], "dead").unwrap();
+        b.output("dead", dead);
+        let n = b.build().unwrap();
+        let report = toggle_test(&n, &ToggleTestPlan::default());
+        assert!(report.untoggled.contains(&"dead".to_string()));
+        assert!(report.coverage < 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! The [`Defect`] enum and its netlist-editing injection.
+
+use spicier::netlist::{Netlist, Terminal};
+use spicier::Error;
+
+/// Resistance used to model hard shorts and bridges (§3: "a resistor of
+/// small value (~1 Ω) can be used to model shorts and bridges").
+pub const SHORT_OHMS: f64 = 1.0;
+
+/// Resistance used to model opens (§3: "split a node and add a 100 MΩ
+/// resistor in parallel to a 1 fF capacitor").
+pub const OPEN_OHMS: f64 = 100.0e6;
+
+/// Capacitance across an open.
+pub const OPEN_CAP_FARADS: f64 = 1.0e-15;
+
+/// A manufacturing defect expressed as a circuit edit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Defect {
+    /// Collector–emitter pipe on a transistor: a few-kΩ resistive path
+    /// caused by a dislocation through the base (§3).
+    Pipe {
+        /// Transistor element name.
+        element: String,
+        /// Pipe resistance, ohms.
+        ohms: f64,
+    },
+    /// Hard short between two terminals of one element (e.g. the C–E short
+    /// of Figure 2 that maps to stuck-at-0).
+    TerminalShort {
+        /// Element name.
+        element: String,
+        /// First terminal.
+        a: Terminal,
+        /// Second terminal.
+        b: Terminal,
+    },
+    /// Resistive bridge between two named nets.
+    Bridge {
+        /// First net name.
+        node_a: String,
+        /// Second net name.
+        node_b: String,
+        /// Bridge resistance, ohms.
+        ohms: f64,
+    },
+    /// Open at one terminal of an element: the terminal is severed from
+    /// its net and reconnected through `OPEN_OHMS ∥ OPEN_CAP_FARADS`.
+    TerminalOpen {
+        /// Element name.
+        element: String,
+        /// Terminal to sever.
+        terminal: Terminal,
+    },
+    /// A resistor strip fused to a short.
+    ResistorShort {
+        /// Resistor element name.
+        element: String,
+    },
+    /// A resistor strip severed open.
+    ResistorOpen {
+        /// Resistor element name.
+        element: String,
+    },
+}
+
+impl Defect {
+    /// A collector–emitter pipe of `ohms` on transistor `element`.
+    pub fn pipe(element: &str, ohms: f64) -> Self {
+        Defect::Pipe {
+            element: element.to_string(),
+            ohms,
+        }
+    }
+
+    /// A hard short between terminals `a` and `b` of `element`.
+    pub fn terminal_short(element: &str, a: Terminal, b: Terminal) -> Self {
+        Defect::TerminalShort {
+            element: element.to_string(),
+            a,
+            b,
+        }
+    }
+
+    /// A bridge of `ohms` between two named nets.
+    pub fn bridge(node_a: &str, node_b: &str, ohms: f64) -> Self {
+        Defect::Bridge {
+            node_a: node_a.to_string(),
+            node_b: node_b.to_string(),
+            ohms,
+        }
+    }
+
+    /// An open at `terminal` of `element`.
+    pub fn terminal_open(element: &str, terminal: Terminal) -> Self {
+        Defect::TerminalOpen {
+            element: element.to_string(),
+            terminal,
+        }
+    }
+
+    /// A resistor fused to `SHORT_OHMS`.
+    pub fn resistor_short(element: &str) -> Self {
+        Defect::ResistorShort {
+            element: element.to_string(),
+        }
+    }
+
+    /// A resistor severed to `OPEN_OHMS`.
+    pub fn resistor_open(element: &str) -> Self {
+        Defect::ResistorOpen {
+            element: element.to_string(),
+        }
+    }
+
+    /// A short, human-readable label (used in experiment tables and as the
+    /// prefix of injected element names).
+    pub fn label(&self) -> String {
+        match self {
+            Defect::Pipe { element, ohms } => {
+                format!("pipe.{element}@{:.0}", ohms)
+            }
+            Defect::TerminalShort { element, a, b } => {
+                format!("short.{element}.{}-{}", a.name(), b.name())
+            }
+            Defect::Bridge { node_a, node_b, .. } => format!("bridge.{node_a}-{node_b}"),
+            Defect::TerminalOpen { element, terminal } => {
+                format!("open.{element}.{}", terminal.name())
+            }
+            Defect::ResistorShort { element } => format!("rshort.{element}"),
+            Defect::ResistorOpen { element } => format!("ropen.{element}"),
+        }
+    }
+
+    /// Applies the defect to `netlist` as element edits. Injected elements
+    /// are named `FLT.<kind>.<target>` so multiple defects stay separable.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the target element/terminal/net does not exist or when a
+    /// defect with an identical name was already injected.
+    pub fn inject(&self, netlist: &mut Netlist) -> Result<(), Error> {
+        match self {
+            Defect::Pipe { element, ohms } => {
+                let c = netlist.terminal_node(element, Terminal::Collector)?;
+                let e = netlist.terminal_node(element, Terminal::Emitter)?;
+                netlist.resistor(&format!("FLT.pipe.{element}"), c, e, *ohms)
+            }
+            Defect::TerminalShort { element, a, b } => {
+                let na = netlist.terminal_node(element, *a)?;
+                let nb = netlist.terminal_node(element, *b)?;
+                netlist.resistor(
+                    &format!("FLT.short.{element}.{}-{}", a.name(), b.name()),
+                    na,
+                    nb,
+                    SHORT_OHMS,
+                )
+            }
+            Defect::Bridge {
+                node_a,
+                node_b,
+                ohms,
+            } => {
+                let na = netlist.find_node(node_a)?;
+                let nb = netlist.find_node(node_b)?;
+                netlist.resistor(&format!("FLT.bridge.{node_a}-{node_b}"), na, nb, *ohms)
+            }
+            Defect::TerminalOpen { element, terminal } => {
+                let split = netlist.fresh_node(&format!("FLT.open.{element}"));
+                let old = netlist.rewire_terminal(element, *terminal, split)?;
+                let tag = format!("FLT.open.{element}.{}", terminal.name());
+                netlist.resistor(&format!("{tag}.R"), old, split, OPEN_OHMS)?;
+                netlist.capacitor(&format!("{tag}.C"), old, split, OPEN_CAP_FARADS)
+            }
+            Defect::ResistorShort { element } => netlist.set_resistance(element, SHORT_OHMS),
+            Defect::ResistorOpen { element } => {
+                // A severed strip: the path becomes 100 MΩ ∥ 1 fF.
+                netlist.set_resistance(element, OPEN_OHMS)?;
+                let p = netlist.terminal_node(element, Terminal::Pos)?;
+                let n = netlist.terminal_node(element, Terminal::Neg)?;
+                netlist.capacitor(&format!("FLT.ropen.{element}.C"), p, n, OPEN_CAP_FARADS)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spicier::analysis::dc::{operating_point, DcOptions};
+    use spicier::devices::BjtModel;
+
+    fn test_netlist() -> (Netlist, spicier::NodeId, spicier::NodeId) {
+        let mut nl = Netlist::new();
+        let vcc = nl.node("vcc");
+        let c = nl.node("c");
+        let b = nl.node("b");
+        let e = nl.node("e");
+        nl.vdc("VCC", vcc, Netlist::GROUND, 3.3).unwrap();
+        nl.vdc("VB", b, Netlist::GROUND, 0.9).unwrap();
+        nl.resistor("RC", vcc, c, 1.0e3).unwrap();
+        nl.resistor("RE", e, Netlist::GROUND, 10.0).unwrap();
+        nl.bjt("Q1", c, b, e, BjtModel::fast_npn()).unwrap();
+        (nl, c, e)
+    }
+
+    #[test]
+    fn pipe_adds_resistor_between_c_and_e() {
+        let (mut nl, c, _) = test_netlist();
+        let clean = {
+            let circuit = nl.clone().compile().unwrap();
+            operating_point(&circuit, &DcOptions::default())
+                .unwrap()
+                .voltage(c)
+        };
+        Defect::pipe("Q1", 4.0e3).inject(&mut nl).unwrap();
+        assert!(nl.element("FLT.pipe.Q1").is_ok());
+        let circuit = nl.compile().unwrap();
+        let faulty = operating_point(&circuit, &DcOptions::default())
+            .unwrap()
+            .voltage(c);
+        // Extra current through the pipe drags the collector node lower.
+        assert!(faulty < clean - 0.1, "clean {clean}, faulty {faulty}");
+    }
+
+    #[test]
+    fn terminal_short_collapses_vce() {
+        let (mut nl, c, e) = test_netlist();
+        Defect::terminal_short("Q1", Terminal::Collector, Terminal::Emitter)
+            .inject(&mut nl)
+            .unwrap();
+        let circuit = nl.compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        assert!((op.voltage(c) - op.voltage(e)).abs() < 0.01);
+    }
+
+    #[test]
+    fn terminal_open_isolates_terminal() {
+        let (mut nl, c, _) = test_netlist();
+        Defect::terminal_open("Q1", Terminal::Base)
+            .inject(&mut nl)
+            .unwrap();
+        let circuit = nl.compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        // With the base floating through 100 MΩ, almost no collector
+        // current flows: the collector sits at the rail.
+        assert!((op.voltage(c) - 3.3).abs() < 0.05, "vc = {}", op.voltage(c));
+    }
+
+    #[test]
+    fn bridge_by_node_names() {
+        let (mut nl, c, _) = test_netlist();
+        Defect::bridge("c", "e", 1.0).inject(&mut nl).unwrap();
+        let circuit = nl.compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        assert!((op.voltage(c) - op.voltage(nl_node(&circuit, "e"))).abs() < 0.01);
+    }
+
+    fn nl_node(circuit: &spicier::Circuit, name: &str) -> spicier::NodeId {
+        circuit.find_node(name).unwrap()
+    }
+
+    #[test]
+    fn resistor_defects_change_value() {
+        let (mut nl, _, _) = test_netlist();
+        Defect::resistor_short("RC").inject(&mut nl).unwrap();
+        match nl.element("RC").unwrap() {
+            spicier::netlist::Element::Resistor { value, .. } => {
+                assert_eq!(*value, SHORT_OHMS)
+            }
+            _ => panic!("RC is a resistor"),
+        }
+        Defect::resistor_open("RE").inject(&mut nl).unwrap();
+        match nl.element("RE").unwrap() {
+            spicier::netlist::Element::Resistor { value, .. } => assert_eq!(*value, OPEN_OHMS),
+            _ => panic!("RE is a resistor"),
+        }
+        assert!(nl.element("FLT.ropen.RE.C").is_ok());
+    }
+
+    #[test]
+    fn inject_unknown_element_fails() {
+        let (mut nl, _, _) = test_netlist();
+        assert!(Defect::pipe("QX", 4.0e3).inject(&mut nl).is_err());
+        assert!(Defect::bridge("c", "nowhere", 1.0).inject(&mut nl).is_err());
+        assert!(Defect::resistor_short("Q1").inject(&mut nl).is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Defect::pipe("DUT.Q3", 4.0e3).label(), "pipe.DUT.Q3@4000");
+        assert_eq!(
+            Defect::terminal_short("Q2", Terminal::Collector, Terminal::Emitter).label(),
+            "short.Q2.collector-emitter"
+        );
+        assert_eq!(Defect::resistor_open("RL1").label(), "ropen.RL1");
+    }
+}

@@ -1,0 +1,47 @@
+//! Circuit-level defect injection for bipolar processes.
+//!
+//! Implements the defect → circuit-edit mappings the paper uses in its
+//! SPICE decks (§3, §5):
+//!
+//! * **shorts / bridges** — a ~1 Ω resistor between the two nets;
+//! * **opens** — split the node and reconnect the severed terminal through
+//!   100 MΩ in parallel with 1 fF;
+//! * **pipes** — a few-kΩ resistor between collector and emitter of a
+//!   transistor (the headline defect: a C–E pipe on the current-source
+//!   transistor Q3 of a CML gate);
+//! * **resistor shorts / opens** — value replacement.
+//!
+//! Defects are injected into a mutable [`spicier::Netlist`] *before*
+//! compilation, via the hierarchical element names the `cml-cells` builder
+//! produces (`"DUT.Q3"` etc.).
+//!
+//! # Example
+//!
+//! ```
+//! use faults::Defect;
+//! use spicier::netlist::Netlist;
+//! use spicier::devices::BjtModel;
+//!
+//! # fn main() -> Result<(), spicier::Error> {
+//! let mut nl = Netlist::new();
+//! let c = nl.node("c");
+//! let b = nl.node("b");
+//! let e = nl.node("e");
+//! nl.bjt("Q3", c, b, e, BjtModel::fast_npn())?;
+//! nl.vdc("VB", b, Netlist::GROUND, 0.9)?;
+//! nl.resistor("RC", c, Netlist::GROUND, 1.0)?;
+//! nl.resistor("RE", e, Netlist::GROUND, 1.0)?;
+//! // Plant a 4 kΩ collector-emitter pipe on Q3, as in the paper's Fig. 4.
+//! Defect::pipe("Q3", 4.0e3).inject(&mut nl)?;
+//! assert!(nl.element("FLT.pipe.Q3").is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod defect;
+mod universe;
+
+pub use defect::{Defect, OPEN_CAP_FARADS, OPEN_OHMS, SHORT_OHMS};
+pub use universe::{enumerate_cell_defects, sample_defects, DefectClass};

@@ -1,0 +1,193 @@
+//! Enumerating the defect universe of a cell.
+//!
+//! Fault-coverage experiments need every probable defect of a cell
+//! instance (§3: "it is common to treat defects as equiprobable"). This
+//! module enumerates the realistic defects of each element: transistor
+//! pipes and terminal shorts/opens, resistor shorts/opens, and wire opens.
+
+use crate::defect::Defect;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spicier::netlist::{Element, Netlist, Terminal};
+
+/// Coarse classes of defects, used to slice coverage results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectClass {
+    /// Collector–emitter pipe.
+    Pipe,
+    /// Hard short between element terminals.
+    Short,
+    /// Open at an element terminal.
+    Open,
+    /// Resistor value defects.
+    Resistor,
+}
+
+impl DefectClass {
+    /// Class of a given defect.
+    pub fn of(defect: &Defect) -> Self {
+        match defect {
+            Defect::Pipe { .. } => DefectClass::Pipe,
+            Defect::TerminalShort { .. } | Defect::Bridge { .. } => DefectClass::Short,
+            Defect::TerminalOpen { .. } => DefectClass::Open,
+            Defect::ResistorShort { .. } | Defect::ResistorOpen { .. } => DefectClass::Resistor,
+        }
+    }
+}
+
+/// Enumerates the realistic defects of every element whose name starts
+/// with `inst_prefix` (e.g. `"DUT."` for the Figure 3 device under test).
+///
+/// Per transistor: one pipe (`pipe_ohms`), three pairwise terminal shorts,
+/// three terminal opens. Per resistor: a short and an open. Capacitors
+/// (wiring parasitics) get a terminal open.
+pub fn enumerate_cell_defects(
+    netlist: &Netlist,
+    inst_prefix: &str,
+    pipe_ohms: f64,
+) -> Vec<Defect> {
+    let mut out = Vec::new();
+    for (name, element) in netlist.elements() {
+        if !name.starts_with(inst_prefix) || name.starts_with("FLT.") {
+            continue;
+        }
+        match element {
+            Element::Bjt { .. } => {
+                out.push(Defect::pipe(name, pipe_ohms));
+                for (a, b) in [
+                    (Terminal::Collector, Terminal::Emitter),
+                    (Terminal::Base, Terminal::Emitter),
+                    (Terminal::Collector, Terminal::Base),
+                ] {
+                    out.push(Defect::terminal_short(name, a, b));
+                }
+                for t in [Terminal::Collector, Terminal::Base, Terminal::Emitter] {
+                    out.push(Defect::terminal_open(name, t));
+                }
+            }
+            Element::Resistor { .. } => {
+                out.push(Defect::resistor_short(name));
+                out.push(Defect::resistor_open(name));
+            }
+            Element::Capacitor { .. } => {
+                out.push(Defect::terminal_open(name, Terminal::Pos));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Draws `count` defects uniformly without replacement from `universe`
+/// (deterministic for a given seed) — the sampling §3 justifies: "it is
+/// common to treat defects as equiprobable".
+pub fn sample_defects(universe: &[Defect], count: usize, seed: u64) -> Vec<Defect> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..universe.len()).collect();
+    indices.shuffle(&mut rng);
+    indices
+        .into_iter()
+        .take(count)
+        .map(|i| universe[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spicier::devices::BjtModel;
+
+    fn cell() -> Netlist {
+        let mut nl = Netlist::new();
+        let c = nl.node("X.op");
+        let b = nl.node("in");
+        let e = nl.node("X.tail");
+        nl.bjt("X.Q1", c, b, e, BjtModel::fast_npn()).unwrap();
+        nl.resistor("X.RL1", c, Netlist::GROUND, 625.0).unwrap();
+        nl.capacitor("X.CW1", c, Netlist::GROUND, 40e-15).unwrap();
+        nl.resistor("OTHER.R", b, Netlist::GROUND, 1.0).unwrap();
+        nl
+    }
+
+    #[test]
+    fn enumerates_only_prefixed_elements() {
+        let nl = cell();
+        let defects = enumerate_cell_defects(&nl, "X.", 4.0e3);
+        // Q1: 1 pipe + 3 shorts + 3 opens; RL1: 2; CW1: 1 → 10 total.
+        assert_eq!(defects.len(), 10);
+        assert!(defects
+            .iter()
+            .all(|d| !d.label().contains("OTHER")));
+    }
+
+    #[test]
+    fn classes_partition_the_universe() {
+        let nl = cell();
+        let defects = enumerate_cell_defects(&nl, "X.", 4.0e3);
+        let pipes = defects
+            .iter()
+            .filter(|d| DefectClass::of(d) == DefectClass::Pipe)
+            .count();
+        let shorts = defects
+            .iter()
+            .filter(|d| DefectClass::of(d) == DefectClass::Short)
+            .count();
+        let opens = defects
+            .iter()
+            .filter(|d| DefectClass::of(d) == DefectClass::Open)
+            .count();
+        let resistors = defects
+            .iter()
+            .filter(|d| DefectClass::of(d) == DefectClass::Resistor)
+            .count();
+        assert_eq!(pipes, 1);
+        assert_eq!(shorts, 3);
+        assert_eq!(opens, 4); // 3 BJT terminals + 1 capacitor
+        assert_eq!(resistors, 2);
+    }
+
+    #[test]
+    fn every_enumerated_defect_injects() {
+        let nl = cell();
+        for defect in enumerate_cell_defects(&nl, "X.", 4.0e3) {
+            let mut copy = nl.clone();
+            defect
+                .inject(&mut copy)
+                .unwrap_or_else(|e| panic!("{}: {e}", defect.label()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_without_replacement() {
+        let nl = cell();
+        let universe = enumerate_cell_defects(&nl, "X.", 4.0e3);
+        let a = sample_defects(&universe, 5, 42);
+        let b = sample_defects(&universe, 5, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        // No duplicates.
+        for i in 0..a.len() {
+            for j in (i + 1)..a.len() {
+                assert_ne!(a[i].label(), a[j].label());
+            }
+        }
+        // Different seed → (almost surely) different order.
+        let c = sample_defects(&universe, 5, 43);
+        assert_ne!(
+            a.iter().map(|d| d.label()).collect::<Vec<_>>(),
+            c.iter().map(|d| d.label()).collect::<Vec<_>>()
+        );
+        // Oversampling caps at the universe size.
+        assert_eq!(sample_defects(&universe, 999, 1).len(), universe.len());
+    }
+
+    #[test]
+    fn skips_already_injected_fault_elements() {
+        let mut nl = cell();
+        Defect::pipe("X.Q1", 4.0e3).inject(&mut nl).unwrap();
+        let defects = enumerate_cell_defects(&nl, "X.", 4.0e3);
+        // FLT.pipe.X.Q1 contains "X." but must not be enumerated... it does
+        // not start with the prefix, and FLT.* is filtered anyway.
+        assert_eq!(defects.len(), 10);
+    }
+}

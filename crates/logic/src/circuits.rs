@@ -1,0 +1,378 @@
+//! Synthetic benchmark circuits for the §6.6 experiments.
+//!
+//! These stand in for the production designs the paper's testing approach
+//! targets (see DESIGN.md substitution table): small sequential machines
+//! with realistic structure — counters, shift registers, an ALU slice, a
+//! decade state machine and an LFSR-based signature register.
+
+use crate::network::{GateKind, LogicNetwork, NetworkBuilder, SignalId};
+
+/// An `n`-bit synchronous binary counter with enable.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn counter(n: usize) -> LogicNetwork {
+    assert!(n > 0, "counter width must be positive");
+    let mut b = NetworkBuilder::new();
+    let en = b.input("en").expect("fresh builder");
+    // Forward-declare q ids: inputs occupy id 0; each bit adds gates then
+    // a dff, so collect q signals as we go using a two-pass trick: build
+    // toggle logic against placeholder copies first is messy — instead
+    // build ripple-carry: t0 = en, t_{i+1} = t_i AND q_i.
+    let mut qs: Vec<SignalId> = Vec::with_capacity(n);
+    let mut carry = en;
+    for i in 0..n {
+        // q_i placeholder comes after its toggle gate; since dff inputs may
+        // reference earlier signals only, build: d_i = q_i XOR carry_i.
+        // We need q_i before d_i: create the dff first with a temporary d
+        // (its own q through a buffer is illegal), so instead allocate in
+        // the order: q_i := dff(d_i) requires d_i first. Break the knot by
+        // exploiting that dffs legally close cycles: create d-gate reading
+        // a *forward* signal id for q_i.
+        // Signal ids are sequential; after adding gates below, q_i's id is
+        // known. Compute it: current signal count + gates to add.
+        let d_name = format!("d{i}");
+        let q_name = format!("q{i}");
+        let c_name = format!("c{i}");
+        // d_i = q_i XOR carry; q_i will be allocated right after d_i.
+        let q_id_future = SignalId(b.signal_count() + 1);
+        let d = b
+            .gate(GateKind::Xor, &[q_id_future, carry], &d_name)
+            .expect("unique names");
+        let q = b.dff(d, &q_name).expect("unique names");
+        debug_assert_eq!(q, q_id_future);
+        qs.push(q);
+        if i + 1 < n {
+            carry = b
+                .gate(GateKind::And, &[carry, q], &c_name)
+                .expect("unique names");
+        }
+    }
+    for (i, &q) in qs.iter().enumerate() {
+        b.output(&format!("count{i}"), q);
+    }
+    b.build().expect("counter is loop-free")
+}
+
+/// An `n`-bit serial-in shift register.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn shift_register(n: usize) -> LogicNetwork {
+    assert!(n > 0, "width must be positive");
+    let mut b = NetworkBuilder::new();
+    let din = b.input("din").expect("fresh builder");
+    let mut prev = din;
+    for i in 0..n {
+        prev = b.dff(prev, &format!("q{i}")).expect("unique names");
+    }
+    b.output("dout", prev);
+    b.build().expect("shift register is loop-free")
+}
+
+/// A 1-bit ALU slice: inputs `a`, `b`, `cin`, `op`; outputs a registered
+/// result and carry (op selects add vs logic-AND).
+pub fn alu_slice() -> LogicNetwork {
+    let mut b = NetworkBuilder::new();
+    let a = b.input("a").expect("fresh builder");
+    let bb = b.input("b").expect("fresh builder");
+    let cin = b.input("cin").expect("fresh builder");
+    let op = b.input("op").expect("fresh builder");
+    let axb = b.gate(GateKind::Xor, &[a, bb], "axb").expect("unique");
+    let sum = b.gate(GateKind::Xor, &[axb, cin], "sum").expect("unique");
+    let g = b.gate(GateKind::And, &[a, bb], "g").expect("unique");
+    let p = b.gate(GateKind::And, &[axb, cin], "p").expect("unique");
+    let cout = b.gate(GateKind::Or, &[g, p], "cout").expect("unique");
+    let andab = b.gate(GateKind::And, &[a, bb], "andab").expect("unique");
+    let res = b
+        .gate(GateKind::Mux, &[op, sum, andab], "res")
+        .expect("unique");
+    let rq = b.dff(res, "rq").expect("unique");
+    let cq = b.dff(cout, "cq").expect("unique");
+    b.output("result", rq);
+    b.output("carry", cq);
+    b.build().expect("alu slice is loop-free")
+}
+
+/// A small Moore state machine (3 flip-flops, one input) that cycles
+/// through 5 states and resynchronizes from any state — a friendly case
+/// for initialization convergence.
+pub fn decade_fsm() -> LogicNetwork {
+    let mut b = NetworkBuilder::new();
+    let go = b.input("go").expect("fresh builder");
+    // State bits s0..s2 with next-state logic: a saturating/wrapping
+    // counter gated by `go`, with illegal states mapped back to 0 by the
+    // AND/NOT structure.
+    // Forward ids: compute after gates. Use the same forward-id trick as
+    // `counter`.
+    let s0f = SignalId(b.signal_count() + 4);
+    let s1f = SignalId(b.signal_count() + 5);
+    let s2f = SignalId(b.signal_count() + 6);
+    let n0 = b.gate(GateKind::Xor, &[s0f, go], "n0").expect("unique");
+    let c0 = b.gate(GateKind::And, &[s0f, go], "c0").expect("unique");
+    let n1 = b.gate(GateKind::Xor, &[s1f, c0], "n1").expect("unique");
+    let c1 = b.gate(GateKind::And, &[s1f, c0], "c1").expect("unique");
+    let s0 = b.dff(n0, "s0").expect("unique");
+    let s1 = b.dff(n1, "s1").expect("unique");
+    debug_assert_eq!(s0, s0f);
+    debug_assert_eq!(s1, s1f);
+    // s2 = c1 (registered): wraps after 4 counts — with the extra output
+    // gate below this makes a 5-ish state orbit.
+    let s2 = b.dff(c1, "s2").expect("unique");
+    debug_assert_eq!(s2, s2f);
+    let done = b.gate(GateKind::And, &[s0, s1], "done").expect("unique");
+    let busy = b.gate(GateKind::Or, &[s0, s1, s2], "busy").expect("unique");
+    b.output("done", done);
+    b.output("busy", busy);
+    b.build().expect("fsm is loop-free")
+}
+
+/// An `n`-bit synchronous counter with a synchronous reset input — the
+/// structure \[13\] calls easily initializable: any two power-up states
+/// merge as soon as the random stream asserts `rst`.
+///
+/// Inputs: `rst`, `en`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn resettable_counter(n: usize) -> LogicNetwork {
+    assert!(n > 0, "counter width must be positive");
+    let mut b = NetworkBuilder::new();
+    let rst = b.input("rst").expect("fresh builder");
+    let nrst = b.gate(GateKind::Not, &[rst], "nrst").expect("unique");
+    let en = b.input("en").expect("fresh builder");
+    let mut qs: Vec<SignalId> = Vec::with_capacity(n);
+    let mut carry = en;
+    for i in 0..n {
+        // t_i = q_i XOR carry, gated by NOT rst.
+        let q_id_future = SignalId(b.signal_count() + 2);
+        let t = b
+            .gate(GateKind::Xor, &[q_id_future, carry], &format!("t{i}"))
+            .expect("unique");
+        let d = b
+            .gate(GateKind::And, &[t, nrst], &format!("d{i}"))
+            .expect("unique");
+        let q = b.dff(d, &format!("q{i}")).expect("unique");
+        debug_assert_eq!(q, q_id_future);
+        qs.push(q);
+        if i + 1 < n {
+            carry = b
+                .gate(GateKind::And, &[carry, q], &format!("c{i}"))
+                .expect("unique");
+        }
+    }
+    for (i, &q) in qs.iter().enumerate() {
+        b.output(&format!("count{i}"), q);
+    }
+    b.build().expect("counter is loop-free")
+}
+
+/// An `n`-stage shift register whose single output is the AND of every
+/// stage — a deliberately observability-starved structure: every internal
+/// net toggles freely, but a fault only propagates to the output during
+/// an all-ones window (probability `2^-(n-1)` per random cycle). This is
+/// the logic-level analogue of the paper's healing problem: activity
+/// everywhere, visibility almost nowhere.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn and_funnel(n: usize) -> LogicNetwork {
+    assert!(n >= 2, "funnel needs at least 2 stages");
+    let mut b = NetworkBuilder::new();
+    let din = b.input("din").expect("fresh builder");
+    let mut prev = din;
+    let mut qs = Vec::with_capacity(n);
+    for i in 0..n {
+        prev = b.dff(prev, &format!("q{i}")).expect("unique names");
+        qs.push(prev);
+    }
+    let all = b.gate(GateKind::And, &qs, "all").expect("unique names");
+    b.output("all", all);
+    b.build().expect("funnel is loop-free")
+}
+
+/// An `n`-bit internal LFSR (signature-register style) with an enable
+/// input; taps at the two low bits.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn lfsr_register(n: usize) -> LogicNetwork {
+    assert!(n >= 2, "lfsr needs at least 2 bits");
+    let mut b = NetworkBuilder::new();
+    let scan_in = b.input("scan_in").expect("fresh builder");
+    // Forward ids of the flip-flops: gates first (feedback XOR), then dffs.
+    let q_last_future = SignalId(b.signal_count() + 1 + n); // allocated last
+    let fb = b
+        .gate(GateKind::Xor, &[q_last_future, scan_in], "fb")
+        .expect("unique");
+    let mut prev = fb;
+    let mut qs = Vec::with_capacity(n);
+    for i in 0..n {
+        let q = b.dff(prev, &format!("q{i}")).expect("unique");
+        qs.push(q);
+        prev = if i == 0 {
+            // Tap: q0 XOR q_last into stage 1.
+            b.gate(GateKind::Xor, &[q, q_last_future], &format!("t{i}"))
+                .expect("unique")
+        } else {
+            q
+        };
+    }
+    debug_assert_eq!(*qs.last().expect("n >= 2"), q_last_future);
+    b.output("signature", *qs.last().expect("n >= 2"));
+    b.build().expect("lfsr is loop-free")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Simulator, V3};
+
+    #[test]
+    fn counter_counts() {
+        let n = counter(3);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_state_with(|_| V3::Zero);
+        let mut value = 0u32;
+        for step in 1..=10 {
+            sim.step(&[V3::One]);
+            value = (value + 1) % 8;
+            let got: u32 = (0..3)
+                .map(|i| {
+                    let (_, sig) = n.outputs()[i];
+                    match sim.value(sig) {
+                        V3::One => 1 << i,
+                        _ => 0,
+                    }
+                })
+                .sum();
+            assert_eq!(got, value, "after {step} steps");
+        }
+    }
+
+    #[test]
+    fn counter_holds_when_disabled() {
+        let n = counter(3);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_state_with(|_| V3::Zero);
+        sim.step(&[V3::One]);
+        let s1 = sim.state();
+        sim.step(&[V3::Zero]);
+        assert_eq!(sim.state(), s1);
+    }
+
+    #[test]
+    fn shift_register_delays() {
+        let n = shift_register(4);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_state_with(|_| V3::Zero);
+        let seq = [true, false, true, true, false, false, true, false];
+        let mut outs = Vec::new();
+        for &bit in &seq {
+            let out = sim.step(&[bit.into()]);
+            outs.push(out[0]);
+        }
+        // Observed post-edge, a 4-stage register delays by 3 observations:
+        // after step i, q0 already holds seq[i].
+        for (i, &bit) in seq.iter().enumerate().take(5) {
+            assert_eq!(outs[i + 3], V3::from(bit), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn alu_slice_adds() {
+        let n = alu_slice();
+        let mut sim = Simulator::new(&n).unwrap();
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let out = sim.step(&[a.into(), b.into(), cin.into(), V3::One]);
+                    let sum = (a as u8) + (b as u8) + (cin as u8);
+                    assert_eq!(out[0], V3::from(sum & 1 == 1), "sum {a} {b} {cin}");
+                    assert_eq!(out[1], V3::from(sum >= 2), "carry {a} {b} {cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_slice_ands() {
+        let n = alu_slice();
+        let mut sim = Simulator::new(&n).unwrap();
+        let out = sim.step(&[V3::One, V3::One, V3::Zero, V3::Zero]);
+        assert_eq!(out[0], V3::One);
+        let out = sim.step(&[V3::One, V3::Zero, V3::Zero, V3::Zero]);
+        assert_eq!(out[0], V3::Zero);
+    }
+
+    #[test]
+    fn decade_fsm_runs_without_x_after_reset() {
+        let n = decade_fsm();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_state_with(|_| V3::Zero);
+        for _ in 0..12 {
+            let out = sim.step(&[V3::One]);
+            assert!(out.iter().all(|v| *v != V3::X));
+        }
+    }
+
+    #[test]
+    fn resettable_counter_counts_and_resets() {
+        let n = resettable_counter(3);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_state_with(|_| V3::One); // power up at 7
+        sim.step(&[V3::One, V3::Zero]); // rst
+        assert!(sim.state().iter().all(|&v| v == V3::Zero));
+        sim.step(&[V3::Zero, V3::One]); // count
+        let ones = sim.state().iter().filter(|&&v| v == V3::One).count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn resettable_counter_converges_from_any_state() {
+        let n = resettable_counter(4);
+        let cycles = crate::sim::initialization_convergence(
+            &n,
+            // rst fires on cycle 2; en random-ish.
+            |cycle, k| if k == 0 { cycle == 2 } else { cycle % 2 == 0 },
+            |k| k % 2 == 0,
+            |_| true,
+            50,
+        );
+        assert_eq!(cycles, Some(3));
+    }
+
+    #[test]
+    fn and_funnel_fires_only_on_all_ones() {
+        let n = and_funnel(3);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_state_with(|_| V3::Zero);
+        let outs: Vec<V3> = [true, true, true, true, false]
+            .iter()
+            .map(|&b| sim.step(&[b.into()])[0])
+            .collect();
+        // All-ones reached after 3 ones shifted in.
+        assert_eq!(outs[1], V3::Zero);
+        assert_eq!(outs[2], V3::One);
+        assert_eq!(outs[3], V3::One);
+        assert_eq!(outs[4], V3::Zero);
+    }
+
+    #[test]
+    fn lfsr_register_produces_activity() {
+        let n = lfsr_register(5);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_state_with(|k| V3::from(k == 0));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20 {
+            sim.step(&[V3::Zero]);
+            seen.insert(format!("{:?}", sim.state()));
+        }
+        assert!(seen.len() > 4, "states visited: {}", seen.len());
+    }
+}

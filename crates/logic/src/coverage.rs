@@ -1,0 +1,149 @@
+//! Per-signal toggle accounting.
+//!
+//! §6.6: a single-output amplitude fault is asserted whenever the faulty
+//! gate's output toggles ("the fault is asserted half the cycles time"),
+//! so the coverage of the amplitude-detector DFT equals the fraction of
+//! gate outputs that have been driven to **both** logic values.
+
+use crate::network::{LogicNetwork, SignalId};
+use crate::sim::{Simulator, V3};
+
+/// Tracks which signals have been observed at 0 and at 1.
+#[derive(Debug, Clone)]
+pub struct ToggleCoverage {
+    seen0: Vec<bool>,
+    seen1: Vec<bool>,
+    tracked: Vec<SignalId>,
+}
+
+impl ToggleCoverage {
+    /// Tracks every gate output and flip-flop output of `network` (the
+    /// nets that carry CML amplitude detectors).
+    pub fn new(network: &LogicNetwork) -> Self {
+        let tracked: Vec<SignalId> = network
+            .gate_outputs()
+            .chain(network.state_signals())
+            .collect();
+        Self {
+            seen0: vec![false; network.signal_count()],
+            seen1: vec![false; network.signal_count()],
+            tracked,
+        }
+    }
+
+    /// Tracks only the given signals.
+    pub fn for_signals(network: &LogicNetwork, signals: Vec<SignalId>) -> Self {
+        Self {
+            seen0: vec![false; network.signal_count()],
+            seen1: vec![false; network.signal_count()],
+            tracked: signals,
+        }
+    }
+
+    /// Records the current simulator values.
+    pub fn observe(&mut self, sim: &Simulator<'_>) {
+        for &sig in &self.tracked {
+            match sim.value(sig) {
+                V3::Zero => self.seen0[sig.0] = true,
+                V3::One => self.seen1[sig.0] = true,
+                V3::X => {}
+            }
+        }
+    }
+
+    /// Whether a signal has toggled (seen both values).
+    pub fn toggled(&self, sig: SignalId) -> bool {
+        self.seen0[sig.0] && self.seen1[sig.0]
+    }
+
+    /// Fraction of tracked signals that have toggled.
+    pub fn coverage(&self) -> f64 {
+        if self.tracked.is_empty() {
+            return 1.0;
+        }
+        let hit = self.tracked.iter().filter(|&&s| self.toggled(s)).count();
+        hit as f64 / self.tracked.len() as f64
+    }
+
+    /// Tracked signals that have not yet toggled.
+    pub fn untoggled(&self) -> Vec<SignalId> {
+        self.tracked
+            .iter()
+            .copied()
+            .filter(|&s| !self.toggled(s))
+            .collect()
+    }
+
+    /// Number of tracked signals.
+    pub fn tracked_count(&self) -> usize {
+        self.tracked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GateKind, NetworkBuilder};
+
+    #[test]
+    fn coverage_counts_both_values() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        let y = b.gate(GateKind::Not, &[a], "y").unwrap();
+        b.output("y", y);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut cov = ToggleCoverage::new(&n);
+        sim.step(&[V3::One]);
+        cov.observe(&sim);
+        assert_eq!(cov.coverage(), 0.0); // y seen only at 0
+        sim.step(&[V3::Zero]);
+        cov.observe(&sim);
+        assert_eq!(cov.coverage(), 1.0);
+        assert!(cov.untoggled().is_empty());
+    }
+
+    #[test]
+    fn x_values_do_not_count() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        let y = b.gate(GateKind::Buf, &[a], "y").unwrap();
+        b.output("y", y);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut cov = ToggleCoverage::new(&n);
+        sim.step(&[V3::X]);
+        cov.observe(&sim);
+        assert_eq!(cov.coverage(), 0.0);
+    }
+
+    #[test]
+    fn stuck_gate_never_toggles() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        // y = a AND (NOT a) is constant 0.
+        let na = b.gate(GateKind::Not, &[a], "na").unwrap();
+        let y = b.gate(GateKind::And, &[a, na], "y").unwrap();
+        b.output("y", y);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut cov = ToggleCoverage::new(&n);
+        for v in [V3::Zero, V3::One, V3::Zero, V3::One] {
+            sim.step(&[v]);
+            cov.observe(&sim);
+        }
+        // na toggles, y never does: coverage = 1/2.
+        assert!((cov.coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(cov.untoggled(), vec![y]);
+    }
+
+    #[test]
+    fn empty_tracking_is_full_coverage() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        b.output("a", a);
+        let n = b.build().unwrap();
+        let cov = ToggleCoverage::for_signals(&n, Vec::new());
+        assert_eq!(cov.coverage(), 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Linear-feedback shift register pattern generation.
+//!
+//! The paper's §6.6 recommends stimulating sequential circuits with random
+//! patterns; in hardware BIST those come from an LFSR. This is a 32-bit
+//! maximal-length Fibonacci LFSR (taps 32, 22, 2, 1).
+
+/// Maximal-length 32-bit Fibonacci LFSR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR from a seed; a zero seed is mapped to 1 (the
+    /// all-zero state is a fixed point and never generated).
+    pub fn new(seed: u32) -> Self {
+        Self {
+            state: if seed == 0 { 1 } else { seed },
+        }
+    }
+
+    /// Current register state.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances one step and returns the output bit.
+    pub fn next_bool(&mut self) -> bool {
+        // Taps for x^32 + x^22 + x^2 + x^1 + 1 (maximal length).
+        let bit = (self.state ^ (self.state >> 10) ^ (self.state >> 30) ^ (self.state >> 31)) & 1;
+        self.state = (self.state >> 1) | (bit << 31);
+        bit == 1
+    }
+
+    /// Produces `n` bits as a vector.
+    pub fn next_bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.next_bool()).collect()
+    }
+}
+
+impl Iterator for Lfsr {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        Some(self.next_bool())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = Lfsr::new(0);
+        let mut b = Lfsr::new(1);
+        assert_eq!(a.next_bits(64), b.next_bits(64));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Lfsr::new(0xACE1);
+        let mut b = Lfsr::new(0xACE1);
+        assert_eq!(a.next_bits(128), b.next_bits(128));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Lfsr::new(0xACE1);
+        let mut b = Lfsr::new(0xBEEF);
+        assert_ne!(a.next_bits(64), b.next_bits(64));
+    }
+
+    #[test]
+    fn output_is_balanced() {
+        let mut l = Lfsr::new(12345);
+        let ones = l.next_bits(10_000).iter().filter(|&&b| b).count();
+        assert!(
+            (4_500..5_500).contains(&ones),
+            "ones = {ones} out of 10000"
+        );
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut l = Lfsr::new(42);
+        for _ in 0..100_000 {
+            l.next_bool();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let l = Lfsr::new(7);
+        let bits: Vec<bool> = l.take(16).collect();
+        assert_eq!(bits.len(), 16);
+    }
+}

@@ -1,0 +1,406 @@
+//! Gate-level netlist: signals, gates, flip-flops.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a signal (a primary input, gate output or flip-flop
+/// output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) usize);
+
+/// Identifier of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(pub(crate) usize);
+
+/// Boolean function of a combinational gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Buffer (identity) — models a CML buffer stage.
+    Buf,
+    /// Inverter (free in CML, but kept for netlist clarity).
+    Not,
+    /// AND of all inputs.
+    And,
+    /// OR of all inputs.
+    Or,
+    /// NAND of all inputs.
+    Nand,
+    /// NOR of all inputs.
+    Nor,
+    /// XOR (parity) of all inputs.
+    Xor,
+    /// XNOR of all inputs.
+    Xnor,
+    /// Multiplexer: inputs `[sel, a, b]`, output `sel ? a : b`.
+    Mux,
+}
+
+impl GateKind {
+    /// Number of inputs this kind requires (`None` = any ≥ 1).
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            GateKind::Buf | GateKind::Not => Some(1),
+            GateKind::Mux => Some(3),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from building a network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A gate received the wrong number of inputs.
+    BadArity {
+        /// The gate kind.
+        kind: GateKind,
+        /// Number of inputs provided.
+        got: usize,
+    },
+    /// The combinational part contains a cycle through this signal.
+    CombinationalLoop(String),
+    /// A signal name was used twice.
+    DuplicateName(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::BadArity { kind, got } => {
+                write!(f, "gate kind {kind:?} cannot take {got} inputs")
+            }
+            NetworkError::CombinationalLoop(name) => {
+                write!(f, "combinational loop through signal `{name}`")
+            }
+            NetworkError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Gate {
+    pub(crate) kind: GateKind,
+    pub(crate) inputs: Vec<SignalId>,
+    pub(crate) output: SignalId,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Dff {
+    pub(crate) d: SignalId,
+    pub(crate) q: SignalId,
+}
+
+/// How a signal is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Driver {
+    Input(usize),
+    Gate(usize),
+    Dff(usize),
+}
+
+/// An immutable gate-level network.
+#[derive(Debug, Clone)]
+pub struct LogicNetwork {
+    pub(crate) names: Vec<String>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<Dff>,
+    pub(crate) inputs: Vec<SignalId>,
+    pub(crate) outputs: Vec<(String, SignalId)>,
+    /// Gate evaluation order (topological).
+    pub(crate) order: Vec<usize>,
+}
+
+impl LogicNetwork {
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of signals (inputs + gate outputs + flip-flop outputs).
+    pub fn signal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Primary outputs as `(name, signal)`.
+    pub fn outputs(&self) -> &[(String, SignalId)] {
+        &self.outputs
+    }
+
+    /// Name of a signal.
+    pub fn signal_name(&self, id: SignalId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// All signals driven by gates (the nets a CML amplitude detector
+    /// would monitor).
+    pub fn gate_outputs(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.gates.iter().map(|g| g.output)
+    }
+
+    /// All flip-flop outputs (the sequential state).
+    pub fn state_signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.dffs.iter().map(|d| d.q)
+    }
+}
+
+/// Builder for [`LogicNetwork`].
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    names: Vec<String>,
+    by_name: HashMap<String, SignalId>,
+    drivers: Vec<Driver>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<(String, SignalId)>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_signal(&mut self, name: &str, driver: Driver) -> Result<SignalId, NetworkError> {
+        if self.by_name.contains_key(name) {
+            return Err(NetworkError::DuplicateName(name.to_string()));
+        }
+        let id = SignalId(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.drivers.push(driver);
+        Ok(id)
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names.
+    pub fn input(&mut self, name: &str) -> Result<SignalId, NetworkError> {
+        let idx = self.inputs.len();
+        let id = self.add_signal(name, Driver::Input(idx))?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a gate and returns its output signal.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names or wrong input arity.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[SignalId],
+        name: &str,
+    ) -> Result<SignalId, NetworkError> {
+        if let Some(arity) = kind.arity() {
+            if inputs.len() != arity {
+                return Err(NetworkError::BadArity {
+                    kind,
+                    got: inputs.len(),
+                });
+            }
+        } else if inputs.is_empty() {
+            return Err(NetworkError::BadArity { kind, got: 0 });
+        }
+        let gate_idx = self.gates.len();
+        let output = self.add_signal(name, Driver::Gate(gate_idx))?;
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(output)
+    }
+
+    /// Adds a D flip-flop and returns its `q` output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names.
+    pub fn dff(&mut self, d: SignalId, name: &str) -> Result<SignalId, NetworkError> {
+        let dff_idx = self.dffs.len();
+        let q = self.add_signal(name, Driver::Dff(dff_idx))?;
+        self.dffs.push(Dff { d, q });
+        Ok(q)
+    }
+
+    /// Number of signals allocated so far. Ids are assigned sequentially
+    /// (one per `input`/`gate`/`dff` call), which lets circuit generators
+    /// forward-reference upcoming flip-flop outputs when closing feedback
+    /// loops.
+    pub fn signal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Marks a signal as a primary output.
+    pub fn output(&mut self, name: &str, signal: SignalId) {
+        self.outputs.push((name.to_string(), signal));
+    }
+
+    /// Validates and freezes the network, computing the combinational
+    /// evaluation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::CombinationalLoop`] when gates form a cycle
+    /// (flip-flops legally break cycles).
+    pub fn build(self) -> Result<LogicNetwork, NetworkError> {
+        // Validate forward references: every gate/dff input must name an
+        // allocated signal.
+        for gate in &self.gates {
+            for &input in &gate.inputs {
+                if input.0 >= self.names.len() {
+                    return Err(NetworkError::CombinationalLoop(format!(
+                        "gate `{}` reads unallocated signal #{}",
+                        self.names[gate.output.0], input.0
+                    )));
+                }
+            }
+        }
+        for dff in &self.dffs {
+            if dff.d.0 >= self.names.len() {
+                return Err(NetworkError::CombinationalLoop(format!(
+                    "dff `{}` reads unallocated signal #{}",
+                    self.names[dff.q.0], dff.d.0
+                )));
+            }
+        }
+        // Kahn's algorithm over gates only: an edge g1 → g2 exists when
+        // g2 reads g1's output combinationally.
+        let n = self.gates.len();
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for (gi, gate) in self.gates.iter().enumerate() {
+            for &input in &gate.inputs {
+                if let Driver::Gate(src) = self.drivers[input.0] {
+                    fanout[src].push(gi);
+                    indeg[gi] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&g| indeg[g] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(g) = queue.pop() {
+            order.push(g);
+            for &next in &fanout[g] {
+                indeg[next] -= 1;
+                if indeg[next] == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&g| indeg[g] > 0)
+                .map(|g| self.names[self.gates[g].output.0].clone())
+                .unwrap_or_default();
+            return Err(NetworkError::CombinationalLoop(stuck));
+        }
+        Ok(LogicNetwork {
+            names: self.names,
+            gates: self.gates,
+            dffs: self.dffs,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_network() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        let c = b.input("b").unwrap();
+        let y = b.gate(GateKind::And, &[a, c], "y").unwrap();
+        b.output("y", y);
+        let n = b.build().unwrap();
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.signal_name(y), "y");
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = NetworkBuilder::new();
+        b.input("a").unwrap();
+        assert!(matches!(
+            b.input("a"),
+            Err(NetworkError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        assert!(matches!(
+            b.gate(GateKind::Not, &[a, a], "y"),
+            Err(NetworkError::BadArity { .. })
+        ));
+        assert!(matches!(
+            b.gate(GateKind::And, &[], "z"),
+            Err(NetworkError::BadArity { .. })
+        ));
+        assert!(matches!(
+            b.gate(GateKind::Mux, &[a], "m"),
+            Err(NetworkError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_combinational_loop() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        // y = a AND z; z = NOT y → loop.
+        let placeholder = b.gate(GateKind::Buf, &[a], "tmp").unwrap();
+        let y = b.gate(GateKind::And, &[a, placeholder], "y").unwrap();
+        let _z = b.gate(GateKind::Not, &[y], "z").unwrap();
+        // Rewire tmp's input to z would be a loop, but the builder API is
+        // append-only; construct the loop directly instead.
+        let mut b2 = NetworkBuilder::new();
+        let a2 = b2.input("a").unwrap();
+        // Create two gates referring to each other via pre-allocated ids:
+        // g1 output id will be 1, g2 output id will be 2.
+        let g1 = b2.gate(GateKind::Buf, &[SignalId(2)], "g1");
+        // Building g1 with a forward reference is allowed structurally;
+        // then g2 reads g1.
+        let g1 = g1.unwrap();
+        let _g2 = b2.gate(GateKind::Buf, &[g1], "g2").unwrap();
+        let err = b2.build().unwrap_err();
+        assert!(matches!(err, NetworkError::CombinationalLoop(_)));
+        let _ = a2;
+        let _ = a;
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        // q feeds back through a gate into its own D — legal.
+        let q_placeholder = b.dff(a, "q0").unwrap(); // temporary d = a
+        let x = b.gate(GateKind::Xor, &[a, q_placeholder], "x").unwrap();
+        let _q1 = b.dff(x, "q1").unwrap();
+        let n = b.build().unwrap();
+        assert_eq!(n.dff_count(), 2);
+    }
+}

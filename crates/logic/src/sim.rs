@@ -1,0 +1,392 @@
+//! Three-valued cycle-based simulation.
+
+use crate::network::{GateKind, LogicNetwork, SignalId};
+
+/// Three-valued logic: 0, 1 or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum V3 {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Unknown (uninitialized).
+    #[default]
+    X,
+}
+
+impl From<bool> for V3 {
+    fn from(b: bool) -> Self {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+}
+
+impl V3 {
+    /// `Some(bool)` when defined.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+
+    fn and(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+            (V3::One, V3::One) => V3::One,
+            _ => V3::X,
+        }
+    }
+
+    fn or(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::One, _) | (_, V3::One) => V3::One,
+            (V3::Zero, V3::Zero) => V3::Zero,
+            _ => V3::X,
+        }
+    }
+
+    fn xor(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::X, _) | (_, V3::X) => V3::X,
+            (a, b) if a == b => V3::Zero,
+            _ => V3::One,
+        }
+    }
+}
+
+/// Cycle-based simulator over a [`LogicNetwork`].
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    network: &'n LogicNetwork,
+    values: Vec<V3>,
+    /// Next-state values latched at the clock edge.
+    next_state: Vec<V3>,
+}
+
+impl<'n> Simulator<'n> {
+    /// Creates a simulator with all signals at `X`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the signature reserves the right to reject
+    /// networks (kept for API stability).
+    #[allow(clippy::result_unit_err)]
+    pub fn new(network: &'n LogicNetwork) -> Result<Self, ()> {
+        Ok(Self {
+            network,
+            values: vec![V3::X; network.signal_count()],
+            next_state: vec![V3::X; network.dff_count()],
+        })
+    }
+
+    /// Resets every flip-flop (and signal) to `X`.
+    pub fn reset_to_x(&mut self) {
+        self.values.fill(V3::X);
+    }
+
+    /// Sets every flip-flop to a caller-chosen value (e.g. random).
+    pub fn reset_state_with(&mut self, mut f: impl FnMut(usize) -> V3) {
+        self.values.fill(V3::X);
+        for (k, dff) in self.network.dffs.iter().enumerate() {
+            self.values[dff.q.0] = f(k);
+        }
+    }
+
+    /// Current value of a signal.
+    pub fn value(&self, signal: SignalId) -> V3 {
+        self.values[signal.0]
+    }
+
+    /// Current flip-flop state vector.
+    pub fn state(&self) -> Vec<V3> {
+        self.network
+            .dffs
+            .iter()
+            .map(|d| self.values[d.q.0])
+            .collect()
+    }
+
+    /// Applies `inputs`, settles the combinational logic, then clocks the
+    /// flip-flops once. Returns the primary output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the network's input count.
+    pub fn step(&mut self, inputs: &[V3]) -> Vec<V3> {
+        self.step_with_override(inputs, None)
+    }
+
+    /// Like [`step`](Self::step), but with one signal forced to a constant
+    /// throughout the cycle — the primitive behind stuck-at fault
+    /// simulation. The forced value is visible to every downstream gate
+    /// and to the flip-flops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the network's input count.
+    pub fn step_with_override(
+        &mut self,
+        inputs: &[V3],
+        over: Option<(SignalId, V3)>,
+    ) -> Vec<V3> {
+        assert_eq!(
+            inputs.len(),
+            self.network.input_count(),
+            "wrong number of inputs"
+        );
+        for (k, &input_sig) in self.network.inputs.iter().enumerate() {
+            self.values[input_sig.0] = inputs[k];
+        }
+        self.apply_override(over);
+        self.settle(over);
+        // Latch D values, then update Q outputs simultaneously.
+        for (k, dff) in self.network.dffs.iter().enumerate() {
+            self.next_state[k] = self.values[dff.d.0];
+        }
+        for (k, dff) in self.network.dffs.iter().enumerate() {
+            self.values[dff.q.0] = self.next_state[k];
+        }
+        self.apply_override(over);
+        // Re-settle so outputs reflect the post-edge state.
+        self.settle(over);
+        self.network
+            .outputs
+            .iter()
+            .map(|&(_, sig)| self.values[sig.0])
+            .collect()
+    }
+
+    fn apply_override(&mut self, over: Option<(SignalId, V3)>) {
+        if let Some((sig, v)) = over {
+            self.values[sig.0] = v;
+        }
+    }
+
+    /// Evaluates the combinational gates in topological order.
+    fn settle(&mut self, over: Option<(SignalId, V3)>) {
+        for &g in &self.network.order {
+            let gate = &self.network.gates[g];
+            let v = match gate.kind {
+                GateKind::Buf => self.values[gate.inputs[0].0],
+                GateKind::Not => self.values[gate.inputs[0].0].not(),
+                GateKind::And => self.fold(gate, V3::and),
+                GateKind::Or => self.fold(gate, V3::or),
+                GateKind::Nand => self.fold(gate, V3::and).not(),
+                GateKind::Nor => self.fold(gate, V3::or).not(),
+                GateKind::Xor => self.fold(gate, V3::xor),
+                GateKind::Xnor => self.fold(gate, V3::xor).not(),
+                GateKind::Mux => {
+                    let sel = self.values[gate.inputs[0].0];
+                    let a = self.values[gate.inputs[1].0];
+                    let b = self.values[gate.inputs[2].0];
+                    match sel {
+                        V3::One => a,
+                        V3::Zero => b,
+                        V3::X => {
+                            if a == b {
+                                a
+                            } else {
+                                V3::X
+                            }
+                        }
+                    }
+                }
+            };
+            self.values[gate.output.0] = match over {
+                Some((sig, forced)) if sig == gate.output => forced,
+                _ => v,
+            };
+        }
+    }
+
+    fn fold(&self, gate: &crate::network::Gate, f: impl Fn(V3, V3) -> V3) -> V3 {
+        let mut acc = self.values[gate.inputs[0].0];
+        for &input in &gate.inputs[1..] {
+            acc = f(acc, self.values[input.0]);
+        }
+        acc
+    }
+
+    /// The network being simulated.
+    pub fn network(&self) -> &LogicNetwork {
+        self.network
+    }
+}
+
+/// Checks the initialization-convergence property of Soufi et al. \[13\]:
+/// circuits driven by random patterns "tend to converge to a deterministic
+/// state, irrespective of the initial state". Two copies of the circuit
+/// start from two *different* caller-supplied power-up states and receive
+/// the same pseudorandom input stream; the function returns the first
+/// cycle at which their flip-flop states coincide (and are fully defined),
+/// or `None` within `max_cycles`.
+///
+/// Structures without any synchronizing behaviour — free-running counters,
+/// autonomous LFSRs, an isolated toggle — never converge; that is the
+/// classic caveat to \[13\] and is reported honestly as `None`.
+pub fn initialization_convergence(
+    network: &LogicNetwork,
+    mut pattern: impl FnMut(usize, usize) -> bool,
+    initial_a: impl Fn(usize) -> bool,
+    initial_b: impl Fn(usize) -> bool,
+    max_cycles: usize,
+) -> Option<usize> {
+    let mut sim_a = Simulator::new(network).expect("simulator");
+    let mut sim_b = Simulator::new(network).expect("simulator");
+    sim_a.reset_state_with(|k| initial_a(k).into());
+    sim_b.reset_state_with(|k| initial_b(k).into());
+    for cycle in 0..max_cycles {
+        let inputs: Vec<V3> = (0..network.input_count())
+            .map(|k| pattern(cycle, k).into())
+            .collect();
+        sim_a.step(&inputs);
+        sim_b.step(&inputs);
+        let sa = sim_a.state();
+        let sb = sim_b.state();
+        if sa.iter().all(|v| *v != V3::X) && sa == sb {
+            return Some(cycle + 1);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GateKind, NetworkBuilder};
+
+    #[test]
+    fn v3_tables() {
+        assert_eq!(V3::Zero.and(V3::X), V3::Zero);
+        assert_eq!(V3::One.and(V3::X), V3::X);
+        assert_eq!(V3::One.or(V3::X), V3::One);
+        assert_eq!(V3::Zero.or(V3::X), V3::X);
+        assert_eq!(V3::One.xor(V3::One), V3::Zero);
+        assert_eq!(V3::One.xor(V3::X), V3::X);
+        assert_eq!(V3::X.not(), V3::X);
+        assert_eq!(V3::from(true), V3::One);
+        assert_eq!(V3::One.to_bool(), Some(true));
+        assert_eq!(V3::X.to_bool(), None);
+    }
+
+    #[test]
+    fn combinational_gates_evaluate() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input("a").unwrap();
+        let c = b.input("b").unwrap();
+        let and = b.gate(GateKind::And, &[a, c], "and").unwrap();
+        let nor = b.gate(GateKind::Nor, &[a, c], "nor").unwrap();
+        let xor = b.gate(GateKind::Xor, &[a, c], "xor").unwrap();
+        b.output("and", and);
+        b.output("nor", nor);
+        b.output("xor", xor);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let out = sim.step(&[V3::One, V3::Zero]);
+        assert_eq!(out, vec![V3::Zero, V3::Zero, V3::One]);
+        let out = sim.step(&[V3::One, V3::One]);
+        assert_eq!(out, vec![V3::One, V3::Zero, V3::Zero]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut b = NetworkBuilder::new();
+        let s = b.input("s").unwrap();
+        let a = b.input("a").unwrap();
+        let c = b.input("b").unwrap();
+        let m = b.gate(GateKind::Mux, &[s, a, c], "m").unwrap();
+        b.output("m", m);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        assert_eq!(sim.step(&[V3::One, V3::One, V3::Zero]), vec![V3::One]);
+        assert_eq!(sim.step(&[V3::Zero, V3::One, V3::Zero]), vec![V3::Zero]);
+        // X select with equal data resolves.
+        assert_eq!(sim.step(&[V3::X, V3::One, V3::One]), vec![V3::One]);
+        assert_eq!(sim.step(&[V3::X, V3::One, V3::Zero]), vec![V3::X]);
+    }
+
+    #[test]
+    fn dff_delays_by_one_cycle() {
+        let mut b = NetworkBuilder::new();
+        let d = b.input("d").unwrap();
+        let q = b.dff(d, "q").unwrap();
+        b.output("q", q);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_to_x();
+        assert_eq!(sim.step(&[V3::One]), vec![V3::One]); // q after edge
+        assert_eq!(sim.step(&[V3::Zero]), vec![V3::Zero]);
+        // The value visible *before* the edge lags: check via two steps.
+        sim.reset_to_x();
+        sim.step(&[V3::One]);
+        assert_eq!(sim.value(q), V3::One);
+    }
+
+    #[test]
+    fn x_propagates_from_uninitialized_state() {
+        let mut b = NetworkBuilder::new();
+        let d = b.input("d").unwrap();
+        let q = b.dff(d, "q").unwrap();
+        let y = b.gate(GateKind::Xor, &[d, q], "y").unwrap();
+        b.output("y", y);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset_to_x();
+        // Before any clock, q = X, so y = d XOR X = X... after one step the
+        // flip-flop captured d, so y is defined.
+        let out = sim.step(&[V3::One]);
+        assert_eq!(out, vec![V3::Zero]); // q = 1, d = 1 → y = 0
+    }
+
+    #[test]
+    fn convergence_on_shift_register() {
+        // A 4-bit shift register always converges in 4 cycles.
+        let mut b = NetworkBuilder::new();
+        let d = b.input("d").unwrap();
+        let q0 = b.dff(d, "q0").unwrap();
+        let q1 = b.dff(q0, "q1").unwrap();
+        let q2 = b.dff(q1, "q2").unwrap();
+        let _q3 = b.dff(q2, "q3").unwrap();
+        let n = b.build().unwrap();
+        // Initial states differ in the first stage; the difference shifts
+        // down the register and leaves after exactly 4 cycles.
+        let cycles = initialization_convergence(
+            &n,
+            |cycle, _| cycle % 3 == 0,
+            |k| k == 0,
+            |_| false,
+            100,
+        );
+        assert_eq!(cycles, Some(4));
+    }
+
+    #[test]
+    fn convergence_fails_on_isolated_toggle() {
+        // q = NOT q every cycle: never converges from differing states —
+        // a classic initialization-resistant structure.
+        let mut b = NetworkBuilder::new();
+        let _unused = b.input("i").unwrap();
+        // Build feedback: q reads its own inverse. Forward-reference the
+        // dff output id: inputs are allocated first (id 0), not gate (id 1),
+        // dff q (id 2).
+        let notq = b.gate(GateKind::Not, &[SignalId(2)], "notq").unwrap();
+        let _q = b.dff(notq, "q").unwrap();
+        let n = b.build().unwrap();
+        let cycles =
+            initialization_convergence(&n, |c, _| c % 2 == 0, |_| true, |_| false, 50);
+        assert_eq!(cycles, None);
+    }
+}

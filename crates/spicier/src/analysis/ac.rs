@@ -1,0 +1,485 @@
+//! Small-signal AC analysis.
+//!
+//! Linearizes every device at the DC operating point into conductance (`G`)
+//! and capacitance (`C`) matrices, then solves `(G + jωC)·x = b` at each
+//! frequency with a unit excitation on one designated source (all other
+//! independent sources are zeroed, i.e. voltage sources become shorts and
+//! current sources opens — standard AC semantics).
+//!
+//! Used here to characterize gate bandwidth and detector/comparator
+//! frequency response, corroborating the paper's "works well below
+//! at-speed frequencies" scoping.
+
+use super::dc::{self, DcOptions};
+use super::mna::Assembler;
+use crate::error::Error;
+use crate::linalg::complex::{Complex, ComplexDenseMatrix};
+use crate::linalg::Triplets;
+use crate::netlist::{Circuit, Element, NodeId};
+
+/// Options for [`ac_analysis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcOptions {
+    /// Name of the voltage or current source carrying the unit AC
+    /// excitation.
+    pub source: String,
+    /// Frequencies to evaluate, hertz.
+    pub freqs: Vec<f64>,
+    /// DC operating-point options.
+    pub dc: DcOptions,
+}
+
+impl AcOptions {
+    /// Unit excitation on `source` over a log-spaced grid.
+    pub fn new(source: &str, freqs: Vec<f64>) -> Self {
+        Self {
+            source: source.to_string(),
+            freqs,
+            dc: DcOptions::default(),
+        }
+    }
+}
+
+/// Log-spaced frequency grid, `points_per_decade` points per decade from
+/// `f_start` to `f_stop` inclusive.
+pub fn decade_freqs(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    if f_start <= 0.0 || f_stop < f_start || points_per_decade == 0 {
+        return out;
+    }
+    let step = 1.0 / points_per_decade as f64;
+    let mut exp = f_start.log10();
+    let stop_exp = f_stop.log10();
+    while exp <= stop_exp + 1e-12 {
+        out.push(10.0f64.powf(exp));
+        exp += step;
+    }
+    out
+}
+
+/// Result of an AC run: complex node responses per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    freqs: Vec<f64>,
+    n_nodes: usize,
+    /// `data[k][i]` = response of unknown `i` at frequency `k`.
+    data: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// The frequency grid, hertz.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex transfer to `node` at frequency index `k`.
+    pub fn response(&self, node: NodeId, k: usize) -> Complex {
+        match node.unknown() {
+            Some(i) => self.data[k][i],
+            None => Complex::ZERO,
+        }
+    }
+
+    /// Magnitude (in dB) of the transfer to `node` across the grid.
+    pub fn mag_db(&self, node: NodeId) -> Vec<f64> {
+        (0..self.freqs.len())
+            .map(|k| self.response(node, k).db())
+            .collect()
+    }
+
+    /// Phase (degrees) across the grid.
+    pub fn phase_deg(&self, node: NodeId) -> Vec<f64> {
+        (0..self.freqs.len())
+            .map(|k| self.response(node, k).phase_deg())
+            .collect()
+    }
+
+    /// The −3 dB bandwidth of the transfer to `node` relative to its
+    /// response at the lowest frequency (linear interpolation in
+    /// log-magnitude). `None` when the response never drops 3 dB.
+    pub fn bandwidth_3db(&self, node: NodeId) -> Option<f64> {
+        let mags = self.mag_db(node);
+        let reference = *mags.first()?;
+        let target = reference - 3.0;
+        for k in 1..mags.len() {
+            if mags[k] <= target {
+                let (m0, m1) = (mags[k - 1], mags[k]);
+                let (f0, f1) = (self.freqs[k - 1], self.freqs[k]);
+                if (m1 - m0).abs() < 1e-12 {
+                    return Some(f1);
+                }
+                let t = (target - m0) / (m1 - m0);
+                // Interpolate in log-frequency.
+                return Some(10.0f64.powf(f0.log10() + t * (f1.log10() - f0.log10())));
+            }
+        }
+        None
+    }
+
+    /// `n_nodes` accessor for diagnostics.
+    pub fn node_unknowns(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+/// Runs the AC analysis.
+///
+/// # Errors
+///
+/// Fails when the operating point does not converge, the named source does
+/// not exist, or a frequency point is singular.
+pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Error> {
+    // 1. Operating point.
+    let mut assembler = Assembler::new(circuit);
+    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler)?;
+    drop(assembler);
+
+    // 2. Linearize into G and C triplets.
+    let dim = circuit.dim();
+    let n_nodes = circuit.node_unknowns();
+    let (g, c) = linearized_matrices(circuit, &x_op, opts.dc.gmin);
+
+    // 3. Excitation vector: unit AC on the named source.
+    let mut rhs0 = vec![Complex::ZERO; dim];
+    let mut found_source = false;
+    let mut branch_of = vec![usize::MAX; circuit.element_slice().len()];
+    for (b, &e_idx) in circuit.branch_elements().iter().enumerate() {
+        branch_of[e_idx] = n_nodes + b;
+    }
+    for (e_idx, (name, element)) in circuit.element_slice().iter().enumerate() {
+        if name != &opts.source {
+            continue;
+        }
+        match element {
+            Element::VoltageSource { .. } => {
+                rhs0[branch_of[e_idx]] = Complex::ONE;
+                found_source = true;
+            }
+            Element::CurrentSource { p, n, .. } => {
+                if let Some(i) = p.unknown() {
+                    rhs0[i] += -Complex::ONE;
+                }
+                if let Some(j) = n.unknown() {
+                    rhs0[j] += Complex::ONE;
+                }
+                found_source = true;
+            }
+            _ => {}
+        }
+    }
+    if !found_source {
+        return Err(Error::UnknownElement(opts.source.clone()));
+    }
+
+    // 4. Solve per frequency.
+    let mut data = Vec::with_capacity(opts.freqs.len());
+    for &f in &opts.freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut a = ComplexDenseMatrix::zeros(dim);
+        for &(r, col, v) in g.entries() {
+            a.add(r, col, Complex::real(v));
+        }
+        for &(r, col, v) in c.entries() {
+            a.add(r, col, Complex::imag(omega * v));
+        }
+        let mut x = rhs0.clone();
+        a.solve_in_place(&mut x)?;
+        data.push(x);
+    }
+    Ok(AcResult {
+        freqs: opts.freqs.clone(),
+        n_nodes,
+        data,
+    })
+}
+
+/// Linearizes the circuit at the operating point `x_op` into conductance
+/// (`G`) and capacitance (`C`) triplet matrices, with all independent
+/// sources zeroed (voltage sources keep their branch rows — i.e. they are
+/// AC shorts — and current sources are opens). Shared by the AC and noise
+/// analyses.
+pub(crate) fn linearized_matrices(
+    circuit: &Circuit,
+    x_op: &[f64],
+    gmin: f64,
+) -> (Triplets, Triplets) {
+    let dim = circuit.dim();
+    let n_nodes = circuit.node_unknowns();
+    let mut g = Triplets::new(dim);
+    let mut c = Triplets::new(dim);
+    let mut branch_of = vec![usize::MAX; circuit.element_slice().len()];
+    for (b, &e_idx) in circuit.branch_elements().iter().enumerate() {
+        branch_of[e_idx] = n_nodes + b;
+    }
+    let v_of = |node: NodeId| -> f64 {
+        match node.unknown() {
+            Some(i) => x_op[i],
+            None => 0.0,
+        }
+    };
+    let stamp_g2 = |g: &mut Triplets, p: NodeId, n: NodeId, value: f64| {
+        if let Some(i) = p.unknown() {
+            g.add(i, i, value);
+        }
+        if let Some(j) = n.unknown() {
+            g.add(j, j, value);
+        }
+        if let (Some(i), Some(j)) = (p.unknown(), n.unknown()) {
+            g.add(i, j, -value);
+            g.add(j, i, -value);
+        }
+    };
+
+    for (e_idx, (_, element)) in circuit.element_slice().iter().enumerate() {
+        match element {
+            Element::Resistor { p, n, value } => stamp_g2(&mut g, *p, *n, 1.0 / value),
+            Element::Capacitor { p, n, value } => stamp_g2(&mut c, *p, *n, *value),
+            Element::Inductor { p, n, value } => {
+                let branch = branch_of[e_idx];
+                if let Some(i) = p.unknown() {
+                    g.add(i, branch, 1.0);
+                    g.add(branch, i, 1.0);
+                }
+                if let Some(j) = n.unknown() {
+                    g.add(j, branch, -1.0);
+                    g.add(branch, j, -1.0);
+                }
+                // v − jωL·i = 0 → −L into the C matrix at (branch, branch).
+                c.add(branch, branch, -value);
+            }
+            Element::VoltageSource { p, n, .. } => {
+                let branch = branch_of[e_idx];
+                if let Some(i) = p.unknown() {
+                    g.add(i, branch, 1.0);
+                    g.add(branch, i, 1.0);
+                }
+                if let Some(j) = n.unknown() {
+                    g.add(j, branch, -1.0);
+                    g.add(branch, j, -1.0);
+                }
+            }
+            Element::CurrentSource { .. } => {
+                // Zeroed in small-signal analysis: an open circuit.
+            }
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            } => {
+                let vd = v_of(*anode) - v_of(*cathode);
+                let eval = model.eval(vd);
+                stamp_g2(&mut g, *anode, *cathode, eval.gd);
+                stamp_g2(&mut c, *anode, *cathode, eval.c);
+            }
+            Element::Bjt {
+                collector,
+                base,
+                emitter,
+                model,
+            } => {
+                let s = model.polarity.sign();
+                let vbe = s * (v_of(*base) - v_of(*emitter));
+                let vbc = s * (v_of(*base) - v_of(*collector));
+                let eval = model.eval(vbe, vbc);
+                // Current partials into G (signs as in the transient stamp).
+                let nodes = [*collector, *base, *emitter];
+                let dic = [
+                    -eval.dic_dvbc,
+                    eval.dic_dvbe + eval.dic_dvbc,
+                    -eval.dic_dvbe,
+                ];
+                let dib = [
+                    -eval.dib_dvbc,
+                    eval.dib_dvbe + eval.dib_dvbc,
+                    -eval.dib_dvbe,
+                ];
+                let die = [-(dic[0] + dib[0]), -(dic[1] + dib[1]), -(dic[2] + dib[2])];
+                for (row_node, partials) in [(*collector, dic), (*base, dib), (*emitter, die)] {
+                    if let Some(row) = row_node.unknown() {
+                        for (k, node) in nodes.iter().enumerate() {
+                            if let Some(col) = node.unknown() {
+                                g.add(row, col, partials[k]);
+                            }
+                        }
+                    }
+                }
+                stamp_g2(&mut c, *base, *emitter, eval.cbe);
+                stamp_g2(&mut c, *base, *collector, eval.cbc);
+            }
+            Element::Vcvs { p, n, cp, cn, gain } => {
+                let branch = branch_of[e_idx];
+                if let Some(i) = p.unknown() {
+                    g.add(i, branch, 1.0);
+                    g.add(branch, i, 1.0);
+                }
+                if let Some(j) = n.unknown() {
+                    g.add(j, branch, -1.0);
+                    g.add(branch, j, -1.0);
+                }
+                if let Some(i) = cp.unknown() {
+                    g.add(branch, i, -gain);
+                }
+                if let Some(j) = cn.unknown() {
+                    g.add(branch, j, *gain);
+                }
+            }
+            Element::Vccs { p, n, cp, cn, gm } => {
+                for (row, sign) in [(*p, 1.0), (*n, -1.0)] {
+                    if let Some(r) = row.unknown() {
+                        if let Some(i) = cp.unknown() {
+                            g.add(r, i, sign * gm);
+                        }
+                        if let Some(j) = cn.unknown() {
+                            g.add(r, j, -sign * gm);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // gmin blanket, as in DC.
+    for i in 0..n_nodes {
+        g.add(i, i, gmin);
+    }
+    (g, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, SourceWave};
+
+    #[test]
+    fn rc_lowpass_pole() {
+        // R = 1 kΩ, C = 1 nF → f_3dB = 159.2 kHz; phase −45° at the pole.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vdc("V1", a, Netlist::GROUND, 0.0).unwrap();
+        nl.resistor("R1", a, b, 1.0e3).unwrap();
+        nl.capacitor("C1", b, Netlist::GROUND, 1.0e-9).unwrap();
+        let circuit = nl.compile().unwrap();
+        let freqs = decade_freqs(1.0e3, 1.0e8, 40);
+        let res = ac_analysis(&circuit, &AcOptions::new("V1", freqs)).unwrap();
+        let f3 = res.bandwidth_3db(b).expect("pole in range");
+        let expected = 1.0 / (2.0 * std::f64::consts::PI * 1.0e3 * 1.0e-9);
+        assert!(
+            (f3 - expected).abs() < 0.03 * expected,
+            "f3dB {f3:.3e} vs {expected:.3e}"
+        );
+        // Low-frequency gain ≈ 0 dB; slope −20 dB/dec well past the pole.
+        let mags = res.mag_db(b);
+        assert!(mags[0].abs() < 0.05);
+        let hf = mags[mags.len() - 1] - mags[mags.len() - 41];
+        assert!((hf + 20.0).abs() < 1.0, "slope {hf} dB/decade");
+        // Phase approaches −90°.
+        let ph = res.phase_deg(b);
+        assert!(ph.last().unwrap() < &-85.0);
+    }
+
+    #[test]
+    fn rlc_series_resonance_peak() {
+        // Series RLC driven across the capacitor: peak near
+        // f0 = 1/(2π√(LC)) with Q = (1/R)·√(L/C).
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let c = nl.node("c");
+        nl.vdc("V1", a, Netlist::GROUND, 0.0).unwrap();
+        nl.resistor("R1", a, b, 10.0).unwrap();
+        nl.inductor("L1", b, c, 1.0e-6).unwrap();
+        nl.capacitor("C1", c, Netlist::GROUND, 1.0e-9).unwrap();
+        let circuit = nl.compile().unwrap();
+        let freqs = decade_freqs(1.0e5, 1.0e8, 60);
+        let res = ac_analysis(&circuit, &AcOptions::new("V1", freqs)).unwrap();
+        let mags = res.mag_db(c);
+        let (k_peak, peak) = mags
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+            .unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1.0e-6f64 * 1.0e-9).sqrt());
+        assert!(
+            (res.freqs()[k_peak] - f0).abs() < 0.05 * f0,
+            "peak at {:.3e} vs f0 {f0:.3e}",
+            res.freqs()[k_peak]
+        );
+        let q = (1.0 / 10.0) * (1.0e-6f64 / 1.0e-9).sqrt();
+        assert!(
+            (*peak - 20.0 * q.log10()).abs() < 0.6,
+            "peak {peak:.2} dB vs Q {:.2} dB",
+            20.0 * q.log10()
+        );
+    }
+
+    #[test]
+    fn vcvs_gain_is_flat() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vdc("V1", a, Netlist::GROUND, 0.0).unwrap();
+        nl.vcvs("E1", b, Netlist::GROUND, a, Netlist::GROUND, 10.0)
+            .unwrap();
+        nl.resistor("RL", b, Netlist::GROUND, 1.0e3).unwrap();
+        let circuit = nl.compile().unwrap();
+        let res = ac_analysis(
+            &circuit,
+            &AcOptions::new("V1", vec![1.0e3, 1.0e6, 1.0e9]),
+        )
+        .unwrap();
+        for k in 0..3 {
+            assert!((res.response(b, k).db() - 20.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bjt_amplifier_has_finite_bandwidth() {
+        // The common-emitter stage from the integration tests: gain ≈
+        // Rc/(Re + 1/gm) at low frequency, rolling off in the GHz range
+        // through Cjc/Cje.
+        let mut nl = Netlist::new();
+        let vcc = nl.node("vcc");
+        let vb = nl.node("vb");
+        let vc = nl.node("vc");
+        let ve = nl.node("ve");
+        nl.vdc("VCC", vcc, Netlist::GROUND, 5.0).unwrap();
+        nl.vsource("VB", vb, Netlist::GROUND, SourceWave::Dc(1.4))
+            .unwrap();
+        nl.resistor("RC", vcc, vc, 2.0e3).unwrap();
+        nl.resistor("RE", ve, Netlist::GROUND, 500.0).unwrap();
+        nl.bjt("Q1", vc, vb, ve, crate::devices::BjtModel::fast_npn())
+            .unwrap();
+        let circuit = nl.compile().unwrap();
+        let freqs = decade_freqs(1.0e5, 1.0e11, 20);
+        let res = ac_analysis(&circuit, &AcOptions::new("VB", freqs)).unwrap();
+        let dc_gain = res.response(vc, 0).abs();
+        assert!(
+            (dc_gain - 2.0e3 / 526.0).abs() < 0.15 * dc_gain,
+            "AC low-frequency gain {dc_gain:.2}"
+        );
+        let f3 = res.bandwidth_3db(vc).expect("finite bandwidth");
+        assert!(
+            (1.0e8..1.0e11).contains(&f3),
+            "bandwidth {f3:.3e} Hz should be GHz-scale"
+        );
+    }
+
+    #[test]
+    fn unknown_source_is_an_error() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        let circuit = nl.compile().unwrap();
+        assert!(ac_analysis(&circuit, &AcOptions::new("VX", vec![1.0e3])).is_err());
+    }
+
+    #[test]
+    fn decade_grid() {
+        let f = decade_freqs(1.0e3, 1.0e6, 10);
+        assert_eq!(f.len(), 31);
+        assert!((f[0] - 1.0e3).abs() < 1e-9);
+        assert!((f[30] - 1.0e6).abs() < 1e-3);
+        assert!(decade_freqs(0.0, 1.0, 10).is_empty());
+    }
+}

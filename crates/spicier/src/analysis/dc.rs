@@ -1,0 +1,424 @@
+//! DC operating point and DC sweeps.
+//!
+//! The solver runs plain Newton–Raphson first; when that fails it falls
+//! back to `gmin` stepping (a conductance homotopy) and then source
+//! stepping, the same escalation sequence SPICE uses.
+
+use super::mna::{Assembler, EvalMode};
+use crate::error::Error;
+use crate::linalg::{AutoSolver, Solver, Triplets};
+use crate::netlist::{Circuit, NodeId};
+
+/// Options for the DC operating-point solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcOptions {
+    /// Maximum Newton iterations per attempt.
+    pub max_iterations: usize,
+    /// Absolute node-voltage convergence tolerance, volts.
+    pub abstol_v: f64,
+    /// Absolute branch-current convergence tolerance, amperes.
+    pub abstol_i: f64,
+    /// Relative convergence tolerance.
+    pub reltol: f64,
+    /// Final gmin left in the circuit, siemens.
+    pub gmin: f64,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 150,
+            abstol_v: 1.0e-6,
+            abstol_i: 1.0e-9,
+            reltol: 1.0e-3,
+            gmin: 1.0e-12,
+        }
+    }
+}
+
+/// A converged DC solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    n_nodes: usize,
+    x: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of `node`, volts.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        match node.unknown() {
+            Some(i) => self.x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Branch current of the `k`-th branch element (voltage sources and
+    /// inductors in netlist order), amperes.
+    pub fn branch_current(&self, k: usize) -> f64 {
+        self.x[self.n_nodes + k]
+    }
+
+    /// The raw unknown vector (node voltages then branch currents).
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Consumes the solution, returning the unknown vector.
+    pub fn into_unknowns(self) -> Vec<f64> {
+        self.x
+    }
+}
+
+/// Runs one Newton–Raphson attempt from `x`, in place.
+///
+/// Returns the number of iterations used.
+pub(crate) fn newton(
+    assembler: &mut Assembler<'_>,
+    mode: &EvalMode,
+    x: &mut [f64],
+    opts: &DcOptions,
+    solver: &mut AutoSolver,
+    triplets: &mut Triplets,
+    rhs: &mut Vec<f64>,
+) -> Result<usize, Error> {
+    let n_nodes = assembler.circuit().node_unknowns();
+    let mut worst = f64::INFINITY;
+    for iter in 0..opts.max_iterations {
+        assembler.assemble(x, mode, triplets, rhs);
+        solver.solve_in_place(triplets, rhs)?;
+        let mut converged = true;
+        worst = 0.0;
+        for (i, (&new, old)) in rhs.iter().zip(x.iter()).enumerate() {
+            let abstol = if i < n_nodes {
+                opts.abstol_v
+            } else {
+                opts.abstol_i
+            };
+            let tol = abstol + opts.reltol * new.abs().max(old.abs());
+            let delta = (new - old).abs();
+            if delta > tol {
+                converged = false;
+            }
+            worst = worst.max(delta);
+        }
+        x.copy_from_slice(rhs);
+        if converged && !assembler.was_limited() && iter > 0 {
+            return Ok(iter + 1);
+        }
+    }
+    Err(Error::DcNoConvergence {
+        iterations: opts.max_iterations,
+        residual: worst,
+    })
+}
+
+/// Computes the DC operating point of `circuit`.
+///
+/// # Errors
+///
+/// Returns [`Error::DcNoConvergence`] when Newton, gmin stepping and source
+/// stepping all fail, or [`Error::SingularMatrix`] for structurally broken
+/// circuits.
+pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, Error> {
+    let mut assembler = Assembler::new(circuit);
+    operating_point_with(circuit, opts, &mut assembler).map(|x| DcSolution {
+        n_nodes: circuit.node_unknowns(),
+        x,
+    })
+}
+
+/// Operating point reusing an existing assembler (so transient can keep the
+/// junction-limiting state it seeds).
+pub(crate) fn operating_point_with(
+    circuit: &Circuit,
+    opts: &DcOptions,
+    assembler: &mut Assembler<'_>,
+) -> Result<Vec<f64>, Error> {
+    let dim = circuit.dim();
+    let mut solver = AutoSolver::new();
+    let mut triplets = Triplets::new(dim);
+    let mut rhs = Vec::with_capacity(dim);
+
+    // 1. Plain Newton from a zero start.
+    let mut x = vec![0.0; dim];
+    assembler.reset_junctions(&x);
+    if newton(
+        assembler,
+        &EvalMode::dc(opts.gmin),
+        &mut x,
+        opts,
+        &mut solver,
+        &mut triplets,
+        &mut rhs,
+    )
+    .is_ok()
+    {
+        return Ok(x);
+    }
+
+    // 2. gmin stepping: converge with a heavy conductance blanket, then
+    //    relax it decade by decade.
+    let mut x = vec![0.0; dim];
+    assembler.reset_junctions(&x);
+    let mut gmin = 1.0e-2;
+    let mut gmin_ok = true;
+    while gmin >= opts.gmin {
+        let mode = EvalMode::dc(gmin);
+        if newton(
+            assembler,
+            &mode,
+            &mut x,
+            opts,
+            &mut solver,
+            &mut triplets,
+            &mut rhs,
+        )
+        .is_err()
+        {
+            gmin_ok = false;
+            break;
+        }
+        if gmin == opts.gmin {
+            return Ok(x);
+        }
+        gmin = (gmin / 10.0).max(opts.gmin);
+    }
+    let _ = gmin_ok;
+
+    // 3. Source stepping: ramp independent sources from 10% to 100%.
+    let mut x = vec![0.0; dim];
+    assembler.reset_junctions(&x);
+    let mut scale = 0.1;
+    let mut last_err = Error::DcNoConvergence {
+        iterations: opts.max_iterations,
+        residual: f64::NAN,
+    };
+    let mut step = 0.1;
+    while scale <= 1.0 + 1e-12 {
+        let mode = EvalMode {
+            source_scale: scale,
+            ..EvalMode::dc(opts.gmin)
+        };
+        let mut attempt = x.clone();
+        match newton(
+            assembler,
+            &mode,
+            &mut attempt,
+            opts,
+            &mut solver,
+            &mut triplets,
+            &mut rhs,
+        ) {
+            Ok(_) => {
+                x = attempt;
+                if (scale - 1.0).abs() < 1e-12 {
+                    return Ok(x);
+                }
+                scale = (scale + step).min(1.0);
+            }
+            Err(e) => {
+                last_err = e;
+                step /= 2.0;
+                if step < 1.0e-3 {
+                    return Err(last_err);
+                }
+                scale = (scale - step).max(step);
+            }
+        }
+    }
+    Err(last_err)
+}
+
+/// Sweeps the value of a DC voltage source and records the operating point
+/// at each setting, using the previous solution as the next starting guess
+/// (continuation) — this is what the hysteresis experiment of the paper's
+/// Figure 12 needs, because the comparator's state depends on the sweep
+/// direction.
+///
+/// # Errors
+///
+/// Fails if any point fails to converge.
+pub fn sweep_vsource(
+    circuit: &Circuit,
+    source: &str,
+    values: &[f64],
+    opts: &DcOptions,
+) -> Result<Vec<DcSolution>, Error> {
+    // Verify the element exists and is a voltage source up front.
+    match circuit.netlist().element(source)? {
+        crate::netlist::Element::VoltageSource { .. } => {}
+        other => {
+            return Err(Error::InvalidValue {
+                element: source.to_string(),
+                reason: format!("expected a voltage source, found {}", other.type_tag()),
+            })
+        }
+    }
+    let mut results = Vec::with_capacity(values.len());
+    let mut previous: Option<Vec<f64>> = None;
+    for &v in values {
+        // Rebuild the netlist with the new source value.
+        let mut nl = circuit.netlist().clone();
+        let (p, n) = match nl.element(source)? {
+            crate::netlist::Element::VoltageSource { p, n, .. } => (*p, *n),
+            _ => unreachable!("validated above"),
+        };
+        nl.remove_element(source)?;
+        nl.vdc(source, p, n, v)?;
+        let swept = nl.compile()?;
+        let mut assembler = Assembler::new(&swept);
+        let x = match &previous {
+            Some(prev) => {
+                // Continuation: start Newton from the previous solution.
+                let mut x = prev.clone();
+                assembler.reset_junctions(&x);
+                let mut solver = AutoSolver::new();
+                let mut triplets = Triplets::new(swept.dim());
+                let mut rhs = Vec::new();
+                match newton(
+                    &mut assembler,
+                    &EvalMode::dc(opts.gmin),
+                    &mut x,
+                    opts,
+                    &mut solver,
+                    &mut triplets,
+                    &mut rhs,
+                ) {
+                    Ok(_) => x,
+                    Err(_) => operating_point_with(&swept, opts, &mut assembler)?,
+                }
+            }
+            None => operating_point_with(&swept, opts, &mut assembler)?,
+        };
+        previous = Some(x.clone());
+        results.push(DcSolution {
+            n_nodes: swept.node_unknowns(),
+            x,
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{BjtModel, DiodeModel};
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn divider() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.vdc("V1", vin, Netlist::GROUND, 3.3).unwrap();
+        nl.resistor("R1", vin, out, 1.0e3).unwrap();
+        nl.resistor("R2", out, Netlist::GROUND, 2.0e3).unwrap();
+        let c = nl.compile().unwrap();
+        let op = operating_point(&c, &DcOptions::default()).unwrap();
+        assert!((op.voltage(out) - 2.2).abs() < 1e-6);
+        assert!((op.voltage(vin) - 3.3).abs() < 1e-9);
+        assert!((op.voltage(Netlist::GROUND)).abs() == 0.0);
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let d = nl.node("d");
+        nl.vdc("V1", a, Netlist::GROUND, 3.3).unwrap();
+        nl.resistor("R1", a, d, 6.0e3).unwrap();
+        nl.diode("D1", d, Netlist::GROUND, DiodeModel::new())
+            .unwrap();
+        let c = nl.compile().unwrap();
+        let op = operating_point(&c, &DcOptions::default()).unwrap();
+        let vd = op.voltage(d);
+        assert!((0.8..1.0).contains(&vd), "diode drop {vd}");
+        // Current through R1 matches the diode law.
+        let i = (3.3 - vd) / 6.0e3;
+        let model_v = DiodeModel::new().forward_voltage(i);
+        assert!((vd - model_v).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bjt_current_mirror_ish_bias() {
+        // Current-source transistor with emitter degeneration, as in the
+        // tail of a CML gate.
+        let mut nl = Netlist::new();
+        let vcc = nl.node("vcc");
+        let b = nl.node("b");
+        let col = nl.node("c");
+        let e = nl.node("e");
+        nl.vdc("VCC", vcc, Netlist::GROUND, 3.3).unwrap();
+        nl.vdc("VB", b, Netlist::GROUND, 1.3).unwrap();
+        nl.resistor("RC", vcc, col, 1.0e3).unwrap();
+        nl.resistor("RE", e, Netlist::GROUND, 1.0e3).unwrap();
+        nl.bjt("Q1", col, b, e, BjtModel::fast_npn()).unwrap();
+        let c = nl.compile().unwrap();
+        let op = operating_point(&c, &DcOptions::default()).unwrap();
+        // IE ≈ (1.3 - 0.9)/1k = 0.4 mA.
+        let ie = op.voltage(e) / 1.0e3;
+        assert!((0.3e-3..0.5e-3).contains(&ie), "tail current {ie}");
+        // Collector resistor sees almost the same current.
+        let ic = (3.3 - op.voltage(col)) / 1.0e3;
+        assert!((ic - ie).abs() < 0.05 * ie);
+    }
+
+    #[test]
+    fn differential_pair_steers_current() {
+        let mut nl = Netlist::new();
+        let vcc = nl.node("vcc");
+        let bp = nl.node("bp");
+        let bn = nl.node("bn");
+        let cp = nl.node("cp");
+        let cn = nl.node("cn");
+        let tail = nl.node("tail");
+        nl.vdc("VCC", vcc, Netlist::GROUND, 3.3).unwrap();
+        nl.vdc("VBP", bp, Netlist::GROUND, 2.0).unwrap();
+        nl.vdc("VBN", bn, Netlist::GROUND, 1.75).unwrap();
+        nl.resistor("RCP", vcc, cp, 1.0e3).unwrap();
+        nl.resistor("RCN", vcc, cn, 1.0e3).unwrap();
+        nl.bjt("Q1", cp, bp, tail, BjtModel::fast_npn()).unwrap();
+        nl.bjt("Q2", cn, bn, tail, BjtModel::fast_npn()).unwrap();
+        nl.idc("IT", tail, Netlist::GROUND, 0.4e-3).unwrap();
+        let c = nl.compile().unwrap();
+        let op = operating_point(&c, &DcOptions::default()).unwrap();
+        // 250 mV of differential drive fully steers the current: cp pulled
+        // low by ~0.4 V, cn stays at the rail.
+        let vcp = op.voltage(cp);
+        let vcn = op.voltage(cn);
+        assert!((3.3 - vcp - 0.4).abs() < 0.02, "vcp = {vcp}");
+        assert!((3.3 - vcn).abs() < 0.02, "vcn = {vcn}");
+    }
+
+    #[test]
+    fn sweep_vsource_continuation() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let d = nl.node("d");
+        nl.vdc("V1", a, Netlist::GROUND, 0.0).unwrap();
+        nl.resistor("R1", a, d, 1.0e3).unwrap();
+        nl.diode("D1", d, Netlist::GROUND, DiodeModel::new())
+            .unwrap();
+        let c = nl.compile().unwrap();
+        let values: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
+        let sols = sweep_vsource(&c, "V1", &values, &DcOptions::default()).unwrap();
+        assert_eq!(sols.len(), values.len());
+        // Diode voltage saturates near 0.9 V while the source keeps rising.
+        let last = sols.last().unwrap().voltage(d);
+        assert!((0.85..1.0).contains(&last), "vd = {last}");
+        // Monotone in source value.
+        for w in sols.windows(2) {
+            assert!(w[1].voltage(d) >= w[0].voltage(d) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_non_vsource() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
+        let c = nl.compile().unwrap();
+        assert!(sweep_vsource(&c, "R1", &[1.0], &DcOptions::default()).is_err());
+    }
+}

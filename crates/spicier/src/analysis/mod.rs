@@ -1,0 +1,17 @@
+//! Circuit analyses: MNA assembly, DC operating point, transient, sweeps.
+
+pub mod ac;
+pub mod dc;
+pub mod mna;
+pub mod noise;
+pub mod power;
+pub mod sweep;
+pub mod tran;
+
+pub use ac::{ac_analysis, decade_freqs, AcOptions, AcResult};
+pub use noise::{noise_analysis, NoiseOptions, NoiseResult};
+pub use power::{power_report, PowerReport};
+pub use dc::{operating_point, sweep_vsource, DcOptions, DcSolution};
+pub use mna::{Assembler, EvalMode, Integration, Method};
+pub use sweep::{grid2, grid3, linspace, par_map};
+pub use tran::{transient, Probe, TranOptions, TranResult};

@@ -1,0 +1,228 @@
+//! DC power accounting.
+//!
+//! Computes each element's branch currents and dissipated power at an
+//! operating point, plus the Tellegen balance (power supplied by sources
+//! equals power dissipated in the rest of the circuit) as a built-in
+//! sanity check.
+
+use super::dc::DcSolution;
+use crate::netlist::{Circuit, Element, NodeId};
+
+/// One element's share of the power budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementPower {
+    /// Element name.
+    pub name: String,
+    /// Power absorbed by the element, watts (negative = delivering).
+    pub power: f64,
+    /// Whether the element is an independent source.
+    pub is_source: bool,
+}
+
+/// Power report at a DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Per-element powers, in netlist order.
+    pub per_element: Vec<ElementPower>,
+    /// Total power dissipated by non-source elements, watts.
+    pub dissipated: f64,
+    /// Total power delivered by independent sources, watts.
+    pub supplied: f64,
+}
+
+impl PowerReport {
+    /// Power of one element by name.
+    pub fn of(&self, name: &str) -> Option<f64> {
+        self.per_element
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.power)
+    }
+
+    /// Net power of all elements whose name starts with `prefix`
+    /// (sources included — use
+    /// [`dissipation_of_prefix`](Self::dissipation_of_prefix) for the
+    /// heat budget).
+    pub fn of_prefix(&self, prefix: &str) -> f64 {
+        self.per_element
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .map(|e| e.power)
+            .sum()
+    }
+
+    /// Dissipation of all *non-source* elements under `prefix` — the
+    /// extra heat a cell instance (e.g. a detector) adds.
+    pub fn dissipation_of_prefix(&self, prefix: &str) -> f64 {
+        self.per_element
+            .iter()
+            .filter(|e| e.name.starts_with(prefix) && !e.is_source)
+            .map(|e| e.power)
+            .sum()
+    }
+
+    /// Tellegen imbalance `|supplied − dissipated|` (should be ≈ 0).
+    pub fn imbalance(&self) -> f64 {
+        (self.supplied - self.dissipated).abs()
+    }
+}
+
+/// Computes the power report for `op` on `circuit`.
+pub fn power_report(circuit: &Circuit, op: &DcSolution) -> PowerReport {
+    let v = |node: NodeId| op.voltage(node);
+    let mut per_element = Vec::new();
+    let mut dissipated = 0.0;
+    let mut supplied = 0.0;
+    // Branch currents are ordered by the circuit's branch elements.
+    let mut branch_iter = 0usize;
+    let branch_elements = circuit.branch_elements();
+    let elements = circuit.element_slice();
+    for (e_idx, (name, element)) in elements.iter().enumerate() {
+        let has_branch = branch_elements.get(branch_iter) == Some(&e_idx);
+        let branch_current = if has_branch {
+            let i = op.branch_current(branch_iter);
+            branch_iter += 1;
+            Some(i)
+        } else {
+            None
+        };
+        let power = match element {
+            Element::Resistor { p, n, value } => {
+                let dv = v(*p) - v(*n);
+                dv * dv / value
+            }
+            Element::Capacitor { .. } => 0.0,
+            Element::Inductor { .. } => 0.0, // short in DC: no dissipation
+            Element::VoltageSource { p, n, .. } => {
+                // Branch current flows p → n inside the source; power
+                // delivered = −v·i (SPICE sign convention: a source
+                // delivering power has negative dissipation).
+                let i = branch_current.expect("voltage source has a branch");
+                (v(*p) - v(*n)) * i
+            }
+            Element::CurrentSource { p, n, wave } => {
+                let i = wave.dc_value();
+                (v(*p) - v(*n)) * i
+            }
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            } => {
+                let vd = v(*anode) - v(*cathode);
+                model.eval(vd).id * vd
+            }
+            Element::Bjt {
+                collector,
+                base,
+                emitter,
+                model,
+            } => {
+                let s = model.polarity.sign();
+                let vbe = s * (v(*base) - v(*emitter));
+                let vbc = s * (v(*base) - v(*collector));
+                let eval = model.eval(vbe, vbc);
+                let ic = s * eval.ic;
+                let ib = s * eval.ib;
+                let ie = -(ic + ib);
+                v(*collector) * ic + v(*base) * ib + v(*emitter) * ie
+            }
+            Element::Vcvs { p, n, .. } => {
+                let i = branch_current.expect("vcvs has a branch");
+                (v(*p) - v(*n)) * i
+            }
+            Element::Vccs { p, n, cp, cn, gm } => {
+                let i = gm * (v(*cp) - v(*cn));
+                (v(*p) - v(*n)) * i
+            }
+        };
+        let is_source = matches!(
+            element,
+            Element::VoltageSource { .. } | Element::CurrentSource { .. }
+        );
+        if is_source {
+            supplied += -power;
+        } else {
+            dissipated += power;
+        }
+        per_element.push(ElementPower {
+            name: name.clone(),
+            power,
+            is_source,
+        });
+    }
+    PowerReport {
+        per_element,
+        dissipated,
+        supplied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dc::{operating_point, DcOptions};
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn divider_power_matches_v_squared_over_r() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vdc("V1", a, Netlist::GROUND, 3.0).unwrap();
+        nl.resistor("R1", a, b, 1.0e3).unwrap();
+        nl.resistor("R2", b, Netlist::GROUND, 2.0e3).unwrap();
+        let circuit = nl.compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        let report = power_report(&circuit, &op);
+        let total = 9.0 / 3.0e3; // V²/(R1+R2) = 3 mW
+        assert!((report.dissipated - total).abs() < 1e-9);
+        assert!((report.supplied - total).abs() < 1e-9);
+        assert!(report.imbalance() < 1e-9);
+        assert!((report.of("R1").unwrap() - 1.0e-3).abs() < 1e-9);
+        assert!((report.of("R2").unwrap() - 2.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tellegen_holds_with_bjts() {
+        let mut nl = Netlist::new();
+        let vcc = nl.node("vcc");
+        let b = nl.node("b");
+        let c = nl.node("c");
+        let e = nl.node("e");
+        nl.vdc("VCC", vcc, Netlist::GROUND, 3.3).unwrap();
+        nl.vdc("VB", b, Netlist::GROUND, 1.3).unwrap();
+        nl.resistor("RC", vcc, c, 1.0e3).unwrap();
+        nl.resistor("RE", e, Netlist::GROUND, 1.0e3).unwrap();
+        nl.bjt("Q1", c, b, e, crate::devices::BjtModel::fast_npn())
+            .unwrap();
+        let circuit = nl.compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        let report = power_report(&circuit, &op);
+        // gmin leakage bounds the imbalance, not exactness of the report.
+        assert!(
+            report.imbalance() < 1e-6 * report.supplied.abs().max(1e-9),
+            "supplied {} vs dissipated {}",
+            report.supplied,
+            report.dissipated
+        );
+        // The transistor dissipates something sensible.
+        let pq = report.of("Q1").unwrap();
+        assert!(pq > 0.0 && pq < 5.0e-3, "Q1 power {pq}");
+    }
+
+    #[test]
+    fn prefix_aggregation() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.resistor("X.R1", a, Netlist::GROUND, 1.0e3).unwrap();
+        nl.resistor("X.R2", a, Netlist::GROUND, 1.0e3).unwrap();
+        nl.resistor("Y.R1", a, Netlist::GROUND, 1.0e3).unwrap();
+        let circuit = nl.compile().unwrap();
+        let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+        let report = power_report(&circuit, &op);
+        assert!((report.of_prefix("X.") - 2.0e-3).abs() < 1e-9);
+        assert!((report.of_prefix("Y.") - 1.0e-3).abs() < 1e-9);
+    }
+}

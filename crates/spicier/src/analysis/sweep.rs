@@ -1,0 +1,120 @@
+//! Parameter sweeps with thread-level parallelism.
+//!
+//! The paper's figures are all parameter sweeps (pipe resistance ×
+//! frequency × load capacitance). Individual transient runs are
+//! single-threaded; [`par_map`] fans independent runs out over OS threads
+//! with `std::thread::scope`, so no external dependency is needed.
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Spawns at most `available_parallelism()` worker threads. Panics in `f`
+/// propagate to the caller.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if n_workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                match item {
+                    Some((idx, value)) => {
+                        let r = f(value);
+                        results.lock().expect("results lock")[idx] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+/// Cartesian product of two parameter lists, row-major.
+pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// Cartesian product of three parameter lists, row-major.
+pub fn grid3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+    let mut out = Vec::with_capacity(a.len() * b.len() * c.len());
+    for x in a {
+        for y in b {
+            for z in c {
+                out.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Evenly spaced values from `start` to `stop` inclusive.
+pub fn linspace(start: f64, stop: f64, count: usize) -> Vec<f64> {
+    match count {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => (0..count)
+            .map(|i| start + (stop - start) * i as f64 / (count - 1) as f64)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect(), |i: i32| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<i32> = par_map(Vec::new(), |i: i32| i);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn grids() {
+        assert_eq!(
+            grid2(&[1, 2], &['a', 'b']),
+            vec![(1, 'a'), (1, 'b'), (2, 'a'), (2, 'b')]
+        );
+        assert_eq!(grid3(&[1], &[2], &[3, 4]), vec![(1, 2, 3), (1, 2, 4)]);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(linspace(2.0, 3.0, 1), vec![2.0]);
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+    }
+}

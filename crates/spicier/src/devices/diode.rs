@@ -1,0 +1,216 @@
+//! Junction diode model.
+//!
+//! `I(V) = Is · (exp(V/(n·Vt)) − 1)` with an optional constant junction
+//! capacitance. The detector load of the paper's §6.1 uses a
+//! diode-connected transistor precisely because this I–V law gives "a
+//! relatively high dynamic resistance at low currents, while offering a low
+//! dynamic resistance at high currents"; the same nonlinearity is captured
+//! here.
+
+use super::{limexp, limexp_deriv, vcrit};
+use crate::VT_300K;
+
+/// Junction diode model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeModel {
+    /// Saturation current, amperes.
+    pub is: f64,
+    /// Emission coefficient (ideality factor).
+    pub n: f64,
+    /// Zero-bias junction capacitance, farads.
+    pub cj: f64,
+    /// Junction built-in potential, volts.
+    pub vj: f64,
+    /// Junction grading coefficient (`0` = constant capacitance).
+    pub mj: f64,
+}
+
+impl DiodeModel {
+    /// A small-signal silicon junction: `Is = 3e-19 A`, `n = 1`, `Cj = 5 fF`.
+    ///
+    /// With these parameters the forward drop is ≈ 0.9 V at 0.4 mA, matching
+    /// the paper's "VBE = 900 mV technology".
+    pub fn new() -> Self {
+        Self {
+            is: 3.0e-19,
+            n: 1.0,
+            cj: 5.0e-15,
+            vj: 0.75,
+            mj: 0.0,
+        }
+    }
+
+    /// Sets the saturation current.
+    pub fn with_is(mut self, is: f64) -> Self {
+        self.is = is;
+        self
+    }
+
+    /// Sets the emission coefficient.
+    pub fn with_n(mut self, n: f64) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the zero-bias junction capacitance.
+    pub fn with_cj(mut self, cj: f64) -> Self {
+        self.cj = cj;
+        self
+    }
+
+    /// Sets the junction grading (`vj` built-in potential, `mj` grading
+    /// coefficient; `mj = 0.33` for a linearly graded junction, `0.5` for
+    /// abrupt).
+    pub fn with_grading(mut self, vj: f64, mj: f64) -> Self {
+        self.vj = vj;
+        self.mj = mj;
+        self
+    }
+
+    /// Critical voltage for Newton limiting.
+    pub fn vcrit(&self) -> f64 {
+        vcrit(self.is, self.n * VT_300K)
+    }
+
+    /// Evaluates current, conductance and charge at junction voltage `v`.
+    pub fn eval(&self, v: f64) -> DiodeEval {
+        let nvt = self.n * VT_300K;
+        let arg = v / nvt;
+        let e = limexp(arg);
+        let id = self.is * (e - 1.0);
+        let gd = self.is * limexp_deriv(arg) / nvt;
+        // Keep a floor on the conductance so reverse-biased junctions do not
+        // disconnect parts of the matrix.
+        let gd = gd.max(1.0e-14);
+        let (q, c) = super::depletion_charge(v, self.cj, self.vj, self.mj);
+        DiodeEval { id, gd, q, c }
+    }
+
+    /// Forward voltage at which the diode carries `current` (inverse of the
+    /// I–V law); useful for sizing detector thresholds.
+    pub fn forward_voltage(&self, current: f64) -> f64 {
+        self.n * VT_300K * (current / self.is + 1.0).ln()
+    }
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Linearized diode state at one junction voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeEval {
+    /// Junction current, amperes (positive = anode to cathode).
+    pub id: f64,
+    /// Small-signal conductance `dI/dV`, siemens.
+    pub gd: f64,
+    /// Stored junction charge, coulombs.
+    pub q: f64,
+    /// Small-signal capacitance `dQ/dV`, farads.
+    pub c: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bias_no_current() {
+        let d = DiodeModel::new().eval(0.0);
+        assert_eq!(d.id, 0.0);
+        assert!(d.gd > 0.0);
+    }
+
+    #[test]
+    fn forward_drop_near_900mv_at_400ua() {
+        let m = DiodeModel::new();
+        let v = m.forward_voltage(0.4e-3);
+        assert!(
+            (0.85..0.95).contains(&v),
+            "forward voltage at 0.4 mA was {v:.3} V"
+        );
+        // And the I-V law round-trips.
+        let e = m.eval(v);
+        assert!((e.id - 0.4e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reverse_bias_saturates() {
+        let m = DiodeModel::new();
+        let e = m.eval(-1.0);
+        assert!((e.id + m.is).abs() < 1e-20);
+    }
+
+    #[test]
+    fn conductance_is_derivative_of_current() {
+        let m = DiodeModel::new();
+        for v in [0.5, 0.7, 0.85] {
+            let dv = 1e-7;
+            let num = (m.eval(v + dv).id - m.eval(v - dv).id) / (2.0 * dv);
+            let ana = m.eval(v).gd;
+            assert!(
+                (num - ana).abs() < 1e-4 * ana.abs(),
+                "at {v}: numeric {num:.4e} vs analytic {ana:.4e}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonlinear_resistance_shape() {
+        // High dynamic resistance at low current, low at high current —
+        // the property §6.1 relies on.
+        let m = DiodeModel::new();
+        let r_low = 1.0 / m.eval(0.55).gd;
+        let r_high = 1.0 / m.eval(0.9).gd;
+        assert!(r_low > 100.0 * r_high);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let m = DiodeModel::new().with_is(1e-15).with_n(1.5).with_cj(1e-12);
+        assert_eq!(m.is, 1e-15);
+        assert_eq!(m.n, 1.5);
+        assert_eq!(m.cj, 1e-12);
+        let g = DiodeModel::new().with_grading(0.8, 0.33);
+        assert_eq!(g.vj, 0.8);
+        assert_eq!(g.mj, 0.33);
+    }
+
+    #[test]
+    fn graded_junction_capacitance_shrinks_under_reverse_bias() {
+        let m = DiodeModel::new().with_grading(0.75, 0.5);
+        let c0 = m.eval(0.0).c;
+        let c_rev = m.eval(-3.0).c;
+        let c_fwd = m.eval(0.3).c;
+        assert!((c0 - m.cj).abs() < 1e-20);
+        assert!(c_rev < 0.5 * c0, "reverse cap {c_rev:.2e} vs {c0:.2e}");
+        assert!(c_fwd > c0, "forward cap should grow");
+    }
+
+    #[test]
+    fn depletion_charge_is_consistent_with_capacitance() {
+        // dq/dv == c everywhere, including across the FC·Vj boundary.
+        let m = DiodeModel::new().with_grading(0.75, 0.33);
+        let dv = 1e-7;
+        for v in [-2.0, -0.3, 0.0, 0.2, 0.374, 0.376, 0.6, 1.0] {
+            let num = (m.eval(v + dv).q - m.eval(v - dv).q) / (2.0 * dv);
+            let ana = m.eval(v).c;
+            assert!(
+                (num - ana).abs() < 1e-3 * ana.abs(),
+                "at {v}: dq/dv {num:.4e} vs c {ana:.4e}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_grading_matches_constant_capacitor() {
+        let m = DiodeModel::new(); // mj = 0
+        for v in [-1.0, 0.0, 0.9] {
+            let e = m.eval(v);
+            assert!((e.q - m.cj * v).abs() < 1e-30);
+            assert!((e.c - m.cj).abs() < 1e-30);
+        }
+    }
+}

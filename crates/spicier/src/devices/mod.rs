@@ -1,0 +1,166 @@
+//! Semiconductor device models.
+//!
+//! The paper's circuits need exactly two nonlinear devices: the junction
+//! diode (used both as a discrete element and as the non-linear detector
+//! load of §6.1) and the vertical bipolar transistor. The BJT model is an
+//! Ebers–Moll *transport* formulation with the Early effect and
+//! junction + diffusion charge storage — the subset of Gummel–Poon that the
+//! paper's behaviour depends on (VBE ≈ 900 mV at operating current, current
+//! steering, saturation clamping of excessive swings).
+
+pub mod bjt;
+pub mod diode;
+
+pub use bjt::{BjtEval, BjtModel, Polarity};
+pub use diode::{DiodeEval, DiodeModel};
+
+/// Largest exponent argument before [`limexp`] switches to linear
+/// continuation (`exp(40) ≈ 2.4e17` keeps products within `f64` range).
+pub const LIMEXP_MAX: f64 = 40.0;
+
+/// `exp` with linear continuation above [`LIMEXP_MAX`] so Newton iterations
+/// cannot overflow while far from convergence.
+///
+/// The continuation keeps the function C¹-continuous: value and first
+/// derivative match at the switch point.
+#[inline]
+pub fn limexp(x: f64) -> f64 {
+    if x < LIMEXP_MAX {
+        x.exp()
+    } else {
+        let e = LIMEXP_MAX.exp();
+        e * (1.0 + (x - LIMEXP_MAX))
+    }
+}
+
+/// Derivative of [`limexp`].
+#[inline]
+pub fn limexp_deriv(x: f64) -> f64 {
+    if x < LIMEXP_MAX {
+        x.exp()
+    } else {
+        LIMEXP_MAX.exp()
+    }
+}
+
+/// SPICE-style junction voltage limiting (`pnjlim`).
+///
+/// Limits the Newton update of a junction voltage so the exponential does
+/// not overshoot: above the critical voltage the step is replaced by a
+/// logarithmic update. `vnew` is the raw Newton proposal, `vold` the value
+/// used in the previous iteration, `vt` the thermal voltage and `vcrit` the
+/// critical voltage of the junction.
+pub fn pnjlim(vnew: f64, vold: f64, vt: f64, vcrit: f64) -> f64 {
+    if vnew > vcrit && (vnew - vold).abs() > 2.0 * vt {
+        if vold > 0.0 {
+            let arg = (vnew - vold) / vt;
+            if arg > 0.0 {
+                // `arg > 2` holds because |vnew - vold| > 2·vt.
+                vold + vt * (2.0 + (arg - 2.0).max(1e-30).ln())
+            } else {
+                vold - vt * (2.0 + (2.0 - arg).ln())
+            }
+        } else {
+            vt * (vnew / vt).ln()
+        }
+    } else {
+        vnew
+    }
+}
+
+/// Critical voltage for [`pnjlim`]: the junction voltage at which the
+/// small-signal junction resistance equals `√2·vt/Is`.
+pub fn vcrit(is: f64, vt: f64) -> f64 {
+    vt * (vt / (std::f64::consts::SQRT_2 * is)).ln()
+}
+
+/// Forward-bias fraction of `Vj` beyond which the depletion capacitance is
+/// linearized (SPICE `FC`).
+pub const DEPLETION_FC: f64 = 0.5;
+
+/// Graded-junction depletion charge and capacitance:
+/// `C(v) = Cj0 / (1 − v/Vj)^m` for `v < FC·Vj`, linearized beyond to avoid
+/// the singularity at `v = Vj` (standard SPICE treatment). With `m = 0`
+/// this degenerates to a constant capacitor `q = Cj0·v`.
+///
+/// Returns `(charge, capacitance)`.
+pub fn depletion_charge(v: f64, cj0: f64, vj: f64, m: f64) -> (f64, f64) {
+    if cj0 == 0.0 {
+        return (0.0, 0.0);
+    }
+    if m == 0.0 {
+        return (cj0 * v, cj0);
+    }
+    let fc_vj = DEPLETION_FC * vj;
+    if v < fc_vj {
+        let x = 1.0 - v / vj;
+        let c = cj0 * x.powf(-m);
+        let q = cj0 * vj / (1.0 - m) * (1.0 - x.powf(1.0 - m));
+        (q, c)
+    } else {
+        // Linear continuation: value and slope match at FC·Vj.
+        let xf = 1.0 - DEPLETION_FC;
+        let q_f = cj0 * vj / (1.0 - m) * (1.0 - xf.powf(1.0 - m));
+        let c_f = cj0 * xf.powf(-m);
+        let dc = cj0 * m * xf.powf(-m - 1.0) / vj; // dC/dv at FC·Vj
+        let dv = v - fc_vj;
+        let c = c_f + dc * dv;
+        let q = q_f + c_f * dv + 0.5 * dc * dv * dv;
+        (q, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VT_300K;
+
+    #[test]
+    fn limexp_matches_exp_below_cutoff() {
+        for x in [-5.0, 0.0, 10.0, 39.9] {
+            assert_eq!(limexp(x), x.exp());
+            assert_eq!(limexp_deriv(x), x.exp());
+        }
+    }
+
+    #[test]
+    fn limexp_is_linear_and_continuous_above_cutoff() {
+        let e = LIMEXP_MAX.exp();
+        assert!((limexp(LIMEXP_MAX) - e).abs() < 1e-3 * e);
+        assert!((limexp(LIMEXP_MAX + 1.0) - 2.0 * e).abs() < 1e-3 * e);
+        // Monotone increasing.
+        assert!(limexp(60.0) > limexp(50.0));
+        // Finite where exp would overflow into huge values.
+        assert!(limexp(800.0).is_finite());
+    }
+
+    #[test]
+    fn pnjlim_passes_small_steps() {
+        let vc = vcrit(1e-16, VT_300K);
+        let v = pnjlim(0.701, 0.70, VT_300K, vc);
+        assert_eq!(v, 0.701);
+    }
+
+    #[test]
+    fn pnjlim_limits_big_forward_steps() {
+        let vc = vcrit(1e-16, VT_300K);
+        let v = pnjlim(5.0, 0.7, VT_300K, vc);
+        assert!(v < 1.2, "limited to {v}");
+        assert!(v > 0.7);
+    }
+
+    #[test]
+    fn pnjlim_from_reverse_limits_hard() {
+        // Starting from reverse bias, a big forward proposal is pulled back
+        // near the knee (SPICE uses vt·ln(vnew/vt) here).
+        let vc = vcrit(1e-16, VT_300K);
+        let v = pnjlim(3.0, -1.0, VT_300K, vc);
+        assert!(v > 0.0 && v < 0.3, "limited to {v}");
+    }
+
+    #[test]
+    fn vcrit_is_sane_for_typical_is() {
+        let vc = vcrit(1e-16, VT_300K);
+        assert!(vc > 0.7 && vc < 1.0, "vcrit = {vc}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for circuit construction and simulation.
+
+use std::fmt;
+
+/// Errors produced while building a netlist or running an analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An element with this name already exists in the netlist.
+    DuplicateElement(String),
+    /// No element with this name exists in the netlist.
+    UnknownElement(String),
+    /// No node with this name exists in the netlist.
+    UnknownNode(String),
+    /// The referenced element does not have the requested terminal
+    /// (for example, asking for the base of a resistor).
+    InvalidTerminal {
+        /// Element whose terminal was requested.
+        element: String,
+        /// Terminal that does not exist on that element.
+        terminal: &'static str,
+    },
+    /// A component value is non-physical (negative resistance magnitude of
+    /// zero, non-finite value, ...).
+    InvalidValue {
+        /// Element the value belongs to.
+        element: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The DC operating point did not converge, even with gmin and source
+    /// stepping homotopies.
+    DcNoConvergence {
+        /// Newton iterations spent in the last attempt.
+        iterations: usize,
+        /// Maximum residual at the last iterate.
+        residual: f64,
+    },
+    /// Transient analysis could not complete a timestep above the minimum
+    /// step size.
+    TimestepTooSmall {
+        /// Simulation time at which the failure occurred, in seconds.
+        time: f64,
+        /// The step size that still failed, in seconds.
+        step: f64,
+    },
+    /// The MNA matrix is structurally or numerically singular.
+    SingularMatrix {
+        /// Column at which factorization failed.
+        column: usize,
+    },
+    /// An option value passed to an analysis is invalid.
+    InvalidOptions(String),
+    /// Failure while parsing an engineering-notation value such as `"4k"`.
+    ParseValue(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateElement(name) => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            Error::UnknownElement(name) => write!(f, "unknown element `{name}`"),
+            Error::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            Error::InvalidTerminal { element, terminal } => {
+                write!(f, "element `{element}` has no terminal `{terminal}`")
+            }
+            Error::InvalidValue { element, reason } => {
+                write!(f, "invalid value on `{element}`: {reason}")
+            }
+            Error::DcNoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "dc operating point failed to converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            Error::TimestepTooSmall { time, step } => write!(
+                f,
+                "transient timestep underflow at t = {time:.6e} s (h = {step:.3e} s)"
+            ),
+            Error::SingularMatrix { column } => {
+                write!(f, "singular MNA matrix at column {column}")
+            }
+            Error::InvalidOptions(reason) => write!(f, "invalid analysis options: {reason}"),
+            Error::ParseValue(text) => write!(f, "cannot parse value `{text}`"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::DuplicateElement("R1".to_string());
+        let msg = e.to_string();
+        assert!(msg.starts_with("duplicate"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Error::UnknownNode("x".into())).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! Used directly for small MNA systems and as the reference oracle for the
+//! sparse kernel's tests.
+
+// Index-based loops are kept in these numeric kernels: the indices are
+// the mathematical objects (pivot rows, column positions).
+#![allow(clippy::needless_range_loop)]
+
+use super::{sparse::Triplets, Solver};
+use crate::error::Error;
+
+/// Smallest pivot magnitude accepted before the matrix is declared singular.
+const PIVOT_FLOOR: f64 = 1e-13;
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds a dense matrix by scattering `triplets` (duplicates add).
+    pub fn from_triplets(triplets: &Triplets) -> Self {
+        let mut m = Self::zeros(triplets.dim());
+        for &(r, c, v) in triplets.entries() {
+            m.data[r * m.n + c] += v;
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Adds `value` to the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets all entries to zero without reallocating.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.n {
+            let row = &self.data[r * self.n..(r + 1) * self.n];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Factors `self` in place into `P A = L U` with partial pivoting and
+    /// returns the row permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] when no acceptable pivot exists in
+    /// some column.
+    pub fn lu_factor(&mut self) -> Result<Vec<usize>, Error> {
+        let n = self.n;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search down column k.
+            let mut pivot_row = k;
+            let mut pivot_mag = self.data[perm[k] * n + k].abs();
+            for r in (k + 1)..n {
+                let mag = self.data[perm[r] * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < PIVOT_FLOOR {
+                return Err(Error::SingularMatrix { column: k });
+            }
+            perm.swap(k, pivot_row);
+            let pk = perm[k];
+            let pivot = self.data[pk * n + k];
+            for r in (k + 1)..n {
+                let pr = perm[r];
+                let factor = self.data[pr * n + k] / pivot;
+                self.data[pr * n + k] = factor;
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        self.data[pr * n + c] -= factor * self.data[pk * n + c];
+                    }
+                }
+            }
+        }
+        Ok(perm)
+    }
+
+    /// Solves `A x = b` given the factorization produced by
+    /// [`lu_factor`](Self::lu_factor); `rhs` holds `b` on entry, `x` on exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != dim()` or `perm.len() != dim()`.
+    pub fn lu_solve(&self, perm: &[usize], rhs: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(rhs.len(), n, "rhs dimension mismatch");
+        assert_eq!(perm.len(), n, "permutation dimension mismatch");
+        // Forward substitution with implicit unit diagonal, permuted rows.
+        let mut y = vec![0.0; n];
+        for r in 0..n {
+            let pr = perm[r];
+            let mut sum = rhs[pr];
+            for c in 0..r {
+                sum -= self.data[pr * n + c] * y[c];
+            }
+            y[r] = sum;
+        }
+        // Backward substitution.
+        for r in (0..n).rev() {
+            let pr = perm[r];
+            let mut sum = y[r];
+            for c in (r + 1)..n {
+                sum -= self.data[pr * n + c] * rhs[c];
+            }
+            rhs[r] = sum / self.data[pr * n + r];
+        }
+    }
+}
+
+/// Reusable dense solver workspace.
+#[derive(Debug, Default)]
+pub struct DenseSolver {
+    matrix: Option<DenseMatrix>,
+}
+
+impl Solver for DenseSolver {
+    fn solve_in_place(&mut self, triplets: &Triplets, rhs: &mut [f64]) -> Result<(), Error> {
+        let n = triplets.dim();
+        let matrix = match &mut self.matrix {
+            Some(m) if m.dim() == n => {
+                m.clear();
+                m
+            }
+            slot => slot.insert(DenseMatrix::zeros(n)),
+        };
+        for &(r, c, v) in triplets.entries() {
+            matrix.add(r, c, v);
+        }
+        let perm = matrix.lu_factor()?;
+        matrix.lu_solve(&perm, rhs);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_dense(entries: &[(usize, usize, f64)], n: usize, b: &[f64]) -> Vec<f64> {
+        let mut t = Triplets::new(n);
+        for &(r, c, v) in entries {
+            t.add(r, c, v);
+        }
+        let mut rhs = b.to_vec();
+        DenseSolver::default()
+            .solve_in_place(&t, &mut rhs)
+            .unwrap();
+        rhs
+    }
+
+    #[test]
+    fn solves_identity() {
+        let x = solve_dense(&[(0, 0, 1.0), (1, 1, 1.0)], 2, &[3.0, -4.0]);
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_2x2_with_pivoting_needed() {
+        // Zero on the diagonal forces a row swap.
+        let x = solve_dense(&[(0, 1, 2.0), (1, 0, 1.0), (1, 1, 1.0)], 2, &[2.0, 4.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_triplets_accumulate() {
+        let x = solve_dense(&[(0, 0, 1.0), (0, 0, 1.0)], 1, &[4.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 1.0);
+        t.add(1, 0, 1.0);
+        let mut rhs = vec![1.0, 1.0];
+        let err = DenseSolver::default()
+            .solve_in_place(&t, &mut rhs)
+            .unwrap_err();
+        assert!(matches!(err, Error::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn residual_is_small_on_random_system() {
+        // Deterministic pseudo-random fill (no external RNG needed here).
+        let n = 24;
+        let mut t = Triplets::new(n);
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut dense_entries = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let v = if r == c { 8.0 + next() } else { next() * 0.5 };
+                t.add(r, c, v);
+                dense_entries.push((r, c, v));
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut x = b.clone();
+        DenseSolver::default().solve_in_place(&t, &mut x).unwrap();
+        let a = DenseMatrix::from_triplets(&t);
+        let ax = a.mul_vec(&x);
+        for (lhs, rhs) in ax.iter().zip(&b) {
+            assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 3.0);
+        m.add(1, 1, 4.0);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+}

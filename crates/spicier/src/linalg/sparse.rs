@@ -1,0 +1,633 @@
+//! Sparse LU factorization (left-looking Gilbert–Peierls with partial
+//! pivoting) on compressed-sparse-column storage.
+//!
+//! The algorithm follows Davis' CSparse `cs_lu`: for each column, the
+//! nonzero pattern of the triangular solve is discovered with a depth-first
+//! reachability search over the partially built `L`, the numeric values are
+//! computed in topological order, and the pivot row is the
+//! largest-magnitude candidate among not-yet-pivotal rows.
+
+// Index-based loops are kept in these numeric kernels: the indices are
+// the mathematical objects (pivot rows, column positions).
+#![allow(clippy::needless_range_loop)]
+
+use super::Solver;
+use crate::error::Error;
+
+/// Smallest pivot magnitude accepted before the matrix is declared singular.
+const PIVOT_FLOOR: f64 = 1e-13;
+
+/// Coordinate-format accumulator for assembling MNA matrices.
+///
+/// Duplicate `(row, col)` entries are summed when the matrix is compressed,
+/// which is exactly the semantics device stamps need.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Triplets {
+    dim: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// Creates an accumulator for an `n × n` system.
+    pub fn new(n: usize) -> Self {
+        Self {
+            dim: n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Raw `(row, col, value)` entries, in insertion order.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Number of raw entries (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.dim && col < self.dim, "index out of bounds");
+        self.entries.push((row, col, value));
+    }
+
+    /// Drops all entries but keeps the allocation, ready for re-assembly.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Resizes the system dimension (entries must already fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing entry would fall out of bounds.
+    pub fn reset(&mut self, n: usize) {
+        self.entries.clear();
+        self.dim = n;
+    }
+}
+
+/// An immutable compressed-sparse-column matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    n: usize,
+    col_ptr: Vec<usize>,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Compresses triplets into CSC form, summing duplicates.
+    pub fn from_triplets(triplets: &Triplets) -> Self {
+        let n = triplets.dim();
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.entries().to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut rows = Vec::with_capacity(sorted.len());
+        let mut vals = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            if last == Some((r, c)) {
+                *vals.last_mut().expect("entry exists when last is set") += v;
+            } else {
+                rows.push(r);
+                vals.push(v);
+                col_ptr[c + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        Self {
+            n,
+            col_ptr,
+            rows,
+            vals,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for c in 0..self.n {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for p in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.rows[p]] += self.vals[p] * xc;
+            }
+        }
+        y
+    }
+}
+
+/// Growable CSC used for the `L` and `U` factors during factorization.
+#[derive(Debug, Clone, Default)]
+struct FactorCsc {
+    col_ptr: Vec<usize>,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl FactorCsc {
+    fn with_dim(n: usize) -> Self {
+        Self {
+            col_ptr: Vec::with_capacity(n + 1),
+            rows: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.col_ptr.clear();
+        self.col_ptr.push(0);
+        self.rows.clear();
+        self.vals.clear();
+    }
+
+    fn push(&mut self, row: usize, val: f64) {
+        self.rows.push(row);
+        self.vals.push(val);
+    }
+
+    fn end_column(&mut self) {
+        self.col_ptr.push(self.rows.len());
+    }
+}
+
+/// LU factors `P A = L U` with the row permutation stored as `pinv`
+/// (`pinv[original_row] = pivoted_row`).
+#[derive(Debug, Default)]
+pub struct SparseLu {
+    n: usize,
+    lower: FactorCsc,
+    upper: FactorCsc,
+    pinv: Vec<isize>,
+    // Workspaces reused across factorizations.
+    work_x: Vec<f64>,
+    work_xi: Vec<usize>,
+    work_stack: Vec<usize>,
+    work_pstack: Vec<usize>,
+    work_marked: Vec<bool>,
+}
+
+impl SparseLu {
+    /// Creates an empty factorization workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.n = n;
+        self.work_x.clear();
+        self.work_x.resize(n, 0.0);
+        self.work_marked.clear();
+        self.work_marked.resize(n, false);
+        self.pinv.clear();
+        self.pinv.resize(n, -1);
+        self.lower = FactorCsc::with_dim(n);
+        self.upper = FactorCsc::with_dim(n);
+    }
+
+    /// Factors `a`, overwriting any previous factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] when no acceptable pivot exists in
+    /// some column.
+    pub fn factor(&mut self, a: &SparseMatrix) -> Result<(), Error> {
+        let n = a.dim();
+        self.resize(n);
+        self.lower.begin();
+        self.upper.begin();
+        for k in 0..n {
+            // ----- symbolic: pattern of x = L \ A[:, k] via DFS reach -----
+            self.work_xi.clear();
+            for p in a.col_ptr[k]..a.col_ptr[k + 1] {
+                let i = a.rows[p];
+                if !self.work_marked[i] {
+                    self.dfs_reach(i);
+                }
+            }
+            // `work_xi` now holds the reach in reverse-topological order;
+            // process it back-to-front for a topological sweep.
+
+            // ----- numeric: scatter A[:, k] then eliminate -----
+            for p in a.col_ptr[k]..a.col_ptr[k + 1] {
+                self.work_x[a.rows[p]] += a.vals[p];
+            }
+            for idx in (0..self.work_xi.len()).rev() {
+                let i = self.work_xi[idx];
+                let piv = self.pinv[i];
+                if piv < 0 {
+                    continue;
+                }
+                let xi_val = self.work_x[i];
+                if xi_val == 0.0 {
+                    continue;
+                }
+                let col = piv as usize;
+                // Skip the unit diagonal stored first in each L column.
+                for p in (self.lower.col_ptr[col] + 1)..self.lower.col_ptr[col + 1] {
+                    self.work_x[self.lower.rows[p]] -= self.lower.vals[p] * xi_val;
+                }
+            }
+
+            // ----- pivot: largest magnitude among non-pivotal rows -----
+            let mut pivot_row = usize::MAX;
+            let mut pivot_mag = 0.0f64;
+            for &i in &self.work_xi {
+                if self.pinv[i] < 0 {
+                    let mag = self.work_x[i].abs();
+                    if mag > pivot_mag {
+                        pivot_mag = mag;
+                        pivot_row = i;
+                    }
+                }
+            }
+            if pivot_row == usize::MAX || pivot_mag < PIVOT_FLOOR {
+                // Clean the workspace before reporting failure.
+                for &i in &self.work_xi {
+                    self.work_x[i] = 0.0;
+                    self.work_marked[i] = false;
+                }
+                return Err(Error::SingularMatrix { column: k });
+            }
+            let pivot = self.work_x[pivot_row];
+            self.pinv[pivot_row] = k as isize;
+
+            // ----- emit U column k then L column k -----
+            for &i in &self.work_xi {
+                let piv = self.pinv[i];
+                if piv >= 0 && (piv as usize) < k {
+                    self.upper.push(piv as usize, self.work_x[i]);
+                }
+            }
+            self.upper.push(k, pivot);
+            self.upper.end_column();
+
+            self.lower.push(pivot_row, 1.0);
+            for &i in &self.work_xi {
+                if self.pinv[i] < 0 {
+                    self.lower.push(i, self.work_x[i] / pivot);
+                }
+            }
+            self.lower.end_column();
+
+            // ----- reset workspace -----
+            for &i in &self.work_xi {
+                self.work_x[i] = 0.0;
+                self.work_marked[i] = false;
+            }
+        }
+        // Remap L's row indices into pivoted coordinates so that L is
+        // genuinely lower triangular for the solve phase.
+        for r in &mut self.lower.rows {
+            debug_assert!(self.pinv[*r] >= 0);
+            *r = self.pinv[*r] as usize;
+        }
+        Ok(())
+    }
+
+    /// Iterative depth-first search over the partially built `L` starting
+    /// from original row `start`; appends the reach to `work_xi` in
+    /// reverse-topological order and marks visited rows.
+    fn dfs_reach(&mut self, start: usize) {
+        self.work_stack.clear();
+        self.work_pstack.clear();
+        self.work_stack.push(start);
+        self.work_marked[start] = true;
+        self.work_pstack.push(self.column_start(start));
+        while let Some(&node) = self.work_stack.last() {
+            let depth = self.work_stack.len() - 1;
+            let col_end = self.column_end(node);
+            let mut cursor = self.work_pstack[depth];
+            let mut descended = false;
+            while cursor < col_end {
+                let child = self.lower.rows[cursor];
+                cursor += 1;
+                if !self.work_marked[child] {
+                    self.work_marked[child] = true;
+                    self.work_pstack[depth] = cursor;
+                    self.work_stack.push(child);
+                    self.work_pstack.push(self.column_start(child));
+                    descended = true;
+                    break;
+                }
+            }
+            if !descended {
+                self.work_stack.pop();
+                self.work_pstack.pop();
+                self.work_xi.push(node);
+            }
+        }
+    }
+
+    /// First off-diagonal entry of the L column that row `node` maps to, or
+    /// an empty range when `node` is not yet pivotal.
+    fn column_start(&self, node: usize) -> usize {
+        match self.pinv[node] {
+            piv if piv >= 0 => self.lower.col_ptr[piv as usize] + 1,
+            _ => 0,
+        }
+    }
+
+    fn column_end(&self, node: usize) -> usize {
+        match self.pinv[node] {
+            piv if piv >= 0 => self.lower.col_ptr[piv as usize + 1],
+            _ => 0,
+        }
+    }
+
+    /// Solves `A x = b` using the current factors; `rhs` holds `b` on entry
+    /// and `x` on exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no factorization has been computed or the dimension does
+    /// not match.
+    pub fn solve(&self, rhs: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(rhs.len(), n, "rhs dimension mismatch");
+        assert_eq!(self.lower.col_ptr.len(), n + 1, "factorization missing");
+        // x = P b
+        let mut x = vec![0.0; n];
+        for (i, &v) in rhs.iter().enumerate() {
+            x[self.pinv[i] as usize] = v;
+        }
+        // L y = x (unit diagonal first in each column)
+        for c in 0..n {
+            let xc = x[c];
+            if xc != 0.0 {
+                for p in (self.lower.col_ptr[c] + 1)..self.lower.col_ptr[c + 1] {
+                    x[self.lower.rows[p]] -= self.lower.vals[p] * xc;
+                }
+            }
+        }
+        // U z = y (diagonal stored last in each column)
+        for c in (0..n).rev() {
+            let last = self.upper.col_ptr[c + 1] - 1;
+            debug_assert_eq!(self.upper.rows[last], c);
+            let xc = x[c] / self.upper.vals[last];
+            x[c] = xc;
+            if xc != 0.0 {
+                for p in self.upper.col_ptr[c]..last {
+                    x[self.upper.rows[p]] -= self.upper.vals[p] * xc;
+                }
+            }
+        }
+        rhs.copy_from_slice(&x);
+    }
+
+    /// Total nonzeros in both factors (fill-in diagnostic).
+    pub fn factor_nnz(&self) -> usize {
+        self.lower.rows.len() + self.upper.rows.len()
+    }
+}
+
+/// Reusable sparse solver workspace.
+#[derive(Debug, Default)]
+pub struct SparseSolver {
+    lu: SparseLu,
+}
+
+impl Solver for SparseSolver {
+    fn solve_in_place(&mut self, triplets: &Triplets, rhs: &mut [f64]) -> Result<(), Error> {
+        let a = SparseMatrix::from_triplets(triplets);
+        self.lu.factor(&a)?;
+        self.lu.solve(rhs);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::dense::DenseSolver;
+
+    fn compare_with_dense(t: &Triplets, b: &[f64]) {
+        let mut dense_x = b.to_vec();
+        DenseSolver::default()
+            .solve_in_place(t, &mut dense_x)
+            .unwrap();
+        let mut sparse_x = b.to_vec();
+        SparseSolver::default()
+            .solve_in_place(t, &mut sparse_x)
+            .unwrap();
+        for (s, d) in sparse_x.iter().zip(&dense_x) {
+            assert!(
+                (s - d).abs() < 1e-9 * d.abs().max(1.0),
+                "sparse {s} vs dense {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn csc_merges_duplicates() {
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 2.0);
+        t.add(1, 1, 5.0);
+        let m = SparseMatrix::from_triplets(&t);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn solves_diagonal() {
+        let mut t = Triplets::new(3);
+        t.add(0, 0, 2.0);
+        t.add(1, 1, 4.0);
+        t.add(2, 2, 8.0);
+        compare_with_dense(&t, &[2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn solves_tridiagonal_chain() {
+        let n = 50;
+        let mut t = Triplets::new(n);
+        for i in 0..n {
+            t.add(i, i, 2.5);
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+                t.add(i + 1, i, -1.0);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        compare_with_dense(&t, &b);
+    }
+
+    #[test]
+    fn solves_with_pivoting_required() {
+        // Structural zero on the diagonal.
+        let mut t = Triplets::new(3);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 1.0);
+        t.add(1, 2, 3.0);
+        t.add(2, 1, -2.0);
+        t.add(2, 2, 1.0);
+        compare_with_dense(&t, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_star_topology() {
+        // A hub node coupled to many leaves, like a shared detector load.
+        let n = 61;
+        let mut t = Triplets::new(n);
+        t.add(0, 0, 1.0);
+        for i in 1..n {
+            t.add(i, i, 3.0);
+            t.add(0, i, -0.5);
+            t.add(i, 0, -0.5);
+            t.add(0, 0, 0.5);
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        compare_with_dense(&t, &b);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 1.0);
+        t.add(0, 1, 1.0);
+        let mut rhs = vec![1.0, 1.0];
+        let err = SparseSolver::default()
+            .solve_in_place(&t, &mut rhs)
+            .unwrap_err();
+        assert!(matches!(err, Error::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn workspace_reuse_across_sizes() {
+        let mut solver = SparseSolver::default();
+        for n in [3usize, 10, 4] {
+            let mut t = Triplets::new(n);
+            for i in 0..n {
+                t.add(i, i, 1.0 + i as f64);
+            }
+            let mut rhs: Vec<f64> = (0..n).map(|i| (1.0 + i as f64) * 2.0).collect();
+            solver.solve_in_place(&t, &mut rhs).unwrap();
+            for v in rhs {
+                assert!((v - 2.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_small_on_pseudorandom_sparse_system() {
+        let n = 120;
+        let mut t = Triplets::new(n);
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            t.add(i, i, 6.0 + next());
+            for _ in 0..4 {
+                let j = ((next().abs() * n as f64) as usize).min(n - 1);
+                t.add(i, j, next());
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut x = b.clone();
+        SparseSolver::default().solve_in_place(&t, &mut x).unwrap();
+        let a = SparseMatrix::from_triplets(&t);
+        let ax = a.mul_vec(&x);
+        for (lhs, rhs) in ax.iter().zip(&b) {
+            assert!((lhs - rhs).abs() < 1e-8, "{lhs} vs {rhs}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::linalg::dense::DenseSolver;
+    use proptest::prelude::*;
+
+    fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = Triplets> {
+        let offdiag = proptest::collection::vec(
+            (0..n, 0..n, -1.0f64..1.0),
+            0..(4 * n),
+        );
+        let diag = proptest::collection::vec(4.0f64..10.0, n);
+        (offdiag, diag).prop_map(move |(off, d)| {
+            let mut t = Triplets::new(n);
+            for (i, v) in d.into_iter().enumerate() {
+                t.add(i, i, v * n as f64);
+            }
+            for (r, c, v) in off {
+                t.add(r, c, v);
+            }
+            t
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sparse_matches_dense(t in (2usize..40).prop_flat_map(diag_dominant_matrix),
+                                seed in 0u64..1000) {
+            let n = t.dim();
+            let b: Vec<f64> = (0..n)
+                .map(|i| ((i as u64 + seed) as f64 * 0.61).sin())
+                .collect();
+            let mut xd = b.clone();
+            DenseSolver::default().solve_in_place(&t, &mut xd).unwrap();
+            let mut xs = b.clone();
+            SparseSolver::default().solve_in_place(&t, &mut xs).unwrap();
+            for (s, d) in xs.iter().zip(&xd) {
+                prop_assert!((s - d).abs() < 1e-8 * d.abs().max(1.0));
+            }
+        }
+
+        #[test]
+        fn csc_mul_matches_dense_mul(t in (2usize..25).prop_flat_map(diag_dominant_matrix)) {
+            let n = t.dim();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let sparse = SparseMatrix::from_triplets(&t);
+            let dense = crate::linalg::dense::DenseMatrix::from_triplets(&t);
+            let ys = sparse.mul_vec(&x);
+            let yd = dense.mul_vec(&x);
+            for (a, b) in ys.iter().zip(&yd) {
+                prop_assert!((a - b).abs() < 1e-10 * b.abs().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Circuit element definitions.
+
+use super::{NodeId, SourceWave};
+use crate::devices::{BjtModel, DiodeModel};
+
+/// A terminal of an element, used for rewiring during fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Terminal {
+    /// Positive terminal of a two-terminal element.
+    Pos,
+    /// Negative terminal of a two-terminal element.
+    Neg,
+    /// Positive control input of a controlled source.
+    CtrlPos,
+    /// Negative control input of a controlled source.
+    CtrlNeg,
+    /// Diode anode.
+    Anode,
+    /// Diode cathode.
+    Cathode,
+    /// BJT collector.
+    Collector,
+    /// BJT base.
+    Base,
+    /// BJT emitter.
+    Emitter,
+}
+
+impl Terminal {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Terminal::Pos => "pos",
+            Terminal::Neg => "neg",
+            Terminal::CtrlPos => "ctrl_pos",
+            Terminal::CtrlNeg => "ctrl_neg",
+            Terminal::Anode => "anode",
+            Terminal::Cathode => "cathode",
+            Terminal::Collector => "collector",
+            Terminal::Base => "base",
+            Terminal::Emitter => "emitter",
+        }
+    }
+}
+
+/// One element of a netlist.
+///
+/// Two-terminal elements use the SPICE convention: positive current flows
+/// from the `p` terminal through the element to the `n` terminal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor (`value` in ohms).
+    Resistor {
+        /// Positive node.
+        p: NodeId,
+        /// Negative node.
+        n: NodeId,
+        /// Resistance, ohms.
+        value: f64,
+    },
+    /// Linear capacitor (`value` in farads).
+    Capacitor {
+        /// Positive node.
+        p: NodeId,
+        /// Negative node.
+        n: NodeId,
+        /// Capacitance, farads.
+        value: f64,
+    },
+    /// Linear inductor (`value` in henries); carries a branch current
+    /// unknown.
+    Inductor {
+        /// Positive node.
+        p: NodeId,
+        /// Negative node.
+        n: NodeId,
+        /// Inductance, henries.
+        value: f64,
+    },
+    /// Independent voltage source; carries a branch current unknown.
+    VoltageSource {
+        /// Positive node.
+        p: NodeId,
+        /// Negative node.
+        n: NodeId,
+        /// Waveform.
+        wave: SourceWave,
+    },
+    /// Independent current source (current flows from `p` through the
+    /// source to `n`).
+    CurrentSource {
+        /// Positive node.
+        p: NodeId,
+        /// Negative node.
+        n: NodeId,
+        /// Waveform.
+        wave: SourceWave,
+    },
+    /// Junction diode.
+    Diode {
+        /// Anode.
+        anode: NodeId,
+        /// Cathode.
+        cathode: NodeId,
+        /// Model parameters.
+        model: DiodeModel,
+    },
+    /// Bipolar transistor.
+    Bjt {
+        /// Collector.
+        collector: NodeId,
+        /// Base.
+        base: NodeId,
+        /// Emitter.
+        emitter: NodeId,
+        /// Model parameters.
+        model: BjtModel,
+    },
+    /// Voltage-controlled voltage source (SPICE `E`):
+    /// `v(p) − v(n) = gain · (v(cp) − v(cn))`. Carries a branch current.
+    Vcvs {
+        /// Positive output node.
+        p: NodeId,
+        /// Negative output node.
+        n: NodeId,
+        /// Positive control node.
+        cp: NodeId,
+        /// Negative control node.
+        cn: NodeId,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Voltage-controlled current source (SPICE `G`): a current
+    /// `gm · (v(cp) − v(cn))` flows from `p` through the source to `n`.
+    Vccs {
+        /// Positive output node.
+        p: NodeId,
+        /// Negative output node.
+        n: NodeId,
+        /// Positive control node.
+        cp: NodeId,
+        /// Negative control node.
+        cn: NodeId,
+        /// Transconductance, siemens.
+        gm: f64,
+    },
+}
+
+impl Element {
+    /// The node currently wired to `terminal`, if the element has it.
+    pub fn terminal(&self, terminal: Terminal) -> Option<NodeId> {
+        use Element::*;
+        use Terminal::*;
+        match (self, terminal) {
+            (
+                Resistor { p, .. }
+                | Capacitor { p, .. }
+                | Inductor { p, .. }
+                | VoltageSource { p, .. }
+                | CurrentSource { p, .. }
+                | Vcvs { p, .. }
+                | Vccs { p, .. },
+                Pos,
+            ) => Some(*p),
+            (
+                Resistor { n, .. }
+                | Capacitor { n, .. }
+                | Inductor { n, .. }
+                | VoltageSource { n, .. }
+                | CurrentSource { n, .. }
+                | Vcvs { n, .. }
+                | Vccs { n, .. },
+                Neg,
+            ) => Some(*n),
+            (Vcvs { cp, .. } | Vccs { cp, .. }, CtrlPos) => Some(*cp),
+            (Vcvs { cn, .. } | Vccs { cn, .. }, CtrlNeg) => Some(*cn),
+            (Diode { anode, .. }, Anode | Pos) => Some(*anode),
+            (Diode { cathode, .. }, Cathode | Neg) => Some(*cathode),
+            (Bjt { collector, .. }, Collector) => Some(*collector),
+            (Bjt { base, .. }, Base) => Some(*base),
+            (Bjt { emitter, .. }, Emitter) => Some(*emitter),
+            _ => None,
+        }
+    }
+
+    /// Rewires `terminal` to `node`, returning the node it was previously
+    /// wired to, or `None` when the element lacks that terminal.
+    pub fn rewire(&mut self, terminal: Terminal, node: NodeId) -> Option<NodeId> {
+        use Element::*;
+        use Terminal::*;
+        let slot: &mut NodeId = match (self, terminal) {
+            (
+                Resistor { p, .. }
+                | Capacitor { p, .. }
+                | Inductor { p, .. }
+                | VoltageSource { p, .. }
+                | CurrentSource { p, .. }
+                | Vcvs { p, .. }
+                | Vccs { p, .. },
+                Pos,
+            ) => p,
+            (
+                Resistor { n, .. }
+                | Capacitor { n, .. }
+                | Inductor { n, .. }
+                | VoltageSource { n, .. }
+                | CurrentSource { n, .. }
+                | Vcvs { n, .. }
+                | Vccs { n, .. },
+                Neg,
+            ) => n,
+            (Vcvs { cp, .. } | Vccs { cp, .. }, CtrlPos) => cp,
+            (Vcvs { cn, .. } | Vccs { cn, .. }, CtrlNeg) => cn,
+            (Diode { anode, .. }, Anode | Pos) => anode,
+            (Diode { cathode, .. }, Cathode | Neg) => cathode,
+            (Bjt { collector, .. }, Collector) => collector,
+            (Bjt { base, .. }, Base) => base,
+            (Bjt { emitter, .. }, Emitter) => emitter,
+            _ => return None,
+        };
+        Some(std::mem::replace(slot, node))
+    }
+
+    /// All nodes this element touches.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        use Element::*;
+        match self {
+            Resistor { p, n, .. }
+            | Capacitor { p, n, .. }
+            | Inductor { p, n, .. }
+            | VoltageSource { p, n, .. }
+            | CurrentSource { p, n, .. } => vec![*p, *n],
+            Diode { anode, cathode, .. } => vec![*anode, *cathode],
+            Bjt {
+                collector,
+                base,
+                emitter,
+                ..
+            } => vec![*collector, *base, *emitter],
+            Vcvs { p, n, cp, cn, .. } | Vccs { p, n, cp, cn, .. } => {
+                vec![*p, *n, *cp, *cn]
+            }
+        }
+    }
+
+    /// Whether this element introduces a branch-current unknown in MNA.
+    pub fn has_branch_current(&self) -> bool {
+        matches!(
+            self,
+            Element::VoltageSource { .. } | Element::Inductor { .. } | Element::Vcvs { .. }
+        )
+    }
+
+    /// Short type tag used in diagnostics (`"R"`, `"C"`, `"Q"`, ...).
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Element::Resistor { .. } => "R",
+            Element::Capacitor { .. } => "C",
+            Element::Inductor { .. } => "L",
+            Element::VoltageSource { .. } => "V",
+            Element::CurrentSource { .. } => "I",
+            Element::Diode { .. } => "D",
+            Element::Bjt { .. } => "Q",
+            Element::Vcvs { .. } => "E",
+            Element::Vccs { .. } => "G",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn terminal_access_and_rewire() {
+        let a = NodeId(1);
+        let b = NodeId(2);
+        let c = NodeId(3);
+        let mut r = Element::Resistor {
+            p: a,
+            n: b,
+            value: 1.0,
+        };
+        assert_eq!(r.terminal(Terminal::Pos), Some(a));
+        assert_eq!(r.terminal(Terminal::Base), None);
+        assert_eq!(r.rewire(Terminal::Pos, c), Some(a));
+        assert_eq!(r.terminal(Terminal::Pos), Some(c));
+        assert_eq!(r.rewire(Terminal::Collector, c), None);
+    }
+
+    #[test]
+    fn bjt_terminals() {
+        let q = Element::Bjt {
+            collector: NodeId(1),
+            base: NodeId(2),
+            emitter: NodeId(3),
+            model: crate::devices::BjtModel::fast_npn(),
+        };
+        assert_eq!(q.terminal(Terminal::Collector), Some(NodeId(1)));
+        assert_eq!(q.terminal(Terminal::Base), Some(NodeId(2)));
+        assert_eq!(q.terminal(Terminal::Emitter), Some(NodeId(3)));
+        assert_eq!(q.nodes().len(), 3);
+        assert_eq!(q.type_tag(), "Q");
+        assert!(!q.has_branch_current());
+    }
+
+    #[test]
+    fn diode_accepts_pos_neg_aliases() {
+        let d = Element::Diode {
+            anode: NodeId(1),
+            cathode: Netlist::GROUND,
+            model: crate::devices::DiodeModel::new(),
+        };
+        assert_eq!(d.terminal(Terminal::Pos), Some(NodeId(1)));
+        assert_eq!(d.terminal(Terminal::Neg), Some(Netlist::GROUND));
+    }
+
+    #[test]
+    fn branch_current_elements() {
+        let v = Element::VoltageSource {
+            p: NodeId(1),
+            n: Netlist::GROUND,
+            wave: SourceWave::Dc(1.0),
+        };
+        assert!(v.has_branch_current());
+        let i = Element::CurrentSource {
+            p: NodeId(1),
+            n: Netlist::GROUND,
+            wave: SourceWave::Dc(1.0),
+        };
+        assert!(!i.has_branch_current());
+    }
+}

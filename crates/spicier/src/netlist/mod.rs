@@ -1,0 +1,660 @@
+//! Netlist construction and the compiled [`Circuit`].
+//!
+//! A [`Netlist`] is a mutable bag of named nodes and named elements; calling
+//! [`Netlist::compile`] validates it and produces an immutable [`Circuit`]
+//! with MNA bookkeeping (branch-current indices, unknown count) ready for
+//! analysis. Fault injection (the `faults` crate) edits a netlist *before*
+//! compilation through [`Netlist::rewire_terminal`] and friends, exactly as
+//! the paper edits its SPICE decks to plant defects.
+
+mod element;
+mod source;
+
+pub use element::{Element, Terminal};
+pub use source::SourceWave;
+
+use crate::devices::{BjtModel, DiodeModel};
+use crate::error::Error;
+use std::collections::HashMap;
+
+/// Identifier of a circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Whether this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of this node's voltage unknown, or `None` for ground.
+    pub(crate) fn unknown(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+/// A mutable netlist under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    node_by_name: HashMap<String, NodeId>,
+    elements: Vec<(String, Element)>,
+    element_by_name: HashMap<String, usize>,
+    auto_counter: usize,
+}
+
+impl Netlist {
+    /// The ground node (node `0`, always present).
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty netlist containing only ground.
+    pub fn new() -> Self {
+        let mut nl = Self {
+            node_names: vec!["0".to_string()],
+            ..Self::default()
+        };
+        nl.node_by_name.insert("0".to_string(), Self::GROUND);
+        nl
+    }
+
+    /// Returns the node named `name`, creating it if necessary. The name
+    /// `"0"` always refers to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Creates a fresh node with a unique generated name starting with
+    /// `prefix`.
+    pub fn fresh_node(&mut self, prefix: &str) -> NodeId {
+        loop {
+            self.auto_counter += 1;
+            let name = format!("{prefix}#{}", self.auto_counter);
+            if !self.node_by_name.contains_key(&name) {
+                return self.node(&name);
+            }
+        }
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] when no node has that name.
+    pub fn find_node(&self, name: &str) -> Result<NodeId, Error> {
+        self.node_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownNode(name.to_string()))
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this netlist.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Iterates over `(name, element)` pairs in insertion order.
+    pub fn elements(&self) -> impl Iterator<Item = (&str, &Element)> {
+        self.elements.iter().map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    fn insert(&mut self, name: &str, element: Element) -> Result<(), Error> {
+        if self.element_by_name.contains_key(name) {
+            return Err(Error::DuplicateElement(name.to_string()));
+        }
+        self.element_by_name
+            .insert(name.to_string(), self.elements.len());
+        self.elements.push((name.to_string(), element));
+        Ok(())
+    }
+
+    fn check_positive(&self, name: &str, value: f64, what: &str) -> Result<(), Error> {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(Error::InvalidValue {
+                element: name.to_string(),
+                reason: format!("{what} must be positive and finite, got {value}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name or non-positive resistance.
+    pub fn resistor(&mut self, name: &str, p: NodeId, n: NodeId, ohms: f64) -> Result<(), Error> {
+        self.check_positive(name, ohms, "resistance")?;
+        self.insert(name, Element::Resistor { p, n, value: ohms })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name or non-positive capacitance.
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+    ) -> Result<(), Error> {
+        self.check_positive(name, farads, "capacitance")?;
+        self.insert(name, Element::Capacitor { p, n, value: farads })
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name or non-positive inductance.
+    pub fn inductor(&mut self, name: &str, p: NodeId, n: NodeId, henries: f64) -> Result<(), Error> {
+        self.check_positive(name, henries, "inductance")?;
+        self.insert(
+            name,
+            Element::Inductor {
+                p,
+                n,
+                value: henries,
+            },
+        )
+    }
+
+    /// Adds a voltage source with an arbitrary waveform.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name.
+    pub fn vsource(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: SourceWave,
+    ) -> Result<(), Error> {
+        self.insert(name, Element::VoltageSource { p, n, wave })
+    }
+
+    /// Adds a DC voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name.
+    pub fn vdc(&mut self, name: &str, p: NodeId, n: NodeId, volts: f64) -> Result<(), Error> {
+        self.vsource(name, p, n, SourceWave::Dc(volts))
+    }
+
+    /// Adds a current source with an arbitrary waveform (current flows from
+    /// `p` through the source to `n`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name.
+    pub fn isource(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: SourceWave,
+    ) -> Result<(), Error> {
+        self.insert(name, Element::CurrentSource { p, n, wave })
+    }
+
+    /// Adds a DC current source.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name.
+    pub fn idc(&mut self, name: &str, p: NodeId, n: NodeId, amps: f64) -> Result<(), Error> {
+        self.isource(name, p, n, SourceWave::Dc(amps))
+    }
+
+    /// Adds a junction diode.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name.
+    pub fn diode(
+        &mut self,
+        name: &str,
+        anode: NodeId,
+        cathode: NodeId,
+        model: DiodeModel,
+    ) -> Result<(), Error> {
+        self.insert(
+            name,
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            },
+        )
+    }
+
+    /// Adds a voltage-controlled voltage source
+    /// (`v(p) − v(n) = gain · (v(cp) − v(cn))`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name or a non-finite gain.
+    pub fn vcvs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> Result<(), Error> {
+        if !gain.is_finite() {
+            return Err(Error::InvalidValue {
+                element: name.to_string(),
+                reason: format!("gain must be finite, got {gain}"),
+            });
+        }
+        self.insert(name, Element::Vcvs { p, n, cp, cn, gain })
+    }
+
+    /// Adds a voltage-controlled current source (a current
+    /// `gm · (v(cp) − v(cn))` flows from `p` through the source to `n`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name or a non-finite transconductance.
+    pub fn vccs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> Result<(), Error> {
+        if !gm.is_finite() {
+            return Err(Error::InvalidValue {
+                element: name.to_string(),
+                reason: format!("transconductance must be finite, got {gm}"),
+            });
+        }
+        self.insert(name, Element::Vccs { p, n, cp, cn, gm })
+    }
+
+    /// Adds a bipolar transistor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name.
+    pub fn bjt(
+        &mut self,
+        name: &str,
+        collector: NodeId,
+        base: NodeId,
+        emitter: NodeId,
+        model: BjtModel,
+    ) -> Result<(), Error> {
+        self.insert(
+            name,
+            Element::Bjt {
+                collector,
+                base,
+                emitter,
+                model,
+            },
+        )
+    }
+
+    /// Looks up an element by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownElement`] when absent.
+    pub fn element(&self, name: &str) -> Result<&Element, Error> {
+        self.element_by_name
+            .get(name)
+            .map(|&i| &self.elements[i].1)
+            .ok_or_else(|| Error::UnknownElement(name.to_string()))
+    }
+
+    /// The node wired to `terminal` of element `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element is unknown or lacks the terminal.
+    pub fn terminal_node(&self, name: &str, terminal: Terminal) -> Result<NodeId, Error> {
+        self.element(name)?
+            .terminal(terminal)
+            .ok_or_else(|| Error::InvalidTerminal {
+                element: name.to_string(),
+                terminal: terminal.name(),
+            })
+    }
+
+    /// Rewires `terminal` of element `name` to `node`, returning the node
+    /// it was previously wired to. This is the primitive used to inject
+    /// *open* defects (split a node, reconnect through a high impedance).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element is unknown or lacks the terminal.
+    pub fn rewire_terminal(
+        &mut self,
+        name: &str,
+        terminal: Terminal,
+        node: NodeId,
+    ) -> Result<NodeId, Error> {
+        let idx = *self
+            .element_by_name
+            .get(name)
+            .ok_or_else(|| Error::UnknownElement(name.to_string()))?;
+        self.elements[idx]
+            .1
+            .rewire(terminal, node)
+            .ok_or_else(|| Error::InvalidTerminal {
+                element: name.to_string(),
+                terminal: terminal.name(),
+            })
+    }
+
+    /// Replaces the value of resistor `name` (used for *resistor short /
+    /// drift* defects).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element is unknown, not a resistor, or the value is
+    /// invalid.
+    pub fn set_resistance(&mut self, name: &str, ohms: f64) -> Result<(), Error> {
+        self.check_positive(name, ohms, "resistance")?;
+        let idx = *self
+            .element_by_name
+            .get(name)
+            .ok_or_else(|| Error::UnknownElement(name.to_string()))?;
+        match &mut self.elements[idx].1 {
+            Element::Resistor { value, .. } => {
+                *value = ohms;
+                Ok(())
+            }
+            other => Err(Error::InvalidValue {
+                element: name.to_string(),
+                reason: format!("expected a resistor, found {}", other.type_tag()),
+            }),
+        }
+    }
+
+    /// Removes element `name` from the netlist (used for hard opens on
+    /// two-terminal elements).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element is unknown.
+    pub fn remove_element(&mut self, name: &str) -> Result<Element, Error> {
+        let idx = self
+            .element_by_name
+            .remove(name)
+            .ok_or_else(|| Error::UnknownElement(name.to_string()))?;
+        let (_, element) = self.elements.remove(idx);
+        // Reindex the map entries that shifted down.
+        for (_, slot) in self.element_by_name.iter_mut() {
+            if *slot > idx {
+                *slot -= 1;
+            }
+        }
+        Ok(element)
+    }
+
+    /// Validates the netlist and produces an immutable [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when a non-ground node is not touched by any element terminal
+    /// (a dangling wire, which would make the MNA matrix singular).
+    pub fn compile(self) -> Result<Circuit, Error> {
+        let mut touch = vec![0usize; self.node_names.len()];
+        for (_, e) in &self.elements {
+            for node in e.nodes() {
+                touch[node.0] += 1;
+            }
+        }
+        for (idx, &count) in touch.iter().enumerate().skip(1) {
+            if count == 0 {
+                return Err(Error::UnknownNode(format!(
+                    "node `{}` is not connected to any element",
+                    self.node_names[idx]
+                )));
+            }
+        }
+        // Assign branch-current unknowns.
+        let n_nodes = self.node_names.len() - 1;
+        let mut branches = Vec::new();
+        for (idx, (_, e)) in self.elements.iter().enumerate() {
+            if e.has_branch_current() {
+                branches.push(idx);
+            }
+        }
+        let dim = n_nodes + branches.len();
+        Ok(Circuit {
+            netlist: self,
+            branch_of_element: branches,
+            dim,
+        })
+    }
+}
+
+/// An immutable, validated circuit ready for analysis.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    netlist: Netlist,
+    /// Element indices that own a branch current, in branch order.
+    branch_of_element: Vec<usize>,
+    dim: usize,
+}
+
+impl Circuit {
+    /// Number of MNA unknowns (node voltages + branch currents).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of non-ground nodes.
+    pub fn node_unknowns(&self) -> usize {
+        self.netlist.node_count() - 1
+    }
+
+    /// Number of branch-current unknowns.
+    pub fn branch_unknowns(&self) -> usize {
+        self.branch_of_element.len()
+    }
+
+    /// Iterates over `(name, element)` pairs.
+    pub fn elements(&self) -> impl Iterator<Item = (&str, &Element)> {
+        self.netlist.elements()
+    }
+
+    /// Elements as a slice of `(name, element)` pairs (internal).
+    pub(crate) fn element_slice(&self) -> &[(String, Element)] {
+        &self.netlist.elements
+    }
+
+    /// Branch order: element indices owning branch currents.
+    pub(crate) fn branch_elements(&self) -> &[usize] {
+        &self.branch_of_element
+    }
+
+    /// Looks up a node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] when no node has that name.
+    pub fn find_node(&self, name: &str) -> Result<NodeId, Error> {
+        self.netlist.find_node(name)
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        self.netlist.node_name(id)
+    }
+
+    /// All node ids including ground.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.netlist.node_count()).map(NodeId)
+    }
+
+    /// Recovers the mutable netlist (e.g. to inject another fault).
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+
+    /// The underlying netlist, read-only.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_premade() {
+        let mut nl = Netlist::new();
+        assert_eq!(nl.node("0"), Netlist::GROUND);
+        assert!(Netlist::GROUND.is_ground());
+        assert_eq!(nl.node_count(), 1);
+    }
+
+    #[test]
+    fn nodes_are_interned() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let a2 = nl.node("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, Netlist::GROUND);
+        assert_eq!(nl.node_name(a), "a");
+    }
+
+    #[test]
+    fn fresh_nodes_are_unique() {
+        let mut nl = Netlist::new();
+        let x = nl.fresh_node("split");
+        let y = nl.fresh_node("split");
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn duplicate_element_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        let err = nl.resistor("R1", a, Netlist::GROUND, 2.0).unwrap_err();
+        assert!(matches!(err, Error::DuplicateElement(_)));
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        assert!(nl.resistor("R1", a, Netlist::GROUND, -5.0).is_err());
+        assert!(nl.capacitor("C1", a, Netlist::GROUND, 0.0).is_err());
+        assert!(nl.inductor("L1", a, Netlist::GROUND, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rewire_and_terminal_lookup() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        assert_eq!(nl.terminal_node("R1", Terminal::Pos).unwrap(), a);
+        let old = nl.rewire_terminal("R1", Terminal::Pos, b).unwrap();
+        assert_eq!(old, a);
+        assert_eq!(nl.terminal_node("R1", Terminal::Pos).unwrap(), b);
+        assert!(nl.terminal_node("R1", Terminal::Base).is_err());
+        assert!(nl.terminal_node("Rx", Terminal::Pos).is_err());
+    }
+
+    #[test]
+    fn set_resistance_only_on_resistors() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.capacitor("C1", a, Netlist::GROUND, 1e-12).unwrap();
+        nl.set_resistance("R1", 42.0).unwrap();
+        match nl.element("R1").unwrap() {
+            Element::Resistor { value, .. } => assert_eq!(*value, 42.0),
+            _ => panic!("not a resistor"),
+        }
+        assert!(nl.set_resistance("C1", 42.0).is_err());
+    }
+
+    #[test]
+    fn remove_element_reindexes() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.resistor("R2", a, Netlist::GROUND, 2.0).unwrap();
+        nl.remove_element("R1").unwrap();
+        assert!(nl.element("R1").is_err());
+        match nl.element("R2").unwrap() {
+            Element::Resistor { value, .. } => assert_eq!(*value, 2.0),
+            _ => panic!("not a resistor"),
+        }
+        assert_eq!(nl.element_count(), 1);
+    }
+
+    #[test]
+    fn compile_rejects_dangling_node() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let _dangling = nl.node("nowhere");
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        assert!(nl.compile().is_err());
+    }
+
+    #[test]
+    fn compile_assigns_branches() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.inductor("L1", a, b, 1e-9).unwrap();
+        nl.resistor("R1", b, Netlist::GROUND, 1.0).unwrap();
+        let c = nl.compile().unwrap();
+        assert_eq!(c.node_unknowns(), 2);
+        assert_eq!(c.branch_unknowns(), 2);
+        assert_eq!(c.dim(), 4);
+    }
+
+    #[test]
+    fn circuit_round_trips_to_netlist() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        let c = nl.compile().unwrap();
+        let nl2 = c.into_netlist();
+        assert_eq!(nl2.element_count(), 2);
+    }
+}

@@ -1,0 +1,370 @@
+//! Higher-level measurements: logic levels, propagation delay,
+//! time-to-stability.
+
+use crate::wave::{Edge, Waveform, WaveformError};
+
+/// Steady-state logic-level statistics of a toggling signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelStats {
+    /// High level, volts (maximum in the analysis window).
+    pub vhigh: f64,
+    /// Low level, volts (minimum in the analysis window).
+    pub vlow: f64,
+}
+
+impl LevelStats {
+    /// Measures `vhigh`/`vlow` over `[t0, t1]`.
+    ///
+    /// The paper's Figure 5 characterizes faulty gates by exactly these two
+    /// numbers: a pipe defect drives `vlow` far below its nominal value
+    /// while `vhigh` stays at the rail.
+    pub fn measure(w: &Waveform, t0: f64, t1: f64) -> Self {
+        Self {
+            vhigh: w.max_in(t0, t1),
+            vlow: w.min_in(t0, t1),
+        }
+    }
+
+    /// Output swing `vhigh − vlow`, volts.
+    pub fn swing(&self) -> f64 {
+        self.vhigh - self.vlow
+    }
+}
+
+/// Propagation delay from a level crossing on `input` to the next crossing
+/// (any edge) on `output`, both measured at their own reference levels,
+/// starting the search at `t_from`.
+///
+/// This is the Table 1 measurement: the paper crosses every signal at
+/// 3.165 V, "the normal crossing point of an output and its complement".
+///
+/// Returns `None` when either signal never crosses after `t_from`.
+pub fn propagation_delay(
+    input: &Waveform,
+    output: &Waveform,
+    level_in: f64,
+    level_out: f64,
+    edge: Edge,
+    t_from: f64,
+) -> Option<f64> {
+    let t_in = input.first_crossing_after(level_in, edge, t_from)?;
+    let t_out = output.first_crossing_after(level_out, Edge::Any, t_in)?;
+    Some(t_out - t_in)
+}
+
+/// Times where a differential pair `(p, pb)` crosses — the *actual*
+/// crossing voltage, whatever its value (the Table 2 measurement).
+///
+/// # Errors
+///
+/// Returns [`WaveformError::TimeAxisMismatch`] when the traces do not share
+/// a time axis.
+pub fn differential_crossings(
+    p: &Waveform,
+    pb: &Waveform,
+    edge: Edge,
+) -> Result<Vec<f64>, WaveformError> {
+    let diff = p.sub(pb)?;
+    Ok(diff.crossings(0.0, edge))
+}
+
+/// Delay from the first differential crossing of `(in_p, in_n)` after
+/// `t_from` to the next differential crossing of `(out_p, out_n)`.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::TimeAxisMismatch`] when traces do not share a
+/// time axis.
+pub fn differential_delay(
+    in_p: &Waveform,
+    in_n: &Waveform,
+    out_p: &Waveform,
+    out_n: &Waveform,
+    t_from: f64,
+) -> Result<Option<f64>, WaveformError> {
+    let t_in = differential_crossings(in_p, in_n, Edge::Any)?
+        .into_iter()
+        .find(|&t| t >= t_from);
+    let Some(t_in) = t_in else {
+        return Ok(None);
+    };
+    let t_out = differential_crossings(out_p, out_n, Edge::Any)?
+        .into_iter()
+        .find(|&t| t >= t_in);
+    Ok(t_out.map(|t| t - t_in))
+}
+
+/// Options for [`StabilityResult::measure`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityOptions {
+    /// Minimum drop below the starting value before a minimum counts
+    /// (rejects numerical ripple at the start), volts.
+    pub min_prominence: f64,
+    /// How much the signal must rebound above a candidate minimum before
+    /// the minimum is accepted, volts.
+    pub rebound: f64,
+}
+
+impl Default for StabilityOptions {
+    fn default() -> Self {
+        Self {
+            min_prominence: 1.0e-3,
+            rebound: 1.0e-4,
+        }
+    }
+}
+
+/// The paper's detector-settling measurement (§6.1, Figure 7): `tstability`
+/// is "the time where the signal reaches the first minimum value on the
+/// output voltage and `Vmax` the maximum voltage of the rippling signal on
+/// the detector when stability is reached".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityResult {
+    /// Time of the first minimum, seconds.
+    pub t_stability: f64,
+    /// Signal value at the first minimum, volts.
+    pub v_min: f64,
+    /// Maximum of the rippling signal after `t_stability`, volts.
+    pub v_max: f64,
+}
+
+impl StabilityResult {
+    /// Measures time-to-stability on a detector output transient.
+    ///
+    /// Returns `None` when the signal never develops a minimum with the
+    /// requested prominence (e.g. a fault-free detector that just sits at
+    /// the rail).
+    pub fn measure(w: &Waveform, opts: &StabilityOptions) -> Option<Self> {
+        let values = w.values();
+        let time = w.time();
+        let start = values[0];
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in values.iter().enumerate() {
+            match best {
+                Some((_, vmin)) if v < vmin => best = Some((i, v)),
+                None if v < start - opts.min_prominence => best = Some((i, v)),
+                // Accept the minimum once the signal rebounds.
+                Some((idx, vmin)) if v > vmin + opts.rebound => {
+                    let t_stab = time[idx];
+                    let v_max = w.max_in(t_stab, w.t_end());
+                    return Some(Self {
+                        t_stability: t_stab,
+                        v_min: vmin,
+                        v_max,
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Monotone decay that never rebounds: stability is the last point.
+        best.map(|(idx, vmin)| Self {
+            t_stability: time[idx],
+            v_min: vmin,
+            v_max: w.max_in(time[idx], w.t_end()),
+        })
+    }
+}
+
+/// Robust settling measurement: the steady band is taken from the final
+/// `window_frac` of the record, and the settling time is the first moment
+/// the signal enters that band **and stays inside it** for the rest of the
+/// record.
+///
+/// This is the noise-tolerant cousin of [`StabilityResult::measure`]: when
+/// the per-cycle ripple exceeds the decay rate, "first local minimum" can
+/// trigger on the very first cycle, while band entry keeps tracking the
+/// envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SettlingInfo {
+    /// First time the signal permanently enters the steady band, seconds.
+    pub t_settle: f64,
+    /// Lower edge of the steady band, volts.
+    pub v_band_min: f64,
+    /// Upper edge of the steady band (the paper's `Vmax` ripple ceiling),
+    /// volts.
+    pub v_band_max: f64,
+    /// Total excursion from the starting value to the band ceiling, volts
+    /// (how far the detector output moved; ≈ 0 when it never fired).
+    pub depth: f64,
+}
+
+impl SettlingInfo {
+    /// Measures settling on a decaying record. Returns `None` for records
+    /// with fewer than 4 samples.
+    ///
+    /// The steady band measured over the final window is expanded by 5% of
+    /// the total excursion on each side, so `t_settle` is the classic
+    /// "within 95% of the final excursion" settling time — otherwise the
+    /// asymptotic tail of an exponential (or a slow RC load that has not
+    /// finished drifting) dominates the reading.
+    pub fn measure(w: &Waveform, window_frac: f64) -> Option<Self> {
+        if w.len() < 4 {
+            return None;
+        }
+        let t_end = w.t_end();
+        let t0 = w.t_start();
+        let w_start = t_end - window_frac.clamp(0.02, 0.9) * (t_end - t0);
+        let v_band_min = w.min_in(w_start, t_end);
+        let v_band_max = w.max_in(w_start, t_end);
+        let depth = w.values()[0] - v_band_max;
+        let margin = 0.05 * depth.abs();
+        // Walk backwards: find the last sample outside the (expanded)
+        // band; settling happens right after it.
+        let mut t_settle = t0;
+        for (i, (&t, &v)) in w.time().iter().zip(w.values()).enumerate().rev() {
+            let inside =
+                v >= v_band_min - margin - 1e-12 && v <= v_band_max + margin + 1e-12;
+            if !inside {
+                // The next sample is the permanent entry.
+                t_settle = w.time().get(i + 1).copied().unwrap_or(t);
+                break;
+            }
+        }
+        Some(Self {
+            t_settle,
+            v_band_min,
+            v_band_max,
+            depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf(pairs: &[(f64, f64)]) -> Waveform {
+        Waveform::new(
+            pairs.iter().map(|&(t, _)| t).collect(),
+            pairs.iter().map(|&(_, v)| v).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn level_stats_swing() {
+        let w = wf(&[(0.0, 3.3), (1.0, 3.05), (2.0, 3.3), (3.0, 3.05)]);
+        let s = LevelStats::measure(&w, 0.0, 3.0);
+        assert_eq!(s.vhigh, 3.3);
+        assert_eq!(s.vlow, 3.05);
+        assert!((s.swing() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_simple() {
+        let input = wf(&[(0.0, 0.0), (1.0, 1.0)]);
+        let output = wf(&[(0.0, 0.0), (1.0, 0.0), (2.0, 1.0)]);
+        let d = propagation_delay(&input, &output, 0.5, 0.5, Edge::Rising, 0.0).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_none_when_no_crossing() {
+        let input = wf(&[(0.0, 0.0), (1.0, 1.0)]);
+        let flat = wf(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert!(propagation_delay(&input, &flat, 0.5, 0.5, Edge::Rising, 0.0).is_none());
+    }
+
+    #[test]
+    fn differential_crossing_is_where_traces_meet() {
+        // p falls 1→0 while pb rises 0→1: they meet at t = 0.5.
+        let p = wf(&[(0.0, 1.0), (1.0, 0.0)]);
+        let pb = wf(&[(0.0, 0.0), (1.0, 1.0)]);
+        let c = differential_crossings(&p, &pb, Edge::Any).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differential_delay_pairs_edges() {
+        let in_p = wf(&[(0.0, 1.0), (1.0, 0.0), (2.0, 0.0)]);
+        let in_n = wf(&[(0.0, 0.0), (1.0, 1.0), (2.0, 1.0)]);
+        // Output crosses 0.3 later.
+        let out_p = wf(&[(0.0, 1.0), (0.8, 1.0), (1.4, 0.0), (2.0, 0.0)]);
+        let out_n = wf(&[(0.0, 0.0), (0.8, 0.0), (1.4, 1.0), (2.0, 1.0)]);
+        let d = differential_delay(&in_p, &in_n, &out_p, &out_n, 0.0)
+            .unwrap()
+            .unwrap();
+        assert!((d - 0.6).abs() < 1e-9, "delay {d}");
+    }
+
+    #[test]
+    fn stability_finds_first_minimum() {
+        // Decay to a minimum at t = 3, then ripple between 1.1 and 1.3.
+        let w = wf(&[
+            (0.0, 3.3),
+            (1.0, 2.5),
+            (2.0, 1.5),
+            (3.0, 1.0),
+            (4.0, 1.3),
+            (5.0, 1.1),
+            (6.0, 1.3),
+        ]);
+        let r = StabilityResult::measure(&w, &StabilityOptions::default()).unwrap();
+        assert_eq!(r.t_stability, 3.0);
+        assert_eq!(r.v_min, 1.0);
+        assert_eq!(r.v_max, 1.3);
+    }
+
+    #[test]
+    fn stability_none_for_flat_signal() {
+        let w = wf(&[(0.0, 3.3), (1.0, 3.3), (2.0, 3.3)]);
+        assert!(StabilityResult::measure(&w, &StabilityOptions::default()).is_none());
+    }
+
+    #[test]
+    fn stability_monotone_decay_uses_last_point() {
+        let w = wf(&[(0.0, 3.0), (1.0, 2.0), (2.0, 1.0)]);
+        let r = StabilityResult::measure(&w, &StabilityOptions::default()).unwrap();
+        assert_eq!(r.t_stability, 2.0);
+        assert_eq!(r.v_min, 1.0);
+    }
+
+    #[test]
+    fn settling_info_tracks_envelope_through_ripple() {
+        // Decay with superimposed ripple bigger than per-step decay.
+        let mut pairs = Vec::new();
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            let envelope = 3.3 - 1.0 * (1.0 - (-t / 2.0_f64).exp());
+            let ripple = 0.05 * ((i % 4) as f64 - 1.5);
+            pairs.push((t, envelope + ripple));
+        }
+        let w = wf(&pairs);
+        let s = SettlingInfo::measure(&w, 0.2).unwrap();
+        // Settles only after the envelope flattens (t >> 2), not on the
+        // first ripple minimum.
+        assert!(s.t_settle > 2.0, "t_settle {}", s.t_settle);
+        assert!(s.depth > 0.7, "depth {}", s.depth);
+        assert!(s.v_band_max <= 3.3 - 0.7);
+    }
+
+    #[test]
+    fn settling_info_flat_signal_settles_immediately() {
+        let w = wf(&[(0.0, 3.3), (1.0, 3.3), (2.0, 3.3), (3.0, 3.3)]);
+        let s = SettlingInfo::measure(&w, 0.3).unwrap();
+        assert_eq!(s.t_settle, 0.0);
+        assert!(s.depth.abs() < 1e-9);
+    }
+
+    #[test]
+    fn settling_info_rejects_tiny_records() {
+        let w = wf(&[(0.0, 1.0), (1.0, 0.5)]);
+        assert!(SettlingInfo::measure(&w, 0.3).is_none());
+    }
+
+    #[test]
+    fn stability_skips_shallow_ripple_at_start() {
+        // A 0.1 mV dip at the start must not count as the minimum.
+        let w = wf(&[
+            (0.0, 3.3),
+            (0.5, 3.29995),
+            (1.0, 3.3),
+            (2.0, 2.0),
+            (3.0, 1.0),
+            (4.0, 1.2),
+        ]);
+        let r = StabilityResult::measure(&w, &StabilityOptions::default()).unwrap();
+        assert_eq!(r.t_stability, 3.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Spectral measurements: FFT magnitude spectrum and total harmonic
+//! distortion, for steady-state periodic waveforms (the differential-pair
+//! limiter of a CML gate is strongly nonlinear, so harmonic content is a
+//! useful figure of merit).
+
+use crate::wave::{Waveform, WaveformError};
+
+/// One-sided amplitude spectrum of a uniformly resampled window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    /// Bin frequencies, hertz.
+    freqs: Vec<f64>,
+    /// Bin amplitudes (peak, not RMS), same units as the waveform.
+    mags: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Computes the spectrum of `w` over `[t0, t1]`, resampled to `n`
+    /// uniform points (`n` must be a power of two ≥ 4).
+    ///
+    /// For clean harmonic measurements, pick `[t0, t1]` spanning an
+    /// integer number of periods — no window function is applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::Empty`] when the window is degenerate or
+    /// `n` is not a power of two ≥ 4.
+    pub fn of(w: &Waveform, t0: f64, t1: f64, n: usize) -> Result<Self, WaveformError> {
+        if n < 4 || !n.is_power_of_two() || t1 <= t0 {
+            return Err(WaveformError::Empty);
+        }
+        // Uniform resample (linear interpolation).
+        let dt = (t1 - t0) / n as f64;
+        let mut re: Vec<f64> = (0..n).map(|k| w.value_at(t0 + k as f64 * dt)).collect();
+        // Remove DC up front so bin 0 does not dwarf everything.
+        let mean = re.iter().sum::<f64>() / n as f64;
+        for v in &mut re {
+            *v -= mean;
+        }
+        let mut im = vec![0.0; n];
+        fft_in_place(&mut re, &mut im);
+        let span = t1 - t0;
+        let freqs: Vec<f64> = (0..n / 2).map(|k| k as f64 / span).collect();
+        // One-sided peak amplitude: 2·|X_k|/N (except DC).
+        let mags: Vec<f64> = (0..n / 2)
+            .map(|k| {
+                let scale = if k == 0 { 1.0 } else { 2.0 };
+                scale * re[k].hypot(im[k]) / n as f64
+            })
+            .collect();
+        Ok(Self { freqs, mags })
+    }
+
+    /// Bin frequencies.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Bin amplitudes.
+    pub fn mags(&self) -> &[f64] {
+        &self.mags
+    }
+
+    /// The non-DC bin with the largest amplitude, as `(freq, amplitude)`.
+    pub fn peak(&self) -> (f64, f64) {
+        self.mags
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(k, &m)| (self.freqs[k], m))
+            .unwrap_or((0.0, 0.0))
+    }
+
+    /// Amplitude near frequency `f` (max over bins within ± one bin).
+    pub fn amplitude_near(&self, f: f64) -> f64 {
+        if self.freqs.len() < 2 {
+            return 0.0;
+        }
+        let df = self.freqs[1] - self.freqs[0];
+        self.freqs
+            .iter()
+            .zip(&self.mags)
+            .filter(|(&bf, _)| (bf - f).abs() <= df)
+            .map(|(_, &m)| m)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total harmonic distortion relative to the fundamental at `f0`:
+    /// `sqrt(Σ_{k≥2} A_k²) / A_1` over harmonics inside the spectrum.
+    pub fn thd(&self, f0: f64) -> f64 {
+        let fundamental = self.amplitude_near(f0);
+        if fundamental <= 0.0 {
+            return f64::INFINITY;
+        }
+        let f_max = *self.freqs.last().expect("non-empty");
+        let mut power = 0.0;
+        let mut k = 2.0;
+        while k * f0 <= f_max {
+            let a = self.amplitude_near(k * f0);
+            power += a * a;
+            k += 1.0;
+        }
+        power.sqrt() / fundamental
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT.
+fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (w_re, w_im) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (a_re, a_im) = (re[i + k], im[i + k]);
+                let (b_re, b_im) = (re[i + k + len / 2], im[i + k + len / 2]);
+                let t_re = b_re * cur_re - b_im * cur_im;
+                let t_im = b_re * cur_im + b_im * cur_re;
+                re[i + k] = a_re + t_re;
+                im[i + k] = a_im + t_im;
+                re[i + k + len / 2] = a_re - t_re;
+                im[i + k + len / 2] = a_im - t_im;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, amp: f64, periods: usize, samples: usize) -> Waveform {
+        let t1 = periods as f64 / freq;
+        let time: Vec<f64> = (0..samples)
+            .map(|k| k as f64 * t1 / (samples - 1) as f64)
+            .collect();
+        let values: Vec<f64> = time
+            .iter()
+            .map(|&t| 1.5 + amp * (2.0 * std::f64::consts::PI * freq * t).sin())
+            .collect();
+        Waveform::new(time, values).unwrap()
+    }
+
+    #[test]
+    fn sine_spectrum_has_single_line() {
+        let w = sine(1.0e6, 0.7, 8, 4097);
+        let s = Spectrum::of(&w, 0.0, 8.0e-6, 1024).unwrap();
+        let (f_peak, a_peak) = s.peak();
+        assert!((f_peak - 1.0e6).abs() < 1.0e5, "peak at {f_peak:.3e}");
+        assert!((a_peak - 0.7).abs() < 0.02, "amplitude {a_peak}");
+        assert!(s.thd(1.0e6) < 0.02, "THD {}", s.thd(1.0e6));
+    }
+
+    #[test]
+    fn square_wave_thd_matches_theory() {
+        // Ideal square wave: odd harmonics at 1/n; THD = sqrt(π²/8 − 1)
+        // ≈ 0.483.
+        let freq = 1.0e6;
+        let periods = 8.0;
+        let n_samples = 8192;
+        let time: Vec<f64> = (0..n_samples)
+            .map(|k| k as f64 * periods / freq / (n_samples - 1) as f64)
+            .collect();
+        let values: Vec<f64> = time
+            .iter()
+            .map(|&t| {
+                if (t * freq).fract() < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        let w = Waveform::new(time, values).unwrap();
+        let s = Spectrum::of(&w, 0.0, periods / freq, 2048).unwrap();
+        let thd = s.thd(freq);
+        let theory = (std::f64::consts::PI.powi(2) / 8.0 - 1.0).sqrt();
+        assert!(
+            (thd - theory).abs() < 0.05,
+            "THD {thd:.3} vs theory {theory:.3}"
+        );
+        // Fundamental amplitude 4/π.
+        let a1 = s.amplitude_near(freq);
+        assert!((a1 - 4.0 / std::f64::consts::PI).abs() < 0.05, "A1 = {a1}");
+        // Even harmonics are absent.
+        assert!(s.amplitude_near(2.0 * freq) < 0.02);
+    }
+
+    #[test]
+    fn dc_is_removed() {
+        let w = sine(1.0e6, 0.5, 4, 2048);
+        let s = Spectrum::of(&w, 0.0, 4.0e-6, 512).unwrap();
+        assert!(s.mags()[0] < 1e-9, "DC bin {}", s.mags()[0]);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        // Sum of bin powers (peak amplitudes → A²/2) equals the mean
+        // square of the DC-removed signal.
+        let w = sine(1.0e6, 0.8, 8, 4096);
+        let n = 1024;
+        let s = Spectrum::of(&w, 0.0, 8.0e-6, n).unwrap();
+        let spectral_power: f64 = s
+            .mags()
+            .iter()
+            .skip(1)
+            .map(|&a| a * a / 2.0)
+            .sum();
+        // Time-domain mean square of the resampled, DC-removed signal.
+        let dt = 8.0e-6 / n as f64;
+        let samples: Vec<f64> = (0..n).map(|k| w.value_at(k as f64 * dt)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let ms = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(
+            (spectral_power - ms).abs() < 0.01 * ms,
+            "spectral {spectral_power:.4e} vs time-domain {ms:.4e}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let w = sine(1.0e6, 0.5, 4, 256);
+        assert!(Spectrum::of(&w, 0.0, 4.0e-6, 100).is_err()); // not pow2
+        assert!(Spectrum::of(&w, 0.0, 4.0e-6, 2).is_err()); // too small
+        assert!(Spectrum::of(&w, 1.0, 0.0, 64).is_err()); // bad window
+    }
+}

@@ -1,0 +1,414 @@
+//! The core [`Waveform`] type: a sampled signal on a strictly increasing
+//! time axis.
+
+use std::fmt;
+
+/// Errors from waveform construction and combination.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// Time and value vectors have different lengths.
+    LengthMismatch {
+        /// Number of time samples.
+        time: usize,
+        /// Number of value samples.
+        values: usize,
+    },
+    /// The time axis is not strictly increasing at this index.
+    NonMonotonicTime(usize),
+    /// Two waveforms being combined do not share a time axis.
+    TimeAxisMismatch,
+    /// The waveform has no samples.
+    Empty,
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::LengthMismatch { time, values } => {
+                write!(f, "time has {time} samples but values has {values}")
+            }
+            WaveformError::NonMonotonicTime(i) => {
+                write!(f, "time axis is not strictly increasing at index {i}")
+            }
+            WaveformError::TimeAxisMismatch => {
+                write!(f, "waveforms do not share a time axis")
+            }
+            WaveformError::Empty => write!(f, "waveform has no samples"),
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
+/// Crossing direction selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Value passes the level from below.
+    Rising,
+    /// Value passes the level from above.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// A sampled signal: strictly increasing time, one value per sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    time: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Builds a waveform from a time axis and sample values.
+    ///
+    /// # Errors
+    ///
+    /// Fails when lengths differ, the waveform is empty, or time is not
+    /// strictly increasing.
+    pub fn new(time: Vec<f64>, values: Vec<f64>) -> Result<Self, WaveformError> {
+        if time.len() != values.len() {
+            return Err(WaveformError::LengthMismatch {
+                time: time.len(),
+                values: values.len(),
+            });
+        }
+        if time.is_empty() {
+            return Err(WaveformError::Empty);
+        }
+        for (i, pair) in time.windows(2).enumerate() {
+            if pair[1] <= pair[0] {
+                return Err(WaveformError::NonMonotonicTime(i + 1));
+            }
+        }
+        Ok(Self { time, values })
+    }
+
+    /// Builds a waveform by copying borrowed slices.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn from_slices(time: &[f64], values: &[f64]) -> Result<Self, WaveformError> {
+        Self::new(time.to_vec(), values.to_vec())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether there are no samples (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// The time axis.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// First time point.
+    pub fn t_start(&self) -> f64 {
+        self.time[0]
+    }
+
+    /// Last time point.
+    pub fn t_end(&self) -> f64 {
+        *self.time.last().expect("non-empty")
+    }
+
+    /// Linearly interpolated value at time `t` (clamped at the ends).
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.time[0] {
+            return self.values[0];
+        }
+        if t >= self.t_end() {
+            return *self.values.last().expect("non-empty");
+        }
+        // Binary search for the bracketing segment.
+        let idx = match self
+            .time
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("finite time"))
+        {
+            Ok(i) => return self.values[i],
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.time[idx - 1], self.time[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// All times where the signal crosses `level` in the requested
+    /// direction, linearly interpolated.
+    pub fn crossings(&self, level: f64, edge: Edge) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 1..self.len() {
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            let rising = v0 < level && v1 >= level;
+            let falling = v0 > level && v1 <= level;
+            let hit = match edge {
+                Edge::Rising => rising,
+                Edge::Falling => falling,
+                Edge::Any => rising || falling,
+            };
+            if hit {
+                let (t0, t1) = (self.time[i - 1], self.time[i]);
+                out.push(t0 + (t1 - t0) * (level - v0) / (v1 - v0));
+            }
+        }
+        out
+    }
+
+    /// First crossing of `level` at or after `t_from`.
+    pub fn first_crossing_after(&self, level: f64, edge: Edge, t_from: f64) -> Option<f64> {
+        self.crossings(level, edge)
+            .into_iter()
+            .find(|&t| t >= t_from)
+    }
+
+    /// Minimum value in `[t0, t1]` (window endpoints are interpolated, so
+    /// narrow windows between samples still measure correctly).
+    pub fn min_in(&self, t0: f64, t1: f64) -> f64 {
+        self.window(t0, t1)
+            .chain([self.value_at(t0), self.value_at(t1)])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value in `[t0, t1]` (window endpoints are interpolated).
+    pub fn max_in(&self, t0: f64, t1: f64) -> f64 {
+        self.window(t0, t1)
+            .chain([self.value_at(t0), self.value_at(t1)])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean value in `[t0, t1]` (trapezoidal time average).
+    pub fn mean_in(&self, t0: f64, t1: f64) -> f64 {
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for i in 1..self.len() {
+            let (ta, tb) = (self.time[i - 1], self.time[i]);
+            if tb < t0 || ta > t1 {
+                continue;
+            }
+            let lo = ta.max(t0);
+            let hi = tb.min(t1);
+            if hi <= lo {
+                continue;
+            }
+            let va = self.value_at(lo);
+            let vb = self.value_at(hi);
+            area += 0.5 * (va + vb) * (hi - lo);
+            span += hi - lo;
+        }
+        if span > 0.0 {
+            area / span
+        } else {
+            self.value_at(t0)
+        }
+    }
+
+    /// Iterator over values whose sample time falls in `[t0, t1]`.
+    fn window(&self, t0: f64, t1: f64) -> impl Iterator<Item = f64> + '_ {
+        self.time
+            .iter()
+            .zip(&self.values)
+            .filter(move |(&t, _)| t >= t0 && t <= t1)
+            .map(|(_, &v)| v)
+    }
+
+    /// Sample-wise difference `self − other` (shared time axis required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::TimeAxisMismatch`] when the axes differ.
+    pub fn sub(&self, other: &Waveform) -> Result<Waveform, WaveformError> {
+        if self.time.len() != other.time.len()
+            || self
+                .time
+                .iter()
+                .zip(&other.time)
+                .any(|(a, b)| (a - b).abs() > 1e-21)
+        {
+            return Err(WaveformError::TimeAxisMismatch);
+        }
+        Ok(Waveform {
+            time: self.time.clone(),
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a - b)
+                .collect(),
+        })
+    }
+
+    /// A copy restricted to `[t0, t1]` (sample times only; at least one
+    /// sample must fall inside).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::Empty`] when no samples fall in the window.
+    pub fn slice(&self, t0: f64, t1: f64) -> Result<Waveform, WaveformError> {
+        let pairs: Vec<(f64, f64)> = self
+            .time
+            .iter()
+            .zip(&self.values)
+            .filter(|(&t, _)| t >= t0 && t <= t1)
+            .map(|(&t, &v)| (t, v))
+            .collect();
+        if pairs.is_empty() {
+            return Err(WaveformError::Empty);
+        }
+        Ok(Waveform {
+            time: pairs.iter().map(|&(t, _)| t).collect(),
+            values: pairs.iter().map(|&(_, v)| v).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(matches!(
+            Waveform::new(vec![0.0], vec![]),
+            Err(WaveformError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Waveform::new(vec![], vec![]),
+            Err(WaveformError::Empty)
+        ));
+        assert!(matches!(
+            Waveform::new(vec![0.0, 0.0], vec![1.0, 2.0]),
+            Err(WaveformError::NonMonotonicTime(1))
+        ));
+    }
+
+    #[test]
+    fn interpolation() {
+        let w = ramp();
+        assert_eq!(w.value_at(0.5), 0.5);
+        assert_eq!(w.value_at(1.5), 0.5);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(5.0), 0.0);
+        assert_eq!(w.value_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn crossings_both_edges() {
+        let w = ramp();
+        assert_eq!(w.crossings(0.5, Edge::Rising), vec![0.5]);
+        assert_eq!(w.crossings(0.5, Edge::Falling), vec![1.5]);
+        assert_eq!(w.crossings(0.5, Edge::Any), vec![0.5, 1.5]);
+        assert!(w.crossings(2.0, Edge::Any).is_empty());
+    }
+
+    #[test]
+    fn first_crossing_after_works() {
+        let w = ramp();
+        assert_eq!(w.first_crossing_after(0.5, Edge::Any, 0.0), Some(0.5));
+        assert_eq!(w.first_crossing_after(0.5, Edge::Any, 0.6), Some(1.5));
+        assert_eq!(w.first_crossing_after(0.5, Edge::Any, 1.6), None);
+    }
+
+    #[test]
+    fn extrema_and_mean() {
+        let w = ramp();
+        assert_eq!(w.min_in(0.0, 2.0), 0.0);
+        assert_eq!(w.max_in(0.0, 2.0), 1.0);
+        assert!((w.mean_in(0.0, 2.0) - 0.5).abs() < 1e-12);
+        // Narrow window between samples: endpoints are interpolated.
+        assert_eq!(w.max_in(0.4, 0.6), 0.6);
+        assert_eq!(w.min_in(0.4, 0.6), 0.4);
+    }
+
+    #[test]
+    fn sub_requires_same_axis() {
+        let a = ramp();
+        let b = Waveform::new(vec![0.0, 1.0, 2.0], vec![1.0, 1.0, 1.0]).unwrap();
+        let d = a.sub(&b).unwrap();
+        assert_eq!(d.values(), &[-1.0, 0.0, -1.0]);
+        let c = Waveform::new(vec![0.0, 1.1, 2.0], vec![1.0, 1.0, 1.0]).unwrap();
+        assert!(matches!(a.sub(&c), Err(WaveformError::TimeAxisMismatch)));
+    }
+
+    #[test]
+    fn slice_window() {
+        let w = ramp();
+        let s = w.slice(0.5, 2.0).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.t_start(), 1.0);
+        assert!(w.slice(5.0, 6.0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_waveform() -> impl Strategy<Value = Waveform> {
+        proptest::collection::vec((-5.0f64..5.0, 1e-6f64..1.0), 2..60).prop_map(|pairs| {
+            let mut t = 0.0;
+            let mut time = Vec::new();
+            let mut values = Vec::new();
+            for (v, dt) in pairs {
+                time.push(t);
+                values.push(v);
+                t += dt;
+            }
+            Waveform::new(time, values).expect("constructed monotone")
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn value_at_is_within_sample_bounds(w in arb_waveform(), f in 0.0f64..1.0) {
+            let t = w.t_start() + f * (w.t_end() - w.t_start());
+            let v = w.value_at(t);
+            let lo = w.values().iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = w.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+
+        #[test]
+        fn crossings_are_sorted_and_in_range(w in arb_waveform(), level in -5.0f64..5.0) {
+            let c = w.crossings(level, Edge::Any);
+            for pair in c.windows(2) {
+                prop_assert!(pair[0] <= pair[1]);
+            }
+            for &t in &c {
+                prop_assert!(t >= w.t_start() && t <= w.t_end());
+                // The interpolated value at a crossing is the level itself.
+                prop_assert!((w.value_at(t) - level).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn rising_plus_falling_equals_any(w in arb_waveform(), level in -5.0f64..5.0) {
+            let r = w.crossings(level, Edge::Rising).len();
+            let f = w.crossings(level, Edge::Falling).len();
+            let a = w.crossings(level, Edge::Any).len();
+            prop_assert_eq!(r + f, a);
+        }
+
+        #[test]
+        fn mean_is_between_extrema(w in arb_waveform()) {
+            let mean = w.mean_in(w.t_start(), w.t_end());
+            prop_assert!(mean >= w.min_in(w.t_start(), w.t_end()) - 1e-12);
+            prop_assert!(mean <= w.max_in(w.t_start(), w.t_end()) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a CML buffer, plant the paper's headline defect (a
+//! collector–emitter pipe on the current-source transistor Q3), attach a
+//! variant-2 built-in detector, and watch it flag the fault.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cml_cells::{waveform_of, CmlCircuitBuilder, CmlProcess};
+use cml_dft::{DetectorLoad, Variant2};
+use faults::Defect;
+use spicier::analysis::tran::{transient, TranOptions};
+use waveform::LevelStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = CmlProcess::paper();
+    println!(
+        "CML process: rails {:.1} V / {:.1} V, swing {:.0} mV, tail {:.1} mA",
+        process.vee,
+        process.vgnd,
+        process.swing * 1e3,
+        process.itail * 1e3
+    );
+
+    for pipe in [None, Some(4.0e3)] {
+        // A three-buffer chain: driver, device under test, load.
+        let mut builder = CmlCircuitBuilder::new(process.clone());
+        let input = builder.diff("a");
+        builder.drive_differential("a", input, 100.0e6)?;
+        let chain = builder.buffer_chain(&["X1", "DUT", "X2"], input)?;
+        let dut = chain.cells[1].output;
+
+        // The paper's variant-2 detector: bases biased to 3.7 V in test
+        // mode, diode-capacitor load.
+        let det = Variant2::new(DetectorLoad::diode_cap(1.0e-12), 3.7)
+            .attach(&mut builder, "DET", dut)?;
+
+        // Optionally plant the defect, exactly like editing a SPICE deck.
+        let mut netlist = builder.finish();
+        if let Some(ohms) = pipe {
+            Defect::pipe("DUT.Q3", ohms).inject(&mut netlist)?;
+        }
+
+        // Simulate 40 ns of test mode.
+        let circuit = netlist.compile()?;
+        let result = transient(&circuit, &TranOptions::new(40.0e-9))?;
+
+        // Measure the gate swing and the detector's settled output.
+        let out = waveform_of(&result, dut.p)?;
+        let swing = LevelStats::measure(&out, 20.0e-9, 40.0e-9).swing();
+        let vout = waveform_of(&result, det.vout)?.mean_in(36.0e-9, 40.0e-9);
+        match pipe {
+            None => println!("fault-free : DUT swing {swing:.3} V, detector vout {vout:.3} V"),
+            Some(ohms) => println!(
+                "{ohms:.0} Ω pipe: DUT swing {swing:.3} V, detector vout {vout:.3} V  ← pulled down, fault flagged"
+            ),
+        }
+    }
+    println!("\nThe pipe roughly doubles the output swing — invisible to logic and");
+    println!("delay test (it heals within a few stages), but the built-in detector");
+    println!("converts it into a quasi-DC flag. See EXPERIMENTS.md for the full story.");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Umbrella crate for the reproduction of *"Design For Testability Method
+//! for CML Digital Circuits"* (B. Antaki, Y. Savaria, S. M. I. Adham,
+//! N. Xiong — DATE 1999).
+//!
+//! This crate re-exports the workspace members so downstream users can
+//! depend on a single package:
+//!
+//! * [`spicier`] — the analog circuit simulator substrate (MNA,
+//!   Newton–Raphson DC, adaptive transient, dense + sparse LU);
+//! * [`waveform`] — waveform storage and measurement (crossings, delays,
+//!   swings, settling);
+//! * [`cml_cells`] — the CML standard-cell library (buffer, stacked gates,
+//!   latches, the Figure 3 chain);
+//! * [`faults`] — circuit-level defect injection (pipes, shorts, bridges,
+//!   opens);
+//! * [`cml_dft`] — **the paper's contribution**: built-in voltage-excursion
+//!   detectors (variants 1–3), load sharing, multi-emitter optimization,
+//!   overhead accounting, the §6.6 toggle-test flow;
+//! * [`cml_logic`] — gate-level logic simulation for the §6.6 experiments;
+//! * [`cml_bench`] — the experiment harness regenerating every table and
+//!   figure of the paper.
+//!
+//! See the repository README for a tour, `DESIGN.md` for the architecture
+//! and experiment index, and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+//!
+//! # Example
+//!
+//! ```
+//! use cml_dft_repro::cml_cells::{CmlCircuitBuilder, CmlProcess};
+//! use cml_dft_repro::spicier::analysis::dc::{operating_point, DcOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+//! let input = b.diff("a");
+//! b.drive_static("a", input, true)?;
+//! let cell = b.buffer("X1", input)?;
+//! let circuit = b.finish().compile()?;
+//! let op = operating_point(&circuit, &DcOptions::default())?;
+//! assert!((op.voltage(cell.output.p) - 3.3).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cml_bench;
+pub use cml_cells;
+pub use cml_dft;
+pub use cml_logic;
+pub use faults;
+pub use spicier;
+pub use waveform;

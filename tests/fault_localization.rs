@@ -1,0 +1,92 @@
+//! Integration: per-gate detectors don't just *detect* a healing fault —
+//! they **localize** it. With one detector per stage of the Figure 3
+//! chain, a pipe planted on any stage must fire that stage's detector
+//! (and, because the electrical disturbance is local, not the detectors
+//! three or more stages downstream).
+
+use cml_cells::{waveform_of, CmlCircuitBuilder, CmlProcess};
+use cml_dft::{instrument_chain, DetectorLoad};
+use faults::Defect;
+use spicier::analysis::tran::{transient, TranOptions};
+use spicier::Circuit;
+
+const FREQ: f64 = 100.0e6;
+const T_STOP: f64 = 40.0e-9;
+const N_STAGES: usize = 5;
+const MIN_DROP: f64 = 0.15;
+
+fn build(fault_stage: Option<usize>) -> (Circuit, cml_dft::InstrumentedChain) {
+    let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+    let input = b.diff("a");
+    b.drive_differential("a", input, FREQ).unwrap();
+    let names: Vec<String> = (0..N_STAGES).map(|k| format!("B{k}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let chain = b.buffer_chain(&name_refs, input).unwrap();
+    let inst = instrument_chain(&mut b, &chain, DetectorLoad::diode_cap(1.0e-12), 3.7).unwrap();
+    let mut nl = b.finish();
+    if let Some(stage) = fault_stage {
+        Defect::pipe(&format!("B{stage}.Q3"), 2.0e3)
+            .inject(&mut nl)
+            .unwrap();
+    }
+    (nl.compile().unwrap(), inst)
+}
+
+fn readings(circuit: &Circuit, inst: &cml_dft::InstrumentedChain) -> Vec<f64> {
+    let res = transient(circuit, &TranOptions::new(T_STOP)).unwrap();
+    inst.detectors
+        .iter()
+        .map(|d| {
+            waveform_of(&res, d.vout)
+                .unwrap()
+                .mean_in(0.9 * T_STOP, T_STOP)
+        })
+        .collect()
+}
+
+#[test]
+fn per_gate_detectors_localize_the_faulty_stage() {
+    let (clean_circuit, clean_inst) = build(None);
+    let baselines = readings(&clean_circuit, &clean_inst);
+
+    for fault_stage in [0usize, 2, 4] {
+        let (circuit, inst) = build(Some(fault_stage));
+        let values = readings(&circuit, &inst);
+        let flagged = inst.flagged_stages(&values, &baselines, MIN_DROP);
+        assert!(
+            flagged.contains(&fault_stage),
+            "stage {fault_stage}: flagged {flagged:?}, readings {values:?} vs {baselines:?}"
+        );
+        // Healing: detectors ≥ 2 stages downstream stay quiet.
+        for &k in &flagged {
+            assert!(
+                k <= fault_stage + 1 && k + 2 > fault_stage,
+                "stage {fault_stage} fault flagged distant detector {k} ({flagged:?})"
+            );
+        }
+        // The faulty stage's own detector shows the deepest drop.
+        let drops: Vec<f64> = values
+            .iter()
+            .zip(&baselines)
+            .map(|(v, b)| b - v)
+            .collect();
+        let deepest = drops
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(k, _)| k)
+            .expect("non-empty");
+        assert_eq!(
+            deepest, fault_stage,
+            "deepest drop at {deepest}, fault at {fault_stage}: {drops:?}"
+        );
+    }
+}
+
+#[test]
+fn fault_free_chain_raises_no_flags() {
+    let (circuit, inst) = build(None);
+    let baselines = readings(&circuit, &inst);
+    let flagged = inst.flagged_stages(&baselines, &baselines, MIN_DROP);
+    assert!(flagged.is_empty());
+}

@@ -1,0 +1,112 @@
+//! Integration: §6.6's sensitization story on a complex gate.
+//!
+//! "In some more complex gates, some defects modify the amplitude of only
+//! one output and thus, masking the fault. To detect it, the fault must be
+//! asserted by sensitizing a path through the faulty gate and make its
+//! output toggle. In this case the fault is asserted half the cycles time
+//! [and] the amplitude detector will be able to flag the faulty gate."
+//!
+//! We plant a resistive *bridge* from the AND gate's true output to a
+//! level-shifter net one VBE down — a single-output defect whose excessive
+//! low excursion only exists while that output sits low. The `a = b = 1`
+//! input masks it completely; anything else (or toggling) asserts it.
+//!
+//! (A pipe across a *steering* transistor would not do: the regulated tail
+//! current simply re-routes through the pipe, which is precisely why the
+//! paper's headline defect is the pipe on the current source itself.)
+
+use cml_cells::{waveform_of, CmlCircuitBuilder, CmlProcess, DiffPair};
+use cml_dft::{DetectorLoad, Variant2};
+use faults::Defect;
+use spicier::analysis::tran::{transient, TranOptions};
+
+const T_STOP: f64 = 40.0e-9;
+const FREQ: f64 = 100.0e6;
+
+/// Builds the full adder with a variant-2 detector on its internal AND
+/// gate ("FA.G"), optionally planting the single-output pipe, and returns
+/// the settled detector reading.
+fn detector_reading(stimulus: Stimulus, with_fault: bool) -> f64 {
+    let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+    let ia = b.diff("a");
+    let ib = b.diff("b");
+    let ic = b.diff("cin");
+    match stimulus {
+        Stimulus::Static(a, bb, cin) => {
+            b.drive_static("a", ia, a).unwrap();
+            b.drive_static("b", ib, bb).unwrap();
+            b.drive_static("cin", ic, cin).unwrap();
+        }
+        Stimulus::Toggling => {
+            b.drive_differential("a", ia, FREQ).unwrap();
+            b.drive_differential("b", ib, FREQ / 2.0).unwrap();
+            b.drive_static("cin", ic, true).unwrap();
+        }
+    }
+    let fa = b.full_adder("FA", ia, ib, ic).unwrap();
+    let g_out: DiffPair = fa.gates[2].output; // the AND gate "FA.G"
+    let det = Variant2::new(DetectorLoad::diode_cap(1.0e-12), 3.7)
+        .attach(&mut b, "DET", g_out)
+        .unwrap();
+    let mut nl = b.finish();
+    if with_fault {
+        // Bridge from FA.G's true output to its own level shifter's
+        // output net (one VBE below the rail): injects extra current into
+        // exactly one output, and the excessive-low signature appears only
+        // while that output is low (a∧b = 0).
+        Defect::bridge("FA.G.op", "FA.G.LSB.p.ls", 4.0e3)
+            .inject(&mut nl)
+            .unwrap();
+    }
+    let circuit = nl.compile().unwrap();
+    let res = transient(&circuit, &TranOptions::new(T_STOP)).unwrap();
+    waveform_of(&res, det.vout)
+        .unwrap()
+        .mean_in(0.9 * T_STOP, T_STOP)
+}
+
+#[derive(Clone, Copy)]
+enum Stimulus {
+    Static(bool, bool, bool),
+    Toggling,
+}
+
+#[test]
+fn single_output_fault_needs_sensitization_and_toggling() {
+    const ASSERTED: f64 = 0.08;
+    const MASKED: f64 = 0.04;
+
+    // The masking input: a = b = 1 holds the bridged output high.
+    let clean = detector_reading(Stimulus::Static(true, true, false), false);
+    let faulty = detector_reading(Stimulus::Static(true, true, false), true);
+    assert!(
+        clean - faulty < MASKED,
+        "a=b=1 must mask the fault: drop {:.3}",
+        clean - faulty
+    );
+
+    // Any sensitizing input asserts it at DC.
+    let mut asserted = 0;
+    for combo in [
+        Stimulus::Static(false, false, false),
+        Stimulus::Static(true, false, false),
+        Stimulus::Static(false, true, false),
+    ] {
+        let clean = detector_reading(combo, false);
+        let faulty = detector_reading(combo, true);
+        if clean - faulty >= ASSERTED {
+            asserted += 1;
+        }
+    }
+    assert!(asserted >= 2, "sensitizing inputs must assert: {asserted}/3");
+
+    // Toggling stimulus (the §6.6 prescription): the fault is asserted
+    // half the cycles, and the detector's strong pull-down vs the weak
+    // load pull-up still integrates a clear flag.
+    let clean = detector_reading(Stimulus::Toggling, false);
+    let faulty = detector_reading(Stimulus::Toggling, true);
+    assert!(
+        clean - faulty >= 0.06,
+        "toggling must flag the fault: clean {clean:.3}, faulty {faulty:.3}"
+    );
+}

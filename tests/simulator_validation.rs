@@ -1,0 +1,152 @@
+//! Integration: validate the simulator substrate against closed-form
+//! circuit theory, end to end through the public APIs.
+
+use spicier::analysis::dc::{operating_point, DcOptions};
+use spicier::analysis::tran::{transient, TranOptions};
+use spicier::netlist::{Netlist, SourceWave};
+use waveform::{Edge, Waveform};
+
+#[test]
+fn series_rlc_underdamped_ringing_frequency() {
+    // R = 10 Ω, L = 1 µH, C = 1 nF: ω_d = sqrt(1/LC - (R/2L)^2)
+    // → f_d ≈ 5.03 MHz, ζ = 0.158.
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let b = nl.node("b");
+    let c = nl.node("c");
+    nl.vsource(
+        "V1",
+        a,
+        Netlist::GROUND,
+        SourceWave::Pwl(vec![(0.0, 0.0), (1.0e-12, 1.0)]),
+    )
+    .unwrap();
+    nl.resistor("R1", a, b, 10.0).unwrap();
+    nl.inductor("L1", b, c, 1.0e-6).unwrap();
+    nl.capacitor("C1", c, Netlist::GROUND, 1.0e-9).unwrap();
+    let circuit = nl.compile().unwrap();
+    let res = transient(&circuit, &TranOptions::new(2.0e-6).with_dv_max(0.02)).unwrap();
+    let w = Waveform::from_slices(res.time(), res.trace(c).unwrap()).unwrap();
+    // Ringing frequency from successive rising crossings of the final value.
+    let crossings = w.crossings(1.0, Edge::Rising);
+    assert!(crossings.len() >= 3, "expect several ring cycles");
+    let period = crossings[2] - crossings[1];
+    let f_meas = 1.0 / period;
+    let l: f64 = 1.0e-6;
+    let cap: f64 = 1.0e-9;
+    let r: f64 = 10.0;
+    let w_d = (1.0 / (l * cap) - (r / (2.0 * l)).powi(2)).sqrt();
+    let f_expected = w_d / (2.0 * std::f64::consts::PI);
+    assert!(
+        (f_meas - f_expected).abs() < 0.03 * f_expected,
+        "ringing {f_meas:.3e} Hz vs theory {f_expected:.3e} Hz"
+    );
+    // Peak overshoot: exp(-ζπ/sqrt(1-ζ²)) above the final value.
+    let zeta = r / 2.0 * (cap / l).sqrt();
+    let overshoot = (-zeta * std::f64::consts::PI / (1.0 - zeta * zeta).sqrt()).exp();
+    let peak = w.max_in(0.0, 2.0e-6);
+    assert!(
+        (peak - (1.0 + overshoot)).abs() < 0.03,
+        "peak {peak:.3} vs theory {:.3}",
+        1.0 + overshoot
+    );
+}
+
+#[test]
+fn diode_resistor_dc_matches_lambert_style_iteration() {
+    // V = 2 V through 1 kΩ into a diode: solve I = (V - Vd)/R with
+    // Vd = n·Vt·ln(I/Is + 1) by fixed-point iteration, then compare.
+    let model = spicier::devices::DiodeModel::new();
+    let (v_src, r) = (2.0, 1.0e3);
+    let mut i = 1.0e-3;
+    for _ in 0..200 {
+        i = (v_src - model.forward_voltage(i)) / r;
+    }
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let d = nl.node("d");
+    nl.vdc("V1", a, Netlist::GROUND, v_src).unwrap();
+    nl.resistor("R1", a, d, r).unwrap();
+    nl.diode("D1", d, Netlist::GROUND, model).unwrap();
+    let circuit = nl.compile().unwrap();
+    let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+    let i_sim = (v_src - op.voltage(d)) / r;
+    assert!(
+        (i_sim - i).abs() < 1e-6 * i.abs().max(1e-9),
+        "simulated {i_sim:.6e} A vs analytic {i:.6e} A"
+    );
+}
+
+#[test]
+fn bjt_common_emitter_gain_matches_small_signal_theory() {
+    // Common-emitter stage with emitter degeneration: Av ≈ -Rc/Re for
+    // gm·Re >> 1. Rc = 2 kΩ, Re = 500 Ω → Av ≈ -4 (slightly less in
+    // magnitude due to 1/gm).
+    let mut nl = Netlist::new();
+    let vcc = nl.node("vcc");
+    let vb = nl.node("vb");
+    let vc = nl.node("vc");
+    let ve = nl.node("ve");
+    nl.vdc("VCC", vcc, Netlist::GROUND, 5.0).unwrap();
+    nl.vsource(
+        "VB",
+        vb,
+        Netlist::GROUND,
+        SourceWave::Sin {
+            offset: 1.4,
+            amplitude: 0.005,
+            freq: 1.0e6,
+            delay: 0.0,
+        },
+    )
+    .unwrap();
+    nl.resistor("RC", vcc, vc, 2.0e3).unwrap();
+    nl.resistor("RE", ve, Netlist::GROUND, 500.0).unwrap();
+    nl.bjt("Q1", vc, vb, ve, spicier::devices::BjtModel::fast_npn())
+        .unwrap();
+    let circuit = nl.compile().unwrap();
+    let res = transient(&circuit, &TranOptions::new(3.0e-6).with_dv_max(0.02)).unwrap();
+    let w = Waveform::from_slices(res.time(), res.trace(vc).unwrap()).unwrap();
+    // Output amplitude over the last period.
+    let amp_out = (w.max_in(2.0e-6, 3.0e-6) - w.min_in(2.0e-6, 3.0e-6)) / 2.0;
+    let gain = amp_out / 0.005;
+    // gm at the bias point: IE ≈ (1.4 - 0.9)/500 = 1 mA, 1/gm ≈ 26 Ω.
+    let av_theory = 2.0e3 / (500.0 + 26.0);
+    assert!(
+        (gain - av_theory).abs() < 0.15 * av_theory,
+        "gain {gain:.2} vs theory {av_theory:.2}"
+    );
+}
+
+#[test]
+fn energy_is_conserved_in_lossless_lc_tank() {
+    // LC tank with an initial condition: the oscillation amplitude must
+    // not grow (trapezoidal integration is non-dissipative but stable).
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    nl.capacitor("C1", a, Netlist::GROUND, 1.0e-9).unwrap();
+    nl.inductor("L1", a, Netlist::GROUND, 1.0e-6).unwrap();
+    // Tiny damping resistor keeps the DC operating point well-posed.
+    nl.resistor("R1", a, Netlist::GROUND, 1.0e9).unwrap();
+    let circuit = nl.compile().unwrap();
+    let node = circuit.find_node("a").unwrap();
+    let opts = TranOptions::new(3.0e-6)
+        .with_dv_max(0.05)
+        .with_initial_voltage(node, 1.0);
+    let res = transient(&circuit, &opts).unwrap();
+    let w = Waveform::from_slices(res.time(), res.trace(node).unwrap()).unwrap();
+    // Early and late amplitude: must not grow, and must not collapse.
+    let early = w.max_in(0.0, 0.5e-6);
+    let late = w.max_in(2.5e-6, 3.0e-6);
+    assert!(late <= early * 1.01, "oscillation grew: {early} -> {late}");
+    assert!(late >= 0.8 * early, "excess numerical damping: {early} -> {late}");
+    // Period check: T = 2π·sqrt(LC) ≈ 198.7 ns.
+    let crossings = w.crossings(0.0, Edge::Rising);
+    assert!(crossings.len() > 5);
+    let period = crossings[4] - crossings[3];
+    let t_theory = 2.0 * std::f64::consts::PI * (1.0e-6f64 * 1.0e-9).sqrt();
+    assert!(
+        (period - t_theory).abs() < 0.02 * t_theory,
+        "period {period:.3e} vs theory {t_theory:.3e}"
+    );
+}
