@@ -1,8 +1,8 @@
 //! Ablation benches: integration method and accuracy-knob cost, and the
 //! ablation experiment kernels themselves.
 
+use cml_bench::microbench::{run_benches, Harness};
 use cml_bench::{experiments::ablations, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use spicier::analysis::mna::Method;
 use spicier::analysis::tran::{transient, TranOptions};
 use spicier::netlist::{Netlist, SourceWave};
@@ -25,7 +25,7 @@ fn rc_circuit() -> spicier::Circuit {
     nl.compile().expect("compiles")
 }
 
-fn bench_integration_methods(c: &mut Criterion) {
+fn bench_integration_methods(c: &mut Harness) {
     let mut group = c.benchmark_group("integration");
     group
         .warm_up_time(Duration::from_millis(300))
@@ -55,7 +55,7 @@ fn bench_integration_methods(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_ablation_kernels(c: &mut Criterion) {
+fn bench_ablation_kernels(c: &mut Harness) {
     let mut group = c.benchmark_group("ablations");
     group
         .sample_size(10)
@@ -73,5 +73,15 @@ fn bench_ablation_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_integration_methods, bench_ablation_kernels);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[
+        (
+            "bench_integration_methods",
+            bench_integration_methods as fn(&mut Harness),
+        ),
+        (
+            "bench_ablation_kernels",
+            bench_ablation_kernels as fn(&mut Harness),
+        ),
+    ]);
+}

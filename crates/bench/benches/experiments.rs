@@ -1,15 +1,16 @@
-//! Criterion benches: one per regenerated table/figure, running the same
-//! experiment kernels as the `exp_*` binaries at `Scale::Quick`.
+//! Benches (in-repo `microbench` harness): one per regenerated
+//! table/figure, running the same experiment kernels as the `exp_*`
+//! binaries at `Scale::Quick`.
 //!
 //! These measure how long each paper artifact takes to regenerate on this
 //! machine — the practical cost of the reproduction — while doubling as
 //! smoke tests that every experiment still runs end to end.
 
+use cml_bench::microbench::{run_benches, Harness};
 use cml_bench::{experiments as exp, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-fn bench_experiments(c: &mut Criterion) {
+fn bench_experiments(c: &mut Harness) {
     let mut group = c.benchmark_group("experiments");
     group
         .sample_size(10)
@@ -29,16 +30,16 @@ fn bench_experiments(c: &mut Criterion) {
         b.iter(|| exp::table2::run(Scale::Quick).expect("table2"))
     });
     group.bench_function("fig5_levels_vs_pipe_freq", |b| {
-        b.iter(|| exp::fig5::run(Scale::Quick).expect("fig5"))
+        b.iter(|| exp::fig5::run(Scale::Quick))
     });
     group.bench_function("fig7_detector_response", |b| {
         b.iter(|| exp::fig7::run(Scale::Quick).expect("fig7"))
     });
     group.bench_function("fig8_variant1_settling", |b| {
-        b.iter(|| exp::fig8::run(Scale::Quick).expect("fig8"))
+        b.iter(|| exp::fig8::run(Scale::Quick))
     });
     group.bench_function("fig10_variant2_settling", |b| {
-        b.iter(|| exp::fig10::run(Scale::Quick).expect("fig10"))
+        b.iter(|| exp::fig10::run(Scale::Quick))
     });
     group.bench_function("fig12_hysteresis", |b| {
         b.iter(|| exp::fig12::run(Scale::Quick).expect("fig12"))
@@ -55,5 +56,6 @@ fn bench_experiments(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[("bench_experiments", bench_experiments as fn(&mut Harness))]);
+}

@@ -2,8 +2,8 @@
 //! throughput. These justify the solver architecture in DESIGN.md (dense
 //! LU below the size cutoff, Gilbert–Peierls sparse LU above it).
 
+use cml_bench::microbench::{run_benches, Harness};
 use cml_cells::{CmlCircuitBuilder, CmlProcess};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spicier::analysis::dc::{operating_point, DcOptions};
 use spicier::analysis::tran::{transient, TranOptions};
 use spicier::linalg::{DenseMatrix, SparseLu, SparseMatrix, Triplets};
@@ -27,7 +27,7 @@ fn chain_matrix(n: usize) -> Triplets {
     t
 }
 
-fn bench_lu(c: &mut Criterion) {
+fn bench_lu(c: &mut Harness) {
     let mut group = c.benchmark_group("lu");
     group
         .warm_up_time(Duration::from_millis(300))
@@ -36,7 +36,7 @@ fn bench_lu(c: &mut Criterion) {
         let t = chain_matrix(n);
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
         if n <= 160 {
-            group.bench_with_input(BenchmarkId::new("dense", n), &t, |bench, t| {
+            group.bench_with_input(format!("dense/{n}"), &t, |bench, t| {
                 bench.iter(|| {
                     let mut m = DenseMatrix::from_triplets(t);
                     let perm = m.lu_factor().expect("nonsingular");
@@ -46,7 +46,7 @@ fn bench_lu(c: &mut Criterion) {
                 })
             });
         }
-        group.bench_with_input(BenchmarkId::new("sparse_gp", n), &t, |bench, t| {
+        group.bench_with_input(format!("sparse_gp/{n}"), &t, |bench, t| {
             bench.iter(|| {
                 let a = SparseMatrix::from_triplets(t);
                 let mut lu = SparseLu::new();
@@ -60,7 +60,7 @@ fn bench_lu(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_circuit_kernels(c: &mut Criterion) {
+fn bench_circuit_kernels(c: &mut Harness) {
     let mut group = c.benchmark_group("circuit");
     group
         .sample_size(20)
@@ -71,7 +71,8 @@ fn bench_circuit_kernels(c: &mut Criterion) {
         let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
         let input = bld.diff("a");
         bld.drive_static("a", input, true).expect("build");
-        bld.buffer_chain(&cml_cells::FIG3_NAMES, input).expect("build");
+        bld.buffer_chain(&cml_cells::FIG3_NAMES, input)
+            .expect("build");
         let circuit = bld.finish().compile().expect("compile");
         b.iter(|| operating_point(&circuit, &DcOptions::default()).expect("op"))
     });
@@ -87,5 +88,12 @@ fn bench_circuit_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lu, bench_circuit_kernels);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[
+        ("bench_lu", bench_lu as fn(&mut Harness)),
+        (
+            "bench_circuit_kernels",
+            bench_circuit_kernels as fn(&mut Harness),
+        ),
+    ]);
+}

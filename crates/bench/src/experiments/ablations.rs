@@ -49,9 +49,7 @@ pub fn load_ablation(scale: Scale) -> Result<LoadAblation, Error> {
         None,
     )?;
     // Band-entry settling; a run that never settles scores the full span.
-    let t = |r: &super::fig7::Fig7Result| {
-        r.settling.map(|s| s.t_settle).unwrap_or(t_stop)
-    };
+    let t = |r: &super::fig7::Fig7Result| r.settling.map(|s| s.t_settle).unwrap_or(t_stop);
     Ok(LoadAblation {
         diode_tstab: t(&diode),
         resistor_tstab: t(&resistor),
@@ -166,10 +164,8 @@ pub fn feedback_ablation() -> Result<FeedbackAblation, Error> {
     let fixed_reference = (clean_vx - vref).abs().min((faulty_vx - vref).abs());
     // Hysteresis comparison (Figure 12 with and without feedback).
     let process = CmlProcess::paper();
-    let feedback_band =
-        cml_dft::decision::characterize_hysteresis(&fb, &process, 90)?.band;
-    let fixed_band =
-        cml_dft::decision::characterize_hysteresis(&fixed, &process, 90)?.band;
+    let feedback_band = cml_dft::decision::characterize_hysteresis(&fb, &process, 90)?.band;
+    let fixed_band = cml_dft::decision::characterize_hysteresis(&fixed, &process, 90)?.band;
     Ok(FeedbackAblation {
         with_feedback,
         fixed_reference,
@@ -214,8 +210,12 @@ pub fn grading_ablation() -> Result<GradingAblation, Error> {
             .with_probes(vec![ring.probe.p])
             .with_initial_voltage(ring.probe.p, vhigh);
         let res = transient(&circuit, &opts)?;
-        let w = Waveform::from_slices(res.time(), res.trace(ring.probe.p).expect("probed"))
-            .map_err(|e| Error::InvalidOptions(e.to_string()))?;
+        let w = Waveform::from_slices(
+            res.time(),
+            res.trace(ring.probe.p)
+                .ok_or_else(|| Error::InvalidOptions("ring probe missing".to_string()))?,
+        )
+        .map_err(|e| Error::InvalidOptions(e.to_string()))?;
         let crossings: Vec<f64> = w
             .crossings(vcross, Edge::Rising)
             .into_iter()
@@ -241,7 +241,10 @@ pub fn grading_ablation() -> Result<GradingAblation, Error> {
 pub fn execute(scale: Scale) -> Result<(), Error> {
     let load = load_ablation(scale)?;
     println!("\n== ABLATE: detector load (diode vs 160 kΩ resistor), 1 kΩ pipe ==");
-    println!("  diode-cap   tstability = {:.1} ns", load.diode_tstab * 1e9);
+    println!(
+        "  diode-cap   tstability = {:.1} ns",
+        load.diode_tstab * 1e9
+    );
     println!(
         "  resistor-cap tstability = {:.1} ns (paper: \"much longer\")",
         load.resistor_tstab * 1e9

@@ -82,10 +82,18 @@ pub fn run(scale: Scale) -> Result<AcCharResult, Error> {
     let mut b = CmlCircuitBuilder::new(process.clone());
     let input = b.diff("a");
     // Bias both inputs at the crossing point; AC rides on the true input.
-    b.netlist_mut()
-        .vdc("VAP", input.p, spicier::netlist::Netlist::GROUND, process.vcross())?;
-    b.netlist_mut()
-        .vdc("VAN", input.n, spicier::netlist::Netlist::GROUND, process.vcross())?;
+    b.netlist_mut().vdc(
+        "VAP",
+        input.p,
+        spicier::netlist::Netlist::GROUND,
+        process.vcross(),
+    )?;
+    b.netlist_mut().vdc(
+        "VAN",
+        input.n,
+        spicier::netlist::Netlist::GROUND,
+        process.vcross(),
+    )?;
     let cell = b.buffer("X1", input)?;
     // A fan-out load for realism.
     let _load = b.buffer("X2", cell.output)?;
@@ -115,8 +123,12 @@ pub fn run(scale: Scale) -> Result<AcCharResult, Error> {
         .with_probes(vec![ring.probe.p])
         .with_initial_voltage(ring.probe.p, process.vhigh());
     let res = transient(&circuit, &opts)?;
-    let w = Waveform::from_slices(res.time(), res.trace(ring.probe.p).expect("probed"))
-        .map_err(|e| Error::InvalidOptions(e.to_string()))?;
+    let w = Waveform::from_slices(
+        res.time(),
+        res.trace(ring.probe.p)
+            .ok_or_else(|| Error::InvalidOptions("ring probe missing".to_string()))?,
+    )
+    .map_err(|e| Error::InvalidOptions(e.to_string()))?;
     let crossings: Vec<f64> = w
         .crossings(process.vcross(), Edge::Rising)
         .into_iter()
@@ -211,7 +223,11 @@ mod tests {
     fn bandwidth_delay_and_gain_are_consistent() {
         let r = run(Scale::Quick).unwrap();
         // CML buffer: small-signal differential gain of a few V/V.
-        assert!((1.5..8.0).contains(&r.buffer_gain), "gain {}", r.buffer_gain);
+        assert!(
+            (1.5..8.0).contains(&r.buffer_gain),
+            "gain {}",
+            r.buffer_gain
+        );
         // GHz-class bandwidth.
         assert!(
             (0.5e9..20.0e9).contains(&r.buffer_bandwidth),

@@ -6,7 +6,7 @@
 //! because the raised base bias gives the detector transistors real
 //! drive even for small excursions.
 
-use super::fig8::{print_sweep, settle_sweep, SettlePoint};
+use super::fig8::{print_sweep, settle_sweep, SettleSweep};
 use crate::Scale;
 use spicier::Error;
 
@@ -25,12 +25,9 @@ pub fn grids(scale: Scale) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     }
 }
 
-/// Runs the variant-2 settling sweep.
-///
-/// # Errors
-///
-/// Propagates simulation failures.
-pub fn run(scale: Scale) -> Result<Vec<SettlePoint>, Error> {
+/// Runs the variant-2 settling sweep (fault-isolated; corner failures
+/// come back annotated instead of aborting).
+pub fn run(scale: Scale) -> SettleSweep {
     let (freqs, pipes, caps) = grids(scale);
     settle_sweep(&freqs, &pipes, &caps, Some(VTEST))
 }
@@ -39,15 +36,17 @@ pub fn run(scale: Scale) -> Result<Vec<SettlePoint>, Error> {
 ///
 /// # Errors
 ///
-/// Propagates simulation failures.
+/// Currently infallible; the `Result` keeps the `exp_all` contract.
 pub fn execute(scale: Scale) -> Result<(), Error> {
-    let points = run(scale)?;
+    let sweep = run(scale);
     print_sweep(
         "FIG10: variant-2 (vtest = 3.7 V) tstability / Vmax sweep",
         "fig10",
-        &points,
+        &sweep,
     );
-    println!("  paper shapes: detects down to ~5 kΩ pipes (≈0.35 V); settles faster than variant 1");
+    println!(
+        "  paper shapes: detects down to ~5 kΩ pipes (≈0.35 V); settles faster than variant 1"
+    );
     Ok(())
 }
 
@@ -57,19 +56,20 @@ mod tests {
 
     #[test]
     fn variant2_fires_even_on_5k_pipe() {
-        let points = settle_sweep(&[100.0e6], &[5.0e3], &[1.0e-12], Some(VTEST)).unwrap();
+        let sweep = settle_sweep(&[100.0e6], &[5.0e3], &[1.0e-12], Some(VTEST));
+        assert!(sweep.report.all_ok(), "{}", sweep.report.summary());
         assert!(
-            points[0].t_stability.is_some(),
+            sweep.points[0].t_stability.is_some(),
             "variant 2 must fire on the mild 5 kΩ pipe"
         );
     }
 
     #[test]
     fn variant2_settles_faster_than_variant1_on_same_fault() {
-        let v1 = settle_sweep(&[100.0e6], &[2.0e3], &[1.0e-12], None).unwrap();
-        let v2 = settle_sweep(&[100.0e6], &[2.0e3], &[1.0e-12], Some(VTEST)).unwrap();
-        let t1 = v1[0].t_stability.expect("v1 fires at 2 kΩ");
-        let t2 = v2[0].t_stability.expect("v2 fires at 2 kΩ");
+        let v1 = settle_sweep(&[100.0e6], &[2.0e3], &[1.0e-12], None);
+        let v2 = settle_sweep(&[100.0e6], &[2.0e3], &[1.0e-12], Some(VTEST));
+        let t1 = v1.points[0].t_stability.expect("v1 fires at 2 kΩ");
+        let t2 = v2.points[0].t_stability.expect("v2 fires at 2 kΩ");
         assert!(
             t2 <= t1 * 1.2,
             "variant 2 should settle at least as fast: {:.2} ns vs {:.2} ns",

@@ -45,12 +45,7 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
     println!("  band width = {:.0} mV", curve.band.width() * 1e3);
     let mut rows = Vec::new();
     for p in &curve.down {
-        rows.push(vec![
-            "down".to_string(),
-            v(p.vout),
-            v(p.vfb),
-            v(p.flagp),
-        ]);
+        rows.push(vec!["down".to_string(), v(p.vout), v(p.vfb), v(p.flagp)]);
     }
     for p in &curve.up {
         rows.push(vec!["up".to_string(), v(p.vout), v(p.vfb), v(p.flagp)]);

@@ -66,11 +66,7 @@ fn linear_fit(points: &[SharingPoint]) -> (f64, f64) {
 pub fn run(scale: Scale) -> Result<Fig14Result, Error> {
     let exp = SharedDetector::new(Variant3::paper(), CmlProcess::paper());
     let (ns, n_cap, hyst_points) = match scale {
-        Scale::Full => (
-            (1..=60).step_by(3).collect::<Vec<usize>>(),
-            64,
-            120,
-        ),
+        Scale::Full => ((1..=60).step_by(3).collect::<Vec<usize>>(), 64, 120),
         Scale::Quick => (vec![1, 4, 8, 12], 16, 60),
     };
     let droop = exp.fault_free_droop(&ns)?;
@@ -80,7 +76,10 @@ pub fn run(scale: Scale) -> Result<Fig14Result, Error> {
     // the curve, and the physical reason a safe maximum N exists). Fit the
     // pass-state prefix: vfb below the midpoint of its observed range.
     let vfb_lo = droop.iter().map(|p| p.vfb).fold(f64::INFINITY, f64::min);
-    let vfb_hi = droop.iter().map(|p| p.vfb).fold(f64::NEG_INFINITY, f64::max);
+    let vfb_hi = droop
+        .iter()
+        .map(|p| p.vfb)
+        .fold(f64::NEG_INFINITY, f64::max);
     let vfb_mid = 0.5 * (vfb_lo + vfb_hi);
     let pass_prefix: Vec<SharingPoint> = droop
         .iter()
@@ -93,8 +92,7 @@ pub fn run(scale: Scale) -> Result<Fig14Result, Error> {
         &droop[..]
     };
     let (slope, r_squared) = linear_fit(fit_points);
-    let band = characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), hyst_points)?
-        .band;
+    let band = characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), hyst_points)?.band;
     let max_safe = exp.max_safe_sharing(&band, n_cap)?;
     let probe_n = max_safe.unwrap_or(1).clamp(2, 16);
     let faulty = exp.measure(probe_n, Some((probe_n / 2, 2.0e3)))?;
@@ -162,7 +160,11 @@ mod tests {
             "droop should be linear, R² = {}",
             r.r_squared
         );
-        assert!(r.fault_detected, "faulty vout {} vs band {:?}", r.faulty_vout, r.band);
+        assert!(
+            r.fault_detected,
+            "faulty vout {} vs band {:?}",
+            r.faulty_vout, r.band
+        );
     }
 
     #[test]

@@ -83,7 +83,12 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
             v(r.input.vlow),
             v(r.input.swing()),
         ],
-        vec!["opf".to_string(), v(r.op.vhigh), v(r.op.vlow), v(r.op.swing())],
+        vec![
+            "opf".to_string(),
+            v(r.op.vhigh),
+            v(r.op.vlow),
+            v(r.op.swing()),
+        ],
         vec![
             "opbf".to_string(),
             v(r.opb.vhigh),
@@ -100,11 +105,7 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
         "  verdict: output stuck = {} (paper: stuck-at-0 on the op rail)",
         r.stuck
     );
-    write_rows_csv(
-        "fig2_levels",
-        &["signal", "vhigh", "vlow", "swing"],
-        &rows,
-    );
+    write_rows_csv("fig2_levels", &["signal", "vhigh", "vlow", "swing"], &rows);
     Ok(())
 }
 

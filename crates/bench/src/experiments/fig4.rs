@@ -95,14 +95,7 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
     let rows: Vec<Vec<String>> = r
         .stages
         .iter()
-        .map(|(name, ff, flt)| {
-            vec![
-                name.clone(),
-                v(*ff),
-                v(*flt),
-                format!("{:.2}x", flt / ff),
-            ]
-        })
+        .map(|(name, ff, flt)| vec![name.clone(), v(*ff), v(*flt), format!("{:.2}x", flt / ff)])
         .collect();
     print_table(
         "FIG4: per-stage output swing, fault-free vs 4 kΩ pipe on DUT.Q3",

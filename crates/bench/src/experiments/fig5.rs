@@ -8,9 +8,9 @@
 //! excursion before it fully develops).
 
 use super::common::{fig3_circuit, run_periods_probed, wf};
-use super::report::{print_table, v, write_rows_csv};
+use super::report::{print_table, report_sweep, v, write_rows_csv};
 use crate::Scale;
-use spicier::analysis::sweep::{grid2, par_map};
+use spicier::analysis::sweep::{grid2, par_try_map, SweepReport, TryMapOptions};
 use spicier::Error;
 use waveform::LevelStats;
 
@@ -27,15 +27,31 @@ pub struct Fig5Point {
     pub vhigh: f64,
 }
 
-/// The full sweep result.
+/// A corner of the sweep that produced no measurement.
 #[derive(Debug, Clone, PartialEq)]
+pub struct FailedCorner {
+    /// Pipe resistance of the failed corner.
+    pub pipe_ohms: f64,
+    /// Stimulus frequency of the failed corner.
+    pub freq: f64,
+    /// What went wrong.
+    pub error: String,
+}
+
+/// The full sweep result (fault-isolated: failed corners are listed, not
+/// fatal).
+#[derive(Debug, Clone)]
 pub struct Fig5Result {
-    /// All grid points, row-major (pipe outer, frequency inner).
+    /// All successful grid points, row-major (pipe outer, frequency inner).
     pub points: Vec<Fig5Point>,
+    /// Corners that produced no measurement.
+    pub failed: Vec<FailedCorner>,
     /// The frequency list used.
     pub freqs: Vec<f64>,
     /// The pipe list used (without the fault-free entry).
     pub pipes: Vec<f64>,
+    /// Sweep bookkeeping (counts, causes, wall-clock).
+    pub report: SweepReport,
 }
 
 impl Fig5Result {
@@ -48,12 +64,8 @@ impl Fig5Result {
     }
 }
 
-/// Runs the sweep (parallel over grid points).
-///
-/// # Errors
-///
-/// Propagates simulation failures.
-pub fn run(scale: Scale) -> Result<Fig5Result, Error> {
+/// Runs the sweep (parallel over grid points, fault-isolated per corner).
+pub fn run(scale: Scale) -> Fig5Result {
     let (pipes, freqs): (Vec<f64>, Vec<f64>) = match scale {
         Scale::Full => (
             vec![1.0e3, 3.0e3, 5.0e3],
@@ -68,54 +80,93 @@ pub fn run(scale: Scale) -> Result<Fig5Result, Error> {
     for &f in &freqs {
         grid.push((f64::INFINITY, f));
     }
-    let results = par_map(grid, |(pipe, freq)| -> Result<Fig5Point, Error> {
-        let pipe_opt = pipe.is_finite().then_some(pipe);
-        let (chain, circuit) = fig3_circuit(freq, pipe_opt)?;
-        let probes = vec![chain.dut().output.p, chain.dut().output.n];
-        // Enough periods to reach steady state at every frequency.
-        let periods = 6.0;
-        let res = run_periods_probed(&circuit, freq, periods, probes)?;
-        let w = wf(&res, chain.dut().output.p)?;
-        let stats = LevelStats::measure(&w, (periods - 3.0) / freq, periods / freq);
-        Ok(Fig5Point {
-            pipe_ohms: pipe,
-            freq,
-            vlow: stats.vlow,
-            vhigh: stats.vhigh,
+    let corners = grid.clone();
+    let (slots, report) = par_try_map(
+        grid,
+        &TryMapOptions::default(),
+        |&(pipe, freq)| -> Result<Fig5Point, Error> {
+            let pipe_opt = pipe.is_finite().then_some(pipe);
+            let (chain, circuit) = fig3_circuit(freq, pipe_opt)?;
+            let probes = vec![chain.dut().output.p, chain.dut().output.n];
+            // Enough periods to reach steady state at every frequency.
+            let periods = 6.0;
+            let res = run_periods_probed(&circuit, freq, periods, probes)?;
+            let w = wf(&res, chain.dut().output.p)?;
+            let stats = LevelStats::measure(&w, (periods - 3.0) / freq, periods / freq);
+            Ok(Fig5Point {
+                pipe_ohms: pipe,
+                freq,
+                vlow: stats.vlow,
+                vhigh: stats.vhigh,
+            })
+        },
+    );
+    let points: Vec<Fig5Point> = slots.into_iter().flatten().collect();
+    let failed: Vec<FailedCorner> = report
+        .failures
+        .iter()
+        .map(|fail| {
+            let (pipe, freq) = corners[fail.index];
+            FailedCorner {
+                pipe_ohms: pipe,
+                freq,
+                error: fail.failure.to_string(),
+            }
         })
-    });
-    let points: Vec<Fig5Point> = results.into_iter().collect::<Result<_, _>>()?;
-    Ok(Fig5Result {
+        .collect();
+    Fig5Result {
         points,
+        failed,
         freqs,
         pipes,
-    })
+        report,
+    }
 }
 
-/// Runs and prints the paper-shaped report.
+fn pipe_cell(pipe: f64) -> String {
+    if pipe.is_finite() {
+        format!("{pipe:.0}")
+    } else {
+        "fault-free".to_string()
+    }
+}
+
+/// Runs and prints the paper-shaped report. Corner failures degrade to
+/// annotated gaps; only a broken experiment definition is an `Err`.
 ///
 /// # Errors
 ///
-/// Propagates simulation failures.
+/// Currently infallible; the `Result` keeps the `exp_all` contract.
 pub fn execute(scale: Scale) -> Result<(), Error> {
-    let r = run(scale)?;
+    let r = run(scale);
     let mut rows = Vec::new();
     for p in &r.points {
         rows.push(vec![
-            if p.pipe_ohms.is_finite() {
-                format!("{:.0}", p.pipe_ohms)
-            } else {
-                "fault-free".to_string()
-            },
+            pipe_cell(p.pipe_ohms),
             format!("{:.0}", p.freq / 1.0e6),
             v(p.vlow),
             v(p.vhigh),
             v(p.vhigh - p.vlow),
         ]);
     }
+    for fail in &r.failed {
+        rows.push(vec![
+            pipe_cell(fail.pipe_ohms),
+            format!("{:.0}", fail.freq / 1.0e6),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
     print_table(
         "FIG5: Vlow/Vhigh at the DUT output vs pipe value and frequency",
-        &["pipe (Ω)", "freq (MHz)", "Vlow (V)", "Vhigh (V)", "swing (V)"],
+        &[
+            "pipe (Ω)",
+            "freq (MHz)",
+            "Vlow (V)",
+            "Vhigh (V)",
+            "swing (V)",
+        ],
         &rows,
     );
     write_rows_csv(
@@ -123,7 +174,20 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
         &["pipe_ohms", "freq_mhz", "vlow", "vhigh", "swing"],
         &rows,
     );
-    println!("  paper shapes: Vlow rises toward nominal as pipe grows; excursion shrinks with frequency");
+    // Rebuild the corner list exactly as `run` laid it out (grid rows then
+    // the fault-free baselines) so failure indices map to the right labels.
+    let mut corner_params: Vec<(f64, f64)> = grid2(&r.pipes, &r.freqs);
+    for &f in &r.freqs {
+        corner_params.push((f64::INFINITY, f));
+    }
+    let labels: Vec<String> = corner_params
+        .iter()
+        .map(|&(pipe, freq)| format!("{} Ω @ {:.0} MHz", pipe_cell(pipe), freq / 1.0e6))
+        .collect();
+    report_sweep("fig5", &r.report, &labels);
+    println!(
+        "  paper shapes: Vlow rises toward nominal as pipe grows; excursion shrinks with frequency"
+    );
     Ok(())
 }
 
@@ -133,13 +197,20 @@ mod tests {
 
     #[test]
     fn levels_order_by_pipe_and_frequency() {
-        let r = run(Scale::Quick).unwrap();
+        let r = run(Scale::Quick);
+        assert!(r.report.all_ok(), "{}", r.report.summary());
+        assert!(r.failed.is_empty());
         let f = 100.0e6;
         let ff = r.at(f64::INFINITY, f).unwrap();
         let p1k = r.at(1.0e3, f).unwrap();
         let p5k = r.at(5.0e3, f).unwrap();
         // Pipe pushes Vlow below nominal; 1 kΩ is worse than 5 kΩ.
-        assert!(p1k.vlow < p5k.vlow, "1k {:.3} vs 5k {:.3}", p1k.vlow, p5k.vlow);
+        assert!(
+            p1k.vlow < p5k.vlow,
+            "1k {:.3} vs 5k {:.3}",
+            p1k.vlow,
+            p5k.vlow
+        );
         assert!(p5k.vlow < ff.vlow - 0.05);
         // Vhigh stays near the rail for the mild pipe; for the severe
         // 1 kΩ pipe the degraded upstream drive lets it sag somewhat.

@@ -49,9 +49,7 @@ pub fn detector_response(
     let dut = &chain.cells[1];
     let handle = match variant2 {
         None => Variant1::new(load).attach(&mut b, "DET", dut.output)?,
-        Some(vtest) => {
-            cml_dft::Variant2::new(load, vtest).attach(&mut b, "DET", dut.output)?
-        }
+        Some(vtest) => cml_dft::Variant2::new(load, vtest).attach(&mut b, "DET", dut.output)?,
     };
     let vgnd_level = b.process().vgnd;
     let mut nl = b.finish();

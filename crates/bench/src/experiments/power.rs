@@ -42,12 +42,18 @@ fn measure(scheme: &str) -> Result<(f64, f64), Error> {
     match scheme {
         "none" => {}
         "v2_normal" => {
-            Variant2::new(DetectorLoad::diode_cap(1.0e-12), CmlProcess::paper().vgnd)
-                .attach(&mut b, "DET", cell.output)?;
+            Variant2::new(DetectorLoad::diode_cap(1.0e-12), CmlProcess::paper().vgnd).attach(
+                &mut b,
+                "DET",
+                cell.output,
+            )?;
         }
         "v2_test" => {
-            Variant2::new(DetectorLoad::diode_cap(1.0e-12), 3.7)
-                .attach(&mut b, "DET", cell.output)?;
+            Variant2::new(DetectorLoad::diode_cap(1.0e-12), 3.7).attach(
+                &mut b,
+                "DET",
+                cell.output,
+            )?;
         }
         "v3" => {
             Variant3::paper().attach(&mut b, "DET", cell.output)?;
@@ -101,7 +107,11 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
     let pct = |p: f64| format!("{:.1}%", 100.0 * p / r.gate);
     let uw = |p: f64| format!("{:.1}", p * 1e6);
     let rows = vec![
-        vec!["CML buffer (reference)".to_string(), uw(r.gate), "100%".to_string()],
+        vec![
+            "CML buffer (reference)".to_string(),
+            uw(r.gate),
+            "100%".to_string(),
+        ],
         vec![
             "variant-2 detector, normal mode".to_string(),
             uw(r.v2_normal),

@@ -1,13 +1,27 @@
 //! Table printing and CSV output shared by all experiments.
+//!
+//! All output here is best-effort: a read-only filesystem or full disk
+//! degrades to a printed warning, never a panic — losing a CSV must not
+//! lose the sweep that produced it.
 
+use spicier::analysis::sweep::SweepReport;
 use std::io::Write;
 use std::path::PathBuf;
 
 /// Directory experiment CSVs are written to (`target/experiments/`).
+/// Falls back to the system temp directory when it cannot be created.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
-    std::fs::create_dir_all(&dir).expect("create experiment output dir");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        let fallback = std::env::temp_dir().join("experiments");
+        eprintln!(
+            "  [warn] cannot create {}: {e}; falling back to {}",
+            dir.display(),
+            fallback.display()
+        );
+        let _ = std::fs::create_dir_all(&fallback);
+        return fallback;
+    }
     dir
 }
 
@@ -25,29 +39,72 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut out = String::new();
         for (k, cell) in cells.iter().enumerate() {
-            out.push_str(&format!("{cell:>width$}  ", width = widths[k.min(widths.len() - 1)]));
+            out.push_str(&format!(
+                "{cell:>width$}  ",
+                width = widths[k.min(widths.len() - 1)]
+            ));
         }
         println!("{}", out.trim_end());
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(&widths
-        .iter()
-        .map(|w| "-".repeat(*w))
-        .collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
 }
 
 /// Writes generic rows as CSV into `target/experiments/<name>.csv`.
+/// IO failures are reported as warnings, not panics.
 pub fn write_rows_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = out_dir().join(format!("{name}.csv"));
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", headers.join(",")).expect("write header");
-    for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write row");
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", headers.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    };
+    match write() {
+        Ok(()) => println!("  [csv] {}", path.display()),
+        Err(e) => eprintln!("  [warn] could not write {}: {e}", path.display()),
     }
-    println!("  [csv] {}", path.display());
+}
+
+/// Records a sweep's failed corners as `<name>_failures.csv` and prints
+/// the one-line summary. `labels` names each corner by input index (same
+/// order as the sweep's item list). No file is written when every corner
+/// succeeded.
+pub fn report_sweep(name: &str, report: &SweepReport, labels: &[String]) {
+    println!("  [sweep] {}", report.summary());
+    if report.all_ok() {
+        return;
+    }
+    let rows: Vec<Vec<String>> = report
+        .failures
+        .iter()
+        .map(|fail| {
+            vec![
+                fail.index.to_string(),
+                labels
+                    .get(fail.index)
+                    .cloned()
+                    .unwrap_or_else(|| "?".to_string()),
+                fail.attempts.to_string(),
+                // Commas would break the CSV row.
+                fail.failure.to_string().replace(',', ";"),
+            ]
+        })
+        .collect();
+    write_rows_csv(
+        &format!("{name}_failures"),
+        &["corner_index", "corner", "attempts", "failure"],
+        &rows,
+    );
+    for fail in &report.failures {
+        let label = labels.get(fail.index).map(String::as_str).unwrap_or("?");
+        eprintln!("  [warn] corner {label}: {}", fail.failure);
+    }
 }
 
 /// Formats seconds as picoseconds with one decimal.
@@ -79,5 +136,26 @@ mod tests {
     #[test]
     fn out_dir_exists() {
         assert!(out_dir().is_dir());
+    }
+
+    #[test]
+    fn report_sweep_writes_failure_rows() {
+        use spicier::analysis::sweep::{CornerFailure, SweepFailure};
+        let report = SweepReport {
+            total: 2,
+            succeeded: 1,
+            failures: vec![CornerFailure {
+                index: 1,
+                attempts: 1,
+                failure: SweepFailure::Panicked("boom, with comma".to_string()),
+            }],
+            elapsed: std::time::Duration::from_millis(10),
+        };
+        report_sweep("report_test", &report, &["a".to_string(), "b".to_string()]);
+        let path = out_dir().join("report_test_failures.csv");
+        let body = std::fs::read_to_string(&path).expect("failures csv written");
+        assert!(body.contains("corner_index"));
+        assert!(body.contains("boom; with comma"), "{body}");
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -29,10 +29,7 @@ pub struct RobustResult {
 /// Propagates simulation failures.
 pub fn run(scale: Scale) -> Result<RobustResult, Error> {
     let (itails, samples): (Vec<f64>, usize) = match scale {
-        Scale::Full => (
-            vec![0.1e-3, 0.2e-3, 0.3e-3, 0.4e-3, 0.6e-3, 0.8e-3],
-            40,
-        ),
+        Scale::Full => (vec![0.1e-3, 0.2e-3, 0.3e-3, 0.4e-3, 0.6e-3, 0.8e-3], 40),
         Scale::Quick => (vec![0.2e-3, 0.4e-3, 0.8e-3], 8),
     };
     let config = Variant3::paper();
@@ -67,7 +64,13 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
                 v(m.vout_faulty),
                 v(m.clean_headroom),
                 v(m.fault_margin),
-                if m.classifies_correctly() { "ok" } else { "FAILS" }.to_string(),
+                if m.classifies_correctly() {
+                    "ok"
+                } else {
+                    "FAILS"
+                }
+                .to_string(),
+                if m.escalated { "escalated" } else { "plain" }.to_string(),
             ]
         })
         .collect();
@@ -80,12 +83,21 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
             "clean headroom",
             "fault margin",
             "verdict",
+            "dc ladder",
         ],
         &rows,
     );
     write_rows_csv(
         "robust_speed_power",
-        &["itail_ma", "clean", "faulty", "headroom", "margin", "ok"],
+        &[
+            "itail_ma",
+            "clean",
+            "faulty",
+            "headroom",
+            "margin",
+            "ok",
+            "dc_ladder",
+        ],
         &rows,
     );
     println!(
@@ -96,6 +108,10 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
         v(r.monte_carlo.worst_clean_headroom),
         v(r.monte_carlo.worst_fault_margin)
     );
+    println!("  Monte-Carlo health: {}", r.monte_carlo.health_summary());
+    for (k, err) in &r.monte_carlo.failed_samples {
+        eprintln!("  [warn] sample {k} failed: {err}");
+    }
     Ok(())
 }
 

@@ -129,7 +129,15 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
     );
     write_rows_csv(
         "table2",
-        &["stage", "tau_ff", "delay_ff", "tau_pipe", "delay_pipe", "dt", "pct"],
+        &[
+            "stage",
+            "tau_ff",
+            "delay_ff",
+            "tau_pipe",
+            "delay_pipe",
+            "dt",
+            "pct",
+        ],
         &rows,
     );
     Ok(())

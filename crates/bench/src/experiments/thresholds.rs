@@ -33,7 +33,9 @@ pub const MIN_DROP: f64 = 0.15;
 pub fn run(scale: Scale) -> Result<ThresholdResult, Error> {
     let (pipes, opts): (Vec<f64>, SweepOptions) = match scale {
         Scale::Full => (
-            vec![12.0e3, 10.0e3, 8.0e3, 6.0e3, 5.0e3, 4.0e3, 3.0e3, 2.5e3, 2.0e3, 1.5e3, 1.0e3],
+            vec![
+                12.0e3, 10.0e3, 8.0e3, 6.0e3, 5.0e3, 4.0e3, 3.0e3, 2.5e3, 2.0e3, 1.5e3, 1.0e3,
+            ],
             SweepOptions::default(),
         ),
         Scale::Quick => (
@@ -85,7 +87,11 @@ pub fn execute(scale: Scale) -> Result<(), Error> {
         &["variant", "pipe (Ω)", "amplitude (V)", "vout (V)"],
         &rows,
     );
-    write_rows_csv("thresholds", &["variant", "pipe", "amplitude", "vout"], &rows);
+    write_rows_csv(
+        "thresholds",
+        &["variant", "pipe", "amplitude", "vout"],
+        &rows,
+    );
     let fmt = |t: Option<f64>| t.map(|x| format!("{x:.2} V")).unwrap_or("-".to_string());
     println!(
         "  variant 1 smallest detectable amplitude: {} (paper: 0.57 V)",

@@ -69,11 +69,7 @@ pub fn run(scale: Scale) -> Result<ToggleResult, Error> {
             }
         })
         .collect();
-    let curve = coverage_curve(
-        &circuits::counter(8),
-        &[8, 32, 128, 512, 2048],
-        plan.seed,
-    );
+    let curve = coverage_curve(&circuits::counter(8), &[8, 32, 128, 512, 2048], plan.seed);
     Ok(ToggleResult { benchmarks, curve })
 }
 

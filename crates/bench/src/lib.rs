@@ -7,11 +7,12 @@
 //! writes the underlying series as CSV under `target/experiments/`.
 //!
 //! Binaries `exp_*` (one per artifact, plus `exp_all`) drive these; the
-//! Criterion benches reuse the same kernels at [`Scale::Quick`].
+//! benches reuse the same kernels at [`Scale::Quick`].
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 
 /// How much of the full sweep an experiment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -19,7 +20,7 @@ pub enum Scale {
     /// The full grids reported in EXPERIMENTS.md.
     #[default]
     Full,
-    /// Trimmed grids for smoke tests and Criterion benches.
+    /// Trimmed grids for smoke tests and benches.
     Quick,
 }
 

@@ -1,0 +1,189 @@
+//! Minimal benchmark harness used by the `benches/` targets.
+//!
+//! The container this reproduction builds in has no network access, so the
+//! benches cannot depend on Criterion; this module provides the small
+//! subset the bench files need — named groups, per-benchmark wall-clock
+//! sampling, and a one-line median/min report — with no dependencies.
+//!
+//! Timing model: one untimed warm-up call, then whole-iteration samples
+//! until both `sample_size` iterations and `measurement_time` have been
+//! spent (whichever bound is *later* wins, so fast kernels get many
+//! samples and slow kernels still finish). The median is the headline
+//! number; min is reported as the noise floor.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Collects samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= self.sample_size && started.elapsed() >= self.measurement_time
+            {
+                break;
+            }
+            // Hard cap so a grossly mis-sized bench cannot hang a run.
+            if started.elapsed() >= self.measurement_time * 10 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks with shared sampling settings.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Group {
+    /// Minimum number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored (kept so call sites read like the Criterion originals).
+    pub fn warm_up_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Minimum wall-clock time spent sampling each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its report line.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(&self.name, id.as_ref(), &mut b.samples);
+    }
+
+    /// Criterion-style input variant; the input is simply passed through.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: impl AsRef<str>,
+        input: &I,
+        f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (report lines are already printed).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each bench function (Criterion's `&mut Criterion`).
+#[derive(Default)]
+pub struct Harness {}
+
+impl Harness {
+    /// Creates a harness; reads no configuration.
+    pub fn new() -> Self {
+        Self {}
+    }
+
+    /// Opens a named group with default sampling (20 samples / 2 s).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group {
+        Group {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!(
+        "{group}/{id:<40} median {:>12}  min {:>12}  ({} samples)",
+        fmt_duration(median),
+        fmt_duration(min),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1.0e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1.0e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1.0e9)
+    }
+}
+
+/// A named bench entry point, as registered with [`run_benches`].
+pub type BenchFn = fn(&mut Harness);
+
+/// Runs the given bench functions, mirroring `criterion_main!`.
+pub fn run_benches(benches: &[(&str, BenchFn)]) {
+    // `cargo bench` passes `--bench`; filter arguments select groups.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let mut harness = Harness::new();
+    for (name, f) in benches {
+        if filters.is_empty() || filters.iter().any(|pat| name.contains(pat.as_str())) {
+            f(&mut harness);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_at_least_sample_size() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+            measurement_time: Duration::from_millis(1),
+        };
+        b.iter(|| 1 + 1);
+        assert!(b.samples.len() >= 5);
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut h = Harness::new();
+        let mut g = h.benchmark_group("t");
+        g.sample_size(2).measurement_time(Duration::from_millis(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input("with_input", &7, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -160,8 +160,13 @@ impl CmlCircuitBuilder {
     /// the shared bias, emitter on `vee` (simulator ground), collector on
     /// `tail`. Returns nothing; the element is `<inst>.Q3`.
     pub(crate) fn tail_source(&mut self, inst: &str, tail: NodeId) -> Result<(), Error> {
-        self.nl
-            .bjt(&format!("{inst}.Q3"), tail, self.vbias, Netlist::GROUND, self.process.npn)
+        self.nl.bjt(
+            &format!("{inst}.Q3"),
+            tail,
+            self.vbias,
+            Netlist::GROUND,
+            self.process.npn,
+        )
     }
 
     /// Adds a load resistor + wiring capacitance on an output node.
@@ -221,8 +226,13 @@ impl CmlCircuitBuilder {
     /// Fails on duplicate instance names.
     pub fn level_shift(&mut self, inst: &str, input: NodeId) -> Result<NodeId, Error> {
         let out = self.nl.node(&format!("{inst}.ls"));
-        self.nl
-            .bjt(&format!("{inst}.QLS"), self.vgnd, input, out, self.process.npn)?;
+        self.nl.bjt(
+            &format!("{inst}.QLS"),
+            self.vgnd,
+            input,
+            out,
+            self.process.npn,
+        )?;
         self.nl.resistor(
             &format!("{inst}.RLS"),
             out,

@@ -99,17 +99,9 @@ mod tests {
         // Buffers do not invert: every op is high.
         for cell in &chain.cells {
             let v = op.voltage(cell.output.p);
-            assert!(
-                (v - p.vhigh()).abs() < 0.03,
-                "{}: op = {v}",
-                cell.name
-            );
+            assert!((v - p.vhigh()).abs() < 0.03, "{}: op = {v}", cell.name);
             let vb = op.voltage(cell.output.n);
-            assert!(
-                (vb - p.vlow()).abs() < 0.04,
-                "{}: opb = {vb}",
-                cell.name
-            );
+            assert!((vb - p.vlow()).abs() < 0.04, "{}: opb = {vb}", cell.name);
         }
     }
 

@@ -43,8 +43,8 @@ mod ring;
 
 pub use builder::{BufferCell, CmlCircuitBuilder, DiffPair};
 pub use chain::{BufferChain, FIG3_DUT_INDEX, FIG3_NAMES};
-pub use ring::RingOscillator;
 pub use gates::GateCell;
 pub use macros::{ClockDivider, FullAdder};
 pub use probe::{waveform_of, waveforms_of_pair};
 pub use process::CmlProcess;
+pub use ring::RingOscillator;

@@ -129,8 +129,7 @@ mod tests {
                 .with_probes(vec![ring.probe.p])
                 .with_initial_voltage(ring.probe.p, p.vhigh());
             let res = transient(&circuit, &opts).unwrap();
-            let w =
-                Waveform::from_slices(res.time(), res.trace(ring.probe.p).unwrap()).unwrap();
+            let w = Waveform::from_slices(res.time(), res.trace(ring.probe.p).unwrap()).unwrap();
             let crossings: Vec<f64> = w
                 .crossings(p.vcross(), Edge::Rising)
                 .into_iter()

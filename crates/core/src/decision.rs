@@ -167,8 +167,7 @@ mod tests {
 
     #[test]
     fn hysteresis_exists_and_is_ordered() {
-        let curve =
-            characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), 90).unwrap();
+        let curve = characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), 90).unwrap();
         let band = curve.band;
         assert!(
             band.fail_below < band.pass_above,
@@ -187,8 +186,7 @@ mod tests {
 
     #[test]
     fn feedback_snaps_vfb() {
-        let curve =
-            characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), 90).unwrap();
+        let curve = characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), 90).unwrap();
         // On the downward branch, vfb transitions from low to high.
         let first = curve.down.first().unwrap();
         let last = curve.down.last().unwrap();

@@ -19,12 +19,7 @@ impl InstrumentedChain {
     /// Given settled detector readings (volts, in stage order) and their
     /// fault-free baselines, returns the stages flagged as faulty (reading
     /// at least `min_drop` below baseline).
-    pub fn flagged_stages(
-        &self,
-        readings: &[f64],
-        baselines: &[f64],
-        min_drop: f64,
-    ) -> Vec<usize> {
+    pub fn flagged_stages(&self, readings: &[f64], baselines: &[f64], min_drop: f64) -> Vec<usize> {
         readings
             .iter()
             .zip(baselines)

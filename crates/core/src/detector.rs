@@ -410,8 +410,13 @@ impl Variant3 {
         // `cmp_itail` instead.
         let vbias = b.vbias;
         let tail_model = npn.with_is(npn.is * self.cmp_itail / b.process().itail);
-        b.netlist_mut()
-            .bjt(&format!("{inst}.QC3"), ctail, vbias, Netlist::GROUND, tail_model)?;
+        b.netlist_mut().bjt(
+            &format!("{inst}.QC3"),
+            ctail,
+            vbias,
+            Netlist::GROUND,
+            tail_model,
+        )?;
 
         // Level shifter back toward CML levels.
         let flag = b.node(&format!("{inst}.flag"));
@@ -476,12 +481,7 @@ mod tests {
         (b, cell)
     }
 
-    fn settle_vout(
-        b: CmlCircuitBuilder,
-        pipe: Option<f64>,
-        vout: NodeId,
-        t_stop: f64,
-    ) -> f64 {
+    fn settle_vout(b: CmlCircuitBuilder, pipe: Option<f64>, vout: NodeId, t_stop: f64) -> f64 {
         let mut nl = b.finish();
         if let Some(ohms) = pipe {
             Defect::pipe("DUT.Q3", ohms).inject(&mut nl).unwrap();
@@ -598,7 +598,9 @@ mod tests {
     #[test]
     fn variant3_flag_high_when_fault_free() {
         let (mut b, cell) = buffer_with_pipe(None);
-        let det = Variant3::paper().attach(&mut b, "DET", cell.output).unwrap();
+        let det = Variant3::paper()
+            .attach(&mut b, "DET", cell.output)
+            .unwrap();
         let circuit = b.finish().compile().unwrap();
         // DC sanity: comparator settles with vout near vtest, vfb low.
         let op = operating_point(&circuit, &DcOptions::default()).unwrap();
@@ -613,7 +615,9 @@ mod tests {
     #[test]
     fn variant3_flag_drops_on_pipe() {
         let (mut b, cell) = buffer_with_pipe(Some(2.0e3));
-        let det = Variant3::paper().attach(&mut b, "DET", cell.output).unwrap();
+        let det = Variant3::paper()
+            .attach(&mut b, "DET", cell.output)
+            .unwrap();
         let mut nl = b.finish();
         Defect::pipe("DUT.Q3", 2.0e3).inject(&mut nl).unwrap();
         let circuit = nl.compile().unwrap();

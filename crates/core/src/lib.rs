@@ -72,8 +72,8 @@ pub mod testgen;
 pub mod threshold;
 
 pub use decision::{DetectorVerdict, HysteresisBand};
+pub use deploy::{instrument_chain, InstrumentedChain};
 pub use detector::{
     DetectorHandle, DetectorLoad, MultiEmitterStyle, Variant1, Variant2, Variant3, Variant3Handle,
 };
-pub use deploy::{instrument_chain, InstrumentedChain};
 pub use sharing::SharedDetector;

@@ -16,10 +16,9 @@ use crate::decision::characterize_hysteresis;
 use crate::detector::Variant3;
 use cml_cells::{CmlCircuitBuilder, CmlProcess};
 use faults::Defect;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use spicier::analysis::dc::{operating_point, DcOptions};
 use spicier::Error;
+use xrand::StdRng;
 
 /// Margins of a variant-3 detector at one operating condition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +35,10 @@ pub struct DetectorMargins {
     /// `fail_below − vout_faulty`: how far the faulty reading sits below
     /// the guaranteed-fail threshold (negative = fault escapes).
     pub fault_margin: f64,
+    /// Whether the DC recovery ladder had to escalate past plain Newton
+    /// for either operating point — a hint the corner is numerically
+    /// marginal even though it converged.
+    pub escalated: bool,
 }
 
 impl DetectorMargins {
@@ -50,7 +53,8 @@ fn margins_for(
     config: &Variant3,
     pipe_ohms: f64,
 ) -> Result<DetectorMargins, Error> {
-    let vout_at = |pipe: Option<f64>| -> Result<f64, Error> {
+    // Returns (vout, whether the DC ladder escalated past plain Newton).
+    let vout_at = |pipe: Option<f64>| -> Result<(f64, bool), Error> {
         let mut b = CmlCircuitBuilder::new(process.clone());
         let input = b.diff("a");
         b.drive_static("a", input, true)?;
@@ -62,10 +66,10 @@ fn margins_for(
         }
         let circuit = nl.compile()?;
         let op = operating_point(&circuit, &DcOptions::default())?;
-        Ok(op.voltage(det.vout))
+        Ok((op.voltage(det.vout), op.report().escalated()))
     };
-    let vout_clean = vout_at(None)?;
-    let vout_faulty = vout_at(Some(pipe_ohms))?;
+    let (vout_clean, clean_escalated) = vout_at(None)?;
+    let (vout_faulty, faulty_escalated) = vout_at(Some(pipe_ohms))?;
     let band = characterize_hysteresis(config, process, 80)?.band;
     Ok(DetectorMargins {
         itail: process.itail,
@@ -73,6 +77,7 @@ fn margins_for(
         vout_faulty,
         clean_headroom: vout_clean - band.pass_above,
         fault_margin: band.fail_below - vout_faulty,
+        escalated: clean_escalated || faulty_escalated,
     })
 }
 
@@ -133,6 +138,13 @@ pub struct MonteCarloReport {
     pub worst_fault_margin: f64,
     /// Per-sample margins for further analysis.
     pub margins: Vec<DetectorMargins>,
+    /// Samples that produced no margins at all: `(sample index, error)`.
+    /// These count against the yield but are *reported*, not silently
+    /// folded into `passing`'s complement.
+    pub failed_samples: Vec<(usize, String)>,
+    /// Samples where the DC recovery ladder escalated past plain Newton
+    /// (converged, but only via a homotopy rung).
+    pub escalated: usize,
 }
 
 impl MonteCarloReport {
@@ -142,6 +154,18 @@ impl MonteCarloReport {
             return 1.0;
         }
         self.passing as f64 / self.samples as f64
+    }
+
+    /// One-line health summary of the study itself (distinct from the
+    /// yield, which is about the detector design).
+    pub fn health_summary(&self) -> String {
+        format!(
+            "{}/{} samples simulated ({} escalated, {} failed)",
+            self.samples - self.failed_samples.len(),
+            self.samples,
+            self.escalated,
+            self.failed_samples.len()
+        )
     }
 }
 
@@ -167,10 +191,15 @@ pub fn sample_process(rng: &mut StdRng, variation: &VariationModel) -> CmlProces
 
 /// Runs the Monte-Carlo robustness study for a fixed detector design.
 ///
+/// Fault-isolated: a sample that fails to converge counts against the
+/// yield and is recorded in [`MonteCarloReport::failed_samples`] with its
+/// error text — it never aborts the study. Samples that only converged
+/// via a recovery rung are tallied in [`MonteCarloReport::escalated`].
+///
 /// # Errors
 ///
-/// Propagates construction/convergence failures (a sample that fails to
-/// converge is counted as not passing rather than aborting the study).
+/// Infallible today; the `Result` is kept so callers don't churn if a
+/// structural failure mode (e.g. a broken detector config) is added.
 pub fn monte_carlo_study(
     samples: usize,
     seed: u64,
@@ -180,22 +209,30 @@ pub fn monte_carlo_study(
 ) -> Result<MonteCarloReport, Error> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut margins = Vec::with_capacity(samples);
+    let mut failed_samples = Vec::new();
     let mut passing = 0usize;
+    let mut escalated = 0usize;
     let mut worst_clean = f64::INFINITY;
     let mut worst_fault = f64::INFINITY;
-    for _ in 0..samples {
+    for k in 0..samples {
         let process = sample_process(&mut rng, variation);
         match margins_for(&process, config, pipe_ohms) {
             Ok(m) => {
                 if m.classifies_correctly() {
                     passing += 1;
                 }
+                if m.escalated {
+                    escalated += 1;
+                }
                 worst_clean = worst_clean.min(m.clean_headroom);
                 worst_fault = worst_fault.min(m.fault_margin);
                 margins.push(m);
             }
-            Err(_) => {
-                // Non-convergent corner: counted as failing.
+            Err(e) => {
+                // Non-convergent corner: counted as failing, but kept on
+                // the record so a low yield can be told apart from a
+                // broken study.
+                failed_samples.push((k, e.to_string()));
             }
         }
     }
@@ -205,6 +242,8 @@ pub fn monte_carlo_study(
         worst_clean_headroom: worst_clean,
         worst_fault_margin: worst_fault,
         margins,
+        failed_samples,
+        escalated,
     })
 }
 
@@ -237,11 +276,11 @@ mod tests {
             assert!(m.fault_margin > 0.0, "itail {}: {m:?}", m.itail);
         }
         // ...but the clean/faulty separation visibly depends on itail.
-        let sep: Vec<f64> = margins.iter().map(|m| m.vout_clean - m.vout_faulty).collect();
-        let spread = sep
+        let sep: Vec<f64> = margins
             .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+            .map(|m| m.vout_clean - m.vout_faulty)
+            .collect();
+        let spread = sep.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - sep.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 0.02, "separation spread {spread}");
     }
@@ -274,6 +313,20 @@ mod tests {
         .unwrap();
         assert_eq!(report.passing, again.passing);
         assert_eq!(report.margins.len(), again.margins.len());
+        // Health bookkeeping: every sample is accounted for, and the
+        // nominal-ish corners should all simulate.
+        assert_eq!(report.margins.len() + report.failed_samples.len(), 12);
+        assert!(
+            report.failed_samples.is_empty(),
+            "{:?}",
+            report.failed_samples
+        );
+        assert_eq!(report.escalated, again.escalated);
+        assert!(
+            report.health_summary().contains("12/12"),
+            "{}",
+            report.health_summary()
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct SharingPoint {
     pub vout: f64,
     /// Comparator feedback node, volts.
     pub vfb: f64,
+    /// Whether the DC recovery ladder had to escalate past plain Newton —
+    /// useful for spotting the N where the shared load goes marginal
+    /// before it fails outright.
+    pub escalated: bool,
 }
 
 /// The load-sharing experiment driver.
@@ -53,17 +57,14 @@ impl SharedDetector {
     /// # Errors
     ///
     /// Propagates construction and convergence failures.
-    pub fn measure(
-        &self,
-        n: usize,
-        fault_at: Option<(usize, f64)>,
-    ) -> Result<SharingPoint, Error> {
+    pub fn measure(&self, n: usize, fault_at: Option<(usize, f64)>) -> Result<SharingPoint, Error> {
         let (handle, circuit) = self.build(n, fault_at)?;
         let op = operating_point(&circuit, &DcOptions::default())?;
         Ok(SharingPoint {
             n,
             vout: op.voltage(handle.vout),
             vfb: op.voltage(handle.vfb),
+            escalated: op.report().escalated(),
         })
     }
 

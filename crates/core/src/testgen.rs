@@ -109,11 +109,7 @@ pub fn toggle_test(network: &LogicNetwork, plan: &ToggleTestPlan) -> ToggleTestR
 /// Coverage as a function of pattern count: runs [`toggle_test`] at each
 /// budget in `budgets` (fresh simulator each time, same seed) — the
 /// classic coverage-vs-patterns curve.
-pub fn coverage_curve(
-    network: &LogicNetwork,
-    budgets: &[usize],
-    seed: u32,
-) -> Vec<(usize, f64)> {
+pub fn coverage_curve(network: &LogicNetwork, budgets: &[usize], seed: u32) -> Vec<(usize, f64)> {
     budgets
         .iter()
         .map(|&patterns| {
@@ -165,9 +161,7 @@ impl TestTimeModel {
 pub fn estimate_test_time(report: &ToggleTestReport, model: &TestTimeModel) -> f64 {
     let init = report.convergence_cycles.unwrap_or(0) as f64;
     let cycles = init + report.patterns as f64;
-    cycles / model.clock_hz
-        + model.detector_settle
-        + model.groups as f64 * model.readout_per_group
+    cycles / model.clock_hz + model.detector_settle + model.groups as f64 * model.readout_per_group
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 use crate::detector::{DetectorHandle, Variant1, Variant2};
 use cml_cells::{waveform_of, CmlCircuitBuilder, CmlProcess, DiffPair};
 use faults::Defect;
-use spicier::analysis::tran::{transient, TranOptions};
+use spicier::analysis::tran::{transient_salvage, TranOptions, TranResult};
 use spicier::Error;
 use waveform::LevelStats;
 
@@ -86,39 +86,40 @@ pub fn measure_point(
     pipe_ohms: Option<f64>,
     opts: &SweepOptions,
 ) -> Result<SweepPoint, Error> {
-    let build = |attach: bool| -> Result<(spicier::Circuit, DiffPair, Option<DetectorHandle>), Error> {
-        let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
-        let input = b.diff("a");
-        b.drive_differential("a", input, opts.freq)?;
-        let chain = b.buffer_chain(&["X1", "DUT", "X2"], input)?;
-        let dut = &chain.cells[1];
-        let dut_out = dut.output;
-        let handle = if attach {
-            Some(det.attach(&mut b, "DET", dut_out)?)
-        } else {
-            None
+    let build =
+        |attach: bool| -> Result<(spicier::Circuit, DiffPair, Option<DetectorHandle>), Error> {
+            let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+            let input = b.diff("a");
+            b.drive_differential("a", input, opts.freq)?;
+            let chain = b.buffer_chain(&["X1", "DUT", "X2"], input)?;
+            let dut = &chain.cells[1];
+            let dut_out = dut.output;
+            let handle = if attach {
+                Some(det.attach(&mut b, "DET", dut_out)?)
+            } else {
+                None
+            };
+            let mut nl = b.finish();
+            if let Some(ohms) = pipe_ohms {
+                Defect::pipe("DUT.Q3", ohms).inject(&mut nl)?;
+            }
+            Ok((nl.compile()?, dut_out, handle))
         };
-        let mut nl = b.finish();
-        if let Some(ohms) = pipe_ohms {
-            Defect::pipe("DUT.Q3", ohms).inject(&mut nl)?;
-        }
-        Ok((nl.compile()?, dut_out, handle))
-    };
 
     // Amplitude on the bare chain.
     let (bare, dut_out, _) = build(false)?;
-    let res = transient(&bare, &TranOptions::new(opts.t_stop))?;
+    let (res, t_end) = run_or_salvage(&bare, opts.t_stop)?;
     let w_out = waveform_of(&res, dut_out.p).map_err(to_spicier_err)?;
-    let t0 = 0.6 * opts.t_stop;
-    let stats = LevelStats::measure(&w_out, t0, opts.t_stop);
+    let t0 = 0.6 * t_end;
+    let stats = LevelStats::measure(&w_out, t0, t_end);
 
     // Detector response with the detector attached.
     let (instrumented, _, handle) = build(true)?;
     let handle = handle.expect("detector attached");
-    let res = transient(&instrumented, &TranOptions::new(opts.t_stop))?;
+    let (res, t_end) = run_or_salvage(&instrumented, opts.t_stop)?;
     let w_det = waveform_of(&res, handle.vout).map_err(to_spicier_err)?;
     // Settled detector output: mean of the final 10% (averages the ripple).
-    let vout = w_det.mean_in(0.9 * opts.t_stop, opts.t_stop);
+    let vout = w_det.mean_in(0.9 * t_end, t_end);
     Ok(SweepPoint {
         pipe_ohms: pipe_ohms.unwrap_or(f64::INFINITY),
         amplitude: stats.swing(),
@@ -128,6 +129,20 @@ pub fn measure_point(
 
 fn to_spicier_err(e: waveform::WaveformError) -> Error {
     Error::InvalidOptions(format!("probe extraction failed: {e}"))
+}
+
+/// Runs a transient with salvage: if the run dies late (≥ 80% of the
+/// horizon simulated) the partial waveform is measured over what exists —
+/// both measurement windows here are fractions of the end time, so they
+/// shrink gracefully. An early death still propagates the failure.
+fn run_or_salvage(circuit: &spicier::Circuit, t_stop: f64) -> Result<(TranResult, f64), Error> {
+    const MIN_PROGRESS: f64 = 0.8;
+    let res = transient_salvage(circuit, &TranOptions::new(t_stop))?;
+    let t_end = res.time().last().copied().unwrap_or(0.0);
+    match res.failure() {
+        Some(fail) if t_end < MIN_PROGRESS * t_stop => Err(fail.error.clone()),
+        _ => Ok((res, t_end.min(t_stop))),
+    }
 }
 
 /// Sweeps pipe resistances (plus the fault-free baseline, returned first).
@@ -159,10 +174,7 @@ pub fn detectable_amplitude(points: &[SweepPoint], min_drop: f64) -> Option<f64>
         .iter()
         .find(|p| p.pipe_ohms.is_infinite())
         .map(|p| p.vout)?;
-    let mut faulty: Vec<&SweepPoint> = points
-        .iter()
-        .filter(|p| p.pipe_ohms.is_finite())
-        .collect();
+    let mut faulty: Vec<&SweepPoint> = points.iter().filter(|p| p.pipe_ohms.is_finite()).collect();
     faulty.sort_by(|a, b| a.amplitude.partial_cmp(&b.amplitude).expect("finite"));
     let detected = |p: &SweepPoint| baseline - p.vout >= min_drop;
     let first = faulty.iter().position(|p| detected(p))?;
@@ -236,7 +248,7 @@ mod tests {
         // Interpolation between two points.
         let pts = [
             mk(f64::INFINITY, 0.25, 3.3),
-            mk(5e3, 0.4, 3.25),  // drop 0.05
+            mk(5e3, 0.4, 3.25), // drop 0.05
             mk(2e3, 0.6, 3.05), // drop 0.25
         ];
         let a = detectable_amplitude(&pts, 0.15).unwrap();

@@ -6,9 +6,8 @@
 //! pipes and terminal shorts/opens, resistor shorts/opens, and wire opens.
 
 use crate::defect::Defect;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use spicier::netlist::{Element, Netlist, Terminal};
+use xrand::StdRng;
 
 /// Coarse classes of defects, used to slice coverage results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,11 +40,7 @@ impl DefectClass {
 /// Per transistor: one pipe (`pipe_ohms`), three pairwise terminal shorts,
 /// three terminal opens. Per resistor: a short and an open. Capacitors
 /// (wiring parasitics) get a terminal open.
-pub fn enumerate_cell_defects(
-    netlist: &Netlist,
-    inst_prefix: &str,
-    pipe_ohms: f64,
-) -> Vec<Defect> {
+pub fn enumerate_cell_defects(netlist: &Netlist, inst_prefix: &str, pipe_ohms: f64) -> Vec<Defect> {
     let mut out = Vec::new();
     for (name, element) in netlist.elements() {
         if !name.starts_with(inst_prefix) || name.starts_with("FLT.") {
@@ -82,9 +77,9 @@ pub fn enumerate_cell_defects(
 /// (deterministic for a given seed) — the sampling §3 justifies: "it is
 /// common to treat defects as equiprobable".
 pub fn sample_defects(universe: &[Defect], count: usize, seed: u64) -> Vec<Defect> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut indices: Vec<usize> = (0..universe.len()).collect();
-    indices.shuffle(&mut rng);
+    rng.shuffle(&mut indices);
     indices
         .into_iter()
         .take(count)
@@ -115,9 +110,7 @@ mod tests {
         let defects = enumerate_cell_defects(&nl, "X.", 4.0e3);
         // Q1: 1 pipe + 3 shorts + 3 opens; RL1: 2; CW1: 1 → 10 total.
         assert_eq!(defects.len(), 10);
-        assert!(defects
-            .iter()
-            .all(|d| !d.label().contains("OTHER")));
+        assert!(defects.iter().all(|d| !d.label().contains("OTHER")));
     }
 
     #[test]

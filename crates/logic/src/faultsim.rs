@@ -87,10 +87,7 @@ pub fn stuck_at_universe(network: &LogicNetwork) -> Vec<StuckFault> {
 /// machine is driven with the same `patterns` as the good machine (both
 /// from the all-zero state) and the fault counts as detected when any
 /// primary output differs on any cycle.
-pub fn stuck_at_campaign(
-    network: &LogicNetwork,
-    patterns: &[Vec<V3>],
-) -> StuckAtReport {
+pub fn stuck_at_campaign(network: &LogicNetwork, patterns: &[Vec<V3>]) -> StuckAtReport {
     // Good-machine reference responses.
     let mut good = Simulator::new(network).expect("simulator");
     good.reset_state_with(|_| V3::Zero);
@@ -183,10 +180,7 @@ mod tests {
         b.output("y", gated);
         let n = b.build().unwrap();
         // Pattern set that never opens the gate: inner faults escape.
-        let closed: Vec<Vec<V3>> = vec![
-            vec![V3::Zero, V3::Zero],
-            vec![V3::One, V3::Zero],
-        ];
+        let closed: Vec<Vec<V3>> = vec![vec![V3::Zero, V3::Zero], vec![V3::One, V3::Zero]];
         let report = stuck_at_campaign(&n, &closed);
         assert!(report
             .undetected

@@ -75,10 +75,7 @@ mod tests {
     fn output_is_balanced() {
         let mut l = Lfsr::new(12345);
         let ones = l.next_bits(10_000).iter().filter(|&&b| b).count();
-        assert!(
-            (4_500..5_500).contains(&ones),
-            "ones = {ones} out of 10000"
-        );
+        assert!((4_500..5_500).contains(&ones), "ones = {ones} out of 10000");
     }
 
     #[test]

@@ -343,10 +343,7 @@ mod tests {
     fn rejects_duplicate_names() {
         let mut b = NetworkBuilder::new();
         b.input("a").unwrap();
-        assert!(matches!(
-            b.input("a"),
-            Err(NetworkError::DuplicateName(_))
-        ));
+        assert!(matches!(b.input("a"), Err(NetworkError::DuplicateName(_))));
     }
 
     #[test]

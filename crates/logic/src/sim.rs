@@ -137,11 +137,7 @@ impl<'n> Simulator<'n> {
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the network's input count.
-    pub fn step_with_override(
-        &mut self,
-        inputs: &[V3],
-        over: Option<(SignalId, V3)>,
-    ) -> Vec<V3> {
+    pub fn step_with_override(&mut self, inputs: &[V3], over: Option<(SignalId, V3)>) -> Vec<V3> {
         assert_eq!(
             inputs.len(),
             self.network.input_count(),
@@ -363,13 +359,8 @@ mod tests {
         let n = b.build().unwrap();
         // Initial states differ in the first stage; the difference shifts
         // down the register and leaves after exactly 4 cycles.
-        let cycles = initialization_convergence(
-            &n,
-            |cycle, _| cycle % 3 == 0,
-            |k| k == 0,
-            |_| false,
-            100,
-        );
+        let cycles =
+            initialization_convergence(&n, |cycle, _| cycle % 3 == 0, |k| k == 0, |_| false, 100);
         assert_eq!(cycles, Some(4));
     }
 
@@ -385,8 +376,7 @@ mod tests {
         let notq = b.gate(GateKind::Not, &[SignalId(2)], "notq").unwrap();
         let _q = b.dff(notq, "q").unwrap();
         let n = b.build().unwrap();
-        let cycles =
-            initialization_convergence(&n, |c, _| c % 2 == 0, |_| true, |_| false, 50);
+        let cycles = initialization_convergence(&n, |c, _| c % 2 == 0, |_| true, |_| false, 50);
         assert_eq!(cycles, None);
     }
 }

@@ -1,65 +1,49 @@
-//! Property-based tests of the logic simulator over randomly generated
-//! networks.
+//! Randomized property tests of the logic simulator over generated
+//! networks (seeded, deterministic — see `xrand`).
 
 use cml_logic::{GateKind, LogicNetwork, NetworkBuilder, Simulator, ToggleCoverage, V3};
-use proptest::prelude::*;
+use xrand::StdRng;
 
-/// Recipe for one random gate: kind selector and input selectors (reduced
-/// modulo the number of available signals at build time, so every network
-/// is a valid DAG).
-#[derive(Debug, Clone)]
-struct GateRecipe {
-    kind_sel: u8,
-    in_sel: [u8; 3],
-}
-
-fn arb_network() -> impl Strategy<Value = (LogicNetwork, usize)> {
-    let gates = proptest::collection::vec(
-        (0u8..7, proptest::array::uniform3(0u8..255)).prop_map(|(kind_sel, in_sel)| GateRecipe {
-            kind_sel,
-            in_sel,
-        }),
-        1..24,
-    );
-    (2usize..5, gates, 0usize..3).prop_map(|(n_inputs, recipes, n_dffs)| {
-        let mut b = NetworkBuilder::new();
-        let mut signals = Vec::new();
-        for i in 0..n_inputs {
-            signals.push(b.input(&format!("in{i}")).expect("unique"));
-        }
-        for (g, recipe) in recipes.iter().enumerate() {
-            let kind = match recipe.kind_sel {
-                0 => GateKind::And,
-                1 => GateKind::Or,
-                2 => GateKind::Nand,
-                3 => GateKind::Nor,
-                4 => GateKind::Xor,
-                5 => GateKind::Not,
-                _ => GateKind::Buf,
-            };
-            let pick = |sel: u8| signals[sel as usize % signals.len()];
-            let inputs: Vec<_> = match kind.arity() {
-                Some(1) => vec![pick(recipe.in_sel[0])],
-                Some(3) => vec![
-                    pick(recipe.in_sel[0]),
-                    pick(recipe.in_sel[1]),
-                    pick(recipe.in_sel[2]),
-                ],
-                _ => vec![pick(recipe.in_sel[0]), pick(recipe.in_sel[1])],
-            };
-            let out = b.gate(kind, &inputs, &format!("g{g}")).expect("unique");
-            signals.push(out);
-        }
-        // A few flip-flops reading late signals.
-        for d in 0..n_dffs {
-            let src = signals[signals.len() - 1 - d % signals.len().min(3)];
-            let q = b.dff(src, &format!("ff{d}")).expect("unique");
-            signals.push(q);
-        }
-        let last = *signals.last().expect("non-empty");
-        b.output("out", last);
-        (b.build().expect("DAG by construction"), n_inputs)
-    })
+/// Builds a random valid DAG: gate inputs are selected modulo the number
+/// of signals available at build time. Returns the network and its input
+/// count.
+fn random_network(rng: &mut StdRng) -> (LogicNetwork, usize) {
+    let n_inputs = rng.gen_range(2usize..5);
+    let n_gates = rng.gen_range(1usize..24);
+    let n_dffs = rng.gen_range(0usize..3);
+    let mut b = NetworkBuilder::new();
+    let mut signals = Vec::new();
+    for i in 0..n_inputs {
+        signals.push(b.input(&format!("in{i}")).expect("unique"));
+    }
+    for g in 0..n_gates {
+        let kind = match rng.gen_range(0u8..7) {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Not,
+            _ => GateKind::Buf,
+        };
+        let pick = |rng: &mut StdRng| signals[rng.gen_range(0..signals.len())];
+        let inputs: Vec<_> = match kind.arity() {
+            Some(1) => vec![pick(rng)],
+            Some(3) => vec![pick(rng), pick(rng), pick(rng)],
+            _ => vec![pick(rng), pick(rng)],
+        };
+        let out = b.gate(kind, &inputs, &format!("g{g}")).expect("unique");
+        signals.push(out);
+    }
+    // A few flip-flops reading late signals.
+    for d in 0..n_dffs {
+        let src = signals[signals.len() - 1 - d % signals.len().min(3)];
+        let q = b.dff(src, &format!("ff{d}")).expect("unique");
+        signals.push(q);
+    }
+    let last = *signals.last().expect("non-empty");
+    b.output("out", last);
+    (b.build().expect("DAG by construction"), n_inputs)
 }
 
 fn inputs_from_bits(bits: u32, defined: u32, n: usize) -> Vec<V3> {
@@ -76,31 +60,34 @@ fn inputs_from_bits(bits: u32, defined: u32, n: usize) -> Vec<V3> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The simulator is a pure function of (state, inputs).
-    #[test]
-    fn simulation_is_deterministic((network, n_inputs) in arb_network(),
-                                   stimulus in proptest::collection::vec(0u32..16, 1..8)) {
+/// The simulator is a pure function of (state, inputs).
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xde7e);
+    for _ in 0..128 {
+        let (network, n_inputs) = random_network(&mut rng);
         let mut a = Simulator::new(&network).unwrap();
         let mut b = Simulator::new(&network).unwrap();
         a.reset_state_with(|_| V3::Zero);
         b.reset_state_with(|_| V3::Zero);
-        for &bits in &stimulus {
-            let inputs = inputs_from_bits(bits, u32::MAX, n_inputs);
-            prop_assert_eq!(a.step(&inputs), b.step(&inputs));
+        let steps = rng.gen_range(1usize..8);
+        for _ in 0..steps {
+            let inputs = inputs_from_bits(rng.gen_range(0u32..16), u32::MAX, n_inputs);
+            assert_eq!(a.step(&inputs), b.step(&inputs));
         }
     }
+}
 
-    /// X-monotonicity: refining an X input to a concrete value never
-    /// *contradicts* a defined output — it may only define more signals.
-    #[test]
-    fn three_valued_simulation_is_monotone((network, n_inputs) in arb_network(),
-                                           bits in 0u32..16,
-                                           defined in 0u32..16,
-                                           refine_bit in 0usize..4) {
-        let refine_bit = refine_bit % n_inputs;
+/// X-monotonicity: refining an X input to a concrete value never
+/// *contradicts* a defined output — it may only define more signals.
+#[test]
+fn three_valued_simulation_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x307);
+    for _ in 0..128 {
+        let (network, n_inputs) = random_network(&mut rng);
+        let bits = rng.gen_range(0u32..16);
+        let defined = rng.gen_range(0u32..16);
+        let refine_bit = rng.gen_range(0usize..4) % n_inputs;
         let mut coarse = Simulator::new(&network).unwrap();
         let mut fine = Simulator::new(&network).unwrap();
         coarse.reset_state_with(|_| V3::Zero);
@@ -112,44 +99,53 @@ proptest! {
         let out_fine = fine.step(&fine_in);
         for (c, f) in out_coarse.iter().zip(&out_fine) {
             if *c != V3::X {
-                prop_assert_eq!(c, f, "defined output changed under refinement");
+                assert_eq!(c, f, "defined output changed under refinement");
             }
         }
     }
+}
 
-    /// Coverage accounting is consistent: toggled + untoggled = monitored,
-    /// and coverage is within [0, 1] and monotone in observations.
-    #[test]
-    fn toggle_coverage_invariants((network, n_inputs) in arb_network(),
-                                  stimulus in proptest::collection::vec(0u32..16, 1..12)) {
+/// Coverage accounting is consistent: toggled + untoggled = monitored,
+/// and coverage is within [0, 1] and monotone in observations.
+#[test]
+fn toggle_coverage_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xc0fe);
+    for _ in 0..128 {
+        let (network, n_inputs) = random_network(&mut rng);
         let mut sim = Simulator::new(&network).unwrap();
         sim.reset_state_with(|_| V3::Zero);
         let mut cov = ToggleCoverage::new(&network);
         let mut last = 0.0f64;
-        for &bits in &stimulus {
-            let inputs = inputs_from_bits(bits, u32::MAX, n_inputs);
+        let steps = rng.gen_range(1usize..12);
+        for _ in 0..steps {
+            let inputs = inputs_from_bits(rng.gen_range(0u32..16), u32::MAX, n_inputs);
             sim.step(&inputs);
             cov.observe(&sim);
             let c = cov.coverage();
-            prop_assert!((0.0..=1.0).contains(&c));
-            prop_assert!(c >= last - 1e-12, "coverage decreased");
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= last - 1e-12, "coverage decreased");
             last = c;
         }
         let untoggled = cov.untoggled().len();
         let toggled = cov.tracked_count() - untoggled;
-        prop_assert!((cov.coverage() - toggled as f64 / cov.tracked_count().max(1) as f64).abs() < 1e-12);
+        assert!(
+            (cov.coverage() - toggled as f64 / cov.tracked_count().max(1) as f64).abs() < 1e-12
+        );
     }
+}
 
-    /// With fully defined inputs and state, no X can appear anywhere.
-    #[test]
-    fn defined_inputs_produce_defined_outputs((network, n_inputs) in arb_network(),
-                                              bits in 0u32..16) {
+/// With fully defined inputs and state, no X can appear anywhere.
+#[test]
+fn defined_inputs_produce_defined_outputs() {
+    let mut rng = StdRng::seed_from_u64(0xdef1);
+    for _ in 0..128 {
+        let (network, n_inputs) = random_network(&mut rng);
         let mut sim = Simulator::new(&network).unwrap();
         sim.reset_state_with(|_| V3::Zero);
-        let inputs = inputs_from_bits(bits, u32::MAX, n_inputs);
+        let inputs = inputs_from_bits(rng.gen_range(0u32..16), u32::MAX, n_inputs);
         let outputs = sim.step(&inputs);
         for v in outputs {
-            prop_assert_ne!(v, V3::X);
+            assert_ne!(v, V3::X);
         }
     }
 }

@@ -422,11 +422,7 @@ mod tests {
             .unwrap();
         nl.resistor("RL", b, Netlist::GROUND, 1.0e3).unwrap();
         let circuit = nl.compile().unwrap();
-        let res = ac_analysis(
-            &circuit,
-            &AcOptions::new("V1", vec![1.0e3, 1.0e6, 1.0e9]),
-        )
-        .unwrap();
+        let res = ac_analysis(&circuit, &AcOptions::new("V1", vec![1.0e3, 1.0e6, 1.0e9])).unwrap();
         for k in 0..3 {
             assert!((res.response(b, k).db() - 20.0).abs() < 1e-6);
         }

@@ -1,13 +1,148 @@
 //! DC operating point and DC sweeps.
 //!
-//! The solver runs plain Newton–Raphson first; when that fails it falls
-//! back to `gmin` stepping (a conductance homotopy) and then source
-//! stepping, the same escalation sequence SPICE uses.
+//! The solver escalates through a **recovery ladder**: plain
+//! Newton–Raphson, damped Newton, `gmin` stepping (a conductance
+//! homotopy), source stepping, and finally pseudo-transient continuation
+//! (backward-Euler pseudo-timestepping toward steady state). Every rung
+//! attempt is recorded in a [`ConvergenceReport`] attached to the
+//! [`DcSolution`] — and embedded in [`Error::DcNoConvergence`] when the
+//! whole ladder fails — so sweeps and experiments can report *how* a
+//! corner converged or why it did not, instead of dying on it.
 
 use super::mna::{Assembler, EvalMode};
 use crate::error::Error;
 use crate::linalg::{AutoSolver, Solver, Triplets};
 use crate::netlist::{Circuit, NodeId};
+use std::fmt;
+
+/// One rung of the DC convergence recovery ladder, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryRung {
+    /// Plain Newton–Raphson from a zero start.
+    Newton,
+    /// Newton with a damped update (half steps), for overshooting loops.
+    DampedNewton,
+    /// Conductance homotopy: converge under a heavy `gmin` blanket, then
+    /// relax it decade by decade.
+    GminStepping,
+    /// Independent sources ramped from 10% to 100% with adaptive steps.
+    SourceStepping,
+    /// Pseudo-transient continuation: backward-Euler pseudo-timestepping
+    /// with a per-node conductance that anneals away, following the
+    /// circuit's own dynamics to steady state.
+    PseudoTransient,
+}
+
+impl RecoveryRung {
+    /// Short label used in reports and log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryRung::Newton => "newton",
+            RecoveryRung::DampedNewton => "damped-newton",
+            RecoveryRung::GminStepping => "gmin-stepping",
+            RecoveryRung::SourceStepping => "source-stepping",
+            RecoveryRung::PseudoTransient => "pseudo-transient",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of one ladder rung.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RungAttempt {
+    /// Which rung ran.
+    pub rung: RecoveryRung,
+    /// Newton iterations spent in this rung (summed over homotopy steps).
+    pub iterations: usize,
+    /// Whether the rung produced a converged operating point.
+    pub converged: bool,
+    /// Worst unknown-change magnitude at the rung's final iterate.
+    pub worst_residual: f64,
+}
+
+/// Structured account of how an operating point was (or was not) found.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[must_use]
+pub struct ConvergenceReport {
+    /// Every rung attempted, in order.
+    pub attempts: Vec<RungAttempt>,
+    /// The rung that produced the solution, `None` when all failed.
+    pub succeeded: Option<RecoveryRung>,
+    /// Index of the unknown with the worst final residual (a node voltage
+    /// when `< n_nodes`, otherwise a branch current); `None` when no
+    /// iteration ran at all.
+    pub worst_unknown: Option<usize>,
+    /// Worst unknown-change magnitude at the last iterate of the last
+    /// attempted rung.
+    pub worst_residual: f64,
+}
+
+impl ConvergenceReport {
+    /// Total Newton iterations across every rung.
+    #[must_use]
+    pub fn total_iterations(&self) -> usize {
+        self.attempts.iter().map(|a| a.iterations).sum()
+    }
+
+    /// Whether the solution needed anything beyond plain Newton.
+    #[must_use]
+    pub fn escalated(&self) -> bool {
+        !matches!(self.succeeded, Some(RecoveryRung::Newton))
+    }
+
+    /// Name of the worst-residual node in `circuit`, when it is a node
+    /// voltage (branch-current unknowns return `None`).
+    #[must_use]
+    pub fn worst_node_name<'c>(&self, circuit: &'c Circuit) -> Option<&'c str> {
+        let idx = self.worst_unknown?;
+        circuit
+            .node_ids()
+            .find(|id| id.unknown() == Some(idx))
+            .map(|id| circuit.netlist().node_name(id))
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `"converged via gmin-stepping (3 rungs, 204 iterations)"`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        match self.succeeded {
+            Some(rung) => format!(
+                "converged via {} ({} rung{}, {} iterations)",
+                rung.label(),
+                self.attempts.len(),
+                if self.attempts.len() == 1 { "" } else { "s" },
+                self.total_iterations()
+            ),
+            None => format!(
+                "no convergence after {} rungs ({} iterations, worst residual {:.3e})",
+                self.attempts.len(),
+                self.total_iterations(),
+                self.worst_residual
+            ),
+        }
+    }
+
+    fn record(&mut self, rung: RecoveryRung, run: &NewtonRun) {
+        self.attempts.push(RungAttempt {
+            rung,
+            iterations: run.iterations,
+            converged: run.converged,
+            worst_residual: run.worst_delta,
+        });
+        self.worst_residual = run.worst_delta;
+        if run.iterations > 0 {
+            self.worst_unknown = Some(run.worst_index);
+        }
+        if run.converged {
+            self.succeeded = Some(rung);
+        }
+    }
+}
 
 /// Options for the DC operating-point solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,9 +176,16 @@ impl Default for DcOptions {
 pub struct DcSolution {
     n_nodes: usize,
     x: Vec<f64>,
+    report: ConvergenceReport,
 }
 
 impl DcSolution {
+    /// How the solution was found: which recovery rung succeeded, and at
+    /// what iteration cost.
+    pub fn report(&self) -> &ConvergenceReport {
+        &self.report
+    }
+
     /// Voltage of `node`, volts.
     pub fn voltage(&self, node: NodeId) -> f64 {
         match node.unknown() {
@@ -69,10 +211,45 @@ impl DcSolution {
     }
 }
 
+/// Diagnostics from one Newton attempt (converged or not).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonRun {
+    /// Iterations spent.
+    pub iterations: usize,
+    /// Worst unknown-change magnitude at the final iterate.
+    pub worst_delta: f64,
+    /// Index of the worst unknown at the final iterate.
+    pub worst_index: usize,
+    /// Whether the attempt converged.
+    pub converged: bool,
+}
+
+impl NewtonRun {
+    fn fresh() -> Self {
+        Self {
+            iterations: 0,
+            worst_delta: f64::INFINITY,
+            worst_index: 0,
+            converged: false,
+        }
+    }
+}
+
+/// Pseudo-transient term added to the assembled system: a conductance `g`
+/// from every node to its value in `anchor` (backward Euler on a unit
+/// capacitance with `h = C/g`).
+struct PtranTerm<'a> {
+    g: f64,
+    anchor: &'a [f64],
+}
+
 /// Runs one Newton–Raphson attempt from `x`, in place.
 ///
-/// Returns the number of iterations used.
-pub(crate) fn newton(
+/// `damping` scales the update (`1.0` = full Newton). `ptran` optionally
+/// adds pseudo-transient continuation terms. Returns full diagnostics;
+/// only solver failures (singular matrix) surface as `Err`.
+#[allow(clippy::too_many_arguments)] // internal solver kernel: scratch buffers are threaded explicitly
+fn newton_run(
     assembler: &mut Assembler<'_>,
     mode: &EvalMode,
     x: &mut [f64],
@@ -80,14 +257,22 @@ pub(crate) fn newton(
     solver: &mut AutoSolver,
     triplets: &mut Triplets,
     rhs: &mut Vec<f64>,
-) -> Result<usize, Error> {
+    damping: f64,
+    ptran: Option<&PtranTerm<'_>>,
+) -> Result<NewtonRun, Error> {
     let n_nodes = assembler.circuit().node_unknowns();
-    let mut worst = f64::INFINITY;
+    let mut run = NewtonRun::fresh();
     for iter in 0..opts.max_iterations {
         assembler.assemble(x, mode, triplets, rhs);
+        if let Some(pt) = ptran {
+            for (i, r) in rhs.iter_mut().enumerate().take(n_nodes) {
+                triplets.add(i, i, pt.g);
+                *r += pt.g * pt.anchor[i];
+            }
+        }
         solver.solve_in_place(triplets, rhs)?;
         let mut converged = true;
-        worst = 0.0;
+        run.worst_delta = 0.0;
         for (i, (&new, old)) in rhs.iter().zip(x.iter()).enumerate() {
             let abstol = if i < n_nodes {
                 opts.abstol_v
@@ -99,100 +284,267 @@ pub(crate) fn newton(
             if delta > tol {
                 converged = false;
             }
-            worst = worst.max(delta);
+            if delta > run.worst_delta {
+                run.worst_delta = delta;
+                run.worst_index = i;
+            }
         }
-        x.copy_from_slice(rhs);
+        if damping >= 1.0 {
+            x.copy_from_slice(rhs);
+        } else {
+            for (xi, &new) in x.iter_mut().zip(rhs.iter()) {
+                *xi += damping * (new - *xi);
+            }
+        }
+        run.iterations = iter + 1;
         if converged && !assembler.was_limited() && iter > 0 {
-            return Ok(iter + 1);
+            run.converged = true;
+            return Ok(run);
         }
     }
-    Err(Error::DcNoConvergence {
-        iterations: opts.max_iterations,
-        residual: worst,
-    })
+    Ok(run)
+}
+
+/// Runs one plain Newton–Raphson attempt from `x`, in place.
+///
+/// Returns the number of iterations used; kept as the simple entry point
+/// the transient engine and DC sweeps use.
+pub(crate) fn newton(
+    assembler: &mut Assembler<'_>,
+    mode: &EvalMode,
+    x: &mut [f64],
+    opts: &DcOptions,
+    solver: &mut AutoSolver,
+    triplets: &mut Triplets,
+    rhs: &mut Vec<f64>,
+) -> Result<usize, Error> {
+    let run = newton_run(assembler, mode, x, opts, solver, triplets, rhs, 1.0, None)?;
+    if run.converged {
+        Ok(run.iterations)
+    } else {
+        Err(Error::DcNoConvergence {
+            iterations: run.iterations,
+            residual: run.worst_delta,
+            report: None,
+        })
+    }
 }
 
 /// Computes the DC operating point of `circuit`.
 ///
+/// Escalates through the full recovery ladder (see the module docs); the
+/// returned [`DcSolution`] carries a [`ConvergenceReport`] describing which
+/// rung succeeded and at what cost.
+///
 /// # Errors
 ///
-/// Returns [`Error::DcNoConvergence`] when Newton, gmin stepping and source
-/// stepping all fail, or [`Error::SingularMatrix`] for structurally broken
-/// circuits.
+/// Returns [`Error::DcNoConvergence`] — with the full report embedded —
+/// when every rung of the ladder fails, or [`Error::SingularMatrix`] for
+/// structurally broken circuits on which no Newton iteration completes.
 pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, Error> {
     let mut assembler = Assembler::new(circuit);
-    operating_point_with(circuit, opts, &mut assembler).map(|x| DcSolution {
+    recover_operating_point(circuit, opts, &mut assembler).map(|(x, report)| DcSolution {
         n_nodes: circuit.node_unknowns(),
         x,
+        report,
     })
 }
 
 /// Operating point reusing an existing assembler (so transient can keep the
-/// junction-limiting state it seeds).
+/// junction-limiting state it seeds). Discards the convergence report.
 pub(crate) fn operating_point_with(
     circuit: &Circuit,
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
 ) -> Result<Vec<f64>, Error> {
-    let dim = circuit.dim();
-    let mut solver = AutoSolver::new();
-    let mut triplets = Triplets::new(dim);
-    let mut rhs = Vec::with_capacity(dim);
+    recover_operating_point(circuit, opts, assembler).map(|(x, _)| x)
+}
 
-    // 1. Plain Newton from a zero start.
-    let mut x = vec![0.0; dim];
+/// Scratch buffers shared by every rung of the recovery ladder.
+struct LadderScratch {
+    solver: AutoSolver,
+    triplets: Triplets,
+    rhs: Vec<f64>,
+}
+
+/// One rung of the recovery ladder: attempts a full solve, returning the
+/// candidate solution and the aggregated Newton diagnostics.
+type RungFn = fn(
+    &Circuit,
+    &DcOptions,
+    &mut Assembler<'_>,
+    &mut LadderScratch,
+) -> Result<(Vec<f64>, NewtonRun), Error>;
+
+/// The recovery ladder itself: runs each rung in order, recording every
+/// attempt, and returns the first converged solution with its report.
+pub(crate) fn recover_operating_point(
+    circuit: &Circuit,
+    opts: &DcOptions,
+    assembler: &mut Assembler<'_>,
+) -> Result<(Vec<f64>, ConvergenceReport), Error> {
+    let dim = circuit.dim();
+    let mut scratch = LadderScratch {
+        solver: AutoSolver::new(),
+        triplets: Triplets::new(dim),
+        rhs: Vec::with_capacity(dim),
+    };
+    let mut report = ConvergenceReport::default();
+    // The most recent structural (solver) failure; returned instead of
+    // `DcNoConvergence` when no rung completed a single iteration, because
+    // a singular matrix — not divergence — is then the root cause.
+    let mut structural: Option<Error> = None;
+
+    let rungs: [RungFn; 5] = [
+        rung_newton,
+        rung_damped_newton,
+        rung_gmin_stepping,
+        rung_source_stepping,
+        rung_pseudo_transient,
+    ];
+    let labels = [
+        RecoveryRung::Newton,
+        RecoveryRung::DampedNewton,
+        RecoveryRung::GminStepping,
+        RecoveryRung::SourceStepping,
+        RecoveryRung::PseudoTransient,
+    ];
+
+    for (rung, label) in rungs.iter().zip(labels) {
+        match rung(circuit, opts, assembler, &mut scratch) {
+            Ok((x, run)) => {
+                report.record(label, &run);
+                if run.converged {
+                    return Ok((x, report));
+                }
+            }
+            Err(err) => {
+                // Structural failure inside this rung: record a
+                // zero-iteration attempt and keep climbing — a homotopy
+                // higher up may still regularise the matrix.
+                report.record(label, &NewtonRun::fresh());
+                structural = Some(err);
+            }
+        }
+    }
+
+    if report.total_iterations() == 0 {
+        if let Some(err) = structural {
+            return Err(err);
+        }
+    }
+    let residual = report.worst_residual;
+    let iterations = report.total_iterations();
+    Err(Error::DcNoConvergence {
+        iterations,
+        residual,
+        report: Some(Box::new(report)),
+    })
+}
+
+/// Rung 1: plain Newton from a zero start.
+fn rung_newton(
+    circuit: &Circuit,
+    opts: &DcOptions,
+    assembler: &mut Assembler<'_>,
+    scratch: &mut LadderScratch,
+) -> Result<(Vec<f64>, NewtonRun), Error> {
+    let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
-    if newton(
+    let run = newton_run(
         assembler,
         &EvalMode::dc(opts.gmin),
         &mut x,
         opts,
-        &mut solver,
-        &mut triplets,
-        &mut rhs,
-    )
-    .is_ok()
-    {
-        return Ok(x);
-    }
+        &mut scratch.solver,
+        &mut scratch.triplets,
+        &mut scratch.rhs,
+        1.0,
+        None,
+    )?;
+    Ok((x, run))
+}
 
-    // 2. gmin stepping: converge with a heavy conductance blanket, then
-    //    relax it decade by decade.
-    let mut x = vec![0.0; dim];
+/// Rung 2: damped Newton (half steps) from a zero start — rescues loops
+/// where full steps overshoot and oscillate.
+fn rung_damped_newton(
+    circuit: &Circuit,
+    opts: &DcOptions,
+    assembler: &mut Assembler<'_>,
+    scratch: &mut LadderScratch,
+) -> Result<(Vec<f64>, NewtonRun), Error> {
+    let mut x = vec![0.0; circuit.dim()];
+    assembler.reset_junctions(&x);
+    // Damping halves the contraction rate, so allow more iterations.
+    let opts = DcOptions {
+        max_iterations: opts.max_iterations * 2,
+        ..opts.clone()
+    };
+    let run = newton_run(
+        assembler,
+        &EvalMode::dc(opts.gmin),
+        &mut x,
+        &opts,
+        &mut scratch.solver,
+        &mut scratch.triplets,
+        &mut scratch.rhs,
+        0.5,
+        None,
+    )?;
+    Ok((x, run))
+}
+
+/// Rung 3: gmin stepping — converge with a heavy conductance blanket,
+/// then relax it decade by decade.
+fn rung_gmin_stepping(
+    circuit: &Circuit,
+    opts: &DcOptions,
+    assembler: &mut Assembler<'_>,
+    scratch: &mut LadderScratch,
+) -> Result<(Vec<f64>, NewtonRun), Error> {
+    let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
     let mut gmin = 1.0e-2;
-    let mut gmin_ok = true;
-    while gmin >= opts.gmin {
+    let mut total = NewtonRun::fresh();
+    loop {
         let mode = EvalMode::dc(gmin);
-        if newton(
+        let run = newton_run(
             assembler,
             &mode,
             &mut x,
             opts,
-            &mut solver,
-            &mut triplets,
-            &mut rhs,
-        )
-        .is_err()
-        {
-            gmin_ok = false;
-            break;
+            &mut scratch.solver,
+            &mut scratch.triplets,
+            &mut scratch.rhs,
+            1.0,
+            None,
+        )?;
+        total.iterations += run.iterations;
+        total.worst_delta = run.worst_delta;
+        total.worst_index = run.worst_index;
+        if !run.converged {
+            return Ok((x, total));
         }
-        if gmin == opts.gmin {
-            return Ok(x);
+        if gmin <= opts.gmin {
+            total.converged = true;
+            return Ok((x, total));
         }
         gmin = (gmin / 10.0).max(opts.gmin);
     }
-    let _ = gmin_ok;
+}
 
-    // 3. Source stepping: ramp independent sources from 10% to 100%.
-    let mut x = vec![0.0; dim];
+/// Rung 4: source stepping — ramp independent sources from 10% to 100%
+/// with an adaptive step.
+fn rung_source_stepping(
+    circuit: &Circuit,
+    opts: &DcOptions,
+    assembler: &mut Assembler<'_>,
+    scratch: &mut LadderScratch,
+) -> Result<(Vec<f64>, NewtonRun), Error> {
+    let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
+    let mut total = NewtonRun::fresh();
     let mut scale = 0.1;
-    let mut last_err = Error::DcNoConvergence {
-        iterations: opts.max_iterations,
-        residual: f64::NAN,
-    };
     let mut step = 0.1;
     while scale <= 1.0 + 1e-12 {
         let mode = EvalMode {
@@ -200,33 +552,116 @@ pub(crate) fn operating_point_with(
             ..EvalMode::dc(opts.gmin)
         };
         let mut attempt = x.clone();
-        match newton(
+        let run = newton_run(
             assembler,
             &mode,
             &mut attempt,
             opts,
-            &mut solver,
-            &mut triplets,
-            &mut rhs,
-        ) {
-            Ok(_) => {
-                x = attempt;
-                if (scale - 1.0).abs() < 1e-12 {
-                    return Ok(x);
-                }
-                scale = (scale + step).min(1.0);
+            &mut scratch.solver,
+            &mut scratch.triplets,
+            &mut scratch.rhs,
+            1.0,
+            None,
+        )?;
+        total.iterations += run.iterations;
+        total.worst_delta = run.worst_delta;
+        total.worst_index = run.worst_index;
+        if run.converged {
+            x = attempt;
+            if (scale - 1.0).abs() < 1e-12 {
+                total.converged = true;
+                return Ok((x, total));
             }
-            Err(e) => {
-                last_err = e;
-                step /= 2.0;
-                if step < 1.0e-3 {
-                    return Err(last_err);
-                }
-                scale = (scale - step).max(step);
+            scale = (scale + step).min(1.0);
+        } else {
+            step /= 2.0;
+            if step < 1.0e-3 {
+                return Ok((x, total));
+            }
+            scale = (scale - step).max(step);
+        }
+    }
+    Ok((x, total))
+}
+
+/// Rung 5: pseudo-transient continuation. Adds a conductance `g` from
+/// every node to the last accepted iterate (backward Euler on a unit
+/// capacitance, pseudo-timestep `h = C/g`), which regularises the Jacobian
+/// and follows the circuit's own dynamics toward steady state. `g` anneals
+/// away on success and backs off on failure; a plain Newton polish
+/// confirms the final point is a true equilibrium.
+fn rung_pseudo_transient(
+    circuit: &Circuit,
+    opts: &DcOptions,
+    assembler: &mut Assembler<'_>,
+    scratch: &mut LadderScratch,
+) -> Result<(Vec<f64>, NewtonRun), Error> {
+    const G_START: f64 = 1.0;
+    const G_FLOOR: f64 = 1.0e-10;
+    const G_CEIL: f64 = 1.0e9;
+    const ANNEAL: f64 = 3.0;
+    const BACKOFF: f64 = 8.0;
+    const MAX_PSEUDO_STEPS: usize = 120;
+
+    let dim = circuit.dim();
+    let mut x = vec![0.0; dim];
+    assembler.reset_junctions(&x);
+    let mut anchor = x.clone();
+    let mut g = G_START;
+    let mut total = NewtonRun::fresh();
+    let mode = EvalMode::dc(opts.gmin);
+
+    for _ in 0..MAX_PSEUDO_STEPS {
+        let term = PtranTerm { g, anchor: &anchor };
+        let run = newton_run(
+            assembler,
+            &mode,
+            &mut x,
+            opts,
+            &mut scratch.solver,
+            &mut scratch.triplets,
+            &mut scratch.rhs,
+            1.0,
+            Some(&term),
+        )?;
+        total.iterations += run.iterations;
+        total.worst_delta = run.worst_delta;
+        total.worst_index = run.worst_index;
+        if run.converged {
+            anchor.copy_from_slice(&x);
+            if g <= G_FLOOR {
+                break;
+            }
+            g /= ANNEAL;
+        } else {
+            // Pseudo-step too aggressive: rewind and stiffen the anchor.
+            x.copy_from_slice(&anchor);
+            assembler.reset_junctions(&x);
+            g *= BACKOFF;
+            if g > G_CEIL {
+                return Ok((x, total));
             }
         }
     }
-    Err(last_err)
+
+    // Polish: the anchored term is tiny but nonzero; confirm the point is
+    // an equilibrium of the unmodified equations.
+    let polish = newton_run(
+        assembler,
+        &mode,
+        &mut x,
+        opts,
+        &mut scratch.solver,
+        &mut scratch.triplets,
+        &mut scratch.rhs,
+        1.0,
+        None,
+    )?;
+    total.iterations += polish.iterations;
+    total.worst_delta = polish.worst_delta;
+    total.worst_index = polish.worst_index;
+    total.converged = polish.converged;
+    Ok((x, total))
 }
 
 /// Sweeps the value of a DC voltage source and records the operating point
@@ -267,7 +702,7 @@ pub fn sweep_vsource(
         nl.vdc(source, p, n, v)?;
         let swept = nl.compile()?;
         let mut assembler = Assembler::new(&swept);
-        let x = match &previous {
+        let (x, report) = match &previous {
             Some(prev) => {
                 // Continuation: start Newton from the previous solution.
                 let mut x = prev.clone();
@@ -284,16 +719,29 @@ pub fn sweep_vsource(
                     &mut triplets,
                     &mut rhs,
                 ) {
-                    Ok(_) => x,
-                    Err(_) => operating_point_with(&swept, opts, &mut assembler)?,
+                    Ok(iterations) => {
+                        let mut report = ConvergenceReport::default();
+                        report.record(
+                            RecoveryRung::Newton,
+                            &NewtonRun {
+                                iterations,
+                                worst_delta: 0.0,
+                                worst_index: 0,
+                                converged: true,
+                            },
+                        );
+                        (x, report)
+                    }
+                    Err(_) => recover_operating_point(&swept, opts, &mut assembler)?,
                 }
             }
-            None => operating_point_with(&swept, opts, &mut assembler)?,
+            None => recover_operating_point(&swept, opts, &mut assembler)?,
         };
         previous = Some(x.clone());
         results.push(DcSolution {
             n_nodes: swept.node_unknowns(),
             x,
+            report,
         });
     }
     Ok(results)
@@ -410,6 +858,96 @@ mod tests {
         for w in sols.windows(2) {
             assert!(w[1].voltage(d) >= w[0].voltage(d) - 1e-9);
         }
+    }
+
+    #[test]
+    fn easy_circuit_reports_plain_newton() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.vdc("V1", vin, Netlist::GROUND, 3.3).unwrap();
+        nl.resistor("R1", vin, out, 1.0e3).unwrap();
+        nl.resistor("R2", out, Netlist::GROUND, 2.0e3).unwrap();
+        let c = nl.compile().unwrap();
+        let op = operating_point(&c, &DcOptions::default()).unwrap();
+        let report = op.report();
+        assert_eq!(report.succeeded, Some(RecoveryRung::Newton));
+        assert!(!report.escalated());
+        assert_eq!(report.attempts.len(), 1);
+        assert!(report.total_iterations() > 0);
+        assert!(report.summary().contains("newton"));
+    }
+
+    #[test]
+    fn starved_newton_escalates_and_still_converges() {
+        // With a 3-iteration budget per attempt, plain Newton cannot settle
+        // the nonlinear bias network; a homotopy rung must finish the job.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let d = nl.node("d");
+        nl.vdc("V1", a, Netlist::GROUND, 3.3).unwrap();
+        nl.resistor("R1", a, d, 6.0e3).unwrap();
+        nl.diode("D1", d, Netlist::GROUND, DiodeModel::new())
+            .unwrap();
+        let c = nl.compile().unwrap();
+        let opts = DcOptions {
+            max_iterations: 3,
+            ..DcOptions::default()
+        };
+        let op = operating_point(&c, &opts).unwrap();
+        let report = op.report();
+        assert!(
+            report.escalated(),
+            "expected escalation: {}",
+            report.summary()
+        );
+        assert!(report.attempts.len() > 1);
+        assert!((0.8..1.0).contains(&op.voltage(d)));
+    }
+
+    #[test]
+    fn failure_embeds_report_in_error() {
+        let report = {
+            let mut r = ConvergenceReport::default();
+            r.record(
+                RecoveryRung::Newton,
+                &NewtonRun {
+                    iterations: 150,
+                    worst_delta: 2.5,
+                    worst_index: 1,
+                    converged: false,
+                },
+            );
+            r
+        };
+        assert!(report.summary().starts_with("no convergence"));
+        let err = Error::DcNoConvergence {
+            iterations: report.total_iterations(),
+            residual: report.worst_residual,
+            report: Some(Box::new(report)),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("no convergence after 1 rungs"), "{msg}");
+    }
+
+    #[test]
+    fn worst_node_name_maps_back_to_netlist() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        nl.vdc("V1", vin, Netlist::GROUND, 1.0).unwrap();
+        nl.resistor("R1", vin, Netlist::GROUND, 1.0e3).unwrap();
+        let c = nl.compile().unwrap();
+        let mut r = ConvergenceReport::default();
+        r.record(
+            RecoveryRung::Newton,
+            &NewtonRun {
+                iterations: 5,
+                worst_delta: 1.0,
+                worst_index: vin.unknown().unwrap(),
+                converged: false,
+            },
+        );
+        assert_eq!(r.worst_node_name(&c), Some("vin"));
     }
 
     #[test]

@@ -175,13 +175,19 @@ impl<'c> Assembler<'c> {
             match element {
                 Element::Capacitor { p, n, value } => {
                     let v = v_of(x, *p) - v_of(x, *n);
-                    self.charges[off] = ChargeState { q: value * v, i: 0.0 };
+                    self.charges[off] = ChargeState {
+                        q: value * v,
+                        i: 0.0,
+                    };
                 }
                 Element::Inductor { .. } => {
                     let branch = self.branch_index[e_idx];
                     let i = x[branch];
                     if let Element::Inductor { value, .. } = element {
-                        self.charges[off] = ChargeState { q: value * i, i: 0.0 };
+                        self.charges[off] = ChargeState {
+                            q: value * i,
+                            i: 0.0,
+                        };
                     }
                 }
                 Element::Diode {
@@ -203,8 +209,14 @@ impl<'c> Assembler<'c> {
                     let vbe = s * (v_of(x, *base) - v_of(x, *emitter));
                     let vbc = s * (v_of(x, *base) - v_of(x, *collector));
                     let eval = model.eval(vbe, vbc);
-                    self.charges[off] = ChargeState { q: eval.qbe, i: 0.0 };
-                    self.charges[off + 1] = ChargeState { q: eval.qbc, i: 0.0 };
+                    self.charges[off] = ChargeState {
+                        q: eval.qbe,
+                        i: 0.0,
+                    };
+                    self.charges[off + 1] = ChargeState {
+                        q: eval.qbc,
+                        i: 0.0,
+                    };
                 }
                 _ => {}
             }
@@ -217,11 +229,7 @@ impl<'c> Assembler<'c> {
         for (e_idx, (_, element)) in self.circuit.element_slice().iter().enumerate() {
             let off = self.junction_offset[e_idx];
             match element {
-                Element::Diode {
-                    anode,
-                    cathode,
-                    ..
-                } => {
+                Element::Diode { anode, cathode, .. } => {
                     self.junctions[off] = v_of(x, *anode) - v_of(x, *cathode);
                 }
                 Element::Bjt {
@@ -691,7 +699,10 @@ mod tests {
         let vb = rhs[b.unknown().unwrap()];
         let rc = 1.0e3 * 1.0e-9;
         let expected = 1.0 - 1.0 / (1.0 + h / rc);
-        assert!((vb - expected).abs() < 1e-9, "vb = {vb}, expected {expected}");
+        assert!(
+            (vb - expected).abs() < 1e-9,
+            "vb = {vb}, expected {expected}"
+        );
     }
 
     #[test]

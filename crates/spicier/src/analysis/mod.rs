@@ -9,9 +9,15 @@ pub mod sweep;
 pub mod tran;
 
 pub use ac::{ac_analysis, decade_freqs, AcOptions, AcResult};
+pub use dc::{
+    operating_point, sweep_vsource, ConvergenceReport, DcOptions, DcSolution, RecoveryRung,
+    RungAttempt,
+};
+pub use mna::{Assembler, EvalMode, Integration, Method};
 pub use noise::{noise_analysis, NoiseOptions, NoiseResult};
 pub use power::{power_report, PowerReport};
-pub use dc::{operating_point, sweep_vsource, DcOptions, DcSolution};
-pub use mna::{Assembler, EvalMode, Integration, Method};
-pub use sweep::{grid2, grid3, linspace, par_map};
-pub use tran::{transient, Probe, TranOptions, TranResult};
+pub use sweep::{
+    grid2, grid3, linspace, par_map, par_try_map, CornerFailure, SweepFailure, SweepReport,
+    TryMapOptions,
+};
+pub use tran::{transient, transient_salvage, Probe, TranFailure, TranOptions, TranResult};

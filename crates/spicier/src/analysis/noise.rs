@@ -223,8 +223,7 @@ mod tests {
         nl.resistor("R1", a, Netlist::GROUND, 1.0e3).unwrap();
         nl.resistor("RBIG", a, Netlist::GROUND, 1.0e12).unwrap();
         let circuit = nl.compile().unwrap();
-        let res =
-            noise_analysis(&circuit, &NoiseOptions::new(a, vec![1.0e3, 1.0e6])).unwrap();
+        let res = noise_analysis(&circuit, &NoiseOptions::new(a, vec![1.0e3, 1.0e6])).unwrap();
         let expected = 4.0 * BOLTZMANN * TEMPERATURE * 1.0e3;
         for &p in res.psd() {
             assert!(
@@ -273,8 +272,14 @@ mod tests {
         nl.vdc("VCC", vcc, Netlist::GROUND, 3.3).unwrap();
         nl.vdc("VB", b, Netlist::GROUND, 0.9).unwrap();
         nl.resistor("RC", vcc, c, 1.0e3).unwrap();
-        nl.bjt("Q1", c, b, Netlist::GROUND, crate::devices::BjtModel::fast_npn())
-            .unwrap();
+        nl.bjt(
+            "Q1",
+            c,
+            b,
+            Netlist::GROUND,
+            crate::devices::BjtModel::fast_npn(),
+        )
+        .unwrap();
         let circuit = nl.compile().unwrap();
         let res = noise_analysis(&circuit, &NoiseOptions::new(c, vec![1.0e6])).unwrap();
         // Ic at vbe = 0.9 is ≈ 0.39 mA (the calibration point).
@@ -298,10 +303,8 @@ mod tests {
         nl.resistor("R1", a, Netlist::GROUND, 1.0e3).unwrap();
         nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
         let circuit = nl.compile().unwrap();
-        assert!(noise_analysis(
-            &circuit,
-            &NoiseOptions::new(Netlist::GROUND, vec![1.0e3])
-        )
-        .is_err());
+        assert!(
+            noise_analysis(&circuit, &NoiseOptions::new(Netlist::GROUND, vec![1.0e3])).is_err()
+        );
     }
 }

@@ -1,14 +1,34 @@
-//! Parameter sweeps with thread-level parallelism.
+//! Parameter sweeps with thread-level parallelism and fault isolation.
 //!
 //! The paper's figures are all parameter sweeps (pipe resistance ×
 //! frequency × load capacitance). Individual transient runs are
 //! single-threaded; [`par_map`] fans independent runs out over OS threads
 //! with `std::thread::scope`, so no external dependency is needed.
+//!
+//! [`par_try_map`] is the resilient variant: each corner runs behind
+//! `catch_unwind`, solver errors and panics are captured per corner (with
+//! optional retry and a wall-clock budget) instead of killing the whole
+//! sweep, and a [`SweepReport`] records exactly which corners failed and
+//! why — one diverging corner costs one missing data point, not the run.
+
+use crate::error::Error;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, ignoring poisoning: a worker that panicked mid-corner
+/// must not take the bookkeeping (and thus every other corner) down with
+/// it. The guarded data stays consistent because each slot is written at
+/// most once, after the fallible work has already finished.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Maps `f` over `items` in parallel, preserving order.
 ///
 /// Spawns at most `available_parallelism()` worker threads. Panics in `f`
-/// propagate to the caller.
+/// propagate to the caller (use [`par_try_map`] to isolate them instead);
+/// a panicking worker no longer poisons the other workers' queue.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -25,16 +45,16 @@ where
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(work);
-    let results = std::sync::Mutex::new(&mut slots);
+    let queue = Mutex::new(work);
+    let results = Mutex::new(&mut slots);
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| loop {
-                let item = queue.lock().expect("queue lock").pop();
+                let item = lock(&queue).pop();
                 match item {
                     Some((idx, value)) => {
                         let r = f(value);
-                        results.lock().expect("results lock")[idx] = Some(r);
+                        lock(&results)[idx] = Some(r);
                     }
                     None => break,
                 }
@@ -45,6 +65,217 @@ where
         .into_iter()
         .map(|s| s.expect("all slots filled"))
         .collect()
+}
+
+/// Why one sweep corner produced no result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepFailure {
+    /// The solver returned a structured error (no convergence, singular
+    /// matrix, timestep underflow, ...).
+    Solver(Error),
+    /// The corner's closure panicked; the payload message is preserved.
+    Panicked(String),
+    /// The corner never ran: the sweep's wall-clock budget was exhausted.
+    Skipped,
+}
+
+impl std::fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepFailure::Solver(e) => write!(f, "solver error: {e}"),
+            SweepFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+            SweepFailure::Skipped => f.write_str("skipped: sweep budget exhausted"),
+        }
+    }
+}
+
+/// One failed corner of a [`par_try_map`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerFailure {
+    /// Index of the corner in the input item list.
+    pub index: usize,
+    /// How many attempts ran (0 when the corner was skipped).
+    pub attempts: usize,
+    /// The final failure, after any retries.
+    pub failure: SweepFailure,
+}
+
+/// Account of a fault-isolated sweep: how many corners ran, which failed
+/// and why, and how long the whole sweep took.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct SweepReport {
+    /// Total number of corners in the sweep.
+    pub total: usize,
+    /// Corners that produced a result.
+    pub succeeded: usize,
+    /// Every failed corner, in input order.
+    pub failures: Vec<CornerFailure>,
+    /// Wall-clock time of the whole sweep.
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    /// Whether every corner succeeded.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line summary, e.g.
+    /// `"38/40 corners ok in 2.1 s (1 solver failure, 1 panicked)"`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let secs = self.elapsed.as_secs_f64();
+        if self.all_ok() {
+            return format!(
+                "{}/{} corners ok in {:.1} s",
+                self.succeeded, self.total, secs
+            );
+        }
+        let mut solver = 0usize;
+        let mut panicked = 0usize;
+        let mut skipped = 0usize;
+        for fail in &self.failures {
+            match fail.failure {
+                SweepFailure::Solver(_) => solver += 1,
+                SweepFailure::Panicked(_) => panicked += 1,
+                SweepFailure::Skipped => skipped += 1,
+            }
+        }
+        let mut parts = Vec::new();
+        if solver > 0 {
+            parts.push(format!(
+                "{solver} solver failure{}",
+                if solver == 1 { "" } else { "s" }
+            ));
+        }
+        if panicked > 0 {
+            parts.push(format!("{panicked} panicked"));
+        }
+        if skipped > 0 {
+            parts.push(format!("{skipped} skipped"));
+        }
+        format!(
+            "{}/{} corners ok in {:.1} s ({})",
+            self.succeeded,
+            self.total,
+            secs,
+            parts.join(", ")
+        )
+    }
+}
+
+/// Knobs for [`par_try_map`].
+#[derive(Debug, Clone, Default)]
+pub struct TryMapOptions {
+    /// Extra attempts per corner after the first failure (solver error or
+    /// panic). `0` means fail fast per corner.
+    pub retries: usize,
+    /// Wall-clock budget for the whole sweep. Corners dequeued after the
+    /// budget is spent are recorded as [`SweepFailure::Skipped`] without
+    /// running; corners already in flight are allowed to finish.
+    pub budget: Option<Duration>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Maps fallible `f` over `items` in parallel with per-corner fault
+/// isolation, preserving order.
+///
+/// Each corner's result lands in the returned vector (`None` for failed
+/// corners), and the [`SweepReport`] records every failure — structured
+/// solver errors *and* panics (caught with `catch_unwind`) — so one bad
+/// corner can never abort the sweep or poison the other workers.
+pub fn par_try_map<T, R, F>(
+    items: Vec<T>,
+    opts: &TryMapOptions,
+    f: F,
+) -> (Vec<Option<R>>, SweepReport)
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> Result<R, Error> + Sync,
+{
+    let started = Instant::now();
+    let total = items.len();
+    let n_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(total.max(1));
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    let mut failures: Vec<CornerFailure> = Vec::new();
+
+    {
+        let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+        let queue = Mutex::new(work);
+        let results = Mutex::new(&mut slots);
+        let failed = Mutex::new(&mut failures);
+
+        let worker = || loop {
+            let item = lock(&queue).pop();
+            let Some((idx, value)) = item else { break };
+            if opts.budget.is_some_and(|b| started.elapsed() >= b) {
+                lock(&failed).push(CornerFailure {
+                    index: idx,
+                    attempts: 0,
+                    failure: SweepFailure::Skipped,
+                });
+                continue;
+            }
+            let mut attempts = 0usize;
+            let mut last = SweepFailure::Skipped;
+            let outcome = loop {
+                attempts += 1;
+                match catch_unwind(AssertUnwindSafe(|| f(&value))) {
+                    Ok(Ok(r)) => break Some(r),
+                    Ok(Err(e)) => last = SweepFailure::Solver(e),
+                    Err(payload) => last = SweepFailure::Panicked(panic_message(payload)),
+                }
+                let out_of_budget = opts.budget.is_some_and(|b| started.elapsed() >= b);
+                if attempts > opts.retries || out_of_budget {
+                    break None;
+                }
+            };
+            match outcome {
+                Some(r) => lock(&results)[idx] = Some(r),
+                None => lock(&failed).push(CornerFailure {
+                    index: idx,
+                    attempts,
+                    failure: last,
+                }),
+            }
+        };
+
+        if n_workers <= 1 || total <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..n_workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+    }
+
+    failures.sort_by_key(|fail| fail.index);
+    let succeeded = slots.iter().filter(|s| s.is_some()).count();
+    let report = SweepReport {
+        total,
+        succeeded,
+        failures,
+        elapsed: started.elapsed(),
+    };
+    (slots, report)
 }
 
 /// Cartesian product of two parameter lists, row-major.
@@ -85,6 +316,7 @@ pub fn linspace(start: f64, stop: f64, count: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_map_preserves_order() {
@@ -99,6 +331,98 @@ mod tests {
         let empty: Vec<i32> = par_map(Vec::new(), |i: i32| i);
         assert!(empty.is_empty());
         assert_eq!(par_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_errors() {
+        let items: Vec<i32> = (0..20).collect();
+        let (out, report) = par_try_map(items, &TryMapOptions::default(), |&i| {
+            if i == 3 {
+                panic!("corner 3 blew up");
+            }
+            if i == 7 {
+                return Err(Error::SingularMatrix { column: 1 });
+            }
+            Ok(i * 10)
+        });
+        assert_eq!(out.len(), 20);
+        assert_eq!(report.total, 20);
+        assert_eq!(report.succeeded, 18);
+        assert_eq!(report.failures.len(), 2);
+        assert!(!report.all_ok());
+        for (i, slot) in out.iter().enumerate() {
+            if i == 3 || i == 7 {
+                assert!(slot.is_none());
+            } else {
+                assert_eq!(*slot, Some(i as i32 * 10));
+            }
+        }
+        // Failures come back in input order with their causes.
+        assert_eq!(report.failures[0].index, 3);
+        assert!(matches!(
+            &report.failures[0].failure,
+            SweepFailure::Panicked(msg) if msg.contains("corner 3")
+        ));
+        assert_eq!(report.failures[1].index, 7);
+        assert!(matches!(
+            report.failures[1].failure,
+            SweepFailure::Solver(Error::SingularMatrix { column: 1 })
+        ));
+        let summary = report.summary();
+        assert!(summary.contains("18/20"), "{summary}");
+        assert!(summary.contains("1 solver failure"), "{summary}");
+        assert!(summary.contains("1 panicked"), "{summary}");
+    }
+
+    #[test]
+    fn try_map_retries_flaky_corners() {
+        let calls = AtomicUsize::new(0);
+        let opts = TryMapOptions {
+            retries: 1,
+            budget: None,
+        };
+        let (out, report) = par_try_map(vec![1], &opts, |&i| {
+            // First attempt fails, retry succeeds.
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(Error::DcNoConvergence {
+                    iterations: 1,
+                    residual: 1.0,
+                    report: None,
+                })
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(out, vec![Some(1)]);
+        assert!(report.all_ok());
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn try_map_budget_skips_pending_corners() {
+        let opts = TryMapOptions {
+            retries: 0,
+            budget: Some(Duration::ZERO),
+        };
+        let (out, report) = par_try_map((0..8).collect(), &opts, |&i: &i32| Ok(i));
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(report.succeeded, 0);
+        assert_eq!(report.failures.len(), 8);
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| f.failure == SweepFailure::Skipped && f.attempts == 0));
+        assert!(report.summary().contains("8 skipped"));
+    }
+
+    #[test]
+    fn try_map_all_ok_summary() {
+        let (out, report) = par_try_map((0..5).collect(), &TryMapOptions::default(), |&i: &i32| {
+            Ok(i + 1)
+        });
+        assert_eq!(out.into_iter().flatten().sum::<i32>(), 15);
+        assert!(report.all_ok());
+        assert!(report.summary().contains("5/5 corners ok"));
     }
 
     #[test]

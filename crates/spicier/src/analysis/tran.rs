@@ -5,6 +5,14 @@
 //! ringing), controls the step size with a voltage-change criterion
 //! (`dv_max` per step) plus Newton-failure backoff, and lands exactly on
 //! the slope discontinuities of all sources.
+//!
+//! **Salvage:** when Newton fails mid-step under the trapezoidal rule, the
+//! step is first retried at the same size with backward Euler (stiffer,
+//! L-stable) before the step size is cut. When the step size still
+//! underflows `h_min`, [`transient_salvage`] returns everything computed so
+//! far — partial waveform plus a [`TranFailure`] diagnostic — instead of
+//! discarding hours of simulation; [`transient`] keeps the strict
+//! all-or-nothing contract on top of it.
 
 use super::dc::{self, DcOptions};
 use super::mna::{Assembler, EvalMode, Integration, Method};
@@ -110,7 +118,36 @@ impl TranOptions {
     }
 }
 
+/// Diagnostic attached to a salvaged (incomplete) transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranFailure {
+    /// Simulation time reached before the run gave up, seconds.
+    pub time: f64,
+    /// Fraction of the requested interval that was completed, in `[0, 1]`.
+    pub progress: f64,
+    /// The underlying solver error (timestep underflow or convergence).
+    pub error: Error,
+}
+
+impl TranFailure {
+    /// One-line human-readable account, e.g.
+    /// `"died at t = 1.2e-9 s (34% of the run): transient timestep …"`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "died at t = {:.4e} s ({:.0}% of the run): {}",
+            self.time,
+            self.progress * 100.0,
+            self.error
+        )
+    }
+}
+
 /// Result of a transient run: a shared time axis plus one trace per probe.
+///
+/// A result from [`transient_salvage`] may be *partial*: check
+/// [`TranResult::failure`] (or [`TranResult::is_complete`]) before treating
+/// the waveform as covering the full requested interval.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TranResult {
     time: Vec<f64>,
@@ -119,6 +156,7 @@ pub struct TranResult {
     accepted_steps: usize,
     rejected_steps: usize,
     newton_iterations: usize,
+    failure: Option<TranFailure>,
 }
 
 impl TranResult {
@@ -154,15 +192,48 @@ impl TranResult {
     pub fn newton_iterations(&self) -> usize {
         self.newton_iterations
     }
+
+    /// Why the run stopped early, when it did. `None` means the run covered
+    /// the full requested interval.
+    pub fn failure(&self) -> Option<&TranFailure> {
+        self.failure.as_ref()
+    }
+
+    /// Whether the run covered the full requested interval.
+    pub fn is_complete(&self) -> bool {
+        self.failure.is_none()
+    }
 }
 
-/// Runs a transient analysis.
+/// Runs a transient analysis, failing the whole run on any mid-run error.
 ///
 /// # Errors
 ///
 /// Fails when the initial operating point cannot be found or the step size
-/// underflows `h_min` ([`Error::TimestepTooSmall`]).
+/// underflows `h_min` ([`Error::TimestepTooSmall`]). Use
+/// [`transient_salvage`] to keep the partial waveform instead.
 pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Error> {
+    let result = transient_salvage(circuit, opts)?;
+    match result.failure() {
+        Some(fail) => Err(fail.error.clone()),
+        None => Ok(result),
+    }
+}
+
+/// Runs a transient analysis, salvaging the partial waveform on mid-run
+/// failure.
+///
+/// Unlike [`transient`], a run that dies partway through returns
+/// `Ok` with everything computed up to the failure point and a
+/// [`TranFailure`] diagnostic attached ([`TranResult::failure`]), so a
+/// sweep corner that lasts 95% of the interval still contributes data.
+///
+/// # Errors
+///
+/// Fails only when the run cannot *start*: invalid options, or no DC
+/// operating point (the recovery ladder exhausted — see
+/// [`Error::DcNoConvergence`]).
+pub fn transient_salvage(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Error> {
     let (h_max, h_init) = opts.resolved()?;
     let mut assembler = Assembler::new(circuit);
 
@@ -204,6 +275,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Er
         accepted_steps: 0,
         rejected_steps: 0,
         newton_iterations: 0,
+        failure: None,
     };
     fn record(result: &mut TranResult, t: f64, x: &[f64]) {
         result.time.push(t);
@@ -226,6 +298,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Er
     let mut h = h_init.min(h_max);
     let mut prev: Option<(Vec<f64>, f64)> = None; // (x at previous point, h used)
     let mut force_be = true; // first step after DC: backward Euler
+    let mut be_retry = false; // salvage: retry a failed trap step with BE
     let t_end = opts.t_stop;
 
     while t < t_end * (1.0 - 1e-12) {
@@ -254,7 +327,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Er
             }
         }
 
-        let method = if force_be {
+        let method = if force_be || be_retry {
             Method::BackwardEuler
         } else {
             opts.method
@@ -285,6 +358,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Er
                     .fold(0.0f64, f64::max);
                 if dv > opts.dv_max && h > 4.0 * opts.h_min && !(hit_bp && h <= h_init) {
                     result.rejected_steps += 1;
+                    be_retry = false;
                     h *= (opts.dv_max / dv).max(0.25) * 0.9;
                     continue;
                 }
@@ -294,6 +368,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Er
                 t += h;
                 result.accepted_steps += 1;
                 record(&mut result, t, &x);
+                be_retry = false;
                 if hit_bp {
                     bp_iter.next();
                     h = h_init;
@@ -305,11 +380,30 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Er
                     }
                 }
             }
-            Err(_) => {
+            Err(err) => {
                 result.rejected_steps += 1;
+                // Salvage rung 1: a trapezoidal step that Newton rejects is
+                // often rescued by backward Euler at the *same* size (no
+                // trap ringing, heavier damping). Try that once before
+                // shrinking the step.
+                if !be_retry && method == Method::Trapezoidal {
+                    be_retry = true;
+                    continue;
+                }
+                be_retry = false;
                 h *= 0.25;
                 if h < opts.h_min {
-                    return Err(Error::TimestepTooSmall { time: t, step: h });
+                    // Salvage rung 2: keep the waveform computed so far and
+                    // report where and why the run died.
+                    result.failure = Some(TranFailure {
+                        time: t,
+                        progress: (t / t_end).clamp(0.0, 1.0),
+                        error: match err {
+                            e @ Error::SingularMatrix { .. } => e,
+                            _ => Error::TimestepTooSmall { time: t, step: h },
+                        },
+                    });
+                    break;
                 }
             }
         }
@@ -496,6 +590,82 @@ mod tests {
         let c = nl.compile().unwrap();
         assert!(transient(&c, &TranOptions::new(-1.0)).is_err());
         assert!(transient(&c, &TranOptions::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn salvage_on_complete_run_has_no_failure() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.resistor("R1", a, b, 1.0e3).unwrap();
+        nl.capacitor("C1", b, Netlist::GROUND, 1.0e-9).unwrap();
+        let c = nl.compile().unwrap();
+        let res = transient_salvage(&c, &TranOptions::new(1.0e-7)).unwrap();
+        assert!(res.is_complete());
+        assert!(res.failure().is_none());
+        let strict = transient(&c, &TranOptions::new(1.0e-7)).unwrap();
+        assert_eq!(strict, res);
+    }
+
+    #[test]
+    fn salvage_keeps_partial_waveform_on_midrun_failure() {
+        // A diode hit by a fast edge, with Newton starved to 2 iterations:
+        // the DC point at t = 0 (source at 0 V) still converges, but the
+        // nonlinear steps on the edge cannot, and every backoff fails the
+        // same way until h underflows. The salvaged result must keep the
+        // pre-edge samples and carry the diagnostic.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let d = nl.node("d");
+        nl.vsource(
+            "V1",
+            a,
+            Netlist::GROUND,
+            SourceWave::Pwl(vec![(0.0, 0.0), (5.0e-9, 0.0), (5.1e-9, 5.0)]),
+        )
+        .unwrap();
+        nl.resistor("R1", a, d, 100.0).unwrap();
+        nl.diode("D1", d, Netlist::GROUND, crate::devices::DiodeModel::new())
+            .unwrap();
+        let c = nl.compile().unwrap();
+        let mut opts = TranOptions::new(2.0e-8);
+        opts.dc.max_iterations = 2;
+        opts.h_min = 1.0e-12;
+        let res = transient_salvage(&c, &opts).expect("starts fine: source is 0 at t = 0");
+        let fail = res.failure().expect("starved Newton must die on the edge");
+        assert!(!res.is_complete());
+        assert!(fail.time >= 0.0 && fail.time < 2.0e-8);
+        assert!((0.0..1.0).contains(&fail.progress));
+        assert!(fail.summary().contains("died at"));
+        assert_eq!(res.time().len(), res.accepted_steps() + 1);
+        assert!(res.accepted_steps() > 0, "pre-edge samples were discarded");
+        // Strict wrapper refuses the same run with the same error.
+        assert_eq!(transient(&c, &opts).unwrap_err(), fail.error);
+    }
+
+    #[test]
+    fn be_retry_rescues_trap_failures() {
+        // Same starved-Newton edge, but with a budget where backward Euler
+        // (no trap ringing) converges while trapezoidal needs more: the
+        // run should complete, with rejections recorded for the retries.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let d = nl.node("d");
+        nl.vsource(
+            "V1",
+            a,
+            Netlist::GROUND,
+            SourceWave::Pwl(vec![(0.0, 0.0), (5.0e-9, 0.0), (6.0e-9, 2.0)]),
+        )
+        .unwrap();
+        nl.resistor("R1", a, d, 1.0e3).unwrap();
+        nl.capacitor("CD", d, Netlist::GROUND, 1.0e-12).unwrap();
+        nl.diode("D1", d, Netlist::GROUND, crate::devices::DiodeModel::new())
+            .unwrap();
+        let c = nl.compile().unwrap();
+        let res = transient_salvage(&c, &TranOptions::new(2.0e-8)).unwrap();
+        assert!(res.is_complete(), "{:?}", res.failure());
     }
 
     #[test]

@@ -372,7 +372,12 @@ mod tests {
         let m = BjtModel::fast_npn().with_grading(0.75, 0.5);
         // Reverse-biased collector junction: cap below Cjc0.
         let active = m.eval(0.9, -1.5);
-        assert!(active.cbc < m.cjc, "cbc {:.2e} vs cjc0 {:.2e}", active.cbc, m.cjc);
+        assert!(
+            active.cbc < m.cjc,
+            "cbc {:.2e} vs cjc0 {:.2e}",
+            active.cbc,
+            m.cjc
+        );
         // dq/dv consistency with grading enabled.
         let dv = 1e-7;
         for (vbe, vbc) in [(0.85, -1.2), (0.5, 0.2)] {

@@ -28,13 +28,17 @@ pub enum Error {
         /// Human-readable description of the problem.
         reason: String,
     },
-    /// The DC operating point did not converge, even with gmin and source
-    /// stepping homotopies.
+    /// The DC operating point did not converge, even after escalating
+    /// through the full recovery ladder (damped Newton, gmin stepping,
+    /// source stepping, pseudo-transient continuation).
     DcNoConvergence {
-        /// Newton iterations spent in the last attempt.
+        /// Newton iterations spent across every attempt.
         iterations: usize,
         /// Maximum residual at the last iterate.
         residual: f64,
+        /// Per-rung account of the recovery ladder, when the failure came
+        /// from the operating-point solver (inner solves leave it `None`).
+        report: Option<Box<crate::analysis::dc::ConvergenceReport>>,
     },
     /// Transient analysis could not complete a timestep above the minimum
     /// step size.
@@ -72,11 +76,18 @@ impl fmt::Display for Error {
             Error::DcNoConvergence {
                 iterations,
                 residual,
-            } => write!(
-                f,
-                "dc operating point failed to converge after {iterations} iterations \
-                 (residual {residual:.3e})"
-            ),
+                report,
+            } => {
+                write!(
+                    f,
+                    "dc operating point failed to converge after {iterations} iterations \
+                     (residual {residual:.3e})"
+                )?;
+                if let Some(report) = report {
+                    write!(f, "; {}", report.summary())?;
+                }
+                Ok(())
+            }
             Error::TimestepTooSmall { time, step } => write!(
                 f,
                 "transient timestep underflow at t = {time:.6e} s (h = {step:.3e} s)"

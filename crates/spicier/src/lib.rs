@@ -11,11 +11,14 @@
 //!   transistors (Ebers–Moll transport model with Early effect and
 //!   junction/diffusion charge storage);
 //! * modified nodal analysis ([`analysis::mna`]) with shared stamps;
-//! * Newton–Raphson DC operating point with junction-voltage limiting,
-//!   `gmin` stepping and source stepping ([`analysis::dc`]);
+//! * Newton–Raphson DC operating point with junction-voltage limiting and
+//!   a five-rung convergence recovery ladder — damped Newton, `gmin`
+//!   stepping, source stepping, pseudo-transient continuation — reported
+//!   per solve via [`analysis::dc::ConvergenceReport`];
 //! * adaptive transient analysis with trapezoidal / backward-Euler
-//!   integration, local-truncation-error step control and source
-//!   breakpoints ([`analysis::tran`]);
+//!   integration, local-truncation-error step control, source breakpoints,
+//!   and salvage of partial waveforms on mid-run failure
+//!   ([`analysis::tran`]);
 //! * dense and sparse (Gilbert–Peierls) LU solvers ([`linalg`]);
 //! * parameter sweeps with thread-level parallelism ([`analysis::sweep`]).
 //!
@@ -52,8 +55,12 @@ pub mod runner;
 pub mod spice;
 pub mod units;
 
-pub use crate::analysis::dc::{operating_point, DcOptions, DcSolution};
-pub use crate::analysis::tran::{transient, TranOptions, TranResult};
+pub use crate::analysis::dc::{
+    operating_point, ConvergenceReport, DcOptions, DcSolution, RecoveryRung,
+};
+pub use crate::analysis::tran::{
+    transient, transient_salvage, TranFailure, TranOptions, TranResult,
+};
 pub use crate::error::Error;
 pub use crate::netlist::{Circuit, Netlist, NodeId};
 

@@ -191,9 +191,7 @@ mod tests {
             t.add(r, c, v);
         }
         let mut rhs = b.to_vec();
-        DenseSolver::default()
-            .solve_in_place(&t, &mut rhs)
-            .unwrap();
+        DenseSolver::default().solve_in_place(&t, &mut rhs).unwrap();
         rhs
     }
 
@@ -236,7 +234,9 @@ mod tests {
         let mut t = Triplets::new(n);
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut dense_entries = Vec::new();

@@ -164,7 +164,14 @@ impl Netlist {
         farads: f64,
     ) -> Result<(), Error> {
         self.check_positive(name, farads, "capacitance")?;
-        self.insert(name, Element::Capacitor { p, n, value: farads })
+        self.insert(
+            name,
+            Element::Capacitor {
+                p,
+                n,
+                value: farads,
+            },
+        )
     }
 
     /// Adds an inductor.
@@ -172,7 +179,13 @@ impl Netlist {
     /// # Errors
     ///
     /// Fails on duplicate name or non-positive inductance.
-    pub fn inductor(&mut self, name: &str, p: NodeId, n: NodeId, henries: f64) -> Result<(), Error> {
+    pub fn inductor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        henries: f64,
+    ) -> Result<(), Error> {
         self.check_positive(name, henries, "inductance")?;
         self.insert(
             name,

@@ -148,10 +148,8 @@ mod tests {
 
     #[test]
     fn runs_op_deck() {
-        let report = run_deck(
-            "divider\nV1 in 0 3.3\nR1 in out 1k\nR2 out 0 2k\n.op\n.end\n",
-        )
-        .unwrap();
+        let report =
+            run_deck("divider\nV1 in 0 3.3\nR1 in out 1k\nR2 out 0 2k\n.op\n.end\n").unwrap();
         assert!(report.contains("[op]"));
         assert!(report.contains("V(out) = 2.2"), "{report}");
     }
@@ -175,10 +173,8 @@ mod tests {
 
     #[test]
     fn runs_dc_sweep() {
-        let report = run_deck(
-            "sweep\nV1 in 0 0\nR1 in out 1k\nR2 out 0 1k\n.dc V1 0 2 1\n.end\n",
-        )
-        .unwrap();
+        let report =
+            run_deck("sweep\nV1 in 0 0\nR1 in out 1k\nR2 out 0 1k\n.dc V1 0 2 1\n.end\n").unwrap();
         assert!(report.contains("[dc V1]"));
         // Three sweep rows: 0, 1, 2 → out = 0, 0.5, 1.0.
         assert!(report.contains("2.000000,1.000000"), "{report}");
@@ -186,10 +182,9 @@ mod tests {
 
     #[test]
     fn runs_ac_deck() {
-        let report = run_deck(
-            "lowpass\nV1 in 0 0\nR1 in out 1k\nC1 out 0 1n\n.ac dec 10 1k 10meg\n.end\n",
-        )
-        .unwrap();
+        let report =
+            run_deck("lowpass\nV1 in 0 0\nR1 in out 1k\nC1 out 0 1n\n.ac dec 10 1k 10meg\n.end\n")
+                .unwrap();
         assert!(report.contains("[ac V1]"));
         assert!(report.contains("mag_db(out)"));
     }

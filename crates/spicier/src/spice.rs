@@ -188,9 +188,7 @@ fn parse_source_wave(tokens: &[String], line_no: usize) -> Result<SourceWave, Er
         if a.len() < 2 || a.len() % 2 != 0 {
             return Err(perr(line_no, "PWL needs t1 v1 t2 v2 ..."));
         }
-        Ok(SourceWave::Pwl(
-            a.chunks(2).map(|c| (c[0], c[1])).collect(),
-        ))
+        Ok(SourceWave::Pwl(a.chunks(2).map(|c| (c[0], c[1])).collect()))
     } else if first == "DC" {
         let v = tokens
             .get(1)
@@ -472,7 +470,10 @@ fn expand_element_card(
         if upper == ".MODEL" {
             return Ok(());
         }
-        return Err(perr(no, format!("card `{upper}` not allowed inside .subckt")));
+        return Err(perr(
+            no,
+            format!("card `{upper}` not allowed inside .subckt"),
+        ));
     }
     let name = format!("{prefix}{head}");
     // Node resolution: ground stays global; ports map to the outer scope;
@@ -559,10 +560,7 @@ fn expand_element_card(
             if depth >= MAX_SUBCKT_DEPTH {
                 return Err(perr(no, "subcircuit nesting too deep"));
             }
-            let sub_name = tokens
-                .last()
-                .expect("len checked")
-                .to_ascii_uppercase();
+            let sub_name = tokens.last().expect("len checked").to_ascii_uppercase();
             let sub = subckts
                 .get(&sub_name)
                 .ok_or_else(|| perr(no, format!("unknown subcircuit `{sub_name}`")))?;
@@ -732,10 +730,18 @@ pub fn write_deck(netlist: &Netlist, title: &str) -> String {
                             ".model {id} {kind} (IS={:e} BF={:e} BR={:e} VAF={:e} \
                              CJE={:e} VJE={:e} MJE={:e} CJC={:e} VJC={:e} MJC={:e} \
                              TF={:e} TR={:e})",
-                            model.is, model.bf, model.br, model.vaf,
-                            model.cje, model.vje, model.mje,
-                            model.cjc, model.vjc, model.mjc,
-                            model.tf, model.tr
+                            model.is,
+                            model.bf,
+                            model.br,
+                            model.vaf,
+                            model.cje,
+                            model.vje,
+                            model.mje,
+                            model.cjc,
+                            model.vjc,
+                            model.mjc,
+                            model.tf,
+                            model.tr
                         ));
                         bjt_models.push((*model, id.clone()));
                         id
@@ -957,7 +963,11 @@ X2 top quarter QUARTER
         // known ladder solution 4·1/5 = 0.8 V? Verify numerically instead:
         // mid sees R1 to in, R2 to gnd, R1 to out; out sees R2 to gnd.
         // Solving: out = in/5.
-        assert!((op.voltage(quarter) - 0.8).abs() < 1e-6, "quarter = {}", op.voltage(quarter));
+        assert!(
+            (op.voltage(quarter) - 0.8).abs() < 1e-6,
+            "quarter = {}",
+            op.voltage(quarter)
+        );
     }
 
     #[test]
@@ -1012,13 +1022,19 @@ V1 x 0 1
         let mut nl = Netlist::new();
         let a = nl.node("a");
         let b = nl.node("b");
-        nl.vsource("V1", a, Netlist::GROUND, SourceWave::square(0.0, 1.0, 1e8, 0.1))
-            .unwrap();
+        nl.vsource(
+            "V1",
+            a,
+            Netlist::GROUND,
+            SourceWave::square(0.0, 1.0, 1e8, 0.1),
+        )
+        .unwrap();
         nl.resistor("R1", a, b, 625.0).unwrap();
         nl.capacitor("C1", b, Netlist::GROUND, 40e-15).unwrap();
         nl.bjt("Q1", a, b, Netlist::GROUND, BjtModel::fast_npn())
             .unwrap();
-        nl.diode("D1", b, Netlist::GROUND, DiodeModel::new()).unwrap();
+        nl.diode("D1", b, Netlist::GROUND, DiodeModel::new())
+            .unwrap();
         nl.vcvs("E1", b, Netlist::GROUND, a, Netlist::GROUND, 2.5)
             .unwrap();
         let deck = write_deck(&nl, "round trip");

@@ -1,83 +1,100 @@
-//! Property-based tests of the simulator over randomly generated circuits.
+//! Randomized property tests of the simulator over generated circuits
+//! (seeded, deterministic — see `xrand`).
 
-use proptest::prelude::*;
 use spicier::analysis::dc::{operating_point, DcOptions};
 use spicier::analysis::tran::{transient, TranOptions};
 use spicier::netlist::{Element, Netlist, SourceWave};
 use spicier::spice::{parse_deck, write_deck};
+use xrand::StdRng;
 
 /// A random linear resistive network: a chain backbone (guaranteeing
 /// connectivity to ground) plus random extra resistors and two sources.
-fn arb_resistive_network() -> impl Strategy<Value = (Netlist, f64, f64)> {
-    let extra = proptest::collection::vec((0u8..8, 0u8..8, 100.0f64..10_000.0), 0..12);
-    (
-        3usize..8,
-        extra,
-        proptest::collection::vec(100.0f64..10_000.0, 8),
-        -5.0f64..5.0,
-        -5.0f64..5.0,
+/// Returns the netlist plus the two source values.
+fn random_resistive_network(rng: &mut StdRng) -> (Netlist, f64, f64) {
+    let n = rng.gen_range(3usize..8);
+    let mut nl = Netlist::new();
+    let nodes: Vec<_> = (0..n).map(|i| nl.node(&format!("n{i}"))).collect();
+    // Backbone to ground.
+    nl.resistor(
+        "RB0",
+        nodes[0],
+        Netlist::GROUND,
+        rng.gen_range(100.0..10_000.0),
     )
-        .prop_map(|(n, extra, chain_r, v1, v2)| {
-            let mut nl = Netlist::new();
-            let nodes: Vec<_> = (0..n).map(|i| nl.node(&format!("n{i}"))).collect();
-            // Backbone to ground.
-            nl.resistor("RB0", nodes[0], Netlist::GROUND, chain_r[0])
+    .unwrap();
+    for i in 1..n {
+        nl.resistor(
+            &format!("RB{i}"),
+            nodes[i - 1],
+            nodes[i],
+            rng.gen_range(100.0..10_000.0),
+        )
+        .unwrap();
+    }
+    let extra = rng.gen_range(0usize..12);
+    for k in 0..extra {
+        let na = nodes[rng.gen_range(0..n)];
+        let nb = nodes[rng.gen_range(0..n)];
+        if na != nb {
+            nl.resistor(&format!("RX{k}"), na, nb, rng.gen_range(100.0..10_000.0))
                 .unwrap();
-            for i in 1..n {
-                nl.resistor(&format!("RB{i}"), nodes[i - 1], nodes[i], chain_r[i % 8])
-                    .unwrap();
-            }
-            for (k, (a, b, r)) in extra.into_iter().enumerate() {
-                let na = nodes[a as usize % n];
-                let nb = nodes[b as usize % n];
-                if na != nb {
-                    nl.resistor(&format!("RX{k}"), na, nb, r).unwrap();
-                }
-            }
-            nl.vdc("V1", nodes[0], Netlist::GROUND, v1).unwrap();
-            nl.idc("I1", Netlist::GROUND, nodes[n - 1], v2 * 1.0e-4)
-                .unwrap();
-            (nl, v1, v2 * 1.0e-4)
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Superposition holds on linear networks: the response to both
-    /// sources equals the sum of the responses to each source alone.
-    #[test]
-    fn dc_superposition_on_linear_networks((nl, v1, i1) in arb_resistive_network()) {
-        let solve = |scale_v: f64, scale_i: f64| -> Vec<f64> {
-            let mut copy = nl.clone();
-            copy.remove_element("V1").unwrap();
-            copy.remove_element("I1").unwrap();
-            let p0 = copy.find_node("n0").unwrap();
-            let last = (0..).take_while(|k| copy.find_node(&format!("n{k}")).is_ok()).count() - 1;
-            let pn = copy.find_node(&format!("n{last}")).unwrap();
-            copy.vdc("V1", p0, Netlist::GROUND, v1 * scale_v).unwrap();
-            copy.idc("I1", Netlist::GROUND, pn, i1 * scale_i).unwrap();
-            let circuit = copy.compile().unwrap();
-            let op = operating_point(&circuit, &DcOptions::default()).unwrap();
-            circuit.node_ids().map(|id| op.voltage(id)).collect()
-        };
-        let both = solve(1.0, 1.0);
-        let only_v = solve(1.0, 0.0);
-        let only_i = solve(0.0, 1.0);
-        for ((b, v), i) in both.iter().zip(&only_v).zip(&only_i) {
-            prop_assert!((b - (v + i)).abs() < 1e-6 * b.abs().max(1.0),
-                "superposition violated: {b} vs {v} + {i}");
         }
     }
+    let v1 = rng.gen_range(-5.0..5.0);
+    let i1 = rng.gen_range(-5.0..5.0) * 1.0e-4;
+    nl.vdc("V1", nodes[0], Netlist::GROUND, v1).unwrap();
+    nl.idc("I1", Netlist::GROUND, nodes[n - 1], i1).unwrap();
+    (nl, v1, i1)
+}
 
-    /// A transient run whose sources are all DC must stay at the operating
-    /// point (steady state is a fixed point of the integrator).
-    #[test]
-    fn dc_sources_are_a_transient_fixed_point((nl, _, _) in arb_resistive_network(),
-                                              cap_pf in 1.0f64..100.0) {
-        let mut nl = nl.clone();
+/// Re-solves `nl` with both sources scaled, returning all node voltages.
+fn solve_scaled(nl: &Netlist, v1: f64, i1: f64, scale_v: f64, scale_i: f64) -> Vec<f64> {
+    let mut copy = nl.clone();
+    copy.remove_element("V1").unwrap();
+    copy.remove_element("I1").unwrap();
+    let p0 = copy.find_node("n0").unwrap();
+    let last = (0..)
+        .take_while(|k| copy.find_node(&format!("n{k}")).is_ok())
+        .count()
+        - 1;
+    let pn = copy.find_node(&format!("n{last}")).unwrap();
+    copy.vdc("V1", p0, Netlist::GROUND, v1 * scale_v).unwrap();
+    copy.idc("I1", Netlist::GROUND, pn, i1 * scale_i).unwrap();
+    let circuit = copy.compile().unwrap();
+    let op = operating_point(&circuit, &DcOptions::default()).unwrap();
+    circuit.node_ids().map(|id| op.voltage(id)).collect()
+}
+
+/// Superposition holds on linear networks: the response to both sources
+/// equals the sum of the responses to each source alone.
+#[test]
+fn dc_superposition_on_linear_networks() {
+    let mut rng = StdRng::seed_from_u64(0x50e1);
+    for _ in 0..48 {
+        let (nl, v1, i1) = random_resistive_network(&mut rng);
+        let both = solve_scaled(&nl, v1, i1, 1.0, 1.0);
+        let only_v = solve_scaled(&nl, v1, i1, 1.0, 0.0);
+        let only_i = solve_scaled(&nl, v1, i1, 0.0, 1.0);
+        for ((b, v), i) in both.iter().zip(&only_v).zip(&only_i) {
+            assert!(
+                (b - (v + i)).abs() < 1e-6 * b.abs().max(1.0),
+                "superposition violated: {b} vs {v} + {i}"
+            );
+        }
+    }
+}
+
+/// A transient run whose sources are all DC must stay at the operating
+/// point (steady state is a fixed point of the integrator).
+#[test]
+fn dc_sources_are_a_transient_fixed_point() {
+    let mut rng = StdRng::seed_from_u64(0xf1fed);
+    for _ in 0..48 {
+        let (mut nl, _, _) = random_resistive_network(&mut rng);
+        let cap_pf = rng.gen_range(1.0..100.0);
         let a = nl.find_node("n1").unwrap();
-        nl.capacitor("CP", a, Netlist::GROUND, cap_pf * 1e-12).unwrap();
+        nl.capacitor("CP", a, Netlist::GROUND, cap_pf * 1e-12)
+            .unwrap();
         let circuit = nl.compile().unwrap();
         let op = operating_point(&circuit, &DcOptions::default()).unwrap();
         let res = transient(&circuit, &TranOptions::new(1.0e-8)).unwrap();
@@ -85,61 +102,77 @@ proptest! {
             let trace = res.trace(node).unwrap();
             let expected = op.voltage(node);
             for &v in trace {
-                prop_assert!((v - expected).abs() < 1e-6 + 1e-6 * expected.abs(),
-                    "node drifted from {expected} to {v}");
+                assert!(
+                    (v - expected).abs() < 1e-6 + 1e-6 * expected.abs(),
+                    "node drifted from {expected} to {v}"
+                );
             }
         }
     }
+}
 
-    /// SPICE export → import preserves element counts, kinds and values.
-    #[test]
-    fn spice_round_trip_preserves_elements((nl, _, _) in arb_resistive_network()) {
-        let deck = write_deck(&nl, "proptest round trip");
+/// SPICE export → import preserves element counts, kinds and values.
+#[test]
+fn spice_round_trip_preserves_elements() {
+    let mut rng = StdRng::seed_from_u64(0x4011d);
+    for _ in 0..48 {
+        let (nl, _, _) = random_resistive_network(&mut rng);
+        let deck = write_deck(&nl, "randomized round trip");
         let parsed = parse_deck(&deck).unwrap();
-        prop_assert_eq!(parsed.netlist.element_count(), nl.element_count());
+        assert_eq!(parsed.netlist.element_count(), nl.element_count());
         for (name, element) in nl.elements() {
             // Exported names keep their type prefix (they already start
             // with R/V/I here).
             let round = parsed.netlist.element(name).unwrap();
             match (element, round) {
                 (Element::Resistor { value: a, .. }, Element::Resistor { value: b, .. }) => {
-                    prop_assert!((a - b).abs() < 1e-9 * a.abs());
+                    assert!((a - b).abs() < 1e-9 * a.abs());
                 }
-                (Element::VoltageSource { wave: SourceWave::Dc(a), .. },
-                 Element::VoltageSource { wave: SourceWave::Dc(b), .. }) => {
-                    prop_assert!((a - b).abs() < 1e-12 + 1e-9 * a.abs());
+                (
+                    Element::VoltageSource {
+                        wave: SourceWave::Dc(a),
+                        ..
+                    },
+                    Element::VoltageSource {
+                        wave: SourceWave::Dc(b),
+                        ..
+                    },
+                ) => {
+                    assert!((a - b).abs() < 1e-12 + 1e-9 * a.abs());
                 }
-                (Element::CurrentSource { wave: SourceWave::Dc(a), .. },
-                 Element::CurrentSource { wave: SourceWave::Dc(b), .. }) => {
-                    prop_assert!((a - b).abs() < 1e-12 + 1e-9 * a.abs());
+                (
+                    Element::CurrentSource {
+                        wave: SourceWave::Dc(a),
+                        ..
+                    },
+                    Element::CurrentSource {
+                        wave: SourceWave::Dc(b),
+                        ..
+                    },
+                ) => {
+                    assert!((a - b).abs() < 1e-12 + 1e-9 * a.abs());
                 }
-                (a, b) => prop_assert!(false, "kind changed: {a:?} vs {b:?}"),
+                (a, b) => panic!("kind changed: {a:?} vs {b:?}"),
             }
         }
     }
+}
 
-    /// Scaling every source by k scales every node voltage by k
-    /// (homogeneity of linear networks).
-    #[test]
-    fn dc_homogeneity((nl, v1, i1) in arb_resistive_network(), k in 0.1f64..10.0) {
-        let solve = |scale: f64| -> Vec<f64> {
-            let mut copy = nl.clone();
-            copy.remove_element("V1").unwrap();
-            copy.remove_element("I1").unwrap();
-            let p0 = copy.find_node("n0").unwrap();
-            let last = (0..).take_while(|q| copy.find_node(&format!("n{q}")).is_ok()).count() - 1;
-            let pn = copy.find_node(&format!("n{last}")).unwrap();
-            copy.vdc("V1", p0, Netlist::GROUND, v1 * scale).unwrap();
-            copy.idc("I1", Netlist::GROUND, pn, i1 * scale).unwrap();
-            let circuit = copy.compile().unwrap();
-            let op = operating_point(&circuit, &DcOptions::default()).unwrap();
-            circuit.node_ids().map(|id| op.voltage(id)).collect()
-        };
-        let base = solve(1.0);
-        let scaled = solve(k);
+/// Scaling every source by k scales every node voltage by k (homogeneity
+/// of linear networks).
+#[test]
+fn dc_homogeneity() {
+    let mut rng = StdRng::seed_from_u64(0x4009);
+    for _ in 0..48 {
+        let (nl, v1, i1) = random_resistive_network(&mut rng);
+        let k = rng.gen_range(0.1..10.0);
+        let base = solve_scaled(&nl, v1, i1, 1.0, 1.0);
+        let scaled = solve_scaled(&nl, v1, i1, k, k);
         for (b, s) in base.iter().zip(&scaled) {
-            prop_assert!((s - k * b).abs() < 1e-6 * (1.0 + s.abs()),
-                "homogeneity violated: {s} vs {k}·{b}");
+            assert!(
+                (s - k * b).abs() < 1e-6 * (1.0 + s.abs()),
+                "homogeneity violated: {s} vs {k}·{b}"
+            );
         }
     }
 }

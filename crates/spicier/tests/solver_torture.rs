@@ -1,0 +1,282 @@
+//! Solver torture tests: pathological circuits that historically crash or
+//! hang SPICE-class engines. The contract under test is narrow and
+//! absolute — every public analysis entry point either converges or
+//! returns a *structured* [`Error`]; nothing here may panic, and failures
+//! must carry enough diagnosis (the convergence report, the failure time)
+//! to be actionable.
+
+use spicier::analysis::dc::{operating_point, DcOptions};
+use spicier::analysis::tran::{transient, transient_salvage, TranOptions};
+use spicier::devices::{BjtModel, DiodeModel};
+use spicier::netlist::{Netlist, SourceWave};
+use spicier::Error;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` and asserts the public API boundary held: any failure came
+/// back as an `Err`, not a panic.
+fn no_panic<T>(label: &str, f: impl FnOnce() -> Result<T, Error>) -> Result<T, Error> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(_) => panic!("{label}: public analysis API panicked"),
+    }
+}
+
+#[test]
+fn floating_node_is_pinned_not_fatal() {
+    // `mid` has no DC path to ground: only a capacitor hangs off it.
+    // Without regularization the MNA matrix is singular; the solver's
+    // baseline gmin must pin the node to a finite, deterministic value
+    // instead of panicking or wandering.
+    let mut nl = Netlist::new();
+    let top = nl.node("top");
+    let mid = nl.node("mid");
+    nl.vdc("V1", top, Netlist::GROUND, 1.0).unwrap();
+    nl.resistor("R1", top, Netlist::GROUND, 1.0e3).unwrap();
+    nl.capacitor("C1", top, mid, 1.0e-12).unwrap();
+    let circuit = nl.compile().unwrap();
+    let op = no_panic("floating node", || {
+        operating_point(&circuit, &DcOptions::default())
+    })
+    .expect("baseline gmin regularizes the floating node");
+    assert!((op.voltage(top) - 1.0).abs() < 1e-6);
+    let v_mid = op.voltage(mid);
+    assert!(v_mid.is_finite() && v_mid.abs() < 1.0, "v(mid) = {v_mid}");
+}
+
+#[test]
+fn micro_ohm_source_loop_survives() {
+    // Two ideal voltage sources fighting through 1 µΩ of wire: the loop
+    // conductance is 1e6 S and the loop current is enormous. The solver
+    // must either produce the (well-defined) answer or refuse cleanly.
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let b = nl.node("b");
+    nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
+    nl.vdc("V2", b, Netlist::GROUND, 1.0001).unwrap();
+    nl.resistor("RW", a, b, 1.0e-6).unwrap();
+    let circuit = nl.compile().unwrap();
+    let op = no_panic("micro-ohm loop", || {
+        operating_point(&circuit, &DcOptions::default())
+    })
+    .expect("a linear loop with finite resistance is solvable");
+    assert!((op.voltage(a) - 1.0).abs() < 1e-9);
+    assert!((op.voltage(b) - 1.0001).abs() < 1e-9);
+}
+
+#[test]
+fn twelve_decade_conductance_ratio_converges() {
+    // 1 µΩ wire against a 1 MΩ bleed: twelve decades of conductance in
+    // one matrix, plus a diode for nonlinearity. This is where naive
+    // pivoting or sloppy convergence checks fall over.
+    let mut nl = Netlist::new();
+    let top = nl.node("top");
+    let mid = nl.node("mid");
+    let d = nl.node("d");
+    nl.vdc("V1", top, Netlist::GROUND, 5.0).unwrap();
+    nl.resistor("RWIRE", top, mid, 1.0e-6).unwrap();
+    nl.resistor("RBLEED", mid, Netlist::GROUND, 1.0e6).unwrap();
+    nl.resistor("RD", mid, d, 1.0e3).unwrap();
+    nl.diode("D1", d, Netlist::GROUND, DiodeModel::default())
+        .unwrap();
+    let circuit = nl.compile().unwrap();
+    let op = no_panic("12-decade ratio", || {
+        operating_point(&circuit, &DcOptions::default())
+    })
+    .expect("stiff but well-posed circuit must converge");
+    // The 1 µΩ wire drops essentially nothing.
+    assert!(
+        (op.voltage(mid) - 5.0).abs() < 1e-3,
+        "v(mid) = {}",
+        op.voltage(mid)
+    );
+    // The diode clamps its node near a forward drop.
+    let vd = op.voltage(d);
+    assert!(vd > 0.3 && vd < 1.1, "v(d) = {vd}");
+}
+
+#[test]
+fn zero_interval_pwl_does_not_panic() {
+    // A PWL with a repeated time point (an instantaneous step) and a
+    // zero-length final interval. Breakpoint handling must not divide by
+    // the interval length or spin on it.
+    let mut nl = Netlist::new();
+    let inp = nl.node("in");
+    let out = nl.node("out");
+    nl.vsource(
+        "V1",
+        inp,
+        Netlist::GROUND,
+        SourceWave::Pwl(vec![
+            (0.0, 0.0),
+            (1.0e-9, 0.0),
+            (1.0e-9, 1.0), // vertical edge: same time, new value
+            (2.0e-9, 1.0),
+            (2.0e-9, 1.0), // degenerate duplicate point
+        ]),
+    )
+    .unwrap();
+    nl.resistor("R1", inp, out, 1.0e3).unwrap();
+    nl.capacitor("C1", out, Netlist::GROUND, 1.0e-12).unwrap();
+    let circuit = nl.compile().unwrap();
+    let result = no_panic("zero-interval PWL", || {
+        transient(&circuit, &TranOptions::new(4.0e-9))
+    });
+    // Either outcome is acceptable; a panic or hang is not.
+    if let Ok(res) = result {
+        let last = *res.time().last().unwrap();
+        assert!(last >= 4.0e-9 * 0.999, "run stopped early at {last:.3e}");
+        let v_out = res.trace(out).unwrap();
+        let v_end = *v_out.last().unwrap();
+        assert!(
+            (v_end - 1.0).abs() < 0.05,
+            "RC output should settle to 1 V, got {v_end}"
+        );
+    }
+}
+
+#[test]
+fn starved_iteration_budget_escalates_not_panics() {
+    // A BJT current mirror with a near-zero iteration budget: plain
+    // Newton cannot finish, so the ladder has to climb. Whatever the
+    // outcome, the report must account for the attempts.
+    let mut nl = Netlist::new();
+    let vcc = nl.node("vcc");
+    let bias = nl.node("bias");
+    let out = nl.node("out");
+    nl.vdc("VCC", vcc, Netlist::GROUND, 5.0).unwrap();
+    nl.resistor("RB", vcc, bias, 10.0e3).unwrap();
+    nl.bjt("Q1", bias, bias, Netlist::GROUND, BjtModel::default())
+        .unwrap();
+    nl.bjt("Q2", out, bias, Netlist::GROUND, BjtModel::default())
+        .unwrap();
+    nl.resistor("RC", vcc, out, 1.0e3).unwrap();
+    let circuit = nl.compile().unwrap();
+    let opts = DcOptions {
+        max_iterations: 3,
+        ..DcOptions::default()
+    };
+    match no_panic("starved mirror", || operating_point(&circuit, &opts)) {
+        Ok(op) => {
+            let report = op.report();
+            assert!(report.total_iterations() > 0);
+            // 3 iterations is not enough for a cold bipolar mirror.
+            assert!(
+                report.escalated(),
+                "expected ladder escalation: {}",
+                report.summary()
+            );
+        }
+        Err(Error::DcNoConvergence { report, .. }) => {
+            let report = report.expect("operating_point failures carry the ladder report");
+            assert!(
+                report.attempts.len() >= 2,
+                "ladder must have tried: {}",
+                report.summary()
+            );
+        }
+        Err(other) => panic!("unexpected error class: {other:?}"),
+    }
+}
+
+#[test]
+fn transient_with_capacitive_island_stays_finite() {
+    // A node reachable only through a femtofarad capacitor: DC pins it
+    // via gmin, and the transient must keep every sample finite through
+    // both the strict and the salvage entry points.
+    let mut nl = Netlist::new();
+    let top = nl.node("top");
+    let island = nl.node("island");
+    nl.vdc("V1", top, Netlist::GROUND, 1.0).unwrap();
+    nl.resistor("R1", top, Netlist::GROUND, 50.0).unwrap();
+    nl.capacitor("CI", top, island, 1.0e-15).unwrap();
+    let circuit = nl.compile().unwrap();
+    for (label, salvage) in [("strict", false), ("salvage", true)] {
+        let result = no_panic(label, || {
+            if salvage {
+                transient_salvage(&circuit, &TranOptions::new(1.0e-9))
+            } else {
+                transient(&circuit, &TranOptions::new(1.0e-9))
+            }
+        });
+        if let Ok(res) = result {
+            let v_island = res.trace(island).expect("island is probed");
+            assert!(
+                v_island.iter().all(|v| v.is_finite()),
+                "{label}: island voltage went non-finite"
+            );
+        }
+    }
+}
+
+#[test]
+fn huge_sweep_of_pathologies_never_panics() {
+    // A grab-bag of degenerate one-liners thrown at the whole pipeline.
+    // Construction may reject them (structured), compile may reject them
+    // (structured), analysis may reject them (structured). No panics.
+    type Pathology = Box<dyn Fn() -> Result<(), Error>>;
+    let cases: Vec<(&str, Pathology)> = vec![
+        (
+            "self-loop resistor",
+            Box::new(|| {
+                let mut nl = Netlist::new();
+                let a = nl.node("a");
+                nl.resistor("R1", a, a, 1.0e3)?;
+                nl.vdc("V1", a, Netlist::GROUND, 1.0)?;
+                let c = nl.compile()?;
+                operating_point(&c, &DcOptions::default()).map(|_| ())
+            }),
+        ),
+        (
+            "source-only circuit",
+            Box::new(|| {
+                let mut nl = Netlist::new();
+                let a = nl.node("a");
+                nl.vdc("V1", a, Netlist::GROUND, 1.0)?;
+                let c = nl.compile()?;
+                operating_point(&c, &DcOptions::default()).map(|_| ())
+            }),
+        ),
+        (
+            "current source into open node",
+            Box::new(|| {
+                let mut nl = Netlist::new();
+                let a = nl.node("a");
+                nl.idc("I1", Netlist::GROUND, a, 1.0e-3)?;
+                let c = nl.compile()?;
+                operating_point(&c, &DcOptions::default()).map(|_| ())
+            }),
+        ),
+        (
+            "negative resistance rejected",
+            Box::new(|| {
+                let mut nl = Netlist::new();
+                let a = nl.node("a");
+                nl.resistor("R1", a, Netlist::GROUND, -10.0)?;
+                Ok(())
+            }),
+        ),
+        (
+            "NaN capacitance rejected",
+            Box::new(|| {
+                let mut nl = Netlist::new();
+                let a = nl.node("a");
+                nl.capacitor("C1", a, Netlist::GROUND, f64::NAN)?;
+                Ok(())
+            }),
+        ),
+        (
+            "zero-time transient",
+            Box::new(|| {
+                let mut nl = Netlist::new();
+                let a = nl.node("a");
+                nl.vdc("V1", a, Netlist::GROUND, 1.0)?;
+                nl.resistor("R1", a, Netlist::GROUND, 1.0e3)?;
+                let c = nl.compile()?;
+                transient(&c, &TranOptions::new(0.0)).map(|_| ())
+            }),
+        ),
+    ];
+    for (label, case) in cases {
+        let _ = no_panic(label, case);
+    }
+}

@@ -212,8 +212,7 @@ impl SettlingInfo {
         // band; settling happens right after it.
         let mut t_settle = t0;
         for (i, (&t, &v)) in w.time().iter().zip(w.values()).enumerate().rev() {
-            let inside =
-                v >= v_band_min - margin - 1e-12 && v <= v_band_max + margin + 1e-12;
+            let inside = v >= v_band_min - margin - 1e-12 && v <= v_band_max + margin + 1e-12;
             if !inside {
                 // The next sample is the permanent entry.
                 t_settle = w.time().get(i + 1).copied().unwrap_or(t);

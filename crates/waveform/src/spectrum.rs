@@ -187,13 +187,7 @@ mod tests {
             .collect();
         let values: Vec<f64> = time
             .iter()
-            .map(|&t| {
-                if (t * freq).fract() < 0.5 {
-                    1.0
-                } else {
-                    -1.0
-                }
-            })
+            .map(|&t| if (t * freq).fract() < 0.5 { 1.0 } else { -1.0 })
             .collect();
         let w = Waveform::new(time, values).unwrap();
         let s = Spectrum::of(&w, 0.0, periods / freq, 2048).unwrap();
@@ -224,12 +218,7 @@ mod tests {
         let w = sine(1.0e6, 0.8, 8, 4096);
         let n = 1024;
         let s = Spectrum::of(&w, 0.0, 8.0e-6, n).unwrap();
-        let spectral_power: f64 = s
-            .mags()
-            .iter()
-            .skip(1)
-            .map(|&a| a * a / 2.0)
-            .sum();
+        let spectral_power: f64 = s.mags().iter().skip(1).map(|&a| a * a / 2.0).sum();
         // Time-domain mean square of the resampled, DC-removed signal.
         let dt = 8.0e-6 / n as f64;
         let samples: Vec<f64> = (0..n).map(|k| w.value_at(k as f64 * dt)).collect();

@@ -355,60 +355,76 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use xrand::StdRng;
 
-    fn arb_waveform() -> impl Strategy<Value = Waveform> {
-        proptest::collection::vec((-5.0f64..5.0, 1e-6f64..1.0), 2..60).prop_map(|pairs| {
-            let mut t = 0.0;
-            let mut time = Vec::new();
-            let mut values = Vec::new();
-            for (v, dt) in pairs {
-                time.push(t);
-                values.push(v);
-                t += dt;
-            }
-            Waveform::new(time, values).expect("constructed monotone")
-        })
+    fn random_waveform(rng: &mut StdRng) -> Waveform {
+        let len = rng.gen_range(2usize..60);
+        let mut t = 0.0;
+        let mut time = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..len {
+            time.push(t);
+            values.push(rng.gen_range(-5.0..5.0));
+            t += rng.gen_range(1e-6..1.0);
+        }
+        Waveform::new(time, values).expect("constructed monotone")
     }
 
-    proptest! {
-        #[test]
-        fn value_at_is_within_sample_bounds(w in arb_waveform(), f in 0.0f64..1.0) {
+    #[test]
+    fn value_at_is_within_sample_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..256 {
+            let w = random_waveform(&mut rng);
+            let f = rng.gen_range(0.0..1.0);
             let t = w.t_start() + f * (w.t_end() - w.t_start());
             let v = w.value_at(t);
             let lo = w.values().iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = w.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+            assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
         }
+    }
 
-        #[test]
-        fn crossings_are_sorted_and_in_range(w in arb_waveform(), level in -5.0f64..5.0) {
+    #[test]
+    fn crossings_are_sorted_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..256 {
+            let w = random_waveform(&mut rng);
+            let level = rng.gen_range(-5.0..5.0);
             let c = w.crossings(level, Edge::Any);
             for pair in c.windows(2) {
-                prop_assert!(pair[0] <= pair[1]);
+                assert!(pair[0] <= pair[1]);
             }
             for &t in &c {
-                prop_assert!(t >= w.t_start() && t <= w.t_end());
+                assert!(t >= w.t_start() && t <= w.t_end());
                 // The interpolated value at a crossing is the level itself.
-                prop_assert!((w.value_at(t) - level).abs() < 1e-9);
+                assert!((w.value_at(t) - level).abs() < 1e-9);
             }
         }
+    }
 
-        #[test]
-        fn rising_plus_falling_equals_any(w in arb_waveform(), level in -5.0f64..5.0) {
+    #[test]
+    fn rising_plus_falling_equals_any() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..256 {
+            let w = random_waveform(&mut rng);
+            let level = rng.gen_range(-5.0..5.0);
             let r = w.crossings(level, Edge::Rising).len();
             let f = w.crossings(level, Edge::Falling).len();
             let a = w.crossings(level, Edge::Any).len();
-            prop_assert_eq!(r + f, a);
+            assert_eq!(r + f, a);
         }
+    }
 
-        #[test]
-        fn mean_is_between_extrema(w in arb_waveform()) {
+    #[test]
+    fn mean_is_between_extrema() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..256 {
+            let w = random_waveform(&mut rng);
             let mean = w.mean_in(w.t_start(), w.t_end());
-            prop_assert!(mean >= w.min_in(w.t_start(), w.t_end()) - 1e-12);
-            prop_assert!(mean <= w.max_in(w.t_start(), w.t_end()) + 1e-12);
+            assert!(mean >= w.min_in(w.t_start(), w.t_end()) - 1e-12);
+            assert!(mean <= w.max_in(w.t_start(), w.t_end()) + 1e-12);
         }
     }
 }

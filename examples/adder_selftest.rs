@@ -68,7 +68,9 @@ fn readings(circuit: &Circuit, dp: &Datapath) -> Vec<f64> {
 }
 
 fn main() {
-    let band = characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), 90).unwrap().band;
+    let band = characterize_hysteresis(&Variant3::paper(), &CmlProcess::paper(), 90)
+        .unwrap()
+        .band;
     println!(
         "comparator band: fail ≤ {:.3} V, pass ≥ {:.3} V",
         band.fail_below, band.pass_above

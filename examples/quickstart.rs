@@ -30,8 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // The paper's variant-2 detector: bases biased to 3.7 V in test
         // mode, diode-capacitor load.
-        let det = Variant2::new(DetectorLoad::diode_cap(1.0e-12), 3.7)
-            .attach(&mut builder, "DET", dut)?;
+        let det = Variant2::new(DetectorLoad::diode_cap(1.0e-12), 3.7).attach(
+            &mut builder,
+            "DET",
+            dut,
+        )?;
 
         // Optionally plant the defect, exactly like editing a SPICE deck.
         let mut netlist = builder.finish();

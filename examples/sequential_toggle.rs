@@ -16,8 +16,14 @@ fn main() {
         convergence_budget: 512,
     };
 
-    println!("random-pattern toggle test (§6.6), {} patterns:\n", plan.patterns);
-    println!("{:<14} {:>5} {:>10} {:>12}", "circuit", "nets", "coverage", "converged@");
+    println!(
+        "random-pattern toggle test (§6.6), {} patterns:\n",
+        plan.patterns
+    );
+    println!(
+        "{:<14} {:>5} {:>10} {:>12}",
+        "circuit", "nets", "coverage", "converged@"
+    );
     for (name, network) in [
         ("alu_slice", circuits::alu_slice()),
         ("counter8", circuits::counter(8)),
@@ -43,10 +49,12 @@ fn main() {
     }
 
     println!("\ncoverage vs pattern count on counter8:");
-    for (patterns, coverage) in coverage_curve(&circuits::counter(8), &[8, 32, 128, 512, 2048], 7)
-    {
+    for (patterns, coverage) in coverage_curve(&circuits::counter(8), &[8, 32, 128, 512, 2048], 7) {
         let bar = "#".repeat((coverage * 40.0) as usize);
-        println!("  {patterns:>5} patterns  {:>5.1}%  {bar}", coverage * 100.0);
+        println!(
+            "  {patterns:>5} patterns  {:>5.1}%  {bar}",
+            coverage * 100.0
+        );
     }
 
     println!("\nFree-running counters and autonomous LFSRs never converge from");

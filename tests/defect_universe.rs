@@ -51,7 +51,9 @@ fn run_universe() -> (f64, Vec<Outcome>) {
     let (nl, det, _dut_out, final_out) = build(None);
     let circuit = nl.compile().unwrap();
     let res = transient(&circuit, &TranOptions::new(t_stop)).unwrap();
-    let base_vout = waveform_of(&res, det.vout).unwrap().mean_in(0.9 * t_stop, t_stop);
+    let base_vout = waveform_of(&res, det.vout)
+        .unwrap()
+        .mean_in(0.9 * t_stop, t_stop);
 
     // The defect universe of the DUT cell.
     let probe_nl = build(None).0;
@@ -69,7 +71,9 @@ fn run_universe() -> (f64, Vec<Outcome>) {
             Ok(r) => r,
             Err(_) => continue, // some shorts defy convergence; skip
         };
-        let vout = waveform_of(&res, det.vout).unwrap().mean_in(0.9 * t_stop, t_stop);
+        let vout = waveform_of(&res, det.vout)
+            .unwrap()
+            .mean_in(0.9 * t_stop, t_stop);
         let w_dut = waveform_of(&res, dut_out.p).unwrap();
         let w_dut_n = waveform_of(&res, dut_out.n).unwrap();
         let dut_stats = LevelStats::measure(&w_dut, 0.5 * t_stop, t_stop);

@@ -65,11 +65,7 @@ fn per_gate_detectors_localize_the_faulty_stage() {
             );
         }
         // The faulty stage's own detector shows the deepest drop.
-        let drops: Vec<f64> = values
-            .iter()
-            .zip(&baselines)
-            .map(|(v, b)| b - v)
-            .collect();
+        let drops: Vec<f64> = values.iter().zip(&baselines).map(|(v, b)| b - v).collect();
         let deepest = drops
             .iter()
             .enumerate()

@@ -15,9 +15,20 @@ fn claim_pipe_defects_heal_and_escape_delay_test() {
 
     let t1 = exp::table1::run(Scale::Quick).unwrap();
     let dut = cml_cells::FIG3_DUT_INDEX;
-    let d_dut = t1.delta_op(dut).unwrap().abs().max(t1.delta_opb(dut).unwrap().abs());
-    let d_final = t1.delta_op(7).unwrap().abs().max(t1.delta_opb(7).unwrap().abs());
-    assert!(d_dut > 4.0 * d_final, "no healing: {d_dut:.2e} vs {d_final:.2e}");
+    let d_dut = t1
+        .delta_op(dut)
+        .unwrap()
+        .abs()
+        .max(t1.delta_opb(dut).unwrap().abs());
+    let d_final = t1
+        .delta_op(7)
+        .unwrap()
+        .abs()
+        .max(t1.delta_opb(7).unwrap().abs());
+    assert!(
+        d_dut > 4.0 * d_final,
+        "no healing: {d_dut:.2e} vs {d_final:.2e}"
+    );
 }
 
 #[test]
@@ -57,7 +68,11 @@ fn claim_load_sharing_keeps_detection() {
     // member still trips the shared detector.
     let r = exp::fig14::run(Scale::Quick).unwrap();
     assert!(r.slope < 0.0);
-    assert!(r.r_squared > 0.98, "droop should be linear, R² {}", r.r_squared);
+    assert!(
+        r.r_squared > 0.98,
+        "droop should be linear, R² {}",
+        r.r_squared
+    );
     assert!(r.max_safe.is_some());
     assert!(r.fault_detected);
 }
@@ -68,7 +83,12 @@ fn claim_random_patterns_give_toggle_coverage() {
     // fault coverage), and shift-like structures converge per [13].
     let r = exp::toggle::run(Scale::Quick).unwrap();
     for b in &r.benchmarks {
-        assert!(b.report.coverage > 0.85, "{}: {}", b.name, b.report.coverage);
+        assert!(
+            b.report.coverage > 0.85,
+            "{}: {}",
+            b.name,
+            b.report.coverage
+        );
     }
     assert!(r
         .benchmarks

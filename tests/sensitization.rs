@@ -98,7 +98,10 @@ fn single_output_fault_needs_sensitization_and_toggling() {
             asserted += 1;
         }
     }
-    assert!(asserted >= 2, "sensitizing inputs must assert: {asserted}/3");
+    assert!(
+        asserted >= 2,
+        "sensitizing inputs must assert: {asserted}/3"
+    );
 
     // Toggling stimulus (the §6.6 prescription): the fault is asserted
     // half the cycles, and the detector's strong pull-down vs the weak

@@ -139,7 +139,10 @@ fn energy_is_conserved_in_lossless_lc_tank() {
     let early = w.max_in(0.0, 0.5e-6);
     let late = w.max_in(2.5e-6, 3.0e-6);
     assert!(late <= early * 1.01, "oscillation grew: {early} -> {late}");
-    assert!(late >= 0.8 * early, "excess numerical damping: {early} -> {late}");
+    assert!(
+        late >= 0.8 * early,
+        "excess numerical damping: {early} -> {late}"
+    );
     // Period check: T = 2π·sqrt(LC) ≈ 198.7 ns.
     let crossings = w.crossings(0.0, Edge::Rising);
     assert!(crossings.len() > 5);
