@@ -1,12 +1,22 @@
 //! Simulator-kernel benches: linear solvers, MNA assembly, transient
 //! throughput. These justify the solver architecture in DESIGN.md (dense
-//! LU below the size cutoff, Gilbert–Peierls sparse LU above it).
+//! LU below the size cutoff, Gilbert–Peierls sparse LU above it) and
+//! quantify the cached-pattern refactorization fast path (DESIGN.md §3.2).
+//!
+//! Results are also written to `target/bench/BENCH_solver.json` so CI and
+//! the next session can compare runs without scraping stdout. Set
+//! `BENCH_QUICK=1` for the trimmed smoke run.
 
-use cml_bench::microbench::{run_benches, Harness};
+use cml_bench::microbench::{run_benches, take_records, write_json_report, Harness};
 use cml_cells::{CmlCircuitBuilder, CmlProcess};
 use spicier::analysis::dc::{operating_point, DcOptions};
 use spicier::analysis::tran::{transient, TranOptions};
-use spicier::linalg::{DenseMatrix, SparseLu, SparseMatrix, Triplets};
+use spicier::analysis::{Assembler, EvalMode};
+use spicier::linalg::{
+    DenseMatrix, Solver, SparseLu, SparseMatrix, StampMap, Triplets, DENSE_CUTOFF,
+};
+use spicier::Circuit;
+use std::path::Path;
 use std::time::Duration;
 
 /// Circuit-like sparse system: a chain with nearest-neighbour coupling and
@@ -25,6 +35,29 @@ fn chain_matrix(n: usize) -> Triplets {
         }
     }
     t
+}
+
+/// The FIG3 8-buffer chain (X6..X66 + DUT in the paper's numbering),
+/// compiled.
+fn fig3_chain_circuit(freq: f64) -> Circuit {
+    let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
+    bld.fig3_chain(freq).expect("build");
+    bld.finish().compile().expect("compile")
+}
+
+/// Assembles the FIG3 chain's DC MNA stamps at a converged iterate — the
+/// exact (pattern, values) the transient Newton loop re-solves thousands
+/// of times.
+fn fig3_stamps() -> Triplets {
+    let circuit = fig3_chain_circuit(1.0e9);
+    let x = operating_point(&circuit, &DcOptions::default())
+        .expect("op")
+        .into_unknowns();
+    let mut assembler = Assembler::new(&circuit);
+    let mut triplets = Triplets::new(circuit.dim());
+    let mut rhs = Vec::new();
+    assembler.assemble(&x, &EvalMode::dc(1.0e-12), &mut triplets, &mut rhs);
+    triplets
 }
 
 fn bench_lu(c: &mut Harness) {
@@ -52,11 +85,105 @@ fn bench_lu(c: &mut Harness) {
                 let mut lu = SparseLu::new();
                 lu.factor(&a).expect("nonsingular");
                 let mut rhs = b.clone();
-                lu.solve(&mut rhs);
+                lu.solve(&mut rhs).expect("factored");
                 rhs
             })
         });
     }
+    group.finish();
+}
+
+/// The headline comparison for DESIGN.md §3.2: repeated same-pattern
+/// solves on the FIG3 chain stamps, seed path (sort + symbolic factor
+/// every call) vs fast path (slot scatter + numeric refactor).
+fn bench_refactor(c: &mut Harness) {
+    let mut group = c.benchmark_group("refactor");
+    group
+        .sample_size(40)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let stamps = fig3_stamps();
+    let n = stamps.dim();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+
+    group.bench_function(format!("fig3_seed_path/{n}"), |bench| {
+        bench.iter(|| {
+            let a = SparseMatrix::from_triplets(&stamps);
+            let mut lu = SparseLu::new();
+            lu.factor(&a).expect("nonsingular");
+            let mut rhs = b.clone();
+            lu.solve(&mut rhs).expect("factored");
+            rhs
+        })
+    });
+
+    group.bench_function(format!("fig3_fast_path/{n}"), |bench| {
+        let (map, mut a) = StampMap::build(&stamps);
+        let mut lu = SparseLu::new();
+        lu.factor(&a).expect("nonsingular");
+        bench.iter(|| {
+            assert!(map.scatter(&stamps, &mut a));
+            lu.refactor(&a).expect("same pattern");
+            let mut rhs = b.clone();
+            lu.solve(&mut rhs).expect("factored");
+            rhs
+        })
+    });
+
+    group.finish();
+}
+
+/// Crossover data for the DENSE_CUTOFF recalibration: cached repeated
+/// solves (the steady-state regime of a Newton loop) per kernel per size.
+fn bench_cutoff(c: &mut Harness) {
+    let mut group = c.benchmark_group("cutoff");
+    group
+        .sample_size(40)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for n in [20usize, 40, 60, 80, 120, 160] {
+        let t = chain_matrix(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        group.bench_with_input(format!("dense_cached/{n}"), &t, |bench, t| {
+            let mut solver = spicier::linalg::dense::DenseSolver::default();
+            bench.iter(|| {
+                let mut rhs = b.clone();
+                solver.solve_in_place(t, &mut rhs).expect("nonsingular");
+                rhs
+            })
+        });
+        group.bench_with_input(format!("sparse_cached/{n}"), &t, |bench, t| {
+            let mut solver = spicier::linalg::sparse::SparseSolver::default();
+            bench.iter(|| {
+                let mut rhs = b.clone();
+                solver.solve_in_place(t, &mut rhs).expect("nonsingular");
+                rhs
+            })
+        });
+    }
+    // Real MNA stamps (denser than the chain matrix) at the actual
+    // experiment-circuit size, so the cutoff choice reflects the
+    // circuits the harness simulates, not just the synthetic chain.
+    let stamps = fig3_stamps();
+    let n = stamps.dim();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    group.bench_with_input(format!("dense_cached_fig3/{n}"), &stamps, |bench, t| {
+        let mut solver = spicier::linalg::dense::DenseSolver::default();
+        bench.iter(|| {
+            let mut rhs = b.clone();
+            solver.solve_in_place(t, &mut rhs).expect("nonsingular");
+            rhs
+        })
+    });
+    group.bench_with_input(format!("sparse_cached_fig3/{n}"), &stamps, |bench, t| {
+        let mut solver = spicier::linalg::sparse::SparseSolver::default();
+        bench.iter(|| {
+            let mut rhs = b.clone();
+            solver.solve_in_place(t, &mut rhs).expect("nonsingular");
+            rhs
+        })
+    });
     group.finish();
 }
 
@@ -79,9 +206,7 @@ fn bench_circuit_kernels(c: &mut Harness) {
 
     group.bench_function("tran_fig3_chain_1period", |b| {
         let freq = 1.0e9;
-        let mut bld = CmlCircuitBuilder::new(CmlProcess::paper());
-        bld.fig3_chain(freq).expect("build");
-        let circuit = bld.finish().compile().expect("compile");
+        let circuit = fig3_chain_circuit(freq);
         b.iter(|| transient(&circuit, &TranOptions::new(1.0 / freq)).expect("tran"))
     });
 
@@ -91,9 +216,47 @@ fn bench_circuit_kernels(c: &mut Harness) {
 fn main() {
     run_benches(&[
         ("bench_lu", bench_lu as fn(&mut Harness)),
+        ("bench_refactor", bench_refactor as fn(&mut Harness)),
+        ("bench_cutoff", bench_cutoff as fn(&mut Harness)),
         (
             "bench_circuit_kernels",
             bench_circuit_kernels as fn(&mut Harness),
         ),
     ]);
+
+    // Machine-readable results: per-bench medians plus derived metrics.
+    let records = take_records();
+    let find = |group: &str, prefix: &str| {
+        records
+            .iter()
+            .find(|r| r.group == group && r.id.starts_with(prefix))
+            .map(|r| r.median_ns as f64)
+    };
+    let seed = find("refactor", "fig3_seed_path/");
+    let fast = find("refactor", "fig3_fast_path/");
+    let mut metrics: Vec<(&str, f64)> = Vec::new();
+    if let (Some(seed), Some(fast)) = (seed, fast) {
+        metrics.push(("fig3_seed_solve_ns", seed));
+        metrics.push(("fig3_refactor_solve_ns", fast));
+        metrics.push(("fig3_refactor_speedup", seed / fast));
+    }
+    let stamps = fig3_stamps();
+    let (_, a) = StampMap::build(&stamps);
+    let mut lu = SparseLu::new();
+    lu.factor(&a).expect("nonsingular");
+    metrics.push(("fig3_dim", stamps.dim() as f64));
+    metrics.push(("fig3_matrix_nnz", a.nnz() as f64));
+    metrics.push(("fig3_factor_nnz", lu.factor_nnz() as f64));
+    metrics.push(("dense_cutoff", DENSE_CUTOFF as f64));
+
+    // Anchor at the workspace root: cargo runs benches with the package
+    // directory as cwd, which would bury the report in crates/bench/.
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/bench/BENCH_solver.json"
+    ));
+    match write_json_report(path, &records, &metrics) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

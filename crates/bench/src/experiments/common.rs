@@ -2,7 +2,8 @@
 
 use cml_cells::{waveform_of, BufferChain, CmlCircuitBuilder, CmlProcess};
 use faults::Defect;
-use spicier::analysis::tran::{transient, Probe, TranOptions, TranResult};
+use spicier::analysis::tran::{transient, transient_with, Probe, TranOptions, TranResult};
+use spicier::SolveWorkspace;
 use spicier::{Circuit, Error};
 use waveform::Waveform;
 
@@ -31,9 +32,23 @@ pub fn run_periods_probed(
     periods: f64,
     probes: Vec<spicier::NodeId>,
 ) -> Result<TranResult, Error> {
+    let mut ws = SolveWorkspace::for_circuit(circuit);
+    run_periods_probed_with(circuit, freq, periods, probes, &mut ws)
+}
+
+/// [`run_periods_probed`] with a caller-owned solver workspace, so sweep
+/// workers reuse the cached stamp map and symbolic factorization across
+/// same-topology corners.
+pub fn run_periods_probed_with(
+    circuit: &Circuit,
+    freq: f64,
+    periods: f64,
+    probes: Vec<spicier::NodeId>,
+    ws: &mut SolveWorkspace,
+) -> Result<TranResult, Error> {
     let mut opts = TranOptions::new(periods / freq);
     opts.probes = Probe::Nodes(probes);
-    transient(circuit, &opts)
+    transient_with(circuit, &opts, ws)
 }
 
 /// Extracts a waveform, mapping probe errors into [`Error`].

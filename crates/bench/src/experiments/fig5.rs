@@ -7,11 +7,12 @@
 //! with increasing frequency (junction/wiring capacitance rounds off the
 //! excursion before it fully develops).
 
-use super::common::{fig3_circuit, run_periods_probed, wf};
+use super::common::{fig3_circuit, run_periods_probed_with, wf};
 use super::report::{print_table, report_sweep, v, write_rows_csv};
 use crate::Scale;
-use spicier::analysis::sweep::{grid2, par_try_map, SweepReport, TryMapOptions};
+use spicier::analysis::sweep::{grid2, par_try_map_with, SweepReport, TryMapOptions};
 use spicier::Error;
+use spicier::SolveWorkspace;
 use waveform::LevelStats;
 
 /// One grid point of the Figure 5 sweep.
@@ -81,16 +82,20 @@ pub fn run(scale: Scale) -> Fig5Result {
         grid.push((f64::INFINITY, f));
     }
     let corners = grid.clone();
-    let (slots, report) = par_try_map(
+    // Every corner shares the FIG3 topology, so each worker keeps one
+    // solver workspace: after its first corner the stamp map and symbolic
+    // factorization are cache hits for the rest of its queue.
+    let (slots, report) = par_try_map_with(
         grid,
         &TryMapOptions::default(),
-        |&(pipe, freq)| -> Result<Fig5Point, Error> {
+        SolveWorkspace::default,
+        |ws, &(pipe, freq)| -> Result<Fig5Point, Error> {
             let pipe_opt = pipe.is_finite().then_some(pipe);
             let (chain, circuit) = fig3_circuit(freq, pipe_opt)?;
             let probes = vec![chain.dut().output.p, chain.dut().output.n];
             // Enough periods to reach steady state at every frequency.
             let periods = 6.0;
-            let res = run_periods_probed(&circuit, freq, periods, probes)?;
+            let res = run_periods_probed_with(&circuit, freq, periods, probes, ws)?;
             let w = wf(&res, chain.dut().output.p)?;
             let stats = LevelStats::measure(&w, (periods - 3.0) / freq, periods / freq);
             Ok(Fig5Point {

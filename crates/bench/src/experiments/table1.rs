@@ -56,11 +56,13 @@ fn measure_chain(pipe: Option<f64>, periods: f64) -> Result<ChainCrossings, Erro
     for cell in &chain.cells {
         let w_op = wf(&res, cell.output.p)?;
         let w_opb = wf(&res, cell.output.n)?;
+        // Strictly after the reference: a stage crossing coincident with
+        // the stimulus edge is not that stage's response.
         let t_op = w_op
-            .first_crossing_after(p.vcross(), Edge::Any, t_in)
+            .first_crossing_strictly_after(p.vcross(), Edge::Any, t_in)
             .map(|t| t - t_in);
         let t_opb = w_opb
-            .first_crossing_after(p.vcross(), Edge::Any, t_in)
+            .first_crossing_strictly_after(p.vcross(), Edge::Any, t_in)
             .map(|t| t - t_in);
         stages.push((cell.name.clone(), t_op, t_opb));
     }

@@ -12,7 +12,39 @@
 //! number; min is reported as the noise floor.
 
 use std::hint::black_box;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Group name (`lu`, `circuit`, ...).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median sample.
+    pub median_ns: u128,
+    /// Fastest sample (noise floor).
+    pub min_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Every record printed so far; drained by [`take_records`].
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains the records collected since the last call (or process start).
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut *RECORDS.lock().expect("records lock"))
+}
+
+/// Whether quick mode is on (`BENCH_QUICK=1`): sampling is trimmed so a
+/// CI smoke job finishes in seconds while exercising every bench path.
+pub fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
 
 /// Collects samples for one benchmark.
 pub struct Bencher {
@@ -47,12 +79,14 @@ pub struct Group {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    quick: bool,
 }
 
 impl Group {
-    /// Minimum number of timed iterations per benchmark.
+    /// Minimum number of timed iterations per benchmark (capped in quick
+    /// mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.quick { n.clamp(1, 5) } else { n.max(1) };
         self
     }
 
@@ -61,9 +95,14 @@ impl Group {
         self
     }
 
-    /// Minimum wall-clock time spent sampling each benchmark.
+    /// Minimum wall-clock time spent sampling each benchmark (capped in
+    /// quick mode).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement_time = d;
+        self.measurement_time = if self.quick {
+            d.min(Duration::from_millis(100))
+        } else {
+            d
+        };
         self
     }
 
@@ -102,12 +141,19 @@ impl Harness {
         Self {}
     }
 
-    /// Opens a named group with default sampling (20 samples / 2 s).
+    /// Opens a named group with default sampling (20 samples / 2 s, or a
+    /// trimmed 5 samples / 100 ms in quick mode).
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group {
+        let quick = quick_mode();
         Group {
             name: name.into(),
-            sample_size: 20,
-            measurement_time: Duration::from_secs(2),
+            sample_size: if quick { 5 } else { 20 },
+            measurement_time: if quick {
+                Duration::from_millis(100)
+            } else {
+                Duration::from_secs(2)
+            },
+            quick,
         }
     }
 }
@@ -122,6 +168,73 @@ fn report(group: &str, id: &str, samples: &mut [Duration]) {
         fmt_duration(min),
         samples.len()
     );
+    RECORDS.lock().expect("records lock").push(BenchRecord {
+        group: group.to_string(),
+        id: id.to_string(),
+        median_ns: median.as_nanos(),
+        min_ns: min.as_nanos(),
+        samples: samples.len(),
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes a machine-readable report: every bench record plus
+/// caller-computed scalar metrics (speedups, nnz counts, ...), as JSON.
+/// No serde in the dependency tree, so the document is written by hand;
+/// the schema is flat on purpose.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (the parent directory is created).
+pub fn write_json_report(
+    path: &Path,
+    records: &[BenchRecord],
+    metrics: &[(&str, f64)],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{}\n",
+            json_escape(&r.group),
+            json_escape(&r.id),
+            r.median_ns,
+            r.min_ns,
+            r.samples,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let value = if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        };
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            json_escape(k),
+            value,
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
 }
 
 fn fmt_duration(d: Duration) -> String {

@@ -1,0 +1,134 @@
+//! Cross-layer check of the stamp-slot assembly fast path: for every
+//! experiment circuit family, a `StampMap` scatter of the MNA stamps must
+//! reproduce `SparseMatrix::from_triplets` exactly, at the DC operating
+//! point and at perturbed iterates (the values the transient Newton loop
+//! actually assembles).
+
+use cml_bench::experiments::common::fig3_circuit;
+use cml_cells::{CmlCircuitBuilder, CmlProcess};
+use cml_dft::{DetectorLoad, Variant1, Variant2};
+use faults::Defect;
+use spicier::analysis::{Assembler, EvalMode, Integration, Method};
+use spicier::linalg::{SparseMatrix, StampMap, Triplets};
+use spicier::{Circuit, Netlist};
+
+/// Builds the FIG7/FIG8 detector circuit (3-stage chain, DUT detector).
+fn detector_circuit(variant2: Option<f64>, pipe_ohms: Option<f64>) -> Circuit {
+    let mut b = CmlCircuitBuilder::new(CmlProcess::paper());
+    let input = b.diff("a");
+    b.drive_differential("a", input, 400.0e6).unwrap();
+    let chain = b.buffer_chain(&["X1", "DUT", "X2"], input).unwrap();
+    let dut = &chain.cells[1];
+    let load = DetectorLoad::diode_cap(1.0e-12);
+    match variant2 {
+        None => {
+            Variant1::new(load)
+                .attach(&mut b, "DET", dut.output)
+                .unwrap();
+        }
+        Some(vtest) => {
+            Variant2::new(load, vtest)
+                .attach(&mut b, "DET", dut.output)
+                .unwrap();
+        }
+    }
+    let mut nl = b.finish();
+    if let Some(ohms) = pipe_ohms {
+        Defect::pipe("DUT.Q3", ohms).inject(&mut nl).unwrap();
+    }
+    nl.compile().unwrap()
+}
+
+/// A plain resistive/reactive netlist exercising branch-current unknowns.
+fn rlc_circuit() -> Circuit {
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let b = nl.node("b");
+    nl.vdc("V1", a, Netlist::GROUND, 3.3).unwrap();
+    nl.resistor("R1", a, b, 1.0e3).unwrap();
+    nl.capacitor("C1", b, Netlist::GROUND, 1.0e-12).unwrap();
+    nl.inductor("L1", b, Netlist::GROUND, 1.0e-9).unwrap();
+    nl.compile().unwrap()
+}
+
+/// Asserts scatter-through-the-map equals from-scratch compression for
+/// every Newton-relevant evaluation mode of `circuit`.
+fn assert_stamp_map_faithful(label: &str, circuit: &Circuit) {
+    let mut assembler = Assembler::new(circuit);
+    let dim = circuit.dim();
+    let mut triplets = Triplets::new(dim);
+    let mut rhs = Vec::new();
+
+    let modes = [
+        EvalMode::dc(1.0e-12),
+        EvalMode {
+            integ: Integration::Step {
+                method: Method::BackwardEuler,
+                h: 1.0e-11,
+            },
+            time: 1.0e-10,
+            gmin: 1.0e-12,
+            source_scale: 1.0,
+        },
+        EvalMode {
+            integ: Integration::Step {
+                method: Method::Trapezoidal,
+                h: 2.5e-11,
+            },
+            time: 3.0e-10,
+            gmin: 1.0e-12,
+            source_scale: 1.0,
+        },
+    ];
+
+    for (m, mode) in modes.iter().enumerate() {
+        // A deterministic pseudo-iterate: zero start, then biased points
+        // like the Newton loop visits (junction limiting changes values,
+        // never the stamp key sequence for a fixed mode).
+        for step in 0..3 {
+            let x: Vec<f64> = (0..dim)
+                .map(|i| 0.4 * step as f64 * ((i * 31 + m * 7) % 11) as f64 / 11.0)
+                .collect();
+            assembler.assemble(&x, mode, &mut triplets, &mut rhs);
+            let reference = SparseMatrix::from_triplets(&triplets);
+            let (map, built) = StampMap::build(&triplets);
+            assert_eq!(built, reference, "{label}: build mismatch");
+            // Re-assemble at a different iterate and scatter through the
+            // map built above: same keys, new values.
+            let x2: Vec<f64> = x.iter().map(|v| v * 0.5 + 0.01).collect();
+            assembler.assemble(&x2, mode, &mut triplets, &mut rhs);
+            let mut scattered = built;
+            assert!(
+                map.scatter(&triplets, &mut scattered),
+                "{label}: stamp sequence changed between iterates"
+            );
+            assert_eq!(
+                scattered,
+                SparseMatrix::from_triplets(&triplets),
+                "{label}: scatter mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn stamp_map_matches_triplet_assembly_on_fig3_chain() {
+    let (_, fault_free) = fig3_circuit(100.0e6, None).unwrap();
+    assert_stamp_map_faithful("fig3 fault-free", &fault_free);
+    let (_, piped) = fig3_circuit(1.0e9, Some(2.0e3)).unwrap();
+    assert_stamp_map_faithful("fig3 pipe", &piped);
+}
+
+#[test]
+fn stamp_map_matches_triplet_assembly_on_detector_circuits() {
+    assert_stamp_map_faithful("variant1 detector", &detector_circuit(None, None));
+    assert_stamp_map_faithful(
+        "variant2 detector with pipe",
+        &detector_circuit(Some(3.7), Some(2.0e3)),
+    );
+}
+
+#[test]
+fn stamp_map_matches_triplet_assembly_on_branch_unknowns() {
+    assert_stamp_map_faithful("rlc with branch currents", &rlc_circuit());
+}

@@ -11,7 +11,7 @@
 //! at-speed frequencies" scoping.
 
 use super::dc::{self, DcOptions};
-use super::mna::Assembler;
+use super::mna::{Assembler, SolveWorkspace};
 use crate::error::Error;
 use crate::linalg::complex::{Complex, ComplexDenseMatrix};
 use crate::linalg::Triplets;
@@ -131,7 +131,8 @@ impl AcResult {
 pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Error> {
     // 1. Operating point.
     let mut assembler = Assembler::new(circuit);
-    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler)?;
+    let mut ws = SolveWorkspace::for_circuit(circuit);
+    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler, &mut ws)?;
     drop(assembler);
 
     // 2. Linearize into G and C triplets.

@@ -9,9 +9,9 @@
 //! whole ladder fails — so sweeps and experiments can report *how* a
 //! corner converged or why it did not, instead of dying on it.
 
-use super::mna::{Assembler, EvalMode};
+use super::mna::{Assembler, EvalMode, SolveWorkspace};
 use crate::error::Error;
-use crate::linalg::{AutoSolver, Solver, Triplets};
+use crate::linalg::Solver;
 use crate::netlist::{Circuit, NodeId};
 use std::fmt;
 
@@ -248,21 +248,23 @@ struct PtranTerm<'a> {
 /// `damping` scales the update (`1.0` = full Newton). `ptran` optionally
 /// adds pseudo-transient continuation terms. Returns full diagnostics;
 /// only solver failures (singular matrix) surface as `Err`.
-#[allow(clippy::too_many_arguments)] // internal solver kernel: scratch buffers are threaded explicitly
 fn newton_run(
     assembler: &mut Assembler<'_>,
     mode: &EvalMode,
     x: &mut [f64],
     opts: &DcOptions,
-    solver: &mut AutoSolver,
-    triplets: &mut Triplets,
-    rhs: &mut Vec<f64>,
+    ws: &mut SolveWorkspace,
     damping: f64,
     ptran: Option<&PtranTerm<'_>>,
 ) -> Result<NewtonRun, Error> {
     let n_nodes = assembler.circuit().node_unknowns();
     let mut run = NewtonRun::fresh();
     for iter in 0..opts.max_iterations {
+        let SolveWorkspace {
+            solver,
+            triplets,
+            rhs,
+        } = ws;
         assembler.assemble(x, mode, triplets, rhs);
         if let Some(pt) = ptran {
             for (i, r) in rhs.iter_mut().enumerate().take(n_nodes) {
@@ -314,11 +316,9 @@ pub(crate) fn newton(
     mode: &EvalMode,
     x: &mut [f64],
     opts: &DcOptions,
-    solver: &mut AutoSolver,
-    triplets: &mut Triplets,
-    rhs: &mut Vec<f64>,
+    ws: &mut SolveWorkspace,
 ) -> Result<usize, Error> {
-    let run = newton_run(assembler, mode, x, opts, solver, triplets, rhs, 1.0, None)?;
+    let run = newton_run(assembler, mode, x, opts, ws, 1.0, None)?;
     if run.converged {
         Ok(run.iterations)
     } else {
@@ -343,7 +343,8 @@ pub(crate) fn newton(
 /// structurally broken circuits on which no Newton iteration completes.
 pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, Error> {
     let mut assembler = Assembler::new(circuit);
-    recover_operating_point(circuit, opts, &mut assembler).map(|(x, report)| DcSolution {
+    let mut ws = SolveWorkspace::for_circuit(circuit);
+    recover_operating_point(circuit, opts, &mut assembler, &mut ws).map(|(x, report)| DcSolution {
         n_nodes: circuit.node_unknowns(),
         x,
         report,
@@ -356,15 +357,9 @@ pub(crate) fn operating_point_with(
     circuit: &Circuit,
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
+    ws: &mut SolveWorkspace,
 ) -> Result<Vec<f64>, Error> {
-    recover_operating_point(circuit, opts, assembler).map(|(x, _)| x)
-}
-
-/// Scratch buffers shared by every rung of the recovery ladder.
-struct LadderScratch {
-    solver: AutoSolver,
-    triplets: Triplets,
-    rhs: Vec<f64>,
+    recover_operating_point(circuit, opts, assembler, ws).map(|(x, _)| x)
 }
 
 /// One rung of the recovery ladder: attempts a full solve, returning the
@@ -373,7 +368,7 @@ type RungFn = fn(
     &Circuit,
     &DcOptions,
     &mut Assembler<'_>,
-    &mut LadderScratch,
+    &mut SolveWorkspace,
 ) -> Result<(Vec<f64>, NewtonRun), Error>;
 
 /// The recovery ladder itself: runs each rung in order, recording every
@@ -382,13 +377,8 @@ pub(crate) fn recover_operating_point(
     circuit: &Circuit,
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
+    ws: &mut SolveWorkspace,
 ) -> Result<(Vec<f64>, ConvergenceReport), Error> {
-    let dim = circuit.dim();
-    let mut scratch = LadderScratch {
-        solver: AutoSolver::new(),
-        triplets: Triplets::new(dim),
-        rhs: Vec::with_capacity(dim),
-    };
     let mut report = ConvergenceReport::default();
     // The most recent structural (solver) failure; returned instead of
     // `DcNoConvergence` when no rung completed a single iteration, because
@@ -411,7 +401,7 @@ pub(crate) fn recover_operating_point(
     ];
 
     for (rung, label) in rungs.iter().zip(labels) {
-        match rung(circuit, opts, assembler, &mut scratch) {
+        match rung(circuit, opts, assembler, ws) {
             Ok((x, run)) => {
                 report.record(label, &run);
                 if run.converged {
@@ -447,7 +437,7 @@ fn rung_newton(
     circuit: &Circuit,
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
-    scratch: &mut LadderScratch,
+    ws: &mut SolveWorkspace,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
@@ -456,9 +446,7 @@ fn rung_newton(
         &EvalMode::dc(opts.gmin),
         &mut x,
         opts,
-        &mut scratch.solver,
-        &mut scratch.triplets,
-        &mut scratch.rhs,
+        ws,
         1.0,
         None,
     )?;
@@ -471,7 +459,7 @@ fn rung_damped_newton(
     circuit: &Circuit,
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
-    scratch: &mut LadderScratch,
+    ws: &mut SolveWorkspace,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
@@ -485,9 +473,7 @@ fn rung_damped_newton(
         &EvalMode::dc(opts.gmin),
         &mut x,
         &opts,
-        &mut scratch.solver,
-        &mut scratch.triplets,
-        &mut scratch.rhs,
+        ws,
         0.5,
         None,
     )?;
@@ -500,7 +486,7 @@ fn rung_gmin_stepping(
     circuit: &Circuit,
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
-    scratch: &mut LadderScratch,
+    ws: &mut SolveWorkspace,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
@@ -508,17 +494,7 @@ fn rung_gmin_stepping(
     let mut total = NewtonRun::fresh();
     loop {
         let mode = EvalMode::dc(gmin);
-        let run = newton_run(
-            assembler,
-            &mode,
-            &mut x,
-            opts,
-            &mut scratch.solver,
-            &mut scratch.triplets,
-            &mut scratch.rhs,
-            1.0,
-            None,
-        )?;
+        let run = newton_run(assembler, &mode, &mut x, opts, ws, 1.0, None)?;
         total.iterations += run.iterations;
         total.worst_delta = run.worst_delta;
         total.worst_index = run.worst_index;
@@ -539,7 +515,7 @@ fn rung_source_stepping(
     circuit: &Circuit,
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
-    scratch: &mut LadderScratch,
+    ws: &mut SolveWorkspace,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
@@ -552,17 +528,7 @@ fn rung_source_stepping(
             ..EvalMode::dc(opts.gmin)
         };
         let mut attempt = x.clone();
-        let run = newton_run(
-            assembler,
-            &mode,
-            &mut attempt,
-            opts,
-            &mut scratch.solver,
-            &mut scratch.triplets,
-            &mut scratch.rhs,
-            1.0,
-            None,
-        )?;
+        let run = newton_run(assembler, &mode, &mut attempt, opts, ws, 1.0, None)?;
         total.iterations += run.iterations;
         total.worst_delta = run.worst_delta;
         total.worst_index = run.worst_index;
@@ -594,7 +560,7 @@ fn rung_pseudo_transient(
     circuit: &Circuit,
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
-    scratch: &mut LadderScratch,
+    ws: &mut SolveWorkspace,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     const G_START: f64 = 1.0;
     const G_FLOOR: f64 = 1.0e-10;
@@ -613,17 +579,7 @@ fn rung_pseudo_transient(
 
     for _ in 0..MAX_PSEUDO_STEPS {
         let term = PtranTerm { g, anchor: &anchor };
-        let run = newton_run(
-            assembler,
-            &mode,
-            &mut x,
-            opts,
-            &mut scratch.solver,
-            &mut scratch.triplets,
-            &mut scratch.rhs,
-            1.0,
-            Some(&term),
-        )?;
+        let run = newton_run(assembler, &mode, &mut x, opts, ws, 1.0, Some(&term))?;
         total.iterations += run.iterations;
         total.worst_delta = run.worst_delta;
         total.worst_index = run.worst_index;
@@ -646,17 +602,7 @@ fn rung_pseudo_transient(
 
     // Polish: the anchored term is tiny but nonzero; confirm the point is
     // an equilibrium of the unmodified equations.
-    let polish = newton_run(
-        assembler,
-        &mode,
-        &mut x,
-        opts,
-        &mut scratch.solver,
-        &mut scratch.triplets,
-        &mut scratch.rhs,
-        1.0,
-        None,
-    )?;
+    let polish = newton_run(assembler, &mode, &mut x, opts, ws, 1.0, None)?;
     total.iterations += polish.iterations;
     total.worst_delta = polish.worst_delta;
     total.worst_index = polish.worst_index;
@@ -691,6 +637,10 @@ pub fn sweep_vsource(
     }
     let mut results = Vec::with_capacity(values.len());
     let mut previous: Option<Vec<f64>> = None;
+    // One workspace across the sweep: consecutive points share the same
+    // matrix pattern, so every solve after the first reuses the cached
+    // stamp map and symbolic factorization.
+    let mut ws = SolveWorkspace::new(circuit.dim());
     for &v in values {
         // Rebuild the netlist with the new source value.
         let mut nl = circuit.netlist().clone();
@@ -707,17 +657,12 @@ pub fn sweep_vsource(
                 // Continuation: start Newton from the previous solution.
                 let mut x = prev.clone();
                 assembler.reset_junctions(&x);
-                let mut solver = AutoSolver::new();
-                let mut triplets = Triplets::new(swept.dim());
-                let mut rhs = Vec::new();
                 match newton(
                     &mut assembler,
                     &EvalMode::dc(opts.gmin),
                     &mut x,
                     opts,
-                    &mut solver,
-                    &mut triplets,
-                    &mut rhs,
+                    &mut ws,
                 ) {
                     Ok(iterations) => {
                         let mut report = ConvergenceReport::default();
@@ -732,10 +677,10 @@ pub fn sweep_vsource(
                         );
                         (x, report)
                     }
-                    Err(_) => recover_operating_point(&swept, opts, &mut assembler)?,
+                    Err(_) => recover_operating_point(&swept, opts, &mut assembler, &mut ws)?,
                 }
             }
-            None => recover_operating_point(&swept, opts, &mut assembler)?,
+            None => recover_operating_point(&swept, opts, &mut assembler, &mut ws)?,
         };
         previous = Some(x.clone());
         results.push(DcSolution {

@@ -9,9 +9,44 @@
 //! applied inside the assembly so the Newton loop above stays generic.
 
 use crate::devices::{pnjlim, BjtModel};
-use crate::linalg::Triplets;
+use crate::linalg::{AutoSolver, Triplets};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::VT_300K;
+
+/// Reusable scratch for the assemble–solve inner loop: the linear solver
+/// (with its cached stamp-slot maps and factorization pattern), the triplet
+/// accumulator, and the right-hand-side vector.
+///
+/// The refactorization fast path lives inside the solver, keyed on the
+/// stamp sequence — so the win comes from passing *one* workspace through
+/// consecutive solves of the same circuit: every rung of the DC recovery
+/// ladder, every Newton iteration of a transient run, every point of a
+/// source sweep, or every corner a sweep worker processes.
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    /// Linear solver, dense or sparse by system size.
+    pub solver: AutoSolver,
+    /// Triplet accumulator reused across assemblies.
+    pub triplets: Triplets,
+    /// Right-hand side on entry to a solve, solution on exit.
+    pub rhs: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// Creates a workspace sized for a `dim`-unknown system.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            solver: AutoSolver::new(),
+            triplets: Triplets::new(dim),
+            rhs: Vec::with_capacity(dim),
+        }
+    }
+
+    /// Creates a workspace sized for `circuit`.
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        Self::new(circuit.dim())
+    }
+}
 
 /// Numerical integration method for charge-storage elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

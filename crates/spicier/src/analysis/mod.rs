@@ -13,11 +13,14 @@ pub use dc::{
     operating_point, sweep_vsource, ConvergenceReport, DcOptions, DcSolution, RecoveryRung,
     RungAttempt,
 };
-pub use mna::{Assembler, EvalMode, Integration, Method};
+pub use mna::{Assembler, EvalMode, Integration, Method, SolveWorkspace};
 pub use noise::{noise_analysis, NoiseOptions, NoiseResult};
 pub use power::{power_report, PowerReport};
 pub use sweep::{
-    grid2, grid3, linspace, par_map, par_try_map, CornerFailure, SweepFailure, SweepReport,
-    TryMapOptions,
+    grid2, grid3, linspace, par_map, par_map_with, par_try_map, par_try_map_with, CornerFailure,
+    SweepFailure, SweepReport, TryMapOptions,
 };
-pub use tran::{transient, transient_salvage, Probe, TranFailure, TranOptions, TranResult};
+pub use tran::{
+    transient, transient_salvage, transient_salvage_with, transient_with, Probe, TranFailure,
+    TranOptions, TranResult,
+};

@@ -17,7 +17,7 @@
 //! nanoseconds; `1/f` corners sit far below the band of interest).
 
 use super::dc::{self, DcOptions};
-use super::mna::Assembler;
+use super::mna::{Assembler, SolveWorkspace};
 use crate::error::Error;
 use crate::linalg::complex::{Complex, ComplexDenseMatrix};
 use crate::netlist::{Circuit, Element, NodeId};
@@ -99,7 +99,8 @@ struct NoiseSource {
 pub fn noise_analysis(circuit: &Circuit, opts: &NoiseOptions) -> Result<NoiseResult, Error> {
     // Operating point (bias-dependent shot noise).
     let mut assembler = Assembler::new(circuit);
-    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler)?;
+    let mut ws = SolveWorkspace::for_circuit(circuit);
+    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler, &mut ws)?;
     drop(assembler);
     let v_of = |node: NodeId| -> f64 {
         match node.unknown() {

@@ -35,12 +35,29 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    par_map_with(items, || (), |(), value| f(value))
+}
+
+/// [`par_map`] with per-worker scratch state, preserving order.
+///
+/// `init` runs once on each worker thread; the scratch it builds is handed
+/// to `f` for every corner that worker dequeues. Sweeps use this to keep
+/// one solver workspace per thread, so consecutive corners with the same
+/// matrix pattern reuse the cached stamp map and symbolic factorization.
+pub fn par_map_with<T, S, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n_workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(items.len().max(1));
     if n_workers <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut scratch = init();
+        return items.into_iter().map(|v| f(&mut scratch, v)).collect();
     }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
@@ -49,14 +66,17 @@ where
     let results = Mutex::new(&mut slots);
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let item = lock(&queue).pop();
-                match item {
-                    Some((idx, value)) => {
-                        let r = f(value);
-                        lock(&results)[idx] = Some(r);
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let item = lock(&queue).pop();
+                    match item {
+                        Some((idx, value)) => {
+                            let r = f(&mut scratch, value);
+                            lock(&results)[idx] = Some(r);
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
             });
         }
@@ -205,6 +225,26 @@ where
     R: Send,
     F: Fn(&T) -> Result<R, Error> + Sync,
 {
+    par_try_map_with(items, opts, || (), |(), value| f(value))
+}
+
+/// [`par_try_map`] with per-worker scratch state; see [`par_map_with`].
+///
+/// A corner that panics gets its worker's scratch rebuilt with `init`
+/// before the next attempt, so a half-updated workspace can never leak
+/// into later corners.
+pub fn par_try_map_with<T, S, R, I, F>(
+    items: Vec<T>,
+    opts: &TryMapOptions,
+    init: I,
+    f: F,
+) -> (Vec<Option<R>>, SweepReport)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> Result<R, Error> + Sync,
+{
     let started = Instant::now();
     let total = items.len();
     let n_workers = std::thread::available_parallelism()
@@ -221,38 +261,46 @@ where
         let results = Mutex::new(&mut slots);
         let failed = Mutex::new(&mut failures);
 
-        let worker = || loop {
-            let item = lock(&queue).pop();
-            let Some((idx, value)) = item else { break };
-            if opts.budget.is_some_and(|b| started.elapsed() >= b) {
-                lock(&failed).push(CornerFailure {
-                    index: idx,
-                    attempts: 0,
-                    failure: SweepFailure::Skipped,
-                });
-                continue;
-            }
-            let mut attempts = 0usize;
-            let mut last = SweepFailure::Skipped;
-            let outcome = loop {
-                attempts += 1;
-                match catch_unwind(AssertUnwindSafe(|| f(&value))) {
-                    Ok(Ok(r)) => break Some(r),
-                    Ok(Err(e)) => last = SweepFailure::Solver(e),
-                    Err(payload) => last = SweepFailure::Panicked(panic_message(payload)),
+        let worker = || {
+            let mut scratch = init();
+            loop {
+                let item = lock(&queue).pop();
+                let Some((idx, value)) = item else { break };
+                if opts.budget.is_some_and(|b| started.elapsed() >= b) {
+                    lock(&failed).push(CornerFailure {
+                        index: idx,
+                        attempts: 0,
+                        failure: SweepFailure::Skipped,
+                    });
+                    continue;
                 }
-                let out_of_budget = opts.budget.is_some_and(|b| started.elapsed() >= b);
-                if attempts > opts.retries || out_of_budget {
-                    break None;
+                let mut attempts = 0usize;
+                let mut last = SweepFailure::Skipped;
+                let outcome = loop {
+                    attempts += 1;
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut scratch, &value))) {
+                        Ok(Ok(r)) => break Some(r),
+                        Ok(Err(e)) => last = SweepFailure::Solver(e),
+                        Err(payload) => {
+                            // The panic may have left the scratch half
+                            // updated; start the next attempt clean.
+                            scratch = init();
+                            last = SweepFailure::Panicked(panic_message(payload));
+                        }
+                    }
+                    let out_of_budget = opts.budget.is_some_and(|b| started.elapsed() >= b);
+                    if attempts > opts.retries || out_of_budget {
+                        break None;
+                    }
+                };
+                match outcome {
+                    Some(r) => lock(&results)[idx] = Some(r),
+                    None => lock(&failed).push(CornerFailure {
+                        index: idx,
+                        attempts,
+                        failure: last,
+                    }),
                 }
-            };
-            match outcome {
-                Some(r) => lock(&results)[idx] = Some(r),
-                None => lock(&failed).push(CornerFailure {
-                    index: idx,
-                    attempts,
-                    failure: last,
-                }),
             }
         };
 

@@ -15,9 +15,8 @@
 //! all-or-nothing contract on top of it.
 
 use super::dc::{self, DcOptions};
-use super::mna::{Assembler, EvalMode, Integration, Method};
+use super::mna::{Assembler, EvalMode, Integration, Method, SolveWorkspace};
 use crate::error::Error;
-use crate::linalg::{AutoSolver, Triplets};
 use crate::netlist::{Circuit, NodeId};
 
 /// Which quantities a transient run records.
@@ -213,7 +212,26 @@ impl TranResult {
 /// underflows `h_min` ([`Error::TimestepTooSmall`]). Use
 /// [`transient_salvage`] to keep the partial waveform instead.
 pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Error> {
-    let result = transient_salvage(circuit, opts)?;
+    let mut ws = SolveWorkspace::for_circuit(circuit);
+    transient_with(circuit, opts, &mut ws)
+}
+
+/// [`transient`] with a caller-owned [`SolveWorkspace`].
+///
+/// Sweeps that simulate many variants of the same topology pass one
+/// workspace across runs so the cached stamp map and symbolic
+/// factorization carry over (falling back automatically whenever the
+/// matrix pattern actually changes).
+///
+/// # Errors
+///
+/// Same contract as [`transient`].
+pub fn transient_with(
+    circuit: &Circuit,
+    opts: &TranOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<TranResult, Error> {
+    let result = transient_salvage_with(circuit, opts, ws)?;
     match result.failure() {
         Some(fail) => Err(fail.error.clone()),
         None => Ok(result),
@@ -234,11 +252,26 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Er
 /// operating point (the recovery ladder exhausted — see
 /// [`Error::DcNoConvergence`]).
 pub fn transient_salvage(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Error> {
+    let mut ws = SolveWorkspace::for_circuit(circuit);
+    transient_salvage_with(circuit, opts, &mut ws)
+}
+
+/// [`transient_salvage`] with a caller-owned [`SolveWorkspace`]; see
+/// [`transient_with`] for when that pays off.
+///
+/// # Errors
+///
+/// Same contract as [`transient_salvage`].
+pub fn transient_salvage_with(
+    circuit: &Circuit,
+    opts: &TranOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<TranResult, Error> {
     let (h_max, h_init) = opts.resolved()?;
     let mut assembler = Assembler::new(circuit);
 
     // Initial operating point with sources at t = 0.
-    let mut x = dc::operating_point_with(circuit, &opts.dc, &mut assembler)?;
+    let mut x = dc::operating_point_with(circuit, &opts.dc, &mut assembler, ws)?;
     // Apply .IC overrides before charge initialization so capacitors start
     // from the forced voltages.
     for &(node, volts) in &opts.initial_voltages {
@@ -290,9 +323,6 @@ pub fn transient_salvage(circuit: &Circuit, opts: &TranOptions) -> Result<TranRe
     record(&mut result, 0.0, &x);
 
     let n_nodes = circuit.node_unknowns();
-    let mut solver = AutoSolver::new();
-    let mut triplets = Triplets::new(circuit.dim());
-    let mut rhs = Vec::with_capacity(circuit.dim());
 
     let mut t = 0.0;
     let mut h = h_init.min(h_max);
@@ -339,15 +369,7 @@ pub fn transient_salvage(circuit: &Circuit, opts: &TranOptions) -> Result<TranRe
             source_scale: 1.0,
         };
         assembler.reset_junctions(&x);
-        match dc::newton(
-            &mut assembler,
-            &mode,
-            &mut guess,
-            &opts.dc,
-            &mut solver,
-            &mut triplets,
-            &mut rhs,
-        ) {
+        match dc::newton(&mut assembler, &mode, &mut guess, &opts.dc, ws) {
             Ok(iters) => {
                 result.newton_iterations += iters;
                 // Voltage-change step control.

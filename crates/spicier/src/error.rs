@@ -53,6 +53,14 @@ pub enum Error {
         /// Column at which factorization failed.
         column: usize,
     },
+    /// A linear-solver API was used outside its contract (mismatched
+    /// dimensions, solving before factoring, ...). Recoverable: sweep
+    /// workers and the convergence ladder treat it like any other failed
+    /// solve instead of aborting the process.
+    SolverContract {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
     /// An option value passed to an analysis is invalid.
     InvalidOptions(String),
     /// Failure while parsing an engineering-notation value such as `"4k"`.
@@ -94,6 +102,9 @@ impl fmt::Display for Error {
             ),
             Error::SingularMatrix { column } => {
                 write!(f, "singular MNA matrix at column {column}")
+            }
+            Error::SolverContract { reason } => {
+                write!(f, "solver contract violation: {reason}")
             }
             Error::InvalidOptions(reason) => write!(f, "invalid analysis options: {reason}"),
             Error::ParseValue(text) => write!(f, "cannot parse value `{text}`"),

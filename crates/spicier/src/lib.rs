@@ -58,8 +58,10 @@ pub mod units;
 pub use crate::analysis::dc::{
     operating_point, ConvergenceReport, DcOptions, DcSolution, RecoveryRung,
 };
+pub use crate::analysis::mna::SolveWorkspace;
 pub use crate::analysis::tran::{
-    transient, transient_salvage, TranFailure, TranOptions, TranResult,
+    transient, transient_salvage, transient_salvage_with, transient_with, TranFailure, TranOptions,
+    TranResult,
 };
 pub use crate::error::Error;
 pub use crate::netlist::{Circuit, Netlist, NodeId};

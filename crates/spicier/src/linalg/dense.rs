@@ -156,15 +156,37 @@ impl DenseMatrix {
     }
 }
 
-/// Reusable dense solver workspace.
+/// Reusable dense solver workspace with a cached stamp-slot map.
+///
+/// Like the sparse kernel's `StampMap`, the flattened `row * n + col`
+/// offsets of the stamp sequence are computed once; repeat calls with the
+/// same `(row, col)` sequence scatter through the cached slots without
+/// per-entry bounds checks. Scatter order is insertion order either way,
+/// so the assembled matrix is bit-identical to the uncached path.
 #[derive(Debug, Default)]
 pub struct DenseSolver {
     matrix: Option<DenseMatrix>,
+    keys: Vec<(u32, u32)>,
+    slots: Vec<u32>,
+}
+
+impl DenseSolver {
+    /// Whether the cached slot map still describes `triplets`' stamp
+    /// sequence (same dimension implied by the caller, same keys).
+    fn slots_match(&self, triplets: &Triplets) -> bool {
+        triplets.len() == self.keys.len()
+            && triplets
+                .entries()
+                .iter()
+                .zip(&self.keys)
+                .all(|(&(r, c, _), &(kr, kc))| r as u32 == kr && c as u32 == kc)
+    }
 }
 
 impl Solver for DenseSolver {
     fn solve_in_place(&mut self, triplets: &Triplets, rhs: &mut [f64]) -> Result<(), Error> {
         let n = triplets.dim();
+        let cached = matches!(&self.matrix, Some(m) if m.dim() == n) && self.slots_match(triplets);
         let matrix = match &mut self.matrix {
             Some(m) if m.dim() == n => {
                 m.clear();
@@ -172,8 +194,20 @@ impl Solver for DenseSolver {
             }
             slot => slot.insert(DenseMatrix::zeros(n)),
         };
-        for &(r, c, v) in triplets.entries() {
-            matrix.add(r, c, v);
+        if cached {
+            for (&(_, _, v), &slot) in triplets.entries().iter().zip(&self.slots) {
+                matrix.data[slot as usize] += v;
+            }
+        } else {
+            // Triplets::add already bounds-checked every (row, col), so the
+            // flattened offsets are valid for an n × n matrix.
+            self.keys.clear();
+            self.slots.clear();
+            for &(r, c, v) in triplets.entries() {
+                self.keys.push((r as u32, c as u32));
+                self.slots.push((r * n + c) as u32);
+                matrix.data[r * n + c] += v;
+            }
         }
         let perm = matrix.lu_factor()?;
         matrix.lu_solve(&perm, rhs);

@@ -153,6 +153,136 @@ impl SparseMatrix {
     }
 }
 
+/// A precomputed map from a fixed stamp sequence to CSC value slots.
+///
+/// MNA assembly emits the same `(row, col)` sequence every Newton iteration
+/// once the circuit topology and evaluation mode are fixed; only the values
+/// change. `StampMap::build` runs the triplet sort once and records, for
+/// each sorted position, which raw entry it came from and which CSC slot it
+/// lands in. [`StampMap::scatter`] then refreshes a cached
+/// [`SparseMatrix`]'s values without sorting or reallocating.
+///
+/// The scatter replays the exact accumulation order of
+/// [`SparseMatrix::from_triplets`] (the sort permutation depends only on the
+/// `(row, col)` keys, never on the values), so the refreshed matrix is
+/// bit-identical to one built from scratch.
+#[derive(Debug, Clone)]
+pub struct StampMap {
+    dim: usize,
+    /// `(row, col)` of each raw entry, in insertion order; used to detect
+    /// a changed stamp sequence.
+    keys: Vec<(u32, u32)>,
+    /// Raw entry index for each program step, in `(col, row)` sorted order.
+    order: Vec<u32>,
+    /// CSC slot written by each program step (parallel to `order`);
+    /// duplicate keys occupy consecutive steps with the same slot.
+    slots: Vec<u32>,
+}
+
+impl StampMap {
+    /// Builds the slot map for the stamp sequence in `triplets` and returns
+    /// it together with the compressed matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has more than `u32::MAX` rows or raw entries.
+    pub fn build(triplets: &Triplets) -> (Self, SparseMatrix) {
+        let matrix = SparseMatrix::from_triplets(triplets);
+        let entries = triplets.entries();
+        assert!(triplets.dim() <= u32::MAX as usize, "dimension too large");
+        assert!(entries.len() <= u32::MAX as usize, "too many stamp entries");
+        let keys: Vec<(u32, u32)> = entries
+            .iter()
+            .map(|&(r, c, _)| (r as u32, c as u32))
+            .collect();
+        // Re-run the exact sort `from_triplets` uses, but carry the entry
+        // index as the payload. `sort_unstable_by_key` is deterministic and
+        // compares keys only, so the permutation matches the one applied to
+        // the real values during compression.
+        let mut sorted: Vec<(usize, usize, f64)> = entries
+            .iter()
+            .enumerate()
+            .map(|(idx, &(r, c, _))| (r, c, idx as f64))
+            .collect();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut order = Vec::with_capacity(sorted.len());
+        let mut slots = Vec::with_capacity(sorted.len());
+        let mut slot = 0u32;
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, idx) in &sorted {
+            if let Some(prev) = last {
+                if prev != (r, c) {
+                    slot += 1;
+                }
+            }
+            last = Some((r, c));
+            order.push(idx as u32);
+            slots.push(slot);
+        }
+        debug_assert_eq!(
+            matrix.nnz(),
+            if sorted.is_empty() {
+                0
+            } else {
+                slot as usize + 1
+            }
+        );
+        (
+            Self {
+                dim: triplets.dim(),
+                keys,
+                order,
+                slots,
+            },
+            matrix,
+        )
+    }
+
+    /// Whether `triplets` still carries the stamp sequence this map was
+    /// built for (same dimension, same `(row, col)` keys in the same order).
+    pub fn matches(&self, triplets: &Triplets) -> bool {
+        if triplets.dim() != self.dim || triplets.len() != self.keys.len() {
+            return false;
+        }
+        triplets
+            .entries()
+            .iter()
+            .zip(&self.keys)
+            .all(|(&(r, c, _), &(kr, kc))| r as u32 == kr && c as u32 == kc)
+    }
+
+    /// Rewrites `matrix`'s values from `triplets`, reproducing
+    /// [`SparseMatrix::from_triplets`] bit-for-bit. Returns `false` (and
+    /// leaves `matrix` untouched) when the stamp sequence no longer matches
+    /// this map and the caller must rebuild.
+    pub fn scatter(&self, triplets: &Triplets, matrix: &mut SparseMatrix) -> bool {
+        if !self.matches(triplets) || matrix.nnz() != self.slot_count() {
+            return false;
+        }
+        let entries = triplets.entries();
+        let vals = &mut matrix.vals;
+        let mut prev_slot = u32::MAX;
+        for (&idx, &slot) in self.order.iter().zip(&self.slots) {
+            let v = entries[idx as usize].2;
+            if slot == prev_slot {
+                vals[slot as usize] += v;
+            } else {
+                // First entry of a slot run: assign, matching the
+                // `rows.push / vals.push` of a fresh compression exactly
+                // (including signed zeros).
+                vals[slot as usize] = v;
+                prev_slot = slot;
+            }
+        }
+        true
+    }
+
+    /// Number of CSC slots (merged nonzeros) this map addresses.
+    fn slot_count(&self) -> usize {
+        self.slots.last().map_or(0, |&s| s as usize + 1)
+    }
+}
+
 /// Growable CSC used for the `L` and `U` factors during factorization.
 #[derive(Debug, Clone, Default)]
 struct FactorCsc {
@@ -187,6 +317,16 @@ impl FactorCsc {
     }
 }
 
+/// Running counters for the factorization fast path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LuStats {
+    /// Full symbolic + numeric factorizations (first use, pattern change,
+    /// or pivot-degradation fallback).
+    pub full_factors: usize,
+    /// Numeric-only refactorizations that reused the cached pattern.
+    pub refactors: usize,
+}
+
 /// LU factors `P A = L U` with the row permutation stored as `pinv`
 /// (`pinv[original_row] = pivoted_row`).
 #[derive(Debug, Default)]
@@ -201,6 +341,18 @@ pub struct SparseLu {
     work_stack: Vec<usize>,
     work_pstack: Vec<usize>,
     work_marked: Vec<bool>,
+    // Symbolic state captured by `factor` and replayed by `refactor`:
+    // the A pattern it was computed for, the per-column elimination
+    // sequences (reverse-topological reach), the pivot row of each column,
+    // and L's row indices in original (unpivoted) coordinates.
+    sym_valid: bool,
+    sym_a_col_ptr: Vec<usize>,
+    sym_a_rows: Vec<usize>,
+    sym_xi: Vec<usize>,
+    sym_xi_ptr: Vec<usize>,
+    sym_pivot: Vec<usize>,
+    sym_lower_rows: Vec<usize>,
+    stats: LuStats,
 }
 
 impl SparseLu {
@@ -232,6 +384,11 @@ impl SparseLu {
         self.resize(n);
         self.lower.begin();
         self.upper.begin();
+        self.sym_valid = false;
+        self.sym_xi.clear();
+        self.sym_xi_ptr.clear();
+        self.sym_xi_ptr.push(0);
+        self.sym_pivot.clear();
         for k in 0..n {
             // ----- symbolic: pattern of x = L \ A[:, k] via DFS reach -----
             self.work_xi.clear();
@@ -287,6 +444,9 @@ impl SparseLu {
             }
             let pivot = self.work_x[pivot_row];
             self.pinv[pivot_row] = k as isize;
+            self.sym_xi.extend_from_slice(&self.work_xi);
+            self.sym_xi_ptr.push(self.sym_xi.len());
+            self.sym_pivot.push(pivot_row);
 
             // ----- emit U column k then L column k -----
             for &i in &self.work_xi {
@@ -312,13 +472,135 @@ impl SparseLu {
                 self.work_marked[i] = false;
             }
         }
+        // Keep L's original-coordinate rows and A's pattern: `refactor`
+        // replays the elimination in these coordinates.
+        self.sym_lower_rows.clear();
+        self.sym_lower_rows.extend_from_slice(&self.lower.rows);
+        self.sym_a_col_ptr.clear();
+        self.sym_a_col_ptr.extend_from_slice(&a.col_ptr);
+        self.sym_a_rows.clear();
+        self.sym_a_rows.extend_from_slice(&a.rows);
         // Remap L's row indices into pivoted coordinates so that L is
         // genuinely lower triangular for the solve phase.
         for r in &mut self.lower.rows {
             debug_assert!(self.pinv[*r] >= 0);
             *r = self.pinv[*r] as usize;
         }
+        self.sym_valid = true;
+        self.stats.full_factors += 1;
         Ok(())
+    }
+
+    /// Refactors a matrix with the same sparsity pattern as the last
+    /// successful [`factor`](Self::factor), reusing the discovered column
+    /// patterns, pivot order, and `L`/`U` allocations.
+    ///
+    /// The numeric replay is bit-identical to a from-scratch factorization
+    /// as long as the stored pivot order is still what partial pivoting
+    /// would choose. Each column's pivot search is re-run over the new
+    /// values; when the winner differs from the stored pivot (degradation),
+    /// or when there is no prior factorization or the pattern changed, the
+    /// call transparently falls back to a full [`factor`](Self::factor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] when no acceptable pivot exists in
+    /// some column.
+    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<(), Error> {
+        if !self.sym_valid
+            || a.dim() != self.n
+            || a.col_ptr != self.sym_a_col_ptr
+            || a.rows != self.sym_a_rows
+        {
+            return self.factor(a);
+        }
+        let n = self.n;
+        for k in 0..n {
+            let xi = &self.sym_xi[self.sym_xi_ptr[k]..self.sym_xi_ptr[k + 1]];
+            // ----- numeric: scatter A[:, k] then eliminate in replay order -----
+            for p in a.col_ptr[k]..a.col_ptr[k + 1] {
+                self.work_x[a.rows[p]] += a.vals[p];
+            }
+            for idx in (0..xi.len()).rev() {
+                let i = xi[idx];
+                // `pinv` is fully populated here; "already pivotal at step
+                // k" translates to a final pivot column below `k`.
+                let piv = self.pinv[i];
+                if piv as usize >= k {
+                    continue;
+                }
+                let xi_val = self.work_x[i];
+                if xi_val == 0.0 {
+                    continue;
+                }
+                let col = piv as usize;
+                for p in (self.lower.col_ptr[col] + 1)..self.lower.col_ptr[col + 1] {
+                    self.work_x[self.sym_lower_rows[p]] -= self.lower.vals[p] * xi_val;
+                }
+            }
+
+            // ----- pivot recheck: rerun the argmax over the new values -----
+            let mut pivot_row = usize::MAX;
+            let mut pivot_mag = 0.0f64;
+            for &i in xi {
+                if self.pinv[i] as usize >= k {
+                    let mag = self.work_x[i].abs();
+                    if mag > pivot_mag {
+                        pivot_mag = mag;
+                        pivot_row = i;
+                    }
+                }
+            }
+            if pivot_row != self.sym_pivot[k] || pivot_mag < PIVOT_FLOOR {
+                // Partial pivoting would choose differently now (or the
+                // column collapsed): the replay is no longer exact.
+                // Clean the workspace and redo the symbolic work.
+                for &i in xi {
+                    self.work_x[i] = 0.0;
+                }
+                return self.factor(a);
+            }
+            let pivot = self.work_x[pivot_row];
+
+            // ----- overwrite U column k then L column k in place -----
+            let mut cursor = self.upper.col_ptr[k];
+            for &i in xi {
+                let piv = self.pinv[i];
+                if (piv as usize) < k {
+                    debug_assert_eq!(self.upper.rows[cursor], piv as usize);
+                    self.upper.vals[cursor] = self.work_x[i];
+                    cursor += 1;
+                }
+            }
+            debug_assert_eq!(cursor + 1, self.upper.col_ptr[k + 1]);
+            debug_assert_eq!(self.upper.rows[cursor], k);
+            self.upper.vals[cursor] = pivot;
+
+            let mut cursor = self.lower.col_ptr[k];
+            debug_assert_eq!(self.sym_lower_rows[cursor], pivot_row);
+            self.lower.vals[cursor] = 1.0;
+            cursor += 1;
+            for &i in xi {
+                if self.pinv[i] as usize > k {
+                    debug_assert_eq!(self.sym_lower_rows[cursor], i);
+                    self.lower.vals[cursor] = self.work_x[i] / pivot;
+                    cursor += 1;
+                }
+            }
+            debug_assert_eq!(cursor, self.lower.col_ptr[k + 1]);
+
+            // ----- reset workspace -----
+            for &i in xi {
+                self.work_x[i] = 0.0;
+            }
+        }
+        self.stats.refactors += 1;
+        Ok(())
+    }
+
+    /// Counters for full factorizations vs. numeric-only refactorizations.
+    pub fn stats(&self) -> LuStats {
+        self.stats
     }
 
     /// Iterative depth-first search over the partially built `L` starting
@@ -374,14 +656,24 @@ impl SparseLu {
     /// Solves `A x = b` using the current factors; `rhs` holds `b` on entry
     /// and `x` on exit.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no factorization has been computed or the dimension does
-    /// not match.
-    pub fn solve(&self, rhs: &mut [f64]) {
+    /// Returns [`Error::SolverContract`] when no factorization has been
+    /// computed or the dimension does not match, so callers in sweep
+    /// workers and the recovery ladder can treat it as a convergence
+    /// failure instead of aborting.
+    pub fn solve(&self, rhs: &mut [f64]) -> Result<(), Error> {
         let n = self.n;
-        assert_eq!(rhs.len(), n, "rhs dimension mismatch");
-        assert_eq!(self.lower.col_ptr.len(), n + 1, "factorization missing");
+        if self.lower.col_ptr.len() != n + 1 {
+            return Err(Error::SolverContract {
+                reason: "solve called without a complete factorization".to_string(),
+            });
+        }
+        if rhs.len() != n {
+            return Err(Error::SolverContract {
+                reason: format!("rhs has {} entries for a {n}-unknown system", rhs.len()),
+            });
+        }
         // x = P b
         let mut x = vec![0.0; n];
         for (i, &v) in rhs.iter().enumerate() {
@@ -409,6 +701,7 @@ impl SparseLu {
             }
         }
         rhs.copy_from_slice(&x);
+        Ok(())
     }
 
     /// Total nonzeros in both factors (fill-in diagnostic).
@@ -417,18 +710,60 @@ impl SparseLu {
     }
 }
 
-/// Reusable sparse solver workspace.
+/// Running counters for a caching solver's assembly and factorization paths.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Times the stamp-slot map was (re)built because the stamp sequence
+    /// changed (includes the first call).
+    pub pattern_rebuilds: usize,
+    /// Full symbolic + numeric factorizations.
+    pub full_factors: usize,
+    /// Numeric-only refactorizations on the cached pattern.
+    pub refactors: usize,
+}
+
+/// Reusable sparse solver workspace with a cached stamp-slot map.
+///
+/// The first call (and any call whose stamp sequence differs from the
+/// cached one) compresses the triplets, builds a [`StampMap`], and runs a
+/// full factorization. Subsequent calls with the same stamp sequence —
+/// every Newton iteration of a fixed circuit — scatter values straight
+/// into the cached CSC matrix and run [`SparseLu::refactor`].
 #[derive(Debug, Default)]
 pub struct SparseSolver {
     lu: SparseLu,
+    map: Option<StampMap>,
+    matrix: Option<SparseMatrix>,
+    pattern_rebuilds: usize,
+}
+
+impl SparseSolver {
+    /// Counters for the assembly and factorization fast paths.
+    pub fn stats(&self) -> SolverStats {
+        let lu = self.lu.stats();
+        SolverStats {
+            pattern_rebuilds: self.pattern_rebuilds,
+            full_factors: lu.full_factors,
+            refactors: lu.refactors,
+        }
+    }
 }
 
 impl Solver for SparseSolver {
     fn solve_in_place(&mut self, triplets: &Triplets, rhs: &mut [f64]) -> Result<(), Error> {
-        let a = SparseMatrix::from_triplets(triplets);
-        self.lu.factor(&a)?;
-        self.lu.solve(rhs);
-        Ok(())
+        let cached = match (&self.map, &mut self.matrix) {
+            (Some(map), Some(matrix)) => map.scatter(triplets, matrix),
+            _ => false,
+        };
+        if !cached {
+            let (map, matrix) = StampMap::build(triplets);
+            self.map = Some(map);
+            self.matrix = Some(matrix);
+            self.pattern_rebuilds += 1;
+        }
+        let a = self.matrix.as_ref().expect("matrix cached above");
+        self.lu.refactor(a)?;
+        self.lu.solve(rhs)
     }
 }
 

@@ -1,0 +1,241 @@
+//! Property tests of the numeric-refactorization fast path: on a fixed
+//! sparsity pattern, `SparseLu::refactor` must reproduce a from-scratch
+//! `factor` bit-for-bit (same pivots, same arithmetic order), and the
+//! stamp-slot map must reproduce `SparseMatrix::from_triplets` exactly.
+
+use spicier::linalg::sparse::SparseSolver;
+use spicier::linalg::{DenseMatrix, Solver, SparseLu, SparseMatrix, StampMap, Triplets};
+use xrand::StdRng;
+
+/// A random diagonally dominant stamp sequence: fixed keys, with some
+/// duplicate `(row, col)` pairs like real MNA stamps produce.
+fn random_pattern(rng: &mut StdRng, n: usize) -> Vec<(usize, usize)> {
+    let mut keys = Vec::new();
+    for i in 0..n {
+        keys.push((i, i));
+    }
+    for _ in 0..rng.gen_range(n..4 * n) {
+        keys.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    keys
+}
+
+/// Instantiates values on `keys`: strong diagonal, small off-diagonals,
+/// scaled by `round` so every call yields a different numeric matrix on
+/// the same pattern.
+fn instantiate(rng: &mut StdRng, n: usize, keys: &[(usize, usize)]) -> Triplets {
+    let mut t = Triplets::new(n);
+    for &(r, c) in keys {
+        let v = if r == c {
+            rng.gen_range(4.0..10.0) * n as f64
+        } else {
+            rng.gen_range(-1.0..1.0)
+        };
+        t.add(r, c, v);
+    }
+    t
+}
+
+fn solve_bits(lu: &SparseLu, n: usize) -> Vec<u64> {
+    let mut rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    lu.solve(&mut rhs).expect("factored");
+    rhs.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn refactor_matches_from_scratch_factor_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0xFAC7);
+    for _ in 0..32 {
+        let n = rng.gen_range(3usize..40);
+        let keys = random_pattern(&mut rng, n);
+        let mut fast = SparseLu::new();
+        fast.factor(&SparseMatrix::from_triplets(&instantiate(
+            &mut rng, n, &keys,
+        )))
+        .expect("diagonally dominant");
+        // Perturb the values repeatedly on the same pattern; the fast
+        // path must agree with a fresh factorization to the last bit.
+        for _ in 0..8 {
+            let t = instantiate(&mut rng, n, &keys);
+            let a = SparseMatrix::from_triplets(&t);
+            fast.refactor(&a).expect("same pattern");
+            let mut fresh = SparseLu::new();
+            fresh.factor(&a).expect("diagonally dominant");
+            assert_eq!(
+                solve_bits(&fast, n),
+                solve_bits(&fresh, n),
+                "refactor diverged from factor on an {n}-unknown system"
+            );
+        }
+        let stats = fast.stats();
+        assert_eq!(stats.full_factors, 1, "no fallback expected");
+        assert_eq!(stats.refactors, 8);
+    }
+}
+
+#[test]
+fn refactor_agrees_with_dense_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x0D0C);
+    for _ in 0..16 {
+        let n = rng.gen_range(3usize..30);
+        let keys = random_pattern(&mut rng, n);
+        let mut lu = SparseLu::new();
+        for _ in 0..4 {
+            let t = instantiate(&mut rng, n, &keys);
+            let a = SparseMatrix::from_triplets(&t);
+            lu.refactor(&a).expect("diagonally dominant");
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+            let mut xs = b.clone();
+            lu.solve(&mut xs).unwrap();
+            let mut dense = DenseMatrix::from_triplets(&t);
+            let perm = dense.lu_factor().unwrap();
+            let mut xd = b.clone();
+            dense.lu_solve(&perm, &mut xd);
+            for (s, d) in xs.iter().zip(&xd) {
+                assert!((s - d).abs() < 1e-8 * d.abs().max(1.0), "{s} vs {d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn refactor_falls_back_when_pivot_order_degrades() {
+    // Column 0 pivots on the larger of a[0][0] and a[1][0]; swapping their
+    // magnitudes between calls forces a different pivot choice, which the
+    // strict recheck must catch by redoing the full factorization.
+    let build = |a00: f64, a10: f64| {
+        let mut t = Triplets::new(2);
+        t.add(0, 0, a00);
+        t.add(1, 0, a10);
+        t.add(0, 1, 2.0);
+        t.add(1, 1, 7.0);
+        SparseMatrix::from_triplets(&t)
+    };
+    let mut lu = SparseLu::new();
+    lu.factor(&build(1.0, 5.0)).unwrap();
+    assert_eq!(lu.stats().full_factors, 1);
+
+    // Same pivot order: fast path.
+    lu.refactor(&build(2.0, 6.0)).unwrap();
+    assert_eq!(lu.stats().refactors, 1);
+    assert_eq!(lu.stats().full_factors, 1);
+
+    // Degraded: row 0 now dominates column 0.
+    lu.refactor(&build(9.0, 0.5)).unwrap();
+    assert_eq!(
+        lu.stats().full_factors,
+        2,
+        "pivot degradation must trigger a full factorization"
+    );
+    // And the result is still correct: solve [9 2; 0.5 7] x = b.
+    let mut rhs = vec![13.0, 15.0];
+    lu.solve(&mut rhs).unwrap();
+    assert!((9.0 * rhs[0] + 2.0 * rhs[1] - 13.0).abs() < 1e-12);
+    assert!((0.5 * rhs[0] + 7.0 * rhs[1] - 15.0).abs() < 1e-12);
+}
+
+#[test]
+fn refactor_handles_random_pivot_swaps() {
+    // Randomly scale rows so the pivot argmax flips often; every call must
+    // still match a from-scratch factorization bitwise (via fallback when
+    // needed).
+    let mut rng = StdRng::seed_from_u64(0x51AB5);
+    for _ in 0..16 {
+        let n = rng.gen_range(3usize..20);
+        let keys = random_pattern(&mut rng, n);
+        let mut fast = SparseLu::new();
+        for _ in 0..6 {
+            let mut t = Triplets::new(n);
+            for &(r, c) in &keys {
+                // Row scaling churns pivot choices without losing rank.
+                let scale = if rng.gen_range(0.0..1.0) < 0.3 {
+                    50.0
+                } else {
+                    1.0
+                };
+                let v = if r == c {
+                    rng.gen_range(4.0..10.0) * n as f64
+                } else {
+                    rng.gen_range(-1.0..1.0)
+                } * scale;
+                t.add(r, c, v);
+            }
+            let a = SparseMatrix::from_triplets(&t);
+            fast.refactor(&a).expect("full rank");
+            let mut fresh = SparseLu::new();
+            fresh.factor(&a).expect("full rank");
+            assert_eq!(solve_bits(&fast, n), solve_bits(&fresh, n));
+        }
+    }
+}
+
+#[test]
+fn stamp_map_scatter_reproduces_from_triplets() {
+    let mut rng = StdRng::seed_from_u64(0x57A3);
+    for _ in 0..64 {
+        let n = rng.gen_range(2usize..30);
+        let keys = random_pattern(&mut rng, n);
+        let (map, mut cached) = StampMap::build(&instantiate(&mut rng, n, &keys));
+        for _ in 0..4 {
+            let t = instantiate(&mut rng, n, &keys);
+            assert!(map.matches(&t));
+            assert!(map.scatter(&t, &mut cached), "matching sequence scatters");
+            assert_eq!(cached, SparseMatrix::from_triplets(&t));
+        }
+    }
+}
+
+#[test]
+fn stamp_map_rejects_changed_sequence() {
+    let mut a = Triplets::new(3);
+    a.add(0, 0, 1.0);
+    a.add(1, 1, 2.0);
+    a.add(2, 2, 3.0);
+    let (map, mut cached) = StampMap::build(&a);
+
+    // Different key at one position.
+    let mut b = Triplets::new(3);
+    b.add(0, 0, 1.0);
+    b.add(2, 1, 2.0);
+    b.add(2, 2, 3.0);
+    assert!(!map.matches(&b));
+    assert!(!map.scatter(&b, &mut cached));
+
+    // Extra entry.
+    let mut c = a.clone();
+    c.add(0, 1, 4.0);
+    assert!(!map.scatter(&c, &mut cached));
+
+    // Different dimension.
+    let mut d = Triplets::new(4);
+    d.add(0, 0, 1.0);
+    d.add(1, 1, 2.0);
+    d.add(2, 2, 3.0);
+    assert!(!map.scatter(&d, &mut cached));
+}
+
+#[test]
+fn caching_solver_matches_one_shot_solver_across_perturbations() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..16 {
+        let n = rng.gen_range(3usize..35);
+        let keys = random_pattern(&mut rng, n);
+        let mut caching = SparseSolver::default();
+        for _ in 0..5 {
+            let t = instantiate(&mut rng, n, &keys);
+            let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+            let mut x_cached = b.clone();
+            caching.solve_in_place(&t, &mut x_cached).unwrap();
+            let mut x_fresh = b.clone();
+            SparseSolver::default()
+                .solve_in_place(&t, &mut x_fresh)
+                .unwrap();
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&x_cached), bits(&x_fresh));
+        }
+        let stats = caching.stats();
+        assert_eq!(stats.pattern_rebuilds, 1);
+        assert_eq!(stats.full_factors, 1);
+        assert_eq!(stats.refactors, 4);
+    }
+}

@@ -280,3 +280,32 @@ fn huge_sweep_of_pathologies_never_panics() {
         let _ = no_panic(label, case);
     }
 }
+
+#[test]
+fn sparse_lu_solve_contract_violations_are_errors_not_panics() {
+    use spicier::linalg::{SparseLu, SparseMatrix, Triplets};
+
+    // Solving before any factorization must be a structured error in every
+    // build profile — the recovery ladder catches it like a failed solve.
+    let lu = SparseLu::new();
+    let mut rhs = vec![1.0, 2.0];
+    let err = no_panic("solve without factor", || lu.solve(&mut rhs)).unwrap_err();
+    assert!(matches!(err, Error::SolverContract { .. }), "{err:?}");
+    assert!(err.to_string().contains("solver contract violation"));
+
+    // A right-hand side of the wrong length after a valid factorization.
+    let mut t = Triplets::new(2);
+    t.add(0, 0, 2.0);
+    t.add(1, 1, 3.0);
+    let mut lu = SparseLu::new();
+    lu.factor(&SparseMatrix::from_triplets(&t)).unwrap();
+    let mut short = vec![1.0];
+    let err = no_panic("rhs length mismatch", || lu.solve(&mut short)).unwrap_err();
+    assert!(matches!(err, Error::SolverContract { .. }), "{err:?}");
+    assert!(err.to_string().contains("2-unknown"), "{err}");
+
+    // The right-sized solve still works afterwards.
+    let mut ok = vec![4.0, 9.0];
+    lu.solve(&mut ok).unwrap();
+    assert!((ok[0] - 2.0).abs() < 1e-12 && (ok[1] - 3.0).abs() < 1e-12);
+}

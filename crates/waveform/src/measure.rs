@@ -38,6 +38,11 @@ impl LevelStats {
 /// This is the Table 1 measurement: the paper crosses every signal at
 /// 3.165 V, "the normal crossing point of an output and its complement".
 ///
+/// The output search is *strictly* after the input crossing: a crossing
+/// coincident with the stimulus (e.g. feedthrough, or the previous bit's
+/// tail crossing at the same instant) is not the gate's response, and
+/// would otherwise report an impossible 0 s delay.
+///
 /// Returns `None` when either signal never crosses after `t_from`.
 pub fn propagation_delay(
     input: &Waveform,
@@ -48,7 +53,7 @@ pub fn propagation_delay(
     t_from: f64,
 ) -> Option<f64> {
     let t_in = input.first_crossing_after(level_in, edge, t_from)?;
-    let t_out = output.first_crossing_after(level_out, Edge::Any, t_in)?;
+    let t_out = output.first_crossing_strictly_after(level_out, Edge::Any, t_in)?;
     Some(t_out - t_in)
 }
 
@@ -69,7 +74,9 @@ pub fn differential_crossings(
 }
 
 /// Delay from the first differential crossing of `(in_p, in_n)` after
-/// `t_from` to the next differential crossing of `(out_p, out_n)`.
+/// `t_from` to the next differential crossing of `(out_p, out_n)`,
+/// strictly after the input crossing (a coincident output crossing is not
+/// a response — see [`propagation_delay`]).
 ///
 /// # Errors
 ///
@@ -88,9 +95,9 @@ pub fn differential_delay(
     let Some(t_in) = t_in else {
         return Ok(None);
     };
-    let t_out = differential_crossings(out_p, out_n, Edge::Any)?
-        .into_iter()
-        .find(|&t| t >= t_in);
+    let t_out = out_p
+        .sub(out_n)?
+        .first_crossing_strictly_after(0.0, Edge::Any, t_in);
     Ok(t_out.map(|t| t - t_in))
 }
 
@@ -262,6 +269,32 @@ mod tests {
         let input = wf(&[(0.0, 0.0), (1.0, 1.0)]);
         let flat = wf(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
         assert!(propagation_delay(&input, &flat, 0.5, 0.5, Edge::Rising, 0.0).is_none());
+    }
+
+    #[test]
+    fn propagation_delay_skips_coincident_output_crossing() {
+        // Both signals cross 0.5 at exactly t = 1.0 (the Table 1 failure
+        // mode: an 8-buffer chain whose tail crossing lines up with the
+        // stimulus edge). The output's own response is the next crossing
+        // at t = 2.5, so the measured delay must be 1.5, not 0.
+        let input = wf(&[(0.0, 0.0), (2.0, 1.0)]);
+        let output = wf(&[(0.0, 0.0), (2.0, 1.0), (3.0, 0.0)]);
+        let d = propagation_delay(&input, &output, 0.5, 0.5, Edge::Rising, 0.0).unwrap();
+        assert!((d - 1.5).abs() < 1e-12, "delay {d}");
+    }
+
+    #[test]
+    fn differential_delay_skips_coincident_output_crossing() {
+        // Input and output pairs both cross at t = 0.5; the output's next
+        // own crossing is at t = 1.5.
+        let in_p = wf(&[(0.0, 1.0), (1.0, 0.0), (2.0, 0.0)]);
+        let in_n = wf(&[(0.0, 0.0), (1.0, 1.0), (2.0, 1.0)]);
+        let out_p = wf(&[(0.0, 1.0), (1.0, 0.0), (2.0, 1.0)]);
+        let out_n = wf(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let d = differential_delay(&in_p, &in_n, &out_p, &out_n, 0.0)
+            .unwrap()
+            .unwrap();
+        assert!((d - 1.0).abs() < 1e-12, "delay {d}");
     }
 
     #[test]

@@ -144,32 +144,59 @@ impl Waveform {
         v0 + (v1 - v0) * (t - t0) / (t1 - t0)
     }
 
+    /// Interpolated crossing time of `level` in the segment ending at
+    /// sample `i`, when that segment crosses in the requested direction.
+    fn segment_crossing(&self, i: usize, level: f64, edge: Edge) -> Option<f64> {
+        let (v0, v1) = (self.values[i - 1], self.values[i]);
+        let rising = v0 < level && v1 >= level;
+        let falling = v0 > level && v1 <= level;
+        let hit = match edge {
+            Edge::Rising => rising,
+            Edge::Falling => falling,
+            Edge::Any => rising || falling,
+        };
+        hit.then(|| {
+            let (t0, t1) = (self.time[i - 1], self.time[i]);
+            t0 + (t1 - t0) * (level - v0) / (v1 - v0)
+        })
+    }
+
     /// All times where the signal crosses `level` in the requested
     /// direction, linearly interpolated.
     pub fn crossings(&self, level: f64, edge: Edge) -> Vec<f64> {
-        let mut out = Vec::new();
-        for i in 1..self.len() {
-            let (v0, v1) = (self.values[i - 1], self.values[i]);
-            let rising = v0 < level && v1 >= level;
-            let falling = v0 > level && v1 <= level;
-            let hit = match edge {
-                Edge::Rising => rising,
-                Edge::Falling => falling,
-                Edge::Any => rising || falling,
-            };
-            if hit {
-                let (t0, t1) = (self.time[i - 1], self.time[i]);
-                out.push(t0 + (t1 - t0) * (level - v0) / (v1 - v0));
-            }
-        }
-        out
+        (1..self.len())
+            .filter_map(|i| self.segment_crossing(i, level, edge))
+            .collect()
     }
 
     /// First crossing of `level` at or after `t_from`.
+    ///
+    /// Scans segments lazily from the first one that can reach `t_from`
+    /// instead of materializing every crossing of the waveform.
     pub fn first_crossing_after(&self, level: f64, edge: Edge, t_from: f64) -> Option<f64> {
-        self.crossings(level, edge)
-            .into_iter()
-            .find(|&t| t >= t_from)
+        self.scan_crossing(level, edge, t_from, false)
+    }
+
+    /// First crossing of `level` strictly after `t_from`.
+    ///
+    /// Delay measurements use this so a crossing coincident with the
+    /// reference instant is not reported as the response to it.
+    pub fn first_crossing_strictly_after(
+        &self,
+        level: f64,
+        edge: Edge,
+        t_from: f64,
+    ) -> Option<f64> {
+        self.scan_crossing(level, edge, t_from, true)
+    }
+
+    fn scan_crossing(&self, level: f64, edge: Edge, t_from: f64, strict: bool) -> Option<f64> {
+        // A crossing in the segment ending at sample `i` is at most
+        // `time[i]`, so segments that end before `t_from` cannot qualify.
+        let start = self.time.partition_point(|&t| t < t_from).max(1);
+        (start..self.len())
+            .filter_map(|i| self.segment_crossing(i, level, edge))
+            .find(|&t| if strict { t > t_from } else { t >= t_from })
     }
 
     /// Minimum value in `[t0, t1]` (window endpoints are interpolated, so
