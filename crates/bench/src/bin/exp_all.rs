@@ -6,13 +6,46 @@
 //! companions) and do not fail the run; only an experiment that cannot
 //! produce its artifact at all counts as a failure here. The run always
 //! ends with a summary of both kinds.
+//!
+//! Campaign machinery:
+//! * every experiment's outcome is recorded in
+//!   `target/experiments/MANIFEST.json` (atomically rewritten after each
+//!   one), with an input hash covering the scale and chaos knobs;
+//! * `--resume` skips experiments the manifest shows as complete under
+//!   the same inputs, so a killed run restarts where it stopped and its
+//!   final artifacts are identical to an uninterrupted run;
+//! * `EXP_ONLY=FIG2,FIG4` restricts the run to a comma-separated subset;
+//! * `CHAOS_KILL_AFTER_EXPERIMENTS=N` kills the process (exit 137) after
+//!   `N` experiments have executed — the kill/resume drill.
 
+use cml_bench::experiments::manifest::{input_hash, ExperimentRecord, Manifest};
 use cml_bench::{experiments as exp, Scale};
 
 type ExperimentFn = fn(Scale) -> Result<(), spicier::Error>;
 
+/// `EXP_ONLY` filter: `None` = run everything.
+fn only_filter() -> Option<Vec<String>> {
+    let v = std::env::var("EXP_ONLY").ok()?;
+    let names: Vec<String> = v
+        .split(',')
+        .map(|s| s.trim().to_ascii_uppercase())
+        .filter(|s| !s.is_empty())
+        .collect();
+    (!names.is_empty()).then_some(names)
+}
+
+/// `CHAOS_KILL_AFTER_EXPERIMENTS=N`: die after N executed experiments.
+fn chaos_kill_after() -> Option<usize> {
+    std::env::var("CHAOS_KILL_AFTER_EXPERIMENTS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
 fn main() {
     let scale = Scale::from_env();
+    let resume = std::env::args().any(|a| a == "--resume");
+    let only = only_filter();
+    let kill_after = chaos_kill_after();
     let t0 = std::time::Instant::now();
     let steps: Vec<(&str, ExperimentFn)> = vec![
         ("FIG2", exp::fig2::execute),
@@ -33,23 +66,61 @@ fn main() {
         ("STUCKAT", exp::stuckat::execute),
         ("POWER", exp::power::execute),
     ];
-    let total = steps.len();
+    // A fresh campaign starts from an empty manifest; --resume keeps the
+    // previous one and skips whatever it proves complete.
+    let mut manifest = if resume {
+        Manifest::load()
+    } else {
+        Manifest::default()
+    };
+    let mut attempted = 0usize;
+    let mut executed = 0usize;
+    let mut skipped = 0usize;
     let mut failed: Vec<(&str, String)> = Vec::new();
     for (name, f) in steps {
+        if let Some(names) = &only {
+            if !names.iter().any(|n| n == name) {
+                continue;
+            }
+        }
+        attempted += 1;
+        let hash = input_hash(name, scale);
+        if resume && manifest.is_complete(name, &hash) {
+            println!("[{name}] complete in manifest: skipped (resume)");
+            skipped += 1;
+            continue;
+        }
         let t = std::time::Instant::now();
-        match f(scale) {
-            Ok(()) => println!("[{name}] done in {:.1} s", t.elapsed().as_secs_f64()),
+        let record = match f(scale) {
+            Ok(()) => {
+                let secs = t.elapsed().as_secs_f64();
+                println!("[{name}] done in {secs:.1} s");
+                ExperimentRecord::ok(hash, secs)
+            }
             Err(e) => {
+                let secs = t.elapsed().as_secs_f64();
                 eprintln!("[{name}] FAILED: {e}");
                 failed.push((name, e.to_string()));
+                ExperimentRecord::failed(hash, secs, e.to_string())
             }
+        };
+        manifest.record(name, record);
+        if let Err(e) = manifest.save() {
+            eprintln!("  [warn] could not write manifest: {e}");
+        }
+        executed += 1;
+        if kill_after == Some(executed) {
+            eprintln!("[chaos] CHAOS_KILL_AFTER_EXPERIMENTS={executed}: dying mid-campaign");
+            std::process::exit(137);
         }
     }
     println!(
-        "\n== run summary: {}/{} experiments ok in {:.1} s ==",
-        total - failed.len(),
-        total,
-        t0.elapsed().as_secs_f64()
+        "\n== run summary: {}/{} experiments ok in {:.1} s ({} run, {} resumed) ==",
+        attempted - failed.len(),
+        attempted,
+        t0.elapsed().as_secs_f64(),
+        executed,
+        skipped
     );
     for (name, err) in &failed {
         println!("  FAILED {name}: {err}");

@@ -2,10 +2,34 @@
 
 use cml_cells::{waveform_of, BufferChain, CmlCircuitBuilder, CmlProcess};
 use faults::Defect;
+use spicier::analysis::sweep::TryMapOptions;
 use spicier::analysis::tran::{transient, transient_with, Probe, TranOptions, TranResult};
 use spicier::SolveWorkspace;
 use spicier::{Circuit, Error};
 use waveform::Waveform;
+
+/// Sweep options shared by the fault-isolated experiments.
+///
+/// `EXP_CORNER_DEADLINE_MS=<millis>` installs a per-corner wall-clock
+/// deadline: a corner that exceeds its slice is recorded as timed out
+/// (with phase and elapsed time) instead of stalling the whole campaign.
+/// Unset, zero, or unparsable values leave corners unbounded.
+pub fn try_map_options() -> TryMapOptions {
+    let mut opts = TryMapOptions::default();
+    if let Ok(v) = std::env::var("EXP_CORNER_DEADLINE_MS") {
+        match v.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => {
+                opts.corner_deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            Ok(_) => {}
+            Err(_) if !v.is_empty() => {
+                eprintln!("  [warn] ignoring unparsable EXP_CORNER_DEADLINE_MS={v}");
+            }
+            Err(_) => {}
+        }
+    }
+    opts
+}
 
 /// The Figure 3 test circuit with an optional pipe on the DUT's Q3,
 /// compiled and ready to run.

@@ -10,7 +10,7 @@
 use super::common::{fig3_circuit, run_periods_probed_with, wf};
 use super::report::{print_table, report_sweep, v, write_rows_csv};
 use crate::Scale;
-use spicier::analysis::sweep::{grid2, par_try_map_with, SweepReport, TryMapOptions};
+use spicier::analysis::sweep::{grid2, par_try_map_with, SweepReport};
 use spicier::Error;
 use spicier::SolveWorkspace;
 use waveform::LevelStats;
@@ -87,7 +87,7 @@ pub fn run(scale: Scale) -> Fig5Result {
     // factorization are cache hits for the rest of its queue.
     let (slots, report) = par_try_map_with(
         grid,
-        &TryMapOptions::default(),
+        &super::common::try_map_options(),
         SolveWorkspace::default,
         |ws, &(pipe, freq)| -> Result<Fig5Point, Error> {
             let pipe_opt = pipe.is_finite().then_some(pipe);

@@ -66,16 +66,36 @@ pub fn settle_sweep(freqs: &[f64], pipes: &[f64], caps: &[f64], vtest: Option<f6
 
 /// [`settle_sweep`] over an explicit corner list (lets callers append
 /// extra corners, e.g. the `EXP_INJECT_BAD_CORNER` demonstration).
+/// Per-corner deadlines come from `EXP_CORNER_DEADLINE_MS`.
 pub fn settle_sweep_grid(grid: Vec<(f64, f64, f64)>, vtest: Option<f64>) -> SettleSweep {
+    settle_sweep_grid_with(grid, vtest, &super::common::try_map_options())
+}
+
+/// [`settle_sweep_grid`] with explicit sweep options (per-corner deadline,
+/// retries, worker cap). A corner equal to [`HANG_CORNER`] runs with the
+/// chaos hang injector active, so its Newton loops spin without
+/// converging — the per-corner deadline must cut it loose as a timeout
+/// while the rest of the grid completes untouched.
+pub fn settle_sweep_grid_with(
+    grid: Vec<(f64, f64, f64)>,
+    vtest: Option<f64>,
+    opts: &TryMapOptions,
+) -> SettleSweep {
     let corners = grid.clone();
     let (slots, report) = par_try_map(
         grid,
-        &TryMapOptions::default(),
+        opts,
         |&(freq, pipe, cap)| -> Result<SettlePoint, Error> {
             // Longer horizon for the big capacitor; always at least 12 periods.
             let base: f64 = if cap > 5.0e-12 { 300.0e-9 } else { 80.0e-9 };
             let t_stop = base.max(12.0 / freq);
-            let r = detector_response(pipe, DetectorLoad::diode_cap(cap), freq, t_stop, vtest)?;
+            let solve =
+                || detector_response(pipe, DetectorLoad::diode_cap(cap), freq, t_stop, vtest);
+            let r = if (freq, pipe, cap) == HANG_CORNER {
+                spicier::chaos::with_hang(solve)
+            } else {
+                solve()
+            }?;
             Ok(SettlePoint {
                 freq,
                 pipe_ohms: pipe,
@@ -124,14 +144,32 @@ pub fn grids(scale: Scale) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
 /// the netlist), used to demonstrate sweep fault isolation end to end.
 pub const BAD_CORNER: (f64, f64, f64) = (100.0e6, -1.0, 1.0e-12);
 
+/// A sentinel corner (recognizable pipe value) that runs with the chaos
+/// hang injector active: its Newton loops never converge and busy-sleep,
+/// standing in for a pathological corner that would stall the campaign.
+/// Only a per-corner deadline can end it, as a recorded timeout.
+pub const HANG_CORNER: (f64, f64, f64) = (100.0e6, 7.777e3, 1.0e-12);
+
+/// Fallback per-corner deadline installed when the hang demonstration is
+/// requested without an explicit `EXP_CORNER_DEADLINE_MS`.
+const HANG_DEADLINE_MS: u64 = 300;
+
 /// Whether the operator asked for the demonstration failure corner.
 pub fn inject_bad_corner() -> bool {
     std::env::var("EXP_INJECT_BAD_CORNER").is_ok_and(|value| !value.is_empty() && value != "0")
 }
 
+/// Whether the operator asked for the demonstration hanging corner
+/// (`EXP_INJECT_HANG_CORNER=1`).
+pub fn inject_hang_corner() -> bool {
+    std::env::var("EXP_INJECT_HANG_CORNER").is_ok_and(|value| !value.is_empty() && value != "0")
+}
+
 /// Runs the variant-1 settling sweep. With `EXP_INJECT_BAD_CORNER=1` a
 /// known-bad corner is appended; it must show up in the report and as an
-/// annotated gap, while every healthy corner still produces data.
+/// annotated gap, while every healthy corner still produces data. With
+/// `EXP_INJECT_HANG_CORNER=1` a hanging corner is appended and a
+/// per-corner deadline (default 300 ms) is installed to time it out.
 pub fn run(scale: Scale) -> SettleSweep {
     let (freqs, pipes, caps) = grids(scale);
     let mut grid = spicier::analysis::sweep::grid3(&freqs, &pipes, &caps);
@@ -139,7 +177,19 @@ pub fn run(scale: Scale) -> SettleSweep {
         println!("  [inject] EXP_INJECT_BAD_CORNER set: appending a known-bad corner");
         grid.push(BAD_CORNER);
     }
-    settle_sweep_grid(grid, None)
+    let mut opts = super::common::try_map_options();
+    if inject_hang_corner() {
+        println!("  [inject] EXP_INJECT_HANG_CORNER set: appending a hanging corner");
+        grid.push(HANG_CORNER);
+        let deadline = opts
+            .corner_deadline
+            .get_or_insert(std::time::Duration::from_millis(HANG_DEADLINE_MS));
+        println!(
+            "  [inject] per-corner deadline: {} ms",
+            deadline.as_millis()
+        );
+    }
+    settle_sweep_grid_with(grid, None, &opts)
 }
 
 /// Formats and prints a settling sweep (shared with FIG10).
@@ -258,6 +308,43 @@ mod tests {
         let sweep = settle_sweep(&[2.0e9], &[1.0e3], &[1.0e-12], None);
         assert!(sweep.points[0].error.is_none());
         assert!(sweep.points[0].t_stability.is_none());
+    }
+
+    #[test]
+    fn hang_corner_times_out_under_its_deadline() {
+        // The hang corner's Newton loops sleep 200 µs per iteration and
+        // never converge, so the corner cannot finish before ~630 ms of
+        // sleeps — a 500 ms per-corner deadline must always cut it loose
+        // as a recorded timeout, never as an ordinary solver failure.
+        let opts = TryMapOptions {
+            corner_deadline: Some(std::time::Duration::from_millis(500)),
+            ..TryMapOptions::default()
+        };
+        let sweep = settle_sweep_grid_with(vec![HANG_CORNER], None, &opts);
+        assert_eq!(sweep.report.failures.len(), 1, "{}", sweep.report.summary());
+        assert!(
+            sweep.report.summary().contains("1 timed out"),
+            "{}",
+            sweep.report.summary()
+        );
+        let msg = sweep.points[0].error.as_deref().expect("annotated gap");
+        assert!(msg.contains("timed out"), "{msg}");
+        assert!(msg.contains("deadline exceeded"), "{msg}");
+    }
+
+    #[test]
+    fn hang_corner_does_not_perturb_other_corners() {
+        // Same grid with and without the chaos corner appended (no
+        // deadline, so the hang corner dies by ladder exhaustion): every
+        // healthy corner's measurement must be bit-identical.
+        let healthy = (100.0e6, 1.0e3, 1.0e-12);
+        let clean = settle_sweep_grid_with(vec![healthy], None, &TryMapOptions::default());
+        let chaotic =
+            settle_sweep_grid_with(vec![healthy, HANG_CORNER], None, &TryMapOptions::default());
+        assert!(clean.report.all_ok());
+        assert_eq!(chaotic.report.succeeded, 1);
+        assert_eq!(chaotic.points[0], clean.points[0], "healthy corner drifted");
+        assert!(chaotic.points[1].error.is_some(), "hang corner must fail");
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Run manifest for resumable experiment campaigns.
+//!
+//! `exp_all` records every experiment's outcome in
+//! `target/experiments/MANIFEST.json` — status, an input hash, and wall
+//! time — rewriting the file atomically after each experiment. A killed
+//! campaign restarted with `--resume` skips experiments whose manifest
+//! entry is `ok` *and* whose input hash still matches (scale or chaos
+//! knobs changing invalidates the entry), so the resumed run redoes only
+//! the incomplete tail and its artifacts are identical to an
+//! uninterrupted run.
+//!
+//! No serde in the dependency tree, so the document is written — and
+//! parsed — by hand; the schema is deliberately flat, one experiment per
+//! line.
+
+use super::report::out_dir;
+use crate::Scale;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Outcome of one experiment in a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// `"ok"` or `"failed"`.
+    pub status: String,
+    /// [`input_hash`] of the inputs the experiment ran under.
+    pub input_hash: String,
+    /// Wall-clock time of the run, seconds.
+    pub wall_secs: f64,
+    /// Error text for failed experiments.
+    pub error: Option<String>,
+}
+
+impl ExperimentRecord {
+    /// A successful run.
+    pub fn ok(input_hash: String, wall_secs: f64) -> Self {
+        Self {
+            status: "ok".to_string(),
+            input_hash,
+            wall_secs,
+            error: None,
+        }
+    }
+
+    /// A failed run with its error text.
+    pub fn failed(input_hash: String, wall_secs: f64, error: String) -> Self {
+        Self {
+            status: "failed".to_string(),
+            input_hash,
+            wall_secs,
+            error: Some(error),
+        }
+    }
+}
+
+/// The campaign manifest: experiment name → outcome.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// Per-experiment records, sorted by name.
+    pub experiments: BTreeMap<String, ExperimentRecord>,
+}
+
+/// Path of the manifest (`target/experiments/MANIFEST.json`).
+pub fn manifest_path() -> PathBuf {
+    out_dir().join("MANIFEST.json")
+}
+
+impl Manifest {
+    /// Loads the manifest from [`manifest_path`]. A missing or unreadable
+    /// file — including one corrupted by a mid-write kill — degrades to an
+    /// empty manifest: resume then simply reruns everything.
+    pub fn load() -> Self {
+        let Ok(text) = std::fs::read_to_string(manifest_path()) else {
+            return Self::default();
+        };
+        Self::parse(&text)
+    }
+
+    /// Parses the hand-written one-entry-per-line format produced by
+    /// [`Manifest::save`]. Unrecognized lines are skipped.
+    pub fn parse(text: &str) -> Self {
+        let mut experiments = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some((name, rest)) = parse_entry_head(line) else {
+                continue;
+            };
+            let (Some(status), Some(input_hash)) = (
+                string_field(rest, "status"),
+                string_field(rest, "input_hash"),
+            ) else {
+                continue;
+            };
+            let wall_secs = number_field(rest, "wall_secs").unwrap_or(0.0);
+            let error = string_field(rest, "error");
+            experiments.insert(
+                name.to_string(),
+                ExperimentRecord {
+                    status,
+                    input_hash,
+                    wall_secs,
+                    error,
+                },
+            );
+        }
+        Self { experiments }
+    }
+
+    /// Serializes to the on-disk format.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"experiments\": {\n");
+        let total = self.experiments.len();
+        for (i, (name, r)) in self.experiments.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"status\": \"{}\", \"input_hash\": \"{}\", \"wall_secs\": {:.3}{}}}{}\n",
+                json_escape(name),
+                json_escape(&r.status),
+                json_escape(&r.input_hash),
+                r.wall_secs,
+                match &r.error {
+                    Some(e) => format!(", \"error\": \"{}\"", json_escape(e)),
+                    None => String::new(),
+                },
+                if i + 1 < total { "," } else { "" }
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Atomically rewrites the manifest on disk (tmp sibling + rename),
+    /// so a kill at any instant leaves either the previous or the new
+    /// complete manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self) -> std::io::Result<()> {
+        let path = manifest_path();
+        let tmp = out_dir().join("MANIFEST.json.tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(self.render().as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Whether `name` already completed successfully under the same
+    /// inputs — the `--resume` skip test.
+    pub fn is_complete(&self, name: &str, input_hash: &str) -> bool {
+        self.experiments
+            .get(name)
+            .is_some_and(|r| r.status == "ok" && r.input_hash == input_hash)
+    }
+
+    /// Records (or overwrites) one experiment's outcome.
+    pub fn record(&mut self, name: &str, record: ExperimentRecord) {
+        self.experiments.insert(name.to_string(), record);
+    }
+}
+
+/// `"NAME": {...}` → `(NAME, {...})`.
+fn parse_entry_head(line: &str) -> Option<(&str, &str)> {
+    let rest = line.strip_prefix('"')?;
+    let (name, rest) = rest.split_once('"')?;
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    rest.starts_with('{').then_some((name, rest))
+}
+
+/// Extracts `"key": "value"` from a flat one-line object. Escapes are not
+/// unwound beyond `\"` avoidance — hashes, statuses, and error texts the
+/// writer produces never need more.
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(n) = chars.next() {
+                    out.push(n);
+                }
+            }
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts `"key": <number>` from a flat one-line object.
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hash of everything that determines an experiment's output: its name,
+/// the scale, and the chaos/injection environment knobs. FNV-1a over the
+/// joined string; a hex digest. If any of these change between the
+/// original run and `--resume`, the entry no longer matches and the
+/// experiment reruns.
+pub fn input_hash(name: &str, scale: Scale) -> String {
+    let scale_tag = match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+    };
+    let mut input = format!("{name}|{scale_tag}");
+    for var in [
+        "EXP_INJECT_BAD_CORNER",
+        "EXP_INJECT_HANG_CORNER",
+        "EXP_CORNER_DEADLINE_MS",
+        "CHAOS_HANG_NEWTON",
+        "CHAOS_NAN_STAMP",
+    ] {
+        input.push('|');
+        input.push_str(&std::env::var(var).unwrap_or_default());
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in input.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut m = Manifest::default();
+        m.record("FIG2", ExperimentRecord::ok("abc123".into(), 1.25));
+        m.record(
+            "FIG8",
+            ExperimentRecord::failed("def456".into(), 0.5, "boom, \"quoted\"".into()),
+        );
+        let text = m.render();
+        let back = Manifest::parse(&text);
+        assert_eq!(back, m, "{text}");
+    }
+
+    #[test]
+    fn corrupt_text_degrades_to_empty() {
+        assert_eq!(Manifest::parse("not json at all"), Manifest::default());
+        assert_eq!(
+            Manifest::parse("{\"experiments\": {\n  garbage\n}}"),
+            Manifest::default()
+        );
+    }
+
+    #[test]
+    fn is_complete_requires_ok_and_matching_hash() {
+        let mut m = Manifest::default();
+        m.record("FIG2", ExperimentRecord::ok("h1".into(), 1.0));
+        m.record(
+            "FIG4",
+            ExperimentRecord::failed("h1".into(), 1.0, "x".into()),
+        );
+        assert!(m.is_complete("FIG2", "h1"));
+        assert!(!m.is_complete("FIG2", "h2"), "stale hash must rerun");
+        assert!(!m.is_complete("FIG4", "h1"), "failures must rerun");
+        assert!(!m.is_complete("FIG5", "h1"), "unknown must run");
+    }
+
+    #[test]
+    fn input_hash_depends_on_name_and_scale() {
+        let a = input_hash("FIG2", Scale::Quick);
+        assert_eq!(a, input_hash("FIG2", Scale::Quick));
+        assert_ne!(a, input_hash("FIG4", Scale::Quick));
+        assert_ne!(a, input_hash("FIG2", Scale::Full));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        // Use the real path but a name no experiment uses, then restore.
+        let mut m = Manifest::load();
+        let before = m.clone();
+        m.record("MANIFEST_SELF_TEST", ExperimentRecord::ok("h".into(), 0.1));
+        m.save().unwrap();
+        assert!(Manifest::load().is_complete("MANIFEST_SELF_TEST", "h"));
+        assert!(!manifest_path().with_extension("json.tmp").exists());
+        before.save().unwrap();
+    }
+}

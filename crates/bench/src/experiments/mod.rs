@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod manifest;
 pub mod power;
 pub mod report;
 pub mod robust;

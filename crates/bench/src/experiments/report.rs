@@ -8,10 +8,15 @@ use spicier::analysis::sweep::SweepReport;
 use std::io::Write;
 use std::path::PathBuf;
 
-/// Directory experiment CSVs are written to (`target/experiments/`).
-/// Falls back to the system temp directory when it cannot be created.
+/// Directory experiment CSVs are written to (`target/experiments/`, or
+/// `EXP_OUT_DIR` when set — the campaign kill/resume drills sandbox their
+/// artifacts this way). Falls back to the system temp directory when it
+/// cannot be created.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    let dir = match std::env::var("EXP_OUT_DIR") {
+        Ok(v) if !v.is_empty() => PathBuf::from(v),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments"),
+    };
     if let Err(e) = std::fs::create_dir_all(&dir) {
         let fallback = std::env::temp_dir().join("experiments");
         eprintln!(
@@ -55,19 +60,42 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 /// Writes generic rows as CSV into `target/experiments/<name>.csv`.
 /// IO failures are reported as warnings, not panics.
+///
+/// The write is crash-safe: content goes to `<name>.csv.tmp` and is
+/// atomically renamed into place, so a process killed mid-write (see
+/// `CHAOS_KILL_MID_WRITE`) can leave a stale or missing CSV behind, but
+/// never a truncated one.
 pub fn write_rows_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = out_dir().join(format!("{name}.csv"));
+    let tmp = out_dir().join(format!("{name}.csv.tmp"));
     let write = || -> std::io::Result<()> {
-        let mut f = std::fs::File::create(&path)?;
+        let mut f = std::fs::File::create(&tmp)?;
         writeln!(f, "{}", headers.join(","))?;
         for row in rows {
             writeln!(f, "{}", row.join(","))?;
         }
-        Ok(())
+        f.sync_all()?;
+        drop(f);
+        chaos_kill_mid_write(name);
+        std::fs::rename(&tmp, &path)
     };
     match write() {
         Ok(()) => println!("  [csv] {}", path.display()),
         Err(e) => eprintln!("  [warn] could not write {}: {e}", path.display()),
+    }
+}
+
+/// Chaos hook for the crash-safety drills: when `CHAOS_KILL_MID_WRITE` is
+/// set to `1` (any CSV) or to a CSV base name, the process dies between
+/// writing the `.tmp` sibling and the rename — the worst possible moment
+/// for a non-atomic writer. The final CSV must still be either absent or
+/// the previous complete version, never truncated.
+fn chaos_kill_mid_write(name: &str) {
+    if let Ok(v) = std::env::var("CHAOS_KILL_MID_WRITE") {
+        if !v.is_empty() && v != "0" && (v == "1" || v == name) {
+            eprintln!("  [chaos] CHAOS_KILL_MID_WRITE: dying before renaming {name}.csv.tmp");
+            std::process::exit(137);
+        }
     }
 }
 
@@ -136,6 +164,19 @@ mod tests {
     #[test]
     fn out_dir_exists() {
         assert!(out_dir().is_dir());
+    }
+
+    #[test]
+    fn write_rows_csv_renames_tmp_into_place() {
+        write_rows_csv(
+            "report_atomic_test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let path = out_dir().join("report_atomic_test.csv");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        assert!(!out_dir().join("report_atomic_test.csv.tmp").exists());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -233,8 +233,14 @@ pub fn write_json_report(
         ));
     }
     out.push_str("  }\n}\n");
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(out.as_bytes())
+    // Atomic write: tmp sibling + rename, so a killed bench run never
+    // leaves a truncated report for CI to parse.
+    let tmp = path.with_extension("json.tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(out.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
 }
 
 fn fmt_duration(d: Duration) -> String {

@@ -89,6 +89,23 @@ pub fn characterize_hysteresis(
     process: &CmlProcess,
     points: usize,
 ) -> Result<HysteresisCurve, Error> {
+    characterize_hysteresis_with(cfg, process, points, &DcOptions::default())
+}
+
+/// [`characterize_hysteresis`] with explicit DC options, so callers can
+/// attach a [`spicier::RunBudget`] (deadline, iteration caps, cancel
+/// token) to the underlying double sweep.
+///
+/// # Errors
+///
+/// Propagates circuit construction or convergence failures, including
+/// [`spicier::Error::DeadlineExceeded`] when the budget is spent mid-sweep.
+pub fn characterize_hysteresis_with(
+    cfg: &Variant3,
+    process: &CmlProcess,
+    points: usize,
+    dc: &DcOptions,
+) -> Result<HysteresisCurve, Error> {
     // A variant-3 detector on a statically-driven healthy buffer; then the
     // vout node is overridden by an ideal source we sweep.
     let mut b = CmlCircuitBuilder::new(process.clone());
@@ -105,7 +122,7 @@ pub fn characterize_hysteresis(
     let mut values = linspace(hi, lo, points);
     let down_count = values.len();
     values.extend(linspace(lo, hi, points));
-    let sols = sweep_vsource(&circuit, "VSWEEP", &values, &DcOptions::default())?;
+    let sols = sweep_vsource(&circuit, "VSWEEP", &values, dc)?;
 
     let point = |sol: &spicier::analysis::dc::DcSolution, v: f64| HysteresisPoint {
         vout: v,
@@ -182,6 +199,17 @@ mod tests {
         // A healthy vout passes, a collapsed one fails.
         assert_eq!(band.classify(3.69), DetectorVerdict::Pass);
         assert_eq!(band.classify(3.25), DetectorVerdict::Fail);
+    }
+
+    #[test]
+    fn hysteresis_sweep_honors_its_budget() {
+        let dc = DcOptions {
+            budget: spicier::RunBudget::unlimited().with_max_newton_iterations(10),
+            ..DcOptions::default()
+        };
+        let err = characterize_hysteresis_with(&Variant3::paper(), &CmlProcess::paper(), 20, &dc)
+            .unwrap_err();
+        assert!(err.is_deadline_exceeded(), "{err}");
     }
 
     #[test]

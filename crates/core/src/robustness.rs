@@ -17,6 +17,7 @@ use crate::detector::Variant3;
 use cml_cells::{CmlCircuitBuilder, CmlProcess};
 use faults::Defect;
 use spicier::analysis::dc::{operating_point, DcOptions};
+use spicier::analysis::sweep::{par_try_map, SweepFailure, TryMapOptions};
 use spicier::Error;
 use xrand::StdRng;
 
@@ -189,6 +190,17 @@ pub fn sample_process(rng: &mut StdRng, variation: &VariationModel) -> CmlProces
     p
 }
 
+/// Per-sample RNG seed: a SplitMix64 scramble of `(seed, k)`. Pinning the
+/// stream to the **sample index** — not to whichever worker happens to
+/// draw the sample — is what makes the study's output independent of the
+/// worker count.
+fn sample_seed(seed: u64, k: u64) -> u64 {
+    let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Runs the Monte-Carlo robustness study for a fixed detector design.
 ///
 /// Fault-isolated: a sample that fails to converge counts against the
@@ -207,35 +219,77 @@ pub fn monte_carlo_study(
     config: &Variant3,
     pipe_ohms: f64,
 ) -> Result<MonteCarloReport, Error> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    monte_carlo_study_with(
+        samples,
+        seed,
+        variation,
+        config,
+        pipe_ohms,
+        &TryMapOptions::default(),
+    )
+}
+
+/// [`monte_carlo_study`] with sweep options: a per-sample wall-clock
+/// deadline ([`TryMapOptions::corner_deadline`], surfaced in
+/// [`MonteCarloReport::failed_samples`] as a timeout), retries, and a
+/// worker-count cap.
+///
+/// Samples run in parallel, but each sample's process draw comes from its
+/// own RNG seeded by `(seed, sample index)`, so the report is **identical
+/// for any worker count** — the determinism regression tests pin
+/// [`TryMapOptions::max_workers`] to 1 and 4 and compare reports.
+///
+/// # Errors
+///
+/// Infallible today; see [`monte_carlo_study`].
+pub fn monte_carlo_study_with(
+    samples: usize,
+    seed: u64,
+    variation: &VariationModel,
+    config: &Variant3,
+    pipe_ohms: f64,
+    opts: &TryMapOptions,
+) -> Result<MonteCarloReport, Error> {
+    let indices: Vec<usize> = (0..samples).collect();
+    let (slots, report) = par_try_map(indices, opts, |&k| {
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed, k as u64));
+        let process = sample_process(&mut rng, variation);
+        margins_for(&process, config, pipe_ohms)
+    });
+
+    // Fold in slot (= sample) order so the min-reductions and counters are
+    // reproducible bit-for-bit regardless of completion order.
     let mut margins = Vec::with_capacity(samples);
-    let mut failed_samples = Vec::new();
     let mut passing = 0usize;
     let mut escalated = 0usize;
     let mut worst_clean = f64::INFINITY;
     let mut worst_fault = f64::INFINITY;
-    for k in 0..samples {
-        let process = sample_process(&mut rng, variation);
-        match margins_for(&process, config, pipe_ohms) {
-            Ok(m) => {
-                if m.classifies_correctly() {
-                    passing += 1;
-                }
-                if m.escalated {
-                    escalated += 1;
-                }
-                worst_clean = worst_clean.min(m.clean_headroom);
-                worst_fault = worst_fault.min(m.fault_margin);
-                margins.push(m);
-            }
-            Err(e) => {
-                // Non-convergent corner: counted as failing, but kept on
-                // the record so a low yield can be told apart from a
-                // broken study.
-                failed_samples.push((k, e.to_string()));
-            }
+    for m in slots.into_iter().flatten() {
+        if m.classifies_correctly() {
+            passing += 1;
         }
+        if m.escalated {
+            escalated += 1;
+        }
+        worst_clean = worst_clean.min(m.clean_headroom);
+        worst_fault = worst_fault.min(m.fault_margin);
+        margins.push(m);
     }
+    // Non-convergent (or timed-out) corners: counted as failing, but kept
+    // on the record so a low yield can be told apart from a broken study.
+    let mut failed_samples: Vec<(usize, String)> = report
+        .failures
+        .iter()
+        .map(|f| {
+            let text = match &f.failure {
+                SweepFailure::Solver(e) => e.to_string(),
+                other => other.to_string(),
+            };
+            (f.index, text)
+        })
+        .collect();
+    failed_samples.sort_by_key(|&(k, _)| k);
+
     Ok(MonteCarloReport {
         samples,
         passing,
@@ -327,6 +381,27 @@ mod tests {
             "{}",
             report.health_summary()
         );
+    }
+
+    #[test]
+    fn monte_carlo_is_identical_for_any_worker_count() {
+        // The determinism regression: per-sample RNG is pinned to the
+        // sample index, so 1 worker and 4 workers must agree bit-for-bit.
+        let run = |workers: usize| {
+            monte_carlo_study_with(
+                6,
+                7,
+                &VariationModel::default(),
+                &Variant3::paper(),
+                2.0e3,
+                &TryMapOptions {
+                    max_workers: Some(workers),
+                    ..TryMapOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

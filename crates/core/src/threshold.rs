@@ -12,7 +12,7 @@ use crate::detector::{DetectorHandle, Variant1, Variant2};
 use cml_cells::{waveform_of, CmlCircuitBuilder, CmlProcess, DiffPair};
 use faults::Defect;
 use spicier::analysis::tran::{transient_salvage, TranOptions, TranResult};
-use spicier::Error;
+use spicier::{Error, RunBudget};
 use waveform::LevelStats;
 
 /// Either single-output-pair detector variant (variant 3 shares variant
@@ -52,12 +52,17 @@ pub struct SweepPoint {
 }
 
 /// Options for the sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepOptions {
     /// Stimulus frequency, hertz.
     pub freq: f64,
     /// Simulated time, seconds (must cover the detector's settling).
     pub t_stop: f64,
+    /// Execution budget applied to *each* transient run inside a
+    /// measurement (the deadline slice restarts per run). A deadline
+    /// firing mid-run is propagated, never silently salvaged into a
+    /// truncated measurement.
+    pub budget: RunBudget,
 }
 
 impl Default for SweepOptions {
@@ -65,6 +70,7 @@ impl Default for SweepOptions {
         Self {
             freq: 100.0e6,
             t_stop: 60.0e-9,
+            budget: RunBudget::default(),
         }
     }
 }
@@ -108,7 +114,7 @@ pub fn measure_point(
 
     // Amplitude on the bare chain.
     let (bare, dut_out, _) = build(false)?;
-    let (res, t_end) = run_or_salvage(&bare, opts.t_stop)?;
+    let (res, t_end) = run_or_salvage(&bare, opts)?;
     let w_out = waveform_of(&res, dut_out.p).map_err(to_spicier_err)?;
     let t0 = 0.6 * t_end;
     let stats = LevelStats::measure(&w_out, t0, t_end);
@@ -116,7 +122,7 @@ pub fn measure_point(
     // Detector response with the detector attached.
     let (instrumented, _, handle) = build(true)?;
     let handle = handle.expect("detector attached");
-    let (res, t_end) = run_or_salvage(&instrumented, opts.t_stop)?;
+    let (res, t_end) = run_or_salvage(&instrumented, opts)?;
     let w_det = waveform_of(&res, handle.vout).map_err(to_spicier_err)?;
     // Settled detector output: mean of the final 10% (averages the ripple).
     let vout = w_det.mean_in(0.9 * t_end, t_end);
@@ -134,14 +140,21 @@ fn to_spicier_err(e: waveform::WaveformError) -> Error {
 /// Runs a transient with salvage: if the run dies late (≥ 80% of the
 /// horizon simulated) the partial waveform is measured over what exists —
 /// both measurement windows here are fractions of the end time, so they
-/// shrink gracefully. An early death still propagates the failure.
-fn run_or_salvage(circuit: &spicier::Circuit, t_stop: f64) -> Result<(TranResult, f64), Error> {
+/// shrink gracefully. An early death still propagates the failure, and a
+/// spent budget **always** does, no matter how far the run got: a timed-out
+/// corner must surface as timed out, not as a quietly truncated reading.
+fn run_or_salvage(
+    circuit: &spicier::Circuit,
+    opts: &SweepOptions,
+) -> Result<(TranResult, f64), Error> {
     const MIN_PROGRESS: f64 = 0.8;
-    let res = transient_salvage(circuit, &TranOptions::new(t_stop))?;
+    let tran = TranOptions::new(opts.t_stop).with_budget(opts.budget.clone());
+    let res = transient_salvage(circuit, &tran)?;
     let t_end = res.time().last().copied().unwrap_or(0.0);
     match res.failure() {
-        Some(fail) if t_end < MIN_PROGRESS * t_stop => Err(fail.error.clone()),
-        _ => Ok((res, t_end.min(t_stop))),
+        Some(fail) if fail.error.is_deadline_exceeded() => Err(fail.error.clone()),
+        Some(fail) if t_end < MIN_PROGRESS * opts.t_stop => Err(fail.error.clone()),
+        _ => Ok((res, t_end.min(opts.t_stop))),
     }
 }
 
@@ -199,7 +212,19 @@ mod tests {
         SweepOptions {
             freq: 100.0e6,
             t_stop: 40.0e-9,
+            ..SweepOptions::default()
         }
+    }
+
+    #[test]
+    fn spent_budget_is_never_salvaged_into_a_reading() {
+        let det = AnyDetector::V1(Variant1::new(DetectorLoad::diode_cap(1.0e-12)));
+        let opts = SweepOptions {
+            budget: RunBudget::unlimited().with_deadline(std::time::Duration::ZERO),
+            ..fast_opts()
+        };
+        let err = measure_point(&det, None, &opts).unwrap_err();
+        assert!(err.is_deadline_exceeded(), "{err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! frequency response, corroborating the paper's "works well below
 //! at-speed frequencies" scoping.
 
+use super::budget::{BudgetTracker, Phase, RunBudget};
 use super::dc::{self, DcOptions};
 use super::mna::{Assembler, SolveWorkspace};
 use crate::error::Error;
@@ -27,6 +28,9 @@ pub struct AcOptions {
     pub freqs: Vec<f64>,
     /// DC operating-point options.
     pub dc: DcOptions,
+    /// Execution budget for the whole AC call, including its operating
+    /// point (this field governs the run, not `dc.budget`).
+    pub budget: RunBudget,
 }
 
 impl AcOptions {
@@ -36,6 +40,7 @@ impl AcOptions {
             source: source.to_string(),
             freqs,
             dc: DcOptions::default(),
+            budget: RunBudget::default(),
         }
     }
 }
@@ -127,12 +132,14 @@ impl AcResult {
 /// # Errors
 ///
 /// Fails when the operating point does not converge, the named source does
-/// not exist, or a frequency point is singular.
+/// not exist, a frequency point is singular, or `opts.budget` is spent
+/// ([`Error::DeadlineExceeded`] with phase `ac`).
 pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Error> {
+    let mut tracker = BudgetTracker::new(&opts.budget, Phase::Ac);
     // 1. Operating point.
     let mut assembler = Assembler::new(circuit);
     let mut ws = SolveWorkspace::for_circuit(circuit);
-    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler, &mut ws)?;
+    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler, &mut ws, &mut tracker)?;
     drop(assembler);
 
     // 2. Linearize into G and C triplets.
@@ -174,7 +181,9 @@ pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Erro
 
     // 4. Solve per frequency.
     let mut data = Vec::with_capacity(opts.freqs.len());
-    for &f in &opts.freqs {
+    for (k, &f) in opts.freqs.iter().enumerate() {
+        tracker.set_progress(k as f64 / opts.freqs.len().max(1) as f64);
+        tracker.check()?;
         let omega = 2.0 * std::f64::consts::PI * f;
         let mut a = ComplexDenseMatrix::zeros(dim);
         for &(r, col, v) in g.entries() {

@@ -1,0 +1,390 @@
+//! Budgeted execution: wall-clock deadlines, iteration caps, and
+//! cooperative cancellation for every analysis entry point.
+//!
+//! A [`RunBudget`] rides inside each analysis' options struct. Every
+//! public entry point (`operating_point`, `sweep_vsource`, the transient
+//! family, `ac_analysis`, `noise_analysis`) opens a [`BudgetTracker`]
+//! when it starts and consults it at each unit of work: every Newton
+//! iteration of every recovery-ladder rung, every transient timestep
+//! attempt, every AC/noise frequency point, every DC sweep point. A
+//! violation surfaces as [`Error::DeadlineExceeded`], which the salvage
+//! and retry machinery treats as **non-retriable** — the budget is spent,
+//! so burning the remainder on ladder escalation or retries would defeat
+//! the point.
+//!
+//! Cancellation is cooperative: a [`CancelToken`] is a cheap shared flag
+//! (optionally with a fixed expiry instant) that long solves poll between
+//! iterations. Sweep workers additionally install a per-corner token in
+//! thread-local storage ([`with_corner_token`]), so a corner's deadline
+//! reaches every solve the corner performs even when the corner's closure
+//! never threads a `RunBudget` explicitly.
+
+use crate::error::Error;
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which analysis a budget violation interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// DC operating point (recovery ladder).
+    DcOperatingPoint,
+    /// DC source sweep (`sweep_vsource`).
+    DcSweep,
+    /// Transient analysis (adaptive-timestep loop).
+    Transient,
+    /// Small-signal AC analysis.
+    Ac,
+    /// Small-signal noise analysis.
+    Noise,
+}
+
+impl Phase {
+    /// Short label used in error messages and failure CSVs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::DcOperatingPoint => "dc-operating-point",
+            Phase::DcSweep => "dc-sweep",
+            Phase::Transient => "transient",
+            Phase::Ac => "ac",
+            Phase::Noise => "noise",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    expires_at: Option<Instant>,
+}
+
+/// Cooperative cancellation handle, cheap to clone and share across
+/// threads. Optionally carries a fixed expiry instant, which is how
+/// per-corner deadlines work without a watchdog thread: the token is
+/// "cancelled" the moment `Instant::now()` passes the expiry, and the
+/// next budget check inside the solve observes it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no expiry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels `slice` from now. `Duration::ZERO` (or a
+    /// slice too large to represent) yields a token that is expired — and
+    /// therefore cancelled — immediately.
+    #[must_use]
+    pub fn with_deadline(slice: Duration) -> Self {
+        let expires_at = Some(
+            Instant::now()
+                .checked_add(slice)
+                .unwrap_or_else(Instant::now),
+        );
+        Self {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                expires_at,
+            }),
+        }
+    }
+
+    /// Requests cancellation. Every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or the expiry (if any) passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.expires_at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Execution budget for one analysis call. The default is unlimited —
+/// every limit is opt-in, so existing callers pay only a flag check per
+/// Newton iteration.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock deadline for the whole call, measured from entry.
+    pub deadline: Option<Duration>,
+    /// Cap on total Newton iterations across the call (summed over every
+    /// ladder rung, homotopy step, and transient timestep).
+    pub max_newton_iterations: Option<usize>,
+    /// Cap on transient timestep attempts, accepted and rejected alike.
+    pub max_timesteps: Option<usize>,
+    /// Cooperative cancellation handle polled between iterations.
+    pub cancel: CancelToken,
+}
+
+impl PartialEq for RunBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+            && self.max_newton_iterations == other.max_newton_iterations
+            && self.max_timesteps == other.max_timesteps
+            && self.cancel == other.cancel
+    }
+}
+
+impl RunBudget {
+    /// An unlimited budget (same as `Default`).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the total Newton-iteration cap.
+    #[must_use]
+    pub fn with_max_newton_iterations(mut self, cap: usize) -> Self {
+        self.max_newton_iterations = Some(cap);
+        self
+    }
+
+    /// Sets the transient timestep-attempt cap.
+    #[must_use]
+    pub fn with_max_timesteps(mut self, cap: usize) -> Self {
+        self.max_timesteps = Some(cap);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Whether no limit of any kind is set (the cancel token may still
+    /// fire; this only reflects the declarative caps).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_newton_iterations.is_none()
+            && self.max_timesteps.is_none()
+    }
+}
+
+thread_local! {
+    static CORNER_TOKEN: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `token` installed as this thread's corner token. Budget
+/// checks inside any analysis `f` performs consult the token in addition
+/// to the analysis' own [`RunBudget`], which is how sweep workers impose
+/// per-corner deadlines on closures that never mention budgets. Nested
+/// installs shadow (and then restore) the outer token.
+pub fn with_corner_token<R>(token: &CancelToken, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CORNER_TOKEN.with(|t| *t.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CORNER_TOKEN.with(|t| t.borrow_mut().replace(token.clone()));
+    let _restore = Restore(prev);
+    f()
+}
+
+fn corner_token_cancelled() -> bool {
+    CORNER_TOKEN.with(|t| t.borrow().as_ref().is_some_and(CancelToken::is_cancelled))
+}
+
+/// Per-call budget accounting, created at each public analysis entry
+/// point and threaded down to the Newton loops.
+#[derive(Debug)]
+pub(crate) struct BudgetTracker {
+    budget: RunBudget,
+    phase: Phase,
+    started: Instant,
+    newton_iterations: usize,
+    timesteps: usize,
+    /// Fraction of the call's work completed, [0, 1]; maintained by the
+    /// caller (ladder rung index, transient time, sweep point index) and
+    /// embedded in the error so failures carry partial-progress info.
+    progress: f64,
+}
+
+impl BudgetTracker {
+    pub(crate) fn new(budget: &RunBudget, phase: Phase) -> Self {
+        Self {
+            budget: budget.clone(),
+            phase,
+            started: Instant::now(),
+            newton_iterations: 0,
+            timesteps: 0,
+            progress: 0.0,
+        }
+    }
+
+    /// Which analysis this tracker accounts for.
+    pub(crate) fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Records `n` completed Newton iterations.
+    pub(crate) fn count_newton(&mut self, n: usize) {
+        self.newton_iterations += n;
+    }
+
+    /// Records one transient timestep attempt (accepted or rejected).
+    pub(crate) fn count_timestep(&mut self) {
+        self.timesteps += 1;
+    }
+
+    /// Updates the progress fraction carried by budget errors.
+    pub(crate) fn set_progress(&mut self, progress: f64) {
+        self.progress = progress.clamp(0.0, 1.0);
+    }
+
+    /// Checks every limit; `Err(DeadlineExceeded)` when one is spent.
+    pub(crate) fn check(&self) -> Result<(), Error> {
+        if self.budget.cancel.is_cancelled() || corner_token_cancelled() {
+            return Err(self.exceeded());
+        }
+        if let Some(cap) = self.budget.max_newton_iterations {
+            if self.newton_iterations >= cap {
+                return Err(self.exceeded());
+            }
+        }
+        if let Some(cap) = self.budget.max_timesteps {
+            if self.timesteps >= cap {
+                return Err(self.exceeded());
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self.started.elapsed() >= deadline {
+                return Err(self.exceeded());
+            }
+        }
+        Ok(())
+    }
+
+    fn exceeded(&self) -> Error {
+        Error::DeadlineExceeded {
+            phase: self.phase,
+            elapsed: self.started.elapsed(),
+            progress: self.progress,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        // Clones share the flag.
+        let c = t.clone();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_token_is_immediately_cancelled() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        let later = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!later.is_cancelled());
+    }
+
+    #[test]
+    fn budget_equality_is_by_token_identity() {
+        let a = RunBudget::default();
+        let b = RunBudget::default();
+        assert_ne!(a, b, "distinct tokens compare unequal");
+        assert_eq!(a, a.clone());
+        assert!(a.is_unlimited());
+        assert!(!a
+            .clone()
+            .with_deadline(Duration::from_secs(1))
+            .is_unlimited());
+    }
+
+    #[test]
+    fn tracker_trips_on_each_limit() {
+        let unlimited = BudgetTracker::new(&RunBudget::unlimited(), Phase::Transient);
+        assert!(unlimited.check().is_ok());
+
+        let mut t = BudgetTracker::new(
+            &RunBudget::unlimited().with_max_newton_iterations(2),
+            Phase::DcOperatingPoint,
+        );
+        assert!(t.check().is_ok());
+        t.count_newton(2);
+        let err = t.check().unwrap_err();
+        assert!(err.is_deadline_exceeded(), "{err}");
+        assert!(err.to_string().contains("dc-operating-point"), "{err}");
+
+        let mut t = BudgetTracker::new(
+            &RunBudget::unlimited().with_max_timesteps(1),
+            Phase::Transient,
+        );
+        t.count_timestep();
+        assert!(t.check().is_err());
+
+        let t = BudgetTracker::new(
+            &RunBudget::unlimited().with_deadline(Duration::ZERO),
+            Phase::Ac,
+        );
+        assert!(t.check().is_err());
+
+        let cancel = CancelToken::new();
+        let t = BudgetTracker::new(
+            &RunBudget::unlimited().with_cancel(cancel.clone()),
+            Phase::Noise,
+        );
+        assert!(t.check().is_ok());
+        cancel.cancel();
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn corner_token_reaches_tracker_and_restores() {
+        let tracker = BudgetTracker::new(&RunBudget::unlimited(), Phase::DcSweep);
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        let inside = with_corner_token(&expired, || tracker.check());
+        let err = inside.unwrap_err();
+        assert!(err.is_deadline_exceeded());
+        if let Error::DeadlineExceeded { phase, .. } = err {
+            assert_eq!(phase, Phase::DcSweep);
+        }
+        // Token uninstalled after the scope ends.
+        assert!(tracker.check().is_ok());
+    }
+}

@@ -9,7 +9,9 @@
 //! whole ladder fails — so sweeps and experiments can report *how* a
 //! corner converged or why it did not, instead of dying on it.
 
+use super::budget::{BudgetTracker, Phase, RunBudget};
 use super::mna::{Assembler, EvalMode, SolveWorkspace};
+use crate::chaos;
 use crate::error::Error;
 use crate::linalg::Solver;
 use crate::netlist::{Circuit, NodeId};
@@ -157,6 +159,9 @@ pub struct DcOptions {
     pub reltol: f64,
     /// Final gmin left in the circuit, siemens.
     pub gmin: f64,
+    /// Execution budget (wall clock, iteration caps, cancellation) for
+    /// the analysis call this options struct drives. Unlimited by default.
+    pub budget: RunBudget,
 }
 
 impl Default for DcOptions {
@@ -167,6 +172,7 @@ impl Default for DcOptions {
             abstol_i: 1.0e-9,
             reltol: 1.0e-3,
             gmin: 1.0e-12,
+            budget: RunBudget::default(),
         }
     }
 }
@@ -247,19 +253,24 @@ struct PtranTerm<'a> {
 ///
 /// `damping` scales the update (`1.0` = full Newton). `ptran` optionally
 /// adds pseudo-transient continuation terms. Returns full diagnostics;
-/// only solver failures (singular matrix) surface as `Err`.
+/// solver failures (singular matrix) and a spent budget surface as `Err`.
+#[allow(clippy::too_many_arguments)]
 fn newton_run(
     assembler: &mut Assembler<'_>,
     mode: &EvalMode,
     x: &mut [f64],
     opts: &DcOptions,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
     damping: f64,
     ptran: Option<&PtranTerm<'_>>,
 ) -> Result<NewtonRun, Error> {
     let n_nodes = assembler.circuit().node_unknowns();
     let mut run = NewtonRun::fresh();
+    let hang = chaos::hang_active();
+    let nan_stamp = chaos::nan_stamp_active();
     for iter in 0..opts.max_iterations {
+        tracker.check()?;
         let SolveWorkspace {
             solver,
             triplets,
@@ -272,7 +283,25 @@ fn newton_run(
                 *r += pt.g * pt.anchor[i];
             }
         }
+        if nan_stamp {
+            if let Some(r) = rhs.first_mut() {
+                *r = f64::NAN;
+            }
+        }
         solver.solve_in_place(triplets, rhs)?;
+        run.iterations = iter + 1;
+        tracker.count_newton(1);
+        if hang {
+            chaos::hang_beat();
+        }
+        // A non-finite iterate can never converge — and would otherwise be
+        // *accepted*, because `NaN > tol` is false below. Fail the attempt
+        // immediately and let the ladder (or the caller) handle it.
+        if let Some(bad) = rhs.iter().position(|v| !v.is_finite()) {
+            run.worst_delta = f64::INFINITY;
+            run.worst_index = bad;
+            return Ok(run);
+        }
         let mut converged = true;
         run.worst_delta = 0.0;
         for (i, (&new, old)) in rhs.iter().zip(x.iter()).enumerate() {
@@ -298,8 +327,7 @@ fn newton_run(
                 *xi += damping * (new - *xi);
             }
         }
-        run.iterations = iter + 1;
-        if converged && !assembler.was_limited() && iter > 0 {
+        if converged && !hang && !assembler.was_limited() && iter > 0 {
             run.converged = true;
             return Ok(run);
         }
@@ -317,8 +345,9 @@ pub(crate) fn newton(
     x: &mut [f64],
     opts: &DcOptions,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
 ) -> Result<usize, Error> {
-    let run = newton_run(assembler, mode, x, opts, ws, 1.0, None)?;
+    let run = newton_run(assembler, mode, x, opts, ws, tracker, 1.0, None)?;
     if run.converged {
         Ok(run.iterations)
     } else {
@@ -339,16 +368,20 @@ pub(crate) fn newton(
 /// # Errors
 ///
 /// Returns [`Error::DcNoConvergence`] — with the full report embedded —
-/// when every rung of the ladder fails, or [`Error::SingularMatrix`] for
-/// structurally broken circuits on which no Newton iteration completes.
+/// when every rung of the ladder fails, [`Error::SingularMatrix`] for
+/// structurally broken circuits on which no Newton iteration completes,
+/// or [`Error::DeadlineExceeded`] when `opts.budget` is spent first.
 pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, Error> {
     let mut assembler = Assembler::new(circuit);
     let mut ws = SolveWorkspace::for_circuit(circuit);
-    recover_operating_point(circuit, opts, &mut assembler, &mut ws).map(|(x, report)| DcSolution {
-        n_nodes: circuit.node_unknowns(),
-        x,
-        report,
-    })
+    let mut tracker = BudgetTracker::new(&opts.budget, Phase::DcOperatingPoint);
+    recover_operating_point(circuit, opts, &mut assembler, &mut ws, &mut tracker).map(
+        |(x, report)| DcSolution {
+            n_nodes: circuit.node_unknowns(),
+            x,
+            report,
+        },
+    )
 }
 
 /// Operating point reusing an existing assembler (so transient can keep the
@@ -358,8 +391,9 @@ pub(crate) fn operating_point_with(
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
 ) -> Result<Vec<f64>, Error> {
-    recover_operating_point(circuit, opts, assembler, ws).map(|(x, _)| x)
+    recover_operating_point(circuit, opts, assembler, ws, tracker).map(|(x, _)| x)
 }
 
 /// One rung of the recovery ladder: attempts a full solve, returning the
@@ -369,6 +403,7 @@ type RungFn = fn(
     &DcOptions,
     &mut Assembler<'_>,
     &mut SolveWorkspace,
+    &mut BudgetTracker,
 ) -> Result<(Vec<f64>, NewtonRun), Error>;
 
 /// The recovery ladder itself: runs each rung in order, recording every
@@ -378,6 +413,7 @@ pub(crate) fn recover_operating_point(
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
 ) -> Result<(Vec<f64>, ConvergenceReport), Error> {
     let mut report = ConvergenceReport::default();
     // The most recent structural (solver) failure; returned instead of
@@ -400,14 +436,20 @@ pub(crate) fn recover_operating_point(
         RecoveryRung::PseudoTransient,
     ];
 
-    for (rung, label) in rungs.iter().zip(labels) {
-        match rung(circuit, opts, assembler, ws) {
+    for (i, (rung, label)) in rungs.iter().zip(labels).enumerate() {
+        if tracker.phase() == Phase::DcOperatingPoint {
+            tracker.set_progress(i as f64 / rungs.len() as f64);
+        }
+        match rung(circuit, opts, assembler, ws, tracker) {
             Ok((x, run)) => {
                 report.record(label, &run);
                 if run.converged {
                     return Ok((x, report));
                 }
             }
+            // A spent budget is non-retriable: climbing further rungs
+            // would burn wall clock the caller no longer has.
+            Err(err) if err.is_deadline_exceeded() => return Err(err),
             Err(err) => {
                 // Structural failure inside this rung: record a
                 // zero-iteration attempt and keep climbing — a homotopy
@@ -438,6 +480,7 @@ fn rung_newton(
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
@@ -447,6 +490,7 @@ fn rung_newton(
         &mut x,
         opts,
         ws,
+        tracker,
         1.0,
         None,
     )?;
@@ -460,6 +504,7 @@ fn rung_damped_newton(
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
@@ -474,6 +519,7 @@ fn rung_damped_newton(
         &mut x,
         &opts,
         ws,
+        tracker,
         0.5,
         None,
     )?;
@@ -487,6 +533,7 @@ fn rung_gmin_stepping(
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
@@ -494,7 +541,7 @@ fn rung_gmin_stepping(
     let mut total = NewtonRun::fresh();
     loop {
         let mode = EvalMode::dc(gmin);
-        let run = newton_run(assembler, &mode, &mut x, opts, ws, 1.0, None)?;
+        let run = newton_run(assembler, &mode, &mut x, opts, ws, tracker, 1.0, None)?;
         total.iterations += run.iterations;
         total.worst_delta = run.worst_delta;
         total.worst_index = run.worst_index;
@@ -516,6 +563,7 @@ fn rung_source_stepping(
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     let mut x = vec![0.0; circuit.dim()];
     assembler.reset_junctions(&x);
@@ -528,7 +576,7 @@ fn rung_source_stepping(
             ..EvalMode::dc(opts.gmin)
         };
         let mut attempt = x.clone();
-        let run = newton_run(assembler, &mode, &mut attempt, opts, ws, 1.0, None)?;
+        let run = newton_run(assembler, &mode, &mut attempt, opts, ws, tracker, 1.0, None)?;
         total.iterations += run.iterations;
         total.worst_delta = run.worst_delta;
         total.worst_index = run.worst_index;
@@ -561,6 +609,7 @@ fn rung_pseudo_transient(
     opts: &DcOptions,
     assembler: &mut Assembler<'_>,
     ws: &mut SolveWorkspace,
+    tracker: &mut BudgetTracker,
 ) -> Result<(Vec<f64>, NewtonRun), Error> {
     const G_START: f64 = 1.0;
     const G_FLOOR: f64 = 1.0e-10;
@@ -579,7 +628,16 @@ fn rung_pseudo_transient(
 
     for _ in 0..MAX_PSEUDO_STEPS {
         let term = PtranTerm { g, anchor: &anchor };
-        let run = newton_run(assembler, &mode, &mut x, opts, ws, 1.0, Some(&term))?;
+        let run = newton_run(
+            assembler,
+            &mode,
+            &mut x,
+            opts,
+            ws,
+            tracker,
+            1.0,
+            Some(&term),
+        )?;
         total.iterations += run.iterations;
         total.worst_delta = run.worst_delta;
         total.worst_index = run.worst_index;
@@ -602,7 +660,7 @@ fn rung_pseudo_transient(
 
     // Polish: the anchored term is tiny but nonzero; confirm the point is
     // an equilibrium of the unmodified equations.
-    let polish = newton_run(assembler, &mode, &mut x, opts, ws, 1.0, None)?;
+    let polish = newton_run(assembler, &mode, &mut x, opts, ws, tracker, 1.0, None)?;
     total.iterations += polish.iterations;
     total.worst_delta = polish.worst_delta;
     total.worst_index = polish.worst_index;
@@ -618,7 +676,9 @@ fn rung_pseudo_transient(
 ///
 /// # Errors
 ///
-/// Fails if any point fails to converge.
+/// Fails if any point fails to converge, or with
+/// [`Error::DeadlineExceeded`] when `opts.budget` runs out mid-sweep (the
+/// error's `progress` records the fraction of points completed).
 pub fn sweep_vsource(
     circuit: &Circuit,
     source: &str,
@@ -641,7 +701,10 @@ pub fn sweep_vsource(
     // matrix pattern, so every solve after the first reuses the cached
     // stamp map and symbolic factorization.
     let mut ws = SolveWorkspace::new(circuit.dim());
-    for &v in values {
+    let mut tracker = BudgetTracker::new(&opts.budget, Phase::DcSweep);
+    for (k, &v) in values.iter().enumerate() {
+        tracker.set_progress(k as f64 / values.len() as f64);
+        tracker.check()?;
         // Rebuild the netlist with the new source value.
         let mut nl = circuit.netlist().clone();
         let (p, n) = match nl.element(source)? {
@@ -663,6 +726,7 @@ pub fn sweep_vsource(
                     &mut x,
                     opts,
                     &mut ws,
+                    &mut tracker,
                 ) {
                     Ok(iterations) => {
                         let mut report = ConvergenceReport::default();
@@ -677,10 +741,19 @@ pub fn sweep_vsource(
                         );
                         (x, report)
                     }
-                    Err(_) => recover_operating_point(&swept, opts, &mut assembler, &mut ws)?,
+                    // A spent budget is non-retriable; anything else falls
+                    // back to the full recovery ladder.
+                    Err(err) if err.is_deadline_exceeded() => return Err(err),
+                    Err(_) => recover_operating_point(
+                        &swept,
+                        opts,
+                        &mut assembler,
+                        &mut ws,
+                        &mut tracker,
+                    )?,
                 }
             }
-            None => recover_operating_point(&swept, opts, &mut assembler, &mut ws)?,
+            None => recover_operating_point(&swept, opts, &mut assembler, &mut ws, &mut tracker)?,
         };
         previous = Some(x.clone());
         results.push(DcSolution {

@@ -1,6 +1,7 @@
 //! Circuit analyses: MNA assembly, DC operating point, transient, sweeps.
 
 pub mod ac;
+pub mod budget;
 pub mod dc;
 pub mod mna;
 pub mod noise;
@@ -9,6 +10,7 @@ pub mod sweep;
 pub mod tran;
 
 pub use ac::{ac_analysis, decade_freqs, AcOptions, AcResult};
+pub use budget::{with_corner_token, CancelToken, Phase, RunBudget};
 pub use dc::{
     operating_point, sweep_vsource, ConvergenceReport, DcOptions, DcSolution, RecoveryRung,
     RungAttempt,

@@ -16,6 +16,7 @@
 //! Flicker noise is omitted (the paper's detectors integrate over
 //! nanoseconds; `1/f` corners sit far below the band of interest).
 
+use super::budget::{BudgetTracker, Phase, RunBudget};
 use super::dc::{self, DcOptions};
 use super::mna::{Assembler, SolveWorkspace};
 use crate::error::Error;
@@ -38,6 +39,9 @@ pub struct NoiseOptions {
     pub freqs: Vec<f64>,
     /// DC options for the operating point.
     pub dc: DcOptions,
+    /// Execution budget for the whole noise call, including its operating
+    /// point (this field governs the run, not `dc.budget`).
+    pub budget: RunBudget,
 }
 
 impl NoiseOptions {
@@ -47,6 +51,7 @@ impl NoiseOptions {
             output,
             freqs,
             dc: DcOptions::default(),
+            budget: RunBudget::default(),
         }
     }
 }
@@ -94,13 +99,15 @@ struct NoiseSource {
 ///
 /// # Errors
 ///
-/// Fails when the operating point does not converge or a frequency point
-/// is singular.
+/// Fails when the operating point does not converge, a frequency point
+/// is singular, or `opts.budget` is spent ([`Error::DeadlineExceeded`]
+/// with phase `noise`).
 pub fn noise_analysis(circuit: &Circuit, opts: &NoiseOptions) -> Result<NoiseResult, Error> {
+    let mut tracker = BudgetTracker::new(&opts.budget, Phase::Noise);
     // Operating point (bias-dependent shot noise).
     let mut assembler = Assembler::new(circuit);
     let mut ws = SolveWorkspace::for_circuit(circuit);
-    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler, &mut ws)?;
+    let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler, &mut ws, &mut tracker)?;
     drop(assembler);
     let v_of = |node: NodeId| -> f64 {
         match node.unknown() {
@@ -168,7 +175,9 @@ pub fn noise_analysis(circuit: &Circuit, opts: &NoiseOptions) -> Result<NoiseRes
         .ok_or_else(|| Error::InvalidOptions("noise output cannot be ground".to_string()))?;
 
     let mut psd_out = Vec::with_capacity(opts.freqs.len());
-    for &f in &opts.freqs {
+    for (k, &f) in opts.freqs.iter().enumerate() {
+        tracker.set_progress(k as f64 / opts.freqs.len().max(1) as f64);
+        tracker.check()?;
         let omega = 2.0 * std::f64::consts::PI * f;
         // Adjoint system: transpose of (G + jωC).
         let mut at = ComplexDenseMatrix::zeros(dim);

@@ -11,6 +11,7 @@
 //! sweep, and a [`SweepReport`] records exactly which corners failed and
 //! why — one diverging corner costs one missing data point, not the run.
 
+use super::budget::{with_corner_token, CancelToken};
 use crate::error::Error;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
@@ -97,6 +98,16 @@ pub enum SweepFailure {
     Panicked(String),
     /// The corner never ran: the sweep's wall-clock budget was exhausted.
     Skipped,
+    /// The corner exceeded its per-corner deadline
+    /// ([`TryMapOptions::corner_deadline`]) and was cancelled mid-solve.
+    TimedOut {
+        /// Wall-clock time the corner ran before cancellation (across all
+        /// attempts).
+        elapsed: Duration,
+        /// The [`Error::DeadlineExceeded`] that surfaced from the solve,
+        /// carrying the interrupted phase and its partial progress.
+        error: Error,
+    },
 }
 
 impl std::fmt::Display for SweepFailure {
@@ -105,6 +116,9 @@ impl std::fmt::Display for SweepFailure {
             SweepFailure::Solver(e) => write!(f, "solver error: {e}"),
             SweepFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
             SweepFailure::Skipped => f.write_str("skipped: sweep budget exhausted"),
+            SweepFailure::TimedOut { elapsed, error } => {
+                write!(f, "timed out after {:.3} s: {error}", elapsed.as_secs_f64())
+            }
         }
     }
 }
@@ -156,11 +170,13 @@ impl SweepReport {
         let mut solver = 0usize;
         let mut panicked = 0usize;
         let mut skipped = 0usize;
+        let mut timed_out = 0usize;
         for fail in &self.failures {
             match fail.failure {
                 SweepFailure::Solver(_) => solver += 1,
                 SweepFailure::Panicked(_) => panicked += 1,
                 SweepFailure::Skipped => skipped += 1,
+                SweepFailure::TimedOut { .. } => timed_out += 1,
             }
         }
         let mut parts = Vec::new();
@@ -175,6 +191,9 @@ impl SweepReport {
         }
         if skipped > 0 {
             parts.push(format!("{skipped} skipped"));
+        }
+        if timed_out > 0 {
+            parts.push(format!("{timed_out} timed out"));
         }
         format!(
             "{}/{} corners ok in {:.1} s ({})",
@@ -196,6 +215,18 @@ pub struct TryMapOptions {
     /// budget is spent are recorded as [`SweepFailure::Skipped`] without
     /// running; corners already in flight are allowed to finish.
     pub budget: Option<Duration>,
+    /// Wall-clock slice for each individual corner (all of its attempts
+    /// together). The worker installs an expiring [`CancelToken`] around
+    /// the corner's closure, so any budget-aware solve inside it —
+    /// including ones that never see a `RunBudget` — cooperatively stops
+    /// once the slice is spent. The corner is then recorded as
+    /// [`SweepFailure::TimedOut`] (non-retriable) and the worker's scratch
+    /// is rebuilt before its next corner.
+    pub corner_deadline: Option<Duration>,
+    /// Cap on worker threads (`None` → `available_parallelism()`). The
+    /// determinism tests pin this to compare single- and multi-worker
+    /// runs of the same sweep.
+    pub max_workers: Option<usize>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -250,7 +281,9 @@ where
     let n_workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
-        .min(total.max(1));
+        .min(total.max(1))
+        .min(opts.max_workers.unwrap_or(usize::MAX))
+        .max(1);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
     slots.resize_with(total, || None);
     let mut failures: Vec<CornerFailure> = Vec::new();
@@ -276,10 +309,30 @@ where
                 }
                 let mut attempts = 0usize;
                 let mut last = SweepFailure::Skipped;
+                let corner_started = Instant::now();
+                // One deadline slice covers all of the corner's attempts:
+                // the token expires on wall clock, not per retry.
+                let token = opts.corner_deadline.map(CancelToken::with_deadline);
                 let outcome = loop {
                     attempts += 1;
-                    match catch_unwind(AssertUnwindSafe(|| f(&mut scratch, &value))) {
+                    let mut attempt = || catch_unwind(AssertUnwindSafe(|| f(&mut scratch, &value)));
+                    let result = match &token {
+                        Some(tok) => with_corner_token(tok, attempt),
+                        None => attempt(),
+                    };
+                    match result {
                         Ok(Ok(r)) => break Some(r),
+                        Ok(Err(e)) if e.is_deadline_exceeded() => {
+                            // Cancellation interrupts a solve mid-flight;
+                            // the workspace may hold partial state, so
+                            // rebuild it. Non-retriable: the slice is spent.
+                            scratch = init();
+                            last = SweepFailure::TimedOut {
+                                elapsed: corner_started.elapsed(),
+                                error: e,
+                            };
+                            break None;
+                        }
                         Ok(Err(e)) => last = SweepFailure::Solver(e),
                         Err(payload) => {
                             // The panic may have left the scratch half
@@ -427,7 +480,7 @@ mod tests {
         let calls = AtomicUsize::new(0);
         let opts = TryMapOptions {
             retries: 1,
-            budget: None,
+            ..TryMapOptions::default()
         };
         let (out, report) = par_try_map(vec![1], &opts, |&i| {
             // First attempt fails, retry succeeds.
@@ -449,8 +502,8 @@ mod tests {
     #[test]
     fn try_map_budget_skips_pending_corners() {
         let opts = TryMapOptions {
-            retries: 0,
             budget: Some(Duration::ZERO),
+            ..TryMapOptions::default()
         };
         let (out, report) = par_try_map((0..8).collect(), &opts, |&i: &i32| Ok(i));
         assert!(out.iter().all(Option::is_none));
@@ -471,6 +524,55 @@ mod tests {
         assert_eq!(out.into_iter().flatten().sum::<i32>(), 15);
         assert!(report.all_ok());
         assert!(report.summary().contains("5/5 corners ok"));
+    }
+
+    #[test]
+    fn zero_corner_deadline_times_every_corner_out() {
+        use crate::analysis::budget::{BudgetTracker, Phase, RunBudget};
+        let opts = TryMapOptions {
+            corner_deadline: Some(Duration::ZERO),
+            ..TryMapOptions::default()
+        };
+        // The closure polls the corner token the way a budgeted solve
+        // does; a `Duration::ZERO` slice must cancel it before any work.
+        let (out, report) = par_try_map((0..6).collect(), &opts, |&i: &i32| {
+            let tracker = BudgetTracker::new(&RunBudget::unlimited(), Phase::DcOperatingPoint);
+            tracker.check()?;
+            Ok(i)
+        });
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(report.succeeded, 0);
+        assert_eq!(report.failures.len(), 6);
+        for fail in &report.failures {
+            assert_eq!(fail.attempts, 1, "timeouts must not be retried");
+            assert!(
+                matches!(&fail.failure, SweepFailure::TimedOut { error, .. }
+                    if error.is_deadline_exceeded()),
+                "{}",
+                fail.failure
+            );
+        }
+        assert!(
+            report.summary().contains("6 timed out"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn max_workers_pins_parallelism_without_changing_results() {
+        let serial = TryMapOptions {
+            max_workers: Some(1),
+            ..TryMapOptions::default()
+        };
+        let wide = TryMapOptions {
+            max_workers: Some(4),
+            ..TryMapOptions::default()
+        };
+        let f = |&i: &i32| -> Result<i32, Error> { Ok(i * 3) };
+        let (a, _) = par_try_map((0..32).collect(), &serial, f);
+        let (b, _) = par_try_map((0..32).collect(), &wide, f);
+        assert_eq!(a, b);
     }
 
     #[test]

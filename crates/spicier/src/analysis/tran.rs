@@ -14,6 +14,7 @@
 //! discarding hours of simulation; [`transient`] keeps the strict
 //! all-or-nothing contract on top of it.
 
+use super::budget::{BudgetTracker, Phase, RunBudget};
 use super::dc::{self, DcOptions};
 use super::mna::{Assembler, EvalMode, Integration, Method, SolveWorkspace};
 use crate::error::Error;
@@ -54,6 +55,11 @@ pub struct TranOptions {
     /// vector). Useful to start an analysis from a known pre-history, e.g.
     /// a detector capacitor still at the rail when test mode engages.
     pub initial_voltages: Vec<(NodeId, f64)>,
+    /// Execution budget for the whole transient call — wall clock,
+    /// total Newton iterations, timestep attempts, cancellation. This
+    /// field (not `dc.budget`, which only governs standalone DC calls)
+    /// bounds the run, including its initial operating point.
+    pub budget: RunBudget,
 }
 
 impl TranOptions {
@@ -69,6 +75,7 @@ impl TranOptions {
             probes: Probe::AllNodes,
             dc: DcOptions::default(),
             initial_voltages: Vec::new(),
+            budget: RunBudget::default(),
         }
     }
 
@@ -93,6 +100,12 @@ impl TranOptions {
     /// Forces node voltages at `t = 0` (SPICE `.IC`).
     pub fn with_initial_voltage(mut self, node: NodeId, volts: f64) -> Self {
         self.initial_voltages.push((node, volts));
+        self
+    }
+
+    /// Sets the execution budget for the run.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -248,9 +261,12 @@ pub fn transient_with(
 ///
 /// # Errors
 ///
-/// Fails only when the run cannot *start*: invalid options, or no DC
+/// Fails only when the run cannot *start*: invalid options, no DC
 /// operating point (the recovery ladder exhausted — see
-/// [`Error::DcNoConvergence`]).
+/// [`Error::DcNoConvergence`]), or a budget already spent before the
+/// first timestep. A budget that runs out *mid-run* is salvaged like any
+/// other failure: the prefix is kept and the attached [`TranFailure`]
+/// carries [`Error::DeadlineExceeded`].
 pub fn transient_salvage(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Error> {
     let mut ws = SolveWorkspace::for_circuit(circuit);
     transient_salvage_with(circuit, opts, &mut ws)
@@ -269,9 +285,10 @@ pub fn transient_salvage_with(
 ) -> Result<TranResult, Error> {
     let (h_max, h_init) = opts.resolved()?;
     let mut assembler = Assembler::new(circuit);
+    let mut tracker = BudgetTracker::new(&opts.budget, Phase::Transient);
 
     // Initial operating point with sources at t = 0.
-    let mut x = dc::operating_point_with(circuit, &opts.dc, &mut assembler, ws)?;
+    let mut x = dc::operating_point_with(circuit, &opts.dc, &mut assembler, ws, &mut tracker)?;
     // Apply .IC overrides before charge initialization so capacitors start
     // from the forced voltages.
     for &(node, volts) in &opts.initial_voltages {
@@ -346,6 +363,20 @@ pub fn transient_salvage_with(
             }
         }
 
+        // Budget gate: one timestep attempt (accepted or rejected) is the
+        // unit of accounting. A budget that runs out here salvages the
+        // prefix computed so far instead of erroring the whole run.
+        tracker.set_progress((t / t_end).clamp(0.0, 1.0));
+        if let Err(err) = tracker.check() {
+            result.failure = Some(TranFailure {
+                time: t,
+                progress: (t / t_end).clamp(0.0, 1.0),
+                error: err,
+            });
+            break;
+        }
+        tracker.count_timestep();
+
         // Predictor: linear extrapolation of the last accepted step.
         let mut guess = x.clone();
         if let Some((x_prev, h_prev)) = &prev {
@@ -369,7 +400,14 @@ pub fn transient_salvage_with(
             source_scale: 1.0,
         };
         assembler.reset_junctions(&x);
-        match dc::newton(&mut assembler, &mode, &mut guess, &opts.dc, ws) {
+        match dc::newton(
+            &mut assembler,
+            &mode,
+            &mut guess,
+            &opts.dc,
+            ws,
+            &mut tracker,
+        ) {
             Ok(iters) => {
                 result.newton_iterations += iters;
                 // Voltage-change step control.
@@ -401,6 +439,16 @@ pub fn transient_salvage_with(
                         h *= 1.5;
                     }
                 }
+            }
+            // A budget spent inside the step is non-retriable: no BE retry,
+            // no step shrink — salvage the prefix immediately.
+            Err(err) if err.is_deadline_exceeded() => {
+                result.failure = Some(TranFailure {
+                    time: t,
+                    progress: (t / t_end).clamp(0.0, 1.0),
+                    error: err,
+                });
+                break;
             }
             Err(err) => {
                 result.rejected_steps += 1;

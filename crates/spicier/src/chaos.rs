@@ -1,0 +1,113 @@
+//! Chaos-injection harness: deterministic synthetic failures used by the
+//! robustness test suite and the CI chaos smoke job to prove the budget,
+//! salvage, and sweep-isolation layers degrade gracefully.
+//!
+//! Two faults can be injected inside the Newton loop:
+//!
+//! * **hang** — every iteration sleeps and convergence is vetoed, turning
+//!   the solve into the pathological never-converging corner that only a
+//!   wall-clock deadline can bound;
+//! * **NaN stamp** — a `NaN` is planted in the assembled right-hand side
+//!   each iteration, modelling a device evaluation gone non-finite.
+//!
+//! Injection is scoped: [`with_hang`] / [`with_nan_stamp`] poison only
+//! the solves performed inside the closure on the current thread, which
+//! is how the experiment harness poisons exactly one sweep corner. The
+//! env vars `CHAOS_HANG_NEWTON` / `CHAOS_NAN_STAMP` (set non-empty, not
+//! `"0"`) poison an entire process instead, mirroring the existing
+//! `EXP_INJECT_BAD_CORNER` convention. Production code paths never call
+//! the injection points with chaos active; with both sources off, the
+//! checks are a thread-local counter read per Newton attempt.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+thread_local! {
+    static HANG_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static NAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn env_hang() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| env_flag("CHAOS_HANG_NEWTON"))
+}
+
+fn env_nan() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| env_flag("CHAOS_NAN_STAMP"))
+}
+
+struct DepthGuard(&'static std::thread::LocalKey<Cell<u32>>);
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.0.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Runs `f` with hang injection active on this thread: every Newton
+/// iteration sleeps ~200 µs and never converges.
+pub fn with_hang<R>(f: impl FnOnce() -> R) -> R {
+    HANG_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = DepthGuard(&HANG_DEPTH);
+    f()
+}
+
+/// Runs `f` with NaN-stamp injection active on this thread: a `NaN` is
+/// written into the assembled RHS before every linear solve.
+pub fn with_nan_stamp<R>(f: impl FnOnce() -> R) -> R {
+    NAN_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = DepthGuard(&NAN_DEPTH);
+    f()
+}
+
+/// Whether hang injection is active (scoped guard or `CHAOS_HANG_NEWTON`).
+#[must_use]
+pub fn hang_active() -> bool {
+    HANG_DEPTH.with(Cell::get) > 0 || env_hang()
+}
+
+/// Whether NaN-stamp injection is active (scoped guard or
+/// `CHAOS_NAN_STAMP`).
+#[must_use]
+pub fn nan_stamp_active() -> bool {
+    NAN_DEPTH.with(Cell::get) > 0 || env_nan()
+}
+
+/// One hang beat: called once per Newton iteration while hang injection
+/// is active, so the "hung" loop still polls its budget between sleeps.
+pub(crate) fn hang_beat() {
+    std::thread::sleep(Duration::from_micros(200));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_scope_and_nest() {
+        assert!(!hang_active());
+        assert!(!nan_stamp_active());
+        with_hang(|| {
+            assert!(hang_active());
+            with_hang(|| assert!(hang_active()));
+            assert!(hang_active());
+            assert!(!nan_stamp_active());
+        });
+        assert!(!hang_active());
+        with_nan_stamp(|| assert!(nan_stamp_active()));
+        assert!(!nan_stamp_active());
+    }
+
+    #[test]
+    fn guard_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| with_hang(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert!(!hang_active());
+    }
+}

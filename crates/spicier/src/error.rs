@@ -65,6 +65,29 @@ pub enum Error {
     InvalidOptions(String),
     /// Failure while parsing an engineering-notation value such as `"4k"`.
     ParseValue(String),
+    /// A budgeted analysis ran out of wall-clock, Newton-iteration, or
+    /// timestep budget, or was cooperatively cancelled. Non-retriable:
+    /// the recovery ladder, transient salvage, and sweep retry machinery
+    /// surface it immediately instead of spending the remaining budget on
+    /// escalation or retries.
+    DeadlineExceeded {
+        /// Analysis that was interrupted.
+        phase: crate::analysis::budget::Phase,
+        /// Wall-clock time spent in the analysis call before it gave up.
+        elapsed: std::time::Duration,
+        /// Fraction of the call's work completed, in `[0, 1]` (ladder
+        /// rungs finished, simulated-time fraction, sweep points done).
+        progress: f64,
+    },
+}
+
+impl Error {
+    /// Whether this is a budget violation ([`Error::DeadlineExceeded`]),
+    /// which retry and salvage layers must treat as non-retriable.
+    #[must_use]
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, Error::DeadlineExceeded { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -108,6 +131,16 @@ impl fmt::Display for Error {
             }
             Error::InvalidOptions(reason) => write!(f, "invalid analysis options: {reason}"),
             Error::ParseValue(text) => write!(f, "cannot parse value `{text}`"),
+            Error::DeadlineExceeded {
+                phase,
+                elapsed,
+                progress,
+            } => write!(
+                f,
+                "deadline exceeded in {phase} after {:.3} s ({:.0}% done)",
+                elapsed.as_secs_f64(),
+                progress * 100.0
+            ),
         }
     }
 }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod devices;
 pub mod error;
 pub mod linalg;
@@ -55,6 +56,7 @@ pub mod runner;
 pub mod spice;
 pub mod units;
 
+pub use crate::analysis::budget::{CancelToken, Phase, RunBudget};
 pub use crate::analysis::dc::{
     operating_point, ConvergenceReport, DcOptions, DcSolution, RecoveryRung,
 };
