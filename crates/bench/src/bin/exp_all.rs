@@ -14,6 +14,10 @@
 //! * `--resume` skips experiments the manifest shows as complete under
 //!   the same inputs, so a killed run restarts where it stopped and its
 //!   final artifacts are identical to an uninterrupted run;
+//! * sweep corners quarantined by residual certification
+//!   (`UntrustedSolution`) are counted into the manifest entry, which
+//!   then never satisfies the resume skip test — quarantined work is
+//!   always redone;
 //! * `EXP_ONLY=FIG2,FIG4` restricts the run to a comma-separated subset;
 //! * `CHAOS_KILL_AFTER_EXPERIMENTS=N` kills the process (exit 137) after
 //!   `N` experiments have executed — the kill/resume drill.
@@ -76,6 +80,7 @@ fn main() {
     let mut attempted = 0usize;
     let mut executed = 0usize;
     let mut skipped = 0usize;
+    let mut quarantined_total = 0usize;
     let mut failed: Vec<(&str, String)> = Vec::new();
     for (name, f) in steps {
         if let Some(names) = &only {
@@ -91,6 +96,7 @@ fn main() {
             continue;
         }
         let t = std::time::Instant::now();
+        exp::report::take_quarantined(); // drain stale tally from prior experiment
         let record = match f(scale) {
             Ok(()) => {
                 let secs = t.elapsed().as_secs_f64();
@@ -104,7 +110,15 @@ fn main() {
                 ExperimentRecord::failed(hash, secs, e.to_string())
             }
         };
-        manifest.record(name, record);
+        let quarantined = exp::report::take_quarantined();
+        if quarantined > 0 {
+            quarantined_total += quarantined;
+            eprintln!(
+                "[{name}] {quarantined} corner(s) quarantined by solve certification; \
+                 experiment will rerun on --resume"
+            );
+        }
+        manifest.record(name, record.with_quarantined(quarantined));
         if let Err(e) = manifest.save() {
             eprintln!("  [warn] could not write manifest: {e}");
         }
@@ -122,6 +136,12 @@ fn main() {
         executed,
         skipped
     );
+    if quarantined_total > 0 {
+        println!(
+            "  {quarantined_total} sweep corner(s) quarantined by solve certification \
+             (rerun with --resume to redo them)"
+        );
+    }
     for (name, err) in &failed {
         println!("  FAILED {name}: {err}");
     }

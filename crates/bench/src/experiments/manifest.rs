@@ -30,6 +30,11 @@ pub struct ExperimentRecord {
     pub wall_secs: f64,
     /// Error text for failed experiments.
     pub error: Option<String>,
+    /// Number of sweep corners quarantined by solution certification
+    /// (`UntrustedSolution`). An experiment with quarantined corners still
+    /// produces its artifact, but its manifest entry never satisfies the
+    /// `--resume` skip test: the quarantined work is redone.
+    pub quarantined: usize,
 }
 
 impl ExperimentRecord {
@@ -40,6 +45,7 @@ impl ExperimentRecord {
             input_hash,
             wall_secs,
             error: None,
+            quarantined: 0,
         }
     }
 
@@ -50,7 +56,14 @@ impl ExperimentRecord {
             input_hash,
             wall_secs,
             error: Some(error),
+            quarantined: 0,
         }
+    }
+
+    /// Attaches a quarantined-corner count to the record.
+    pub fn with_quarantined(mut self, quarantined: usize) -> Self {
+        self.quarantined = quarantined;
+        self
     }
 }
 
@@ -94,6 +107,7 @@ impl Manifest {
             };
             let wall_secs = number_field(rest, "wall_secs").unwrap_or(0.0);
             let error = string_field(rest, "error");
+            let quarantined = number_field(rest, "quarantined").unwrap_or(0.0) as usize;
             experiments.insert(
                 name.to_string(),
                 ExperimentRecord {
@@ -101,6 +115,7 @@ impl Manifest {
                     input_hash,
                     wall_secs,
                     error,
+                    quarantined,
                 },
             );
         }
@@ -112,12 +127,19 @@ impl Manifest {
         let mut out = String::from("{\n  \"experiments\": {\n");
         let total = self.experiments.len();
         for (i, (name, r)) in self.experiments.iter().enumerate() {
+            // The quarantined field is omitted when zero so clean-run
+            // manifests keep their historical shape.
             out.push_str(&format!(
-                "    \"{}\": {{\"status\": \"{}\", \"input_hash\": \"{}\", \"wall_secs\": {:.3}{}}}{}\n",
+                "    \"{}\": {{\"status\": \"{}\", \"input_hash\": \"{}\", \"wall_secs\": {:.3}{}{}}}{}\n",
                 json_escape(name),
                 json_escape(&r.status),
                 json_escape(&r.input_hash),
                 r.wall_secs,
+                if r.quarantined > 0 {
+                    format!(", \"quarantined\": {}", r.quarantined)
+                } else {
+                    String::new()
+                },
                 match &r.error {
                     Some(e) => format!(", \"error\": \"{}\"", json_escape(e)),
                     None => String::new(),
@@ -147,11 +169,13 @@ impl Manifest {
     }
 
     /// Whether `name` already completed successfully under the same
-    /// inputs — the `--resume` skip test.
+    /// inputs — the `--resume` skip test. Experiments that quarantined
+    /// corners are never considered complete: their CSVs carry holes
+    /// from untrusted solves, so a resumed campaign redoes them.
     pub fn is_complete(&self, name: &str, input_hash: &str) -> bool {
         self.experiments
             .get(name)
-            .is_some_and(|r| r.status == "ok" && r.input_hash == input_hash)
+            .is_some_and(|r| r.status == "ok" && r.input_hash == input_hash && r.quarantined == 0)
     }
 
     /// Records (or overwrites) one experiment's outcome.
@@ -234,6 +258,8 @@ pub fn input_hash(name: &str, scale: Scale) -> String {
         "EXP_CORNER_DEADLINE_MS",
         "CHAOS_HANG_NEWTON",
         "CHAOS_NAN_STAMP",
+        "CHAOS_PERTURB_LU",
+        "SOLVE_BWERR_TOL",
     ] {
         input.push('|');
         input.push_str(&std::env::var(var).unwrap_or_default());
@@ -284,6 +310,32 @@ mod tests {
         assert!(!m.is_complete("FIG2", "h2"), "stale hash must rerun");
         assert!(!m.is_complete("FIG4", "h1"), "failures must rerun");
         assert!(!m.is_complete("FIG5", "h1"), "unknown must run");
+    }
+
+    #[test]
+    fn quarantined_round_trips_and_blocks_resume_skip() {
+        let mut m = Manifest::default();
+        m.record(
+            "FIG5",
+            ExperimentRecord::ok("h1".into(), 2.0).with_quarantined(3),
+        );
+        m.record("FIG2", ExperimentRecord::ok("h1".into(), 1.0));
+        let text = m.render();
+        assert!(text.contains("\"quarantined\": 3"), "{text}");
+        let back = Manifest::parse(&text);
+        assert_eq!(back, m, "{text}");
+        assert!(
+            !m.is_complete("FIG5", "h1"),
+            "quarantined corners must rerun on --resume"
+        );
+        assert!(m.is_complete("FIG2", "h1"));
+    }
+
+    #[test]
+    fn clean_records_render_without_quarantined_field() {
+        let mut m = Manifest::default();
+        m.record("FIG2", ExperimentRecord::ok("h1".into(), 1.0));
+        assert!(!m.render().contains("quarantined"), "{}", m.render());
     }
 
     #[test]

@@ -4,9 +4,21 @@
 //! degrades to a printed warning, never a panic — losing a CSV must not
 //! lose the sweep that produced it.
 
-use spicier::analysis::sweep::SweepReport;
+use spicier::analysis::sweep::{SweepFailure, SweepReport};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Quarantined corners seen by [`report_sweep`] since the last
+/// [`take_quarantined`] call. The campaign driver drains this after each
+/// experiment to stamp the count into the manifest record.
+static QUARANTINED: AtomicUsize = AtomicUsize::new(0);
+
+/// Drains and returns the quarantined-corner tally accumulated by
+/// [`report_sweep`] since the previous call.
+pub fn take_quarantined() -> usize {
+    QUARANTINED.swap(0, Ordering::Relaxed)
+}
 
 /// Directory experiment CSVs are written to (`target/experiments/`, or
 /// `EXP_OUT_DIR` when set — the campaign kill/resume drills sandbox their
@@ -103,8 +115,13 @@ fn chaos_kill_mid_write(name: &str) {
 /// the one-line summary. `labels` names each corner by input index (same
 /// order as the sweep's item list). No file is written when every corner
 /// succeeded.
+///
+/// Corners quarantined by solution certification are flagged in their own
+/// CSV column and tallied into the campaign-level counter drained by
+/// [`take_quarantined`].
 pub fn report_sweep(name: &str, report: &SweepReport, labels: &[String]) {
     println!("  [sweep] {}", report.summary());
+    QUARANTINED.fetch_add(report.quarantined(), Ordering::Relaxed);
     if report.all_ok() {
         return;
     }
@@ -112,6 +129,7 @@ pub fn report_sweep(name: &str, report: &SweepReport, labels: &[String]) {
         .failures
         .iter()
         .map(|fail| {
+            let quarantined = matches!(fail.failure, SweepFailure::Untrusted { .. });
             vec![
                 fail.index.to_string(),
                 labels
@@ -119,6 +137,7 @@ pub fn report_sweep(name: &str, report: &SweepReport, labels: &[String]) {
                     .cloned()
                     .unwrap_or_else(|| "?".to_string()),
                 fail.attempts.to_string(),
+                if quarantined { "yes" } else { "no" }.to_string(),
                 // Commas would break the CSV row.
                 fail.failure.to_string().replace(',', ";"),
             ]
@@ -126,7 +145,13 @@ pub fn report_sweep(name: &str, report: &SweepReport, labels: &[String]) {
         .collect();
     write_rows_csv(
         &format!("{name}_failures"),
-        &["corner_index", "corner", "attempts", "failure"],
+        &[
+            "corner_index",
+            "corner",
+            "attempts",
+            "quarantined",
+            "failure",
+        ],
         &rows,
     );
     for fail in &report.failures {
@@ -196,7 +221,42 @@ mod tests {
         let path = out_dir().join("report_test_failures.csv");
         let body = std::fs::read_to_string(&path).expect("failures csv written");
         assert!(body.contains("corner_index"));
+        assert!(body.contains("quarantined"), "{body}");
+        assert!(body.contains("1,b,1,no,"), "{body}");
         assert!(body.contains("boom; with comma"), "{body}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn report_sweep_flags_quarantined_corners_and_tallies_them() {
+        use spicier::analysis::sweep::{CornerFailure, SweepFailure};
+        let report = SweepReport {
+            total: 3,
+            succeeded: 2,
+            failures: vec![CornerFailure {
+                index: 2,
+                attempts: 1,
+                failure: SweepFailure::Untrusted {
+                    error: spicier::Error::UntrustedSolution {
+                        backward_error: 1.0e-3,
+                        tolerance: 1.0e-8,
+                        refinement_steps: 1,
+                        cond_estimate: 1.0e16,
+                    },
+                },
+            }],
+            elapsed: std::time::Duration::from_millis(10),
+        };
+        take_quarantined(); // drain leftovers from other tests
+        report_sweep(
+            "report_quarantine_test",
+            &report,
+            &["a".into(), "b".into(), "c".into()],
+        );
+        assert_eq!(take_quarantined(), 1);
+        let path = out_dir().join("report_quarantine_test_failures.csv");
+        let body = std::fs::read_to_string(&path).expect("failures csv written");
+        assert!(body.contains("2,c,1,yes,quarantined:"), "{body}");
         let _ = std::fs::remove_file(path);
     }
 }

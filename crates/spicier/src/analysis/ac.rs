@@ -15,7 +15,7 @@ use super::dc::{self, DcOptions};
 use super::mna::{Assembler, SolveWorkspace};
 use crate::error::Error;
 use crate::linalg::complex::{Complex, ComplexDenseMatrix};
-use crate::linalg::Triplets;
+use crate::linalg::{SolveQuality, Triplets};
 use crate::netlist::{Circuit, Element, NodeId};
 
 /// Options for [`ac_analysis`].
@@ -69,6 +69,7 @@ pub struct AcResult {
     n_nodes: usize,
     /// `data[k][i]` = response of unknown `i` at frequency `k`.
     data: Vec<Vec<Complex>>,
+    quality: SolveQuality,
 }
 
 impl AcResult {
@@ -125,6 +126,13 @@ impl AcResult {
     pub fn node_unknowns(&self) -> usize {
         self.n_nodes
     }
+
+    /// Worst linear-solve certification across the run: the pessimistic
+    /// merge of the operating point's quality and every per-frequency
+    /// complex solve.
+    pub fn quality(&self) -> SolveQuality {
+        self.quality
+    }
 }
 
 /// Runs the AC analysis.
@@ -140,6 +148,7 @@ pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Erro
     let mut assembler = Assembler::new(circuit);
     let mut ws = SolveWorkspace::for_circuit(circuit);
     let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler, &mut ws, &mut tracker)?;
+    let mut quality = ws.solver.last_quality();
     drop(assembler);
 
     // 2. Linearize into G and C triplets.
@@ -193,13 +202,14 @@ pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Erro
             a.add(r, col, Complex::imag(omega * v));
         }
         let mut x = rhs0.clone();
-        a.solve_in_place(&mut x)?;
+        quality = quality.worst(a.solve_in_place(&mut x)?);
         data.push(x);
     }
     Ok(AcResult {
         freqs: opts.freqs.clone(),
         n_nodes,
         data,
+        quality,
     })
 }
 

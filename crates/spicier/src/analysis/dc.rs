@@ -11,9 +11,10 @@
 
 use super::budget::{BudgetTracker, Phase, RunBudget};
 use super::mna::{Assembler, EvalMode, SolveWorkspace};
+use super::preflight;
 use crate::chaos;
 use crate::error::Error;
-use crate::linalg::Solver;
+use crate::linalg::{SolveQuality, Solver};
 use crate::netlist::{Circuit, NodeId};
 use std::fmt;
 
@@ -82,6 +83,13 @@ pub struct ConvergenceReport {
     /// Worst unknown-change magnitude at the last iterate of the last
     /// attempted rung.
     pub worst_residual: f64,
+    /// Structural pre-flight findings on the assembled pattern (floating
+    /// nodes, empty rows/columns, scaling warnings), recorded before the
+    /// first factorization. Diagnostics only: the ladder's gmin rungs cure
+    /// a DC-floating node, so a finding here does not imply failure — use
+    /// [`assert_preflight`](super::preflight::assert_preflight) to reject
+    /// such circuits up front instead.
+    pub preflight: Vec<String>,
 }
 
 impl ConvergenceReport {
@@ -183,6 +191,7 @@ pub struct DcSolution {
     n_nodes: usize,
     x: Vec<f64>,
     report: ConvergenceReport,
+    quality: SolveQuality,
 }
 
 impl DcSolution {
@@ -190,6 +199,13 @@ impl DcSolution {
     /// what iteration cost.
     pub fn report(&self) -> &ConvergenceReport {
         &self.report
+    }
+
+    /// Certification record of the final (converged) linear solve:
+    /// backward error, refinement steps, condition estimate when one was
+    /// computed.
+    pub fn quality(&self) -> SolveQuality {
+        self.quality
     }
 
     /// Voltage of `node`, volts.
@@ -380,6 +396,7 @@ pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution
             n_nodes: circuit.node_unknowns(),
             x,
             report,
+            quality: ws.solver.last_quality(),
         },
     )
 }
@@ -415,7 +432,14 @@ pub(crate) fn recover_operating_point(
     ws: &mut SolveWorkspace,
     tracker: &mut BudgetTracker,
 ) -> Result<(Vec<f64>, ConvergenceReport), Error> {
-    let mut report = ConvergenceReport::default();
+    // Structural pre-flight: scan the assembled pattern once, before the
+    // first factorization, and attach the findings (named nodes, not
+    // kernel column indices) as diagnostics. Not fatal here — the gmin
+    // rungs cure DC-floating nodes.
+    let mut report = ConvergenceReport {
+        preflight: preflight::preflight(circuit).messages(),
+        ..ConvergenceReport::default()
+    };
     // The most recent structural (solver) failure; returned instead of
     // `DcNoConvergence` when no rung completed a single iteration, because
     // a singular matrix — not divergence — is then the root cause.
@@ -447,9 +471,10 @@ pub(crate) fn recover_operating_point(
                     return Ok((x, report));
                 }
             }
-            // A spent budget is non-retriable: climbing further rungs
-            // would burn wall clock the caller no longer has.
-            Err(err) if err.is_deadline_exceeded() => return Err(err),
+            // A spent budget or a failed certification is non-retriable:
+            // climbing further rungs would burn wall clock the caller no
+            // longer has, or reproduce the same untrusted numbers.
+            Err(err) if err.is_non_retriable() => return Err(err),
             Err(err) => {
                 // Structural failure inside this rung: record a
                 // zero-iteration attempt and keep climbing — a homotopy
@@ -741,9 +766,10 @@ pub fn sweep_vsource(
                         );
                         (x, report)
                     }
-                    // A spent budget is non-retriable; anything else falls
-                    // back to the full recovery ladder.
-                    Err(err) if err.is_deadline_exceeded() => return Err(err),
+                    // A spent budget or a failed certification is
+                    // non-retriable; anything else falls back to the full
+                    // recovery ladder.
+                    Err(err) if err.is_non_retriable() => return Err(err),
                     Err(_) => recover_operating_point(
                         &swept,
                         opts,
@@ -760,6 +786,7 @@ pub fn sweep_vsource(
             n_nodes: swept.node_unknowns(),
             x,
             report,
+            quality: ws.solver.last_quality(),
         });
     }
     Ok(results)

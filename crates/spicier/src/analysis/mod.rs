@@ -6,6 +6,7 @@ pub mod dc;
 pub mod mna;
 pub mod noise;
 pub mod power;
+pub mod preflight;
 pub mod sweep;
 pub mod tran;
 
@@ -18,6 +19,7 @@ pub use dc::{
 pub use mna::{Assembler, EvalMode, Integration, Method, SolveWorkspace};
 pub use noise::{noise_analysis, NoiseOptions, NoiseResult};
 pub use power::{power_report, PowerReport};
+pub use preflight::{assert_preflight, preflight, PreflightFinding, PreflightReport};
 pub use sweep::{
     grid2, grid3, linspace, par_map, par_map_with, par_try_map, par_try_map_with, CornerFailure,
     SweepFailure, SweepReport, TryMapOptions,

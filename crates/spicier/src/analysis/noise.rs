@@ -21,6 +21,7 @@ use super::dc::{self, DcOptions};
 use super::mna::{Assembler, SolveWorkspace};
 use crate::error::Error;
 use crate::linalg::complex::{Complex, ComplexDenseMatrix};
+use crate::linalg::SolveQuality;
 use crate::netlist::{Circuit, Element, NodeId};
 
 /// Boltzmann constant, J/K.
@@ -62,6 +63,7 @@ pub struct NoiseResult {
     freqs: Vec<f64>,
     /// Output noise voltage PSD, V²/Hz, per frequency.
     psd: Vec<f64>,
+    quality: SolveQuality,
 }
 
 impl NoiseResult {
@@ -73,6 +75,13 @@ impl NoiseResult {
     /// Output noise voltage PSD, V²/Hz.
     pub fn psd(&self) -> &[f64] {
         &self.psd
+    }
+
+    /// Worst linear-solve certification across the run: the pessimistic
+    /// merge of the operating point's quality and every per-frequency
+    /// adjoint solve.
+    pub fn quality(&self) -> SolveQuality {
+        self.quality
     }
 
     /// RMS noise voltage integrated across the grid (trapezoidal in
@@ -108,6 +117,7 @@ pub fn noise_analysis(circuit: &Circuit, opts: &NoiseOptions) -> Result<NoiseRes
     let mut assembler = Assembler::new(circuit);
     let mut ws = SolveWorkspace::for_circuit(circuit);
     let x_op = dc::operating_point_with(circuit, &opts.dc, &mut assembler, &mut ws, &mut tracker)?;
+    let mut quality = ws.solver.last_quality();
     drop(assembler);
     let v_of = |node: NodeId| -> f64 {
         match node.unknown() {
@@ -189,7 +199,7 @@ pub fn noise_analysis(circuit: &Circuit, opts: &NoiseOptions) -> Result<NoiseRes
         }
         let mut y = vec![Complex::ZERO; dim];
         y[out_idx] = Complex::ONE;
-        at.solve_in_place(&mut y)?;
+        quality = quality.worst(at.solve_in_place(&mut y)?);
         // Transfer from a current source (p → n) to the output is
         // y[p] − y[n]; superpose powers.
         let mut total = 0.0;
@@ -210,6 +220,7 @@ pub fn noise_analysis(circuit: &Circuit, opts: &NoiseOptions) -> Result<NoiseRes
     Ok(NoiseResult {
         freqs: opts.freqs.clone(),
         psd: psd_out,
+        quality,
     })
 }
 

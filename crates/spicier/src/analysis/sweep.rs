@@ -108,6 +108,15 @@ pub enum SweepFailure {
         /// carrying the interrupted phase and its partial progress.
         error: Error,
     },
+    /// Residual certification failed at this corner: a solve completed but
+    /// its backward error stayed above tolerance after refinement, so the
+    /// numbers cannot be trusted. Quarantined without retry — re-running
+    /// the same factorization reproduces the same untrusted solution.
+    Untrusted {
+        /// The [`Error::UntrustedSolution`] carrying the backward error,
+        /// tolerance, and condition estimate.
+        error: Error,
+    },
 }
 
 impl std::fmt::Display for SweepFailure {
@@ -119,6 +128,7 @@ impl std::fmt::Display for SweepFailure {
             SweepFailure::TimedOut { elapsed, error } => {
                 write!(f, "timed out after {:.3} s: {error}", elapsed.as_secs_f64())
             }
+            SweepFailure::Untrusted { error } => write!(f, "quarantined: {error}"),
         }
     }
 }
@@ -156,6 +166,16 @@ impl SweepReport {
         self.failures.is_empty()
     }
 
+    /// Number of corners quarantined for failed residual certification
+    /// ([`SweepFailure::Untrusted`]).
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.failures
+            .iter()
+            .filter(|f| matches!(f.failure, SweepFailure::Untrusted { .. }))
+            .count()
+    }
+
     /// One-line summary, e.g.
     /// `"38/40 corners ok in 2.1 s (1 solver failure, 1 panicked)"`.
     #[must_use]
@@ -171,12 +191,14 @@ impl SweepReport {
         let mut panicked = 0usize;
         let mut skipped = 0usize;
         let mut timed_out = 0usize;
+        let mut quarantined = 0usize;
         for fail in &self.failures {
             match fail.failure {
                 SweepFailure::Solver(_) => solver += 1,
                 SweepFailure::Panicked(_) => panicked += 1,
                 SweepFailure::Skipped => skipped += 1,
                 SweepFailure::TimedOut { .. } => timed_out += 1,
+                SweepFailure::Untrusted { .. } => quarantined += 1,
             }
         }
         let mut parts = Vec::new();
@@ -194,6 +216,9 @@ impl SweepReport {
         }
         if timed_out > 0 {
             parts.push(format!("{timed_out} timed out"));
+        }
+        if quarantined > 0 {
+            parts.push(format!("{quarantined} quarantined"));
         }
         format!(
             "{}/{} corners ok in {:.1} s ({})",
@@ -331,6 +356,17 @@ where
                                 elapsed: corner_started.elapsed(),
                                 error: e,
                             };
+                            break None;
+                        }
+                        Ok(Err(e)) if e.is_untrusted_solution() => {
+                            // Certification failure is a property of the
+                            // matrix, not of workspace state: a retry would
+                            // reproduce the same untrusted numbers.
+                            // Quarantine the corner, and rebuild the scratch
+                            // anyway — the factorization it caches is the
+                            // one that failed certification.
+                            scratch = init();
+                            last = SweepFailure::Untrusted { error: e };
                             break None;
                         }
                         Ok(Err(e)) => last = SweepFailure::Solver(e),
@@ -554,6 +590,52 @@ mod tests {
         }
         assert!(
             report.summary().contains("6 timed out"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn untrusted_corners_are_quarantined_without_retry() {
+        let calls = AtomicUsize::new(0);
+        let opts = TryMapOptions {
+            retries: 3,
+            ..TryMapOptions::default()
+        };
+        let untrusted = || Error::UntrustedSolution {
+            backward_error: 1.0e-2,
+            tolerance: 1.0e-8,
+            refinement_steps: 1,
+            cond_estimate: 1.0e16,
+        };
+        let (out, report) = par_try_map((0..4).collect(), &opts, |&i: &i32| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if i == 2 {
+                return Err(untrusted());
+            }
+            Ok(i)
+        });
+        assert_eq!(out, vec![Some(0), Some(1), None, Some(3)]);
+        assert_eq!(report.quarantined(), 1);
+        // Despite `retries: 3`, the quarantined corner ran exactly once.
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 2);
+        assert_eq!(report.failures[0].attempts, 1);
+        assert!(matches!(
+            &report.failures[0].failure,
+            SweepFailure::Untrusted { error } if error.is_untrusted_solution()
+        ));
+        assert!(
+            report.failures[0]
+                .failure
+                .to_string()
+                .starts_with("quarantined:"),
+            "{}",
+            report.failures[0].failure
+        );
+        assert!(
+            report.summary().contains("1 quarantined"),
             "{}",
             report.summary()
         );

@@ -18,6 +18,7 @@ use super::budget::{BudgetTracker, Phase, RunBudget};
 use super::dc::{self, DcOptions};
 use super::mna::{Assembler, EvalMode, Integration, Method, SolveWorkspace};
 use crate::error::Error;
+use crate::linalg::SolveQuality;
 use crate::netlist::{Circuit, NodeId};
 
 /// Which quantities a transient run records.
@@ -169,6 +170,7 @@ pub struct TranResult {
     rejected_steps: usize,
     newton_iterations: usize,
     failure: Option<TranFailure>,
+    quality: SolveQuality,
 }
 
 impl TranResult {
@@ -214,6 +216,13 @@ impl TranResult {
     /// Whether the run covered the full requested interval.
     pub fn is_complete(&self) -> bool {
         self.failure.is_none()
+    }
+
+    /// Worst linear-solve certification across the run: the pessimistic
+    /// merge of the operating point's quality and that of every completed
+    /// Newton block (accepted or rejected steps alike).
+    pub fn quality(&self) -> SolveQuality {
+        self.quality
     }
 }
 
@@ -326,6 +335,7 @@ pub fn transient_salvage_with(
         rejected_steps: 0,
         newton_iterations: 0,
         failure: None,
+        quality: ws.solver.last_quality(),
     };
     fn record(result: &mut TranResult, t: f64, x: &[f64]) {
         result.time.push(t);
@@ -410,6 +420,7 @@ pub fn transient_salvage_with(
         ) {
             Ok(iters) => {
                 result.newton_iterations += iters;
+                result.quality = result.quality.worst(ws.solver.last_quality());
                 // Voltage-change step control.
                 let dv = guess[..n_nodes]
                     .iter()
@@ -440,9 +451,10 @@ pub fn transient_salvage_with(
                     }
                 }
             }
-            // A budget spent inside the step is non-retriable: no BE retry,
-            // no step shrink — salvage the prefix immediately.
-            Err(err) if err.is_deadline_exceeded() => {
+            // A spent budget or a failed certification inside the step is
+            // non-retriable: no BE retry, no step shrink — salvage the
+            // prefix immediately.
+            Err(err) if err.is_non_retriable() => {
                 result.failure = Some(TranFailure {
                     time: t,
                     progress: (t / t_end).clamp(0.0, 1.0),

@@ -10,6 +10,15 @@
 //! * **NaN stamp** — a `NaN` is planted in the assembled right-hand side
 //!   each iteration, modelling a device evaluation gone non-finite.
 //!
+//! A third fault targets the linear-algebra layer itself:
+//!
+//! * **LU perturbation** — one pivot of every completed factorization is
+//!   scaled by a large factor, modelling silent factor corruption (bad
+//!   memory, a miscompiled kernel, an out-of-bounds write). The solve
+//!   then *completes without any error*; only the residual certifier
+//!   (`linalg::verify`) can tell the answer is wrong, which is exactly
+//!   what the `CHAOS_PERTURB_LU` drill proves.
+//!
 //! Injection is scoped: [`with_hang`] / [`with_nan_stamp`] poison only
 //! the solves performed inside the closure on the current thread, which
 //! is how the experiment harness poisons exactly one sweep corner. The
@@ -26,6 +35,7 @@ use std::time::Duration;
 thread_local! {
     static HANG_DEPTH: Cell<u32> = const { Cell::new(0) };
     static NAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static PERTURB_DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
 fn env_flag(name: &str) -> bool {
@@ -40,6 +50,11 @@ fn env_hang() -> bool {
 fn env_nan() -> bool {
     static FLAG: OnceLock<bool> = OnceLock::new();
     *FLAG.get_or_init(|| env_flag("CHAOS_NAN_STAMP"))
+}
+
+fn env_perturb() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| env_flag("CHAOS_PERTURB_LU"))
 }
 
 struct DepthGuard(&'static std::thread::LocalKey<Cell<u32>>);
@@ -66,6 +81,15 @@ pub fn with_nan_stamp<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Runs `f` with LU-perturbation injection active on this thread: one
+/// pivot of every completed factorization is corrupted, so solves finish
+/// cleanly but produce wrong answers only the residual certifier catches.
+pub fn with_perturb_lu<R>(f: impl FnOnce() -> R) -> R {
+    PERTURB_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = DepthGuard(&PERTURB_DEPTH);
+    f()
+}
+
 /// Whether hang injection is active (scoped guard or `CHAOS_HANG_NEWTON`).
 #[must_use]
 pub fn hang_active() -> bool {
@@ -77,6 +101,13 @@ pub fn hang_active() -> bool {
 #[must_use]
 pub fn nan_stamp_active() -> bool {
     NAN_DEPTH.with(Cell::get) > 0 || env_nan()
+}
+
+/// Whether LU-perturbation injection is active (scoped guard or
+/// `CHAOS_PERTURB_LU`).
+#[must_use]
+pub fn perturb_lu_active() -> bool {
+    PERTURB_DEPTH.with(Cell::get) > 0 || env_perturb()
 }
 
 /// One hang beat: called once per Newton iteration while hang injection
@@ -102,6 +133,11 @@ mod tests {
         assert!(!hang_active());
         with_nan_stamp(|| assert!(nan_stamp_active()));
         assert!(!nan_stamp_active());
+        with_perturb_lu(|| {
+            assert!(perturb_lu_active());
+            assert!(!hang_active());
+        });
+        assert!(!perturb_lu_active());
     }
 
     #[test]

@@ -79,6 +79,38 @@ pub enum Error {
         /// rungs finished, simulated-time fraction, sweep points done).
         progress: f64,
     },
+    /// Residual certification of a linear solve failed: the backward error
+    /// stayed above tolerance even after iterative refinement, so the
+    /// solution cannot be trusted. Non-retriable, like
+    /// [`Error::DeadlineExceeded`]: the factorization (or the matrix
+    /// itself) is numerically rotten, and re-running the same solve —
+    /// another ladder rung, a sweep retry — would only reproduce the same
+    /// untrusted numbers.
+    UntrustedSolution {
+        /// Normalized ∞-norm backward error `‖Ax−b‖ / (‖A‖‖x‖+‖b‖)`
+        /// after the last refinement step.
+        backward_error: f64,
+        /// The certification tolerance the solve had to meet
+        /// (`SOLVE_BWERR_TOL`, default `1e-8`).
+        tolerance: f64,
+        /// Iterative-refinement steps spent before giving up.
+        refinement_steps: usize,
+        /// Hager/Higham 1-norm condition estimate of the factored matrix,
+        /// computed on the failure path.
+        cond_estimate: f64,
+    },
+    /// Structural pre-flight diagnostics rejected the circuit before the
+    /// first factorization: the assembled MNA pattern has fatal defects
+    /// (unknowns no element drives or senses). Produced only by the strict
+    /// [`assert_preflight`](crate::analysis::preflight::assert_preflight)
+    /// entry point — the DC recovery ladder records the same findings as
+    /// diagnostics instead, because its gmin rungs can cure a DC-floating
+    /// node.
+    PreflightFailed {
+        /// One message per fatal finding, naming the offending node or
+        /// branch element.
+        findings: Vec<String>,
+    },
 }
 
 impl Error {
@@ -87,6 +119,23 @@ impl Error {
     #[must_use]
     pub fn is_deadline_exceeded(&self) -> bool {
         matches!(self, Error::DeadlineExceeded { .. })
+    }
+
+    /// Whether this is a failed residual certification
+    /// ([`Error::UntrustedSolution`]), which retry and salvage layers must
+    /// treat as non-retriable: repeating the solve reproduces the same
+    /// untrusted numbers.
+    #[must_use]
+    pub fn is_untrusted_solution(&self) -> bool {
+        matches!(self, Error::UntrustedSolution { .. })
+    }
+
+    /// Whether retry/escalation layers must surface this error immediately
+    /// instead of retrying ([`Error::DeadlineExceeded`] or
+    /// [`Error::UntrustedSolution`]).
+    #[must_use]
+    pub fn is_non_retriable(&self) -> bool {
+        self.is_deadline_exceeded() || self.is_untrusted_solution()
     }
 }
 
@@ -141,6 +190,25 @@ impl fmt::Display for Error {
                 elapsed.as_secs_f64(),
                 progress * 100.0
             ),
+            Error::UntrustedSolution {
+                backward_error,
+                tolerance,
+                refinement_steps,
+                cond_estimate,
+            } => write!(
+                f,
+                "untrusted solution: backward error {backward_error:.3e} exceeds tolerance \
+                 {tolerance:.1e} after {refinement_steps} refinement step{} \
+                 (1-norm condition estimate {cond_estimate:.3e})",
+                if *refinement_steps == 1 { "" } else { "s" }
+            ),
+            Error::PreflightFailed { findings } => {
+                write!(
+                    f,
+                    "pre-flight structural check failed: {}",
+                    findings.join("; ")
+                )
+            }
         }
     }
 }
@@ -168,5 +236,23 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert!(!format!("{:?}", Error::UnknownNode("x".into())).is_empty());
+    }
+
+    #[test]
+    fn untrusted_solution_is_non_retriable() {
+        let e = Error::UntrustedSolution {
+            backward_error: 1.5e-3,
+            tolerance: 1.0e-8,
+            refinement_steps: 1,
+            cond_estimate: 3.2e17,
+        };
+        assert!(e.is_untrusted_solution());
+        assert!(e.is_non_retriable());
+        assert!(!e.is_deadline_exceeded());
+        let msg = e.to_string();
+        assert!(msg.starts_with("untrusted solution"), "{msg}");
+        assert!(msg.contains("1.500e-3"), "{msg}");
+        assert!(msg.contains("1 refinement step ("), "{msg}");
+        assert!(!msg.ends_with('.'));
     }
 }

@@ -61,11 +61,15 @@ pub use crate::analysis::dc::{
     operating_point, ConvergenceReport, DcOptions, DcSolution, RecoveryRung,
 };
 pub use crate::analysis::mna::SolveWorkspace;
+pub use crate::analysis::preflight::{
+    assert_preflight, preflight, PreflightFinding, PreflightReport,
+};
 pub use crate::analysis::tran::{
     transient, transient_salvage, transient_salvage_with, transient_with, TranFailure, TranOptions,
     TranResult,
 };
 pub use crate::error::Error;
+pub use crate::linalg::SolveQuality;
 pub use crate::netlist::{Circuit, Netlist, NodeId};
 
 /// Boltzmann thermal voltage kT/q at the default simulation temperature

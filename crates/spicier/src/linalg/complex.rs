@@ -151,18 +151,127 @@ impl ComplexDenseMatrix {
     }
 
     /// Solves `A x = b` in place (`rhs` holds `b` on entry, `x` on exit),
-    /// destroying the matrix.
+    /// destroying the matrix, and certifies the result by residual against
+    /// a retained copy of the original entries (see `linalg::verify` for
+    /// the certification contract). One step of iterative refinement is
+    /// applied when the backward error misses tolerance.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::SingularMatrix`] on pivot underflow.
+    /// Returns [`Error::SingularMatrix`] on pivot underflow, and
+    /// [`Error::UntrustedSolution`] when refinement cannot bring the
+    /// backward error under tolerance. The condition estimate on the
+    /// failure path is the diagonal-pivot ratio `max|uₖₖ|/min|uₖₖ|` — a
+    /// cheap lower-bound stand-in for the Hager estimate used by the real
+    /// kernels, adequate for a once-per-frequency solve.
     ///
     /// # Panics
     ///
     /// Panics if `rhs.len() != dim()`.
-    pub fn solve_in_place(mut self, rhs: &mut [Complex]) -> Result<(), Error> {
+    pub fn solve_in_place(mut self, rhs: &mut [Complex]) -> Result<super::SolveQuality, Error> {
         let n = self.n;
         assert_eq!(rhs.len(), n, "rhs dimension mismatch");
+        // Retain the original entries: the factorization below overwrites
+        // them, and the residual must be measured against the real matrix.
+        let original = self.data.clone();
+        let b: Vec<Complex> = rhs.to_vec();
+        let perm = self.lu_factor()?;
+        if crate::chaos::perturb_lu_active() && n > 0 {
+            // Chaos drill: corrupt one pivot; only the certifier notices.
+            let k = n / 2;
+            self.data[perm[k] * n + k] = self.data[perm[k] * n + k] * Complex::real(1.0e3);
+        }
+        self.lu_solve(&perm, rhs);
+
+        let tol = super::verify::bwerr_tol();
+        let norm_a = {
+            let mut worst = 0.0f64;
+            for r in 0..n {
+                let sum: f64 = original[r * n..(r + 1) * n].iter().map(|z| z.abs()).sum();
+                worst = worst.max(sum);
+            }
+            worst
+        };
+        let b_inf = b.iter().fold(0.0f64, |m, z| m.max(z.abs()));
+        let residual = |x: &[Complex]| -> Vec<Complex> {
+            let mut r = b.clone();
+            for row in 0..n {
+                let mut ax = Complex::ZERO;
+                for c in 0..n {
+                    ax += original[row * n + c] * x[c];
+                }
+                r[row] = r[row] - ax;
+            }
+            r
+        };
+        // `f64::max` drops NaN operands, so a poisoned vector is detected
+        // explicitly — its norm must fail certification, not vanish.
+        let cinf = |v: &[Complex]| -> f64 {
+            let mut m = 0.0f64;
+            for z in v {
+                let a = z.abs();
+                if a.is_nan() {
+                    return f64::NAN;
+                }
+                m = m.max(a);
+            }
+            m
+        };
+        let bwerr_of = |x: &[Complex], r: &[Complex]| {
+            super::verify::backward_error(cinf(r), norm_a, cinf(x), b_inf)
+        };
+        let mut r = residual(rhs);
+        let mut bwerr = bwerr_of(rhs, &r);
+        let mut steps = 0usize;
+        if bwerr.is_nan() {
+            // Non-finite data: no residual can be measured and refinement
+            // is futile. Record the NaN honestly and leave the failure to
+            // the caller's non-finite guards (see `verify::certify_in_place`).
+            return Ok(super::SolveQuality {
+                backward_error: f64::NAN,
+                refinement_steps: 0,
+                cond_estimate: None,
+            });
+        }
+        if super::verify::uncertified(bwerr, tol) {
+            self.lu_solve(&perm, &mut r);
+            for (xi, di) in rhs.iter_mut().zip(&r) {
+                *xi += *di;
+            }
+            steps = 1;
+            r = residual(rhs);
+            bwerr = bwerr_of(rhs, &r);
+            if super::verify::uncertified(bwerr, tol) {
+                let mut max_p = 0.0f64;
+                let mut min_p = f64::INFINITY;
+                for k in 0..n {
+                    let p = self.data[perm[k] * n + k].abs();
+                    max_p = max_p.max(p);
+                    min_p = min_p.min(p);
+                }
+                return Err(Error::UntrustedSolution {
+                    backward_error: bwerr,
+                    tolerance: tol,
+                    refinement_steps: steps,
+                    cond_estimate: if min_p > 0.0 {
+                        max_p / min_p
+                    } else {
+                        f64::INFINITY
+                    },
+                });
+            }
+        }
+        Ok(super::SolveQuality {
+            backward_error: bwerr,
+            refinement_steps: steps,
+            cond_estimate: None,
+        })
+    }
+
+    /// Factors `self` in place with partial pivoting by magnitude,
+    /// returning the row permutation.
+    fn lu_factor(&mut self) -> Result<Vec<usize>, Error> {
+        let n = self.n;
         let mut perm: Vec<usize> = (0..n).collect();
         for k in 0..n {
             let mut pivot_row = k;
@@ -192,6 +301,12 @@ impl ComplexDenseMatrix {
                 }
             }
         }
+        Ok(perm)
+    }
+
+    /// Applies the factors to solve `A x = b` in place.
+    fn lu_solve(&self, perm: &[usize], rhs: &mut [Complex]) {
+        let n = self.n;
         // Forward substitution.
         let mut y = vec![Complex::ZERO; n];
         for r in 0..n {
@@ -211,7 +326,6 @@ impl ComplexDenseMatrix {
             }
             rhs[r] = sum / self.data[pr * n + r];
         }
-        Ok(())
     }
 }
 
@@ -278,5 +392,32 @@ mod tests {
             m.solve_in_place(&mut rhs),
             Err(Error::SingularMatrix { .. })
         ));
+    }
+
+    #[test]
+    fn healthy_solve_reports_tiny_backward_error() {
+        let mut m = ComplexDenseMatrix::zeros(2);
+        m.add(0, 0, Complex::new(1.0, 1.0));
+        m.add(0, 1, Complex::ONE);
+        m.add(1, 0, Complex::ONE);
+        m.add(1, 1, Complex::new(1.0, -1.0));
+        let mut rhs = vec![Complex::new(2.0, 0.0), Complex::ZERO];
+        let q = m.solve_in_place(&mut rhs).unwrap();
+        assert_eq!(q.refinement_steps, 0);
+        assert!(q.backward_error < 1e-12, "{}", q.backward_error);
+    }
+
+    #[test]
+    fn perturbed_factorization_fails_certification() {
+        let mut m = ComplexDenseMatrix::zeros(3);
+        for i in 0..3 {
+            m.add(i, i, Complex::new(4.0, 1.0));
+        }
+        m.add(0, 1, Complex::real(1.0));
+        m.add(1, 2, Complex::imag(-1.0));
+        m.add(2, 0, Complex::real(0.5));
+        let mut rhs = vec![Complex::ONE; 3];
+        let err = crate::chaos::with_perturb_lu(|| m.solve_in_place(&mut rhs).unwrap_err());
+        assert!(err.is_untrusted_solution(), "{err:?}");
     }
 }

@@ -7,7 +7,7 @@
 // the mathematical objects (pivot rows, column positions).
 #![allow(clippy::needless_range_loop)]
 
-use super::{sparse::Triplets, Solver};
+use super::{sparse::Triplets, verify, verify::SolveQuality, Solver};
 use crate::error::Error;
 
 /// Smallest pivot magnitude accepted before the matrix is declared singular.
@@ -83,6 +83,25 @@ impl DenseMatrix {
         y
     }
 
+    /// Computes `(‖A‖∞, ‖A‖₁)` — the max row and column absolute sums —
+    /// in one pass. Must be called before [`lu_factor`](Self::lu_factor)
+    /// overwrites the entries with the factors.
+    pub fn norms(&self) -> (f64, f64) {
+        let n = self.n;
+        let mut row_max = 0.0f64;
+        let mut col_sums = vec![0.0f64; n];
+        for r in 0..n {
+            let mut row_sum = 0.0;
+            for c in 0..n {
+                let a = self.data[r * n + c].abs();
+                row_sum += a;
+                col_sums[c] += a;
+            }
+            row_max = row_max.max(row_sum);
+        }
+        (row_max, col_sums.iter().fold(0.0f64, |m, &s| m.max(s)))
+    }
+
     /// Factors `self` in place into `P A = L U` with partial pivoting and
     /// returns the row permutation.
     ///
@@ -154,6 +173,44 @@ impl DenseMatrix {
             rhs[r] = sum / self.data[pr * n + r];
         }
     }
+
+    /// Solves `Aᵀ x = b` given the factorization produced by
+    /// [`lu_factor`](Self::lu_factor); `rhs` holds `b` on entry, `x` on
+    /// exit. With `P A = L U` this is `Uᵀ z = b`, `Lᵀ w = z`, `x = Pᵀ w`.
+    /// Used by the Hager condition estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != dim()` or `perm.len() != dim()`.
+    pub fn lu_solve_transposed(&self, perm: &[usize], rhs: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(rhs.len(), n, "rhs dimension mismatch");
+        assert_eq!(perm.len(), n, "permutation dimension mismatch");
+        // Uᵀ z = b: forward substitution; Uᵀ[r][c] = U[c][r] lives at
+        // data[perm[c] * n + r] for c ≤ r.
+        let mut z = vec![0.0; n];
+        for r in 0..n {
+            let mut sum = rhs[r];
+            for c in 0..r {
+                sum -= self.data[perm[c] * n + r] * z[c];
+            }
+            z[r] = sum / self.data[perm[r] * n + r];
+        }
+        // Lᵀ w = z: backward substitution with implicit unit diagonal;
+        // Lᵀ[r][c] = L[c][r] lives at data[perm[c] * n + r] for c > r.
+        for r in (0..n).rev() {
+            let mut sum = z[r];
+            for c in (r + 1)..n {
+                sum -= self.data[perm[c] * n + r] * z[c];
+            }
+            z[r] = sum;
+        }
+        // x = Pᵀ w: logical row r of the permuted system is physical
+        // row perm[r].
+        for r in 0..n {
+            rhs[perm[r]] = z[r];
+        }
+    }
 }
 
 /// Reusable dense solver workspace with a cached stamp-slot map.
@@ -168,6 +225,7 @@ pub struct DenseSolver {
     matrix: Option<DenseMatrix>,
     keys: Vec<(u32, u32)>,
     slots: Vec<u32>,
+    last_quality: SolveQuality,
 }
 
 impl DenseSolver {
@@ -180,6 +238,11 @@ impl DenseSolver {
                 .iter()
                 .zip(&self.keys)
                 .all(|(&(r, c, _), &(kr, kc))| r as u32 == kr && c as u32 == kc)
+    }
+
+    /// Certification record of the most recent successful solve.
+    pub fn last_quality(&self) -> SolveQuality {
+        self.last_quality
     }
 }
 
@@ -209,8 +272,43 @@ impl Solver for DenseSolver {
                 matrix.data[r * n + c] += v;
             }
         }
+        // Norms for the certification denominator, while the assembled
+        // values are still intact (the factorization overwrites them).
+        let (norm_a_inf, norm_a_1) = matrix.norms();
         let perm = matrix.lu_factor()?;
+        if crate::chaos::perturb_lu_active() && n > 0 {
+            // Chaos drill: corrupt one pivot of the completed
+            // factorization. The triangular solves still finish cleanly;
+            // only the residual certifier below can notice.
+            let k = n / 2;
+            matrix.data[perm[k] * n + k] *= 1.0e3;
+        }
+        let b = rhs.to_vec();
         matrix.lu_solve(&perm, rhs);
+        let matrix: &DenseMatrix = matrix;
+        self.last_quality = verify::certify_in_place(
+            rhs,
+            &b,
+            norm_a_inf,
+            norm_a_1,
+            |x, out| {
+                // r = b − A x straight from the triplets: duplicate
+                // entries distribute over the mat-vec sum, so this equals
+                // the assembled-matrix residual.
+                out.copy_from_slice(&b);
+                for &(r, c, v) in triplets.entries() {
+                    out[r] -= v * x[c];
+                }
+            },
+            |v| {
+                matrix.lu_solve(&perm, v);
+                Ok(())
+            },
+            |v| {
+                matrix.lu_solve_transposed(&perm, v);
+                Ok(())
+            },
+        )?;
         Ok(())
     }
 }
@@ -289,6 +387,47 @@ mod tests {
         for (lhs, rhs) in ax.iter().zip(&b) {
             assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
         }
+    }
+
+    #[test]
+    fn transposed_solve_matches_transposed_system() {
+        // Pin the orientation of lu_solve_transposed: solve Aᵀ x = b and
+        // check the residual against an explicit Aᵀ mat-vec.
+        let n = 9;
+        let mut m = DenseMatrix::zeros(n);
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for r in 0..n {
+            for c in 0..n {
+                m.add(r, c, if r == c { 6.0 + next() } else { next() });
+            }
+        }
+        let a = m.clone();
+        let perm = m.lu_factor().unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut x = b.clone();
+        m.lu_solve_transposed(&perm, &mut x);
+        for r in 0..n {
+            let atx: f64 = (0..n).map(|c| a.get(c, r) * x[c]).sum();
+            assert!((atx - b[r]).abs() < 1e-10, "row {r}: {atx} vs {}", b[r]);
+        }
+    }
+
+    #[test]
+    fn norms_are_row_and_col_abs_sums() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, -2.0);
+        m.add(1, 0, 3.0);
+        m.add(1, 1, 4.0);
+        let (inf, one) = m.norms();
+        assert_eq!(inf, 7.0);
+        assert_eq!(one, 6.0);
     }
 
     #[test]

@@ -18,10 +18,12 @@
 pub mod complex;
 pub mod dense;
 pub mod sparse;
+pub mod verify;
 
 pub use complex::{Complex, ComplexDenseMatrix};
 pub use dense::DenseMatrix;
-pub use sparse::{LuStats, SolverStats, SparseLu, SparseMatrix, StampMap, Triplets};
+pub use sparse::{LuStats, PivotFallback, SolverStats, SparseLu, SparseMatrix, StampMap, Triplets};
+pub use verify::SolveQuality;
 
 use crate::error::Error;
 
@@ -58,6 +60,7 @@ pub trait Solver {
 pub struct AutoSolver {
     dense: dense::DenseSolver,
     sparse: sparse::SparseSolver,
+    last_quality: SolveQuality,
 }
 
 impl AutoSolver {
@@ -65,15 +68,24 @@ impl AutoSolver {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Certification record of the most recent successful solve
+    /// (see [`verify::SolveQuality`]).
+    pub fn last_quality(&self) -> SolveQuality {
+        self.last_quality
+    }
 }
 
 impl Solver for AutoSolver {
     fn solve_in_place(&mut self, triplets: &Triplets, rhs: &mut [f64]) -> Result<(), Error> {
         if triplets.dim() <= DENSE_CUTOFF {
-            self.dense.solve_in_place(triplets, rhs)
+            self.dense.solve_in_place(triplets, rhs)?;
+            self.last_quality = self.dense.last_quality();
         } else {
-            self.sparse.solve_in_place(triplets, rhs)
+            self.sparse.solve_in_place(triplets, rhs)?;
+            self.last_quality = self.sparse.last_quality();
         }
+        Ok(())
     }
 }
 

@@ -11,7 +11,7 @@
 // the mathematical objects (pivot rows, column positions).
 #![allow(clippy::needless_range_loop)]
 
-use super::Solver;
+use super::{verify, verify::SolveQuality, Solver};
 use crate::error::Error;
 
 /// Smallest pivot magnitude accepted before the matrix is declared singular.
@@ -130,6 +130,23 @@ impl SparseMatrix {
     /// Number of stored nonzeros.
     pub fn nnz(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Computes `(‖A‖∞, ‖A‖₁)` — the max row and column absolute sums —
+    /// in one pass over the stored nonzeros.
+    pub fn norms(&self) -> (f64, f64) {
+        let mut row_sums = vec![0.0f64; self.n];
+        let mut one = 0.0f64;
+        for c in 0..self.n {
+            let mut col_sum = 0.0;
+            for p in self.col_ptr[c]..self.col_ptr[c + 1] {
+                let a = self.vals[p].abs();
+                col_sum += a;
+                row_sums[self.rows[p]] += a;
+            }
+            one = one.max(col_sum);
+        }
+        (row_sums.iter().fold(0.0f64, |m, &s| m.max(s)), one)
     }
 
     /// Computes `y = A x`.
@@ -325,6 +342,46 @@ pub struct LuStats {
     pub full_factors: usize,
     /// Numeric-only refactorizations that reused the cached pattern.
     pub refactors: usize,
+    /// Refactorizations abandoned mid-replay because partial pivoting
+    /// would now choose a different pivot (see
+    /// [`SparseLu::last_pivot_fallback`] for the triggering ratio).
+    pub pivot_fallbacks: usize,
+}
+
+/// Account of the most recent pivot-degradation fallback inside
+/// [`SparseLu::refactor`]: which column abandoned the cached replay, and
+/// by how much the stored pivot had degraded relative to the row partial
+/// pivoting now prefers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PivotFallback {
+    /// Column at which the replay was abandoned.
+    pub column: usize,
+    /// Row the cached symbolic analysis pivoted on.
+    pub stored_row: usize,
+    /// Row the fresh pivot search preferred (`usize::MAX` when the whole
+    /// column collapsed below the pivot floor).
+    pub winning_row: usize,
+    /// `|winning pivot| / |stored pivot|` at the fallback point — how many
+    /// times larger the fresh winner was than the stored choice
+    /// (`∞` when the stored pivot's value had collapsed to zero).
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for PivotFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pivot fallback at column {}: stored row {} degraded {:.3e}x vs row {}",
+            self.column,
+            self.stored_row,
+            self.ratio,
+            if self.winning_row == usize::MAX {
+                "(none)".to_string()
+            } else {
+                self.winning_row.to_string()
+            }
+        )
+    }
 }
 
 /// LU factors `P A = L U` with the row permutation stored as `pinv`
@@ -353,6 +410,7 @@ pub struct SparseLu {
     sym_pivot: Vec<usize>,
     sym_lower_rows: Vec<usize>,
     stats: LuStats,
+    last_pivot_fallback: Option<PivotFallback>,
 }
 
 impl SparseLu {
@@ -554,7 +612,23 @@ impl SparseLu {
             if pivot_row != self.sym_pivot[k] || pivot_mag < PIVOT_FLOOR {
                 // Partial pivoting would choose differently now (or the
                 // column collapsed): the replay is no longer exact.
-                // Clean the workspace and redo the symbolic work.
+                // Record how far the stored pivot degraded — previously
+                // this fallback was silent, which hid exactly the numeric
+                // drift the condition estimator now cares about — then
+                // clean the workspace and redo the symbolic work.
+                let stored_row = self.sym_pivot[k];
+                let stored_mag = self.work_x[stored_row].abs();
+                self.last_pivot_fallback = Some(PivotFallback {
+                    column: k,
+                    stored_row,
+                    winning_row: pivot_row,
+                    ratio: if stored_mag > 0.0 {
+                        pivot_mag / stored_mag
+                    } else {
+                        f64::INFINITY
+                    },
+                });
+                self.stats.pivot_fallbacks += 1;
                 for &i in xi {
                     self.work_x[i] = 0.0;
                 }
@@ -601,6 +675,13 @@ impl SparseLu {
     /// Counters for full factorizations vs. numeric-only refactorizations.
     pub fn stats(&self) -> LuStats {
         self.stats
+    }
+
+    /// Account of the most recent pivot-degradation fallback taken by
+    /// [`refactor`](Self::refactor), with the triggering pivot ratio.
+    /// `None` until a fallback has occurred.
+    pub fn last_pivot_fallback(&self) -> Option<PivotFallback> {
+        self.last_pivot_fallback
     }
 
     /// Iterative depth-first search over the partially built `L` starting
@@ -704,6 +785,69 @@ impl SparseLu {
         Ok(())
     }
 
+    /// Solves `Aᵀ x = b` using the current factors; `rhs` holds `b` on
+    /// entry and `x` on exit. With `P A = L U` this is `Uᵀ z = b`,
+    /// `Lᵀ w = z`, `x = Pᵀ w`; rows of each transposed factor are the CSC
+    /// columns already stored, so no transposition is materialized. Used
+    /// by the Hager condition estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SolverContract`] when no factorization has been
+    /// computed or the dimension does not match.
+    pub fn solve_transposed(&self, rhs: &mut [f64]) -> Result<(), Error> {
+        let n = self.n;
+        if self.lower.col_ptr.len() != n + 1 {
+            return Err(Error::SolverContract {
+                reason: "solve_transposed called without a complete factorization".to_string(),
+            });
+        }
+        if rhs.len() != n {
+            return Err(Error::SolverContract {
+                reason: format!("rhs has {} entries for a {n}-unknown system", rhs.len()),
+            });
+        }
+        let mut x = rhs.to_vec();
+        // Uᵀ z = b: forward substitution; row c of Uᵀ is U's column c,
+        // diagonal stored last.
+        for c in 0..n {
+            let last = self.upper.col_ptr[c + 1] - 1;
+            debug_assert_eq!(self.upper.rows[last], c);
+            let mut sum = x[c];
+            for p in self.upper.col_ptr[c]..last {
+                sum -= self.upper.vals[p] * x[self.upper.rows[p]];
+            }
+            x[c] = sum / self.upper.vals[last];
+        }
+        // Lᵀ w = z: backward substitution with unit diagonal (stored
+        // first in each L column).
+        for c in (0..n).rev() {
+            let mut sum = x[c];
+            for p in (self.lower.col_ptr[c] + 1)..self.lower.col_ptr[c + 1] {
+                sum -= self.lower.vals[p] * x[self.lower.rows[p]];
+            }
+            x[c] = sum;
+        }
+        // x = Pᵀ w: original row i was pivoted to row pinv[i].
+        for (i, out) in rhs.iter_mut().enumerate() {
+            *out = x[self.pinv[i] as usize];
+        }
+        Ok(())
+    }
+
+    /// Chaos hook: corrupts one stored `U` pivot so subsequent solves
+    /// complete cleanly but produce wrong answers only the residual
+    /// certifier can detect. The corruption lives in the factor values,
+    /// which every `factor`/`refactor` call fully overwrites.
+    fn perturb_pivot(&mut self) {
+        if self.n == 0 {
+            return;
+        }
+        let k = self.n / 2;
+        let last = self.upper.col_ptr[k + 1] - 1;
+        self.upper.vals[last] *= 1.0e3;
+    }
+
     /// Total nonzeros in both factors (fill-in diagnostic).
     pub fn factor_nnz(&self) -> usize {
         self.lower.rows.len() + self.upper.rows.len()
@@ -720,6 +864,9 @@ pub struct SolverStats {
     pub full_factors: usize,
     /// Numeric-only refactorizations on the cached pattern.
     pub refactors: usize,
+    /// Refactorizations abandoned because the stored pivot order degraded
+    /// (each one also counts as a full factorization).
+    pub pivot_fallbacks: usize,
 }
 
 /// Reusable sparse solver workspace with a cached stamp-slot map.
@@ -735,6 +882,7 @@ pub struct SparseSolver {
     map: Option<StampMap>,
     matrix: Option<SparseMatrix>,
     pattern_rebuilds: usize,
+    last_quality: SolveQuality,
 }
 
 impl SparseSolver {
@@ -745,7 +893,18 @@ impl SparseSolver {
             pattern_rebuilds: self.pattern_rebuilds,
             full_factors: lu.full_factors,
             refactors: lu.refactors,
+            pivot_fallbacks: lu.pivot_fallbacks,
         }
+    }
+
+    /// Account of the most recent refactorization pivot fallback, if any.
+    pub fn last_pivot_fallback(&self) -> Option<PivotFallback> {
+        self.lu.last_pivot_fallback()
+    }
+
+    /// Certification record of the most recent successful solve.
+    pub fn last_quality(&self) -> SolveQuality {
+        self.last_quality
     }
 }
 
@@ -763,7 +922,35 @@ impl Solver for SparseSolver {
         }
         let a = self.matrix.as_ref().expect("matrix cached above");
         self.lu.refactor(a)?;
-        self.lu.solve(rhs)
+        if crate::chaos::perturb_lu_active() {
+            self.lu.perturb_pivot();
+        }
+        let b = rhs.to_vec();
+        self.lu.solve(rhs)?;
+        let (norm_a_inf, norm_a_1) = a.norms();
+        let lu = &self.lu;
+        self.last_quality = verify::certify_in_place(
+            rhs,
+            &b,
+            norm_a_inf,
+            norm_a_1,
+            |x, out| {
+                // r = b − A x over the cached CSC matrix.
+                out.copy_from_slice(&b);
+                for c in 0..a.n {
+                    let xc = x[c];
+                    if xc == 0.0 {
+                        continue;
+                    }
+                    for p in a.col_ptr[c]..a.col_ptr[c + 1] {
+                        out[a.rows[p]] -= a.vals[p] * xc;
+                    }
+                }
+            },
+            |v| lu.solve(v),
+            |v| lu.solve_transposed(v),
+        )?;
+        Ok(())
     }
 }
 
@@ -878,6 +1065,66 @@ mod tests {
                 assert!((v - 2.0).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn transposed_solve_matches_transposed_system() {
+        let n = 12;
+        let mut t = Triplets::new(n);
+        for i in 0..n {
+            t.add(i, i, 5.0 + (i as f64 * 0.3).sin());
+            t.add(i, (i + 3) % n, -0.7);
+            t.add((i + 5) % n, i, 0.4);
+        }
+        let a = SparseMatrix::from_triplets(&t);
+        let mut lu = SparseLu::new();
+        lu.factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+        let mut x = b.clone();
+        lu.solve_transposed(&mut x).unwrap();
+        // Check Aᵀ x = b: (Aᵀ x)[c] = Σ_p vals[p] · x[rows[p]] over column c.
+        for c in 0..n {
+            let mut atx = 0.0;
+            for p in a.col_ptr[c]..a.col_ptr[c + 1] {
+                atx += a.vals[p] * x[a.rows[p]];
+            }
+            assert!((atx - b[c]).abs() < 1e-10, "col {c}: {atx} vs {}", b[c]);
+        }
+    }
+
+    #[test]
+    fn refactor_pivot_fallback_surfaces_ratio() {
+        // Same pattern, but the second value set moves the column-0 pivot
+        // winner from row 1 (magnitude 10) to row 0 (magnitude 10 vs 1),
+        // forcing the replay to fall back to a full factorization.
+        let mut t1 = Triplets::new(2);
+        t1.add(0, 0, 1.0);
+        t1.add(1, 0, 10.0);
+        t1.add(0, 1, 1.0);
+        t1.add(1, 1, 1.0);
+        let a1 = SparseMatrix::from_triplets(&t1);
+        let mut t2 = Triplets::new(2);
+        t2.add(0, 0, 10.0);
+        t2.add(1, 0, 1.0);
+        t2.add(0, 1, 1.0);
+        t2.add(1, 1, 1.0);
+        let a2 = SparseMatrix::from_triplets(&t2);
+
+        let mut lu = SparseLu::new();
+        lu.factor(&a1).unwrap();
+        assert!(lu.last_pivot_fallback().is_none());
+        lu.refactor(&a2).unwrap();
+        let fb = lu.last_pivot_fallback().expect("fallback recorded");
+        assert_eq!(fb.column, 0);
+        assert_eq!(fb.stored_row, 1);
+        assert_eq!(fb.winning_row, 0);
+        assert!((fb.ratio - 10.0).abs() < 1e-12, "{}", fb.ratio);
+        assert_eq!(lu.stats().pivot_fallbacks, 1);
+        assert!(fb.to_string().contains("column 0"), "{fb}");
+        // The fallback still produced a correct factorization.
+        let mut x = vec![11.0, 2.0];
+        lu.solve(&mut x).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -43,7 +43,15 @@ impl LevelStats {
 /// tail crossing at the same instant) is not the gate's response, and
 /// would otherwise report an impossible 0 s delay.
 ///
-/// Returns `None` when either signal never crosses after `t_from`.
+/// Returns `Ok(None)` when either signal never crosses after `t_from`.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::TooShort`] when either trace has fewer than
+/// two samples (a single sample cannot contain a crossing) and
+/// [`WaveformError::AllNan`] when every value of a trace is NaN — both the
+/// signatures of a record salvaged from a failed solve, which must surface
+/// as a measurement error rather than a silent "no crossing".
 pub fn propagation_delay(
     input: &Waveform,
     output: &Waveform,
@@ -51,10 +59,15 @@ pub fn propagation_delay(
     level_out: f64,
     edge: Edge,
     t_from: f64,
-) -> Option<f64> {
-    let t_in = input.first_crossing_after(level_in, edge, t_from)?;
-    let t_out = output.first_crossing_strictly_after(level_out, Edge::Any, t_in)?;
-    Some(t_out - t_in)
+) -> Result<Option<f64>, WaveformError> {
+    input.check_measurable(2)?;
+    output.check_measurable(2)?;
+    let Some(t_in) = input.first_crossing_after(level_in, edge, t_from) else {
+        return Ok(None);
+    };
+    Ok(output
+        .first_crossing_strictly_after(level_out, Edge::Any, t_in)
+        .map(|t_out| t_out - t_in))
 }
 
 /// Times where a differential pair `(p, pb)` crosses — the *actual*
@@ -63,12 +76,15 @@ pub fn propagation_delay(
 /// # Errors
 ///
 /// Returns [`WaveformError::TimeAxisMismatch`] when the traces do not share
-/// a time axis.
+/// a time axis, [`WaveformError::TooShort`] when they hold fewer than two
+/// samples, and [`WaveformError::AllNan`] when a trace is entirely NaN.
 pub fn differential_crossings(
     p: &Waveform,
     pb: &Waveform,
     edge: Edge,
 ) -> Result<Vec<f64>, WaveformError> {
+    p.check_measurable(2)?;
+    pb.check_measurable(2)?;
     let diff = p.sub(pb)?;
     Ok(diff.crossings(0.0, edge))
 }
@@ -81,7 +97,8 @@ pub fn differential_crossings(
 /// # Errors
 ///
 /// Returns [`WaveformError::TimeAxisMismatch`] when traces do not share a
-/// time axis.
+/// time axis, [`WaveformError::TooShort`] when any trace has fewer than two
+/// samples, and [`WaveformError::AllNan`] when a trace is entirely NaN.
 pub fn differential_delay(
     in_p: &Waveform,
     in_n: &Waveform,
@@ -89,6 +106,8 @@ pub fn differential_delay(
     out_n: &Waveform,
     t_from: f64,
 ) -> Result<Option<f64>, WaveformError> {
+    out_p.check_measurable(2)?;
+    out_n.check_measurable(2)?;
     let t_in = differential_crossings(in_p, in_n, Edge::Any)?
         .into_iter()
         .find(|&t| t >= t_from);
@@ -260,7 +279,9 @@ mod tests {
     fn propagation_delay_simple() {
         let input = wf(&[(0.0, 0.0), (1.0, 1.0)]);
         let output = wf(&[(0.0, 0.0), (1.0, 0.0), (2.0, 1.0)]);
-        let d = propagation_delay(&input, &output, 0.5, 0.5, Edge::Rising, 0.0).unwrap();
+        let d = propagation_delay(&input, &output, 0.5, 0.5, Edge::Rising, 0.0)
+            .unwrap()
+            .unwrap();
         assert!((d - 1.0).abs() < 1e-12);
     }
 
@@ -268,7 +289,11 @@ mod tests {
     fn propagation_delay_none_when_no_crossing() {
         let input = wf(&[(0.0, 0.0), (1.0, 1.0)]);
         let flat = wf(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
-        assert!(propagation_delay(&input, &flat, 0.5, 0.5, Edge::Rising, 0.0).is_none());
+        assert!(
+            propagation_delay(&input, &flat, 0.5, 0.5, Edge::Rising, 0.0)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -279,8 +304,68 @@ mod tests {
         // at t = 2.5, so the measured delay must be 1.5, not 0.
         let input = wf(&[(0.0, 0.0), (2.0, 1.0)]);
         let output = wf(&[(0.0, 0.0), (2.0, 1.0), (3.0, 0.0)]);
-        let d = propagation_delay(&input, &output, 0.5, 0.5, Edge::Rising, 0.0).unwrap();
+        let d = propagation_delay(&input, &output, 0.5, 0.5, Edge::Rising, 0.0)
+            .unwrap()
+            .unwrap();
         assert!((d - 1.5).abs() < 1e-12, "delay {d}");
+    }
+
+    #[test]
+    fn degenerate_inputs_error_instead_of_panicking() {
+        use crate::wave::WaveformError;
+        let good = wf(&[(0.0, 0.0), (1.0, 1.0)]);
+        let single = wf(&[(0.0, 0.5)]);
+        let nan = wf(&[(0.0, f64::NAN), (1.0, f64::NAN)]);
+
+        // Empty records cannot even be constructed.
+        assert!(matches!(
+            Waveform::new(vec![], vec![]),
+            Err(WaveformError::Empty)
+        ));
+        // Nor can records with a NaN time axis (which used to panic deep
+        // inside `value_at`'s binary search).
+        assert!(matches!(
+            Waveform::new(vec![0.0, f64::NAN], vec![0.0, 1.0]),
+            Err(WaveformError::NonFiniteTime(1))
+        ));
+
+        // Single-sample traces: no crossing is possible — explicit error.
+        assert!(matches!(
+            propagation_delay(&single, &good, 0.5, 0.5, Edge::Rising, 0.0),
+            Err(WaveformError::TooShort { len: 1, need: 2 })
+        ));
+        assert!(matches!(
+            propagation_delay(&good, &single, 0.5, 0.5, Edge::Rising, 0.0),
+            Err(WaveformError::TooShort { len: 1, need: 2 })
+        ));
+        assert!(matches!(
+            differential_crossings(&single, &single, Edge::Any),
+            Err(WaveformError::TooShort { len: 1, need: 2 })
+        ));
+
+        // All-NaN traces (a diverged solve recorded anyway): error, not a
+        // silent "no crossing".
+        assert!(matches!(
+            propagation_delay(&nan, &good, 0.5, 0.5, Edge::Rising, 0.0),
+            Err(WaveformError::AllNan)
+        ));
+        assert!(matches!(
+            differential_crossings(&good, &nan, Edge::Any),
+            Err(WaveformError::AllNan)
+        ));
+        assert!(matches!(
+            differential_delay(&good, &good, &nan, &good, 0.0),
+            Err(WaveformError::AllNan)
+        ));
+        assert!(matches!(
+            differential_delay(&nan, &good, &good, &good, 0.0),
+            Err(WaveformError::AllNan)
+        ));
+
+        // A partially-NaN trace is still measurable: NaN segments simply
+        // cannot cross.
+        let half_nan = wf(&[(0.0, f64::NAN), (1.0, 0.0), (2.0, 1.0)]);
+        assert!(propagation_delay(&half_nan, &good, 0.5, 0.5, Edge::Rising, 0.0).is_ok());
     }
 
     #[test]

@@ -20,6 +20,20 @@ pub enum WaveformError {
     TimeAxisMismatch,
     /// The waveform has no samples.
     Empty,
+    /// A time sample is NaN or infinite at this index (interpolation and
+    /// crossing searches are undefined on such an axis).
+    NonFiniteTime(usize),
+    /// The waveform has fewer samples than the measurement needs (e.g. a
+    /// single sample cannot contain a crossing).
+    TooShort {
+        /// Number of samples in the waveform.
+        len: usize,
+        /// Minimum number the measurement needs.
+        need: usize,
+    },
+    /// Every sample value is NaN, so no level or crossing is defined — the
+    /// usual signature of a diverged solve recorded anyway.
+    AllNan,
 }
 
 impl fmt::Display for WaveformError {
@@ -35,6 +49,16 @@ impl fmt::Display for WaveformError {
                 write!(f, "waveforms do not share a time axis")
             }
             WaveformError::Empty => write!(f, "waveform has no samples"),
+            WaveformError::NonFiniteTime(i) => {
+                write!(f, "time axis is not finite at index {i}")
+            }
+            WaveformError::TooShort { len, need } => {
+                write!(
+                    f,
+                    "waveform has {len} sample(s) but the measurement needs {need}"
+                )
+            }
+            WaveformError::AllNan => write!(f, "every sample value is NaN"),
         }
     }
 }
@@ -75,6 +99,12 @@ impl Waveform {
         }
         if time.is_empty() {
             return Err(WaveformError::Empty);
+        }
+        // A NaN in the time axis slips through the monotonicity check (all
+        // comparisons with NaN are false) and then panics deep inside the
+        // binary search of `value_at`; reject it here instead.
+        if let Some(i) = time.iter().position(|t| !t.is_finite()) {
+            return Err(WaveformError::NonFiniteTime(i));
         }
         for (i, pair) in time.windows(2).enumerate() {
             if pair[1] <= pair[0] {
@@ -247,6 +277,25 @@ impl Waveform {
             .zip(&self.values)
             .filter(move |(&t, _)| t >= t0 && t <= t1)
             .map(|(_, &v)| v)
+    }
+
+    /// Validates that the waveform can carry a crossing-based measurement:
+    /// at least `need` samples, and at least one non-NaN value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::TooShort`] or [`WaveformError::AllNan`].
+    pub fn check_measurable(&self, need: usize) -> Result<(), WaveformError> {
+        if self.len() < need {
+            return Err(WaveformError::TooShort {
+                len: self.len(),
+                need,
+            });
+        }
+        if self.values.iter().all(|v| v.is_nan()) {
+            return Err(WaveformError::AllNan);
+        }
+        Ok(())
     }
 
     /// Sample-wise difference `self − other` (shared time axis required).
