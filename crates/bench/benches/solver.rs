@@ -15,7 +15,7 @@ use spicier::analysis::{Assembler, EvalMode};
 use spicier::linalg::{
     DenseMatrix, Solver, SparseLu, SparseMatrix, StampMap, Triplets, DENSE_CUTOFF,
 };
-use spicier::Circuit;
+use spicier::{telemetry, Circuit};
 use std::path::Path;
 use std::time::Duration;
 
@@ -187,6 +187,73 @@ fn bench_cutoff(c: &mut Harness) {
     group.finish();
 }
 
+/// Telemetry overhead on the FIG3 refactor-solve pair (DESIGN.md §3.5):
+/// `baseline` has no telemetry gate at all, `gated` adds the disabled
+/// check exactly as the hot call sites write it (one relaxed atomic load
+/// per solve), `traced` runs the same loop inside `with_trace` with the
+/// event actually recorded. CI asserts `gated/baseline` stays under 2%.
+fn bench_telemetry(c: &mut Harness) {
+    let mut group = c.benchmark_group("telemetry");
+    group
+        .sample_size(60)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let stamps = fig3_stamps();
+    let n = stamps.dim();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+
+    group.bench_function(format!("fig3_refactor_baseline/{n}"), |bench| {
+        let (map, mut a) = StampMap::build(&stamps);
+        let mut lu = SparseLu::new();
+        lu.factor(&a).expect("nonsingular");
+        bench.iter(|| {
+            assert!(map.scatter(&stamps, &mut a));
+            lu.refactor(&a).expect("same pattern");
+            let mut rhs = b.clone();
+            lu.solve(&mut rhs).expect("factored");
+            rhs
+        })
+    });
+
+    group.bench_function(format!("fig3_refactor_gated/{n}"), |bench| {
+        let (map, mut a) = StampMap::build(&stamps);
+        let mut lu = SparseLu::new();
+        lu.factor(&a).expect("nonsingular");
+        bench.iter(|| {
+            assert!(map.scatter(&stamps, &mut a));
+            lu.refactor(&a).expect("same pattern");
+            let mut rhs = b.clone();
+            lu.solve(&mut rhs).expect("factored");
+            if telemetry::enabled() {
+                telemetry::event("bench_solve", &[("dim", n.into())]);
+            }
+            rhs
+        })
+    });
+
+    group.bench_function(format!("fig3_refactor_traced/{n}"), |bench| {
+        let (map, mut a) = StampMap::build(&stamps);
+        let mut lu = SparseLu::new();
+        lu.factor(&a).expect("nonsingular");
+        telemetry::with_trace(|| {
+            bench.iter(|| {
+                assert!(map.scatter(&stamps, &mut a));
+                lu.refactor(&a).expect("same pattern");
+                let mut rhs = b.clone();
+                lu.solve(&mut rhs).expect("factored");
+                if telemetry::enabled() {
+                    telemetry::event("bench_solve", &[("dim", n.into())]);
+                }
+                rhs
+            })
+        });
+        telemetry::drain();
+    });
+
+    group.finish();
+}
+
 fn bench_circuit_kernels(c: &mut Harness) {
     let mut group = c.benchmark_group("circuit");
     group
@@ -218,6 +285,7 @@ fn main() {
         ("bench_lu", bench_lu as fn(&mut Harness)),
         ("bench_refactor", bench_refactor as fn(&mut Harness)),
         ("bench_cutoff", bench_cutoff as fn(&mut Harness)),
+        ("bench_telemetry", bench_telemetry as fn(&mut Harness)),
         (
             "bench_circuit_kernels",
             bench_circuit_kernels as fn(&mut Harness),
@@ -239,6 +307,26 @@ fn main() {
         metrics.push(("fig3_seed_solve_ns", seed));
         metrics.push(("fig3_refactor_solve_ns", fast));
         metrics.push(("fig3_refactor_speedup", seed / fast));
+    }
+    // The telemetry overhead ratios compare noise floors (min), not
+    // medians: the disabled gate costs one relaxed load (~1 ns) against a
+    // multi-µs solve, far below cross-run median jitter, and noise only
+    // ever adds time.
+    let find_min = |group: &str, prefix: &str| {
+        records
+            .iter()
+            .find(|r| r.group == group && r.id.starts_with(prefix))
+            .map(|r| r.min_ns as f64)
+    };
+    let base = find_min("telemetry", "fig3_refactor_baseline/");
+    let gated = find_min("telemetry", "fig3_refactor_gated/");
+    let traced = find_min("telemetry", "fig3_refactor_traced/");
+    if let (Some(base), Some(gated)) = (base, gated) {
+        // Disabled telemetry must stay invisible — CI gates on < 1.02.
+        metrics.push(("telemetry_disabled_overhead", gated / base));
+    }
+    if let (Some(base), Some(traced)) = (base, traced) {
+        metrics.push(("telemetry_traced_ratio", traced / base));
     }
     let stamps = fig3_stamps();
     let (_, a) = StampMap::build(&stamps);

@@ -23,7 +23,9 @@
 //!   `N` experiments have executed — the kill/resume drill.
 
 use cml_bench::experiments::manifest::{input_hash, ExperimentRecord, Manifest};
+use cml_bench::experiments::run_report::{ExperimentTelemetry, RunReport};
 use cml_bench::{experiments as exp, Scale};
+use spicier::telemetry;
 
 type ExperimentFn = fn(Scale) -> Result<(), spicier::Error>;
 
@@ -51,6 +53,15 @@ fn main() {
     let only = only_filter();
     let kill_after = chaos_kill_after();
     let t0 = std::time::Instant::now();
+    // Telemetry (EXP_TELEMETRY=1 or SPICIER_TRACE=<path>): point failure
+    // dumps at the campaign output directory unless the operator chose an
+    // explicit path, and aggregate per-experiment rollups into
+    // RUN_REPORT.json. With telemetry off, neither file is touched.
+    let telemetry_on = telemetry::enabled();
+    if telemetry_on && std::env::var("SPICIER_TRACE").map_or(true, |v| v.is_empty()) {
+        telemetry::set_dump_path(Some(exp::report::out_dir().join("FLIGHT_RECORDER.jsonl")));
+    }
+    let mut run_report = RunReport::default();
     let steps: Vec<(&str, ExperimentFn)> = vec![
         ("FIG2", exp::fig2::execute),
         ("FIG4", exp::fig4::execute),
@@ -96,7 +107,9 @@ fn main() {
             continue;
         }
         let t = std::time::Instant::now();
-        exp::report::take_quarantined(); // drain stale tally from prior experiment
+        exp::report::take_quarantined(); // drain stale tallies from prior experiment
+        exp::report::take_timed_out();
+        telemetry::take_global_summary();
         let record = match f(scale) {
             Ok(()) => {
                 let secs = t.elapsed().as_secs_f64();
@@ -118,6 +131,21 @@ fn main() {
                  experiment will rerun on --resume"
             );
         }
+        if telemetry_on {
+            run_report.push(ExperimentTelemetry {
+                name: name.to_string(),
+                status: record.status.clone(),
+                wall_secs: record.wall_secs,
+                quarantined,
+                timed_out: exp::report::take_timed_out(),
+                summary: telemetry::take_global_summary(),
+            });
+            // Rewritten atomically after every experiment, so a killed
+            // campaign still leaves a complete report of what ran.
+            if let Err(e) = run_report.save() {
+                eprintln!("  [warn] could not write run report: {e}");
+            }
+        }
         manifest.record(name, record.with_quarantined(quarantined));
         if let Err(e) = manifest.save() {
             eprintln!("  [warn] could not write manifest: {e}");
@@ -136,6 +164,12 @@ fn main() {
         executed,
         skipped
     );
+    if telemetry_on && !run_report.entries.is_empty() {
+        println!(
+            "  [telemetry] run report: {}",
+            exp::run_report::run_report_path().display()
+        );
+    }
     if quarantined_total > 0 {
         println!(
             "  {quarantined_total} sweep corner(s) quarantined by solve certification \

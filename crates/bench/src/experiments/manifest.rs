@@ -260,6 +260,9 @@ pub fn input_hash(name: &str, scale: Scale) -> String {
         "CHAOS_NAN_STAMP",
         "CHAOS_PERTURB_LU",
         "SOLVE_BWERR_TOL",
+        "EXP_TELEMETRY",
+        "SPICIER_TRACE",
+        "SPICIER_CONDEST",
     ] {
         input.push('|');
         input.push_str(&std::env::var(var).unwrap_or_default());

@@ -16,6 +16,7 @@ pub mod manifest;
 pub mod power;
 pub mod report;
 pub mod robust;
+pub mod run_report;
 pub mod stuckat;
 pub mod table1;
 pub mod table2;

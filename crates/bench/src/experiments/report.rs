@@ -20,6 +20,16 @@ pub fn take_quarantined() -> usize {
     QUARANTINED.swap(0, Ordering::Relaxed)
 }
 
+/// Timed-out corners ([`SweepFailure::TimedOut`]) seen by [`report_sweep`]
+/// since the last [`take_timed_out`] call; feeds `RUN_REPORT.json`.
+static TIMED_OUT: AtomicUsize = AtomicUsize::new(0);
+
+/// Drains and returns the timed-out-corner tally accumulated by
+/// [`report_sweep`] since the previous call.
+pub fn take_timed_out() -> usize {
+    TIMED_OUT.swap(0, Ordering::Relaxed)
+}
+
 /// Directory experiment CSVs are written to (`target/experiments/`, or
 /// `EXP_OUT_DIR` when set — the campaign kill/resume drills sandbox their
 /// artifacts this way). Falls back to the system temp directory when it
@@ -122,6 +132,12 @@ fn chaos_kill_mid_write(name: &str) {
 pub fn report_sweep(name: &str, report: &SweepReport, labels: &[String]) {
     println!("  [sweep] {}", report.summary());
     QUARANTINED.fetch_add(report.quarantined(), Ordering::Relaxed);
+    let timed_out = report
+        .failures
+        .iter()
+        .filter(|f| matches!(f.failure, SweepFailure::TimedOut { .. }))
+        .count();
+    TIMED_OUT.fetch_add(timed_out, Ordering::Relaxed);
     if report.all_ok() {
         return;
     }

@@ -1,0 +1,289 @@
+//! Campaign run report: per-experiment telemetry rollups aggregated into
+//! `target/experiments/RUN_REPORT.json`.
+//!
+//! Only written when telemetry is enabled (`EXP_TELEMETRY=1` or
+//! `SPICIER_TRACE=<path>`); a plain campaign produces no report and pays
+//! nothing. The schema is flat hand-written JSON (no serde in the tree):
+//! one entry per experiment with wall time, Newton totals, the
+//! recovery-ladder rung histogram, linear-kernel counters, the worst
+//! certified backward error, and quarantine/timeout counts — plus a
+//! `totals` rollup over the whole campaign.
+//!
+//! Like the manifest, the file is rewritten atomically (tmp sibling +
+//! rename) after every experiment, so a killed campaign leaves a
+//! complete report covering everything that ran.
+
+use super::report::out_dir;
+use spicier::telemetry::GlobalSummary;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Schema tag stamped into the report for downstream consumers.
+pub const SCHEMA: &str = "spicier-run-report-v1";
+
+/// Telemetry rollup of one experiment in the campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentTelemetry {
+    /// Experiment name (`FIG2`, `TABLE1`, ...).
+    pub name: String,
+    /// `"ok"` or `"failed"` — mirrors the manifest record.
+    pub status: String,
+    /// Wall-clock time of the experiment, seconds.
+    pub wall_secs: f64,
+    /// Sweep corners quarantined by solve certification.
+    pub quarantined: usize,
+    /// Sweep corners cancelled on their per-corner deadline.
+    pub timed_out: usize,
+    /// Solver-side rollup drained from the telemetry layer.
+    pub summary: GlobalSummary,
+}
+
+/// The whole-campaign report: one entry per executed experiment.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-experiment entries, in execution order.
+    pub entries: Vec<ExperimentTelemetry>,
+}
+
+/// Path of the report (`target/experiments/RUN_REPORT.json`).
+pub fn run_report_path() -> PathBuf {
+    out_dir().join("RUN_REPORT.json")
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+fn render_entry(e: &ExperimentTelemetry, indent: &str) -> String {
+    let s = &e.summary;
+    let rungs = s
+        .rung_iterations
+        .iter()
+        .map(|(label, n)| format!("\"{label}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{indent}\"status\": \"{}\",\n\
+         {indent}\"wall_secs\": {:.3},\n\
+         {indent}\"analyses\": {},\n\
+         {indent}\"newton_iterations\": {},\n\
+         {indent}\"rung_iterations\": {{{rungs}}},\n\
+         {indent}\"accepted_steps\": {},\n\
+         {indent}\"rejected_steps\": {},\n\
+         {indent}\"lu\": {{\"full_factors\": {}, \"refactors\": {}, \"pivot_fallbacks\": {}, \"solves\": {}}},\n\
+         {indent}\"worst_backward_error\": {},\n\
+         {indent}\"worst_cond_estimate\": {},\n\
+         {indent}\"quarantined\": {},\n\
+         {indent}\"timed_out\": {}",
+        e.status,
+        e.wall_secs,
+        s.analyses,
+        s.newton_iterations,
+        s.accepted_steps,
+        s.rejected_steps,
+        s.lu.full_factors,
+        s.lu.refactors,
+        s.lu.pivot_fallbacks,
+        s.lu.solves,
+        json_opt_f64(s.worst_backward_error),
+        json_opt_f64(s.worst_cond_estimate),
+        e.quarantined,
+        e.timed_out,
+    )
+}
+
+impl RunReport {
+    /// Appends one experiment's rollup.
+    pub fn push(&mut self, entry: ExperimentTelemetry) {
+        self.entries.push(entry);
+    }
+
+    /// Campaign-wide totals across every entry.
+    #[must_use]
+    pub fn totals(&self) -> ExperimentTelemetry {
+        let mut total = ExperimentTelemetry {
+            name: "totals".to_string(),
+            status: if self.entries.iter().all(|e| e.status == "ok") {
+                "ok".to_string()
+            } else {
+                "failed".to_string()
+            },
+            ..ExperimentTelemetry::default()
+        };
+        for e in &self.entries {
+            total.wall_secs += e.wall_secs;
+            total.quarantined += e.quarantined;
+            total.timed_out += e.timed_out;
+            total.summary.analyses += e.summary.analyses;
+            total.summary.newton_iterations += e.summary.newton_iterations;
+            for (label, n) in &e.summary.rung_iterations {
+                *total
+                    .summary
+                    .rung_iterations
+                    .entry(label.clone())
+                    .or_insert(0) += n;
+            }
+            total.summary.accepted_steps += e.summary.accepted_steps;
+            total.summary.rejected_steps += e.summary.rejected_steps;
+            total.summary.lu.absorb(&e.summary.lu);
+            total.summary.worst_backward_error = worst_opt(
+                total.summary.worst_backward_error,
+                e.summary.worst_backward_error,
+            );
+            total.summary.worst_cond_estimate = worst_opt(
+                total.summary.worst_cond_estimate,
+                e.summary.worst_cond_estimate,
+            );
+        }
+        total
+    }
+
+    /// Serializes the report as JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"experiments\": {{\n");
+        let n = self.entries.len();
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{\n", e.name));
+            out.push_str(&render_entry(e, "      "));
+            out.push_str(&format!("\n    }}{}\n", if i + 1 < n { "," } else { "" }));
+        }
+        out.push_str("  },\n  \"totals\": {\n");
+        out.push_str(&render_entry(&self.totals(), "    "));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Atomically writes the report to [`run_report_path`] (tmp sibling +
+    /// rename), like the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self) -> std::io::Result<()> {
+        let path = run_report_path();
+        let tmp = out_dir().join("RUN_REPORT.json.tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(self.render().as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Merges two optional "worst" measurements (`NaN` pessimal), mirroring
+/// the telemetry layer's merge.
+fn worst_opt(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => {
+            if x.is_nan() || y.is_nan() {
+                Some(f64::NAN)
+            } else {
+                Some(x.max(y))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, newton: u64, bwerr: Option<f64>) -> ExperimentTelemetry {
+        let mut summary = GlobalSummary {
+            analyses: 2,
+            newton_iterations: newton,
+            accepted_steps: 10,
+            rejected_steps: 1,
+            worst_backward_error: bwerr,
+            ..GlobalSummary::default()
+        };
+        summary.rung_iterations.insert("newton".to_string(), newton);
+        summary.lu.full_factors = 3;
+        summary.lu.solves = newton as usize;
+        ExperimentTelemetry {
+            name: name.to_string(),
+            status: "ok".to_string(),
+            wall_secs: 1.5,
+            quarantined: 0,
+            timed_out: 1,
+            summary,
+        }
+    }
+
+    #[test]
+    fn render_contains_required_fields() {
+        let mut report = RunReport::default();
+        report.push(entry("FIG2", 40, Some(1.0e-14)));
+        report.push(entry("FIG5", 60, Some(2.0e-13)));
+        let text = report.render();
+        for needle in [
+            "\"schema\": \"spicier-run-report-v1\"",
+            "\"FIG2\"",
+            "\"FIG5\"",
+            "\"wall_secs\"",
+            "\"newton_iterations\": 40",
+            "\"rung_iterations\": {\"newton\": 60}",
+            "\"lu\": {\"full_factors\": 3",
+            "\"worst_backward_error\": 0.0000000000002",
+            "\"quarantined\": 0",
+            "\"timed_out\": 1",
+            "\"totals\"",
+            "\"newton_iterations\": 100",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn totals_merge_worsts_and_counts() {
+        let mut report = RunReport::default();
+        report.push(entry("A", 10, Some(1.0e-12)));
+        report.push(entry("B", 20, None));
+        let totals = report.totals();
+        assert_eq!(totals.summary.newton_iterations, 30);
+        assert_eq!(totals.summary.analyses, 4);
+        assert_eq!(totals.timed_out, 2);
+        assert_eq!(totals.summary.worst_backward_error, Some(1.0e-12));
+        assert_eq!(totals.summary.rung_iterations.get("newton"), Some(&30));
+    }
+
+    #[test]
+    fn missing_worsts_render_as_null_and_nan_as_string() {
+        let mut report = RunReport::default();
+        report.push(entry("A", 1, None));
+        assert!(report.render().contains("\"worst_backward_error\": null"));
+        let mut report = RunReport::default();
+        report.push(entry("B", 1, Some(f64::NAN)));
+        assert!(report
+            .render()
+            .contains("\"worst_backward_error\": \"NaN\""));
+    }
+
+    #[test]
+    fn save_renames_tmp_into_place() {
+        let mut report = RunReport::default();
+        report.push(entry("SELF_TEST", 5, Some(1.0e-15)));
+        report.save().unwrap();
+        let body = std::fs::read_to_string(run_report_path()).unwrap();
+        assert!(body.contains("SELF_TEST"));
+        assert!(!out_dir().join("RUN_REPORT.json.tmp").exists());
+        let _ = std::fs::remove_file(run_report_path());
+    }
+}

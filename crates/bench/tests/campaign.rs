@@ -17,6 +17,9 @@ const SCRUBBED: &[&str] = &[
     "EXP_INJECT_BAD_CORNER",
     "EXP_INJECT_HANG_CORNER",
     "EXP_CORNER_DEADLINE_MS",
+    "EXP_TELEMETRY",
+    "SPICIER_TRACE",
+    "SPICIER_CONDEST",
 ];
 
 /// Runs `exp_all` sandboxed into `dir` on a quick FIG2+FIG4 subset.

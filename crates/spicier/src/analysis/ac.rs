@@ -17,6 +17,8 @@ use crate::error::Error;
 use crate::linalg::complex::{Complex, ComplexDenseMatrix};
 use crate::linalg::{SolveQuality, Triplets};
 use crate::netlist::{Circuit, Element, NodeId};
+use crate::telemetry::{self, TelemetrySummary};
+use std::time::Instant;
 
 /// Options for [`ac_analysis`].
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +72,7 @@ pub struct AcResult {
     /// `data[k][i]` = response of unknown `i` at frequency `k`.
     data: Vec<Vec<Complex>>,
     quality: SolveQuality,
+    telemetry: TelemetrySummary,
 }
 
 impl AcResult {
@@ -133,6 +136,12 @@ impl AcResult {
     pub fn quality(&self) -> SolveQuality {
         self.quality
     }
+
+    /// Telemetry rollup for this run (wall time, kernel counters from the
+    /// operating point, worst certification across all frequency solves).
+    pub fn telemetry(&self) -> &TelemetrySummary {
+        &self.telemetry
+    }
 }
 
 /// Runs the AC analysis.
@@ -143,6 +152,8 @@ impl AcResult {
 /// not exist, a frequency point is singular, or `opts.budget` is spent
 /// ([`Error::DeadlineExceeded`] with phase `ac`).
 pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Error> {
+    let started = Instant::now();
+    let _span = telemetry::span("ac");
     let mut tracker = BudgetTracker::new(&opts.budget, Phase::Ac);
     // 1. Operating point.
     let mut assembler = Assembler::new(circuit);
@@ -202,14 +213,33 @@ pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Erro
             a.add(r, col, Complex::imag(omega * v));
         }
         let mut x = rhs0.clone();
-        quality = quality.worst(a.solve_in_place(&mut x)?);
+        let point_quality = a.solve_in_place(&mut x)?;
+        quality = quality.worst(point_quality);
+        if telemetry::enabled() {
+            telemetry::event(
+                "ac_point",
+                &[
+                    ("freq", f.into()),
+                    ("bwerr", point_quality.backward_error.into()),
+                ],
+            );
+        }
         data.push(x);
     }
+    let summary = TelemetrySummary {
+        wall: started.elapsed(),
+        lu: ws.solver.stats(),
+        worst_backward_error: Some(quality.backward_error),
+        cond_estimate: quality.cond_estimate,
+        ..TelemetrySummary::default()
+    };
+    telemetry::record_summary(&summary);
     Ok(AcResult {
         freqs: opts.freqs.clone(),
         n_nodes,
         data,
         quality,
+        telemetry: summary,
     })
 }
 

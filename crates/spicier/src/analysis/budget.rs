@@ -271,30 +271,55 @@ impl BudgetTracker {
     /// Checks every limit; `Err(DeadlineExceeded)` when one is spent.
     pub(crate) fn check(&self) -> Result<(), Error> {
         if self.budget.cancel.is_cancelled() || corner_token_cancelled() {
-            return Err(self.exceeded());
+            return Err(self.exceeded("cancelled-or-corner-deadline"));
         }
         if let Some(cap) = self.budget.max_newton_iterations {
             if self.newton_iterations >= cap {
-                return Err(self.exceeded());
+                return Err(self.exceeded("newton-iteration-cap"));
             }
         }
         if let Some(cap) = self.budget.max_timesteps {
             if self.timesteps >= cap {
-                return Err(self.exceeded());
+                return Err(self.exceeded("timestep-cap"));
             }
         }
         if let Some(deadline) = self.budget.deadline {
             if self.started.elapsed() >= deadline {
-                return Err(self.exceeded());
+                return Err(self.exceeded("wall-clock-deadline"));
             }
         }
         Ok(())
     }
 
-    fn exceeded(&self) -> Error {
+    fn exceeded(&self, limit: &str) -> Error {
+        let elapsed = self.started.elapsed();
+        if crate::telemetry::enabled() {
+            // Budget consumption at the moment the limit tripped, then
+            // the trajectory dump: a DeadlineExceeded must ship with the
+            // events that burned the budget.
+            crate::telemetry::event(
+                "budget_exceeded",
+                &[
+                    ("phase", self.phase.label().into()),
+                    ("limit", limit.into()),
+                    ("elapsed_ms", (elapsed.as_millis() as i64).into()),
+                    ("newton_iterations", self.newton_iterations.into()),
+                    ("timesteps", self.timesteps.into()),
+                    ("progress", self.progress.into()),
+                ],
+            );
+            crate::telemetry::record_failure(
+                "DeadlineExceeded",
+                &format!(
+                    "{} hit {limit} after {elapsed:.1?} at progress {:.2}",
+                    self.phase.label(),
+                    self.progress
+                ),
+            );
+        }
         Error::DeadlineExceeded {
             phase: self.phase,
-            elapsed: self.started.elapsed(),
+            elapsed,
             progress: self.progress,
         }
     }

@@ -14,9 +14,11 @@ use super::mna::{Assembler, EvalMode, SolveWorkspace};
 use super::preflight;
 use crate::chaos;
 use crate::error::Error;
-use crate::linalg::{SolveQuality, Solver};
+use crate::linalg::{LuStats, SolveQuality, Solver};
 use crate::netlist::{Circuit, NodeId};
+use crate::telemetry::{self, TelemetrySummary};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// One rung of the DC convergence recovery ladder, in escalation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -192,6 +194,7 @@ pub struct DcSolution {
     x: Vec<f64>,
     report: ConvergenceReport,
     quality: SolveQuality,
+    telemetry: TelemetrySummary,
 }
 
 impl DcSolution {
@@ -199,6 +202,12 @@ impl DcSolution {
     /// what iteration cost.
     pub fn report(&self) -> &ConvergenceReport {
         &self.report
+    }
+
+    /// Telemetry rollup for this solve: wall time, Newton totals per
+    /// ladder rung, kernel counters, worst backward error.
+    pub fn telemetry(&self) -> &TelemetrySummary {
+        &self.telemetry
     }
 
     /// Certification record of the final (converged) linear solve:
@@ -316,6 +325,12 @@ fn newton_run(
         if let Some(bad) = rhs.iter().position(|v| !v.is_finite()) {
             run.worst_delta = f64::INFINITY;
             run.worst_index = bad;
+            if telemetry::enabled() {
+                telemetry::event(
+                    "newton_nonfinite",
+                    &[("iter", run.iterations.into()), ("unknown", bad.into())],
+                );
+            }
             return Ok(run);
         }
         let mut converged = true;
@@ -335,6 +350,20 @@ fn newton_run(
                 run.worst_delta = delta;
                 run.worst_index = i;
             }
+        }
+        // Residual trajectory: one event per Newton iteration, so the
+        // flight recorder shows *how* a rung was converging (or not)
+        // when something downstream failed.
+        if telemetry::enabled() {
+            telemetry::event(
+                "newton_iter",
+                &[
+                    ("iter", run.iterations.into()),
+                    ("max_delta", run.worst_delta.into()),
+                    ("worst_unknown", run.worst_index.into()),
+                    ("converged", converged.into()),
+                ],
+            );
         }
         if damping >= 1.0 {
             x.copy_from_slice(rhs);
@@ -388,17 +417,45 @@ pub(crate) fn newton(
 /// structurally broken circuits on which no Newton iteration completes,
 /// or [`Error::DeadlineExceeded`] when `opts.budget` is spent first.
 pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, Error> {
+    let started = Instant::now();
     let mut assembler = Assembler::new(circuit);
     let mut ws = SolveWorkspace::for_circuit(circuit);
     let mut tracker = BudgetTracker::new(&opts.budget, Phase::DcOperatingPoint);
-    recover_operating_point(circuit, opts, &mut assembler, &mut ws, &mut tracker).map(
-        |(x, report)| DcSolution {
-            n_nodes: circuit.node_unknowns(),
-            x,
-            report,
-            quality: ws.solver.last_quality(),
-        },
-    )
+    let (x, report) =
+        recover_operating_point(circuit, opts, &mut assembler, &mut ws, &mut tracker)?;
+    let quality = ws.solver.last_quality();
+    let telemetry = dc_summary(started.elapsed(), &report, ws.solver.stats(), quality);
+    telemetry::record_summary(&telemetry);
+    Ok(DcSolution {
+        n_nodes: circuit.node_unknowns(),
+        x,
+        report,
+        quality,
+        telemetry,
+    })
+}
+
+/// Builds the per-solve telemetry rollup from the diagnostics the DC
+/// path already tracks (report, kernel counters, certification record).
+fn dc_summary(
+    wall: Duration,
+    report: &ConvergenceReport,
+    lu: LuStats,
+    quality: SolveQuality,
+) -> TelemetrySummary {
+    TelemetrySummary {
+        wall,
+        newton_iterations: report.total_iterations() as u64,
+        rung_iterations: report
+            .attempts
+            .iter()
+            .map(|a| (a.rung.label().to_string(), a.iterations as u64))
+            .collect(),
+        lu,
+        worst_backward_error: Some(quality.backward_error),
+        cond_estimate: quality.cond_estimate,
+        ..TelemetrySummary::default()
+    }
 }
 
 /// Operating point reusing an existing assembler (so transient can keep the
@@ -464,11 +521,23 @@ pub(crate) fn recover_operating_point(
         if tracker.phase() == Phase::DcOperatingPoint {
             tracker.set_progress(i as f64 / rungs.len() as f64);
         }
+        let _rung_span = telemetry::span(label.label());
         match rung(circuit, opts, assembler, ws, tracker) {
             Ok((x, run)) => {
                 report.record(label, &run);
                 if run.converged {
                     return Ok((x, report));
+                }
+                if telemetry::enabled() {
+                    telemetry::event(
+                        "rung_failed",
+                        &[
+                            ("rung", label.label().into()),
+                            ("iterations", run.iterations.into()),
+                            ("worst_residual", run.worst_delta.into()),
+                            ("worst_unknown", run.worst_index.into()),
+                        ],
+                    );
                 }
             }
             // A spent budget or a failed certification is non-retriable:
@@ -487,11 +556,19 @@ pub(crate) fn recover_operating_point(
 
     if report.total_iterations() == 0 {
         if let Some(err) = structural {
+            if telemetry::enabled() {
+                telemetry::record_failure("SolverFailure", &err.to_string());
+            }
             return Err(err);
         }
     }
     let residual = report.worst_residual;
     let iterations = report.total_iterations();
+    if telemetry::enabled() {
+        // The ladder is exhausted: ship the buffered trajectory. The
+        // rung_failed events above identify which rung gave up where.
+        telemetry::record_failure("DcNoConvergence", &report.summary());
+    }
     Err(Error::DcNoConvergence {
         iterations,
         residual,
@@ -728,6 +805,8 @@ pub fn sweep_vsource(
     let mut ws = SolveWorkspace::new(circuit.dim());
     let mut tracker = BudgetTracker::new(&opts.budget, Phase::DcSweep);
     for (k, &v) in values.iter().enumerate() {
+        let point_started = Instant::now();
+        let lu_before = ws.solver.stats();
         tracker.set_progress(k as f64 / values.len() as f64);
         tracker.check()?;
         // Rebuild the netlist with the new source value.
@@ -782,11 +861,22 @@ pub fn sweep_vsource(
             None => recover_operating_point(&swept, opts, &mut assembler, &mut ws, &mut tracker)?,
         };
         previous = Some(x.clone());
+        let quality = ws.solver.last_quality();
+        // Per-point delta on the shared workspace, so each solution's
+        // rollup only counts its own factorizations and solves.
+        let telemetry = dc_summary(
+            point_started.elapsed(),
+            &report,
+            ws.solver.stats().delta_since(&lu_before),
+            quality,
+        );
+        telemetry::record_summary(&telemetry);
         results.push(DcSolution {
             n_nodes: swept.node_unknowns(),
             x,
             report,
-            quality: ws.solver.last_quality(),
+            quality,
+            telemetry,
         });
     }
     Ok(results)

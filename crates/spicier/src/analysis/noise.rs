@@ -23,6 +23,8 @@ use crate::error::Error;
 use crate::linalg::complex::{Complex, ComplexDenseMatrix};
 use crate::linalg::SolveQuality;
 use crate::netlist::{Circuit, Element, NodeId};
+use crate::telemetry::{self, TelemetrySummary};
+use std::time::Instant;
 
 /// Boltzmann constant, J/K.
 pub const BOLTZMANN: f64 = 1.380649e-23;
@@ -58,12 +60,22 @@ impl NoiseOptions {
 }
 
 /// Result: output noise voltage PSD per frequency.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct NoiseResult {
     freqs: Vec<f64>,
     /// Output noise voltage PSD, V²/Hz, per frequency.
     psd: Vec<f64>,
     quality: SolveQuality,
+    telemetry: TelemetrySummary,
+}
+
+/// Equality covers the numerical outcome only; the telemetry rollup is
+/// excluded because its wall-clock component differs between otherwise
+/// identical runs.
+impl PartialEq for NoiseResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.freqs == other.freqs && self.psd == other.psd && self.quality == other.quality
+    }
 }
 
 impl NoiseResult {
@@ -82,6 +94,12 @@ impl NoiseResult {
     /// adjoint solve.
     pub fn quality(&self) -> SolveQuality {
         self.quality
+    }
+
+    /// Telemetry rollup for this run (wall time, kernel counters from the
+    /// operating point, worst certification across all adjoint solves).
+    pub fn telemetry(&self) -> &TelemetrySummary {
+        &self.telemetry
     }
 
     /// RMS noise voltage integrated across the grid (trapezoidal in
@@ -112,6 +130,8 @@ struct NoiseSource {
 /// is singular, or `opts.budget` is spent ([`Error::DeadlineExceeded`]
 /// with phase `noise`).
 pub fn noise_analysis(circuit: &Circuit, opts: &NoiseOptions) -> Result<NoiseResult, Error> {
+    let started = Instant::now();
+    let _span = telemetry::span("noise");
     let mut tracker = BudgetTracker::new(&opts.budget, Phase::Noise);
     // Operating point (bias-dependent shot noise).
     let mut assembler = Assembler::new(circuit);
@@ -217,10 +237,19 @@ pub fn noise_analysis(circuit: &Circuit, opts: &NoiseOptions) -> Result<NoiseRes
         }
         psd_out.push(total);
     }
+    let summary = TelemetrySummary {
+        wall: started.elapsed(),
+        lu: ws.solver.stats(),
+        worst_backward_error: Some(quality.backward_error),
+        cond_estimate: quality.cond_estimate,
+        ..TelemetrySummary::default()
+    };
+    telemetry::record_summary(&summary);
     Ok(NoiseResult {
         freqs: opts.freqs.clone(),
         psd: psd_out,
         quality,
+        telemetry: summary,
     })
 }
 

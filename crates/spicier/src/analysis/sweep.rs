@@ -13,6 +13,7 @@
 
 use super::budget::{with_corner_token, CancelToken};
 use crate::error::Error;
+use crate::telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -117,6 +118,19 @@ pub enum SweepFailure {
         /// tolerance, and condition estimate.
         error: Error,
     },
+}
+
+impl SweepFailure {
+    /// Short machine-readable tag for telemetry events.
+    fn kind(&self) -> &'static str {
+        match self {
+            SweepFailure::Solver(_) => "solver",
+            SweepFailure::Panicked(_) => "panicked",
+            SweepFailure::Skipped => "skipped",
+            SweepFailure::TimedOut { .. } => "timed-out",
+            SweepFailure::Untrusted { .. } => "untrusted",
+        }
+    }
 }
 
 impl std::fmt::Display for SweepFailure {
@@ -319,12 +333,24 @@ where
         let results = Mutex::new(&mut slots);
         let failed = Mutex::new(&mut failures);
 
-        let worker = || {
+        let worker = |worker_id: usize| {
             let mut scratch = init();
+            let mut handled = 0usize;
             loop {
                 let item = lock(&queue).pop();
                 let Some((idx, value)) = item else { break };
                 if opts.budget.is_some_and(|b| started.elapsed() >= b) {
+                    if telemetry::enabled() {
+                        telemetry::event(
+                            "corner_failed",
+                            &[
+                                ("index", idx.into()),
+                                ("worker", worker_id.into()),
+                                ("kind", "skipped".into()),
+                                ("attempts", 0usize.into()),
+                            ],
+                        );
+                    }
                     lock(&failed).push(CornerFailure {
                         index: idx,
                         attempts: 0,
@@ -382,23 +408,71 @@ where
                         break None;
                     }
                 };
+                handled += 1;
                 match outcome {
-                    Some(r) => lock(&results)[idx] = Some(r),
-                    None => lock(&failed).push(CornerFailure {
-                        index: idx,
-                        attempts,
-                        failure: last,
-                    }),
+                    Some(r) => {
+                        if telemetry::enabled() {
+                            telemetry::event(
+                                "corner_done",
+                                &[
+                                    ("index", idx.into()),
+                                    ("worker", worker_id.into()),
+                                    ("attempts", attempts.into()),
+                                    (
+                                        "elapsed_ms",
+                                        (corner_started.elapsed().as_secs_f64() * 1e3).into(),
+                                    ),
+                                ],
+                            );
+                        }
+                        lock(&results)[idx] = Some(r);
+                    }
+                    None => {
+                        if telemetry::enabled() {
+                            telemetry::event(
+                                "corner_failed",
+                                &[
+                                    ("index", idx.into()),
+                                    ("worker", worker_id.into()),
+                                    ("kind", last.kind().into()),
+                                    ("attempts", attempts.into()),
+                                    (
+                                        "elapsed_ms",
+                                        (corner_started.elapsed().as_secs_f64() * 1e3).into(),
+                                    ),
+                                ],
+                            );
+                            telemetry::record_failure(
+                                "CornerFailure",
+                                &format!("corner {idx} failed after {attempts} attempt(s): {last}"),
+                            );
+                        }
+                        lock(&failed).push(CornerFailure {
+                            index: idx,
+                            attempts,
+                            failure: last,
+                        });
+                    }
                 }
+            }
+            // Occupancy: how many corners this worker ended up draining —
+            // a skewed distribution flags one slow corner starving the
+            // sweep.
+            if telemetry::enabled() {
+                telemetry::event(
+                    "worker_done",
+                    &[("worker", worker_id.into()), ("corners", handled.into())],
+                );
             }
         };
 
         if n_workers <= 1 || total <= 1 {
-            worker();
+            worker(0);
         } else {
             std::thread::scope(|scope| {
-                for _ in 0..n_workers {
-                    scope.spawn(worker);
+                let worker = &worker;
+                for worker_id in 0..n_workers {
+                    scope.spawn(move || worker(worker_id));
                 }
             });
         }

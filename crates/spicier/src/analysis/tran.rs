@@ -20,6 +20,8 @@ use super::mna::{Assembler, EvalMode, Integration, Method, SolveWorkspace};
 use crate::error::Error;
 use crate::linalg::SolveQuality;
 use crate::netlist::{Circuit, NodeId};
+use crate::telemetry::{self, TelemetrySummary};
+use std::time::Instant;
 
 /// Which quantities a transient run records.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -161,7 +163,7 @@ impl TranFailure {
 /// A result from [`transient_salvage`] may be *partial*: check
 /// [`TranResult::failure`] (or [`TranResult::is_complete`]) before treating
 /// the waveform as covering the full requested interval.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TranResult {
     time: Vec<f64>,
     nodes: Vec<NodeId>,
@@ -171,6 +173,23 @@ pub struct TranResult {
     newton_iterations: usize,
     failure: Option<TranFailure>,
     quality: SolveQuality,
+    telemetry: TelemetrySummary,
+}
+
+/// Equality covers the numerical outcome only; the telemetry rollup is
+/// excluded because its wall-clock component differs between otherwise
+/// identical runs.
+impl PartialEq for TranResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+            && self.nodes == other.nodes
+            && self.data == other.data
+            && self.accepted_steps == other.accepted_steps
+            && self.rejected_steps == other.rejected_steps
+            && self.newton_iterations == other.newton_iterations
+            && self.failure == other.failure
+            && self.quality == other.quality
+    }
 }
 
 impl TranResult {
@@ -223,6 +242,13 @@ impl TranResult {
     /// Newton block (accepted or rejected steps alike).
     pub fn quality(&self) -> SolveQuality {
         self.quality
+    }
+
+    /// Telemetry rollup for this run: wall time, step and Newton counters,
+    /// and the LU-kernel work attributable to this call (see
+    /// [`TelemetrySummary`]).
+    pub fn telemetry(&self) -> &TelemetrySummary {
+        &self.telemetry
     }
 }
 
@@ -293,6 +319,9 @@ pub fn transient_salvage_with(
     ws: &mut SolveWorkspace,
 ) -> Result<TranResult, Error> {
     let (h_max, h_init) = opts.resolved()?;
+    let started = Instant::now();
+    let lu_before = ws.solver.stats();
+    let _tran_span = telemetry::span("transient");
     let mut assembler = Assembler::new(circuit);
     let mut tracker = BudgetTracker::new(&opts.budget, Phase::Transient);
 
@@ -336,6 +365,7 @@ pub fn transient_salvage_with(
         newton_iterations: 0,
         failure: None,
         quality: ws.solver.last_quality(),
+        telemetry: TelemetrySummary::default(),
     };
     fn record(result: &mut TranResult, t: f64, x: &[f64]) {
         result.time.push(t);
@@ -430,6 +460,17 @@ pub fn transient_salvage_with(
                 if dv > opts.dv_max && h > 4.0 * opts.h_min && !(hit_bp && h <= h_init) {
                     result.rejected_steps += 1;
                     be_retry = false;
+                    if telemetry::enabled() {
+                        telemetry::event(
+                            "step_reject_dv",
+                            &[
+                                ("t", t.into()),
+                                ("h", h.into()),
+                                ("dv", dv.into()),
+                                ("dv_max", opts.dv_max.into()),
+                            ],
+                        );
+                    }
                     h *= (opts.dv_max / dv).max(0.25) * 0.9;
                     continue;
                 }
@@ -439,6 +480,17 @@ pub fn transient_salvage_with(
                 t += h;
                 result.accepted_steps += 1;
                 record(&mut result, t, &x);
+                if telemetry::enabled() {
+                    telemetry::event(
+                        "step_accept",
+                        &[
+                            ("t", t.into()),
+                            ("h", h.into()),
+                            ("iters", iters.into()),
+                            ("dv", dv.into()),
+                        ],
+                    );
+                }
                 be_retry = false;
                 if hit_bp {
                     bp_iter.next();
@@ -470,9 +522,15 @@ pub fn transient_salvage_with(
                 // shrinking the step.
                 if !be_retry && method == Method::Trapezoidal {
                     be_retry = true;
+                    if telemetry::enabled() {
+                        telemetry::event("be_retry", &[("t", t.into()), ("h", h.into())]);
+                    }
                     continue;
                 }
                 be_retry = false;
+                if telemetry::enabled() {
+                    telemetry::event("step_reject_newton", &[("t", t.into()), ("h", h.into())]);
+                }
                 h *= 0.25;
                 if h < opts.h_min {
                     // Salvage rung 2: keep the waveform computed so far and
@@ -490,6 +548,30 @@ pub fn transient_salvage_with(
             }
         }
     }
+    if telemetry::enabled() {
+        // Deadline and certification failures already dumped the flight
+        // recorder at their source (budget tracker / solve certifier); dump
+        // here only for failures first diagnosed by the stepper itself.
+        if let Some(fail) = &result.failure {
+            if !matches!(
+                fail.error,
+                Error::DeadlineExceeded { .. } | Error::UntrustedSolution { .. }
+            ) {
+                telemetry::record_failure("TranFailure", &fail.summary());
+            }
+        }
+    }
+    result.telemetry = TelemetrySummary {
+        wall: started.elapsed(),
+        newton_iterations: result.newton_iterations as u64,
+        accepted_steps: result.accepted_steps as u64,
+        rejected_steps: result.rejected_steps as u64,
+        lu: ws.solver.stats().delta_since(&lu_before),
+        worst_backward_error: Some(result.quality.backward_error),
+        cond_estimate: result.quality.cond_estimate,
+        ..TelemetrySummary::default()
+    };
+    telemetry::record_summary(&result.telemetry);
     Ok(result)
 }
 

@@ -54,6 +54,7 @@ pub mod linalg;
 pub mod netlist;
 pub mod runner;
 pub mod spice;
+pub mod telemetry;
 pub mod units;
 
 pub use crate::analysis::budget::{CancelToken, Phase, RunBudget};
@@ -71,6 +72,7 @@ pub use crate::analysis::tran::{
 pub use crate::error::Error;
 pub use crate::linalg::SolveQuality;
 pub use crate::netlist::{Circuit, Netlist, NodeId};
+pub use crate::telemetry::TelemetrySummary;
 
 /// Boltzmann thermal voltage kT/q at the default simulation temperature
 /// (27 °C / 300.15 K), in volts.

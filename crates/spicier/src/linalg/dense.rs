@@ -7,7 +7,7 @@
 // the mathematical objects (pivot rows, column positions).
 #![allow(clippy::needless_range_loop)]
 
-use super::{sparse::Triplets, verify, verify::SolveQuality, Solver};
+use super::{sparse::LuStats, sparse::Triplets, verify, verify::SolveQuality, Solver};
 use crate::error::Error;
 
 /// Smallest pivot magnitude accepted before the matrix is declared singular.
@@ -226,6 +226,7 @@ pub struct DenseSolver {
     keys: Vec<(u32, u32)>,
     slots: Vec<u32>,
     last_quality: SolveQuality,
+    stats: LuStats,
 }
 
 impl DenseSolver {
@@ -243,6 +244,12 @@ impl DenseSolver {
     /// Certification record of the most recent successful solve.
     pub fn last_quality(&self) -> SolveQuality {
         self.last_quality
+    }
+
+    /// Kernel counters (every dense factorization is a "full factor";
+    /// the dense path has no cached-pattern refactor).
+    pub fn stats(&self) -> LuStats {
+        self.stats
     }
 }
 
@@ -276,6 +283,7 @@ impl Solver for DenseSolver {
         // values are still intact (the factorization overwrites them).
         let (norm_a_inf, norm_a_1) = matrix.norms();
         let perm = matrix.lu_factor()?;
+        self.stats.full_factors += 1;
         if crate::chaos::perturb_lu_active() && n > 0 {
             // Chaos drill: corrupt one pivot of the completed
             // factorization. The triangular solves still finish cleanly;
@@ -285,6 +293,9 @@ impl Solver for DenseSolver {
         }
         let b = rhs.to_vec();
         matrix.lu_solve(&perm, rhs);
+        // Triangular-solve tally shared with the certifier's closures,
+        // which only get `&self` borrows.
+        let solves = std::cell::Cell::new(1usize);
         let matrix: &DenseMatrix = matrix;
         self.last_quality = verify::certify_in_place(
             rhs,
@@ -302,13 +313,29 @@ impl Solver for DenseSolver {
             },
             |v| {
                 matrix.lu_solve(&perm, v);
+                solves.set(solves.get() + 1);
                 Ok(())
             },
             |v| {
                 matrix.lu_solve_transposed(&perm, v);
+                solves.set(solves.get() + 1);
                 Ok(())
             },
         )?;
+        self.stats.solves += solves.get();
+        if crate::telemetry::enabled() {
+            crate::telemetry::event(
+                "dense_solve",
+                &[
+                    ("dim", n.into()),
+                    ("bwerr", self.last_quality.backward_error.into()),
+                    (
+                        "refinement_steps",
+                        self.last_quality.refinement_steps.into(),
+                    ),
+                ],
+            );
+        }
         Ok(())
     }
 }

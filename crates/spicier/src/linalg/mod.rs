@@ -74,6 +74,16 @@ impl AutoSolver {
     pub fn last_quality(&self) -> SolveQuality {
         self.last_quality
     }
+
+    /// Merged kernel counters from whichever kernels this solver has
+    /// used so far (dense below [`DENSE_CUTOFF`], sparse above).
+    /// Telemetry snapshots this before and after an analysis and
+    /// reports the delta.
+    pub fn stats(&self) -> LuStats {
+        let mut stats = self.dense.stats();
+        stats.absorb(&self.sparse.lu_stats());
+        stats
+    }
 }
 
 impl Solver for AutoSolver {

@@ -346,6 +346,43 @@ pub struct LuStats {
     /// would now choose a different pivot (see
     /// [`SparseLu::last_pivot_fallback`] for the triggering ratio).
     pub pivot_fallbacks: usize,
+    /// Triangular solves applied against the factors (Newton steps,
+    /// refinement re-solves, and condition-estimator probes alike).
+    pub solves: usize,
+}
+
+impl LuStats {
+    /// Adds `other`'s counters into `self` (used by the telemetry
+    /// rollup and by [`AutoSolver::stats`](crate::linalg::AutoSolver::stats)
+    /// to merge the dense and sparse kernels).
+    pub fn absorb(&mut self, other: &LuStats) {
+        self.full_factors += other.full_factors;
+        self.refactors += other.refactors;
+        self.pivot_fallbacks += other.pivot_fallbacks;
+        self.solves += other.solves;
+    }
+
+    /// Counters accumulated since `earlier` was snapshotted from the
+    /// same solver (saturating, so a stale snapshot cannot underflow).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &LuStats) -> LuStats {
+        LuStats {
+            full_factors: self.full_factors.saturating_sub(earlier.full_factors),
+            refactors: self.refactors.saturating_sub(earlier.refactors),
+            pivot_fallbacks: self.pivot_fallbacks.saturating_sub(earlier.pivot_fallbacks),
+            solves: self.solves.saturating_sub(earlier.solves),
+        }
+    }
+}
+
+impl std::fmt::Display for LuStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} full factors, {} refactors, {} pivot fallbacks, {} solves",
+            self.full_factors, self.refactors, self.pivot_fallbacks, self.solves
+        )
+    }
 }
 
 /// Account of the most recent pivot-degradation fallback inside
@@ -410,6 +447,10 @@ pub struct SparseLu {
     sym_pivot: Vec<usize>,
     sym_lower_rows: Vec<usize>,
     stats: LuStats,
+    /// Triangular-solve count, atomic because [`SparseLu::solve`] and
+    /// [`SparseLu::solve_transposed`] take `&self` (they are called
+    /// through shared borrows inside the residual certifier).
+    solves: std::sync::atomic::AtomicUsize,
     last_pivot_fallback: Option<PivotFallback>,
 }
 
@@ -629,6 +670,21 @@ impl SparseLu {
                     },
                 });
                 self.stats.pivot_fallbacks += 1;
+                if crate::telemetry::enabled() {
+                    crate::telemetry::event(
+                        "pivot_fallback",
+                        &[
+                            ("column", k.into()),
+                            ("stored_row", stored_row.into()),
+                            (
+                                "ratio",
+                                self.last_pivot_fallback
+                                    .map_or(f64::NAN, |f| f.ratio)
+                                    .into(),
+                            ),
+                        ],
+                    );
+                }
                 for &i in xi {
                     self.work_x[i] = 0.0;
                 }
@@ -672,9 +728,12 @@ impl SparseLu {
         Ok(())
     }
 
-    /// Counters for full factorizations vs. numeric-only refactorizations.
+    /// Counters for full factorizations vs. numeric-only
+    /// refactorizations, with the triangular-solve count folded in.
     pub fn stats(&self) -> LuStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.solves = self.solves.load(std::sync::atomic::Ordering::Relaxed);
+        stats
     }
 
     /// Account of the most recent pivot-degradation fallback taken by
@@ -782,6 +841,8 @@ impl SparseLu {
             }
         }
         rhs.copy_from_slice(&x);
+        self.solves
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 
@@ -832,6 +893,8 @@ impl SparseLu {
         for (i, out) in rhs.iter_mut().enumerate() {
             *out = x[self.pinv[i] as usize];
         }
+        self.solves
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 
@@ -902,6 +965,12 @@ impl SparseSolver {
         self.lu.last_pivot_fallback()
     }
 
+    /// Raw kernel counters (the [`LuStats`] view of
+    /// [`stats`](Self::stats), including the triangular-solve count).
+    pub fn lu_stats(&self) -> LuStats {
+        self.lu.stats()
+    }
+
     /// Certification record of the most recent successful solve.
     pub fn last_quality(&self) -> SolveQuality {
         self.last_quality
@@ -950,6 +1019,19 @@ impl Solver for SparseSolver {
             |v| lu.solve(v),
             |v| lu.solve_transposed(v),
         )?;
+        if crate::telemetry::enabled() {
+            crate::telemetry::event(
+                "sparse_solve",
+                &[
+                    ("dim", a.n.into()),
+                    ("bwerr", self.last_quality.backward_error.into()),
+                    (
+                        "refinement_steps",
+                        self.last_quality.refinement_steps.into(),
+                    ),
+                ],
+            );
+        }
         Ok(())
     }
 }

@@ -43,6 +43,17 @@ pub fn bwerr_tol() -> f64 {
     })
 }
 
+/// Whether `SPICIER_CONDEST` (set non-empty, not `"0"`) asks for a
+/// condition estimate on *successful-but-slow* solves — ones that only
+/// certified after a refinement step. Healthy solves (no refinement)
+/// never pay for the extra triangular solves, and with the flag unset
+/// the estimate is computed only on the `UntrustedSolution` failure
+/// path, exactly as before. Read once per process.
+pub fn condest_opt_in() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("SPICIER_CONDEST").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
 /// Quality record of a certified linear solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveQuality {
@@ -52,9 +63,10 @@ pub struct SolveQuality {
     /// Iterative-refinement steps that were needed to reach tolerance
     /// (`0` for a healthy solve).
     pub refinement_steps: usize,
-    /// Hager/Higham 1-norm condition estimate. Only computed on the
-    /// failure path (it costs extra solves), so a trusted solve carries
-    /// `None`.
+    /// Hager/Higham 1-norm condition estimate. Computed on the failure
+    /// path, and — when `SPICIER_CONDEST` is set — on successful solves
+    /// that needed a refinement step (it costs extra solves, so a
+    /// healthy solve always carries `None`).
     pub cond_estimate: Option<f64>,
 }
 
@@ -263,6 +275,15 @@ where
         if uncertified(bwerr, tol) {
             let cond = condest_1norm(x.len(), norm_a_1, &mut solve, &mut solve_transposed)
                 .unwrap_or(f64::INFINITY);
+            if crate::telemetry::enabled() {
+                crate::telemetry::record_failure(
+                    "UntrustedSolution",
+                    &format!(
+                        "backward error {bwerr:.3e} above tolerance {tol:.3e} after {steps} \
+                         refinement step(s), cond estimate {cond:.3e}"
+                    ),
+                );
+            }
             return Err(Error::UntrustedSolution {
                 backward_error: bwerr,
                 tolerance: tol,
@@ -271,10 +292,18 @@ where
             });
         }
     }
+    // A solve that only certified after refinement is the "slow but
+    // successful" class the telemetry summary wants a condition estimate
+    // for; the extra solves are opt-in via `SPICIER_CONDEST`.
+    let cond_estimate = if steps > 0 && condest_opt_in() {
+        condest_1norm(x.len(), norm_a_1, &mut solve, &mut solve_transposed)
+    } else {
+        None
+    };
     Ok(SolveQuality {
         backward_error: bwerr,
         refinement_steps: steps,
-        cond_estimate: None,
+        cond_estimate,
     })
 }
 

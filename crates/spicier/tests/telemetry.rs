@@ -1,0 +1,132 @@
+//! Integration tests for the telemetry layer: a failing analysis must
+//! dump a flight-recorder JSONL trajectory identifying the failing rung
+//! or corner, and every successful result must carry a telemetry rollup
+//! even with tracing fully disabled.
+
+use spicier::analysis::sweep::{par_try_map, TryMapOptions};
+use spicier::analysis::tran::{transient, TranOptions};
+use spicier::analysis::{operating_point, DcOptions};
+use spicier::devices::DiodeModel;
+use spicier::netlist::Netlist;
+use spicier::{chaos, telemetry, Circuit, Error};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The dump path and ring are process-global: tests that redirect the
+/// dump serialize on this lock.
+static DUMP_LOCK: Mutex<()> = Mutex::new(());
+
+fn diode_circuit() -> Circuit {
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let d = nl.node("d");
+    nl.vdc("V1", a, Netlist::GROUND, 3.3).unwrap();
+    nl.resistor("R1", a, d, 6.0e3).unwrap();
+    nl.diode("D1", d, Netlist::GROUND, DiodeModel::new())
+        .unwrap();
+    nl.compile().unwrap()
+}
+
+fn rc_circuit() -> Circuit {
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let b = nl.node("b");
+    nl.vdc("V1", a, Netlist::GROUND, 1.0).unwrap();
+    nl.resistor("R1", a, b, 1.0e3).unwrap();
+    nl.capacitor("C1", b, Netlist::GROUND, 1.0e-9).unwrap();
+    nl.compile().unwrap()
+}
+
+fn dump_file(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "spicier-telemetry-test-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn failure_dump_names_failing_rung() {
+    let _guard = DUMP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = dump_file("dc");
+    telemetry::set_dump_path(Some(path.clone()));
+    let c = diode_circuit();
+    // A NaN-poisoned stamp exhausts every rung of the recovery ladder.
+    let err = telemetry::with_trace(|| {
+        chaos::with_nan_stamp(|| operating_point(&c, &DcOptions::default()).unwrap_err())
+    });
+    telemetry::set_dump_path(None);
+    assert!(matches!(err, Error::DcNoConvergence { .. }), "{err}");
+
+    let dump = std::fs::read_to_string(&path).expect("failure must write the flight recorder");
+    let _ = std::fs::remove_file(&path);
+    assert!(!dump.is_empty());
+    assert!(dump.contains("\"dump_begin\""), "{dump}");
+    assert!(dump.contains("DcNoConvergence"), "{dump}");
+    // The trajectory identifies the rungs that were attempted (events are
+    // scoped under per-rung spans) and the final failure record.
+    assert!(dump.contains("gmin-stepping"), "{dump}");
+    assert!(dump.contains("\"failure\""), "{dump}");
+    // Every line is one standalone JSON object.
+    for line in dump.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+}
+
+#[test]
+fn corner_failure_dump_identifies_corner() {
+    let _guard = DUMP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = dump_file("corner");
+    telemetry::set_dump_path(Some(path.clone()));
+    // `with_trace` is thread-scoped, so pin the sweep to the calling
+    // thread; the env-gated campaign path enables all workers instead.
+    let opts = TryMapOptions {
+        max_workers: Some(1),
+        ..TryMapOptions::default()
+    };
+    let (_, report) = telemetry::with_trace(|| {
+        par_try_map((0..4).collect(), &opts, |&i: &i32| {
+            if i == 2 {
+                return Err(Error::SingularMatrix { column: 7 });
+            }
+            Ok(i)
+        })
+    });
+    telemetry::set_dump_path(None);
+    assert_eq!(report.failures.len(), 1);
+
+    let dump = std::fs::read_to_string(&path).expect("corner failure must dump");
+    let _ = std::fs::remove_file(&path);
+    assert!(dump.contains("CornerFailure"), "{dump}");
+    assert!(dump.contains("corner 2"), "{dump}");
+    assert!(dump.contains("corner_failed"), "{dump}");
+}
+
+#[test]
+fn results_carry_rollup_without_tracing() {
+    // No tracing, no env vars: the per-result rollup is still populated
+    // from counters the analyses track anyway.
+    let c = rc_circuit();
+    let op = operating_point(&c, &DcOptions::default()).unwrap();
+    assert_eq!(
+        op.telemetry().newton_iterations,
+        op.report().total_iterations() as u64
+    );
+    assert!(op.telemetry().lu.full_factors >= 1);
+    assert!(op.telemetry().worst_backward_error.is_some());
+
+    let res = transient(&c, &TranOptions::new(1.0e-7)).unwrap();
+    assert_eq!(res.telemetry().accepted_steps, res.accepted_steps() as u64);
+    assert_eq!(res.telemetry().rejected_steps, res.rejected_steps() as u64);
+    assert_eq!(
+        res.telemetry().newton_iterations,
+        res.newton_iterations() as u64
+    );
+    assert!(res.telemetry().wall > std::time::Duration::ZERO);
+    assert!(
+        res.telemetry().lu.solves as u64 >= res.telemetry().newton_iterations,
+        "every Newton iteration performs at least one solve: {}",
+        res.telemetry().lu
+    );
+}
