@@ -1,188 +1,21 @@
 //! Regenerates every table and figure of the paper in one run (the full
 //! evaluation of DESIGN.md §4). Set `EXP_SCALE=quick` for a smoke run.
 //!
-//! Resilience contract: individual sweep corners that fail are handled
-//! *inside* their experiments (annotated CSV gaps + `*_failures.csv`
-//! companions) and do not fail the run; only an experiment that cannot
-//! produce its artifact at all counts as a failure here. The run always
-//! ends with a summary of both kinds.
-//!
-//! Campaign machinery:
-//! * every experiment's outcome is recorded in
-//!   `target/experiments/MANIFEST.json` (atomically rewritten after each
-//!   one), with an input hash covering the scale and chaos knobs;
-//! * `--resume` skips experiments the manifest shows as complete under
-//!   the same inputs, so a killed run restarts where it stopped and its
-//!   final artifacts are identical to an uninterrupted run;
-//! * sweep corners quarantined by residual certification
-//!   (`UntrustedSolution`) are counted into the manifest entry, which
-//!   then never satisfies the resume skip test — quarantined work is
-//!   always redone;
-//! * `EXP_ONLY=FIG2,FIG4` restricts the run to a comma-separated subset;
-//! * `CHAOS_KILL_AFTER_EXPERIMENTS=N` kills the process (exit 137) after
-//!   `N` experiments have executed — the kill/resume drill.
+//! Thin wrapper: all of the manifest/resume/chaos campaign machinery
+//! lives in `cml_bench::experiments::campaign`, shared with the campaign
+//! server and the drill tests. See that module for the resilience
+//! contract and the full knob list (`EXP_ONLY`, `--resume`,
+//! `CHAOS_KILL_AFTER_EXPERIMENTS`, telemetry).
 
-use cml_bench::experiments::manifest::{input_hash, ExperimentRecord, Manifest};
-use cml_bench::experiments::run_report::{ExperimentTelemetry, RunReport};
-use cml_bench::{experiments as exp, Scale};
-use spicier::telemetry;
-
-type ExperimentFn = fn(Scale) -> Result<(), spicier::Error>;
-
-/// `EXP_ONLY` filter: `None` = run everything.
-fn only_filter() -> Option<Vec<String>> {
-    let v = std::env::var("EXP_ONLY").ok()?;
-    let names: Vec<String> = v
-        .split(',')
-        .map(|s| s.trim().to_ascii_uppercase())
-        .filter(|s| !s.is_empty())
-        .collect();
-    (!names.is_empty()).then_some(names)
-}
-
-/// `CHAOS_KILL_AFTER_EXPERIMENTS=N`: die after N executed experiments.
-fn chaos_kill_after() -> Option<usize> {
-    std::env::var("CHAOS_KILL_AFTER_EXPERIMENTS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-}
+use cml_bench::experiments::campaign::{
+    print_summary, run_campaign, standard_experiments, CampaignOptions,
+};
 
 fn main() {
-    let scale = Scale::from_env();
-    let resume = std::env::args().any(|a| a == "--resume");
-    let only = only_filter();
-    let kill_after = chaos_kill_after();
-    let t0 = std::time::Instant::now();
-    // Telemetry (EXP_TELEMETRY=1 or SPICIER_TRACE=<path>): point failure
-    // dumps at the campaign output directory unless the operator chose an
-    // explicit path, and aggregate per-experiment rollups into
-    // RUN_REPORT.json. With telemetry off, neither file is touched.
-    let telemetry_on = telemetry::enabled();
-    if telemetry_on && std::env::var("SPICIER_TRACE").map_or(true, |v| v.is_empty()) {
-        telemetry::set_dump_path(Some(exp::report::out_dir().join("FLIGHT_RECORDER.jsonl")));
-    }
-    let mut run_report = RunReport::default();
-    let steps: Vec<(&str, ExperimentFn)> = vec![
-        ("FIG2", exp::fig2::execute),
-        ("FIG4", exp::fig4::execute),
-        ("TABLE1", exp::table1::execute),
-        ("TABLE2", exp::table2::execute),
-        ("FIG5", exp::fig5::execute),
-        ("FIG7", exp::fig7::execute),
-        ("FIG8", exp::fig8::execute),
-        ("FIG10", exp::fig10::execute),
-        ("FIG12", exp::fig12::execute),
-        ("FIG14", exp::fig14::execute),
-        ("THRESH", exp::thresholds::execute),
-        ("TOGGLE", exp::toggle::execute),
-        ("ABLATE", exp::ablations::execute),
-        ("ACCHAR", exp::acchar::execute),
-        ("ROBUST", exp::robust::execute),
-        ("STUCKAT", exp::stuckat::execute),
-        ("POWER", exp::power::execute),
-    ];
-    // A fresh campaign starts from an empty manifest; --resume keeps the
-    // previous one and skips whatever it proves complete.
-    let mut manifest = if resume {
-        Manifest::load()
-    } else {
-        Manifest::default()
-    };
-    let mut attempted = 0usize;
-    let mut executed = 0usize;
-    let mut skipped = 0usize;
-    let mut quarantined_total = 0usize;
-    let mut failed: Vec<(&str, String)> = Vec::new();
-    for (name, f) in steps {
-        if let Some(names) = &only {
-            if !names.iter().any(|n| n == name) {
-                continue;
-            }
-        }
-        attempted += 1;
-        let hash = input_hash(name, scale);
-        if resume && manifest.is_complete(name, &hash) {
-            println!("[{name}] complete in manifest: skipped (resume)");
-            skipped += 1;
-            continue;
-        }
-        let t = std::time::Instant::now();
-        exp::report::take_quarantined(); // drain stale tallies from prior experiment
-        exp::report::take_timed_out();
-        telemetry::take_global_summary();
-        let record = match f(scale) {
-            Ok(()) => {
-                let secs = t.elapsed().as_secs_f64();
-                println!("[{name}] done in {secs:.1} s");
-                ExperimentRecord::ok(hash, secs)
-            }
-            Err(e) => {
-                let secs = t.elapsed().as_secs_f64();
-                eprintln!("[{name}] FAILED: {e}");
-                failed.push((name, e.to_string()));
-                ExperimentRecord::failed(hash, secs, e.to_string())
-            }
-        };
-        let quarantined = exp::report::take_quarantined();
-        if quarantined > 0 {
-            quarantined_total += quarantined;
-            eprintln!(
-                "[{name}] {quarantined} corner(s) quarantined by solve certification; \
-                 experiment will rerun on --resume"
-            );
-        }
-        if telemetry_on {
-            run_report.push(ExperimentTelemetry {
-                name: name.to_string(),
-                status: record.status.clone(),
-                wall_secs: record.wall_secs,
-                quarantined,
-                timed_out: exp::report::take_timed_out(),
-                summary: telemetry::take_global_summary(),
-            });
-            // Rewritten atomically after every experiment, so a killed
-            // campaign still leaves a complete report of what ran.
-            if let Err(e) = run_report.save() {
-                eprintln!("  [warn] could not write run report: {e}");
-            }
-        }
-        manifest.record(name, record.with_quarantined(quarantined));
-        if let Err(e) = manifest.save() {
-            eprintln!("  [warn] could not write manifest: {e}");
-        }
-        executed += 1;
-        if kill_after == Some(executed) {
-            eprintln!("[chaos] CHAOS_KILL_AFTER_EXPERIMENTS={executed}: dying mid-campaign");
-            std::process::exit(137);
-        }
-    }
-    println!(
-        "\n== run summary: {}/{} experiments ok in {:.1} s ({} run, {} resumed) ==",
-        attempted - failed.len(),
-        attempted,
-        t0.elapsed().as_secs_f64(),
-        executed,
-        skipped
-    );
-    if telemetry_on && !run_report.entries.is_empty() {
-        println!(
-            "  [telemetry] run report: {}",
-            exp::run_report::run_report_path().display()
-        );
-    }
-    if quarantined_total > 0 {
-        println!(
-            "  {quarantined_total} sweep corner(s) quarantined by solve certification \
-             (rerun with --resume to redo them)"
-        );
-    }
-    for (name, err) in &failed {
-        println!("  FAILED {name}: {err}");
-    }
-    if failed.is_empty() {
-        println!("  all experiments produced their artifacts");
-        println!("  (per-corner sweep failures, if any, are in target/experiments/*_failures.csv)");
-    } else {
+    let opts = CampaignOptions::from_env_and_args();
+    let summary = run_campaign(&opts, &standard_experiments());
+    print_summary(&summary);
+    if !summary.all_ok() {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,17 @@
+//! The campaign daemon. Binds the address in `SERVE_ADDR`, writes the
+//! concrete address to `<SERVE_STATE_DIR>/ADDR`, resumes journaled
+//! campaigns, and serves until SIGTERM or a `drain` request. See
+//! DESIGN.md §3.6 and EXPERIMENTS.md for the protocol and knobs.
+
+use cml_bench::server::{daemon, ServerConfig};
+
+fn main() {
+    let cfg = ServerConfig::from_env();
+    match daemon::serve(cfg) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("[serve] fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}

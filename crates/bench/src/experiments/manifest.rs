@@ -84,7 +84,13 @@ impl Manifest {
     /// file — including one corrupted by a mid-write kill — degrades to an
     /// empty manifest: resume then simply reruns everything.
     pub fn load() -> Self {
-        let Ok(text) = std::fs::read_to_string(manifest_path()) else {
+        Self::load_from(&manifest_path())
+    }
+
+    /// [`Manifest::load`] from an explicit path — the campaign server
+    /// keeps one manifest per job this way.
+    pub fn load_from(path: &std::path::Path) -> Self {
+        let Ok(text) = std::fs::read_to_string(path) else {
             return Self::default();
         };
         Self::parse(&text)
@@ -159,8 +165,19 @@ impl Manifest {
     ///
     /// Propagates filesystem errors.
     pub fn save(&self) -> std::io::Result<()> {
-        let path = manifest_path();
-        let tmp = out_dir().join("MANIFEST.json.tmp");
+        self.save_to(&manifest_path())
+    }
+
+    /// [`Manifest::save`] to an explicit path (same atomic tmp + rename
+    /// discipline; the tmp sibling lives next to the target).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(self.render().as_bytes())?;
         f.sync_all()?;
@@ -267,6 +284,12 @@ pub fn input_hash(name: &str, scale: Scale) -> String {
         input.push('|');
         input.push_str(&std::env::var(var).unwrap_or_default());
     }
+    fnv64(&input)
+}
+
+/// FNV-1a hex digest of `input` — the hash behind [`input_hash`], public
+/// so the campaign server can stamp job specs the same way.
+pub fn fnv64(input: &str) -> String {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in input.bytes() {
         hash ^= u64::from(byte);

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod acchar;
+pub mod campaign;
 pub mod common;
 pub mod fig10;
 pub mod fig12;

@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod server;
 
 /// How much of the full sweep an experiment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,263 @@
+//! Client library for the campaign daemon: used by tests, the load
+//! harness, and anything else that wants to talk to `spicier-serve`
+//! without hand-rolling frames.
+//!
+//! The client is also where client-side chaos lives: under
+//! `spicier::chaos::with_drop_client` (or `CHAOS_DROP_CLIENT=n`) a
+//! request is written and the socket slammed shut before the reply —
+//! the daemon must detect the orphan and cancel its work. Under
+//! `with_slow_client(ms)` (or `CHAOS_SLOW_CLIENT_MS`) every frame byte
+//! is trickled with a delay — the slowloris the daemon's two-phase read
+//! timeout must shrug off.
+
+use super::json::Json;
+use super::proto::{read_frame, write_frame, CampaignSpec, Request, Stream};
+use spicier::chaos;
+use std::cell::Cell;
+use std::io::Write;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Requests sent on this thread, for `CHAOS_DROP_CLIENT=n` cadence.
+    static SENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A connection to the daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to `addr` (`tcp:host:port`, `unix:/path`, or bare
+    /// `host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = Stream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(Client { stream })
+    }
+
+    /// Reads the daemon's `ADDR` file under `state_dir`, waiting up to
+    /// `timeout` for it to appear (port-0 startup races).
+    ///
+    /// # Errors
+    ///
+    /// Times out if the daemon never writes the file.
+    pub fn wait_for_addr(state_dir: &Path, timeout: Duration) -> std::io::Result<String> {
+        let path = state_dir.join("ADDR");
+        let t0 = Instant::now();
+        loop {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let text = text.trim().to_string();
+                if !text.is_empty() {
+                    return Ok(text);
+                }
+            }
+            if t0.elapsed() > timeout {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("no ADDR file at {} after {timeout:?}", path.display()),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Writes one frame, honouring the client-chaos knobs.
+    fn send(&mut self, doc: &Json) -> std::io::Result<()> {
+        if let Some(ms) = chaos::slow_client_ms() {
+            // Slowloris mode: length prefix + body, one byte at a time.
+            let body = doc.render().into_bytes();
+            let len = u32::try_from(body.len())
+                .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame"))?;
+            for byte in len.to_be_bytes().iter().chain(body.iter()) {
+                self.stream.write_all(&[*byte])?;
+                self.stream.flush()?;
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            return Ok(());
+        }
+        write_frame(&mut self.stream, doc)
+    }
+
+    /// One request/response round trip. Under drop-client chaos the
+    /// request is sent, the socket is shut down, and `BrokenPipe` is
+    /// returned without reading a reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a clean server-side close surfaces as
+    /// `UnexpectedEof`.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Json> {
+        let doc = req.to_json();
+        let n = SENT.with(|s| {
+            let n = s.get() + 1;
+            s.set(n);
+            n
+        });
+        if let Some(every) = chaos::drop_client_every() {
+            if every > 0 && n.is_multiple_of(every) {
+                self.send(&doc)?;
+                self.stream.shutdown();
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "chaos: client dropped after send",
+                ));
+            }
+        }
+        self.send(&doc)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )
+        })
+    }
+
+    /// Sends only the first `bytes` bytes of the request's frame and
+    /// keeps the connection open — a hand-rolled slowloris/truncation
+    /// probe for tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn send_truncated(&mut self, req: &Request, bytes: usize) -> std::io::Result<()> {
+        let body = req.to_json().render().into_bytes();
+        let len = u32::try_from(body.len())
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame"))?;
+        let mut frame = Vec::from(len.to_be_bytes());
+        frame.extend_from_slice(&body);
+        frame.truncate(bytes.max(1));
+        self.stream.write_all(&frame)?;
+        self.stream.flush()
+    }
+
+    /// Sets the reply-read timeout (long campaigns, short probes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_read_timeout(&mut self, dur: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(dur))
+    }
+
+    /// Closes the socket without protocol niceties.
+    pub fn shutdown(&mut self) {
+        self.stream.shutdown();
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn ping(&mut self) -> std::io::Result<Json> {
+        self.request(&Request::Ping)
+    }
+
+    /// Interactive deck run (blocks until the daemon replies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn run(
+        &mut self,
+        tenant: &str,
+        deck: &str,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Json> {
+        self.request(&Request::Run {
+            tenant: tenant.to_string(),
+            deck: deck.to_string(),
+            deadline_ms,
+        })
+    }
+
+    /// Campaign submission; returns the `accepted`/`busy` reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn submit_campaign(
+        &mut self,
+        tenant: &str,
+        id: &str,
+        spec: &CampaignSpec,
+    ) -> std::io::Result<Json> {
+        self.request(&Request::Campaign {
+            tenant: tenant.to_string(),
+            id: id.to_string(),
+            spec: spec.clone(),
+        })
+    }
+
+    /// One poll of `job`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn poll(&mut self, job: &str) -> std::io::Result<Json> {
+        self.request(&Request::Poll {
+            job: job.to_string(),
+        })
+    }
+
+    /// Polls `job` until it leaves the `running` state or `timeout`
+    /// elapses; returns the terminal reply.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` if the job does not finish in time; otherwise
+    /// propagates I/O errors.
+    pub fn wait_job(&mut self, job: &str, timeout: Duration) -> std::io::Result<Json> {
+        let t0 = Instant::now();
+        loop {
+            let reply = self.poll(job)?;
+            let status = reply.str_field("status").unwrap_or_default();
+            if status != super::proto::status::RUNNING {
+                return Ok(reply);
+            }
+            if t0.elapsed() > timeout {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("job {job} still running after {timeout:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    }
+
+    /// Remote cancellation of `job`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn cancel(&mut self, job: &str) -> std::io::Result<Json> {
+        self.request(&Request::Cancel {
+            job: job.to_string(),
+        })
+    }
+
+    /// Daemon counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.request(&Request::Stats)
+    }
+
+    /// Begins graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn drain(&mut self) -> std::io::Result<Json> {
+        self.request(&Request::Drain)
+    }
+}

@@ -1,0 +1,465 @@
+//! The daemon proper: listener, connection lifecycle, request dispatch,
+//! and graceful drain.
+//!
+//! One thread per connection (bounded by `SERVE_MAX_CONNS`; excess
+//! connections get a `busy` frame and are closed). Frame reads are
+//! two-phase: an idle wait for the first byte (checking the drain flag
+//! every 100 ms), then a hard whole-frame deadline of
+//! `SERVE_READ_TIMEOUT_MS` — a slowloris client that trickles bytes
+//! cannot hold a connection slot past that deadline.
+//!
+//! SIGTERM (or a `drain` request) flips one atomic; the accept loop
+//! notices, stops admitting, lets in-flight units finish, and exits.
+//! Queued campaign work survives in the journal + per-job manifests and
+//! is resumed by the next daemon start.
+
+use super::execute::{self, finalize_job, split_chunks, worker_loop};
+use super::json::Json;
+use super::proto::{self, write_frame, Listener, Request, Stream};
+use super::scheduler::{AdmitError, Job, JobClass, JobPhase, Outcome, Scheduler, Unit};
+use super::ServerConfig;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Set by SIGTERM or a `drain` request; the accept loop polls it.
+pub static DRAIN: AtomicBool = AtomicBool::new(false);
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// POSIX `signal(2)`; used directly so the repo keeps its
+    /// no-new-dependencies rule (no `libc` crate).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // The only async-signal-safe thing we do: flip the atomic.
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM → drain handler.
+pub fn install_sigterm_handler() {
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+/// Runs the daemon until drain. Returns the process exit code.
+///
+/// # Errors
+///
+/// Propagates listener/state-dir setup failures; runtime per-connection
+/// errors only close that connection.
+pub fn serve(cfg: ServerConfig) -> std::io::Result<i32> {
+    install_sigterm_handler();
+    std::fs::create_dir_all(&cfg.state_dir)?;
+    let (listener, addr) = Listener::bind(&cfg.addr)?;
+    // Port 0 / tempdir flows discover the concrete address here.
+    write_atomic(&cfg.addr_file(), addr.as_bytes())?;
+    println!("[serve] listening on {addr}");
+    let sched = Scheduler::new(cfg.clone());
+
+    // Journal replay: every accepted-but-unfinished campaign is
+    // re-admitted as resumed; its chunk manifest trims the work to the
+    // incomplete tail. Zero accepted jobs are lost across a crash.
+    for rec in sched.journal().replay() {
+        let dir = cfg.state_dir.join("jobs").join(&rec.tenant).join(&rec.id);
+        let (done, pending) = split_chunks(&dir, &rec.spec);
+        match sched.admit_campaign(
+            &rec.tenant,
+            &rec.id,
+            rec.spec.clone(),
+            pending.clone(),
+            done,
+            true,
+        ) {
+            Ok(job) => {
+                println!(
+                    "[serve] resumed {} ({} of {} chunks already complete)",
+                    rec.key,
+                    done,
+                    rec.spec.chunk_count()
+                );
+                if pending.is_empty() {
+                    // Killed between the last chunk and the finish
+                    // record: only the concat + finish remain.
+                    finalize_job(&sched, &Unit { job, index: 0 }, &rec.spec, &dir);
+                }
+            }
+            Err(e) => eprintln!("[serve] could not resume {}: {e:?}", rec.key),
+        }
+    }
+
+    let workers: Vec<_> = (0..cfg.workers)
+        .map(|_| {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || worker_loop(&sched))
+        })
+        .collect();
+
+    if let Some(timeout) = cfg.heartbeat_timeout {
+        let sched = Arc::clone(&sched);
+        std::thread::spawn(move || {
+            while !DRAIN.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(200));
+                let culled = sched.cancel_orphans(timeout);
+                if culled > 0 {
+                    eprintln!("[serve] cancelled {culled} orphaned job(s) (no heartbeat)");
+                }
+            }
+        });
+    }
+
+    listener.set_nonblocking(true)?;
+    let conns = Arc::new(AtomicUsize::new(0));
+    while !DRAIN.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(mut stream) => {
+                if conns.load(Ordering::SeqCst) >= cfg.max_conns {
+                    // Shed at the door: an explicit busy frame, never an
+                    // unbounded thread pile.
+                    let _ = write_frame(
+                        &mut stream,
+                        &Json::obj(vec![
+                            ("status", Json::str(proto::status::BUSY)),
+                            ("reason", Json::str("connection limit")),
+                        ]),
+                    );
+                    stream.shutdown();
+                    sched.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                conns.fetch_add(1, Ordering::SeqCst);
+                let sched = Arc::clone(&sched);
+                let conns = Arc::clone(&conns);
+                std::thread::spawn(move || {
+                    handle_conn(stream, &sched);
+                    conns.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    println!("[serve] draining: finishing in-flight work, persisting the rest");
+    sched.drain();
+    for w in workers {
+        let _ = w.join();
+    }
+    if let Some(path) = addr.strip_prefix("unix:") {
+        let _ = std::fs::remove_file(path);
+    }
+    println!("[serve] drained; queued campaigns remain journaled for resume");
+    Ok(0)
+}
+
+/// Reads one whole request frame with the two-phase timeout discipline.
+/// `Ok(None)` means the connection should close (clean EOF, drain, or a
+/// slow/broken client).
+fn read_request(stream: &mut Stream, cfg: &ServerConfig) -> Option<Json> {
+    let mut len = [0u8; 4];
+    // Phase 1: idle wait for the first byte, drain-aware.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok()?;
+    loop {
+        match stream.read(&mut len[..1]) {
+            Ok(0) => return None,
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if DRAIN.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    // Phase 2: the rest of the frame must land before one hard deadline
+    // (per-read timeouts alone would let a slowloris trickle forever).
+    let deadline = Instant::now() + cfg.read_timeout;
+    read_exact_deadline(stream, &mut len[1..], deadline)?;
+    let body_len = u32::from_be_bytes(len) as usize;
+    if body_len > proto::MAX_FRAME {
+        return None;
+    }
+    let mut body = vec![0u8; body_len];
+    read_exact_deadline(stream, &mut body, deadline)?;
+    let text = String::from_utf8(body).ok()?;
+    Json::parse(&text).ok()
+}
+
+fn read_exact_deadline(stream: &mut Stream, buf: &mut [u8], deadline: Instant) -> Option<()> {
+    let mut off = 0;
+    while off < buf.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            return None; // slowloris: frame did not complete in time
+        }
+        let slice = (deadline - now).min(Duration::from_millis(200));
+        stream.set_read_timeout(Some(slice)).ok()?;
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return None,
+            Ok(n) => off += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return None,
+        }
+    }
+    Some(())
+}
+
+fn handle_conn(mut stream: Stream, sched: &Scheduler) {
+    loop {
+        let Some(doc) = read_request(&mut stream, sched.config()) else {
+            return;
+        };
+        let response = match Request::from_json(&doc) {
+            Err(e) => Json::obj(vec![
+                ("status", Json::str(proto::status::FAILED)),
+                ("error", Json::str(format!("bad request: {e}"))),
+            ]),
+            Ok(req) => match dispatch(sched, &mut stream, req) {
+                Some(resp) => resp,
+                None => return, // client vanished mid-request
+            },
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn admit_error_response(e: &AdmitError) -> Json {
+    match e {
+        AdmitError::Busy(reason) => Json::obj(vec![
+            ("status", Json::str(proto::status::BUSY)),
+            ("reason", Json::str(*reason)),
+        ]),
+        AdmitError::Draining => Json::obj(vec![("status", Json::str(proto::status::DRAINING))]),
+        AdmitError::Duplicate => Json::obj(vec![
+            ("status", Json::str(proto::status::FAILED)),
+            ("error", Json::str("duplicate job id")),
+        ]),
+        AdmitError::Journal(err) => Json::obj(vec![
+            ("status", Json::str(proto::status::FAILED)),
+            ("error", Json::str(format!("journal: {err}"))),
+        ]),
+    }
+}
+
+/// The per-request telemetry rollup attached to every terminal
+/// response: wall time, Newton totals, kernel counters, degraded-corner
+/// counts.
+fn telemetry_json(job: &Job) -> Json {
+    let s = job.snapshot();
+    Json::obj(vec![
+        ("wall_ms", Json::num(s.wall.as_secs_f64() * 1e3)),
+        ("newton_iterations", Json::num(s.newton_iterations as f64)),
+        ("lu_full_factors", Json::num(s.lu.full_factors as f64)),
+        ("lu_refactors", Json::num(s.lu.refactors as f64)),
+        ("lu_pivot_fallbacks", Json::num(s.lu.pivot_fallbacks as f64)),
+        ("lu_solves", Json::num(s.lu.solves as f64)),
+        ("worst_backward_error", Json::num(s.worst_backward_error)),
+        ("failed_corners", Json::num(s.failed_corners as f64)),
+        ("timed_out_corners", Json::num(s.timed_out_corners as f64)),
+        (
+            "quarantined_corners",
+            Json::num(s.quarantined_corners as f64),
+        ),
+    ])
+}
+
+/// Terminal (or progress) response for a job, shared by `run` and
+/// `poll`.
+fn job_response(job: &Job) -> Json {
+    let s = job.snapshot();
+    match &s.phase {
+        JobPhase::Queued | JobPhase::Running => Json::obj(vec![
+            ("status", Json::str(proto::status::RUNNING)),
+            ("job", Json::str(&job.key)),
+            ("done_chunks", Json::num(s.done_units as f64)),
+            ("total_chunks", Json::num(s.total_units as f64)),
+            ("resumed", Json::Bool(job.resumed)),
+        ]),
+        JobPhase::Done(outcome) => {
+            let mut m = vec![
+                ("status", Json::str(outcome.status())),
+                ("job", Json::str(&job.key)),
+                ("resumed", Json::Bool(job.resumed)),
+                ("telemetry", telemetry_json(job)),
+            ];
+            match outcome {
+                Outcome::Ok => {
+                    if let Some(output) = &s.output {
+                        let field = match job.class {
+                            JobClass::Interactive => "output",
+                            JobClass::Batch => "csv",
+                        };
+                        m.push((field, Json::str(output)));
+                    }
+                    if let Some(dir) = &job.dir {
+                        m.push((
+                            "result_path",
+                            Json::str(execute::result_path(dir).display().to_string()),
+                        ));
+                    }
+                }
+                Outcome::Failed(err) => m.push(("error", Json::str(err))),
+                _ => {}
+            }
+            Json::obj(m)
+        }
+    }
+}
+
+/// Handles one parsed request. `None` tells the caller the client is
+/// gone and the connection must close without a reply.
+fn dispatch(sched: &Scheduler, stream: &mut Stream, req: Request) -> Option<Json> {
+    match req {
+        Request::Ping => Some(Json::obj(vec![("status", Json::str(proto::status::OK))])),
+        Request::Run {
+            tenant,
+            deck,
+            deadline_ms,
+        } => {
+            let deadline = deadline_ms
+                .map(Duration::from_millis)
+                .unwrap_or(sched.config().default_deadline);
+            match sched.admit_interactive(&tenant, deck, deadline) {
+                Err(e) => Some(admit_error_response(&e)),
+                Ok(job) => wait_interactive(sched, stream, &job),
+            }
+        }
+        Request::Campaign { tenant, id, spec } => {
+            let dir = sched
+                .config()
+                .state_dir
+                .join("jobs")
+                .join(&tenant)
+                .join(&id);
+            // A brand-new submission runs every chunk; stale files from
+            // an older identically-named job are invalidated by the
+            // fingerprint check inside split_chunks.
+            let (done, pending) = split_chunks(&dir, &spec);
+            match sched.admit_campaign(&tenant, &id, spec.clone(), pending.clone(), done, false) {
+                Err(e) => Some(admit_error_response(&e)),
+                Ok(job) => {
+                    job.touch();
+                    if pending.is_empty() {
+                        finalize_job(
+                            sched,
+                            &Unit {
+                                job: std::sync::Arc::clone(&job),
+                                index: 0,
+                            },
+                            &spec,
+                            &dir,
+                        );
+                    }
+                    Some(Json::obj(vec![
+                        ("status", Json::str(proto::status::ACCEPTED)),
+                        ("job", Json::str(&job.key)),
+                        ("total_chunks", Json::num(job.snapshot().total_units as f64)),
+                        ("resumed", Json::Bool(false)),
+                    ]))
+                }
+            }
+        }
+        Request::Poll { job } => match sched.job(&job) {
+            None => Some(Json::obj(vec![
+                ("status", Json::str(proto::status::UNKNOWN)),
+                ("job", Json::str(&job)),
+            ])),
+            Some(job) => {
+                job.touch();
+                Some(job_response(&job))
+            }
+        },
+        Request::Cancel { job } => {
+            let hit = sched.cancel(&job, &sched.counters.explicit_cancels);
+            Some(Json::obj(vec![
+                (
+                    "status",
+                    Json::str(if hit {
+                        proto::status::OK
+                    } else {
+                        proto::status::UNKNOWN
+                    }),
+                ),
+                ("job", Json::str(&job)),
+            ]))
+        }
+        Request::Stats => {
+            let mut m: Vec<(&str, Json)> = vec![("status", Json::str(proto::status::OK))];
+            let fields = sched.stats_fields();
+            for (k, v) in fields {
+                m.push((k, Json::num(v)));
+            }
+            m.push(("draining", Json::Bool(sched.is_draining())));
+            Some(Json::obj(m))
+        }
+        Request::Drain => {
+            DRAIN.store(true, Ordering::SeqCst);
+            Some(Json::obj(vec![(
+                "status",
+                Json::str(proto::status::DRAINING),
+            )]))
+        }
+    }
+}
+
+/// Blocks until an interactive job finishes, probing the socket for
+/// client disconnects. A client that vanishes mid-solve gets its job
+/// cancelled (the orphaned work stops at the next budget check) and the
+/// `disconnect_cancels` counter ticks.
+fn wait_interactive(sched: &Scheduler, stream: &mut Stream, job: &Job) -> Option<Json> {
+    let mut probe = [0u8; 1];
+    loop {
+        if job.wait_done(Duration::from_millis(50)) {
+            return Some(job_response(job));
+        }
+        // Liveness probe: a waiting client sends nothing, so a 0-byte
+        // read means EOF — the client is gone.
+        if stream
+            .set_read_timeout(Some(Duration::from_millis(1)))
+            .is_err()
+        {
+            sched.cancel(&job.key, &sched.counters.disconnect_cancels);
+            return None;
+        }
+        match stream.read(&mut probe) {
+            Ok(0) => {
+                sched.cancel(&job.key, &sched.counters.disconnect_cancels);
+                return None;
+            }
+            Ok(_) => {} // stray bytes between frames; ignored
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                sched.cancel(&job.key, &sched.counters.disconnect_cancels);
+                return None;
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Worker-side execution of scheduled units: interactive deck runs and
+//! campaign chunks, with budget/cancellation wiring and chunk-level
+//! resume bookkeeping.
+//!
+//! Every unit runs under a corner token derived from its job's
+//! [`spicier::CancelHandle`] via `with_corner_token`, so the existing
+//! `RunBudget` checks inside the solvers observe remote cancellation
+//! and per-unit deadlines with no extra plumbing. Campaign chunks write
+//! their rows to an atomic part CSV and record completion in a per-job
+//! chunk manifest (the PR-3 `Manifest`), which is what makes
+//! kill-and-resume reproduce byte-identical results.
+
+use super::proto::CampaignSpec;
+use super::scheduler::{JobPhase, JobSpec, Outcome, Scheduler, Unit};
+use crate::experiments::manifest::{ExperimentRecord, Manifest};
+use spicier::analysis::budget::with_corner_token;
+use spicier::analysis::dc::sweep_vsource;
+use spicier::runner::run_deck;
+use spicier::spice::parse_deck;
+use spicier::{DcOptions, Error};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker thread body: pull units until the scheduler shuts down.
+pub fn worker_loop(sched: &Arc<Scheduler>) {
+    while let Some(unit) = sched.next_unit() {
+        run_unit(sched, &unit);
+    }
+}
+
+/// Executes one unit (dispatch on the job's spec).
+pub fn run_unit(sched: &Scheduler, unit: &Unit) {
+    unit.job.with_state(|s| {
+        if matches!(s.phase, JobPhase::Queued) {
+            s.phase = JobPhase::Running;
+        }
+    });
+    match &unit.job.spec {
+        JobSpec::Deck { deck, deadline } => run_interactive(sched, unit, deck, *deadline),
+        JobSpec::Campaign(spec) => run_chunk(sched, unit, spec),
+    }
+}
+
+/// Maps a solver error to the job outcome it implies, given whether the
+/// job's cancel handle fired (a cancelled handle turns the resulting
+/// `DeadlineExceeded` into `Cancelled` rather than `TimedOut`).
+fn classify(err: &Error, cancelled: bool) -> Outcome {
+    if err.is_deadline_exceeded() {
+        if cancelled {
+            Outcome::Cancelled
+        } else {
+            Outcome::TimedOut
+        }
+    } else if err.is_untrusted_solution() {
+        Outcome::Quarantined
+    } else {
+        Outcome::Failed(err.to_string())
+    }
+}
+
+fn run_interactive(sched: &Scheduler, unit: &Unit, deck: &str, deadline: Duration) {
+    let job = &unit.job;
+    let t0 = Instant::now();
+    let token = job.handle.child_with_deadline(deadline);
+    let result = with_corner_token(&token, || run_deck(deck));
+    let wall = t0.elapsed();
+    job.with_state(|s| {
+        s.wall += wall;
+        s.done_units = 1;
+    });
+    match result {
+        Ok(report) => {
+            job.with_state(|s| s.output = Some(report));
+            sched.finish_job(job, Outcome::Ok);
+        }
+        Err(e) => sched.finish_job(job, classify(&e, job.handle.is_cancelled())),
+    }
+}
+
+/// Atomic write: tmp sibling, fsync, rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+/// Part-CSV path of chunk `k`.
+#[must_use]
+pub fn chunk_path(dir: &Path, k: usize) -> std::path::PathBuf {
+    dir.join(format!("chunk{k}.csv"))
+}
+
+/// Final result-CSV path of a campaign job.
+#[must_use]
+pub fn result_path(dir: &Path) -> std::path::PathBuf {
+    dir.join("result.csv")
+}
+
+/// Per-job chunk-manifest path.
+#[must_use]
+pub fn manifest_path(dir: &Path) -> std::path::PathBuf {
+    dir.join("MANIFEST.json")
+}
+
+/// Manifest entry name of chunk `k`.
+#[must_use]
+pub fn chunk_entry(k: usize) -> String {
+    format!("CHUNK{k}")
+}
+
+/// Which chunks of `spec` are already complete in `dir`'s manifest
+/// (entry ok, fingerprint matches, part file present), and which still
+/// need to run. Used at resume time.
+#[must_use]
+pub fn split_chunks(dir: &Path, spec: &CampaignSpec) -> (usize, Vec<usize>) {
+    let manifest = Manifest::load_from(&manifest_path(dir));
+    let fp = spec.fingerprint();
+    let mut done = 0usize;
+    let mut pending = Vec::new();
+    for k in 0..spec.chunk_count() {
+        if manifest.is_complete(&chunk_entry(k), &fp) && chunk_path(dir, k).exists() {
+            done += 1;
+        } else {
+            pending.push(k);
+        }
+    }
+    (done, pending)
+}
+
+/// Interruptible artificial corner delay (`SERVE_SLOW_CORNER_MS`): used
+/// by the load harness to make campaigns occupy workers for real wall
+/// time; sleeps in small slices so cancellation stays responsive.
+fn slow_corner_sleep(sched: &Scheduler, unit: &Unit) {
+    let total = sched.config().slow_corner;
+    if total.is_zero() {
+        return;
+    }
+    let t0 = Instant::now();
+    while t0.elapsed() < total && !unit.job.handle.is_cancelled() {
+        std::thread::sleep(Duration::from_millis(5).min(total));
+    }
+}
+
+fn run_chunk(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec) {
+    let job = &unit.job;
+    let Some(dir) = job.dir.as_deref() else {
+        sched.finish_job(job, Outcome::Failed("campaign job without a dir".into()));
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        sched.finish_job(
+            job,
+            Outcome::Failed(format!("create {}: {e}", dir.display())),
+        );
+        return;
+    }
+    let t0 = Instant::now();
+    let compiled = parse_deck(&spec.deck).and_then(|deck| deck.netlist.compile());
+    let circuit = match compiled {
+        Ok(c) => c,
+        Err(e) => {
+            // A deck that cannot compile fails the whole job, not just
+            // this chunk — every other chunk would fail identically.
+            sched.finish_job(job, Outcome::Failed(e.to_string()));
+            return;
+        }
+    };
+    let values = spec.values();
+    let (lo, hi) = spec.chunk_range(unit.index);
+    let corner_deadline = sched.config().corner_deadline;
+    let mut rows = String::new();
+    for &v in &values[lo..hi] {
+        slow_corner_sleep(sched, unit);
+        if job.handle.is_cancelled() || job.is_done() {
+            // Cancelled mid-chunk: no part file, no manifest entry. A
+            // later resume (if the job is ever re-submitted) redoes the
+            // whole chunk, which is the correct conservative behaviour.
+            sched.finish_job(job, Outcome::Cancelled);
+            return;
+        }
+        let token = job.handle.child_with_deadline(corner_deadline);
+        let result = with_corner_token(&token, || {
+            sweep_vsource(&circuit, &spec.source, &[v], &DcOptions::default())
+        });
+        let _ = write!(rows, "{v:.6}");
+        match result.as_deref() {
+            Ok([sol]) => {
+                for node in circuit.node_ids().skip(1) {
+                    let _ = write!(rows, ",{:.6}", sol.voltage(node));
+                }
+                let telemetry = sol.telemetry();
+                job.with_state(|s| {
+                    s.newton_iterations += telemetry.newton_iterations;
+                    s.lu.absorb(&telemetry.lu);
+                    if let Some(bwerr) = telemetry.worst_backward_error {
+                        if bwerr > s.worst_backward_error {
+                            s.worst_backward_error = bwerr;
+                        }
+                    }
+                });
+            }
+            Ok(_) => {
+                let _ = write!(rows, ",FAILED:internal");
+                job.with_state(|s| s.failed_corners += 1);
+            }
+            Err(e) => match classify(e, job.handle.is_cancelled()) {
+                Outcome::Cancelled => {
+                    sched.finish_job(job, Outcome::Cancelled);
+                    return;
+                }
+                Outcome::TimedOut => {
+                    let _ = write!(rows, ",TIMEOUT");
+                    job.with_state(|s| s.timed_out_corners += 1);
+                }
+                Outcome::Quarantined => {
+                    let _ = write!(rows, ",QUARANTINED");
+                    job.with_state(|s| s.quarantined_corners += 1);
+                }
+                _ => {
+                    let _ = write!(rows, ",FAILED:{e}");
+                    job.with_state(|s| s.failed_corners += 1);
+                }
+            },
+        }
+        rows.push('\n');
+    }
+    if let Err(e) = write_atomic(&chunk_path(dir, unit.index), rows.as_bytes()) {
+        sched.finish_job(job, Outcome::Failed(format!("write chunk: {e}")));
+        return;
+    }
+    let wall = t0.elapsed();
+    // Manifest read-modify-write and the done-units increment happen
+    // under the job lock so concurrent chunks of the same job cannot
+    // lose each other's entries; the worker that completes the last
+    // unit finalizes.
+    let finalize = job.with_state(|s| {
+        let mpath = manifest_path(dir);
+        let mut manifest = Manifest::load_from(&mpath);
+        manifest.record(
+            &chunk_entry(unit.index),
+            ExperimentRecord::ok(spec.fingerprint(), wall.as_secs_f64()),
+        );
+        if let Err(e) = manifest.save_to(&mpath) {
+            eprintln!("  [warn] could not write job manifest: {e}");
+        }
+        s.wall += wall;
+        s.done_units += 1;
+        s.done_units >= s.total_units
+    });
+    if finalize && !job.is_done() {
+        finalize_job(sched, unit, spec, dir);
+    }
+}
+
+/// Concatenates the ordered chunk parts into the final result CSV and
+/// marks the job done. Also invoked at admit time for resumed jobs
+/// whose chunks were all already complete.
+pub fn finalize_job(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &Path) {
+    let job = &unit.job;
+    let mut csv = String::from("sweep,voltages\n");
+    for k in 0..spec.chunk_count() {
+        match std::fs::read_to_string(chunk_path(dir, k)) {
+            Ok(part) => csv.push_str(&part),
+            Err(e) => {
+                sched.finish_job(job, Outcome::Failed(format!("missing chunk {k}: {e}")));
+                return;
+            }
+        }
+    }
+    if let Err(e) = write_atomic(&result_path(dir), csv.as_bytes()) {
+        sched.finish_job(job, Outcome::Failed(format!("write result: {e}")));
+        return;
+    }
+    job.with_state(|s| s.output = Some(csv));
+    sched.finish_job(job, Outcome::Ok);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::scheduler::JobClass;
+    use crate::server::ServerConfig;
+
+    fn temp_cfg(tag: &str) -> ServerConfig {
+        let dir = std::env::temp_dir().join(format!("exec-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cfg = ServerConfig::from_env();
+        cfg.state_dir = dir;
+        cfg.slow_corner = Duration::ZERO;
+        cfg
+    }
+
+    fn divider_spec(points: usize, chunk: usize) -> CampaignSpec {
+        CampaignSpec {
+            deck: "divider\nV1 in 0 0\nR1 in out 1k\nR2 out 0 1k\n.end\n".into(),
+            source: "V1".into(),
+            start: 0.0,
+            stop: 2.0,
+            points,
+            chunk,
+        }
+    }
+
+    #[test]
+    fn campaign_chunks_produce_a_complete_result_csv() {
+        let cfg = temp_cfg("chunks");
+        let state_dir = cfg.state_dir.clone();
+        let sched = Scheduler::new(cfg);
+        let spec = divider_spec(5, 2);
+        let pending: Vec<usize> = (0..spec.chunk_count()).collect();
+        let job = sched
+            .admit_campaign("t", "c", spec.clone(), pending, 0, false)
+            .unwrap();
+        // Drain the queue synchronously (no worker threads in test).
+        while let Some(unit) = sched.try_next_unit() {
+            run_unit(&sched, &unit);
+        }
+        assert!(job.is_done());
+        let state = job.snapshot();
+        assert!(
+            matches!(state.phase, JobPhase::Done(Outcome::Ok)),
+            "{state:?}"
+        );
+        let csv = state.output.unwrap();
+        // Header + 5 corner rows; midpoint divider halves the sweep value.
+        assert_eq!(csv.lines().count(), 6, "{csv}");
+        assert!(csv.contains("2.000000,2.000000,1.000000"), "{csv}");
+        assert!(state.newton_iterations > 0);
+        assert!(state.lu.solves > 0);
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+
+    #[test]
+    fn interactive_unit_runs_a_deck() {
+        let cfg = temp_cfg("interactive");
+        let state_dir = cfg.state_dir.clone();
+        let sched = Scheduler::new(cfg);
+        let job = sched
+            .admit_interactive(
+                "t",
+                "divider\nV1 in 0 3.3\nR1 in out 1k\nR2 out 0 2k\n.op\n.end\n".into(),
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        let unit = sched.try_next_unit().unwrap();
+        assert_eq!(unit.job.class, JobClass::Interactive);
+        run_unit(&sched, &unit);
+        let state = job.snapshot();
+        assert!(
+            matches!(state.phase, JobPhase::Done(Outcome::Ok)),
+            "{state:?}"
+        );
+        assert!(state.output.unwrap().contains("V(out) = 2.2"));
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+
+    #[test]
+    fn split_chunks_resumes_only_the_incomplete_tail() {
+        let cfg = temp_cfg("split");
+        let state_dir = cfg.state_dir.clone();
+        let spec = divider_spec(6, 2);
+        let dir = state_dir.join("jobs/t/c");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Everything pending on a fresh dir.
+        assert_eq!(split_chunks(&dir, &spec), (0, vec![0, 1, 2]));
+        // Record chunk 1 complete (manifest + part file).
+        std::fs::write(chunk_path(&dir, 1), "x\n").unwrap();
+        let mut manifest = Manifest::load_from(&manifest_path(&dir));
+        manifest.record(
+            &chunk_entry(1),
+            ExperimentRecord::ok(spec.fingerprint(), 0.1),
+        );
+        manifest.save_to(&manifest_path(&dir)).unwrap();
+        assert_eq!(split_chunks(&dir, &spec), (1, vec![0, 2]));
+        // A changed spec invalidates the fingerprint: everything reruns.
+        let mut changed = spec.clone();
+        changed.stop = 9.0;
+        assert_eq!(split_chunks(&dir, &changed), (0, vec![0, 1, 2]));
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+}

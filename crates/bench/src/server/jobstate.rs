@@ -1,0 +1,231 @@
+//! Durable job journal: the daemon's crash-safety spine.
+//!
+//! An append-only JSONL file under the state directory records two
+//! event kinds:
+//!
+//! * `accept` — written (and fsynced) *before* the daemon replies
+//!   `accepted` to a campaign submission. Acceptance is therefore a
+//!   durability promise: a job the client saw accepted survives any
+//!   crash.
+//! * `finish` — appended when a campaign reaches a terminal outcome.
+//!
+//! At startup the daemon [`replay`]s the journal: every `accept`
+//! without a matching `finish` is re-admitted as a *resumed* job, and
+//! its per-job chunk manifest (PR-3 machinery) decides which chunks
+//! still need to run. A job killed mid-chunk redoes only that chunk;
+//! the result CSV is byte-identical to an uninterrupted run because the
+//! chunk grid is a pure function of the spec.
+
+use super::json::Json;
+use super::proto::CampaignSpec;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Handle on the append-only journal file.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    /// Serializes appends so concurrent accepts interleave whole lines.
+    write_lock: Mutex<()>,
+}
+
+/// One accepted-but-unfinished campaign recovered from the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// `tenant/id`.
+    pub key: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Job id within the tenant.
+    pub id: String,
+    /// The original sweep spec.
+    pub spec: CampaignSpec,
+}
+
+impl Journal {
+    /// A journal stored at `path` (created lazily on first append).
+    #[must_use]
+    pub fn new(path: PathBuf) -> Self {
+        Self {
+            path,
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Where the journal lives.
+    #[must_use]
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    fn append(&self, line: &Json) -> std::io::Result<()> {
+        let _guard = self.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(line.render().as_bytes())?;
+        f.write_all(b"\n")?;
+        // The durability promise: the bytes are on disk before the
+        // caller replies `accepted`.
+        f.sync_data()
+    }
+
+    /// Journals a campaign acceptance (fsync before return).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors — the caller must then *refuse* the
+    /// job rather than hold it in memory only.
+    pub fn append_accept(
+        &self,
+        key: &str,
+        tenant: &str,
+        id: &str,
+        spec: &CampaignSpec,
+    ) -> std::io::Result<()> {
+        self.append(&Json::obj(vec![
+            ("event", Json::str("accept")),
+            ("job", Json::str(key)),
+            ("tenant", Json::str(tenant)),
+            ("id", Json::str(id)),
+            ("spec", spec.to_json()),
+        ]))
+    }
+
+    /// Journals a campaign's terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append_finish(&self, key: &str, outcome: &str) -> std::io::Result<()> {
+        self.append(&Json::obj(vec![
+            ("event", Json::str("finish")),
+            ("job", Json::str(key)),
+            ("outcome", Json::str(outcome)),
+        ]))
+    }
+
+    /// Replays the journal: accepted campaigns with no terminal record,
+    /// in acceptance order. Unparseable lines (e.g. a torn final line
+    /// from a mid-append kill) are skipped — losing the *last partial
+    /// line* is safe because its accept was never acknowledged.
+    #[must_use]
+    pub fn replay(&self) -> Vec<RecoveredJob> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        let mut open: BTreeMap<String, (usize, RecoveredJob)> = BTreeMap::new();
+        let mut order = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(doc) = Json::parse(line) else {
+                continue;
+            };
+            let Some(event) = doc.str_field("event") else {
+                continue;
+            };
+            let Some(key) = doc.str_field("job") else {
+                continue;
+            };
+            match event.as_str() {
+                "accept" => {
+                    let (Some(tenant), Some(id), Some(spec_json)) = (
+                        doc.str_field("tenant"),
+                        doc.str_field("id"),
+                        doc.get("spec"),
+                    ) else {
+                        continue;
+                    };
+                    let Ok(spec) = CampaignSpec::from_json(spec_json) else {
+                        continue;
+                    };
+                    open.insert(
+                        key.clone(),
+                        (
+                            order,
+                            RecoveredJob {
+                                key,
+                                tenant,
+                                id,
+                                spec,
+                            },
+                        ),
+                    );
+                    order += 1;
+                }
+                "finish" => {
+                    open.remove(&key);
+                }
+                _ => {}
+            }
+        }
+        let mut jobs: Vec<(usize, RecoveredJob)> = open.into_values().collect();
+        jobs.sort_by_key(|(ord, _)| *ord);
+        jobs.into_iter().map(|(_, job)| job).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            deck: "d\nV1 a 0 0\nR1 a 0 1k\n.end\n".into(),
+            source: "V1".into(),
+            start: 0.0,
+            stop: 3.3,
+            points: 6,
+            chunk: 2,
+        }
+    }
+
+    #[test]
+    fn replay_returns_accepted_without_finish_in_order() {
+        let dir = std::env::temp_dir().join(format!("journal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = Journal::new(dir.join("journal.jsonl"));
+        journal.append_accept("a/j1", "a", "j1", &spec()).unwrap();
+        journal.append_accept("b/j2", "b", "j2", &spec()).unwrap();
+        journal.append_accept("a/j3", "a", "j3", &spec()).unwrap();
+        journal.append_finish("b/j2", "ok").unwrap();
+        let recovered = journal.replay();
+        assert_eq!(
+            recovered.iter().map(|j| j.key.as_str()).collect::<Vec<_>>(),
+            vec!["a/j1", "a/j3"]
+        );
+        assert_eq!(recovered[0].spec, spec());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_line_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("journal-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = Journal::new(dir.join("journal.jsonl"));
+        journal.append_accept("a/j1", "a", "j1", &spec()).unwrap();
+        // Simulate a kill mid-append: a truncated JSON line at the tail.
+        let mut text = std::fs::read_to_string(journal.path()).unwrap();
+        text.push_str("{\"event\":\"accept\",\"job\":\"a/j2\",\"tena");
+        std::fs::write(journal.path(), text).unwrap();
+        let recovered = journal.replay();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].key, "a/j1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_replays_empty() {
+        let journal = Journal::new(PathBuf::from("/nonexistent/journal.jsonl"));
+        assert!(journal.replay().is_empty());
+    }
+}

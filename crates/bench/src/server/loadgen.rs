@@ -1,0 +1,487 @@
+//! `spicier-loadgen`: the load-and-chaos harness for the campaign
+//! daemon.
+//!
+//! Four phases, each against its own daemon instance (spawned from the
+//! sibling `spicier-serve` binary, overridable with `SERVE_BIN`):
+//!
+//! 1. **Reference** — one campaign, uninterrupted; its result CSV bytes
+//!    are the ground truth the kill/resume phase must reproduce.
+//! 2. **Saturation** — a tiny batch cap and a burst of submissions;
+//!    admission control must shed (`busy`) instead of growing without
+//!    bound, and every *accepted* job must still finish.
+//! 3. **Mixed load** — a slow campaign pinning the workers while
+//!    interactive clients burst `.op` requests; records p50/p99 latency
+//!    and throughput (the fair-share gate), plus drop-client and
+//!    slowloris chaos probes.
+//! 4. **Kill/resume** — SIGKILL the daemon mid-campaign, restart it on
+//!    the same state dir, and require the resumed job to finish with
+//!    byte-identical results and zero lost jobs.
+//!
+//! The rollup lands in `BENCH_server.json`; gate failures make
+//! [`run`] report them so the binary can exit non-zero (the CI gate).
+
+use super::client::Client;
+use super::json::Json;
+use super::proto::{status, CampaignSpec};
+use crate::microbench::write_json_report;
+use spicier::chaos;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The deck every loadgen campaign sweeps: a two-resistor divider, so
+/// corners are fast and results deterministic.
+pub const DIVIDER_DECK: &str = "divider\nV1 in 0 0\nR1 in out 1k\nR2 out 0 1k\n.end\n";
+/// The deck interactive clients run.
+pub const OP_DECK: &str = "op\nV1 in 0 3.3\nR1 in out 1k\nR2 out 0 2k\n.op\n.end\n";
+
+/// Environment that must not leak from the caller into spawned daemons
+/// (chaos or scale knobs would skew the measurement).
+const SCRUBBED: &[&str] = &[
+    "CHAOS_HANG_NEWTON",
+    "CHAOS_NAN_STAMP",
+    "CHAOS_PERTURB_LU",
+    "CHAOS_KILL_AFTER_EXPERIMENTS",
+    "CHAOS_DROP_CLIENT",
+    "CHAOS_SLOW_CLIENT_MS",
+    "EXP_TELEMETRY",
+    "SPICIER_TRACE",
+    "EXP_SCALE",
+    "SERVE_ADDR",
+    "SERVE_STATE_DIR",
+    "SERVE_WORKERS",
+    "SERVE_QUEUE_INTERACTIVE",
+    "SERVE_QUEUE_BATCH",
+    "SERVE_INTERACTIVE_WEIGHT",
+    "SERVE_DEFAULT_DEADLINE_MS",
+    "SERVE_CORNER_DEADLINE_MS",
+    "SERVE_READ_TIMEOUT_MS",
+    "SERVE_HEARTBEAT_TIMEOUT_MS",
+    "SERVE_MAX_CONNS",
+    "SERVE_SLOW_CORNER_MS",
+];
+
+/// Loadgen knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Smaller grids and bursts (`--quick` / `LOADGEN_QUICK=1`); the CI
+    /// mode.
+    pub quick: bool,
+    /// Where the JSON rollup goes (`LOADGEN_OUT`, default
+    /// `target/BENCH_server.json`).
+    pub out_path: PathBuf,
+    /// The daemon binary (`SERVE_BIN`, default: sibling of the current
+    /// executable).
+    pub serve_bin: PathBuf,
+    /// Scratch root for per-phase state dirs (`LOADGEN_DIR`, default: a
+    /// fresh dir under the system temp dir).
+    pub work_dir: PathBuf,
+    /// Interactive p99 gate, milliseconds (`LOADGEN_P99_GATE_MS`,
+    /// default 2000).
+    pub p99_gate_ms: f64,
+}
+
+impl LoadgenOptions {
+    /// Reads knobs from the environment and argv.
+    #[must_use]
+    pub fn from_env_and_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("LOADGEN_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+        let out_path = match std::env::var("LOADGEN_OUT") {
+            Ok(v) if !v.is_empty() => PathBuf::from(v),
+            _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_server.json"),
+        };
+        let serve_bin = match std::env::var("SERVE_BIN") {
+            Ok(v) if !v.is_empty() => PathBuf::from(v),
+            _ => std::env::current_exe()
+                .ok()
+                .and_then(|p| p.parent().map(|d| d.join("spicier-serve")))
+                .unwrap_or_else(|| PathBuf::from("spicier-serve")),
+        };
+        let work_dir = match std::env::var("LOADGEN_DIR") {
+            Ok(v) if !v.is_empty() => PathBuf::from(v),
+            _ => std::env::temp_dir().join(format!("spicier-loadgen-{}", std::process::id())),
+        };
+        Self {
+            quick,
+            out_path,
+            serve_bin,
+            work_dir,
+            p99_gate_ms: std::env::var("LOADGEN_P99_GATE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2000.0),
+        }
+    }
+}
+
+/// Outcome of a loadgen run: the metric rollup plus any gate failures.
+#[derive(Debug, Default)]
+pub struct LoadgenReport {
+    /// Every metric written to `BENCH_server.json`.
+    pub metrics: Vec<(String, f64)>,
+    /// Human-readable gate violations (empty = all gates passed).
+    pub failures: Vec<String>,
+}
+
+impl LoadgenReport {
+    /// Whether every gate passed.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// A spawned daemon tied to a state dir; killed on drop if still alive.
+struct Daemon {
+    child: Child,
+    state_dir: PathBuf,
+    addr: String,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon(
+    opts: &LoadgenOptions,
+    state_dir: &Path,
+    env: &[(&str, String)],
+) -> std::io::Result<Daemon> {
+    std::fs::create_dir_all(state_dir)?;
+    // A stale ADDR from a killed predecessor would race wait_for_addr.
+    let _ = std::fs::remove_file(state_dir.join("ADDR"));
+    let mut cmd = Command::new(&opts.serve_bin);
+    for var in SCRUBBED {
+        cmd.env_remove(var);
+    }
+    cmd.env("SERVE_ADDR", "tcp:127.0.0.1:0")
+        .env("SERVE_STATE_DIR", state_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let child = cmd.spawn()?;
+    let addr = Client::wait_for_addr(state_dir, Duration::from_secs(20))?;
+    Ok(Daemon {
+        child,
+        state_dir: state_dir.to_path_buf(),
+        addr,
+    })
+}
+
+fn drain_and_wait(daemon: &mut Daemon) {
+    if let Ok(mut c) = Client::connect(&daemon.addr) {
+        let _ = c.drain();
+    }
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_secs(20) {
+        if matches!(daemon.child.try_wait(), Ok(Some(_))) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let _ = daemon.child.kill();
+}
+
+fn campaign_spec(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        deck: DIVIDER_DECK.to_string(),
+        source: "V1".to_string(),
+        start: 0.0,
+        stop: 3.3,
+        points: if quick { 16 } else { 48 },
+        chunk: 2,
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64) * p).ceil() as usize;
+    sorted_ms[idx.saturating_sub(1).min(sorted_ms.len() - 1)]
+}
+
+fn stat(reply: &Json, key: &str) -> f64 {
+    reply.num_field(key).unwrap_or(0.0)
+}
+
+/// Runs all four phases; writes `BENCH_server.json`; returns the
+/// metrics and gate verdicts.
+///
+/// # Errors
+///
+/// Returns an error string when the harness itself cannot run (daemon
+/// fails to spawn, sockets unavailable) — distinct from gate failures,
+/// which land in the report.
+pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
+    let io = |e: std::io::Error| e.to_string();
+    let mut report = LoadgenReport::default();
+    let spec = campaign_spec(opts.quick);
+    let _ = std::fs::remove_dir_all(&opts.work_dir);
+    std::fs::create_dir_all(&opts.work_dir).map_err(io)?;
+
+    // -- Phase 1: uninterrupted reference run ------------------------------
+    println!("[loadgen] phase 1: reference campaign");
+    let reference = {
+        let mut daemon = spawn_daemon(opts, &opts.work_dir.join("ref"), &[]).map_err(io)?;
+        let mut client = Client::connect(&daemon.addr).map_err(io)?;
+        let accept = client.submit_campaign("ref", "job", &spec).map_err(io)?;
+        if accept.str_field("status").as_deref() != Some(status::ACCEPTED) {
+            return Err(format!("reference not accepted: {}", accept.render()));
+        }
+        let done = client
+            .wait_job("ref/job", Duration::from_secs(120))
+            .map_err(io)?;
+        if done.str_field("status").as_deref() != Some(status::OK) {
+            return Err(format!("reference failed: {}", done.render()));
+        }
+        let csv = std::fs::read(daemon.state_dir.join("jobs/ref/job/result.csv")).map_err(io)?;
+        drain_and_wait(&mut daemon);
+        csv
+    };
+
+    // -- Phase 2: saturation must shed, not grow ---------------------------
+    println!("[loadgen] phase 2: saturation / shed");
+    let (shed, sat_lost) = {
+        let env = [
+            ("SERVE_QUEUE_BATCH", "2".to_string()),
+            ("SERVE_SLOW_CORNER_MS", "10".to_string()),
+            ("SERVE_WORKERS", "2".to_string()),
+        ];
+        let mut daemon = spawn_daemon(opts, &opts.work_dir.join("sat"), &env).map_err(io)?;
+        let mut client = Client::connect(&daemon.addr).map_err(io)?;
+        let burst = if opts.quick { 6 } else { 12 };
+        let mut accepted_keys = Vec::new();
+        let mut shed = 0u64;
+        for i in 0..burst {
+            let reply = client
+                .submit_campaign("sat", &format!("burst-{i}"), &spec)
+                .map_err(io)?;
+            match reply.str_field("status").as_deref() {
+                Some(status::ACCEPTED) => accepted_keys.push(format!("sat/burst-{i}")),
+                Some(status::BUSY) => shed += 1,
+                other => return Err(format!("unexpected saturation reply: {other:?}")),
+            }
+        }
+        // Every *accepted* job must still complete — shed-never-lose.
+        let mut finished = 0u64;
+        for key in &accepted_keys {
+            let done = client.wait_job(key, Duration::from_secs(120)).map_err(io)?;
+            if done.str_field("status").as_deref() == Some(status::OK) {
+                finished += 1;
+            }
+        }
+        drain_and_wait(&mut daemon);
+        (shed, accepted_keys.len() as i64 - finished as i64)
+    };
+    report.metrics.push(("shed".into(), shed as f64));
+    report
+        .metrics
+        .push(("saturation_lost_jobs".into(), sat_lost as f64));
+
+    // -- Phase 3: mixed load: latency under a long campaign ----------------
+    println!("[loadgen] phase 3: mixed interactive + campaign load");
+    let (latencies_ms, throughput_rps, disconnects, slowloris_ok) = {
+        let env = [
+            ("SERVE_SLOW_CORNER_MS", "10".to_string()),
+            ("SERVE_WORKERS", "2".to_string()),
+            ("SERVE_READ_TIMEOUT_MS", "300".to_string()),
+        ];
+        let mut daemon = spawn_daemon(opts, &opts.work_dir.join("mix"), &env).map_err(io)?;
+        let addr = daemon.addr.clone();
+        let mut client = Client::connect(&addr).map_err(io)?;
+        let mut long_spec = spec.clone();
+        long_spec.points = if opts.quick { 60 } else { 200 };
+        client
+            .submit_campaign("mix", "long", &long_spec)
+            .map_err(io)?;
+        // Slowloris probe: park a half-written frame on one connection.
+        let mut slow = Client::connect(&addr).map_err(io)?;
+        slow.send_truncated(
+            &super::proto::Request::Poll {
+                job: "mix/long".into(),
+            },
+            3,
+        )
+        .map_err(io)?;
+        // Interactive burst while the campaign occupies the pool.
+        let clients = if opts.quick { 3 } else { 6 };
+        let per_client = if opts.quick { 12 } else { 40 };
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                std::thread::spawn(move || -> std::io::Result<Vec<f64>> {
+                    let mut client = Client::connect(&addr)?;
+                    let mut samples = Vec::new();
+                    for _ in 0..per_client {
+                        let t = Instant::now();
+                        let reply = client.run(&format!("int{c}"), OP_DECK, Some(10_000))?;
+                        if reply.str_field("status").as_deref() == Some(status::OK) {
+                            samples.push(t.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    Ok(samples)
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = Vec::new();
+        for h in handles {
+            latencies.extend(
+                h.join()
+                    .map_err(|_| "latency thread panicked")?
+                    .map_err(io)?,
+            );
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let throughput = latencies.len() as f64 / elapsed.max(1e-9);
+        // Slowloris verdict: while that half-frame sat there, everything
+        // above completed — and a fresh connection still answers fast.
+        let slow_t = Instant::now();
+        let mut probe = Client::connect(&addr).map_err(io)?;
+        let pong = probe.ping().map_err(io)?;
+        let slowloris_ok = pong.str_field("status").as_deref() == Some(status::OK)
+            && slow_t.elapsed() < Duration::from_secs(5);
+        drop(slow);
+        // Drop-client chaos: send a run request, slam the socket, then
+        // confirm the daemon counted a disconnect cancellation.
+        let mut dropper = Client::connect(&addr).map_err(io)?;
+        let _ = chaos::with_drop_client(|| dropper.run("chaos", OP_DECK, Some(10_000)));
+        let disconnects = {
+            let t0 = Instant::now();
+            let mut seen = 0.0;
+            while t0.elapsed() < Duration::from_secs(10) {
+                let stats = client.stats().map_err(io)?;
+                seen = stat(&stats, "disconnect_cancels");
+                if seen > 0.0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            seen
+        };
+        let _ = client.cancel("mix/long");
+        drain_and_wait(&mut daemon);
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        (latencies, throughput, disconnects, slowloris_ok)
+    };
+    let p50 = percentile(&latencies_ms, 0.50);
+    let p99 = percentile(&latencies_ms, 0.99);
+    report.metrics.push(("interactive_p50_ms".into(), p50));
+    report.metrics.push(("interactive_p99_ms".into(), p99));
+    report
+        .metrics
+        .push(("interactive_throughput_rps".into(), throughput_rps));
+    report
+        .metrics
+        .push(("disconnect_cancels".into(), disconnects));
+    report
+        .metrics
+        .push(("slowloris_survived".into(), f64::from(slowloris_ok)));
+
+    // -- Phase 4: SIGKILL mid-campaign, restart, byte-identical resume -----
+    println!("[loadgen] phase 4: SIGKILL + resume");
+    let (lost_jobs, byte_identical, resumed_jobs) = {
+        let kill_dir = opts.work_dir.join("kill");
+        let env = [
+            ("SERVE_SLOW_CORNER_MS", "15".to_string()),
+            ("SERVE_WORKERS", "2".to_string()),
+        ];
+        let mut daemon = spawn_daemon(opts, &kill_dir, &env).map_err(io)?;
+        let mut client = Client::connect(&daemon.addr).map_err(io)?;
+        let accept = client.submit_campaign("kill", "job", &spec).map_err(io)?;
+        if accept.str_field("status").as_deref() != Some(status::ACCEPTED) {
+            return Err(format!("kill-phase not accepted: {}", accept.render()));
+        }
+        // Let it make some progress, then kill -9 mid-campaign.
+        let t0 = Instant::now();
+        loop {
+            let reply = client.poll("kill/job").map_err(io)?;
+            if stat(&reply, "done_chunks") >= 1.0
+                || reply.str_field("status").as_deref() != Some(status::RUNNING)
+                || t0.elapsed() > Duration::from_secs(60)
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        daemon.child.kill().map_err(io)?;
+        let _ = daemon.child.wait();
+        drop(daemon);
+        // Restart on the same state dir: the journal must resurrect the
+        // job and the manifest must trim it to the incomplete tail.
+        let mut daemon = spawn_daemon(opts, &kill_dir, &[]).map_err(io)?;
+        let mut client = Client::connect(&daemon.addr).map_err(io)?;
+        let done = client
+            .wait_job("kill/job", Duration::from_secs(120))
+            .map_err(io)?;
+        let finished = done.str_field("status").as_deref() == Some(status::OK);
+        let resumed = f64::from(done.get("resumed").and_then(Json::as_bool).unwrap_or(false));
+        let csv = std::fs::read(kill_dir.join("jobs/kill/job/result.csv")).unwrap_or_default();
+        let identical = finished && csv == reference;
+        let stats = client.stats().map_err(io)?;
+        let resumed_jobs = stat(&stats, "resumed_jobs").max(resumed);
+        drain_and_wait(&mut daemon);
+        (i64::from(!finished), f64::from(identical), resumed_jobs)
+    };
+    report.metrics.push(("lost_jobs".into(), lost_jobs as f64));
+    report
+        .metrics
+        .push(("resume_byte_identical".into(), byte_identical));
+    report.metrics.push(("resumed_jobs".into(), resumed_jobs));
+
+    // -- Gates -------------------------------------------------------------
+    if shed == 0 {
+        report
+            .failures
+            .push("saturation never shed: admission control not engaging".into());
+    }
+    if sat_lost != 0 {
+        report.failures.push(format!(
+            "{sat_lost} accepted job(s) did not finish under saturation"
+        ));
+    }
+    if lost_jobs != 0 {
+        report
+            .failures
+            .push(format!("{lost_jobs} accepted job(s) lost across SIGKILL"));
+    }
+    if byte_identical != 1.0 {
+        report
+            .failures
+            .push("resumed result CSV differs from uninterrupted run".into());
+    }
+    if p99 > opts.p99_gate_ms {
+        report.failures.push(format!(
+            "interactive p99 {p99:.1} ms exceeds gate {:.1} ms",
+            opts.p99_gate_ms
+        ));
+    }
+    if !slowloris_ok {
+        report
+            .failures
+            .push("slowloris connection degraded the daemon".into());
+    }
+
+    let metric_refs: Vec<(&str, f64)> = report
+        .metrics
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    write_json_report(&opts.out_path, &[], &metric_refs).map_err(io)?;
+    println!("[loadgen] report: {}", opts.out_path.display());
+    for (k, v) in &report.metrics {
+        println!("  {k} = {v:.3}");
+    }
+    for f in &report.failures {
+        println!("  GATE FAILED: {f}");
+    }
+    let _ = std::fs::remove_dir_all(&opts.work_dir);
+    Ok(report)
+}

@@ -1,0 +1,865 @@
+//! Admission control, fair-share dispatch, and the job state machine of
+//! the campaign daemon.
+//!
+//! Two bounded queues feed one worker pool. Interactive requests queue
+//! as a single work unit; campaign jobs decompose into chunk units (see
+//! [`CampaignSpec::chunk_count`]). Dispatch is weighted round-robin:
+//! when both queues hold work, at most `interactive_weight` interactive
+//! units go out per campaign chunk, so neither class starves the other.
+//! Admission beyond either bound sheds with an explicit `busy` reply —
+//! the daemon's memory is bounded by the queue caps, never by client
+//! behaviour.
+
+use super::jobstate::Journal;
+use super::proto::CampaignSpec;
+use super::ServerConfig;
+use spicier::linalg::LuStats;
+use spicier::CancelHandle;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Work class of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobClass {
+    /// One-shot deck run; the submitting connection blocks on it.
+    Interactive,
+    /// Detached campaign; journaled, chunked, pollable, resumable.
+    Batch,
+}
+
+/// What a job is asked to do.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// Run a full deck (every analysis card) under one deadline.
+    Deck {
+        /// SPICE deck text.
+        deck: String,
+        /// Whole-request deadline.
+        deadline: Duration,
+    },
+    /// Run a chunked DC sweep campaign.
+    Campaign(CampaignSpec),
+}
+
+/// Terminal outcome of a job. Every degraded path is distinct so the
+/// protocol and the stats counters can tell them apart.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Produced its result.
+    Ok,
+    /// Could not produce a result (parse/solve error text attached).
+    Failed(String),
+    /// Cancelled remotely: explicit request, client disconnect, or
+    /// orphan-heartbeat expiry.
+    Cancelled,
+    /// The request deadline expired mid-work.
+    TimedOut,
+    /// Residual certification refused to vouch for the solution.
+    Quarantined,
+    /// Shed at dispatch time because the daemon began draining.
+    Draining,
+}
+
+impl Outcome {
+    /// The wire `status` string for this outcome.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            Outcome::Ok => super::proto::status::OK,
+            Outcome::Failed(_) => super::proto::status::FAILED,
+            Outcome::Cancelled => super::proto::status::CANCELLED,
+            Outcome::TimedOut => super::proto::status::TIMED_OUT,
+            Outcome::Quarantined => super::proto::status::QUARANTINED,
+            Outcome::Draining => super::proto::status::DRAINING,
+        }
+    }
+}
+
+/// Execution phase of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPhase {
+    /// Admitted, not yet picked up.
+    Queued,
+    /// At least one unit has started.
+    Running,
+    /// Finished with the attached outcome.
+    Done(Outcome),
+}
+
+/// Mutable per-job state, guarded by the job's mutex.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    /// Where the job is in its lifecycle.
+    pub phase: JobPhase,
+    /// Work units completed (chunks for campaigns, 0/1 for interactive).
+    pub done_units: usize,
+    /// Total work units.
+    pub total_units: usize,
+    /// Interactive report text, or the final campaign CSV once
+    /// finalized.
+    pub output: Option<String>,
+    /// Corners that failed to converge (annotated rows, job still ok).
+    pub failed_corners: usize,
+    /// Corners that hit the per-corner deadline.
+    pub timed_out_corners: usize,
+    /// Corners quarantined by residual certification.
+    pub quarantined_corners: usize,
+    /// Newton iterations absorbed from per-corner telemetry.
+    pub newton_iterations: u64,
+    /// Linear-kernel counters absorbed from per-corner telemetry.
+    pub lu: LuStats,
+    /// Worst certified backward error seen across corners.
+    pub worst_backward_error: f64,
+    /// Wall time spent executing this job's units.
+    pub wall: Duration,
+}
+
+impl JobState {
+    fn new(total_units: usize, done_units: usize) -> Self {
+        Self {
+            phase: JobPhase::Queued,
+            done_units,
+            total_units,
+            output: None,
+            failed_corners: 0,
+            timed_out_corners: 0,
+            quarantined_corners: 0,
+            newton_iterations: 0,
+            lu: LuStats::default(),
+            worst_backward_error: 0.0,
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+/// One admitted job.
+#[derive(Debug)]
+pub struct Job {
+    /// `tenant/id` — the key clients poll and cancel by.
+    pub key: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Work class.
+    pub class: JobClass,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Cancellation source every unit's corner token derives from.
+    pub handle: CancelHandle,
+    /// Whether this job was replayed from the journal at startup.
+    pub resumed: bool,
+    /// On-disk directory (campaigns only): chunk parts, manifest,
+    /// result CSV.
+    pub dir: Option<PathBuf>,
+    state: Mutex<JobState>,
+    cv: Condvar,
+    last_touch: Mutex<Instant>,
+}
+
+impl Job {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        key: String,
+        tenant: String,
+        class: JobClass,
+        spec: JobSpec,
+        dir: Option<PathBuf>,
+        total_units: usize,
+        done_units: usize,
+        resumed: bool,
+    ) -> Arc<Job> {
+        Arc::new(Job {
+            key,
+            tenant,
+            class,
+            spec,
+            handle: CancelHandle::new(),
+            resumed,
+            dir,
+            state: Mutex::new(JobState::new(total_units, done_units)),
+            cv: Condvar::new(),
+            last_touch: Mutex::new(Instant::now()),
+        })
+    }
+
+    /// Runs `f` with the job state locked.
+    pub fn with_state<R>(&self, f: impl FnOnce(&mut JobState) -> R) -> R {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut state)
+    }
+
+    /// A copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> JobState {
+        self.with_state(|s| s.clone())
+    }
+
+    /// Whether the job has reached a terminal phase.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.with_state(|s| matches!(s.phase, JobPhase::Done(_)))
+    }
+
+    /// Marks the job done with `outcome` (first writer wins) and wakes
+    /// every waiter.
+    pub fn mark_done(&self, outcome: Outcome) {
+        self.with_state(|s| {
+            if !matches!(s.phase, JobPhase::Done(_)) {
+                s.phase = JobPhase::Done(outcome);
+            }
+        });
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the job is done or `timeout` elapses; returns
+    /// whether it finished.
+    pub fn wait_done(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !matches!(state.phase, JobPhase::Done(_)) {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+        true
+    }
+
+    /// Records client contact (accept or poll) for orphan detection.
+    pub fn touch(&self) {
+        *self.last_touch.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
+    }
+
+    /// Time since the owning client last touched the job.
+    #[must_use]
+    pub fn idle(&self) -> Duration {
+        self.last_touch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .elapsed()
+    }
+}
+
+/// One dispatchable unit: a job and the unit index within it.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// The owning job.
+    pub job: Arc<Job>,
+    /// Chunk index for campaigns; always 0 for interactive jobs.
+    pub index: usize,
+}
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The relevant queue is at capacity — shed with `busy`.
+    Busy(&'static str),
+    /// The daemon is draining — no new work.
+    Draining,
+    /// A campaign with this key already exists.
+    Duplicate,
+    /// Journaling the accept failed; the job cannot be made durable.
+    Journal(String),
+}
+
+/// Monotonic daemon counters, all visible in the `stats` reply and the
+/// load-harness rollup.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Interactive requests admitted.
+    pub accepted_interactive: AtomicU64,
+    /// Campaign jobs admitted (journaled).
+    pub accepted_batch: AtomicU64,
+    /// Requests shed by admission control.
+    pub shed: AtomicU64,
+    /// Jobs that finished `ok`.
+    pub completed: AtomicU64,
+    /// Jobs that finished `failed`.
+    pub failed: AtomicU64,
+    /// Jobs cancelled (any cancellation path).
+    pub cancelled: AtomicU64,
+    /// Jobs that timed out.
+    pub timed_out: AtomicU64,
+    /// Jobs quarantined by certification.
+    pub quarantined: AtomicU64,
+    /// Jobs replayed from the journal at startup.
+    pub resumed_jobs: AtomicU64,
+    /// Chunks skipped on resume because their manifest entry was
+    /// complete.
+    pub resumed_chunks_skipped: AtomicU64,
+    /// Jobs cancelled by an explicit `cancel` request.
+    pub explicit_cancels: AtomicU64,
+    /// Jobs cancelled because their client disconnected mid-wait.
+    pub disconnect_cancels: AtomicU64,
+    /// Jobs cancelled by orphan-heartbeat expiry.
+    pub orphan_cancels: AtomicU64,
+}
+
+impl Counters {
+    fn count_outcome(&self, outcome: &Outcome) {
+        let cell = match outcome {
+            Outcome::Ok => &self.completed,
+            Outcome::Failed(_) => &self.failed,
+            Outcome::Cancelled => &self.cancelled,
+            Outcome::TimedOut => &self.timed_out,
+            Outcome::Quarantined => &self.quarantined,
+            Outcome::Draining => &self.shed,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct SchedInner {
+    interactive: VecDeque<Unit>,
+    batch: VecDeque<Unit>,
+    /// Interactive units dispatched since the last batch unit.
+    since_batch: usize,
+    /// Campaign jobs admitted and not yet terminal (the batch cap).
+    batch_jobs: usize,
+    draining: bool,
+    shutdown: bool,
+}
+
+/// The scheduler: queues, the job table, the journal, and the counters.
+pub struct Scheduler {
+    inner: Mutex<SchedInner>,
+    work: Condvar,
+    jobs: Mutex<HashMap<String, Arc<Job>>>,
+    journal: Journal,
+    /// Monotonic counters for `stats`.
+    pub counters: Counters,
+    cfg: ServerConfig,
+    interactive_seq: AtomicU64,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over `cfg` with its journal at
+    /// `<state_dir>/journal.jsonl`.
+    #[must_use]
+    pub fn new(cfg: ServerConfig) -> Arc<Scheduler> {
+        let journal = Journal::new(cfg.state_dir.join("journal.jsonl"));
+        Arc::new(Scheduler {
+            inner: Mutex::new(SchedInner {
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                since_batch: 0,
+                batch_jobs: 0,
+                draining: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            journal,
+            counters: Counters::default(),
+            cfg,
+            interactive_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The configuration the scheduler (and its workers) run under.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, SchedInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a job by key.
+    #[must_use]
+    pub fn job(&self, key: &str) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Every job currently in the table.
+    #[must_use]
+    pub fn all_jobs(&self) -> Vec<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Admits an interactive deck run. On success the caller waits on
+    /// the returned job.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Busy`] when the interactive queue is full,
+    /// [`AdmitError::Draining`] during drain.
+    pub fn admit_interactive(
+        &self,
+        tenant: &str,
+        deck: String,
+        deadline: Duration,
+    ) -> Result<Arc<Job>, AdmitError> {
+        let seq = self.interactive_seq.fetch_add(1, Ordering::Relaxed);
+        let key = format!("{tenant}/int-{seq}");
+        let job = Job::new(
+            key.clone(),
+            tenant.to_string(),
+            JobClass::Interactive,
+            JobSpec::Deck { deck, deadline },
+            None,
+            1,
+            0,
+            false,
+        );
+        {
+            let mut inner = self.lock_inner();
+            if inner.draining {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Draining);
+            }
+            if inner.interactive.len() >= self.cfg.queue_interactive {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Busy("interactive queue full"));
+            }
+            inner.interactive.push_back(Unit {
+                job: Arc::clone(&job),
+                index: 0,
+            });
+        }
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, Arc::clone(&job));
+        self.counters
+            .accepted_interactive
+            .fetch_add(1, Ordering::Relaxed);
+        self.work.notify_one();
+        Ok(job)
+    }
+
+    /// Admits a campaign job. The accept is journaled (fsync) before
+    /// this returns, so a crash after the caller's `accepted` reply
+    /// cannot lose the job. `pending_units` lists the chunk indices
+    /// still to run (resume passes the incomplete subset);
+    /// `already_done` is the number of chunks the manifest proved
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Busy`] at the batch cap, [`AdmitError::Draining`]
+    /// during drain, [`AdmitError::Duplicate`] on key collision, and
+    /// [`AdmitError::Journal`] when the accept cannot be made durable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit_campaign(
+        &self,
+        tenant: &str,
+        id: &str,
+        spec: CampaignSpec,
+        pending_units: Vec<usize>,
+        already_done: usize,
+        resumed: bool,
+    ) -> Result<Arc<Job>, AdmitError> {
+        let key = format!("{tenant}/{id}");
+        {
+            let jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            if jobs.contains_key(&key) {
+                return Err(AdmitError::Duplicate);
+            }
+        }
+        let total = spec.chunk_count();
+        let dir = self.cfg.state_dir.join("jobs").join(tenant).join(id);
+        let job = Job::new(
+            key.clone(),
+            tenant.to_string(),
+            JobClass::Batch,
+            JobSpec::Campaign(spec.clone()),
+            Some(dir),
+            total,
+            already_done,
+            resumed,
+        );
+        {
+            let mut inner = self.lock_inner();
+            if inner.draining {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Draining);
+            }
+            // Resumed jobs were admitted (and journaled) by a previous
+            // daemon; the cap applies to new admissions only.
+            if !resumed && inner.batch_jobs >= self.cfg.queue_batch {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Busy("batch queue full"));
+            }
+            if !resumed {
+                // Durability before acceptance: the reply the caller
+                // sends after this promises the job survives any crash.
+                self.journal
+                    .append_accept(&key, tenant, id, &spec)
+                    .map_err(|e| AdmitError::Journal(e.to_string()))?;
+            }
+            inner.batch_jobs += 1;
+            for k in &pending_units {
+                inner.batch.push_back(Unit {
+                    job: Arc::clone(&job),
+                    index: *k,
+                });
+            }
+        }
+        if pending_units.is_empty() {
+            // Everything was already complete on disk (resume of a job
+            // killed between its last chunk and its finish record).
+            job.with_state(|s| s.done_units = s.total_units);
+        }
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, Arc::clone(&job));
+        self.counters.accepted_batch.fetch_add(1, Ordering::Relaxed);
+        if resumed {
+            self.counters.resumed_jobs.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .resumed_chunks_skipped
+                .fetch_add(already_done as u64, Ordering::Relaxed);
+        }
+        self.work.notify_all();
+        Ok(job)
+    }
+
+    /// Weighted round-robin selection under the lock (`None` when both
+    /// queues are empty).
+    fn pick_locked(&self, inner: &mut SchedInner) -> Option<Unit> {
+        match (inner.interactive.is_empty(), inner.batch.is_empty()) {
+            (false, true) => {
+                inner.since_batch += 1;
+                inner.interactive.pop_front()
+            }
+            (true, false) => {
+                inner.since_batch = 0;
+                inner.batch.pop_front()
+            }
+            (false, false) => {
+                if inner.since_batch >= self.cfg.interactive_weight {
+                    inner.since_batch = 0;
+                    inner.batch.pop_front()
+                } else {
+                    inner.since_batch += 1;
+                    inner.interactive.pop_front()
+                }
+            }
+            (true, true) => None,
+        }
+    }
+
+    /// Fair-share dispatch: blocks for the next unit, `None` on
+    /// shutdown. Units of already-terminal jobs are skipped here so a
+    /// cancelled campaign's queued chunks never reach a worker.
+    #[must_use]
+    pub fn next_unit(&self) -> Option<Unit> {
+        let mut inner = self.lock_inner();
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            match self.pick_locked(&mut inner) {
+                Some(unit) if unit.job.is_done() => continue, // cancelled while queued
+                Some(unit) => return Some(unit),
+                None => {
+                    inner = self
+                        .work
+                        .wait_timeout(inner, Duration::from_millis(100))
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking [`Scheduler::next_unit`]: `None` when no runnable
+    /// unit is queued right now.
+    #[must_use]
+    pub fn try_next_unit(&self) -> Option<Unit> {
+        let mut inner = self.lock_inner();
+        loop {
+            match self.pick_locked(&mut inner) {
+                Some(unit) if unit.job.is_done() => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// Records a job's terminal outcome: counters, journal finish entry
+    /// (campaigns), waiter wakeup, and release of its batch slot.
+    pub fn finish_job(&self, job: &Job, outcome: Outcome) {
+        // First writer wins; only that writer books counters/journal.
+        let already_done = job.with_state(|s| {
+            if matches!(s.phase, JobPhase::Done(_)) {
+                true
+            } else {
+                s.phase = JobPhase::Done(outcome.clone());
+                false
+            }
+        });
+        job.cv.notify_all();
+        if already_done {
+            return;
+        }
+        self.counters.count_outcome(&outcome);
+        if job.class == JobClass::Batch {
+            let _ = self.journal.append_finish(&job.key, outcome.status());
+            let mut inner = self.lock_inner();
+            inner.batch_jobs = inner.batch_jobs.saturating_sub(1);
+        }
+    }
+
+    /// Remote cancellation of `key`. `counter` attributes the reason
+    /// (explicit / disconnect / orphan). Returns whether the job existed
+    /// and was still live.
+    pub fn cancel(&self, key: &str, counter: &AtomicU64) -> bool {
+        let Some(job) = self.job(key) else {
+            return false;
+        };
+        if job.is_done() {
+            return false;
+        }
+        // The handle first: anything mid-corner observes it via its
+        // corner token at the next budget check.
+        job.handle.cancel();
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.finish_job(&job, Outcome::Cancelled);
+        true
+    }
+
+    /// Cancels running campaigns whose client has not polled within
+    /// `timeout` (the orphan heartbeat). Returns how many were culled.
+    pub fn cancel_orphans(&self, timeout: Duration) -> usize {
+        let mut culled = 0;
+        for job in self.all_jobs() {
+            if job.class == JobClass::Batch
+                && !job.is_done()
+                && job.idle() > timeout
+                && self.cancel(&job.key, &self.counters.orphan_cancels)
+            {
+                culled += 1;
+            }
+        }
+        culled
+    }
+
+    /// Whether the scheduler has begun draining.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.lock_inner().draining
+    }
+
+    /// Graceful drain: stop admissions, shed queued interactive work
+    /// with `draining`, drop queued campaign chunks (their jobs stay
+    /// journaled as accepted, so a restarted daemon resumes them), and
+    /// tell workers to exit after their current unit.
+    pub fn drain(&self) {
+        let (interactive, _batch) = {
+            let mut inner = self.lock_inner();
+            inner.draining = true;
+            inner.shutdown = true;
+            (
+                std::mem::take(&mut inner.interactive),
+                std::mem::take(&mut inner.batch),
+            )
+        };
+        for unit in interactive {
+            self.finish_job(&unit.job, Outcome::Draining);
+        }
+        // Queued batch units are dropped without touching their jobs:
+        // the journal has their accept and the manifest has their
+        // completed chunks; resume picks up exactly the remainder.
+        self.work.notify_all();
+    }
+
+    /// Counters snapshot plus queue depths, as `stats` reply fields.
+    #[must_use]
+    pub fn stats_fields(&self) -> Vec<(&'static str, f64)> {
+        let (qi, qb, jobs) = {
+            let inner = self.lock_inner();
+            (inner.interactive.len(), inner.batch.len(), inner.batch_jobs)
+        };
+        let c = &self.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        vec![
+            ("accepted_interactive", get(&c.accepted_interactive)),
+            ("accepted_batch", get(&c.accepted_batch)),
+            ("shed", get(&c.shed)),
+            ("completed", get(&c.completed)),
+            ("failed", get(&c.failed)),
+            ("cancelled", get(&c.cancelled)),
+            ("timed_out", get(&c.timed_out)),
+            ("quarantined", get(&c.quarantined)),
+            ("resumed_jobs", get(&c.resumed_jobs)),
+            ("resumed_chunks_skipped", get(&c.resumed_chunks_skipped)),
+            ("explicit_cancels", get(&c.explicit_cancels)),
+            ("disconnect_cancels", get(&c.disconnect_cancels)),
+            ("orphan_cancels", get(&c.orphan_cancels)),
+            ("queue_interactive", qi as f64),
+            ("queue_batch_units", qb as f64),
+            ("batch_jobs_in_flight", jobs as f64),
+        ]
+    }
+
+    /// The journal (for replay at startup).
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config(dir: &std::path::Path) -> ServerConfig {
+        let mut cfg = ServerConfig::from_env();
+        cfg.state_dir = dir.to_path_buf();
+        cfg.queue_interactive = 2;
+        cfg.queue_batch = 1;
+        cfg.interactive_weight = 2;
+        cfg
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sched-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec(points: usize, chunk: usize) -> CampaignSpec {
+        CampaignSpec {
+            deck: "d\nV1 a 0 0\nR1 a 0 1k\n.end\n".into(),
+            source: "V1".into(),
+            start: 0.0,
+            stop: 1.0,
+            points,
+            chunk,
+        }
+    }
+
+    #[test]
+    fn admission_sheds_beyond_caps() {
+        let dir = temp_dir("caps");
+        let sched = Scheduler::new(test_config(&dir));
+        let deadline = Duration::from_secs(1);
+        assert!(sched
+            .admit_interactive("t", "deck".into(), deadline)
+            .is_ok());
+        assert!(sched
+            .admit_interactive("t", "deck".into(), deadline)
+            .is_ok());
+        assert!(matches!(
+            sched.admit_interactive("t", "deck".into(), deadline),
+            Err(AdmitError::Busy(_))
+        ));
+        assert!(sched
+            .admit_campaign("t", "c1", spec(4, 2), vec![0, 1], 0, false)
+            .is_ok());
+        assert!(matches!(
+            sched.admit_campaign("t", "c2", spec(4, 2), vec![0, 1], 0, false),
+            Err(AdmitError::Busy(_))
+        ));
+        assert!(matches!(
+            sched.admit_campaign("t", "c1", spec(4, 2), vec![0, 1], 0, false),
+            Err(AdmitError::Duplicate)
+        ));
+        assert_eq!(sched.counters.shed.load(Ordering::Relaxed), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fair_share_interleaves_classes_by_weight() {
+        let dir = temp_dir("fair");
+        let mut cfg = test_config(&dir);
+        cfg.queue_interactive = 16;
+        let sched = Scheduler::new(cfg);
+        // 4 interactive units + one 4-chunk campaign, weight 2.
+        for _ in 0..4 {
+            sched
+                .admit_interactive("t", "deck".into(), Duration::from_secs(1))
+                .unwrap();
+        }
+        sched
+            .admit_campaign("t", "c", spec(8, 2), vec![0, 1, 2, 3], 0, false)
+            .unwrap();
+        let order: Vec<JobClass> = (0..8)
+            .map(|_| sched.next_unit().unwrap().job.class)
+            .collect();
+        // Weight 2: I I B I I B B B.
+        assert_eq!(
+            order,
+            vec![
+                JobClass::Interactive,
+                JobClass::Interactive,
+                JobClass::Batch,
+                JobClass::Interactive,
+                JobClass::Interactive,
+                JobClass::Batch,
+                JobClass::Batch,
+                JobClass::Batch,
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_marks_job_and_workers_skip_its_units() {
+        let dir = temp_dir("cancel");
+        let sched = Scheduler::new(test_config(&dir));
+        let job = sched
+            .admit_campaign("t", "c", spec(4, 2), vec![0, 1], 0, false)
+            .unwrap();
+        assert!(sched.cancel("t/c", &sched.counters.disconnect_cancels));
+        assert!(job.handle.is_cancelled());
+        assert!(job.is_done());
+        // Both queued units are skipped; an interactive unit queued after
+        // is still reachable, proving next_unit doesn't block on them.
+        sched
+            .admit_interactive("t", "deck".into(), Duration::from_secs(1))
+            .unwrap();
+        let unit = sched.next_unit().unwrap();
+        assert_eq!(unit.job.class, JobClass::Interactive);
+        // Second cancel is a no-op.
+        assert!(!sched.cancel("t/c", &sched.counters.disconnect_cancels));
+        assert_eq!(sched.counters.disconnect_cancels.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_sheds_queued_interactive_and_keeps_batch_journaled() {
+        let dir = temp_dir("drain");
+        let sched = Scheduler::new(test_config(&dir));
+        let ijob = sched
+            .admit_interactive("t", "deck".into(), Duration::from_secs(1))
+            .unwrap();
+        let bjob = sched
+            .admit_campaign("t", "c", spec(4, 2), vec![0, 1], 0, false)
+            .unwrap();
+        sched.drain();
+        assert!(matches!(
+            ijob.snapshot().phase,
+            JobPhase::Done(Outcome::Draining)
+        ));
+        // The campaign job is *not* terminal — it stays accepted in the
+        // journal for the next daemon to resume.
+        assert!(!bjob.is_done());
+        assert!(sched.next_unit().is_none(), "workers told to exit");
+        assert!(matches!(
+            sched.admit_interactive("t", "d".into(), Duration::from_secs(1)),
+            Err(AdmitError::Draining)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

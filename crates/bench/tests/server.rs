@@ -1,0 +1,455 @@
+//! End-to-end drills for the campaign daemon, driven through the real
+//! `spicier-serve` binary: admission control sheds under saturation,
+//! remote cancellation and client disconnects stop work, SIGTERM drains
+//! gracefully, SIGKILL + restart loses zero accepted jobs and resumes
+//! to byte-identical results, a slowloris client cannot wedge the
+//! daemon, and the `spicier-loadgen` harness passes its own gates.
+
+use cml_bench::server::client::Client;
+use cml_bench::server::json::Json;
+use cml_bench::server::loadgen::{DIVIDER_DECK, OP_DECK};
+use cml_bench::server::proto::{status, CampaignSpec, Request};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Environment that must not leak from the outer world into daemons.
+const SCRUBBED: &[&str] = &[
+    "CHAOS_KILL_AFTER_EXPERIMENTS",
+    "CHAOS_KILL_MID_WRITE",
+    "CHAOS_HANG_NEWTON",
+    "CHAOS_NAN_STAMP",
+    "CHAOS_PERTURB_LU",
+    "CHAOS_DROP_CLIENT",
+    "CHAOS_SLOW_CLIENT_MS",
+    "EXP_TELEMETRY",
+    "SPICIER_TRACE",
+    "SPICIER_CONDEST",
+    "SERVE_ADDR",
+    "SERVE_STATE_DIR",
+    "SERVE_WORKERS",
+    "SERVE_QUEUE_INTERACTIVE",
+    "SERVE_QUEUE_BATCH",
+    "SERVE_INTERACTIVE_WEIGHT",
+    "SERVE_DEFAULT_DEADLINE_MS",
+    "SERVE_CORNER_DEADLINE_MS",
+    "SERVE_READ_TIMEOUT_MS",
+    "SERVE_HEARTBEAT_TIMEOUT_MS",
+    "SERVE_MAX_CONNS",
+    "SERVE_SLOW_CORNER_MS",
+    "LOADGEN_QUICK",
+    "LOADGEN_OUT",
+    "LOADGEN_DIR",
+    "LOADGEN_P99_GATE_MS",
+    "SERVE_BIN",
+];
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("spicier_server_tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns `spicier-serve` on `dir` with a scrubbed environment plus
+/// `envs`, and waits for its ADDR file.
+fn spawn_daemon(dir: &Path, envs: &[(&str, &str)]) -> Daemon {
+    let _ = std::fs::remove_file(dir.join("ADDR"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_spicier-serve"));
+    for key in SCRUBBED {
+        cmd.env_remove(key);
+    }
+    cmd.env("SERVE_ADDR", "tcp:127.0.0.1:0")
+        .env("SERVE_STATE_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    let child = cmd.spawn().expect("spicier-serve spawns");
+    let addr = Client::wait_for_addr(dir, Duration::from_secs(20)).expect("daemon publishes ADDR");
+    Daemon { child, addr }
+}
+
+fn sigterm(daemon: &Daemon) {
+    let ok = Command::new("kill")
+        .arg("-TERM")
+        .arg(daemon.child.id().to_string())
+        .status()
+        .expect("kill spawns")
+        .success();
+    assert!(ok, "kill -TERM failed");
+}
+
+fn wait_exit(daemon: &mut Daemon, timeout: Duration) -> Option<i32> {
+    let t0 = Instant::now();
+    while t0.elapsed() < timeout {
+        if let Ok(Some(code)) = daemon.child.try_wait() {
+            return code.code();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    None
+}
+
+fn spec(points: usize, chunk: usize) -> CampaignSpec {
+    CampaignSpec {
+        deck: DIVIDER_DECK.to_string(),
+        source: "V1".to_string(),
+        start: 0.0,
+        stop: 3.3,
+        points,
+        chunk,
+    }
+}
+
+fn status_of(reply: &Json) -> String {
+    reply.str_field("status").unwrap_or_default()
+}
+
+fn stat(reply: &Json, key: &str) -> f64 {
+    reply.num_field(key).unwrap_or(0.0)
+}
+
+#[test]
+fn interactive_round_trip_with_telemetry() {
+    let dir = fresh_dir("interactive");
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    assert_eq!(status_of(&client.ping().unwrap()), status::OK);
+
+    let reply = client.run("t1", OP_DECK, None).unwrap();
+    assert_eq!(status_of(&reply), status::OK, "{}", reply.render());
+    let output = reply.str_field("output").unwrap();
+    assert!(output.contains("V(out) = 2.2"), "{output}");
+    let telemetry = reply.get("telemetry").expect("telemetry rollup");
+    assert!(telemetry.num_field("wall_ms").unwrap() >= 0.0);
+
+    // A parse failure is a distinguishable `failed`, not a dropped conn.
+    let bad = client.run("t1", "broken\nR1 a 0\n.end\n", None).unwrap();
+    assert_eq!(status_of(&bad), status::FAILED);
+    assert!(bad.str_field("error").is_some());
+
+    // Unknown jobs poll as `unknown`.
+    let unknown = client.poll("t1/nope").unwrap();
+    assert_eq!(status_of(&unknown), status::UNKNOWN);
+
+    let stats = client.stats().unwrap();
+    assert!(
+        stat(&stats, "accepted_interactive") >= 2.0,
+        "{}",
+        stats.render()
+    );
+}
+
+#[test]
+fn campaign_completes_and_polls_through_lifecycle() {
+    let dir = fresh_dir("campaign");
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let accept = client
+        .submit_campaign("acme", "sweep1", &spec(6, 2))
+        .unwrap();
+    assert_eq!(status_of(&accept), status::ACCEPTED, "{}", accept.render());
+    assert_eq!(accept.str_field("job").as_deref(), Some("acme/sweep1"));
+    assert_eq!(accept.u64_field("total_chunks"), Some(3));
+
+    let done = client
+        .wait_job("acme/sweep1", Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+    let csv = done.str_field("csv").unwrap();
+    assert_eq!(csv.lines().count(), 7, "header + 6 corners: {csv}");
+    assert!(csv.contains("3.300000,3.300000,1.650000"), "{csv}");
+    // Result also persisted where the reply says.
+    let path = done.str_field("result_path").unwrap();
+    assert_eq!(std::fs::read_to_string(path).unwrap(), csv);
+    // Telemetry rollup absorbed real solver counters.
+    let telemetry = done.get("telemetry").unwrap();
+    assert!(telemetry.num_field("lu_solves").unwrap() >= 6.0);
+    // Duplicate submission of a live/finished key is refused.
+    let dup = client
+        .submit_campaign("acme", "sweep1", &spec(6, 2))
+        .unwrap();
+    assert_eq!(status_of(&dup), status::FAILED);
+}
+
+#[test]
+fn saturation_sheds_with_busy_and_accepted_jobs_finish() {
+    let dir = fresh_dir("shed");
+    let daemon = spawn_daemon(
+        &dir,
+        &[
+            ("SERVE_QUEUE_BATCH", "1"),
+            ("SERVE_SLOW_CORNER_MS", "30"),
+            ("SERVE_WORKERS", "2"),
+        ],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let mut accepted = Vec::new();
+    let mut shed = 0;
+    for i in 0..4 {
+        let reply = client
+            .submit_campaign("sat", &format!("j{i}"), &spec(4, 2))
+            .unwrap();
+        match status_of(&reply).as_str() {
+            status::ACCEPTED => accepted.push(format!("sat/j{i}")),
+            status::BUSY => shed += 1,
+            other => panic!("unexpected status {other}: {}", reply.render()),
+        }
+    }
+    assert!(shed >= 1, "admission control never shed");
+    assert!(!accepted.is_empty(), "everything shed");
+    // Shed-never-lose: each accepted job still completes.
+    for key in &accepted {
+        let done = client.wait_job(key, Duration::from_secs(60)).unwrap();
+        assert_eq!(status_of(&done), status::OK, "{}", done.render());
+    }
+    let stats = client.stats().unwrap();
+    assert!(
+        stat(&stats, "shed") >= f64::from(shed),
+        "{}",
+        stats.render()
+    );
+}
+
+#[test]
+fn remote_cancel_stops_a_running_campaign() {
+    let dir = fresh_dir("cancel");
+    let daemon = spawn_daemon(
+        &dir,
+        &[("SERVE_SLOW_CORNER_MS", "40"), ("SERVE_WORKERS", "1")],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let accept = client.submit_campaign("t", "long", &spec(40, 2)).unwrap();
+    assert_eq!(status_of(&accept), status::ACCEPTED);
+    // Let it start, then cancel remotely.
+    std::thread::sleep(Duration::from_millis(100));
+    let cancel = client.cancel("t/long").unwrap();
+    assert_eq!(status_of(&cancel), status::OK);
+    let after = client.wait_job("t/long", Duration::from_secs(30)).unwrap();
+    assert_eq!(status_of(&after), status::CANCELLED, "{}", after.render());
+    let stats = client.stats().unwrap();
+    assert!(
+        stat(&stats, "explicit_cancels") >= 1.0,
+        "{}",
+        stats.render()
+    );
+    assert!(stat(&stats, "cancelled") >= 1.0);
+    // Cancelling again reports unknown-or-done, not a second cancel.
+    let again = client.cancel("t/long").unwrap();
+    assert_eq!(status_of(&again), status::UNKNOWN);
+}
+
+#[test]
+fn client_disconnect_cancels_orphaned_interactive_request() {
+    let dir = fresh_dir("disconnect");
+    // One worker, pinned by a slow campaign, so the interactive request
+    // is still queued when its client vanishes.
+    let daemon = spawn_daemon(
+        &dir,
+        &[("SERVE_SLOW_CORNER_MS", "50"), ("SERVE_WORKERS", "1")],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    client.submit_campaign("t", "pin", &spec(20, 2)).unwrap();
+    // Drop-client chaos: the run request is written, then the socket is
+    // slammed shut without reading the reply.
+    let mut dropper = Client::connect(&daemon.addr).unwrap();
+    let err = spicier::chaos::with_drop_client(|| dropper.run("ghost", OP_DECK, None))
+        .expect_err("chaos drop returns an error");
+    assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    // The daemon notices the EOF and cancels the orphaned job.
+    let t0 = Instant::now();
+    let mut seen = 0.0;
+    while t0.elapsed() < Duration::from_secs(10) && seen < 1.0 {
+        seen = stat(&client.stats().unwrap(), "disconnect_cancels");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(seen >= 1.0, "disconnect was never detected");
+    let _ = client.cancel("t/pin");
+}
+
+#[test]
+fn slowloris_client_cannot_wedge_the_daemon() {
+    let dir = fresh_dir("slowloris");
+    let daemon = spawn_daemon(&dir, &[("SERVE_READ_TIMEOUT_MS", "200")]);
+    // Park a half-written frame.
+    let mut slow = Client::connect(&daemon.addr).unwrap();
+    slow.send_truncated(
+        &Request::Run {
+            tenant: "slow".into(),
+            deck: OP_DECK.into(),
+            deadline_ms: None,
+        },
+        5,
+    )
+    .unwrap();
+    // Normal traffic stays fast while the slowloris frame dangles.
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let reply = client.run("ok", OP_DECK, None).unwrap();
+        assert_eq!(status_of(&reply), status::OK);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "interactive latency degraded behind slowloris"
+        );
+    }
+    // Past the whole-frame deadline the slow connection is closed.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut probe = slow;
+    let gone = probe.ping().is_err();
+    assert!(gone, "slowloris connection should have been dropped");
+}
+
+#[test]
+fn sigterm_drains_and_restart_resumes_byte_identical() {
+    // Reference: the same campaign, uninterrupted.
+    let ref_dir = fresh_dir("drain-ref");
+    let reference = {
+        let daemon = spawn_daemon(&ref_dir, &[]);
+        let mut client = Client::connect(&daemon.addr).unwrap();
+        client.submit_campaign("drill", "job", &spec(8, 2)).unwrap();
+        let done = client
+            .wait_job("drill/job", Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(status_of(&done), status::OK);
+        std::fs::read(ref_dir.join("jobs/drill/job/result.csv")).unwrap()
+    };
+
+    // Drill: SIGTERM mid-campaign.
+    let dir = fresh_dir("drain");
+    let mut daemon = spawn_daemon(
+        &dir,
+        &[("SERVE_SLOW_CORNER_MS", "50"), ("SERVE_WORKERS", "1")],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    client.submit_campaign("drill", "job", &spec(8, 2)).unwrap();
+    // Wait for partial progress so the drain has in-flight + queued work.
+    let t0 = Instant::now();
+    loop {
+        let reply = client.poll("drill/job").unwrap();
+        if stat(&reply, "done_chunks") >= 1.0 || t0.elapsed() > Duration::from_secs(30) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    sigterm(&daemon);
+    let code = wait_exit(&mut daemon, Duration::from_secs(30));
+    assert_eq!(code, Some(0), "drain must exit cleanly");
+    assert!(
+        !dir.join("jobs/drill/job/result.csv").exists(),
+        "campaign must not have finished before the drain"
+    );
+    drop(daemon);
+
+    // Restart on the same state dir: journal + manifest resume the job.
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let done = client
+        .wait_job("drill/job", Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+    assert_eq!(done.get("resumed").and_then(Json::as_bool), Some(true));
+    let resumed_csv = std::fs::read(dir.join("jobs/drill/job/result.csv")).unwrap();
+    assert_eq!(
+        resumed_csv, reference,
+        "resumed result differs from uninterrupted run"
+    );
+    let stats = client.stats().unwrap();
+    assert!(stat(&stats, "resumed_jobs") >= 1.0, "{}", stats.render());
+    assert!(
+        stat(&stats, "resumed_chunks_skipped") >= 1.0,
+        "resume should skip the chunks completed before SIGTERM: {}",
+        stats.render()
+    );
+}
+
+#[test]
+fn sigkill_and_restart_loses_zero_accepted_jobs() {
+    let ref_dir = fresh_dir("kill-ref");
+    let reference = {
+        let daemon = spawn_daemon(&ref_dir, &[]);
+        let mut client = Client::connect(&daemon.addr).unwrap();
+        client.submit_campaign("kill", "job", &spec(10, 2)).unwrap();
+        let done = client
+            .wait_job("kill/job", Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(status_of(&done), status::OK);
+        std::fs::read(ref_dir.join("jobs/kill/job/result.csv")).unwrap()
+    };
+
+    let dir = fresh_dir("kill");
+    let mut daemon = spawn_daemon(
+        &dir,
+        &[("SERVE_SLOW_CORNER_MS", "40"), ("SERVE_WORKERS", "1")],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let accept = client.submit_campaign("kill", "job", &spec(10, 2)).unwrap();
+    assert_eq!(status_of(&accept), status::ACCEPTED);
+    // SIGKILL with no warning — the accept above is a durability promise.
+    std::thread::sleep(Duration::from_millis(150));
+    daemon.child.kill().unwrap();
+    let _ = daemon.child.wait();
+    drop(daemon);
+
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let done = client
+        .wait_job("kill/job", Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(
+        status_of(&done),
+        status::OK,
+        "accepted job lost across SIGKILL: {}",
+        done.render()
+    );
+    assert_eq!(done.get("resumed").and_then(Json::as_bool), Some(true));
+    let resumed_csv = std::fs::read(dir.join("jobs/kill/job/result.csv")).unwrap();
+    assert_eq!(resumed_csv, reference, "resume must be byte-identical");
+}
+
+#[test]
+fn loadgen_quick_passes_its_gates_and_writes_report() {
+    let dir = fresh_dir("loadgen");
+    let out = dir.join("BENCH_server.json");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_spicier-loadgen"));
+    for key in SCRUBBED {
+        cmd.env_remove(key);
+    }
+    let output = cmd
+        .arg("--quick")
+        .env("LOADGEN_OUT", &out)
+        .env("LOADGEN_DIR", dir.join("work"))
+        .env("SERVE_BIN", env!("CARGO_BIN_EXE_spicier-serve"))
+        .output()
+        .expect("spicier-loadgen spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "loadgen gates failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    let report = std::fs::read_to_string(&out).expect("BENCH_server.json written");
+    for key in [
+        "shed",
+        "interactive_p99_ms",
+        "lost_jobs",
+        "resume_byte_identical",
+        "slowloris_survived",
+    ] {
+        assert!(report.contains(key), "missing {key} in {report}");
+    }
+}

@@ -65,6 +65,29 @@ impl fmt::Display for Phase {
 struct TokenInner {
     cancelled: AtomicBool,
     expires_at: Option<Instant>,
+    /// Parent token, when this token was derived with [`CancelToken::child`]
+    /// or [`CancelToken::child_with_deadline`]: cancelling the parent
+    /// cancels every descendant, while a child's own deadline or explicit
+    /// cancel never propagates upward.
+    parent: Option<Arc<TokenInner>>,
+}
+
+impl TokenInner {
+    /// Whether an explicit `cancel()` landed on this token or any ancestor.
+    fn flag_set(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        self.parent.as_deref().is_some_and(TokenInner::flag_set)
+    }
+
+    /// Whether this token's expiry, or any ancestor's, has passed.
+    fn expired(&self) -> bool {
+        if self.expires_at.is_some_and(|at| Instant::now() >= at) {
+            return true;
+        }
+        self.parent.as_deref().is_some_and(TokenInner::expired)
+    }
 }
 
 /// Cooperative cancellation handle, cheap to clone and share across
@@ -89,34 +112,131 @@ impl CancelToken {
     /// therefore cancelled — immediately.
     #[must_use]
     pub fn with_deadline(slice: Duration) -> Self {
-        let expires_at = Some(
-            Instant::now()
-                .checked_add(slice)
-                .unwrap_or_else(Instant::now),
-        );
         Self {
             inner: Arc::new(TokenInner {
                 cancelled: AtomicBool::new(false),
-                expires_at,
+                expires_at: Some(deadline_instant(slice)),
+                parent: None,
             }),
         }
     }
 
-    /// Requests cancellation. Every clone of this token observes it.
+    /// Derives a child token: cancelled whenever `self` is, but with its
+    /// own independent flag — cancelling the child leaves `self` (and any
+    /// sibling) untouched.
+    #[must_use]
+    pub fn child(&self) -> CancelToken {
+        Self {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                expires_at: None,
+                parent: Some(self.inner.clone()),
+            }),
+        }
+    }
+
+    /// Derives a child token that additionally auto-cancels `slice` from
+    /// now — the shape every per-corner deadline under an external
+    /// [`CancelHandle`] takes.
+    #[must_use]
+    pub fn child_with_deadline(&self, slice: Duration) -> CancelToken {
+        Self {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                expires_at: Some(deadline_instant(slice)),
+                parent: Some(self.inner.clone()),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Every clone of this token — and every child
+    /// derived from it — observes it.
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation was requested or the expiry (if any) passed.
+    /// Whether cancellation was requested or the expiry (if any) passed,
+    /// on this token or any ancestor.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        if self.inner.cancelled.load(Ordering::Acquire) {
-            return true;
-        }
-        match self.inner.expires_at {
-            Some(at) => Instant::now() >= at,
-            None => false,
-        }
+        self.inner.flag_set() || self.inner.expired()
+    }
+
+    /// Whether an explicit [`cancel`](Self::cancel) call landed on this
+    /// token or an ancestor — distinguishes remote cancellation from a
+    /// deadline quietly expiring, which degraded-outcome reporting needs.
+    #[must_use]
+    pub fn was_cancelled_explicitly(&self) -> bool {
+        self.inner.flag_set()
+    }
+}
+
+fn deadline_instant(slice: Duration) -> Instant {
+    Instant::now()
+        .checked_add(slice)
+        .unwrap_or_else(Instant::now)
+}
+
+/// Cloneable, externally triggerable cancellation source for a sweep or a
+/// served request: the promotion of the sweep-internal corner-deadline
+/// token into a public API.
+///
+/// A `CancelHandle` lives *outside* the threads doing the work — a daemon
+/// connection handler, a drain loop, a test — and is wired in through
+/// `TryMapOptions::cancel` or by deriving per-corner tokens with
+/// [`child_with_deadline`](Self::child_with_deadline) and installing them
+/// via [`with_corner_token`]. Calling [`cancel`](Self::cancel) stops every
+/// solve running under a derived token at its next budget check, from any
+/// thread, fixing the previous "deadline-only" limitation of
+/// `par_try_map_with`.
+#[derive(Debug, Clone, Default)]
+pub struct CancelHandle {
+    token: CancelToken,
+}
+
+impl CancelHandle {
+    /// A fresh, untriggered handle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Triggers cancellation: every token derived from this handle is
+    /// cancelled at its next poll.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Whether [`cancel`](Self::cancel) was called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.token.was_cancelled_explicitly()
+    }
+
+    /// The handle's root token, for callers that want to install it
+    /// directly with [`with_corner_token`].
+    #[must_use]
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Derives a corner token tied to this handle with no extra deadline.
+    #[must_use]
+    pub fn child(&self) -> CancelToken {
+        self.token.child()
+    }
+
+    /// Derives a corner token tied to this handle that also auto-cancels
+    /// after `slice`.
+    #[must_use]
+    pub fn child_with_deadline(&self, slice: Duration) -> CancelToken {
+        self.token.child_with_deadline(slice)
+    }
+}
+
+impl PartialEq for CancelHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.token == other.token
     }
 }
 
@@ -397,6 +517,53 @@ mod tests {
         assert!(t.check().is_ok());
         cancel.cancel();
         assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn child_tokens_observe_parent_cancellation_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let sibling = parent.child();
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must not propagate up");
+        assert!(!sibling.is_cancelled(), "or sideways");
+        parent.cancel();
+        assert!(sibling.is_cancelled());
+        assert!(sibling.was_cancelled_explicitly());
+    }
+
+    #[test]
+    fn child_deadline_expires_independently() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Duration::ZERO);
+        assert!(child.is_cancelled(), "zero slice expires immediately");
+        assert!(
+            !child.was_cancelled_explicitly(),
+            "expiry is not an explicit cancel"
+        );
+        assert!(!parent.is_cancelled());
+        // Expired parent reaches the child too.
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert!(expired.child().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_handle_reaches_derived_corner_tokens() {
+        let handle = CancelHandle::new();
+        let corner = handle.child_with_deadline(Duration::from_secs(3600));
+        assert!(!corner.is_cancelled());
+        let remote = handle.clone();
+        std::thread::spawn(move || remote.cancel()).join().unwrap();
+        assert!(handle.is_cancelled());
+        assert!(corner.is_cancelled());
+        assert!(corner.was_cancelled_explicitly());
+        // The tracker observes it through the TLS install, the way sweep
+        // workers wire it.
+        let tracker = BudgetTracker::new(&RunBudget::unlimited(), Phase::DcSweep);
+        let err = with_corner_token(&corner, || tracker.check()).unwrap_err();
+        assert!(err.is_deadline_exceeded());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! sweep, and a [`SweepReport`] records exactly which corners failed and
 //! why — one diverging corner costs one missing data point, not the run.
 
-use super::budget::{with_corner_token, CancelToken};
+use super::budget::{with_corner_token, CancelHandle, CancelToken};
 use crate::error::Error;
 use crate::telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -118,6 +118,17 @@ pub enum SweepFailure {
         /// tolerance, and condition estimate.
         error: Error,
     },
+    /// The sweep's external [`TryMapOptions::cancel`] handle was triggered:
+    /// the corner was cancelled remotely (client disconnect, drain, an
+    /// operator), as opposed to quietly running out its deadline slice.
+    Cancelled {
+        /// Wall-clock time the corner ran before the cancel landed
+        /// (`Duration::ZERO` when it was cancelled before starting).
+        elapsed: Duration,
+        /// The [`Error::DeadlineExceeded`] that surfaced from the
+        /// interrupted solve; `None` when the corner never ran.
+        error: Option<Error>,
+    },
 }
 
 impl SweepFailure {
@@ -129,6 +140,7 @@ impl SweepFailure {
             SweepFailure::Skipped => "skipped",
             SweepFailure::TimedOut { .. } => "timed-out",
             SweepFailure::Untrusted { .. } => "untrusted",
+            SweepFailure::Cancelled { .. } => "cancelled",
         }
     }
 }
@@ -143,6 +155,10 @@ impl std::fmt::Display for SweepFailure {
                 write!(f, "timed out after {:.3} s: {error}", elapsed.as_secs_f64())
             }
             SweepFailure::Untrusted { error } => write!(f, "quarantined: {error}"),
+            SweepFailure::Cancelled { elapsed, error } => match error {
+                Some(e) => write!(f, "cancelled after {:.3} s: {e}", elapsed.as_secs_f64()),
+                None => f.write_str("cancelled before start"),
+            },
         }
     }
 }
@@ -190,6 +206,16 @@ impl SweepReport {
             .count()
     }
 
+    /// Number of corners cancelled through the sweep's external
+    /// [`TryMapOptions::cancel`] handle ([`SweepFailure::Cancelled`]).
+    #[must_use]
+    pub fn cancelled(&self) -> usize {
+        self.failures
+            .iter()
+            .filter(|f| matches!(f.failure, SweepFailure::Cancelled { .. }))
+            .count()
+    }
+
     /// One-line summary, e.g.
     /// `"38/40 corners ok in 2.1 s (1 solver failure, 1 panicked)"`.
     #[must_use]
@@ -206,6 +232,7 @@ impl SweepReport {
         let mut skipped = 0usize;
         let mut timed_out = 0usize;
         let mut quarantined = 0usize;
+        let mut cancelled = 0usize;
         for fail in &self.failures {
             match fail.failure {
                 SweepFailure::Solver(_) => solver += 1,
@@ -213,6 +240,7 @@ impl SweepReport {
                 SweepFailure::Skipped => skipped += 1,
                 SweepFailure::TimedOut { .. } => timed_out += 1,
                 SweepFailure::Untrusted { .. } => quarantined += 1,
+                SweepFailure::Cancelled { .. } => cancelled += 1,
             }
         }
         let mut parts = Vec::new();
@@ -233,6 +261,9 @@ impl SweepReport {
         }
         if quarantined > 0 {
             parts.push(format!("{quarantined} quarantined"));
+        }
+        if cancelled > 0 {
+            parts.push(format!("{cancelled} cancelled"));
         }
         format!(
             "{}/{} corners ok in {:.1} s ({})",
@@ -266,6 +297,14 @@ pub struct TryMapOptions {
     /// determinism tests pin this to compare single- and multi-worker
     /// runs of the same sweep.
     pub max_workers: Option<usize>,
+    /// External cancellation source for the whole sweep. Per-corner tokens
+    /// are derived from it, so triggering the handle from *any* thread —
+    /// a daemon connection handler reacting to a client disconnect, a
+    /// drain loop, a test — stops in-flight solves at their next budget
+    /// check and records the remaining corners as
+    /// [`SweepFailure::Cancelled`] (distinguishable from
+    /// [`SweepFailure::TimedOut`], whose deadline merely expired).
+    pub cancel: Option<CancelHandle>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -339,6 +378,31 @@ where
             loop {
                 let item = lock(&queue).pop();
                 let Some((idx, value)) = item else { break };
+                if opts.cancel.as_ref().is_some_and(CancelHandle::is_cancelled) {
+                    // The sweep was cancelled externally; corners not yet
+                    // started are recorded without running, like Skipped,
+                    // but with the cancellation cause.
+                    if telemetry::enabled() {
+                        telemetry::event(
+                            "corner_failed",
+                            &[
+                                ("index", idx.into()),
+                                ("worker", worker_id.into()),
+                                ("kind", "cancelled".into()),
+                                ("attempts", 0usize.into()),
+                            ],
+                        );
+                    }
+                    lock(&failed).push(CornerFailure {
+                        index: idx,
+                        attempts: 0,
+                        failure: SweepFailure::Cancelled {
+                            elapsed: Duration::ZERO,
+                            error: None,
+                        },
+                    });
+                    continue;
+                }
                 if opts.budget.is_some_and(|b| started.elapsed() >= b) {
                     if telemetry::enabled() {
                         telemetry::event(
@@ -362,8 +426,15 @@ where
                 let mut last = SweepFailure::Skipped;
                 let corner_started = Instant::now();
                 // One deadline slice covers all of the corner's attempts:
-                // the token expires on wall clock, not per retry.
-                let token = opts.corner_deadline.map(CancelToken::with_deadline);
+                // the token expires on wall clock, not per retry. With an
+                // external handle wired in, the corner token is derived
+                // from it so a remote cancel lands mid-solve.
+                let token = match (&opts.cancel, opts.corner_deadline) {
+                    (Some(handle), Some(slice)) => Some(handle.child_with_deadline(slice)),
+                    (Some(handle), None) => Some(handle.child()),
+                    (None, Some(slice)) => Some(CancelToken::with_deadline(slice)),
+                    (None, None) => None,
+                };
                 let outcome = loop {
                     attempts += 1;
                     let mut attempt = || catch_unwind(AssertUnwindSafe(|| f(&mut scratch, &value)));
@@ -378,9 +449,21 @@ where
                             // the workspace may hold partial state, so
                             // rebuild it. Non-retriable: the slice is spent.
                             scratch = init();
-                            last = SweepFailure::TimedOut {
-                                elapsed: corner_started.elapsed(),
-                                error: e,
+                            // An explicit trigger on the external handle is
+                            // a remote cancel; otherwise the corner's own
+                            // deadline slice ran out.
+                            let remote =
+                                opts.cancel.as_ref().is_some_and(CancelHandle::is_cancelled);
+                            last = if remote {
+                                SweepFailure::Cancelled {
+                                    elapsed: corner_started.elapsed(),
+                                    error: Some(e),
+                                }
+                            } else {
+                                SweepFailure::TimedOut {
+                                    elapsed: corner_started.elapsed(),
+                                    error: e,
+                                }
                             };
                             break None;
                         }
@@ -712,6 +795,103 @@ mod tests {
             report.summary().contains("1 quarantined"),
             "{}",
             report.summary()
+        );
+    }
+
+    #[test]
+    fn pre_triggered_cancel_handle_cancels_every_corner_without_running() {
+        let handle = CancelHandle::new();
+        handle.cancel();
+        let opts = TryMapOptions {
+            cancel: Some(handle),
+            retries: 2,
+            ..TryMapOptions::default()
+        };
+        let calls = AtomicUsize::new(0);
+        let (out, report) = par_try_map((0..5).collect(), &opts, |&i: &i32| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(i)
+        });
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "no corner may run");
+        assert_eq!(report.cancelled(), 5);
+        for fail in &report.failures {
+            assert_eq!(fail.attempts, 0);
+            assert!(matches!(
+                fail.failure,
+                SweepFailure::Cancelled { error: None, .. }
+            ));
+            assert_eq!(fail.failure.to_string(), "cancelled before start");
+        }
+        assert!(
+            report.summary().contains("5 cancelled"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn remote_cancel_mid_solve_is_distinguished_from_timeout() {
+        use crate::analysis::budget::{BudgetTracker, Phase, RunBudget};
+        let handle = CancelHandle::new();
+        let opts = TryMapOptions {
+            cancel: Some(handle.clone()),
+            max_workers: Some(2),
+            ..TryMapOptions::default()
+        };
+        // Each corner polls its corner token the way budgeted solves do;
+        // the handle fires from outside the sweep threads after the first
+        // poll, so every corner is interrupted mid-"solve".
+        let (out, report) =
+            par_try_map((0..4).collect(), &opts, |&i: &i32| -> Result<i32, Error> {
+                let tracker = BudgetTracker::new(&RunBudget::unlimited(), Phase::DcSweep);
+                handle.cancel();
+                loop {
+                    tracker.check()?;
+                    let _ = i;
+                }
+            });
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(report.succeeded, 0);
+        assert!(report.cancelled() >= 1, "{}", report.summary());
+        for fail in &report.failures {
+            match &fail.failure {
+                SweepFailure::Cancelled { error, .. } => {
+                    if fail.attempts > 0 {
+                        assert!(error.as_ref().is_some_and(Error::is_deadline_exceeded));
+                        assert!(fail.failure.to_string().starts_with("cancelled after"));
+                    }
+                }
+                other => panic!("expected cancelled, got {other}"),
+            }
+        }
+        assert!(
+            report.summary().contains("cancelled"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn corner_deadline_without_handle_still_reports_timeout() {
+        // Regression guard: wiring `cancel` must not reclassify plain
+        // deadline expiries as cancellations.
+        use crate::analysis::budget::{BudgetTracker, Phase, RunBudget};
+        let opts = TryMapOptions {
+            corner_deadline: Some(Duration::ZERO),
+            cancel: Some(CancelHandle::new()),
+            ..TryMapOptions::default()
+        };
+        let (_, report) = par_try_map(vec![0], &opts, |&i: &i32| {
+            let tracker = BudgetTracker::new(&RunBudget::unlimited(), Phase::DcSweep);
+            tracker.check()?;
+            Ok(i)
+        });
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            matches!(report.failures[0].failure, SweepFailure::TimedOut { .. }),
+            "{}",
+            report.failures[0].failure
         );
     }
 

@@ -36,6 +36,8 @@ thread_local! {
     static HANG_DEPTH: Cell<u32> = const { Cell::new(0) };
     static NAN_DEPTH: Cell<u32> = const { Cell::new(0) };
     static PERTURB_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static DROP_CLIENT_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static SLOW_CLIENT_MS: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 fn env_flag(name: &str) -> bool {
@@ -116,6 +118,70 @@ pub(crate) fn hang_beat() {
     std::thread::sleep(Duration::from_micros(200));
 }
 
+// ---------------------------------------------------------------------
+// Client-side network chaos, consumed by the campaign-server client and
+// load generator to exercise the daemon's disconnect and slowloris
+// defenses deterministically.
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&v| v > 0)
+}
+
+fn env_drop_client() -> Option<u64> {
+    static VAL: OnceLock<Option<u64>> = OnceLock::new();
+    *VAL.get_or_init(|| env_u64("CHAOS_DROP_CLIENT"))
+}
+
+fn env_slow_client() -> Option<u64> {
+    static VAL: OnceLock<Option<u64>> = OnceLock::new();
+    *VAL.get_or_init(|| env_u64("CHAOS_SLOW_CLIENT_MS"))
+}
+
+/// Runs `f` with client-drop injection active on this thread: the request
+/// client truncates its next frame mid-write and severs the connection,
+/// modelling a client that vanishes while talking to the daemon.
+pub fn with_drop_client<R>(f: impl FnOnce() -> R) -> R {
+    DROP_CLIENT_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = DepthGuard(&DROP_CLIENT_DEPTH);
+    f()
+}
+
+/// Runs `f` with slowloris injection active on this thread: the request
+/// client trickles frame bytes with `ms` milliseconds between writes,
+/// modelling a client slow enough to hold a server read slot hostage.
+pub fn with_slow_client<R>(ms: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SLOW_CLIENT_MS.with(|v| v.set(self.0));
+        }
+    }
+    let prev = SLOW_CLIENT_MS.with(|v| v.replace(Some(ms)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// `CHAOS_DROP_CLIENT=N` (or a scoped [`with_drop_client`]): the request
+/// client should sever every `N`-th connection mid-frame. The scoped
+/// guard reads as "every request" (`Some(1)`).
+#[must_use]
+pub fn drop_client_every() -> Option<u64> {
+    if DROP_CLIENT_DEPTH.with(Cell::get) > 0 {
+        return Some(1);
+    }
+    env_drop_client()
+}
+
+/// Per-byte write delay for slowloris injection, from a scoped
+/// [`with_slow_client`] or `CHAOS_SLOW_CLIENT_MS`.
+#[must_use]
+pub fn slow_client_ms() -> Option<u64> {
+    SLOW_CLIENT_MS.with(Cell::get).or_else(env_slow_client)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +204,20 @@ mod tests {
             assert!(!hang_active());
         });
         assert!(!perturb_lu_active());
+    }
+
+    #[test]
+    fn client_chaos_guards_scope_and_restore() {
+        assert_eq!(drop_client_every(), None);
+        with_drop_client(|| assert_eq!(drop_client_every(), Some(1)));
+        assert_eq!(drop_client_every(), None);
+        assert_eq!(slow_client_ms(), None);
+        with_slow_client(7, || {
+            assert_eq!(slow_client_ms(), Some(7));
+            with_slow_client(3, || assert_eq!(slow_client_ms(), Some(3)));
+            assert_eq!(slow_client_ms(), Some(7));
+        });
+        assert_eq!(slow_client_ms(), None);
     }
 
     #[test]
