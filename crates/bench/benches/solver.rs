@@ -7,7 +7,7 @@
 //! the next session can compare runs without scraping stdout. Set
 //! `BENCH_QUICK=1` for the trimmed smoke run.
 
-use cml_bench::microbench::{run_benches, take_records, write_json_report, Harness};
+use cml_bench::microbench::{quick_mode, run_benches, take_records, write_json_report, Harness};
 use cml_cells::{CmlCircuitBuilder, CmlProcess};
 use spicier::analysis::dc::{operating_point, DcOptions};
 use spicier::analysis::tran::{transient, TranOptions};
@@ -192,6 +192,65 @@ fn bench_cutoff(c: &mut Harness) {
 /// check exactly as the hot call sites write it (one relaxed atomic load
 /// per solve), `traced` runs the same loop inside `with_trace` with the
 /// event actually recorded. CI asserts `gated/baseline` stays under 2%.
+/// Structure-aware scaling (DESIGN.md §3.7): repeated cached solves on
+/// the generator-shaped chain matrix at 640/2560/10240 unknowns, on
+/// three solve paths — natural-order Gilbert–Peierls, min-degree
+/// ordered, and the BBD partition. The natural order goes superlinear
+/// with the hub fill (so it is only measured through 2560); the ordered
+/// and BBD paths record the scaling trajectory CI gates on.
+fn bench_scaling(c: &mut Harness) {
+    use spicier::linalg::sparse::SparseSolver;
+    let quick = quick_mode();
+    let mut group = c.benchmark_group("scaling");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let dims: &[usize] = if quick {
+        &[640, 2560]
+    } else {
+        &[640, 2560, 10240]
+    };
+    for &n in dims {
+        let t = chain_matrix(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        if n <= 2560 {
+            // Natural order: hub fill makes this path quadratic-ish; at
+            // 10240 a single sample would dominate the whole bench run.
+            group.bench_with_input(format!("gp_unordered/{n}"), &t, |bench, t| {
+                let mut solver = SparseSolver::default();
+                solver.force_ordering(false);
+                solver.force_bbd(false);
+                bench.iter(|| {
+                    let mut rhs = b.clone();
+                    solver.solve_in_place(t, &mut rhs).expect("nonsingular");
+                    rhs
+                })
+            });
+        }
+        group.bench_with_input(format!("ordered/{n}"), &t, |bench, t| {
+            let mut solver = SparseSolver::default();
+            solver.force_ordering(true);
+            solver.force_bbd(false);
+            bench.iter(|| {
+                let mut rhs = b.clone();
+                solver.solve_in_place(t, &mut rhs).expect("nonsingular");
+                rhs
+            })
+        });
+        group.bench_with_input(format!("bbd/{n}"), &t, |bench, t| {
+            let mut solver = SparseSolver::default();
+            solver.force_bbd(true);
+            bench.iter(|| {
+                let mut rhs = b.clone();
+                solver.solve_in_place(t, &mut rhs).expect("nonsingular");
+                rhs
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_telemetry(c: &mut Harness) {
     let mut group = c.benchmark_group("telemetry");
     group
@@ -285,6 +344,7 @@ fn main() {
         ("bench_lu", bench_lu as fn(&mut Harness)),
         ("bench_refactor", bench_refactor as fn(&mut Harness)),
         ("bench_cutoff", bench_cutoff as fn(&mut Harness)),
+        ("bench_scaling", bench_scaling as fn(&mut Harness)),
         ("bench_telemetry", bench_telemetry as fn(&mut Harness)),
         (
             "bench_circuit_kernels",
@@ -336,6 +396,56 @@ fn main() {
     metrics.push(("fig3_matrix_nnz", a.nnz() as f64));
     metrics.push(("fig3_factor_nnz", lu.factor_nnz() as f64));
     metrics.push(("dense_cutoff", DENSE_CUTOFF as f64));
+
+    // Structure-aware scaling trajectory (DESIGN.md §3.7): the dim-640
+    // repeated-solve medians CI gates on, plus the large-dim ordered
+    // trajectory.
+    let find_id = |group: &str, id: String| {
+        records
+            .iter()
+            .find(|r| r.group == group && r.id == id)
+            .map(|r| r.median_ns as f64)
+    };
+    let gp640 = find_id("scaling", "gp_unordered/640".to_string());
+    let ord640 = find_id("scaling", "ordered/640".to_string());
+    if let Some(gp) = gp640 {
+        metrics.push(("dim640_gp_ns", gp));
+    }
+    if let Some(ord) = ord640 {
+        metrics.push(("dim640_ordered_ns", ord));
+    }
+    if let (Some(gp), Some(ord)) = (gp640, ord640) {
+        metrics.push(("dim640_ordered_speedup", gp / ord));
+    }
+    if let Some(bbd) = find_id("scaling", "bbd/640".to_string()) {
+        metrics.push(("dim640_bbd_ns", bbd));
+    }
+    for n in [2560usize, 10240] {
+        if let Some(v) = find_id("scaling", format!("ordered/{n}")) {
+            metrics.push(match n {
+                2560 => ("ordered_2560_ns", v),
+                _ => ("ordered_10240_ns", v),
+            });
+        }
+    }
+
+    // Crossover-band assertion for DENSE_CUTOFF (satellite of the §3.7
+    // recalibration): every measured size above the cutoff must favor
+    // the cached sparse path within measurement slack. Same-run ratios,
+    // so machine speed cancels; quick mode gets a loose band because
+    // 100 ms sampling is noisy.
+    let slack = if quick_mode() { 2.0 } else { 1.3 };
+    for n in [40usize, 80, 160] {
+        let dense = find_id("cutoff", format!("dense_cached/{n}"));
+        let sparse = find_id("cutoff", format!("sparse_cached/{n}"));
+        if let (Some(d), Some(s)) = (dense, sparse) {
+            assert!(
+                s <= d * slack,
+                "DENSE_CUTOFF = {DENSE_CUTOFF} is outside the measured crossover band: \
+                 cached sparse {s:.0} ns vs dense {d:.0} ns at dim {n} (slack {slack})"
+            );
+        }
+    }
 
     // Anchor at the workspace root: cargo runs benches with the package
     // directory as cwd, which would bury the report in crates/bench/.

@@ -66,8 +66,10 @@ impl Bencher {
             {
                 break;
             }
-            // Hard cap so a grossly mis-sized bench cannot hang a run.
-            if started.elapsed() >= self.measurement_time * 10 {
+            // Hard cap so a grossly mis-sized bench cannot hang a run —
+            // but never with fewer than 3 samples, the floor below which
+            // a median is just the min and the report is meaningless.
+            if self.samples.len() >= 3 && started.elapsed() >= self.measurement_time * 10 {
                 break;
             }
         }
@@ -84,9 +86,10 @@ pub struct Group {
 
 impl Group {
     /// Minimum number of timed iterations per benchmark (capped in quick
-    /// mode).
+    /// mode, never below 3 — a median needs at least that to be more
+    /// than the min sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = if self.quick { n.clamp(1, 5) } else { n.max(1) };
+        self.sample_size = if self.quick { n.clamp(3, 5) } else { n.max(3) };
         self
     }
 
@@ -160,21 +163,36 @@ impl Harness {
 
 fn report(group: &str, id: &str, samples: &mut [Duration]) {
     samples.sort_unstable();
-    let median = samples[samples.len() / 2];
+    let median_ns = median_ns_of(samples);
     let min = samples[0];
     println!(
         "{group}/{id:<40} median {:>12}  min {:>12}  ({} samples)",
-        fmt_duration(median),
-        fmt_duration(min),
+        fmt_ns(median_ns),
+        fmt_ns(min.as_nanos()),
         samples.len()
     );
     RECORDS.lock().expect("records lock").push(BenchRecord {
         group: group.to_string(),
         id: id.to_string(),
-        median_ns: median.as_nanos(),
+        median_ns,
         min_ns: min.as_nanos(),
         samples: samples.len(),
     });
+}
+
+/// Median of sorted samples, in nanoseconds: the middle element for odd
+/// lengths, the midpoint of the two middle elements for even lengths.
+/// (The old `samples[len / 2]` picked the *upper* of the two middle
+/// samples, biasing every even-length report high — by half the
+/// inter-sample gap, which on noisy short runs is not small.)
+fn median_ns_of(sorted: &[Duration]) -> u128 {
+    let len = sorted.len();
+    assert!(len > 0, "median of an empty sample set");
+    if len % 2 == 1 {
+        sorted[len / 2].as_nanos()
+    } else {
+        (sorted[len / 2 - 1].as_nanos() + sorted[len / 2].as_nanos()) / 2
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -243,8 +261,7 @@ pub fn write_json_report(
     std::fs::rename(&tmp, path)
 }
 
-fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
+fn fmt_ns(ns: u128) -> String {
     if ns < 1_000 {
         format!("{ns} ns")
     } else if ns < 1_000_000 {
@@ -300,9 +317,53 @@ mod tests {
     }
 
     #[test]
+    fn median_is_true_midpoint_for_even_lengths() {
+        let ns = |v: u64| Duration::from_nanos(v);
+        // Odd: middle element.
+        assert_eq!(median_ns_of(&[ns(1), ns(5), ns(100)]), 5);
+        // Even: midpoint of the two middle samples, not the upper one.
+        assert_eq!(median_ns_of(&[ns(10), ns(20), ns(30), ns(100)]), 25);
+        assert_eq!(median_ns_of(&[ns(10), ns(20)]), 15);
+        assert_eq!(median_ns_of(&[ns(7)]), 7);
+    }
+
+    #[test]
+    fn quick_mode_sample_size_floor_is_three() {
+        let mut g = Group {
+            name: "t".to_string(),
+            sample_size: 5,
+            measurement_time: Duration::from_millis(1),
+            quick: true,
+        };
+        // A quick-mode request for 1 sample must still take 3: the old
+        // clamp(1, 5) let quick runs report a "median" of one sample.
+        g.sample_size(1);
+        assert_eq!(g.sample_size, 3);
+        g.sample_size(20);
+        assert_eq!(g.sample_size, 5);
+        let mut full = Group { quick: false, ..g };
+        full.sample_size(1);
+        assert_eq!(full.sample_size, 3);
+    }
+
+    #[test]
+    fn hard_cap_never_stops_below_three_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 50,
+            measurement_time: Duration::ZERO,
+        };
+        // measurement_time * 10 == 0, so the hard cap fires on every
+        // check; the floor must still force 3 samples before it can
+        // stop the run (the old cap could exit after a single one).
+        b.iter(|| std::thread::sleep(Duration::from_micros(10)));
+        assert!(b.samples.len() >= 3, "{}", b.samples.len());
+    }
+
+    #[test]
     fn duration_formatting() {
-        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
-        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
-        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(1_500_000), "1.50 ms");
+        assert!(fmt_ns(2_000_000_000).ends_with(" s"));
     }
 }

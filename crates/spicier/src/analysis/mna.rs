@@ -8,8 +8,8 @@
 //! active integration method. Junction-voltage limiting (`pnjlim`) is
 //! applied inside the assembly so the Newton loop above stays generic.
 
-use crate::devices::{pnjlim, BjtModel};
-use crate::linalg::{AutoSolver, Triplets};
+use crate::devices::{pnjlim, BjtBatch, BjtEval, BjtModel};
+use crate::linalg::{AutoSolver, Triplets, EXPERIMENT_DENSE_CUTOFF};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::VT_300K;
 
@@ -22,9 +22,12 @@ use crate::VT_300K;
 /// consecutive solves of the same circuit: every rung of the DC recovery
 /// ladder, every Newton iteration of a transient run, every point of a
 /// source sweep, or every corner a sweep worker processes.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SolveWorkspace {
-    /// Linear solver, dense or sparse by system size.
+    /// Linear solver, dense or sparse by system size. Pinned to
+    /// [`EXPERIMENT_DENSE_CUTOFF`] so published experiment baselines keep
+    /// seeing the same kernel (and the same rounding) they were recorded
+    /// with, independent of the measured-crossover default.
     pub solver: AutoSolver,
     /// Triplet accumulator reused across assemblies.
     pub triplets: Triplets,
@@ -32,11 +35,17 @@ pub struct SolveWorkspace {
     pub rhs: Vec<f64>,
 }
 
+impl Default for SolveWorkspace {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl SolveWorkspace {
     /// Creates a workspace sized for a `dim`-unknown system.
     pub fn new(dim: usize) -> Self {
         Self {
-            solver: AutoSolver::new(),
+            solver: AutoSolver::with_cutoff(EXPERIMENT_DENSE_CUTOFF),
             triplets: Triplets::new(dim),
             rhs: Vec::with_capacity(dim),
         }
@@ -125,6 +134,11 @@ pub struct Assembler<'c> {
     junction_offset: Vec<usize>,
     /// Whether the last assembly clamped any junction voltage.
     limited: bool,
+    /// Struct-of-arrays batch of every BJT in element order: all
+    /// transistor evaluations for one Newton iteration run in one pass
+    /// over parallel arrays before the stamping loop (bit-identical per
+    /// lane to the scalar `BjtModel::eval`, see `devices::batch`).
+    bjt_batch: BjtBatch,
 }
 
 fn charge_slots(e: &Element) -> usize {
@@ -165,11 +179,15 @@ impl<'c> Assembler<'c> {
         let mut junction_offset = Vec::with_capacity(elements.len());
         let mut n_charges = 0;
         let mut n_junctions = 0;
+        let mut bjt_batch = BjtBatch::new();
         for (_, e) in elements {
             charge_offset.push(n_charges);
             junction_offset.push(n_junctions);
             n_charges += charge_slots(e);
             n_junctions += junction_slots(e);
+            if let Element::Bjt { model, .. } = e {
+                bjt_batch.push_model(model);
+            }
         }
         Self {
             circuit,
@@ -181,6 +199,7 @@ impl<'c> Assembler<'c> {
             junction_offset,
             junctions: vec![0.0; n_junctions],
             limited: false,
+            bjt_batch,
         }
     }
 
@@ -303,6 +322,36 @@ impl<'c> Assembler<'c> {
             }
         }
 
+        // Batched BJT phase: gather + limit every transistor's junction
+        // voltages (limiting is per-slot and the `limited` flag an OR, so
+        // hoisting it out of the stamping loop is value-identical), then
+        // evaluate all devices in one SoA pass. The stamping loop below
+        // reads the results back by lane.
+        if !self.bjt_batch.is_empty() {
+            let mut lane = 0usize;
+            for (e_idx, (_, element)) in self.circuit.element_slice().iter().enumerate() {
+                if let Element::Bjt {
+                    collector,
+                    base,
+                    emitter,
+                    model,
+                } = element
+                {
+                    let s = model.polarity.sign();
+                    let j_off = self.junction_offset[e_idx];
+                    let vcrit = model.vcrit();
+                    let vbe_raw = s * (v_of(x, *base) - v_of(x, *emitter));
+                    let vbc_raw = s * (v_of(x, *base) - v_of(x, *collector));
+                    let vbe = self.limit_junction(j_off, vbe_raw, vcrit, VT_300K);
+                    let vbc = self.limit_junction(j_off + 1, vbc_raw, vcrit, VT_300K);
+                    self.bjt_batch.set_bias(lane, vbe, vbc);
+                    lane += 1;
+                }
+            }
+            self.bjt_batch.eval_all();
+        }
+
+        let mut bjt_lane = 0usize;
         for (e_idx, (_, element)) in self.circuit.element_slice().iter().enumerate() {
             match element {
                 Element::Resistor { p, n, value } => {
@@ -402,8 +451,14 @@ impl<'c> Assembler<'c> {
                     emitter,
                     model,
                 } => {
+                    let j_off = self.junction_offset[e_idx];
+                    let vbe = self.junctions[j_off];
+                    let vbc = self.junctions[j_off + 1];
+                    let eval = self.bjt_batch.eval_of(bjt_lane);
+                    bjt_lane += 1;
                     self.stamp_bjt(
-                        x, mode, triplets, rhs, e_idx, *collector, *base, *emitter, model,
+                        mode, triplets, rhs, e_idx, *collector, *base, *emitter, model, vbe, vbc,
+                        eval,
                     );
                 }
                 Element::Vcvs { p, n, cp, cn, gain } => {
@@ -445,10 +500,12 @@ impl<'c> Assembler<'c> {
         v_lim
     }
 
+    /// Stamps one BJT from its already-limited junction voltages and its
+    /// batched evaluation (see the batched phase in
+    /// [`assemble`](Self::assemble)).
     #[allow(clippy::too_many_arguments)]
     fn stamp_bjt(
         &mut self,
-        x: &[f64],
         mode: &EvalMode,
         triplets: &mut Triplets,
         rhs: &mut [f64],
@@ -457,15 +514,11 @@ impl<'c> Assembler<'c> {
         base: NodeId,
         emitter: NodeId,
         model: &BjtModel,
+        vbe: f64,
+        vbc: f64,
+        eval: BjtEval,
     ) {
         let s = model.polarity.sign();
-        let j_off = self.junction_offset[e_idx];
-        let vcrit = model.vcrit();
-        let vbe_raw = s * (v_of(x, base) - v_of(x, emitter));
-        let vbc_raw = s * (v_of(x, base) - v_of(x, collector));
-        let vbe = self.limit_junction(j_off, vbe_raw, vcrit, VT_300K);
-        let vbc = self.limit_junction(j_off + 1, vbc_raw, vcrit, VT_300K);
-        let eval = model.eval(vbe, vbc);
 
         // Actual terminal currents (current into each terminal is positive
         // out of the node for KCL): normalized → actual with polarity sign.

@@ -8,9 +8,11 @@
 //! paper's behaviour depends on (VBE ≈ 900 mV at operating current, current
 //! steering, saturation clamping of excessive swings).
 
+pub mod batch;
 pub mod bjt;
 pub mod diode;
 
+pub use batch::BjtBatch;
 pub use bjt::{BjtEval, BjtModel, Polarity};
 pub use diode::{DiodeEval, DiodeModel};
 

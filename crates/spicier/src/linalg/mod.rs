@@ -15,8 +15,10 @@
 //! Both kernels implement [`Solver`], and [`AutoSolver`] picks between them
 //! by size. The sparse kernel is property-tested against the dense one.
 
+pub mod bbd;
 pub mod complex;
 pub mod dense;
+pub mod order;
 pub mod sparse;
 pub mod verify;
 
@@ -28,20 +30,34 @@ pub use verify::SolveQuality;
 use crate::error::Error;
 
 /// Unknown-count threshold above which [`AutoSolver`] switches from the
-/// dense kernel to the sparse kernel.
+/// dense kernel to the sparse kernel, calibrated against the cutoff bench
+/// (`cargo bench -p cml-bench --bench solver -- cutoff`): with the
+/// cached-pattern refactorization fast path the sparse kernel wins on
+/// circuit-like sparsity at every measured size from 20 unknowns up —
+/// including the assembled FIG3-chain stamps at 32 unknowns — so the
+/// crossover sits at the bottom of the measured band. The bench asserts
+/// this constant stays inside the measured crossover band, so a kernel
+/// regression that moves the crossover shows up as a bench failure rather
+/// than silent mis-selection.
 ///
-/// Recalibration status (see DESIGN.md §3.2 for the measurements): with
-/// the cached-pattern refactorization fast path, the sparse kernel now
-/// wins on circuit-like sparsity at every measured size from 20 unknowns
-/// up — including the assembled FIG3-chain stamps at 32 unknowns (≈ 1.3×
-/// faster than the cached dense kernel), so the performance crossover is
-/// well below 80. The value is nevertheless kept at 80: moving circuits
-/// across the cutoff changes which kernel's rounding they see, and the
-/// adaptive transient step control amplifies that last-bit difference
-/// into different time grids and recovery-ladder decisions (observed on
-/// fig7/robustness artifacts), breaking byte-stable experiment baselines.
-/// Lower this only together with a deliberate baseline refresh.
-pub const DENSE_CUTOFF: usize = 80;
+/// Existing experiment pipelines do NOT use this value: they pin
+/// [`EXPERIMENT_DENSE_CUTOFF`] instead, because moving circuits across
+/// the cutoff changes which kernel's rounding they see and breaks
+/// byte-stable baselines.
+pub const DENSE_CUTOFF: usize = 20;
+
+/// Kernel-selection threshold pinned by the experiment pipelines
+/// (`SolveWorkspace`), frozen at the historical value of 80.
+///
+/// The measured performance crossover is [`DENSE_CUTOFF`] = 20, but
+/// moving a circuit across the cutoff changes which kernel's rounding it
+/// sees, and the adaptive transient step control amplifies that last-bit
+/// difference into different time grids and recovery-ladder decisions
+/// (observed on fig7/robustness artifacts), breaking byte-stable
+/// experiment baselines. Analyses therefore construct their solver with
+/// [`AutoSolver::with_cutoff`]`(EXPERIMENT_DENSE_CUTOFF)`. Lower this
+/// only together with a deliberate baseline refresh.
+pub const EXPERIMENT_DENSE_CUTOFF: usize = 80;
 
 /// A linear solver for `A x = b` where `A` is assembled from triplets.
 pub trait Solver {
@@ -56,17 +72,42 @@ pub trait Solver {
 
 /// Chooses the dense kernel for small systems and the sparse kernel for
 /// large ones; reuses workspace between calls.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AutoSolver {
     dense: dense::DenseSolver,
     sparse: sparse::SparseSolver,
     last_quality: SolveQuality,
+    cutoff: usize,
+}
+
+impl Default for AutoSolver {
+    fn default() -> Self {
+        Self::with_cutoff(DENSE_CUTOFF)
+    }
 }
 
 impl AutoSolver {
-    /// Creates a solver with empty workspaces.
+    /// Creates a solver with empty workspaces and the measured
+    /// [`DENSE_CUTOFF`] kernel-selection threshold.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a solver that switches kernels at `cutoff` unknowns
+    /// instead of [`DENSE_CUTOFF`]. The experiment pipelines pass
+    /// [`EXPERIMENT_DENSE_CUTOFF`] to keep their baselines byte-stable.
+    pub fn with_cutoff(cutoff: usize) -> Self {
+        Self {
+            dense: dense::DenseSolver::default(),
+            sparse: sparse::SparseSolver::default(),
+            last_quality: SolveQuality::default(),
+            cutoff,
+        }
+    }
+
+    /// The kernel-selection threshold this solver was built with.
+    pub fn cutoff(&self) -> usize {
+        self.cutoff
     }
 
     /// Certification record of the most recent successful solve
@@ -76,7 +117,7 @@ impl AutoSolver {
     }
 
     /// Merged kernel counters from whichever kernels this solver has
-    /// used so far (dense below [`DENSE_CUTOFF`], sparse above).
+    /// used so far (dense at or below the cutoff, sparse above).
     /// Telemetry snapshots this before and after an analysis and
     /// reports the delta.
     pub fn stats(&self) -> LuStats {
@@ -88,7 +129,7 @@ impl AutoSolver {
 
 impl Solver for AutoSolver {
     fn solve_in_place(&mut self, triplets: &Triplets, rhs: &mut [f64]) -> Result<(), Error> {
-        if triplets.dim() <= DENSE_CUTOFF {
+        if triplets.dim() <= self.cutoff {
             self.dense.solve_in_place(triplets, rhs)?;
             self.last_quality = self.dense.last_quality();
         } else {

@@ -11,11 +11,46 @@
 // the mathematical objects (pivot rows, column positions).
 #![allow(clippy::needless_range_loop)]
 
+use super::bbd::{BbdSolver, BbdStats};
+use super::order::min_degree_pinv;
 use super::{verify, verify::SolveQuality, Solver};
 use crate::error::Error;
 
 /// Smallest pivot magnitude accepted before the matrix is declared singular.
 const PIVOT_FLOOR: f64 = 1e-13;
+
+/// Unknown count from which [`SparseSolver`] applies the fill-reducing
+/// ordering (and, when enabled, attempts the BBD partition) automatically.
+/// Below this the natural MNA order's fill is already near-optimal on
+/// circuit sparsity and the permuted scatter would be pure overhead —
+/// and, critically, every circuit in the frozen experiment baselines sits
+/// far below it, so the new solve paths cannot perturb baseline bytes.
+/// Override with `SPICIER_ORDERING=1`/`0` or the
+/// [`force_ordering`](SparseSolver::force_ordering) /
+/// [`force_bbd`](SparseSolver::force_bbd) setters.
+pub const ORDERING_MIN_DIM: usize = 1024;
+
+/// `SPICIER_ORDERING` knob: `"0"` forces the natural order, `"1"` forces
+/// the minimum-degree ordering at every size, unset defers to the
+/// [`ORDERING_MIN_DIM`] auto threshold. Read once per process.
+fn ordering_env() -> Option<bool> {
+    static KNOB: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    *KNOB.get_or_init(|| match std::env::var("SPICIER_ORDERING") {
+        Ok(v) if v == "0" => Some(false),
+        Ok(v) if v == "1" => Some(true),
+        _ => None,
+    })
+}
+
+/// `SPICIER_BBD` knob: any value other than `"0"` arms the
+/// bordered-block-diagonal path for systems at or above
+/// [`ORDERING_MIN_DIM`] unknowns. Off by default — the certified LU path
+/// with ordering is the reference; BBD is the structure-exploiting
+/// accelerator. Read once per process.
+fn bbd_env() -> bool {
+    static KNOB: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *KNOB.get_or_init(|| matches!(std::env::var("SPICIER_BBD"), Ok(v) if v != "0"))
+}
 
 /// Coordinate-format accumulator for assembling MNA matrices.
 ///
@@ -130,6 +165,50 @@ impl SparseMatrix {
     /// Number of stored nonzeros.
     pub fn nnz(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Column-pointer array of the CSC pattern (`dim() + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index of each stored nonzero, column-major.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Value of each stored nonzero, parallel to [`rows`](Self::rows).
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable view of the stored values, for in-place numeric refresh on
+    /// a fixed pattern (the BBD block pool reuses local matrices this way
+    /// to keep [`SparseLu::refactor`]'s fast path).
+    pub(crate) fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Builds a matrix directly from CSC arrays. The caller must supply a
+    /// valid pattern: `col_ptr` ascending with `n + 1` entries, row
+    /// indices below `n`, at most one entry per `(row, column)`. Rows
+    /// need not be sorted within a column — the LU kernel scatters.
+    pub(crate) fn from_raw_csc(
+        n: usize,
+        col_ptr: Vec<usize>,
+        rows: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(col_ptr.len(), n + 1);
+        debug_assert_eq!(*col_ptr.last().unwrap_or(&0), rows.len());
+        debug_assert_eq!(rows.len(), vals.len());
+        debug_assert!(rows.iter().all(|&r| r < n));
+        Self {
+            n,
+            col_ptr,
+            rows,
+            vals,
+        }
     }
 
     /// Computes `(‖A‖∞, ‖A‖₁)` — the max row and column absolute sums —
@@ -255,6 +334,79 @@ impl StampMap {
         )
     }
 
+    /// Builds a slot map for the stamp sequence in `triplets` whose
+    /// compressed matrix is the **symmetrically permuted**
+    /// `A'[pinv[r], pinv[c]] = A[r, c]`, for a fill-reducing ordering
+    /// `pinv` (see [`order::min_degree_pinv`](super::order::min_degree_pinv)).
+    ///
+    /// The map's keys stay in *original* coordinates, so
+    /// [`matches`](Self::matches) and [`scatter`](Self::scatter) work
+    /// unchanged on the raw stamp sequence — every Newton iteration
+    /// scatters straight into the permuted CSC matrix with zero extra
+    /// per-iteration cost. Duplicate stamps accumulate in the permuted
+    /// sort order, and the scatter replays exactly that order, so
+    /// repeated assemblies of the same circuit stay bit-identical to each
+    /// other (though not to the unpermuted compression, which sums
+    /// duplicates in a different order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinv` is not a `dim()`-sized permutation, or if the
+    /// system exceeds `u32::MAX` rows or raw entries.
+    pub fn build_permuted(triplets: &Triplets, pinv: &[usize]) -> (Self, SparseMatrix) {
+        let n = triplets.dim();
+        assert_eq!(pinv.len(), n, "permutation length mismatch");
+        let entries = triplets.entries();
+        assert!(n <= u32::MAX as usize, "dimension too large");
+        assert!(entries.len() <= u32::MAX as usize, "too many stamp entries");
+        let keys: Vec<(u32, u32)> = entries
+            .iter()
+            .map(|&(r, c, _)| (r as u32, c as u32))
+            .collect();
+        let mut sorted: Vec<(usize, usize, u32)> = entries
+            .iter()
+            .enumerate()
+            .map(|(idx, &(r, c, _))| (pinv[r], pinv[c], idx as u32))
+            .collect();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut rows = Vec::with_capacity(sorted.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut order = Vec::with_capacity(sorted.len());
+        let mut slots = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, idx) in &sorted {
+            let v = entries[idx as usize].2;
+            if last == Some((r, c)) {
+                *vals.last_mut().expect("entry exists when last is set") += v;
+            } else {
+                rows.push(r);
+                vals.push(v);
+                col_ptr[c + 1] += 1;
+                last = Some((r, c));
+            }
+            order.push(idx);
+            slots.push(vals.len() as u32 - 1);
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        (
+            Self {
+                dim: n,
+                keys,
+                order,
+                slots,
+            },
+            SparseMatrix {
+                n,
+                col_ptr,
+                rows,
+                vals,
+            },
+        )
+    }
+
     /// Whether `triplets` still carries the stamp sequence this map was
     /// built for (same dimension, same `(row, col)` keys in the same order).
     pub fn matches(&self, triplets: &Triplets) -> bool {
@@ -363,9 +515,26 @@ impl LuStats {
     }
 
     /// Counters accumulated since `earlier` was snapshotted from the
-    /// same solver (saturating, so a stale snapshot cannot underflow).
+    /// same solver.
+    ///
+    /// Counters are strictly monotone over a solver's lifetime, so each
+    /// component of the delta must be non-negative; a snapshot taken from
+    /// a *different* solver (or after a counter reset) would silently
+    /// clamp to zero under saturating arithmetic and mask regressions in
+    /// telemetry rollups. Debug and checked builds therefore assert
+    /// monotonicity; release builds still saturate rather than wrap so a
+    /// violated precondition degrades to an undercount, never a garbage
+    /// near-`usize::MAX` rollup.
     #[must_use]
     pub fn delta_since(&self, earlier: &LuStats) -> LuStats {
+        debug_assert!(
+            self.full_factors >= earlier.full_factors
+                && self.refactors >= earlier.refactors
+                && self.pivot_fallbacks >= earlier.pivot_fallbacks
+                && self.solves >= earlier.solves,
+            "non-monotone LuStats snapshot: now {self:?}, earlier {earlier:?} \
+             (snapshots must come from the same live solver)"
+        );
         LuStats {
             full_factors: self.full_factors.saturating_sub(earlier.full_factors),
             refactors: self.refactors.saturating_sub(earlier.refactors),
@@ -902,7 +1071,7 @@ impl SparseLu {
     /// complete cleanly but produce wrong answers only the residual
     /// certifier can detect. The corruption lives in the factor values,
     /// which every `factor`/`refactor` call fully overwrites.
-    fn perturb_pivot(&mut self) {
+    pub(crate) fn perturb_pivot(&mut self) {
         if self.n == 0 {
             return;
         }
@@ -939,6 +1108,15 @@ pub struct SolverStats {
 /// full factorization. Subsequent calls with the same stamp sequence —
 /// every Newton iteration of a fixed circuit — scatter values straight
 /// into the cached CSC matrix and run [`SparseLu::refactor`].
+///
+/// Above [`ORDERING_MIN_DIM`] unknowns the pattern rebuild additionally
+/// computes a minimum-degree fill-reducing ordering
+/// ([`order`](super::order)) and caches the *permuted* matrix, so every
+/// refactor and solve runs on the low-fill pattern at zero per-iteration
+/// cost; when armed (`SPICIER_BBD` or [`force_bbd`](Self::force_bbd)) a
+/// bordered-block-diagonal partition ([`bbd`](super::bbd)) is tried
+/// first, with any BBD failure falling back transparently to the
+/// certified LU path.
 #[derive(Debug, Default)]
 pub struct SparseSolver {
     lu: SparseLu,
@@ -946,9 +1124,112 @@ pub struct SparseSolver {
     matrix: Option<SparseMatrix>,
     pattern_rebuilds: usize,
     last_quality: SolveQuality,
+    /// Active fill-reducing permutation (`perm[original] = permuted`);
+    /// `None` when factoring in natural order (including whenever the
+    /// BBD path owns the cached matrix, which is stored unpermuted).
+    perm: Option<Vec<usize>>,
+    perm_scratch: Vec<f64>,
+    force_ordering: Option<bool>,
+    force_bbd: Option<bool>,
+    bbd: Option<BbdSolver>,
+    /// Set when the BBD path errored for the current pattern; cleared on
+    /// the next pattern rebuild.
+    bbd_disabled: bool,
+    bbd_fallbacks: usize,
 }
 
 impl SparseSolver {
+    /// Forces the fill-reducing ordering on (`true`) or off (`false`)
+    /// regardless of size and environment; invalidates the cached
+    /// pattern so the next solve rebuilds.
+    pub fn force_ordering(&mut self, on: bool) {
+        self.force_ordering = Some(on);
+        self.invalidate();
+    }
+
+    /// Forces the BBD partition attempt on (`true`) or off (`false`)
+    /// regardless of size and environment; invalidates the cached
+    /// pattern so the next solve rebuilds.
+    pub fn force_bbd(&mut self, on: bool) {
+        self.force_bbd = Some(on);
+        self.invalidate();
+    }
+
+    fn invalidate(&mut self) {
+        self.map = None;
+        self.matrix = None;
+        self.perm = None;
+        self.bbd = None;
+        self.bbd_disabled = false;
+    }
+
+    /// Whether solves currently run on a fill-reduced permuted pattern.
+    pub fn ordering_active(&self) -> bool {
+        self.perm.is_some()
+    }
+
+    /// Whether the BBD partitioned path is current (detected on this
+    /// pattern and not disabled by a runtime fallback).
+    pub fn bbd_active(&self) -> bool {
+        self.bbd.is_some() && !self.bbd_disabled
+    }
+
+    /// Partition shape of the active BBD path, if any.
+    pub fn bbd_stats(&self) -> Option<BbdStats> {
+        self.bbd.as_ref().map(BbdSolver::stats)
+    }
+
+    /// Times a BBD solve failed and the certified LU path took over.
+    pub fn bbd_fallbacks(&self) -> usize {
+        self.bbd_fallbacks
+    }
+
+    /// Rebuilds the cached stamp map/matrix for a new stamp sequence,
+    /// deciding the solve strategy for this pattern: BBD when armed and
+    /// a profitable partition exists (matrix cached unpermuted so the
+    /// LU fallback stays valid), else minimum-degree ordering when on
+    /// for this size, else the natural order.
+    fn rebuild(&mut self, triplets: &Triplets) {
+        let dim = triplets.dim();
+        self.invalidate_pattern_state();
+        let want_bbd = self
+            .force_bbd
+            .unwrap_or_else(|| bbd_env() && dim >= ORDERING_MIN_DIM);
+        let want_ordering = self
+            .force_ordering
+            .or_else(ordering_env)
+            .unwrap_or(dim >= ORDERING_MIN_DIM);
+        if want_bbd {
+            let (map, matrix) = StampMap::build(triplets);
+            self.bbd = BbdSolver::detect(&matrix);
+            if self.bbd.is_some() || !want_ordering {
+                self.map = Some(map);
+                self.matrix = Some(matrix);
+                self.pattern_rebuilds += 1;
+                return;
+            }
+            // No profitable partition: fall through to the ordered build.
+        }
+        if want_ordering {
+            let a = SparseMatrix::from_triplets(triplets);
+            let pinv = min_degree_pinv(dim, a.col_ptr(), a.rows());
+            let (map, matrix) = StampMap::build_permuted(triplets, &pinv);
+            self.perm = Some(pinv);
+            self.map = Some(map);
+            self.matrix = Some(matrix);
+        } else {
+            let (map, matrix) = StampMap::build(triplets);
+            self.map = Some(map);
+            self.matrix = Some(matrix);
+        }
+        self.pattern_rebuilds += 1;
+    }
+
+    fn invalidate_pattern_state(&mut self) {
+        self.perm = None;
+        self.bbd = None;
+        self.bbd_disabled = false;
+    }
     /// Counters for the assembly and factorization fast paths.
     pub fn stats(&self) -> SolverStats {
         let lu = self.lu.stats();
@@ -977,6 +1258,56 @@ impl SparseSolver {
     }
 }
 
+/// Runs one fully certified BBD solve: numeric factor, chaos hook,
+/// solve into a scratch copy, residual certification against the
+/// unpermuted matrix. `rhs` is written only on success, so a failure
+/// leaves the caller's `b` intact for the LU fallback.
+fn bbd_solve_certified(
+    bbd: &mut BbdSolver,
+    a: &SparseMatrix,
+    rhs: &mut [f64],
+) -> Result<SolveQuality, Error> {
+    bbd.factor(a)?;
+    if crate::chaos::perturb_lu_active() {
+        bbd.perturb_pivot();
+    }
+    let b = rhs.to_vec();
+    let mut x = b.clone();
+    bbd.solve(&mut x)?;
+    let (norm_a_inf, norm_a_1) = a.norms();
+    let bbd_ref: &BbdSolver = bbd;
+    let quality = verify::certify_in_place(
+        &mut x,
+        &b,
+        norm_a_inf,
+        norm_a_1,
+        |xv, out| {
+            out.copy_from_slice(&b);
+            for c in 0..a.n {
+                let xc = xv[c];
+                if xc == 0.0 {
+                    continue;
+                }
+                for p in a.col_ptr[c]..a.col_ptr[c + 1] {
+                    out[a.rows[p]] -= a.vals[p] * xc;
+                }
+            }
+        },
+        |v| bbd_ref.solve(v),
+        // No transposed BBD solve: the condition estimator (failure
+        // path only) sees a solve error and reports an infinite
+        // estimate, which is the honest answer for a path about to
+        // fall back anyway.
+        |_v| {
+            Err(Error::SolverContract {
+                reason: "BBD transposed solve unavailable".to_string(),
+            })
+        },
+    )?;
+    rhs.copy_from_slice(&x);
+    Ok(quality)
+}
+
 impl Solver for SparseSolver {
     fn solve_in_place(&mut self, triplets: &Triplets, rhs: &mut [f64]) -> Result<(), Error> {
         let cached = match (&self.map, &mut self.matrix) {
@@ -984,18 +1315,66 @@ impl Solver for SparseSolver {
             _ => false,
         };
         if !cached {
-            let (map, matrix) = StampMap::build(triplets);
-            self.map = Some(map);
-            self.matrix = Some(matrix);
-            self.pattern_rebuilds += 1;
+            self.rebuild(triplets);
+        }
+        // ----- BBD partitioned path (matrix cached unpermuted) -----
+        if !self.bbd_disabled {
+            if let Some(mut bbd) = self.bbd.take() {
+                let a = self.matrix.as_ref().expect("matrix cached above");
+                let result = bbd_solve_certified(&mut bbd, a, rhs);
+                self.bbd = Some(bbd);
+                match result {
+                    Ok(quality) => {
+                        self.last_quality = quality;
+                        if crate::telemetry::enabled() {
+                            crate::telemetry::event(
+                                "sparse_solve",
+                                &[
+                                    ("dim", a.n.into()),
+                                    ("bwerr", quality.backward_error.into()),
+                                    ("refinement_steps", quality.refinement_steps.into()),
+                                    ("ordered", 0usize.into()),
+                                    ("bbd", 1usize.into()),
+                                ],
+                            );
+                        }
+                        return Ok(());
+                    }
+                    Err(err) => {
+                        // Singular block, partition/value mismatch, or a
+                        // certification miss: disable BBD for this
+                        // pattern and fall through to certified LU.
+                        self.bbd_disabled = true;
+                        self.bbd_fallbacks += 1;
+                        if crate::telemetry::enabled() {
+                            crate::telemetry::event(
+                                "bbd_fallback",
+                                &[("dim", a.n.into()), ("error", format!("{err}").into())],
+                            );
+                        }
+                    }
+                }
+            }
         }
         let a = self.matrix.as_ref().expect("matrix cached above");
+        // ----- permute b into elimination order when ordering is active -----
+        if let Some(perm) = &self.perm {
+            self.perm_scratch.clear();
+            self.perm_scratch.resize(rhs.len(), 0.0);
+            for (i, &v) in rhs.iter().enumerate() {
+                self.perm_scratch[perm[i]] = v;
+            }
+            rhs.copy_from_slice(&self.perm_scratch);
+        }
         self.lu.refactor(a)?;
         if crate::chaos::perturb_lu_active() {
             self.lu.perturb_pivot();
         }
         let b = rhs.to_vec();
         self.lu.solve(rhs)?;
+        // Norms are permutation-invariant and `a` IS the permuted matrix,
+        // so the certification below is exact for the permuted system —
+        // and backward error is identical in original coordinates.
         let (norm_a_inf, norm_a_1) = a.norms();
         let lu = &self.lu;
         self.last_quality = verify::certify_in_place(
@@ -1019,6 +1398,13 @@ impl Solver for SparseSolver {
             |v| lu.solve(v),
             |v| lu.solve_transposed(v),
         )?;
+        // ----- back to original coordinates -----
+        if let Some(perm) = &self.perm {
+            for (i, slot) in self.perm_scratch.iter_mut().enumerate() {
+                *slot = rhs[perm[i]];
+            }
+            rhs.copy_from_slice(&self.perm_scratch);
+        }
         if crate::telemetry::enabled() {
             crate::telemetry::event(
                 "sparse_solve",
@@ -1029,6 +1415,8 @@ impl Solver for SparseSolver {
                         "refinement_steps",
                         self.last_quality.refinement_steps.into(),
                     ),
+                    ("ordered", usize::from(self.perm.is_some()).into()),
+                    ("bbd", 0usize.into()),
                 ],
             );
         }

@@ -1,0 +1,338 @@
+//! Property tests of the structure-aware solver paths (seeded,
+//! deterministic — see `xrand`).
+//!
+//! Three families:
+//!
+//! * the fill-reducing-ordered path (`force_ordering`) must produce the
+//!   same certified answers as the natural-order path on randomized
+//!   MNA-shaped systems, across pattern rebuilds and value-only
+//!   refactorizations;
+//! * the bordered-block-diagonal path (`force_bbd`) must agree with the
+//!   plain LU path on the CML stage-chain shape it is built for, and
+//!   must fall back transparently — still certified — when its solve is
+//!   sabotaged;
+//! * the `CHAOS_PERTURB_LU` drill on the *permuted* path: a corrupted
+//!   factorization behind a fill-reducing permutation must still surface
+//!   [`spicier::Error::UntrustedSolution`], and a pivot flip under a
+//!   cached permuted pattern must take the refactor fallback and still
+//!   certify.
+
+use spicier::chaos::with_perturb_lu;
+use spicier::linalg::sparse::SparseSolver;
+use spicier::linalg::verify::{backward_error, bwerr_tol, inf_norm};
+use spicier::linalg::{Solver, SparseMatrix, Triplets};
+use xrand::StdRng;
+
+/// A random connected conductance network on `n` unknowns (chain backbone
+/// plus random extra branches); same construction as `verified_solves`.
+fn random_edges(rng: &mut StdRng, n: usize) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    for _ in 0..rng.gen_range(n..3 * n) {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i != j {
+            edges.push((i, j));
+        }
+    }
+    edges
+}
+
+/// Stamps `edges` as two-terminal conductances plus a per-node ground
+/// leak: symmetric, strictly diagonally dominant, well-conditioned — and
+/// with a stamp sequence that depends only on the edge list, so re-stamping
+/// the same edges with fresh values exercises the cached-pattern
+/// (scatter + refactor) fast path of every solver variant.
+fn stamp_network(rng: &mut StdRng, n: usize, edges: &[(usize, usize)]) -> Triplets {
+    let mut t = Triplets::new(n);
+    for i in 0..n {
+        t.add(i, i, rng.gen_range(1.0e-4..1.0e-2));
+    }
+    for &(i, j) in edges {
+        let g = rng.gen_range(1.0e-3..1.0e-1);
+        t.add(i, i, g);
+        t.add(j, j, g);
+        t.add(i, j, -g);
+        t.add(j, i, -g);
+    }
+    t
+}
+
+/// The CML generator shape: `stages` identical 3-node channel-connected
+/// stages, each coupled to a shared rail node 0 — repeated blocks hanging
+/// off one border hub, with randomized conductances (diagonally dominant
+/// by construction). Fixed `stages` gives a fixed stamp sequence.
+fn stage_chain(rng: &mut StdRng, stages: usize) -> Triplets {
+    let n = 1 + 3 * stages;
+    let mut t = Triplets::new(n);
+    t.add(0, 0, rng.gen_range(0.5..2.0));
+    for s in 0..stages {
+        let base = 1 + 3 * s;
+        for k in 0..3 {
+            let g = rng.gen_range(0.05..0.5);
+            t.add(base + k, base + k, rng.gen_range(2.0..8.0) + g);
+            t.add(0, base + k, -g);
+            t.add(base + k, 0, -g);
+            t.add(0, 0, g);
+        }
+        let g01 = rng.gen_range(0.2..1.5);
+        let g12 = rng.gen_range(0.2..1.5);
+        t.add(base, base + 1, -g01);
+        t.add(base + 1, base, -g01);
+        t.add(base + 1, base + 2, -g12);
+        t.add(base + 2, base + 1, -g12);
+    }
+    t
+}
+
+fn random_rhs(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0e-2..1.0e-2)).collect()
+}
+
+/// Measured backward error of `x` against the system assembled from `t`.
+fn measured_bwerr(t: &Triplets, x: &[f64], b: &[f64]) -> f64 {
+    let a = SparseMatrix::from_triplets(t);
+    let ax = a.mul_vec(x);
+    let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+    let (norm_a_inf, _) = a.norms();
+    backward_error(inf_norm(&r), norm_a_inf, inf_norm(x), inf_norm(b))
+}
+
+/// Relative ∞-norm disagreement between two solutions.
+fn rel_diff(a: &[f64], b: &[f64]) -> f64 {
+    let scale = inf_norm(a).max(inf_norm(b)).max(f64::MIN_POSITIVE);
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
+        / scale
+}
+
+fn natural_order_solver() -> SparseSolver {
+    let mut s = SparseSolver::default();
+    s.force_ordering(false);
+    s.force_bbd(false);
+    s
+}
+
+fn ordered_solver() -> SparseSolver {
+    let mut s = SparseSolver::default();
+    s.force_ordering(true);
+    s.force_bbd(false);
+    s
+}
+
+fn bbd_solver() -> SparseSolver {
+    let mut s = SparseSolver::default();
+    s.force_bbd(true);
+    s
+}
+
+/// The ordered (fill-reducing permuted) path must certify every solve of
+/// a random MNA-shaped system and agree with the natural-order path, on
+/// the first factorization and across value-only refactorizations of the
+/// same cached pattern.
+#[test]
+fn ordered_path_agrees_with_natural_order_within_certified_error() {
+    let mut rng = StdRng::seed_from_u64(0x0de4ed);
+    let tol = bwerr_tol();
+    for n in [30, 90, 250] {
+        let edges = random_edges(&mut rng, n);
+        let mut plain = natural_order_solver();
+        let mut ordered = ordered_solver();
+        // Round 0 builds the pattern (and the permutation); later rounds
+        // must ride the permuted scatter + refactor fast path.
+        for round in 0..4 {
+            let t = stamp_network(&mut rng, n, &edges);
+            let b = random_rhs(&mut rng, n);
+
+            let mut xp = b.clone();
+            plain.solve_in_place(&t, &mut xp).unwrap();
+            assert!(!plain.ordering_active(), "forced off at n={n}");
+
+            let mut xo = b.clone();
+            ordered.solve_in_place(&t, &mut xo).unwrap();
+            assert!(ordered.ordering_active(), "forced on at n={n}");
+            assert!(
+                ordered.last_quality().backward_error <= tol,
+                "ordered certification failed at n={n} round={round}: {:?}",
+                ordered.last_quality()
+            );
+
+            assert!(
+                measured_bwerr(&t, &xo, &b) <= tol,
+                "ordered residual n={n} round={round}"
+            );
+            let diff = rel_diff(&xp, &xo);
+            assert!(
+                diff < 1.0e-8,
+                "ordered vs natural disagree at n={n} round={round}: {diff:.3e}"
+            );
+        }
+        // All later rounds reused the cached permuted pattern.
+        assert_eq!(ordered.stats().pattern_rebuilds, 1, "n={n}");
+    }
+}
+
+/// The BBD path must detect the stage-chain partition, certify every
+/// solve, and agree with the natural-order path across value-only
+/// refactorizations (fresh conductances, fixed topology — the Newton
+/// shape the block-factor pool is built for).
+#[test]
+fn bbd_path_agrees_with_natural_order_on_stage_chains() {
+    let mut rng = StdRng::seed_from_u64(0xb1ded);
+    let tol = bwerr_tol();
+    for stages in [12, 40] {
+        let n = 1 + 3 * stages;
+        let mut plain = natural_order_solver();
+        let mut bbd = bbd_solver();
+        for round in 0..4 {
+            // Same `stages` → same stamp sequence; fresh values each round.
+            let t = stage_chain(&mut rng, stages);
+            let b = random_rhs(&mut rng, n);
+
+            let mut xp = b.clone();
+            plain.solve_in_place(&t, &mut xp).unwrap();
+
+            let mut xb = b.clone();
+            bbd.solve_in_place(&t, &mut xb).unwrap();
+            assert!(
+                bbd.bbd_active(),
+                "stage chain must partition at stages={stages}"
+            );
+            let stats = bbd.bbd_stats().expect("active partition has stats");
+            assert!(stats.blocks >= 2, "{stats:?}");
+            assert!(stats.border >= 1, "{stats:?}");
+            assert!(
+                bbd.last_quality().backward_error <= tol,
+                "BBD certification failed at stages={stages} round={round}: {:?}",
+                bbd.last_quality()
+            );
+
+            assert!(
+                measured_bwerr(&t, &xb, &b) <= tol,
+                "BBD residual stages={stages} round={round}"
+            );
+            let diff = rel_diff(&xp, &xb);
+            assert!(
+                diff < 1.0e-8,
+                "BBD vs natural disagree at stages={stages} round={round}: {diff:.3e}"
+            );
+        }
+        assert_eq!(bbd.bbd_fallbacks(), 0, "clean solves must not fall back");
+    }
+}
+
+/// `CHAOS_PERTURB_LU` on the permuted path: corrupting a pivot of the
+/// fill-reduced factorization must surface `UntrustedSolution` — the
+/// permutation must not hide the corruption from the certifier.
+#[test]
+fn chaos_perturb_lu_is_caught_on_the_permuted_path() {
+    let mut rng = StdRng::seed_from_u64(0xcafe0d);
+    for n in [40, 150] {
+        let edges = random_edges(&mut rng, n);
+        let t = stamp_network(&mut rng, n, &edges);
+        let b = random_rhs(&mut rng, n);
+        let mut solver = ordered_solver();
+        let err = with_perturb_lu(|| solver.solve_in_place(&t, &mut b.clone()))
+            .expect_err("corrupted permuted factorization must not certify");
+        assert!(
+            err.is_untrusted_solution(),
+            "ordered path at n={n}: expected UntrustedSolution, got {err}"
+        );
+        assert!(err.is_non_retriable(), "n={n}");
+        assert!(solver.ordering_active(), "drill must run the permuted path");
+        // The drill must not poison the solver: the next clean solve on
+        // the same cached pattern certifies again.
+        let mut x = b.clone();
+        solver.solve_in_place(&t, &mut x).unwrap();
+        assert!(solver.last_quality().backward_error <= bwerr_tol());
+    }
+}
+
+/// `CHAOS_PERTURB_LU` against the BBD path: the corrupted block/Schur
+/// factorization fails certification, the solver falls back to plain LU
+/// (which the drill also corrupts, so the whole solve surfaces
+/// `UntrustedSolution`) — and once the chaos clears, the fallback LU path
+/// keeps producing certified answers.
+#[test]
+fn chaos_perturb_lu_on_bbd_falls_back_and_is_caught() {
+    let mut rng = StdRng::seed_from_u64(0xbbdbad);
+    let stages = 12;
+    let n = 1 + 3 * stages;
+    let t = stage_chain(&mut rng, stages);
+    let b = random_rhs(&mut rng, n);
+
+    let mut solver = bbd_solver();
+    // Clean solve first: the partition must be live before the drill.
+    let mut x = b.clone();
+    solver.solve_in_place(&t, &mut x).unwrap();
+    assert!(solver.bbd_active());
+
+    let err = with_perturb_lu(|| solver.solve_in_place(&t, &mut b.clone()))
+        .expect_err("corrupted BBD + corrupted fallback LU must not certify");
+    assert!(err.is_untrusted_solution(), "got: {err}");
+    assert!(
+        solver.bbd_fallbacks() >= 1,
+        "the BBD failure must be counted as a fallback"
+    );
+    assert!(
+        !solver.bbd_active(),
+        "a failed BBD solve disarms the partition until the next rebuild"
+    );
+
+    // Chaos off: the fallback LU path recovers with a certified answer
+    // that matches a natural-order reference.
+    let mut xr = b.clone();
+    solver.solve_in_place(&t, &mut xr).unwrap();
+    assert!(solver.last_quality().backward_error <= bwerr_tol());
+    let mut x_ref = b.clone();
+    natural_order_solver()
+        .solve_in_place(&t, &mut x_ref)
+        .unwrap();
+    assert!(rel_diff(&xr, &x_ref) < 1.0e-8);
+}
+
+/// Pivot-fallback drill on the permuted path: re-stamping a cached
+/// pattern with values that flip the partial-pivoting winner must abandon
+/// the replay (counted in `pivot_fallbacks`), re-factor from scratch, and
+/// still return the exact certified answer.
+///
+/// The value sets are chosen symmetric with equal off-diagonals, so the
+/// flip survives *any* symmetric permutation the ordering may pick.
+#[test]
+fn pivot_flip_under_cached_permuted_pattern_takes_the_fallback() {
+    let mut t1 = Triplets::new(2);
+    t1.add(0, 0, 1.0);
+    t1.add(1, 0, 10.0);
+    t1.add(0, 1, 10.0);
+    t1.add(1, 1, 1.0);
+    // Same stamp sequence, diagonals and off-diagonals exchanged: the
+    // column-0 pivot winner moves between rows.
+    let mut t2 = Triplets::new(2);
+    t2.add(0, 0, 10.0);
+    t2.add(1, 0, 1.0);
+    t2.add(0, 1, 1.0);
+    t2.add(1, 1, 10.0);
+
+    let mut solver = ordered_solver();
+    // b = A1·[1, 1]ᵀ, so the exact answer is all-ones.
+    let mut x1 = vec![11.0, 11.0];
+    solver.solve_in_place(&t1, &mut x1).unwrap();
+    assert!(solver.ordering_active());
+    assert_eq!(solver.stats().pivot_fallbacks, 0);
+    assert!((x1[0] - 1.0).abs() < 1e-12 && (x1[1] - 1.0).abs() < 1e-12);
+
+    let mut x2 = vec![11.0, 11.0];
+    solver.solve_in_place(&t2, &mut x2).unwrap();
+    let stats = solver.stats();
+    assert_eq!(
+        stats.pattern_rebuilds, 1,
+        "second solve must reuse the cached permuted pattern"
+    );
+    assert_eq!(
+        stats.pivot_fallbacks, 1,
+        "the flipped pivot winner must abandon the cached replay"
+    );
+    assert!((x2[0] - 1.0).abs() < 1e-12 && (x2[1] - 1.0).abs() < 1e-12);
+    assert!(solver.last_quality().backward_error <= bwerr_tol());
+}
