@@ -16,7 +16,6 @@
 use super::report::out_dir;
 use crate::Scale;
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::path::PathBuf;
 
 /// Outcome of one experiment in a campaign.
@@ -175,14 +174,7 @@ impl Manifest {
     ///
     /// Propagates filesystem errors.
     pub fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(self.render().as_bytes())?;
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, path)
+        crate::durable::write_atomic("manifest.rename", path, self.render().as_bytes())
     }
 
     /// Whether `name` already completed successfully under the same
@@ -280,6 +272,7 @@ pub fn input_hash(name: &str, scale: Scale) -> String {
         "EXP_TELEMETRY",
         "SPICIER_TRACE",
         "SPICIER_CONDEST",
+        "SPICIER_FAILPOINTS",
     ] {
         input.push('|');
         input.push_str(&std::env::var(var).unwrap_or_default());

@@ -91,6 +91,7 @@ pub fn write_rows_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = out_dir().join(format!("{name}.csv"));
     let tmp = out_dir().join(format!("{name}.csv.tmp"));
     let write = || -> std::io::Result<()> {
+        spicier::chaos::io_failpoint("csv.write")?;
         let mut f = std::fs::File::create(&tmp)?;
         writeln!(f, "{}", headers.join(","))?;
         for row in rows {
@@ -99,7 +100,8 @@ pub fn write_rows_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
         f.sync_all()?;
         drop(f);
         chaos_kill_mid_write(name);
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path)?;
+        crate::durable::fsync_parent(&path)
     };
     match write() {
         Ok(()) => println!("  [csv] {}", path.display()),

@@ -15,7 +15,6 @@
 
 use super::report::out_dir;
 use spicier::telemetry::GlobalSummary;
-use std::io::Write;
 use std::path::PathBuf;
 
 /// Schema tag stamped into the report for downstream consumers.
@@ -176,13 +175,7 @@ impl RunReport {
     ///
     /// Propagates filesystem errors.
     pub fn save(&self) -> std::io::Result<()> {
-        let path = run_report_path();
-        let tmp = out_dir().join("RUN_REPORT.json.tmp");
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(self.render().as_bytes())?;
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, path)
+        crate::durable::write_atomic("report.write", &run_report_path(), self.render().as_bytes())
     }
 }
 

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod experiments;
 pub mod microbench;
 pub mod server;

@@ -12,7 +12,6 @@
 //! number; min is reported as the noise floor.
 
 use std::hint::black_box;
-use std::io::Write;
 use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -251,14 +250,9 @@ pub fn write_json_report(
         ));
     }
     out.push_str("  }\n}\n");
-    // Atomic write: tmp sibling + rename, so a killed bench run never
-    // leaves a truncated report for CI to parse.
-    let tmp = path.with_extension("json.tmp");
-    let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(out.as_bytes())?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)
+    // Atomic write: tmp sibling + rename + parent-dir fsync, so a
+    // killed bench run never leaves a truncated report for CI to parse.
+    crate::durable::write_atomic("bench.write", path, out.as_bytes())
 }
 
 fn fmt_ns(ns: u128) -> String {

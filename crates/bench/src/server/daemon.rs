@@ -18,7 +18,7 @@ use super::json::Json;
 use super::proto::{self, write_frame, Listener, Request, Stream};
 use super::scheduler::{AdmitError, Job, JobClass, JobPhase, Outcome, Scheduler, Unit};
 use super::ServerConfig;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,17 +46,6 @@ pub fn install_sigterm_handler() {
     }
 }
 
-fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)
-}
-
 /// Runs the daemon until drain. Returns the process exit code.
 ///
 /// # Errors
@@ -68,14 +57,48 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<i32> {
     std::fs::create_dir_all(&cfg.state_dir)?;
     let (listener, addr) = Listener::bind(&cfg.addr)?;
     // Port 0 / tempdir flows discover the concrete address here.
-    write_atomic(&cfg.addr_file(), addr.as_bytes())?;
+    crate::durable::write_atomic("addr.write", &cfg.addr_file(), addr.as_bytes())?;
     println!("[serve] listening on {addr}");
     let sched = Scheduler::new(cfg.clone());
+
+    // Crash containment dumps panic payloads through the PR-5 flight
+    // recorder; give it a home under the state dir unless the operator
+    // already routed it somewhere via SPICIER_TRACE.
+    if std::env::var_os("SPICIER_TRACE").is_none() {
+        spicier::telemetry::set_dump_path(Some(cfg.state_dir.join("FLIGHT_RECORDER.jsonl")));
+    }
 
     // Journal replay: every accepted-but-unfinished campaign is
     // re-admitted as resumed; its chunk manifest trims the work to the
     // incomplete tail. Zero accepted jobs are lost across a crash.
-    for rec in sched.journal().replay() {
+    let (recovered, replay_report) = sched.journal().replay();
+    if replay_report.torn_tail {
+        println!("[serve] journal had a torn tail (benign: record was never acknowledged)");
+    }
+    if replay_report.legacy_records > 0 {
+        println!(
+            "[serve] journal carries {} legacy (checksum-less) record(s)",
+            replay_report.legacy_records
+        );
+    }
+    if replay_report.corrupt_records > 0 {
+        sched
+            .counters
+            .journal_corrupt_records
+            .store(replay_report.corrupt_records as u64, Ordering::Relaxed);
+        eprintln!(
+            "[serve] journal replay found {} corrupt record(s) mid-file",
+            replay_report.corrupt_records
+        );
+        if cfg.journal_strict {
+            return Err(std::io::Error::other(format!(
+                "journal corrupt: {} damaged record(s) and SERVE_JOURNAL_POLICY=strict",
+                replay_report.corrupt_records
+            )));
+        }
+        eprintln!("[serve] journal policy is lenient: serving what survived");
+    }
+    for rec in recovered {
         let dir = cfg.state_dir.join("jobs").join(&rec.tenant).join(&rec.id);
         let (done, pending) = split_chunks(&dir, &rec.spec);
         match sched.admit_campaign(
@@ -260,9 +283,13 @@ fn admit_error_response(e: &AdmitError) -> Json {
             ("status", Json::str(proto::status::FAILED)),
             ("error", Json::str("duplicate job id")),
         ]),
+        // Fail closed, but *transiently*: the job was refused because
+        // the accept could not be made durable (disk full, IO error).
+        // `busy` tells the client to retry, exactly like queue shed —
+        // `failed` would wrongly suggest the spec itself is bad.
         AdmitError::Journal(err) => Json::obj(vec![
-            ("status", Json::str(proto::status::FAILED)),
-            ("error", Json::str(format!("journal: {err}"))),
+            ("status", Json::str(proto::status::BUSY)),
+            ("reason", Json::str(format!("journal: {err}"))),
         ]),
     }
 }
@@ -309,7 +336,10 @@ fn job_response(job: &Job) -> Json {
                 ("telemetry", telemetry_json(job)),
             ];
             match outcome {
-                Outcome::Ok => {
+                // Quarantined campaigns completed with a finalized CSV
+                // too — it carries `PANIC`/`QUARANTINED` holes the
+                // status already announces.
+                Outcome::Ok | Outcome::Quarantined => {
                     if let Some(output) = &s.output {
                         let field = match job.class {
                             JobClass::Interactive => "output",

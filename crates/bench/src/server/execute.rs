@@ -12,6 +12,7 @@
 
 use super::proto::CampaignSpec;
 use super::scheduler::{JobPhase, JobSpec, Outcome, Scheduler, Unit};
+use crate::durable::write_atomic;
 use crate::experiments::manifest::{ExperimentRecord, Manifest};
 use spicier::analysis::budget::with_corner_token;
 use spicier::analysis::dc::sweep_vsource;
@@ -19,16 +20,63 @@ use spicier::runner::run_deck;
 use spicier::spice::parse_deck;
 use spicier::{DcOptions, Error};
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Worker thread body: pull units until the scheduler shuts down.
+///
+/// Every unit runs under a `catch_unwind` backstop: a panic anywhere in
+/// unit execution (campaign chunks get their own finer-grained ladder
+/// in [`run_chunk`]) finishes that job `failed` and the worker keeps
+/// serving — one pathological deck can never take the thread, and with
+/// it a slice of the daemon's capacity, down.
 pub fn worker_loop(sched: &Arc<Scheduler>) {
     while let Some(unit) = sched.next_unit() {
-        run_unit(sched, &unit);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_unit(sched, &unit);
+        }));
+        if let Err(payload) = caught {
+            let msg = panic_message(payload.as_ref());
+            sched
+                .counters
+                .panics_contained
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            dump_panic(&unit, "worker backstop", &msg);
+            eprintln!(
+                "[serve] worker caught panic in {} unit {}: {msg}",
+                unit.job.key, unit.index
+            );
+            if !unit.job.is_done() {
+                sched.finish_job(&unit.job, Outcome::Failed(format!("panic: {msg}")));
+            }
+        }
     }
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads
+/// cover everything `panic!` produces; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Dumps a contained panic through the PR-5 flight recorder so the
+/// post-mortem names the exact job and chunk. `with_trace` scopes the
+/// recorder on even when `SPICIER_TRACE` is unset (the daemon routes
+/// the dump file into its state dir at startup).
+fn dump_panic(unit: &Unit, stage: &str, msg: &str) {
+    spicier::telemetry::with_trace(|| {
+        spicier::telemetry::record_failure(
+            "ChunkPanic",
+            &format!("job {} chunk {} ({stage}): {msg}", unit.job.key, unit.index),
+        );
+    });
 }
 
 /// Executes one unit (dispatch on the job's spec).
@@ -63,6 +111,12 @@ fn classify(err: &Error, cancelled: bool) -> Outcome {
 
 fn run_interactive(sched: &Scheduler, unit: &Unit, deck: &str, deadline: Duration) {
     let job = &unit.job;
+    // `interactive.run=panic` drills the worker backstop; other armed
+    // actions fail just this request.
+    if let Err(e) = spicier::chaos::io_failpoint("interactive.run") {
+        sched.finish_job(job, Outcome::Failed(e.to_string()));
+        return;
+    }
     let t0 = Instant::now();
     let token = job.handle.child_with_deadline(deadline);
     let result = with_corner_token(&token, || run_deck(deck));
@@ -78,18 +132,6 @@ fn run_interactive(sched: &Scheduler, unit: &Unit, deck: &str, deadline: Duratio
         }
         Err(e) => sched.finish_job(job, classify(&e, job.handle.is_cancelled())),
     }
-}
-
-/// Atomic write: tmp sibling, fsync, rename.
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)
 }
 
 /// Part-CSV path of chunk `k`.
@@ -149,6 +191,12 @@ fn slow_corner_sleep(sched: &Scheduler, unit: &Unit) {
     }
 }
 
+/// Runs one campaign chunk under the poison-chunk quarantine ladder:
+/// a panicking attempt is caught, retried up to `SERVE_PANIC_RETRIES`
+/// times, and — if every attempt panics — the chunk is quarantined:
+/// its rows carry `PANIC` markers, its manifest entry is flagged so a
+/// resume redoes it, and the job finishes `quarantined` instead of
+/// taking the daemon down or wedging the scheduler.
 fn run_chunk(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec) {
     let job = &unit.job;
     let Some(dir) = job.dir.as_deref() else {
@@ -160,6 +208,88 @@ fn run_chunk(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec) {
             job,
             Outcome::Failed(format!("create {}: {e}", dir.display())),
         );
+        return;
+    }
+    let retries = sched.config().panic_retries;
+    let mut attempt: u64 = 0;
+    loop {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_chunk_attempt(sched, unit, spec, dir);
+        }));
+        let payload = match caught {
+            Ok(()) => return,
+            Err(payload) => payload,
+        };
+        attempt += 1;
+        let msg = panic_message(payload.as_ref());
+        sched
+            .counters
+            .panics_contained
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        dump_panic(unit, &format!("attempt {attempt}"), &msg);
+        eprintln!(
+            "[serve] contained panic in {} chunk {} (attempt {attempt}): {msg}",
+            job.key, unit.index
+        );
+        if job.is_done() {
+            return;
+        }
+        if attempt > retries {
+            quarantine_chunk(sched, unit, spec, dir, &msg);
+            return;
+        }
+    }
+}
+
+/// Marks chunk `unit.index` as poisoned after its panic retries ran
+/// out: `PANIC` rows in the part CSV (so the final concat shows exactly
+/// which corners were lost), a manifest entry flagged `quarantined` (so
+/// `is_complete` stays false and a resume redoes the chunk), and the
+/// usual done-units bookkeeping so the job still finalizes — as
+/// `quarantined` — instead of wedging the scheduler forever.
+fn quarantine_chunk(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &Path, msg: &str) {
+    let job = &unit.job;
+    sched
+        .counters
+        .chunks_quarantined
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let values = spec.values();
+    let (lo, hi) = spec.chunk_range(unit.index);
+    let mut rows = String::new();
+    for &v in &values[lo..hi] {
+        let _ = writeln!(rows, "{v:.6},PANIC");
+    }
+    if let Err(e) = write_atomic("chunk.write", &chunk_path(dir, unit.index), rows.as_bytes()) {
+        sched.finish_job(job, Outcome::Failed(format!("write poisoned chunk: {e}")));
+        return;
+    }
+    let finalize = job.with_state(|s| {
+        let mpath = manifest_path(dir);
+        let mut manifest = Manifest::load_from(&mpath);
+        manifest.record(
+            &chunk_entry(unit.index),
+            ExperimentRecord::failed(spec.fingerprint(), 0.0, format!("panic: {msg}"))
+                .with_quarantined(1),
+        );
+        if let Err(e) = manifest.save_to(&mpath) {
+            eprintln!("  [warn] could not write job manifest: {e}");
+        }
+        s.panicked_chunks += 1;
+        s.done_units += 1;
+        s.done_units >= s.total_units
+    });
+    if finalize && !job.is_done() {
+        finalize_job(sched, unit, spec, dir);
+    }
+}
+
+/// One attempt at a chunk: compile, sweep every corner, write the part
+/// CSV, record the manifest entry. Panics (pathological corners, or the
+/// `chunk.run` failpoint) unwind into [`run_chunk`]'s ladder.
+fn run_chunk_attempt(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &Path) {
+    let job = &unit.job;
+    if let Err(e) = spicier::chaos::io_failpoint("chunk.run") {
+        sched.finish_job(job, Outcome::Failed(format!("chunk {}: {e}", unit.index)));
         return;
     }
     let t0 = Instant::now();
@@ -232,7 +362,7 @@ fn run_chunk(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec) {
         }
         rows.push('\n');
     }
-    if let Err(e) = write_atomic(&chunk_path(dir, unit.index), rows.as_bytes()) {
+    if let Err(e) = write_atomic("chunk.write", &chunk_path(dir, unit.index), rows.as_bytes()) {
         sched.finish_job(job, Outcome::Failed(format!("write chunk: {e}")));
         return;
     }
@@ -275,12 +405,25 @@ pub fn finalize_job(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &P
             }
         }
     }
-    if let Err(e) = write_atomic(&result_path(dir), csv.as_bytes()) {
+    if let Err(e) = write_atomic("result.write", &result_path(dir), csv.as_bytes()) {
         sched.finish_job(job, Outcome::Failed(format!("write result: {e}")));
         return;
     }
-    job.with_state(|s| s.output = Some(csv));
-    sched.finish_job(job, Outcome::Ok);
+    let poisoned = job.with_state(|s| {
+        s.output = Some(csv);
+        s.panicked_chunks > 0
+    });
+    // A job that lost chunks to the panic ladder completes — the
+    // scheduler must not wedge — but its status says the CSV carries
+    // `PANIC` holes, exactly like corner-level quarantine.
+    sched.finish_job(
+        job,
+        if poisoned {
+            Outcome::Quarantined
+        } else {
+            Outcome::Ok
+        },
+    );
 }
 
 #[cfg(test)]
@@ -385,6 +528,66 @@ mod tests {
         let mut changed = spec.clone();
         changed.stop = 9.0;
         assert_eq!(split_chunks(&dir, &changed), (0, vec![0, 1, 2]));
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+
+    #[test]
+    fn panicking_chunk_is_quarantined_and_job_completes() {
+        let mut cfg = temp_cfg("panic");
+        cfg.panic_retries = 1;
+        let state_dir = cfg.state_dir.clone();
+        let dump = state_dir.join("panic-dump.jsonl");
+        spicier::telemetry::set_dump_path(Some(dump.clone()));
+        let sched = Scheduler::new(cfg);
+        let spec = divider_spec(5, 2); // chunks: [0,1], [2,3], [4]
+        let pending: Vec<usize> = (0..spec.chunk_count()).collect();
+        let job = sched
+            .admit_campaign("t", "p", spec.clone(), pending, 0, false)
+            .unwrap();
+        // Chunk 0 is attempt/hit 1 (clean); chunk 1 panics on both its
+        // attempts (hits 2 and 3) and exhausts SERVE_PANIC_RETRIES=1;
+        // chunk 2 is hit 4 (clean again).
+        spicier::chaos::with_failpoints("chunk.run=panic@2;chunk.run=panic@3", || {
+            while let Some(unit) = sched.try_next_unit() {
+                run_unit(&sched, &unit);
+            }
+        });
+        spicier::telemetry::set_dump_path(None);
+        assert!(job.is_done());
+        let state = job.snapshot();
+        assert!(
+            matches!(state.phase, JobPhase::Done(Outcome::Quarantined)),
+            "{state:?}"
+        );
+        assert_eq!(state.panicked_chunks, 1);
+        // Exactly chunk 1's corners carry PANIC markers; the rest of
+        // the sweep is intact.
+        let csv = state.output.unwrap();
+        let panic_rows: Vec<&str> = csv.lines().filter(|l| l.ends_with(",PANIC")).collect();
+        assert_eq!(panic_rows.len(), 2, "{csv}");
+        assert_eq!(csv.lines().count(), 6, "{csv}");
+        assert!(csv.contains("2.000000,2.000000,1.000000"), "{csv}");
+        // Both panicking attempts were contained; one chunk quarantined.
+        let get = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(get(&sched.counters.panics_contained), 2);
+        assert_eq!(get(&sched.counters.chunks_quarantined), 1);
+        // The flight recorder names the poisoned chunk.
+        let dumped = std::fs::read_to_string(&dump).unwrap();
+        assert!(dumped.contains("ChunkPanic"), "{dumped}");
+        assert!(dumped.contains("job t/p chunk 1"), "{dumped}");
+        // The scheduler keeps serving: a fresh job runs to a clean Ok.
+        let spec2 = divider_spec(3, 3);
+        let job2 = sched
+            .admit_campaign("t", "after", spec2.clone(), vec![0], 0, false)
+            .unwrap();
+        while let Some(unit) = sched.try_next_unit() {
+            run_unit(&sched, &unit);
+        }
+        assert!(matches!(job2.snapshot().phase, JobPhase::Done(Outcome::Ok)));
+        // The quarantined chunk's manifest entry keeps it incomplete, so
+        // a resume would redo exactly that chunk.
+        let dir = state_dir.join("jobs/t/p");
+        assert_eq!(split_chunks(&dir, &spec), (2, vec![1]));
         let _ = std::fs::remove_dir_all(&state_dir);
     }
 }

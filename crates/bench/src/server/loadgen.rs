@@ -16,6 +16,11 @@
 //! 4. **Kill/resume** — SIGKILL the daemon mid-campaign, restart it on
 //!    the same state dir, and require the resumed job to finish with
 //!    byte-identical results and zero lost jobs.
+//! 5. **Failpoint matrix** — deterministic IO faults (ENOSPC on the
+//!    journal, a torn manifest rename, a twice-panicking chunk) against
+//!    a single daemon; the first accept must be refused `busy`
+//!    fail-closed, the poisoned chunk must quarantine instead of taking
+//!    the daemon down, and no accepted job may be lost.
 //!
 //! The rollup lands in `BENCH_server.json`; gate failures make
 //! [`run`] report them so the binary can exit non-zero (the CI gate).
@@ -59,6 +64,10 @@ const SCRUBBED: &[&str] = &[
     "SERVE_HEARTBEAT_TIMEOUT_MS",
     "SERVE_MAX_CONNS",
     "SERVE_SLOW_CORNER_MS",
+    "SPICIER_FAILPOINTS",
+    "SERVE_JOURNAL_POLICY",
+    "SERVE_JOURNAL_COMPACT",
+    "SERVE_PANIC_RETRIES",
 ];
 
 /// Loadgen knobs.
@@ -211,7 +220,7 @@ fn stat(reply: &Json, key: &str) -> f64 {
     reply.num_field(key).unwrap_or(0.0)
 }
 
-/// Runs all four phases; writes `BENCH_server.json`; returns the
+/// Runs all five phases; writes `BENCH_server.json`; returns the
 /// metrics and gate verdicts.
 ///
 /// # Errors
@@ -436,6 +445,77 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         .push(("resume_byte_identical".into(), byte_identical));
     report.metrics.push(("resumed_jobs".into(), resumed_jobs));
 
+    // -- Phase 5: failpoint matrix -----------------------------------------
+    println!("[loadgen] phase 5: failpoint matrix");
+    let (fp_refusals, fp_quarantined, fp_lost, fp_survived) = {
+        // One worker keeps failpoint hit counts deterministic: the
+        // first journal append (the first accept) hits ENOSPC, chunk
+        // 1's attempt and single retry both panic, and the first
+        // manifest save tears mid-rename.
+        let env = [
+            ("SERVE_WORKERS", "1".to_string()),
+            ("SERVE_PANIC_RETRIES", "1".to_string()),
+            (
+                "SPICIER_FAILPOINTS",
+                "journal.append=enospc@1;chunk.run=panic@2;chunk.run=panic@3;\
+                 manifest.rename=torn@1"
+                    .to_string(),
+            ),
+        ];
+        let mut daemon = spawn_daemon(opts, &opts.work_dir.join("fp"), &env).map_err(io)?;
+        let mut client = Client::connect(&daemon.addr).map_err(io)?;
+        // ENOSPC on the accept: fail-closed means `busy`, never an
+        // accept that only lives in memory.
+        let refused = client.submit_campaign("fp", "a", &spec).map_err(io)?;
+        let fp_refusals = u64::from(refused.str_field("status").as_deref() == Some(status::BUSY));
+        // The fault was one-shot; the retry is a real accept.
+        let mut accepted = Vec::new();
+        let retry = client.submit_campaign("fp", "a", &spec).map_err(io)?;
+        if retry.str_field("status").as_deref() == Some(status::ACCEPTED) {
+            accepted.push("fp/a".to_string());
+        }
+        // A second, clean campaign rides along as mixed load.
+        let second = client.submit_campaign("fp", "b", &spec).map_err(io)?;
+        if second.str_field("status").as_deref() == Some(status::ACCEPTED) {
+            accepted.push("fp/b".to_string());
+        }
+        // Every accepted job must reach a terminal verdict: `ok`, or
+        // `quarantined` for the job whose chunk panicked twice.
+        let mut lost = accepted.len() as i64;
+        let mut quarantined = 0u64;
+        for key in &accepted {
+            let done = client.wait_job(key, Duration::from_secs(120)).map_err(io)?;
+            match done.str_field("status").as_deref() {
+                Some(status::OK) => lost -= 1,
+                Some(status::QUARANTINED) => {
+                    quarantined += 1;
+                    lost -= 1;
+                }
+                _ => {}
+            }
+        }
+        // Daemon-survives probe: the matrix above must leave a daemon
+        // that still answers interactive work.
+        let pong = client.ping().map_err(io)?;
+        let run = client.run("fp", OP_DECK, Some(10_000)).map_err(io)?;
+        let survived = pong.str_field("status").as_deref() == Some(status::OK)
+            && run.str_field("status").as_deref() == Some(status::OK);
+        drain_and_wait(&mut daemon);
+        (fp_refusals, quarantined, lost, f64::from(survived))
+    };
+    report
+        .metrics
+        .push(("failpoint_refusals".into(), fp_refusals as f64));
+    report
+        .metrics
+        .push(("failpoint_quarantined".into(), fp_quarantined as f64));
+    report
+        .metrics
+        .push(("failpoint_lost_jobs".into(), fp_lost as f64));
+    report
+        .metrics
+        .push(("failpoint_daemon_survived".into(), fp_survived));
+
     // -- Gates -------------------------------------------------------------
     if shed == 0 {
         report
@@ -467,6 +547,26 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         report
             .failures
             .push("slowloris connection degraded the daemon".into());
+    }
+    if fp_refusals == 0 {
+        report
+            .failures
+            .push("ENOSPC failpoint never refused an accept: fault injection inert".into());
+    }
+    if fp_quarantined == 0 {
+        report
+            .failures
+            .push("panicking chunk was not quarantined".into());
+    }
+    if fp_lost != 0 {
+        report.failures.push(format!(
+            "{fp_lost} accepted job(s) lost under the failpoint matrix"
+        ));
+    }
+    if fp_survived != 1.0 {
+        report
+            .failures
+            .push("daemon did not survive the failpoint matrix".into());
     }
 
     let metric_refs: Vec<(&str, f64)> = report

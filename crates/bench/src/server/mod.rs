@@ -83,6 +83,19 @@ pub struct ServerConfig {
     /// `SERVE_SLOW_CORNER_MS`: artificial per-corner delay, used by the
     /// load harness and drills to make campaigns take real wall time.
     pub slow_corner: Duration,
+    /// `SERVE_JOURNAL_POLICY`: `strict` refuses to start when journal
+    /// replay finds mid-file corruption (a torn tail is always benign);
+    /// `lenient` (default) logs the damage, surfaces it in `stats`, and
+    /// serves what survived.
+    pub journal_strict: bool,
+    /// `SERVE_JOURNAL_COMPACT`: number of journaled `finish` records
+    /// that triggers a snapshot-and-truncate compaction (0 disables).
+    /// Bounds replay cost by *open* jobs instead of lifetime history.
+    pub journal_compact: u64,
+    /// `SERVE_PANIC_RETRIES`: how many times a panicking campaign chunk
+    /// is retried before the chunk is quarantined and the job finishes
+    /// `quarantined`.
+    pub panic_retries: u64,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -136,6 +149,13 @@ impl ServerConfig {
                 .map(Duration::from_millis),
             max_conns: env_usize("SERVE_MAX_CONNS", 64),
             slow_corner: env_ms("SERVE_SLOW_CORNER_MS", 0),
+            journal_strict: std::env::var("SERVE_JOURNAL_POLICY")
+                .is_ok_and(|v| v.trim() == "strict"),
+            journal_compact: env_usize(
+                "SERVE_JOURNAL_COMPACT",
+                jobstate::DEFAULT_COMPACT_THRESHOLD as usize,
+            ) as u64,
+            panic_retries: env_usize("SERVE_PANIC_RETRIES", 1) as u64,
         }
     }
 

@@ -107,6 +107,10 @@ pub struct JobState {
     pub timed_out_corners: usize,
     /// Corners quarantined by residual certification.
     pub quarantined_corners: usize,
+    /// Chunks quarantined by the panic-containment ladder: every
+    /// attempt panicked, the chunk's rows carry `PANIC` markers, and
+    /// the job finishes `quarantined` instead of `ok`.
+    pub panicked_chunks: usize,
     /// Newton iterations absorbed from per-corner telemetry.
     pub newton_iterations: u64,
     /// Linear-kernel counters absorbed from per-corner telemetry.
@@ -127,6 +131,7 @@ impl JobState {
             failed_corners: 0,
             timed_out_corners: 0,
             quarantined_corners: 0,
+            panicked_chunks: 0,
             newton_iterations: 0,
             lu: LuStats::default(),
             worst_backward_error: 0.0,
@@ -300,6 +305,15 @@ pub struct Counters {
     pub disconnect_cancels: AtomicU64,
     /// Jobs cancelled by orphan-heartbeat expiry.
     pub orphan_cancels: AtomicU64,
+    /// Campaign submissions refused because the accept could not be
+    /// made durable (journal append/fsync failure → `busy` reply).
+    pub journal_refusals: AtomicU64,
+    /// Worker panics caught by chunk containment (includes retries).
+    pub panics_contained: AtomicU64,
+    /// Chunks quarantined after exhausting their panic retries.
+    pub chunks_quarantined: AtomicU64,
+    /// Corrupt (non-tail) journal records found by replay at startup.
+    pub journal_corrupt_records: AtomicU64,
 }
 
 impl Counters {
@@ -344,7 +358,8 @@ impl Scheduler {
     /// `<state_dir>/journal.jsonl`.
     #[must_use]
     pub fn new(cfg: ServerConfig) -> Arc<Scheduler> {
-        let journal = Journal::new(cfg.state_dir.join("journal.jsonl"));
+        let journal = Journal::new(cfg.state_dir.join("journal.jsonl"))
+            .with_compact_threshold(cfg.journal_compact);
         Arc::new(Scheduler {
             inner: Mutex::new(SchedInner {
                 interactive: VecDeque::new(),
@@ -501,9 +516,18 @@ impl Scheduler {
             if !resumed {
                 // Durability before acceptance: the reply the caller
                 // sends after this promises the job survives any crash.
+                // A failed append fails *closed*: the submission is
+                // refused (`busy` on the wire) rather than held
+                // memory-only, and the journal rolls back the partial
+                // line so no ghost accept survives a restart.
                 self.journal
                     .append_accept(&key, tenant, id, &spec)
-                    .map_err(|e| AdmitError::Journal(e.to_string()))?;
+                    .map_err(|e| {
+                        self.counters
+                            .journal_refusals
+                            .fetch_add(1, Ordering::Relaxed);
+                        AdmitError::Journal(e.to_string())
+                    })?;
             }
             inner.batch_jobs += 1;
             for k in &pending_units {
@@ -613,7 +637,13 @@ impl Scheduler {
         }
         self.counters.count_outcome(&outcome);
         if job.class == JobClass::Batch {
-            let _ = self.journal.append_finish(&job.key, outcome.status());
+            // Best-effort on purpose: a finish record that never lands
+            // only means the job replays on the next restart — the
+            // chunk manifest then skips all completed work and the
+            // rerun is idempotent (byte-identical result CSV).
+            if let Err(e) = self.journal.append_finish(&job.key, outcome.status()) {
+                eprintln!("[serve] finish record for {} not journaled: {e}", job.key);
+            }
             let mut inner = self.lock_inner();
             inner.batch_jobs = inner.batch_jobs.saturating_sub(1);
         }
@@ -705,6 +735,10 @@ impl Scheduler {
             ("explicit_cancels", get(&c.explicit_cancels)),
             ("disconnect_cancels", get(&c.disconnect_cancels)),
             ("orphan_cancels", get(&c.orphan_cancels)),
+            ("journal_refusals", get(&c.journal_refusals)),
+            ("panics_contained", get(&c.panics_contained)),
+            ("chunks_quarantined", get(&c.chunks_quarantined)),
+            ("journal_corrupt_records", get(&c.journal_corrupt_records)),
             ("queue_interactive", qi as f64),
             ("queue_batch_units", qb as f64),
             ("batch_jobs_in_flight", jobs as f64),
@@ -776,6 +810,33 @@ mod tests {
             Err(AdmitError::Duplicate)
         ));
         assert_eq!(sched.counters.shed.load(Ordering::Relaxed), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_on_accept_fails_closed_with_zero_journal_mutation() {
+        let dir = temp_dir("enospc");
+        let sched = Scheduler::new(test_config(&dir));
+        spicier::chaos::with_failpoints("journal.append=enospc@1", || {
+            let err = sched.admit_campaign("t", "c1", spec(4, 2), vec![0, 1], 0, false);
+            assert!(matches!(err, Err(AdmitError::Journal(_))), "{err:?}");
+        });
+        // Fail closed means *nothing* changed: no journal file, no job
+        // table entry, no queued units, and the refusal was counted.
+        assert!(!sched.journal().path().exists());
+        assert!(sched.job("t/c1").is_none());
+        assert!(sched.try_next_unit().is_none());
+        assert_eq!(sched.counters.journal_refusals.load(Ordering::Relaxed), 1);
+        assert_eq!(sched.counters.accepted_batch.load(Ordering::Relaxed), 0);
+        // The same submission goes through once the disk recovers, and
+        // the journal replays it as open.
+        sched
+            .admit_campaign("t", "c1", spec(4, 2), vec![0, 1], 0, false)
+            .unwrap();
+        let (recovered, report) = sched.journal().replay();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].key, "t/c1");
+        assert_eq!(report.corrupt_records, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

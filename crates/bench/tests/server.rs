@@ -42,6 +42,10 @@ const SCRUBBED: &[&str] = &[
     "LOADGEN_DIR",
     "LOADGEN_P99_GATE_MS",
     "SERVE_BIN",
+    "SPICIER_FAILPOINTS",
+    "SERVE_JOURNAL_POLICY",
+    "SERVE_JOURNAL_COMPACT",
+    "SERVE_PANIC_RETRIES",
 ];
 
 struct Daemon {
@@ -422,6 +426,226 @@ fn sigkill_and_restart_loses_zero_accepted_jobs() {
 }
 
 #[test]
+fn enospc_on_accept_refuses_busy_and_daemon_recovers() {
+    let dir = fresh_dir("enospc");
+    // One-shot failpoint: the first journal append hits ENOSPC.
+    let daemon = spawn_daemon(&dir, &[("SPICIER_FAILPOINTS", "journal.append=enospc@1")]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let refused = client.submit_campaign("fp", "j1", &spec(4, 2)).unwrap();
+    // Fail-closed: the accept is refused as transient `busy`, never
+    // held in memory only.
+    assert_eq!(status_of(&refused), status::BUSY, "{}", refused.render());
+    assert!(
+        refused
+            .str_field("reason")
+            .unwrap_or_default()
+            .contains("journal"),
+        "{}",
+        refused.render()
+    );
+    // Zero journal mutation and zero daemon state for the refused job.
+    assert_eq!(status_of(&client.poll("fp/j1").unwrap()), status::UNKNOWN);
+    assert!(
+        !dir.join("journal.jsonl").exists(),
+        "refused accept must not touch the journal"
+    );
+    // The fault was one-shot: a retry is accepted and completes.
+    let accept = client.submit_campaign("fp", "j1", &spec(4, 2)).unwrap();
+    assert_eq!(status_of(&accept), status::ACCEPTED, "{}", accept.render());
+    let done = client.wait_job("fp/j1", Duration::from_secs(60)).unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+    let stats = client.stats().unwrap();
+    assert!(
+        stat(&stats, "journal_refusals") >= 1.0,
+        "{}",
+        stats.render()
+    );
+}
+
+#[test]
+fn fsync_failure_on_finish_record_reruns_idempotently() {
+    // With one worker and one job, journal.fsync hit 1 is the accept
+    // and hit 2 is the finish record: the job completes for the client
+    // but its finish never becomes durable.
+    let dir = fresh_dir("fsync-finish");
+    let mut daemon = spawn_daemon(
+        &dir,
+        &[
+            ("SERVE_WORKERS", "1"),
+            ("SPICIER_FAILPOINTS", "journal.fsync=err@2"),
+        ],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    client.submit_campaign("fp", "fin", &spec(6, 2)).unwrap();
+    let done = client.wait_job("fp/fin", Duration::from_secs(60)).unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+    let first = std::fs::read(dir.join("jobs/fp/fin/result.csv")).unwrap();
+    // SIGKILL: the journal remembers the accept but not the finish.
+    daemon.child.kill().unwrap();
+    let _ = daemon.child.wait();
+    drop(daemon);
+    // Restart replays the open accept and reruns the job idempotently:
+    // every chunk is already complete in the manifest, so the rerun is
+    // a no-op re-finalize with a byte-identical result.
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let rerun = client.wait_job("fp/fin", Duration::from_secs(60)).unwrap();
+    assert_eq!(status_of(&rerun), status::OK, "{}", rerun.render());
+    assert_eq!(rerun.get("resumed").and_then(Json::as_bool), Some(true));
+    let second = std::fs::read(dir.join("jobs/fp/fin/result.csv")).unwrap();
+    assert_eq!(second, first, "idempotent rerun must reproduce the result");
+}
+
+#[test]
+fn torn_manifest_rename_sigkill_resume_byte_identical() {
+    let ref_dir = fresh_dir("torn-ref");
+    let reference = {
+        let daemon = spawn_daemon(&ref_dir, &[]);
+        let mut client = Client::connect(&daemon.addr).unwrap();
+        client.submit_campaign("torn", "job", &spec(10, 2)).unwrap();
+        let done = client
+            .wait_job("torn/job", Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(status_of(&done), status::OK);
+        std::fs::read(ref_dir.join("jobs/torn/job/result.csv")).unwrap()
+    };
+
+    // Drill: the second manifest save tears mid-rename (half the bytes
+    // land on the destination), then the daemon is SIGKILLed.
+    let dir = fresh_dir("torn");
+    let mut daemon = spawn_daemon(
+        &dir,
+        &[
+            ("SERVE_SLOW_CORNER_MS", "40"),
+            ("SERVE_WORKERS", "1"),
+            ("SPICIER_FAILPOINTS", "manifest.rename=torn@2"),
+        ],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let accept = client.submit_campaign("torn", "job", &spec(10, 2)).unwrap();
+    assert_eq!(status_of(&accept), status::ACCEPTED);
+    // Wait until the torn write has happened, then kill mid-campaign.
+    let t0 = Instant::now();
+    loop {
+        let reply = client.poll("torn/job").unwrap();
+        if stat(&reply, "done_chunks") >= 2.0 || t0.elapsed() > Duration::from_secs(30) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.child.kill().unwrap();
+    let _ = daemon.child.wait();
+    drop(daemon);
+
+    // Restart clean: the half-written manifest parses as garbage for
+    // the torn entries, which costs recomputation, never correctness.
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let done = client
+        .wait_job("torn/job", Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+    assert_eq!(done.get("resumed").and_then(Json::as_bool), Some(true));
+    let resumed_csv = std::fs::read(dir.join("jobs/torn/job/result.csv")).unwrap();
+    assert_eq!(
+        resumed_csv, reference,
+        "resume across a torn manifest must stay byte-identical"
+    );
+}
+
+#[test]
+fn panicking_chunk_is_quarantined_and_daemon_survives() {
+    let dir = fresh_dir("panic");
+    // One worker runs chunks in order; chunk.run hits 2 and 3 are
+    // chunk 1's first attempt and its single retry — both panic, so
+    // exactly that chunk is quarantined.
+    let daemon = spawn_daemon(
+        &dir,
+        &[
+            ("SERVE_WORKERS", "1"),
+            ("SERVE_PANIC_RETRIES", "1"),
+            ("SPICIER_FAILPOINTS", "chunk.run=panic@2;chunk.run=panic@3"),
+        ],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    client.submit_campaign("fp", "p", &spec(5, 2)).unwrap();
+    let done = client.wait_job("fp/p", Duration::from_secs(60)).unwrap();
+    assert_eq!(status_of(&done), status::QUARANTINED, "{}", done.render());
+    let csv = done.str_field("csv").unwrap();
+    let panic_rows = csv.lines().filter(|l| l.ends_with("PANIC")).count();
+    assert_eq!(panic_rows, 2, "exactly chunk 1's corners lost: {csv}");
+    // The daemon contained both panics and keeps serving.
+    let ok = client.run("fp", OP_DECK, None).unwrap();
+    assert_eq!(status_of(&ok), status::OK, "{}", ok.render());
+    // The flight recorder names the quarantined chunk.
+    let dump = std::fs::read_to_string(dir.join("FLIGHT_RECORDER.jsonl"))
+        .expect("panic dump written to the state dir");
+    assert!(dump.contains("ChunkPanic"), "{dump}");
+    assert!(dump.contains("chunk 1"), "{dump}");
+    let stats = client.stats().unwrap();
+    assert!(
+        stat(&stats, "panics_contained") >= 2.0,
+        "{}",
+        stats.render()
+    );
+    assert!(
+        stat(&stats, "chunks_quarantined") >= 1.0,
+        "{}",
+        stats.render()
+    );
+}
+
+#[test]
+fn journal_policy_strict_refuses_lenient_serves_corruption() {
+    let dir = fresh_dir("policy");
+    // Two corrupt records: a CRC mismatch and an unparseable line, both
+    // newline-terminated so neither reads as a benign torn tail.
+    std::fs::write(
+        dir.join("journal.jsonl"),
+        "deadbeef {\"seq\": 1, \"event\": \"accept\", \"job\": \"a/j1\"}\nnot a record\n",
+    )
+    .unwrap();
+
+    // Strict policy: the daemon must refuse to start.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_spicier-serve"));
+    for key in SCRUBBED {
+        cmd.env_remove(key);
+    }
+    let mut child = cmd
+        .env("SERVE_ADDR", "tcp:127.0.0.1:0")
+        .env("SERVE_STATE_DIR", &dir)
+        .env("SERVE_JOURNAL_POLICY", "strict")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spicier-serve spawns");
+    let t0 = Instant::now();
+    let code = loop {
+        if let Ok(Some(st)) = child.try_wait() {
+            break st.code();
+        }
+        if t0.elapsed() > Duration::from_secs(20) {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("strict daemon served a corrupt journal instead of exiting");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(code, Some(1), "strict policy must fail startup");
+
+    // Lenient (default) policy: starts, serves, and surfaces the count.
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    assert_eq!(status_of(&client.ping().unwrap()), status::OK);
+    let stats = client.stats().unwrap();
+    assert!(
+        stat(&stats, "journal_corrupt_records") >= 2.0,
+        "{}",
+        stats.render()
+    );
+}
+
+#[test]
 fn loadgen_quick_passes_its_gates_and_writes_report() {
     let dir = fresh_dir("loadgen");
     let out = dir.join("BENCH_server.json");
@@ -449,6 +673,8 @@ fn loadgen_quick_passes_its_gates_and_writes_report() {
         "lost_jobs",
         "resume_byte_identical",
         "slowloris_survived",
+        "failpoint_lost_jobs",
+        "failpoint_daemon_survived",
     ] {
         assert!(report.contains(key), "missing {key} in {report}");
     }
