@@ -261,6 +261,15 @@ fn handle_conn(mut stream: Stream, sched: &Scheduler) {
                 ("status", Json::str(proto::status::FAILED)),
                 ("error", Json::str(format!("bad request: {e}"))),
             ]),
+            // Watch is the one request that streams many frames instead
+            // of one reply; it owns the socket until the stream ends.
+            Ok(Request::Watch { job, from_seq }) => {
+                match super::watch::stream_watch(sched, &mut stream, &job, from_seq) {
+                    super::watch::WatchEnd::Continue => continue,
+                    super::watch::WatchEnd::Close => return,
+                    super::watch::WatchEnd::Reply(resp) => resp,
+                }
+            }
             Ok(req) => match dispatch(sched, &mut stream, req) {
                 Some(resp) => resp,
                 None => return, // client vanished mid-request
@@ -296,8 +305,9 @@ fn admit_error_response(e: &AdmitError) -> Json {
 
 /// The per-request telemetry rollup attached to every terminal
 /// response: wall time, Newton totals, kernel counters, degraded-corner
-/// counts.
-fn telemetry_json(job: &Job) -> Json {
+/// counts. Watch streams attach the same rollup (incrementally) to
+/// their event frames.
+pub(super) fn telemetry_json(job: &Job) -> Json {
     let s = job.snapshot();
     Json::obj(vec![
         ("wall_ms", Json::num(s.wall.as_secs_f64() * 1e3)),
@@ -381,6 +391,37 @@ fn dispatch(sched: &Scheduler, stream: &mut Stream, req: Request) -> Option<Json
             }
         }
         Request::Campaign { tenant, id, spec } => {
+            // Idempotent re-submit: a retrying client that never saw its
+            // `accepted` reply sends the same campaign again. Same key +
+            // same spec fingerprint → acknowledge the existing job with
+            // `dedup: true` instead of double-running; same key with a
+            // *different* spec is a real conflict and fails.
+            let _gate = sched.admission_gate();
+            let key = format!("{tenant}/{id}");
+            if let Some(existing) = sched.job(&key) {
+                let fp_match = matches!(
+                    &existing.spec,
+                    super::scheduler::JobSpec::Campaign(s) if s.fingerprint() == spec.fingerprint()
+                );
+                if fp_match {
+                    existing.touch();
+                    sched.counters.dedup_accepts.fetch_add(1, Ordering::Relaxed);
+                    return Some(Json::obj(vec![
+                        ("status", Json::str(proto::status::ACCEPTED)),
+                        ("job", Json::str(&existing.key)),
+                        (
+                            "total_chunks",
+                            Json::num(existing.snapshot().total_units as f64),
+                        ),
+                        ("resumed", Json::Bool(existing.resumed)),
+                        ("dedup", Json::Bool(true)),
+                    ]));
+                }
+                return Some(Json::obj(vec![
+                    ("status", Json::str(proto::status::FAILED)),
+                    ("error", Json::str("duplicate job id with different spec")),
+                ]));
+            }
             let dir = sched
                 .config()
                 .state_dir
@@ -411,10 +452,17 @@ fn dispatch(sched: &Scheduler, stream: &mut Stream, req: Request) -> Option<Json
                         ("job", Json::str(&job.key)),
                         ("total_chunks", Json::num(job.snapshot().total_units as f64)),
                         ("resumed", Json::Bool(false)),
+                        ("dedup", Json::Bool(false)),
                     ]))
                 }
             }
         }
+        // Intercepted in handle_conn (it streams frames); defensive only.
+        Request::Watch { job, .. } => Some(Json::obj(vec![
+            ("status", Json::str(proto::status::FAILED)),
+            ("job", Json::str(&job)),
+            ("error", Json::str("watch must be a top-level request")),
+        ])),
         Request::Poll { job } => match sched.job(&job) {
             None => Some(Json::obj(vec![
                 ("status", Json::str(proto::status::UNKNOWN)),

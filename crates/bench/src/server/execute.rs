@@ -276,8 +276,10 @@ fn quarantine_chunk(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &P
         }
         s.panicked_chunks += 1;
         s.done_units += 1;
+        s.mark_chunk_complete(unit.index);
         s.done_units >= s.total_units
     });
+    job.notify_event();
     if finalize && !job.is_done() {
         finalize_job(sched, unit, spec, dir);
     }
@@ -383,8 +385,13 @@ fn run_chunk_attempt(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &
         }
         s.wall += wall;
         s.done_units += 1;
+        // Frontier advance is last: any event a watch stream can see is
+        // already durable (part file written atomically, manifest
+        // recorded), so replay after SIGKILL reproduces it exactly.
+        s.mark_chunk_complete(unit.index);
         s.done_units >= s.total_units
     });
+    job.notify_event();
     if finalize && !job.is_done() {
         finalize_job(sched, unit, spec, dir);
     }

@@ -21,17 +21,27 @@
 //!    a single daemon; the first accept must be refused `busy`
 //!    fail-closed, the poisoned chunk must quarantine instead of taking
 //!    the daemon down, and no accepted job may be lost.
+//! 6. **Streaming** — a `watch` subscriber rides a campaign through a
+//!    SIGKILL + journal resume (the daemon listens on a Unix socket so
+//!    the address survives the restart); every event must arrive
+//!    exactly once, the reassembled CSV must match the phase-1
+//!    reference byte-for-byte, and event-delivery p99 is gated. A
+//!    second drill parks a never-reading subscriber on a shrunken
+//!    send buffer: the slow-consumer policy must shed it while the job
+//!    still completes.
 //!
 //! The rollup lands in `BENCH_server.json`; gate failures make
 //! [`run`] report them so the binary can exit non-zero (the CI gate).
 
-use super::client::Client;
+use super::client::{Client, ClientConfig, RetryClient};
 use super::json::Json;
-use super::proto::{status, CampaignSpec};
+use super::proto::{status, CampaignSpec, Request};
 use crate::microbench::write_json_report;
 use spicier::chaos;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The deck every loadgen campaign sweeps: a two-resistor divider, so
@@ -68,6 +78,16 @@ const SCRUBBED: &[&str] = &[
     "SERVE_JOURNAL_POLICY",
     "SERVE_JOURNAL_COMPACT",
     "SERVE_PANIC_RETRIES",
+    "SERVE_WATCH_KEEPALIVE_MS",
+    "SERVE_WATCH_WRITE_TIMEOUT_MS",
+    "SERVE_WATCH_LAG_BUDGET",
+    "SERVE_WATCH_SNDBUF",
+    "CLIENT_READ_TIMEOUT_MS",
+    "CLIENT_WATCH_IDLE_MS",
+    "CLIENT_BACKOFF_BASE_MS",
+    "CLIENT_BACKOFF_CAP_MS",
+    "CLIENT_RETRY_BUDGET",
+    "CLIENT_BACKOFF_SEED",
 ];
 
 /// Loadgen knobs.
@@ -88,6 +108,12 @@ pub struct LoadgenOptions {
     /// Interactive p99 gate, milliseconds (`LOADGEN_P99_GATE_MS`,
     /// default 2000).
     pub p99_gate_ms: f64,
+    /// Watch event-delivery p99 gate, milliseconds
+    /// (`LOADGEN_STREAM_P99_GATE_MS`, default 1000). Measured from the
+    /// daemon's `sent_ms` stamp to client receipt — the retry/SIGKILL
+    /// window is excluded by construction because a killed daemon sends
+    /// nothing.
+    pub stream_p99_gate_ms: f64,
 }
 
 impl LoadgenOptions {
@@ -120,6 +146,10 @@ impl LoadgenOptions {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(2000.0),
+            stream_p99_gate_ms: std::env::var("LOADGEN_STREAM_P99_GATE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000.0),
         }
     }
 }
@@ -220,7 +250,30 @@ fn stat(reply: &Json, key: &str) -> f64 {
     reply.num_field(key).unwrap_or(0.0)
 }
 
-/// Runs all five phases; writes `BENCH_server.json`; returns the
+/// A resistor ladder with `n` series stages: every corner row carries
+/// one voltage per internal node, so the per-event payload is wide —
+/// the slow-consumer drill uses it to overrun a shrunken kernel send
+/// buffer with realistic data instead of padding.
+fn ladder_deck(n: usize) -> String {
+    let mut deck = String::from("ladder\nV1 n0 0 0\n");
+    for i in 0..n {
+        let _ = writeln!(deck, "R{} n{} n{} 1k", i + 1, i, i + 1);
+    }
+    let _ = writeln!(deck, "R{} n{} 0 1k", n + 1, n);
+    deck.push_str(".end\n");
+    deck
+}
+
+/// Milliseconds since the Unix epoch (client side of the event-latency
+/// measurement; the daemon stamps `sent_ms` with the same clock).
+fn epoch_ms() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64() * 1e3)
+        .unwrap_or(0.0)
+}
+
+/// Runs all six phases; writes `BENCH_server.json`; returns the
 /// metrics and gate verdicts.
 ///
 /// # Errors
@@ -516,6 +569,184 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         .metrics
         .push(("failpoint_daemon_survived".into(), fp_survived));
 
+    // -- Phase 6a: watch stream across SIGKILL + resume, exactly once ------
+    println!("[loadgen] phase 6: streaming (SIGKILL mid-stream + slow consumer)");
+    let (lost_events, dup_events, stream_identical, stream_p99) = {
+        let stream_dir = opts.work_dir.join("stream");
+        // A Unix socket survives the restart at the same address, which
+        // is what lets the watcher reconnect to the *resumed* daemon
+        // without rediscovery. Keep the path short (sun_path limit).
+        let sock = std::env::temp_dir().join(format!("slg-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let env = [
+            ("SERVE_ADDR", format!("unix:{}", sock.display())),
+            ("SERVE_SLOW_CORNER_MS", "60".to_string()),
+            ("SERVE_WORKERS", "1".to_string()),
+        ];
+        let mut daemon = spawn_daemon(opts, &stream_dir, &env).map_err(io)?;
+        let addr = daemon.addr.clone();
+        let watcher_cfg = ClientConfig {
+            // Ride out the whole restart window: many cheap retries
+            // with a modest cap instead of a handful of long ones.
+            retry_budget: 80,
+            backoff_cap: Duration::from_millis(250),
+            ..ClientConfig::from_env()
+        };
+        let mut submit = RetryClient::with_config(&addr, watcher_cfg.clone());
+        let accept = submit.submit_campaign("stream", "job", &spec).map_err(io)?;
+        if accept.str_field("status").as_deref() != Some(status::ACCEPTED) {
+            return Err(format!("stream campaign not accepted: {}", accept.render()));
+        }
+        let total_chunks = stat(&accept, "total_chunks") as u64;
+        // (seq, rows, latency_ms) for every chunk event delivered.
+        let events: Arc<Mutex<Vec<(u64, String, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let watcher = {
+            let events = Arc::clone(&events);
+            let addr = addr.clone();
+            std::thread::spawn(move || -> std::io::Result<Json> {
+                let mut client = RetryClient::with_config(&addr, watcher_cfg);
+                client.watch_job("stream/job", 1, |frame| {
+                    if frame.str_field("kind").unwrap_or_default() == "chunk" {
+                        let seq = frame.u64_field("seq").unwrap_or(0);
+                        let rows = frame.str_field("rows").unwrap_or_default();
+                        let latency =
+                            (epoch_ms() - frame.num_field("sent_ms").unwrap_or(0.0)).max(0.0);
+                        events.lock().unwrap().push((seq, rows, latency));
+                    }
+                    true
+                })
+            })
+        };
+        // SIGKILL once the stream has demonstrably started, while most
+        // of the campaign is still ahead of it.
+        let t0 = Instant::now();
+        while events.lock().unwrap().len() < 2 && t0.elapsed() < Duration::from_secs(60) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        daemon.child.kill().map_err(io)?;
+        let _ = daemon.child.wait();
+        drop(daemon);
+        let mut daemon = spawn_daemon(opts, &stream_dir, &env).map_err(io)?;
+        let done = watcher
+            .join()
+            .map_err(|_| "watcher thread panicked")?
+            .map_err(io)?;
+        let done_ok = done.str_field("outcome").as_deref() == Some(status::OK);
+        drain_and_wait(&mut daemon);
+        let _ = std::fs::remove_file(&sock);
+        // Exactly-once audit over the collected seqs.
+        let mut collected = events.lock().unwrap().clone();
+        collected.sort_by_key(|(seq, _, _)| *seq);
+        let mut seen = std::collections::HashSet::new();
+        let mut dups = 0u64;
+        for (seq, _, _) in &collected {
+            if !seen.insert(*seq) {
+                dups += 1;
+            }
+        }
+        let lost = (1..=total_chunks).filter(|s| !seen.contains(s)).count() as u64;
+        // Reassemble the CSV from the stream alone and hold it against
+        // the uninterrupted phase-1 bytes.
+        let mut csv = String::from("sweep,voltages\n");
+        for (seq, rows, _) in &collected {
+            if seen.remove(seq) {
+                csv.push_str(rows);
+            }
+        }
+        let identical = done_ok && csv.as_bytes() == reference.as_slice();
+        let mut latencies: Vec<f64> = collected.iter().map(|(_, _, l)| *l).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        (
+            lost,
+            dups,
+            f64::from(identical),
+            percentile(&latencies, 0.99),
+        )
+    };
+    report
+        .metrics
+        .push(("stream_lost_events".into(), lost_events as f64));
+    report
+        .metrics
+        .push(("stream_duplicate_events".into(), dup_events as f64));
+    report
+        .metrics
+        .push(("stream_resume_byte_identical".into(), stream_identical));
+    report
+        .metrics
+        .push(("stream_event_p99_ms".into(), stream_p99));
+
+    // -- Phase 6b: slow consumer is shed; the job is not ------------------
+    let (lagged_evictions, slow_job_ok) = {
+        let sock = std::env::temp_dir().join(format!("slg-{}-b.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let env = [
+            ("SERVE_ADDR", format!("unix:{}", sock.display())),
+            // Shrink the kernel send buffer and the per-frame write
+            // deadline so a parked subscriber is detected after a few
+            // frames instead of after megabytes of kernel buffering.
+            ("SERVE_WATCH_SNDBUF", "8192".to_string()),
+            ("SERVE_WATCH_WRITE_TIMEOUT_MS", "250".to_string()),
+        ];
+        let mut daemon = spawn_daemon(opts, &opts.work_dir.join("slow"), &env).map_err(io)?;
+        let mut client = Client::connect(&daemon.addr).map_err(io)?;
+        let wide_spec = CampaignSpec {
+            deck: ladder_deck(20),
+            source: "V1".to_string(),
+            start: 0.0,
+            stop: 3.3,
+            points: if opts.quick { 400 } else { 1000 },
+            chunk: 50,
+        };
+        let accept = client
+            .submit_campaign("slow", "wide", &wide_spec)
+            .map_err(io)?;
+        if accept.str_field("status").as_deref() != Some(status::ACCEPTED) {
+            return Err(format!(
+                "slow-consumer job not accepted: {}",
+                accept.render()
+            ));
+        }
+        // The laggard subscribes and then never reads a byte.
+        let mut laggard = Client::connect(&daemon.addr).map_err(io)?;
+        laggard
+            .send_request_raw(&Request::Watch {
+                job: "slow/wide".into(),
+                from_seq: 1,
+            })
+            .map_err(io)?;
+        // The job must complete on time regardless of the wedged
+        // stream — workers only flip a bitmap, they never write to
+        // subscriber sockets.
+        let done = client
+            .wait_job("slow/wide", Duration::from_secs(120))
+            .map_err(io)?;
+        let job_ok = done.str_field("status").as_deref() == Some(status::OK);
+        let evictions = {
+            let t0 = Instant::now();
+            let mut seen = 0.0;
+            while t0.elapsed() < Duration::from_secs(20) {
+                let stats = client.stats().map_err(io)?;
+                seen = stat(&stats, "watch_lagged");
+                if seen > 0.0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            seen
+        };
+        drop(laggard);
+        drain_and_wait(&mut daemon);
+        let _ = std::fs::remove_file(&sock);
+        (evictions, f64::from(job_ok))
+    };
+    report
+        .metrics
+        .push(("stream_lagged_evictions".into(), lagged_evictions));
+    report
+        .metrics
+        .push(("stream_slow_consumer_job_ok".into(), slow_job_ok));
+
     // -- Gates -------------------------------------------------------------
     if shed == 0 {
         report
@@ -567,6 +798,37 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         report
             .failures
             .push("daemon did not survive the failpoint matrix".into());
+    }
+    if lost_events != 0 {
+        report.failures.push(format!(
+            "{lost_events} watch event(s) lost across SIGKILL + resume"
+        ));
+    }
+    if dup_events != 0 {
+        report.failures.push(format!(
+            "{dup_events} watch event(s) delivered more than once"
+        ));
+    }
+    if stream_identical != 1.0 {
+        report
+            .failures
+            .push("stream-reassembled CSV differs from uninterrupted run".into());
+    }
+    if stream_p99 > opts.stream_p99_gate_ms {
+        report.failures.push(format!(
+            "watch event p99 {stream_p99:.1} ms exceeds gate {:.1} ms",
+            opts.stream_p99_gate_ms
+        ));
+    }
+    if lagged_evictions == 0.0 {
+        report
+            .failures
+            .push("slow consumer was never shed: backpressure policy inert".into());
+    }
+    if slow_job_ok != 1.0 {
+        report
+            .failures
+            .push("job did not complete while a slow consumer was attached".into());
     }
 
     let metric_refs: Vec<(&str, f64)> = report

@@ -38,6 +38,7 @@ pub mod json;
 pub mod loadgen;
 pub mod proto;
 pub mod scheduler;
+pub mod watch;
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -96,6 +97,25 @@ pub struct ServerConfig {
     /// is retried before the chunk is quarantined and the job finishes
     /// `quarantined`.
     pub panic_retries: u64,
+    /// `SERVE_WATCH_KEEPALIVE_MS`: idle gap after which a watch stream
+    /// emits a `ping` event frame so clients can distinguish a quiet
+    /// campaign from a dead daemon.
+    pub watch_keepalive: Duration,
+    /// `SERVE_WATCH_WRITE_TIMEOUT_MS`: per-frame write deadline on watch
+    /// streams. A subscriber that blocks a frame write longer than this
+    /// is disconnected (the stream is corrupt mid-frame and cannot be
+    /// demoted cleanly) — the worker pool is never wedged by one slow
+    /// reader.
+    pub watch_write_timeout: Duration,
+    /// `SERVE_WATCH_LAG_BUDGET`: once a subscriber has caught up to the
+    /// live head, falling more than this many events behind demotes it
+    /// to poll-mode with a clean `lagged {next_seq}` frame. Catch-up
+    /// replay after reconnect is exempt.
+    pub watch_lag_budget: u64,
+    /// `SERVE_WATCH_SNDBUF`: kernel send-buffer size (bytes) for watch
+    /// streams; 0 keeps the kernel default. Drills shrink it so a
+    /// non-reading subscriber is detected quickly.
+    pub watch_sndbuf: usize,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -156,6 +176,10 @@ impl ServerConfig {
                 jobstate::DEFAULT_COMPACT_THRESHOLD as usize,
             ) as u64,
             panic_retries: env_usize("SERVE_PANIC_RETRIES", 1) as u64,
+            watch_keepalive: env_ms("SERVE_WATCH_KEEPALIVE_MS", 5_000),
+            watch_write_timeout: env_ms("SERVE_WATCH_WRITE_TIMEOUT_MS", 2_000),
+            watch_lag_budget: env_usize("SERVE_WATCH_LAG_BUDGET", 256) as u64,
+            watch_sndbuf: env_usize("SERVE_WATCH_SNDBUF", 0),
         }
     }
 

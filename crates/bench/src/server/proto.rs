@@ -40,6 +40,13 @@ pub mod status {
     pub const DRAINING: &str = "draining";
     /// No such job.
     pub const UNKNOWN: &str = "unknown";
+    /// One frame of a watch stream (`kind` is `chunk`, `done`, or
+    /// `ping`).
+    pub const EVENT: &str = "event";
+    /// Watch subscriber demoted to poll mode for falling behind; the
+    /// frame carries `next_seq`, the first event the client has not
+    /// seen.
+    pub const LAGGED: &str = "lagged";
 }
 
 /// Parameters of a DC-sweep campaign job. The sweep grid is
@@ -173,6 +180,17 @@ pub enum Request {
         /// Job key.
         job: String,
     },
+    /// Subscription to `job`'s event stream starting at `from_seq`
+    /// (1-based). The daemon replays every durable event with
+    /// `seq >= from_seq` and then follows live until the terminal
+    /// event, a `lagged` demotion, or drain.
+    Watch {
+        /// Job key.
+        job: String,
+        /// First event sequence number the client wants (1 = from the
+        /// beginning).
+        from_seq: u64,
+    },
     /// Daemon counters.
     Stats,
     /// Begin graceful drain (same path as SIGTERM).
@@ -229,6 +247,10 @@ impl Request {
             "cancel" => Ok(Request::Cancel {
                 job: v.str_field("job").ok_or("cancel: missing job")?,
             }),
+            "watch" => Ok(Request::Watch {
+                job: v.str_field("job").ok_or("watch: missing job")?,
+                from_seq: v.u64_field("from_seq").unwrap_or(1).max(1),
+            }),
             "stats" => Ok(Request::Stats),
             "drain" => Ok(Request::Drain),
             other => Err(format!("unknown request kind {other:?}")),
@@ -272,6 +294,11 @@ impl Request {
             Request::Cancel { job } => {
                 Json::obj(vec![("kind", Json::str("cancel")), ("job", Json::str(job))])
             }
+            Request::Watch { job, from_seq } => Json::obj(vec![
+                ("kind", Json::str("watch")),
+                ("job", Json::str(job)),
+                ("from_seq", Json::num(*from_seq as f64)),
+            ]),
             Request::Stats => Json::obj(vec![("kind", Json::str("stats"))]),
             Request::Drain => Json::obj(vec![("kind", Json::str("drain"))]),
         }
@@ -320,6 +347,73 @@ impl Stream {
             Stream::Tcp(s) => s.set_read_timeout(dur),
             Stream::Unix(s) => s.set_read_timeout(dur),
         }
+    }
+
+    /// Sets (or clears) the write timeout — the slow-consumer guard on
+    /// watch streams: a subscriber that stops draining its socket makes
+    /// the daemon's frame write block, and this bounds how long.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+            Stream::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
+
+    /// Shrinks the kernel send buffer (`SO_SNDBUF`) so a non-reading
+    /// subscriber is detected after `bytes` of backlog instead of after
+    /// megabytes of kernel buffering. Linux-only (raw `setsockopt`, no
+    /// `libc` dependency); a no-op elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    #[cfg(target_os = "linux")]
+    pub fn set_send_buffer(&self, bytes: usize) -> std::io::Result<()> {
+        use std::os::fd::AsRawFd;
+        extern "C" {
+            fn setsockopt(
+                fd: i32,
+                level: i32,
+                name: i32,
+                value: *const core::ffi::c_void,
+                len: u32,
+            ) -> i32;
+        }
+        const SOL_SOCKET: i32 = 1;
+        const SO_SNDBUF: i32 = 7;
+        let fd = match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        };
+        let val = i32::try_from(bytes).unwrap_or(i32::MAX);
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_SNDBUF,
+                std::ptr::from_ref(&val).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(std::io::Error::last_os_error())
+        }
+    }
+
+    /// See the Linux variant; no-op on other platforms.
+    ///
+    /// # Errors
+    ///
+    /// Never fails.
+    #[cfg(not(target_os = "linux"))]
+    pub fn set_send_buffer(&self, _bytes: usize) -> std::io::Result<()> {
+        Ok(())
     }
 
     /// Clones the handle (shared underlying socket).
@@ -535,6 +629,10 @@ mod tests {
             },
             Request::Cancel {
                 job: "t2/job-7".into(),
+            },
+            Request::Watch {
+                job: "t2/job-7".into(),
+                from_seq: 4,
             },
             Request::Stats,
             Request::Drain,

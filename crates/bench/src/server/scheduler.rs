@@ -119,10 +119,20 @@ pub struct JobState {
     pub worst_backward_error: f64,
     /// Wall time spent executing this job's units.
     pub wall: Duration,
+    /// Per-chunk completion bitmap (campaigns; empty for interactive).
+    /// Chunks complete out of order under the fair-share pool, but the
+    /// watch event log releases them in index order via `frontier`.
+    pub complete_chunks: Vec<bool>,
+    /// Count of contiguous complete chunks from index 0 — the published
+    /// prefix of the event log. Event seq `k` (1-based) is chunk `k-1`'s
+    /// completion; only events with `seq <= frontier` exist, which makes
+    /// the log replayable from the on-disk part files alone.
+    pub frontier: usize,
 }
 
 impl JobState {
-    fn new(total_units: usize, done_units: usize) -> Self {
+    fn new(total_units: usize, done_units: usize, complete_chunks: Vec<bool>) -> Self {
+        let frontier = complete_chunks.iter().take_while(|c| **c).count();
         Self {
             phase: JobPhase::Queued,
             done_units,
@@ -136,6 +146,21 @@ impl JobState {
             lu: LuStats::default(),
             worst_backward_error: 0.0,
             wall: Duration::ZERO,
+            complete_chunks,
+            frontier,
+        }
+    }
+
+    /// Marks chunk `k` complete (its part CSV is durably on disk) and
+    /// advances the event frontier over the contiguous prefix. Called
+    /// *after* the part file and manifest record land, so every event
+    /// the frontier exposes is reproducible from disk.
+    pub fn mark_chunk_complete(&mut self, k: usize) {
+        if let Some(cell) = self.complete_chunks.get_mut(k) {
+            *cell = true;
+        }
+        while self.complete_chunks.get(self.frontier).is_some_and(|c| *c) {
+            self.frontier += 1;
         }
     }
 }
@@ -173,6 +198,7 @@ impl Job {
         dir: Option<PathBuf>,
         total_units: usize,
         done_units: usize,
+        complete_chunks: Vec<bool>,
         resumed: bool,
     ) -> Arc<Job> {
         Arc::new(Job {
@@ -183,7 +209,7 @@ impl Job {
             handle: CancelHandle::new(),
             resumed,
             dir,
-            state: Mutex::new(JobState::new(total_units, done_units)),
+            state: Mutex::new(JobState::new(total_units, done_units, complete_chunks)),
             cv: Condvar::new(),
             last_touch: Mutex::new(Instant::now()),
         })
@@ -235,6 +261,37 @@ impl Job {
             state = next;
         }
         true
+    }
+
+    /// Wakes watch streams after a chunk completion or status change.
+    pub fn notify_event(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the event frontier moves past `seen`, the job turns
+    /// terminal, or `timeout` elapses. Returns the current frontier and
+    /// whether the job is done — the watch loop's pacing primitive:
+    /// subscribers park here instead of polling, so an idle stream
+    /// costs nothing.
+    #[must_use]
+    pub fn wait_event(&self, seen: usize, timeout: Duration) -> (usize, bool) {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let done = matches!(state.phase, JobPhase::Done(_));
+            if state.frontier > seen || done {
+                return (state.frontier, done);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return (state.frontier, done);
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
     }
 
     /// Records client contact (accept or poll) for orphan detection.
@@ -314,6 +371,16 @@ pub struct Counters {
     pub chunks_quarantined: AtomicU64,
     /// Corrupt (non-tail) journal records found by replay at startup.
     pub journal_corrupt_records: AtomicU64,
+    /// Watch subscriptions served (including reconnects).
+    pub watch_streams: AtomicU64,
+    /// Event frames delivered across all watch streams.
+    pub watch_events: AtomicU64,
+    /// Subscribers shed by the slow-consumer policy (lag-budget
+    /// demotions plus mid-frame write-timeout disconnects).
+    pub watch_lagged: AtomicU64,
+    /// Campaign re-submissions answered `accepted {dedup: true}` because
+    /// the key and spec fingerprint matched an existing job.
+    pub dedup_accepts: AtomicU64,
 }
 
 impl Counters {
@@ -346,6 +413,12 @@ pub struct Scheduler {
     inner: Mutex<SchedInner>,
     work: Condvar,
     jobs: Mutex<HashMap<String, Arc<Job>>>,
+    /// Serializes campaign admission from the key lookup through the
+    /// table insert. `admit_campaign`'s own duplicate check and its
+    /// insert take the `jobs` lock separately (the journal fsync sits
+    /// between them), so two concurrent submits of the same key could
+    /// otherwise both pass the check and both run.
+    admission: Mutex<()>,
     journal: Journal,
     /// Monotonic counters for `stats`.
     pub counters: Counters,
@@ -371,6 +444,7 @@ impl Scheduler {
             }),
             work: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
+            admission: Mutex::new(()),
             journal,
             counters: Counters::default(),
             cfg,
@@ -386,6 +460,14 @@ impl Scheduler {
 
     fn lock_inner(&self) -> std::sync::MutexGuard<'_, SchedInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Holds campaign admission closed: a caller deciding between
+    /// dedup-acknowledge and a fresh `admit_campaign` takes this across
+    /// both steps so an identical concurrent submit cannot slip between
+    /// its lookup and its insert.
+    pub fn admission_gate(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.admission.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Looks up a job by key.
@@ -432,6 +514,7 @@ impl Scheduler {
             None,
             1,
             0,
+            Vec::new(),
             false,
         );
         {
@@ -491,6 +574,15 @@ impl Scheduler {
         }
         let total = spec.chunk_count();
         let dir = self.cfg.state_dir.join("jobs").join(tenant).join(id);
+        // Chunks not in `pending_units` were proven complete on disk by
+        // the manifest scan — the watch frontier starts past them, so a
+        // re-subscribing client replays resumed history seamlessly.
+        let mut complete = vec![true; total];
+        for &k in &pending_units {
+            if let Some(cell) = complete.get_mut(k) {
+                *cell = false;
+            }
+        }
         let job = Job::new(
             key.clone(),
             tenant.to_string(),
@@ -499,6 +591,7 @@ impl Scheduler {
             Some(dir),
             total,
             already_done,
+            complete,
             resumed,
         );
         {
@@ -739,6 +832,10 @@ impl Scheduler {
             ("panics_contained", get(&c.panics_contained)),
             ("chunks_quarantined", get(&c.chunks_quarantined)),
             ("journal_corrupt_records", get(&c.journal_corrupt_records)),
+            ("watch_streams", get(&c.watch_streams)),
+            ("watch_events", get(&c.watch_events)),
+            ("watch_lagged", get(&c.watch_lagged)),
+            ("dedup_accepts", get(&c.dedup_accepts)),
             ("queue_interactive", qi as f64),
             ("queue_batch_units", qb as f64),
             ("batch_jobs_in_flight", jobs as f64),

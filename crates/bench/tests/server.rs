@@ -3,14 +3,18 @@
 //! remote cancellation and client disconnects stop work, SIGTERM drains
 //! gracefully, SIGKILL + restart loses zero accepted jobs and resumes
 //! to byte-identical results, a slowloris client cannot wedge the
-//! daemon, and the `spicier-loadgen` harness passes its own gates.
+//! daemon, `watch` streams deliver every event exactly once (including
+//! across SIGKILL + resume and slow-consumer demotion), and the
+//! `spicier-loadgen` harness passes its own gates.
 
-use cml_bench::server::client::Client;
+use cml_bench::experiments::manifest::fnv64;
+use cml_bench::server::client::{Client, ClientConfig, RetryClient, WatchOutcome};
 use cml_bench::server::json::Json;
 use cml_bench::server::loadgen::{DIVIDER_DECK, OP_DECK};
 use cml_bench::server::proto::{status, CampaignSpec, Request};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Environment that must not leak from the outer world into daemons.
@@ -46,6 +50,17 @@ const SCRUBBED: &[&str] = &[
     "SERVE_JOURNAL_POLICY",
     "SERVE_JOURNAL_COMPACT",
     "SERVE_PANIC_RETRIES",
+    "SERVE_WATCH_KEEPALIVE_MS",
+    "SERVE_WATCH_WRITE_TIMEOUT_MS",
+    "SERVE_WATCH_LAG_BUDGET",
+    "SERVE_WATCH_SNDBUF",
+    "CLIENT_READ_TIMEOUT_MS",
+    "CLIENT_WATCH_IDLE_MS",
+    "CLIENT_BACKOFF_BASE_MS",
+    "CLIENT_BACKOFF_CAP_MS",
+    "CLIENT_RETRY_BUDGET",
+    "CLIENT_BACKOFF_SEED",
+    "LOADGEN_STREAM_P99_GATE_MS",
 ];
 
 struct Daemon {
@@ -183,11 +198,34 @@ fn campaign_completes_and_polls_through_lifecycle() {
     // Telemetry rollup absorbed real solver counters.
     let telemetry = done.get("telemetry").unwrap();
     assert!(telemetry.num_field("lu_solves").unwrap() >= 6.0);
-    // Duplicate submission of a live/finished key is refused.
+    // Re-submitting the same key with the same spec is idempotent: the
+    // daemon acknowledges without running anything twice.
     let dup = client
         .submit_campaign("acme", "sweep1", &spec(6, 2))
         .unwrap();
-    assert_eq!(status_of(&dup), status::FAILED);
+    assert_eq!(status_of(&dup), status::ACCEPTED, "{}", dup.render());
+    assert_eq!(dup.get("dedup").and_then(Json::as_bool), Some(true));
+    // The same key with a *different* spec is a real conflict.
+    let conflict = client
+        .submit_campaign("acme", "sweep1", &spec(8, 2))
+        .unwrap();
+    assert_eq!(
+        status_of(&conflict),
+        status::FAILED,
+        "{}",
+        conflict.render()
+    );
+    assert!(
+        conflict
+            .str_field("error")
+            .unwrap()
+            .contains("different spec"),
+        "{}",
+        conflict.render()
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "accepted_batch"), 1.0, "{}", stats.render());
+    assert!(stat(&stats, "dedup_accepts") >= 1.0, "{}", stats.render());
 }
 
 #[test]
@@ -675,7 +713,262 @@ fn loadgen_quick_passes_its_gates_and_writes_report() {
         "slowloris_survived",
         "failpoint_lost_jobs",
         "failpoint_daemon_survived",
+        "stream_lost_events",
+        "stream_duplicate_events",
+        "stream_resume_byte_identical",
+        "stream_event_p99_ms",
+        "stream_lagged_evictions",
+        "stream_slow_consumer_job_ok",
     ] {
         assert!(report.contains(key), "missing {key} in {report}");
     }
+}
+
+#[test]
+fn watch_replays_every_chunk_event_exactly_once_with_digests() {
+    let dir = fresh_dir("watch-basic");
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    client.submit_campaign("w", "job", &spec(6, 2)).unwrap();
+    let done = client.wait_job("w/job", Duration::from_secs(60)).unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+
+    // Full replay of a completed job: every chunk event exactly once,
+    // in order, each self-verifying via its digest.
+    let mut events: Vec<(u64, String)> = Vec::new();
+    let outcome = client
+        .watch("w/job", 1, |frame| {
+            if frame.str_field("kind").as_deref() == Some("chunk") {
+                let seq = frame.u64_field("seq").unwrap();
+                let rows = frame.str_field("rows").unwrap();
+                assert_eq!(frame.u64_field("chunk"), Some(seq - 1));
+                assert_eq!(frame.str_field("digest").unwrap(), fnv64(&rows));
+                assert_eq!(frame.u64_field("row_count"), Some(2));
+                events.push((seq, rows));
+            }
+            true
+        })
+        .unwrap();
+    let WatchOutcome::Done(terminal) = outcome else {
+        panic!("expected a terminal done event, got {outcome:?}");
+    };
+    assert_eq!(
+        events.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        vec![1, 2, 3]
+    );
+    assert_eq!(terminal.u64_field("seq"), Some(4));
+    assert_eq!(terminal.str_field("outcome").as_deref(), Some(status::OK));
+
+    // The streamed rows reassemble the persisted result byte-for-byte.
+    let result = std::fs::read_to_string(done.str_field("result_path").unwrap()).unwrap();
+    let body: String = events.iter().map(|(_, r)| r.as_str()).collect();
+    let (_, result_body) = result.split_once('\n').unwrap();
+    assert_eq!(result_body, body);
+    assert_eq!(terminal.str_field("csv_digest").unwrap(), fnv64(&result));
+
+    // Resume from the middle: only the missed suffix is replayed.
+    let mut tail = Vec::new();
+    let outcome = client
+        .watch("w/job", 3, |frame| {
+            if frame.str_field("kind").as_deref() == Some("chunk") {
+                tail.push(frame.u64_field("seq").unwrap());
+            }
+            true
+        })
+        .unwrap();
+    assert!(matches!(outcome, WatchOutcome::Done(_)));
+    assert_eq!(tail, vec![3]);
+
+    // Watching a job that does not exist is a refusal, not a hang.
+    assert!(client.watch("w/nope", 1, |_| true).is_err());
+    let stats = client.stats().unwrap();
+    assert!(stat(&stats, "watch_streams") >= 2.0, "{}", stats.render());
+    assert!(stat(&stats, "watch_events") >= 5.0, "{}", stats.render());
+}
+
+#[test]
+fn watch_survives_sigkill_resume_with_exactly_once_delivery() {
+    // Undisturbed reference result for the byte-identity check.
+    let ref_dir = fresh_dir("watch-kill-ref");
+    let reference = {
+        let daemon = spawn_daemon(&ref_dir, &[]);
+        let mut client = Client::connect(&daemon.addr).unwrap();
+        client.submit_campaign("wk", "job", &spec(10, 2)).unwrap();
+        let done = client.wait_job("wk/job", Duration::from_secs(60)).unwrap();
+        assert_eq!(status_of(&done), status::OK);
+        std::fs::read_to_string(ref_dir.join("jobs/wk/job/result.csv")).unwrap()
+    };
+
+    // The drill daemon listens on a unix socket so its address survives
+    // the restart — a TCP port-0 rebind would move.
+    let dir = fresh_dir("watch-kill");
+    let sock = std::env::temp_dir().join(format!("swk-{}.sock", std::process::id()));
+    let addr_env = format!("unix:{}", sock.display());
+    let envs = [
+        ("SERVE_ADDR", addr_env.as_str()),
+        ("SERVE_SLOW_CORNER_MS", "60"),
+        ("SERVE_WORKERS", "1"),
+    ];
+    let mut daemon = spawn_daemon(&dir, &envs);
+    let cfg = ClientConfig {
+        retry_budget: 120,
+        backoff_cap: Duration::from_millis(250),
+        ..ClientConfig::from_env()
+    };
+    let mut submit = RetryClient::with_config(&daemon.addr, cfg.clone());
+    let accept = submit.submit_campaign("wk", "job", &spec(10, 2)).unwrap();
+    assert_eq!(status_of(&accept), status::ACCEPTED, "{}", accept.render());
+
+    let events: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let addr = daemon.addr.clone();
+    let watcher = std::thread::spawn(move || {
+        let mut client = RetryClient::with_config(&addr, cfg);
+        client.watch_job("wk/job", 1, |frame| {
+            if frame.str_field("kind").as_deref() == Some("chunk") {
+                sink.lock().unwrap().push((
+                    frame.u64_field("seq").unwrap(),
+                    frame.str_field("rows").unwrap(),
+                ));
+            }
+            true
+        })
+    });
+
+    // SIGKILL mid-stream once at least two chunk events have arrived.
+    let t0 = Instant::now();
+    while events.lock().unwrap().len() < 2 {
+        assert!(t0.elapsed() < Duration::from_secs(30), "no events streamed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.child.kill().unwrap();
+    let _ = daemon.child.wait();
+    drop(daemon);
+    let _daemon = spawn_daemon(&dir, &envs);
+
+    // The watcher reconnects on its own and finishes the stream.
+    let done = watcher.join().unwrap().expect("watch rides the restart");
+    assert_eq!(done.str_field("outcome").as_deref(), Some(status::OK));
+    assert_eq!(done.get("resumed").and_then(Json::as_bool), Some(true));
+    let events = events.lock().unwrap();
+    let mut seqs: Vec<u64> = events.iter().map(|(s, _)| *s).collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec![1, 2, 3, 4, 5], "exactly-once delivery");
+    let mut ordered = events.clone();
+    ordered.sort_by_key(|(s, _)| *s);
+    let body: String = ordered.iter().map(|(_, r)| r.as_str()).collect();
+    let (_, ref_body) = reference.split_once('\n').unwrap();
+    assert_eq!(body, ref_body, "streamed rows must be byte-identical");
+}
+
+#[test]
+fn slow_watcher_is_demoted_with_lagged_and_job_still_completes() {
+    let dir = fresh_dir("watch-lag");
+    // A zero lag budget demotes a caught-up subscriber as soon as it is
+    // even one event behind the frontier.
+    let daemon = spawn_daemon(
+        &dir,
+        &[
+            ("SERVE_WATCH_LAG_BUDGET", "0"),
+            ("SERVE_SLOW_CORNER_MS", "40"),
+            ("SERVE_WORKERS", "1"),
+        ],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    client.submit_campaign("lag", "job", &spec(8, 2)).unwrap();
+
+    let mut delivered = Vec::new();
+    let outcome = client
+        .watch("lag/job", 1, |frame| {
+            if frame.str_field("kind").as_deref() == Some("chunk") {
+                delivered.push(frame.u64_field("seq").unwrap());
+            }
+            true
+        })
+        .unwrap();
+    let WatchOutcome::Lagged { next_seq } = outcome else {
+        panic!("expected a lagged demotion, got {outcome:?}");
+    };
+    // Demotion is clean: delivery stopped exactly at the announced seq.
+    assert_eq!(next_seq, delivered.last().map_or(1, |s| s + 1));
+
+    // The laggard never slowed the job down.
+    let done = client.wait_job("lag/job", Duration::from_secs(60)).unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+
+    // Re-subscribing from the announced seq replays the missed suffix —
+    // catch-up replay is exempt from the lag budget.
+    let mut tail = Vec::new();
+    let outcome = client
+        .watch("lag/job", next_seq, |frame| {
+            if frame.str_field("kind").as_deref() == Some("chunk") {
+                tail.push(frame.u64_field("seq").unwrap());
+            }
+            true
+        })
+        .unwrap();
+    assert!(matches!(outcome, WatchOutcome::Done(_)), "{outcome:?}");
+    delivered.extend(tail);
+    assert_eq!(delivered, vec![1, 2, 3, 4], "exactly once across demotion");
+
+    let stats = client.stats().unwrap();
+    assert!(stat(&stats, "watch_lagged") >= 1.0, "{}", stats.render());
+}
+
+#[test]
+fn dropped_client_mid_submit_is_safely_resubmitted_idempotently() {
+    let dir = fresh_dir("drop-submit");
+    let daemon = spawn_daemon(&dir, &[]);
+
+    // Chaos slams the socket mid-frame: the submit's fate is unknown to
+    // the caller — exactly the ambiguity the retry layer must absorb.
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let err =
+        spicier::chaos::with_drop_client(|| client.submit_campaign("drop", "job", &spec(6, 2)));
+    assert!(err.is_err(), "dropped submit must surface an error");
+
+    // The retrying client resolves the ambiguity: a re-submit is either
+    // a fresh accept or a dedup'd acknowledgement, never a double run.
+    let mut retry = RetryClient::new(&daemon.addr);
+    let accept = retry.submit_campaign("drop", "job", &spec(6, 2)).unwrap();
+    assert_eq!(status_of(&accept), status::ACCEPTED, "{}", accept.render());
+    let done = retry.wait_job("drop/job", Duration::from_secs(60)).unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+
+    // A second identical submit dedups against the finished job.
+    let again = retry.submit_campaign("drop", "job", &spec(6, 2)).unwrap();
+    assert_eq!(status_of(&again), status::ACCEPTED, "{}", again.render());
+    assert_eq!(again.get("dedup").and_then(Json::as_bool), Some(true));
+    let mut stats_client = Client::connect(&daemon.addr).unwrap();
+    let stats = stats_client.stats().unwrap();
+    assert_eq!(stat(&stats, "accepted_batch"), 1.0, "{}", stats.render());
+    assert!(stat(&stats, "dedup_accepts") >= 1.0, "{}", stats.render());
+}
+
+#[test]
+fn idle_watch_streams_receive_keepalive_pings() {
+    let dir = fresh_dir("watch-ping");
+    // Corners slow enough that the stream goes idle between chunk
+    // events; the daemon must keep the connection warm with pings.
+    let daemon = spawn_daemon(
+        &dir,
+        &[
+            ("SERVE_WATCH_KEEPALIVE_MS", "100"),
+            ("SERVE_SLOW_CORNER_MS", "300"),
+            ("SERVE_WORKERS", "1"),
+        ],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    client.submit_campaign("ka", "job", &spec(4, 2)).unwrap();
+    let mut pings = 0u32;
+    let outcome = client
+        .watch("ka/job", 1, |frame| {
+            if frame.str_field("kind").as_deref() == Some("ping") {
+                pings += 1;
+            }
+            true
+        })
+        .unwrap();
+    assert!(matches!(outcome, WatchOutcome::Done(_)), "{outcome:?}");
+    assert!(pings >= 1, "expected keepalive pings on an idle stream");
 }
