@@ -418,6 +418,16 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// Full metrics scrape: the `spicier-serve-metrics-v1` document
+    /// (counters, gauges, lifecycle histograms, Prometheus text).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn metrics(&mut self) -> std::io::Result<Json> {
+        self.request(&Request::Metrics)
+    }
+
     /// Begins graceful drain.
     ///
     /// # Errors
@@ -616,6 +626,16 @@ impl RetryClient {
     /// Retry budget exhausted.
     pub fn stats(&mut self) -> std::io::Result<Json> {
         self.request_idempotent(&Request::Stats)
+    }
+
+    /// Full metrics scrape, with retries (a scrape is read-only and
+    /// safely idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Retry budget exhausted.
+    pub fn metrics(&mut self) -> std::io::Result<Json> {
+        self.request_idempotent(&Request::Metrics)
     }
 
     /// Idempotent campaign submission: a lost `accepted` reply is

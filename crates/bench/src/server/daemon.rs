@@ -15,6 +15,7 @@
 
 use super::execute::{self, finalize_job, split_chunks, worker_loop};
 use super::json::Json;
+use super::metrics::{self, AccessLog};
 use super::proto::{self, write_frame, Listener, Request, Stream};
 use super::scheduler::{AdmitError, Job, JobClass, JobPhase, Outcome, Scheduler, Unit};
 use super::ServerConfig;
@@ -146,6 +147,13 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<i32> {
         });
     }
 
+    // The access log is strictly opt-in (`SERVE_ACCESS_LOG`): unset, the
+    // request path does zero logging IO.
+    let access_log = cfg
+        .access_log
+        .as_ref()
+        .map(|p| Arc::new(AccessLog::new(p.clone(), cfg.access_log_rotate)));
+
     listener.set_nonblocking(true)?;
     let conns = Arc::new(AtomicUsize::new(0));
     while !DRAIN.load(Ordering::SeqCst) {
@@ -168,8 +176,9 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<i32> {
                 conns.fetch_add(1, Ordering::SeqCst);
                 let sched = Arc::clone(&sched);
                 let conns = Arc::clone(&conns);
+                let log = access_log.clone();
                 std::thread::spawn(move || {
-                    handle_conn(stream, &sched);
+                    handle_conn(stream, &sched, log.as_deref());
                     conns.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -185,11 +194,73 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<i32> {
     for w in workers {
         let _ = w.join();
     }
+    write_serve_report(&sched, &cfg);
     if let Some(path) = addr.strip_prefix("unix:") {
         let _ = std::fs::remove_file(path);
     }
     println!("[serve] drained; queued campaigns remain journaled for resume");
     Ok(0)
+}
+
+/// Writes `<state_dir>/SERVE_REPORT.json` at drain time: the final
+/// metrics document plus one entry per job this incarnation touched
+/// (class, status, lifecycle timeline) and a worst-merge telemetry
+/// rollup across all of them, built with the PR-5
+/// [`spicier::telemetry::TelemetrySummary::merged`] discipline.
+fn write_serve_report(sched: &Scheduler, cfg: &ServerConfig) {
+    let mut jobs = sched.all_jobs();
+    jobs.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut entries = Vec::with_capacity(jobs.len());
+    let mut summaries = Vec::with_capacity(jobs.len());
+    for job in &jobs {
+        let s = job.snapshot();
+        let status = match &s.phase {
+            JobPhase::Done(outcome) => outcome.status(),
+            JobPhase::Queued | JobPhase::Running => proto::status::RUNNING,
+        };
+        summaries.push(spicier::telemetry::TelemetrySummary {
+            wall: s.wall,
+            newton_iterations: s.newton_iterations,
+            lu: s.lu,
+            worst_backward_error: (s.worst_backward_error > 0.0).then_some(s.worst_backward_error),
+            ..Default::default()
+        });
+        entries.push(Json::obj(vec![
+            ("job", Json::str(&job.key)),
+            ("class", Json::str(job.class.metrics_class().label())),
+            ("status", Json::str(status)),
+            ("resumed", Json::Bool(job.resumed)),
+            ("timeline", s.timeline.to_json()),
+        ]));
+    }
+    let rollup = spicier::telemetry::TelemetrySummary::merged(&summaries);
+    let report = Json::obj(vec![
+        ("schema", Json::str("spicier-serve-report-v1")),
+        ("drained_at_ms", Json::num(metrics::epoch_ms())),
+        ("metrics", sched.metrics_doc().to_json()),
+        (
+            "rollup",
+            Json::obj(vec![
+                ("jobs", Json::num(jobs.len() as f64)),
+                ("wall_ms", Json::num(rollup.wall.as_secs_f64() * 1e3)),
+                (
+                    "newton_iterations",
+                    Json::num(rollup.newton_iterations as f64),
+                ),
+                ("lu_solves", Json::num(rollup.lu.solves as f64)),
+                (
+                    "worst_backward_error",
+                    rollup.worst_backward_error.map_or(Json::Null, Json::num),
+                ),
+            ]),
+        ),
+        ("jobs", Json::Arr(entries)),
+    ]);
+    let path = cfg.state_dir.join("SERVE_REPORT.json");
+    if let Err(e) = crate::durable::write_atomic("report.write", &path, report.render().as_bytes())
+    {
+        eprintln!("[serve] could not write {}: {e}", path.display());
+    }
 }
 
 /// Reads one whole request frame with the two-phase timeout discipline.
@@ -251,11 +322,12 @@ fn read_exact_deadline(stream: &mut Stream, buf: &mut [u8], deadline: Instant) -
     Some(())
 }
 
-fn handle_conn(mut stream: Stream, sched: &Scheduler) {
+fn handle_conn(mut stream: Stream, sched: &Scheduler, access_log: Option<&AccessLog>) {
     loop {
         let Some(doc) = read_request(&mut stream, sched.config()) else {
             return;
         };
+        let t0 = Instant::now();
         let response = match Request::from_json(&doc) {
             Err(e) => Json::obj(vec![
                 ("status", Json::str(proto::status::FAILED)),
@@ -264,10 +336,24 @@ fn handle_conn(mut stream: Stream, sched: &Scheduler) {
             // Watch is the one request that streams many frames instead
             // of one reply; it owns the socket until the stream ends.
             Ok(Request::Watch { job, from_seq }) => {
-                match super::watch::stream_watch(sched, &mut stream, &job, from_seq) {
-                    super::watch::WatchEnd::Continue => continue,
-                    super::watch::WatchEnd::Close => return,
+                let end = super::watch::stream_watch(sched, &mut stream, &job, from_seq);
+                match end {
                     super::watch::WatchEnd::Reply(resp) => resp,
+                    end => {
+                        // Streamed (no single reply frame): log the
+                        // stream itself, then continue or close.
+                        if let Some(log) = access_log {
+                            let pseudo = Json::obj(vec![
+                                ("status", Json::str("stream")),
+                                ("job", Json::str(&job)),
+                            ]);
+                            log.record(&access_entry(&doc, &pseudo, t0.elapsed()));
+                        }
+                        match end {
+                            super::watch::WatchEnd::Continue => continue,
+                            _ => return,
+                        }
+                    }
                 }
             }
             Ok(req) => match dispatch(sched, &mut stream, req) {
@@ -275,10 +361,35 @@ fn handle_conn(mut stream: Stream, sched: &Scheduler) {
                 None => return, // client vanished mid-request
             },
         };
+        if let Some(log) = access_log {
+            log.record(&access_entry(&doc, &response, t0.elapsed()));
+        }
         if write_frame(&mut stream, &response).is_err() {
             return;
         }
     }
+}
+
+/// One JSONL access-log line: wall-clock stamp, request verb, reply
+/// status, handling latency, and framed byte counts (rendered body
+/// length plus the 4-byte length prefix each way).
+fn access_entry(request: &Json, response: &Json, elapsed: Duration) -> Json {
+    let verb = request.str_field("kind").unwrap_or_else(|| "?".to_string());
+    let status = response
+        .str_field("status")
+        .unwrap_or_else(|| "?".to_string());
+    let mut m = vec![
+        ("ts_ms", Json::num(metrics::epoch_ms())),
+        ("verb", Json::str(verb)),
+        ("status", Json::str(status)),
+        ("elapsed_ms", Json::num(elapsed.as_secs_f64() * 1e3)),
+        ("bytes_in", Json::num((request.render().len() + 4) as f64)),
+        ("bytes_out", Json::num((response.render().len() + 4) as f64)),
+    ];
+    if let Some(job) = response.str_field("job") {
+        m.push(("job", Json::str(job)));
+    }
+    Json::obj(m)
 }
 
 fn admit_error_response(e: &AdmitError) -> Json {
@@ -337,6 +448,7 @@ fn job_response(job: &Job) -> Json {
             ("done_chunks", Json::num(s.done_units as f64)),
             ("total_chunks", Json::num(s.total_units as f64)),
             ("resumed", Json::Bool(job.resumed)),
+            ("timeline", s.timeline.to_json()),
         ]),
         JobPhase::Done(outcome) => {
             let mut m = vec![
@@ -344,6 +456,7 @@ fn job_response(job: &Job) -> Json {
                 ("job", Json::str(&job.key)),
                 ("resumed", Json::Bool(job.resumed)),
                 ("telemetry", telemetry_json(job)),
+                ("timeline", s.timeline.to_json()),
             ];
             match outcome {
                 // Quarantined campaigns completed with a finalized CSV
@@ -495,6 +608,17 @@ fn dispatch(sched: &Scheduler, stream: &mut Stream, req: Request) -> Option<Json
             }
             m.push(("draining", Json::Bool(sched.is_draining())));
             Some(Json::obj(m))
+        }
+        Request::Metrics => {
+            // The full `spicier-serve-metrics-v1` document (counters,
+            // gauges, lifecycle histograms, Prometheus text) with the
+            // protocol status field spliced in front.
+            let mut fields = match sched.metrics_doc().to_json() {
+                Json::Obj(fields) => fields,
+                other => vec![("metrics".to_string(), other)],
+            };
+            fields.insert(0, ("status".to_string(), Json::str(proto::status::OK)));
+            Some(Json::Obj(fields))
         }
         Request::Drain => {
             DRAIN.store(true, Ordering::SeqCst);

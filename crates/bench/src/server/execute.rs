@@ -81,11 +81,21 @@ fn dump_panic(unit: &Unit, stage: &str, msg: &str) {
 
 /// Executes one unit (dispatch on the job's spec).
 pub fn run_unit(sched: &Scheduler, unit: &Unit) {
-    unit.job.with_state(|s| {
+    let queue_wait = unit.job.with_state(|s| {
         if matches!(s.phase, JobPhase::Queued) {
             s.phase = JobPhase::Running;
         }
+        // First unit of the job to start: the accepted→running gap is
+        // the queue wait (stamped exactly once by the timeline).
+        s.timeline.mark_running()
     });
+    if let Some(wait) = queue_wait {
+        sched
+            .metrics
+            .queue_wait_ms
+            .get(unit.job.class.metrics_class())
+            .record(wait);
+    }
     match &unit.job.spec {
         JobSpec::Deck { deck, deadline } => run_interactive(sched, unit, deck, *deadline),
         JobSpec::Campaign(spec) => run_chunk(sched, unit, spec),
@@ -121,6 +131,11 @@ fn run_interactive(sched: &Scheduler, unit: &Unit, deck: &str, deadline: Duratio
     let token = job.handle.child_with_deadline(deadline);
     let result = with_corner_token(&token, || run_deck(deck));
     let wall = t0.elapsed();
+    sched
+        .metrics
+        .execute_ms
+        .get(job.class.metrics_class())
+        .record(wall);
     job.with_state(|s| {
         s.wall += wall;
         s.done_units = 1;
@@ -274,6 +289,10 @@ fn quarantine_chunk(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &P
         if let Err(e) = manifest.save_to(&mpath) {
             eprintln!("  [warn] could not write job manifest: {e}");
         }
+        // Stamp the slot (exactly once) so `chunks_timed` still matches
+        // completed chunks; the actual wall was lost to the panic
+        // ladder, so the poisoned chunk reports zero duration.
+        s.timeline.record_chunk(unit.index, Duration::ZERO);
         s.panicked_chunks += 1;
         s.done_units += 1;
         s.mark_chunk_complete(unit.index);
@@ -369,6 +388,11 @@ fn run_chunk_attempt(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &
         return;
     }
     let wall = t0.elapsed();
+    sched
+        .metrics
+        .execute_ms
+        .get(job.class.metrics_class())
+        .record(wall);
     // Manifest read-modify-write and the done-units increment happen
     // under the job lock so concurrent chunks of the same job cannot
     // lose each other's entries; the worker that completes the last
@@ -383,6 +407,7 @@ fn run_chunk_attempt(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &
         if let Err(e) = manifest.save_to(&mpath) {
             eprintln!("  [warn] could not write job manifest: {e}");
         }
+        s.timeline.record_chunk(unit.index, wall);
         s.wall += wall;
         s.done_units += 1;
         // Frontier advance is last: any event a watch stream can see is
@@ -402,6 +427,7 @@ fn run_chunk_attempt(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &
 /// whose chunks were all already complete.
 pub fn finalize_job(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &Path) {
     let job = &unit.job;
+    let t0 = Instant::now();
     let mut csv = String::from("sweep,voltages\n");
     for k in 0..spec.chunk_count() {
         match std::fs::read_to_string(chunk_path(dir, k)) {
@@ -416,6 +442,7 @@ pub fn finalize_job(sched: &Scheduler, unit: &Unit, spec: &CampaignSpec, dir: &P
         sched.finish_job(job, Outcome::Failed(format!("write result: {e}")));
         return;
     }
+    sched.metrics.finalize_ms.record(t0.elapsed());
     let poisoned = job.with_state(|s| {
         s.output = Some(csv);
         s.panicked_chunks > 0
@@ -486,6 +513,18 @@ mod tests {
         assert!(csv.contains("2.000000,2.000000,1.000000"), "{csv}");
         assert!(state.newton_iterations > 0);
         assert!(state.lu.solves > 0);
+        // Lifecycle timeline: running/finalized stamped, every chunk
+        // timed exactly once, and the server-side histograms saw the
+        // queue wait, three chunk executions, and one finalize.
+        assert!(state.timeline.running_ms.is_some());
+        assert!(state.timeline.finalized_ms.is_some());
+        assert!(!state.timeline.resumed);
+        assert_eq!(state.timeline.chunk_ms.len(), 3);
+        assert!(state.timeline.chunk_ms.iter().all(Option::is_some));
+        assert_eq!(sched.metrics.queue_wait_ms.batch.snapshot().count, 1);
+        assert_eq!(sched.metrics.execute_ms.batch.snapshot().count, 3);
+        assert_eq!(sched.metrics.finalize_ms.snapshot().count, 1);
+        assert_eq!(sched.metrics.job_ms.batch.snapshot().count, 1);
         let _ = std::fs::remove_dir_all(&state_dir);
     }
 

@@ -51,13 +51,14 @@
 //! `journal.compact` before a compaction rewrite lands.
 
 use super::json::Json;
+use super::metrics::Histogram;
 use super::proto::CampaignSpec;
 use crate::durable;
 use spicier::chaos;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default number of `finish` records that triggers a compaction.
 pub const DEFAULT_COMPACT_THRESHOLD: u64 = 256;
@@ -67,6 +68,9 @@ pub const DEFAULT_COMPACT_THRESHOLD: u64 = 256;
 pub struct Journal {
     path: PathBuf,
     compact_threshold: u64,
+    /// Records append+fsync latency into the serving metrics plane
+    /// (`journal_sync_ms`); `None` outside the daemon.
+    fsync_observer: Option<Arc<Histogram>>,
     /// Serializes appends and guards the in-memory mirror of the
     /// journal's open set (used for compaction).
     inner: Mutex<Inner>,
@@ -281,6 +285,7 @@ impl Journal {
         Self {
             path,
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            fsync_observer: None,
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -290,6 +295,15 @@ impl Journal {
     #[must_use]
     pub fn with_compact_threshold(mut self, threshold: u64) -> Self {
         self.compact_threshold = threshold;
+        self
+    }
+
+    /// Attaches a histogram that observes every successful
+    /// append+fsync's latency — the daemon's `journal_sync_ms` metric,
+    /// measured inside the durability barrier rather than around it.
+    #[must_use]
+    pub fn with_fsync_observer(mut self, observer: Arc<Histogram>) -> Self {
+        self.fsync_observer = Some(observer);
         self
     }
 
@@ -324,6 +338,7 @@ impl Journal {
         let json = Json::obj(obj).render();
         let line = format!("{:08x} {json}", crc32(json.as_bytes()));
 
+        let t0 = std::time::Instant::now();
         chaos::io_failpoint("journal.append")?;
         if let Some(parent) = self.path.parent() {
             std::fs::create_dir_all(parent)?;
@@ -357,6 +372,9 @@ impl Journal {
             // First create: the *name* must survive a crash too.
             durable::fsync_parent(&self.path)?;
             inner.dir_synced = true;
+        }
+        if let Some(observer) = &self.fsync_observer {
+            observer.record(t0.elapsed());
         }
         inner.next_seq = seq + 1;
         Ok(line)

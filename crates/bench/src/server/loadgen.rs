@@ -35,6 +35,7 @@
 
 use super::client::{Client, ClientConfig, RetryClient};
 use super::json::Json;
+use super::metrics::{self, epoch_ms, percentile};
 use super::proto::{status, CampaignSpec, Request};
 use crate::microbench::write_json_report;
 use spicier::chaos;
@@ -82,6 +83,8 @@ const SCRUBBED: &[&str] = &[
     "SERVE_WATCH_WRITE_TIMEOUT_MS",
     "SERVE_WATCH_LAG_BUDGET",
     "SERVE_WATCH_SNDBUF",
+    "SERVE_ACCESS_LOG",
+    "SERVE_ACCESS_LOG_ROTATE",
     "CLIENT_READ_TIMEOUT_MS",
     "CLIENT_WATCH_IDLE_MS",
     "CLIENT_BACKOFF_BASE_MS",
@@ -238,14 +241,6 @@ fn campaign_spec(quick: bool) -> CampaignSpec {
     }
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() as f64) * p).ceil() as usize;
-    sorted_ms[idx.saturating_sub(1).min(sorted_ms.len() - 1)]
-}
-
 fn stat(reply: &Json, key: &str) -> f64 {
     reply.num_field(key).unwrap_or(0.0)
 }
@@ -262,15 +257,6 @@ fn ladder_deck(n: usize) -> String {
     let _ = writeln!(deck, "R{} n{} 0 1k", n + 1, n);
     deck.push_str(".end\n");
     deck
-}
-
-/// Milliseconds since the Unix epoch (client side of the event-latency
-/// measurement; the daemon stamps `sent_ms` with the same clock).
-fn epoch_ms() -> f64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs_f64() * 1e3)
-        .unwrap_or(0.0)
 }
 
 /// Runs all six phases; writes `BENCH_server.json`; returns the
@@ -349,7 +335,15 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
 
     // -- Phase 3: mixed load: latency under a long campaign ----------------
     println!("[loadgen] phase 3: mixed interactive + campaign load");
-    let (latencies_ms, throughput_rps, disconnects, slowloris_ok) = {
+    let (
+        latencies_ms,
+        throughput_rps,
+        disconnects,
+        slowloris_ok,
+        server_p50,
+        server_p99,
+        scrape_ok,
+    ) = {
         let env = [
             ("SERVE_SLOW_CORNER_MS", "10".to_string()),
             ("SERVE_WORKERS", "2".to_string()),
@@ -428,15 +422,56 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
             }
             seen
         };
+        // Server-side scrape: every interactive burst above is finished,
+        // so the daemon's per-class `job_ms` histogram holds the same
+        // population the client just timed — the cross-check gate below
+        // holds the two views of p99 against each other.
+        let scraped = client.metrics().map_err(io)?;
+        let schema_ok = scraped.str_field("schema").as_deref() == Some(metrics::SCHEMA);
+        let hist = scraped
+            .get("histograms")
+            .and_then(|h| h.get("job_ms"))
+            .and_then(|h| h.get("interactive"));
+        let server_p50 = hist.and_then(|h| h.num_field("p50_ms")).unwrap_or(0.0);
+        let server_p99 = hist.and_then(|h| h.num_field("p99_ms")).unwrap_or(0.0);
+        let sampled = hist.and_then(|h| h.num_field("count")).unwrap_or(0.0) > 0.0;
+        let prom_ok = scraped
+            .str_field("prometheus")
+            .is_some_and(|p| p.contains("spicier_serve_job_ms_bucket"));
         let _ = client.cancel("mix/long");
         drain_and_wait(&mut daemon);
         latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        (latencies, throughput, disconnects, slowloris_ok)
+        (
+            latencies,
+            throughput,
+            disconnects,
+            slowloris_ok,
+            server_p50,
+            server_p99,
+            schema_ok && sampled && prom_ok,
+        )
     };
     let p50 = percentile(&latencies_ms, 0.50);
     let p99 = percentile(&latencies_ms, 0.99);
+    // Agreement: the daemon's histogram quantile reports a bucket upper
+    // bound and its `job_ms` tail also covers the cancelled drop-client
+    // probe (orphan-reap delay included), which the client-side burst
+    // sample never sees — so the gate is a sanity band, not an equality:
+    // within 50 ms absolute or a factor of three both ways. That still
+    // catches unit mistakes (ms vs s vs µs) and double-counted spans.
+    let p99_agreement = f64::from(
+        (server_p99 - p99).abs() <= 50.0 || (server_p99 <= 3.0 * p99 && p99 <= 3.0 * server_p99),
+    );
     report.metrics.push(("interactive_p50_ms".into(), p50));
     report.metrics.push(("interactive_p99_ms".into(), p99));
+    report.metrics.push(("server_p50_ms".into(), server_p50));
+    report.metrics.push(("server_p99_ms".into(), server_p99));
+    report
+        .metrics
+        .push(("server_metrics_scrape_ok".into(), f64::from(scrape_ok)));
+    report
+        .metrics
+        .push(("client_server_p99_agreement".into(), p99_agreement));
     report
         .metrics
         .push(("interactive_throughput_rps".into(), throughput_rps));
@@ -779,6 +814,16 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
             .failures
             .push("slowloris connection degraded the daemon".into());
     }
+    if !scrape_ok {
+        report
+            .failures
+            .push("metrics scrape incomplete: schema, samples, or prometheus text missing".into());
+    }
+    if p99_agreement != 1.0 {
+        report.failures.push(format!(
+            "server p99 {server_p99:.1} ms disagrees with client p99 {p99:.1} ms"
+        ));
+    }
     if fp_refusals == 0 {
         report
             .failures
@@ -838,6 +883,17 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         .collect();
     write_json_report(&opts.out_path, &[], &metric_refs).map_err(io)?;
     println!("[loadgen] report: {}", opts.out_path.display());
+    // Preserve the mixed-load daemon's drain report (full metrics doc +
+    // per-job timelines) next to the rollup before the scratch dir goes.
+    let serve_report = opts.work_dir.join("mix/SERVE_REPORT.json");
+    if serve_report.exists() {
+        if let Some(out_dir) = opts.out_path.parent() {
+            let kept = out_dir.join("SERVE_REPORT.json");
+            if std::fs::copy(&serve_report, &kept).is_ok() {
+                println!("[loadgen] serve report: {}", kept.display());
+            }
+        }
+    }
     for (k, v) in &report.metrics {
         println!("  {k} = {v:.3}");
     }

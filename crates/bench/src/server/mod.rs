@@ -36,6 +36,7 @@ pub mod execute;
 pub mod jobstate;
 pub mod json;
 pub mod loadgen;
+pub mod metrics;
 pub mod proto;
 pub mod scheduler;
 pub mod watch;
@@ -116,6 +117,14 @@ pub struct ServerConfig {
     /// streams; 0 keeps the kernel default. Drills shrink it so a
     /// non-reading subscriber is detected quickly.
     pub watch_sndbuf: usize,
+    /// `SERVE_ACCESS_LOG`: when set, the path of a JSONL access log
+    /// recording one line per request (verb, outcome, latency, bytes
+    /// moved). Unset (default) the request path does no logging IO —
+    /// the same opt-in discipline as `SPICIER_TRACE`.
+    pub access_log: Option<PathBuf>,
+    /// `SERVE_ACCESS_LOG_ROTATE`: access-log size threshold in bytes;
+    /// past it the file rotates to `<path>.1` (one generation kept).
+    pub access_log_rotate: u64,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -180,6 +189,11 @@ impl ServerConfig {
             watch_write_timeout: env_ms("SERVE_WATCH_WRITE_TIMEOUT_MS", 2_000),
             watch_lag_budget: env_usize("SERVE_WATCH_LAG_BUDGET", 256) as u64,
             watch_sndbuf: env_usize("SERVE_WATCH_SNDBUF", 0),
+            access_log: std::env::var("SERVE_ACCESS_LOG")
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+                .map(PathBuf::from),
+            access_log_rotate: env_usize("SERVE_ACCESS_LOG_ROTATE", 8 * 1024 * 1024) as u64,
         }
     }
 

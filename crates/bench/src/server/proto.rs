@@ -193,6 +193,10 @@ pub enum Request {
     },
     /// Daemon counters.
     Stats,
+    /// Full metrics scrape: the `spicier-serve-metrics-v1` document
+    /// (counters, gauges, lifecycle histograms) plus its Prometheus
+    /// text rendering.
+    Metrics,
     /// Begin graceful drain (same path as SIGTERM).
     Drain,
 }
@@ -252,6 +256,7 @@ impl Request {
                 from_seq: v.u64_field("from_seq").unwrap_or(1).max(1),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "drain" => Ok(Request::Drain),
             other => Err(format!("unknown request kind {other:?}")),
         }
@@ -300,6 +305,7 @@ impl Request {
                 ("from_seq", Json::num(*from_seq as f64)),
             ]),
             Request::Stats => Json::obj(vec![("kind", Json::str("stats"))]),
+            Request::Metrics => Json::obj(vec![("kind", Json::str("metrics"))]),
             Request::Drain => Json::obj(vec![("kind", Json::str("drain"))]),
         }
     }
@@ -635,6 +641,7 @@ mod tests {
                 from_seq: 4,
             },
             Request::Stats,
+            Request::Metrics,
             Request::Drain,
         ];
         for req in reqs {

@@ -11,6 +11,7 @@
 //! behaviour.
 
 use super::jobstate::Journal;
+use super::metrics::{self, MetricsDoc, Registry, Timeline};
 use super::proto::CampaignSpec;
 use super::ServerConfig;
 use spicier::linalg::LuStats;
@@ -28,6 +29,17 @@ pub enum JobClass {
     Interactive,
     /// Detached campaign; journaled, chunked, pollable, resumable.
     Batch,
+}
+
+impl JobClass {
+    /// The class label this job carries in per-class metrics.
+    #[must_use]
+    pub fn metrics_class(self) -> metrics::Class {
+        match self {
+            JobClass::Interactive => metrics::Class::Interactive,
+            JobClass::Batch => metrics::Class::Batch,
+        }
+    }
 }
 
 /// What a job is asked to do.
@@ -128,11 +140,20 @@ pub struct JobState {
     /// completion; only events with `seq <= frontier` exist, which makes
     /// the log replayable from the on-disk part files alone.
     pub frontier: usize,
+    /// Lifecycle timeline: accepted/running/finalized stamps and
+    /// exactly-once per-chunk durations (see [`Timeline`]).
+    pub timeline: Timeline,
 }
 
 impl JobState {
-    fn new(total_units: usize, done_units: usize, complete_chunks: Vec<bool>) -> Self {
+    fn new(
+        total_units: usize,
+        done_units: usize,
+        complete_chunks: Vec<bool>,
+        resumed: bool,
+    ) -> Self {
         let frontier = complete_chunks.iter().take_while(|c| **c).count();
+        let timeline = Timeline::new(complete_chunks.len(), resumed);
         Self {
             phase: JobPhase::Queued,
             done_units,
@@ -148,6 +169,7 @@ impl JobState {
             wall: Duration::ZERO,
             complete_chunks,
             frontier,
+            timeline,
         }
     }
 
@@ -209,7 +231,12 @@ impl Job {
             handle: CancelHandle::new(),
             resumed,
             dir,
-            state: Mutex::new(JobState::new(total_units, done_units, complete_chunks)),
+            state: Mutex::new(JobState::new(
+                total_units,
+                done_units,
+                complete_chunks,
+                resumed,
+            )),
             cv: Condvar::new(),
             last_touch: Mutex::new(Instant::now()),
         })
@@ -395,6 +422,132 @@ impl Counters {
         };
         cell.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Loads every counter in one pass into a plain-value snapshot, so
+    /// a reply renders from a single point-in-time view instead of
+    /// interleaving relaxed loads with worker updates field-by-field.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let get = |a: &AtomicU64| a.load(Ordering::Acquire);
+        CounterSnapshot {
+            accepted_interactive: get(&self.accepted_interactive),
+            accepted_batch: get(&self.accepted_batch),
+            shed: get(&self.shed),
+            completed: get(&self.completed),
+            failed: get(&self.failed),
+            cancelled: get(&self.cancelled),
+            timed_out: get(&self.timed_out),
+            quarantined: get(&self.quarantined),
+            resumed_jobs: get(&self.resumed_jobs),
+            resumed_chunks_skipped: get(&self.resumed_chunks_skipped),
+            explicit_cancels: get(&self.explicit_cancels),
+            disconnect_cancels: get(&self.disconnect_cancels),
+            orphan_cancels: get(&self.orphan_cancels),
+            journal_refusals: get(&self.journal_refusals),
+            panics_contained: get(&self.panics_contained),
+            chunks_quarantined: get(&self.chunks_quarantined),
+            journal_corrupt_records: get(&self.journal_corrupt_records),
+            watch_streams: get(&self.watch_streams),
+            watch_events: get(&self.watch_events),
+            watch_lagged: get(&self.watch_lagged),
+            dedup_accepts: get(&self.dedup_accepts),
+        }
+    }
+}
+
+/// A plain-value copy of every [`Counters`] cell, taken in one pass.
+/// Field meanings match the counter of the same name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct CounterSnapshot {
+    pub accepted_interactive: u64,
+    pub accepted_batch: u64,
+    pub shed: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub timed_out: u64,
+    pub quarantined: u64,
+    pub resumed_jobs: u64,
+    pub resumed_chunks_skipped: u64,
+    pub explicit_cancels: u64,
+    pub disconnect_cancels: u64,
+    pub orphan_cancels: u64,
+    pub journal_refusals: u64,
+    pub panics_contained: u64,
+    pub chunks_quarantined: u64,
+    pub journal_corrupt_records: u64,
+    pub watch_streams: u64,
+    pub watch_events: u64,
+    pub watch_lagged: u64,
+    pub dedup_accepts: u64,
+}
+
+impl CounterSnapshot {
+    /// The counters as `(name, value)` pairs in the stable `stats`
+    /// reply order.
+    #[must_use]
+    pub fn fields(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("accepted_interactive", self.accepted_interactive as f64),
+            ("accepted_batch", self.accepted_batch as f64),
+            ("shed", self.shed as f64),
+            ("completed", self.completed as f64),
+            ("failed", self.failed as f64),
+            ("cancelled", self.cancelled as f64),
+            ("timed_out", self.timed_out as f64),
+            ("quarantined", self.quarantined as f64),
+            ("resumed_jobs", self.resumed_jobs as f64),
+            ("resumed_chunks_skipped", self.resumed_chunks_skipped as f64),
+            ("explicit_cancels", self.explicit_cancels as f64),
+            ("disconnect_cancels", self.disconnect_cancels as f64),
+            ("orphan_cancels", self.orphan_cancels as f64),
+            ("journal_refusals", self.journal_refusals as f64),
+            ("panics_contained", self.panics_contained as f64),
+            ("chunks_quarantined", self.chunks_quarantined as f64),
+            (
+                "journal_corrupt_records",
+                self.journal_corrupt_records as f64,
+            ),
+            ("watch_streams", self.watch_streams as f64),
+            ("watch_events", self.watch_events as f64),
+            ("watch_lagged", self.watch_lagged as f64),
+            ("dedup_accepts", self.dedup_accepts as f64),
+        ]
+    }
+}
+
+/// One coherent `stats` view: counters snapshotted in a single pass,
+/// queue gauges captured under the scheduler lock, daemon uptime, and
+/// the drain flag.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Lifetime counters.
+    pub counters: CounterSnapshot,
+    /// Interactive units currently queued.
+    pub queue_interactive: usize,
+    /// Campaign chunk units currently queued.
+    pub queue_batch_units: usize,
+    /// Campaign jobs admitted and not yet terminal.
+    pub batch_jobs_in_flight: usize,
+    /// Milliseconds since the scheduler was built.
+    pub uptime_ms: f64,
+    /// Whether the daemon is draining.
+    pub draining: bool,
+}
+
+impl StatsSnapshot {
+    /// The `stats` reply fields in their stable wire order: the legacy
+    /// counter names, then the queue gauges, then `uptime_ms`.
+    #[must_use]
+    pub fn fields(&self) -> Vec<(&'static str, f64)> {
+        let mut out = self.counters.fields();
+        out.push(("queue_interactive", self.queue_interactive as f64));
+        out.push(("queue_batch_units", self.queue_batch_units as f64));
+        out.push(("batch_jobs_in_flight", self.batch_jobs_in_flight as f64));
+        out.push(("uptime_ms", self.uptime_ms));
+        out
+    }
 }
 
 struct SchedInner {
@@ -422,8 +575,11 @@ pub struct Scheduler {
     journal: Journal,
     /// Monotonic counters for `stats`.
     pub counters: Counters,
+    /// Lifecycle-edge histograms for the `metrics` verb.
+    pub metrics: Registry,
     cfg: ServerConfig,
     interactive_seq: AtomicU64,
+    started: Instant,
 }
 
 impl Scheduler {
@@ -431,8 +587,10 @@ impl Scheduler {
     /// `<state_dir>/journal.jsonl`.
     #[must_use]
     pub fn new(cfg: ServerConfig) -> Arc<Scheduler> {
+        let metrics = Registry::new();
         let journal = Journal::new(cfg.state_dir.join("journal.jsonl"))
-            .with_compact_threshold(cfg.journal_compact);
+            .with_compact_threshold(cfg.journal_compact)
+            .with_fsync_observer(Arc::clone(&metrics.journal_sync_ms));
         Arc::new(Scheduler {
             inner: Mutex::new(SchedInner {
                 interactive: VecDeque::new(),
@@ -447,8 +605,10 @@ impl Scheduler {
             admission: Mutex::new(()),
             journal,
             counters: Counters::default(),
+            metrics,
             cfg,
             interactive_seq: AtomicU64::new(0),
+            started: Instant::now(),
         })
     }
 
@@ -499,6 +659,18 @@ impl Scheduler {
     /// [`AdmitError::Busy`] when the interactive queue is full,
     /// [`AdmitError::Draining`] during drain.
     pub fn admit_interactive(
+        &self,
+        tenant: &str,
+        deck: String,
+        deadline: Duration,
+    ) -> Result<Arc<Job>, AdmitError> {
+        let t0 = Instant::now();
+        let result = self.admit_interactive_inner(tenant, deck, deadline);
+        self.metrics.admission_ms.record(t0.elapsed());
+        result
+    }
+
+    fn admit_interactive_inner(
         &self,
         tenant: &str,
         deck: String,
@@ -557,6 +729,23 @@ impl Scheduler {
     /// [`AdmitError::Journal`] when the accept cannot be made durable.
     #[allow(clippy::too_many_arguments)]
     pub fn admit_campaign(
+        &self,
+        tenant: &str,
+        id: &str,
+        spec: CampaignSpec,
+        pending_units: Vec<usize>,
+        already_done: usize,
+        resumed: bool,
+    ) -> Result<Arc<Job>, AdmitError> {
+        let t0 = Instant::now();
+        let result =
+            self.admit_campaign_inner(tenant, id, spec, pending_units, already_done, resumed);
+        self.metrics.admission_ms.record(t0.elapsed());
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn admit_campaign_inner(
         &self,
         tenant: &str,
         id: &str,
@@ -716,18 +905,25 @@ impl Scheduler {
     /// (campaigns), waiter wakeup, and release of its batch slot.
     pub fn finish_job(&self, job: &Job, outcome: Outcome) {
         // First writer wins; only that writer books counters/journal.
-        let already_done = job.with_state(|s| {
+        let job_wall = job.with_state(|s| {
             if matches!(s.phase, JobPhase::Done(_)) {
-                true
+                None
             } else {
                 s.phase = JobPhase::Done(outcome.clone());
-                false
+                s.timeline.mark_finalized();
+                let ms = s.timeline.finalized_ms.unwrap_or(s.timeline.accepted_ms)
+                    - s.timeline.accepted_ms;
+                Some(Duration::from_secs_f64((ms / 1e3).max(0.0)))
             }
         });
         job.cv.notify_all();
-        if already_done {
+        let Some(job_wall) = job_wall else {
             return;
-        }
+        };
+        self.metrics
+            .job_ms
+            .get(job.class.metrics_class())
+            .record(job_wall);
         self.counters.count_outcome(&outcome);
         if job.class == JobClass::Batch {
             // Best-effort on purpose: a finish record that never lands
@@ -787,6 +983,7 @@ impl Scheduler {
     /// journaled as accepted, so a restarted daemon resumes them), and
     /// tell workers to exit after their current unit.
     pub fn drain(&self) {
+        let t0 = Instant::now();
         let (interactive, _batch) = {
             let mut inner = self.lock_inner();
             inner.draining = true;
@@ -803,43 +1000,54 @@ impl Scheduler {
         // the journal has their accept and the manifest has their
         // completed chunks; resume picks up exactly the remainder.
         self.work.notify_all();
+        self.metrics.drain_ms.record(t0.elapsed());
+    }
+
+    /// One coherent point-in-time `stats` view (counters in a single
+    /// pass, queue gauges under the scheduler lock, uptime).
+    #[must_use]
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let (qi, qb, jobs, draining) = {
+            let inner = self.lock_inner();
+            (
+                inner.interactive.len(),
+                inner.batch.len(),
+                inner.batch_jobs,
+                inner.draining,
+            )
+        };
+        StatsSnapshot {
+            counters: self.counters.snapshot(),
+            queue_interactive: qi,
+            queue_batch_units: qb,
+            batch_jobs_in_flight: jobs,
+            uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            draining,
+        }
     }
 
     /// Counters snapshot plus queue depths, as `stats` reply fields.
     #[must_use]
     pub fn stats_fields(&self) -> Vec<(&'static str, f64)> {
-        let (qi, qb, jobs) = {
-            let inner = self.lock_inner();
-            (inner.interactive.len(), inner.batch.len(), inner.batch_jobs)
-        };
-        let c = &self.counters;
-        let get = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
-        vec![
-            ("accepted_interactive", get(&c.accepted_interactive)),
-            ("accepted_batch", get(&c.accepted_batch)),
-            ("shed", get(&c.shed)),
-            ("completed", get(&c.completed)),
-            ("failed", get(&c.failed)),
-            ("cancelled", get(&c.cancelled)),
-            ("timed_out", get(&c.timed_out)),
-            ("quarantined", get(&c.quarantined)),
-            ("resumed_jobs", get(&c.resumed_jobs)),
-            ("resumed_chunks_skipped", get(&c.resumed_chunks_skipped)),
-            ("explicit_cancels", get(&c.explicit_cancels)),
-            ("disconnect_cancels", get(&c.disconnect_cancels)),
-            ("orphan_cancels", get(&c.orphan_cancels)),
-            ("journal_refusals", get(&c.journal_refusals)),
-            ("panics_contained", get(&c.panics_contained)),
-            ("chunks_quarantined", get(&c.chunks_quarantined)),
-            ("journal_corrupt_records", get(&c.journal_corrupt_records)),
-            ("watch_streams", get(&c.watch_streams)),
-            ("watch_events", get(&c.watch_events)),
-            ("watch_lagged", get(&c.watch_lagged)),
-            ("dedup_accepts", get(&c.dedup_accepts)),
-            ("queue_interactive", qi as f64),
-            ("queue_batch_units", qb as f64),
-            ("batch_jobs_in_flight", jobs as f64),
-        ]
+        self.stats_snapshot().fields()
+    }
+
+    /// The full `spicier-serve-metrics-v1` document for the `metrics`
+    /// verb: the coherent stats snapshot plus every registry histogram.
+    #[must_use]
+    pub fn metrics_doc(&self) -> MetricsDoc {
+        let stats = self.stats_snapshot();
+        MetricsDoc {
+            uptime_ms: stats.uptime_ms,
+            draining: stats.draining,
+            counters: stats.counters.fields(),
+            gauges: vec![
+                ("queue_interactive", stats.queue_interactive as f64),
+                ("queue_batch_units", stats.queue_batch_units as f64),
+                ("batch_jobs_in_flight", stats.batch_jobs_in_flight as f64),
+            ],
+            histograms: self.metrics.snapshot(),
+        }
     }
 
     /// The journal (for replay at startup).
@@ -1018,6 +1226,47 @@ mod tests {
             sched.admit_interactive("t", "d".into(), Duration::from_secs(1)),
             Err(AdmitError::Draining)
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_snapshot_is_coherent_and_metrics_doc_is_schema_stable() {
+        let dir = temp_dir("statsnap");
+        let sched = Scheduler::new(test_config(&dir));
+        sched
+            .admit_interactive("t", "deck".into(), Duration::from_secs(1))
+            .unwrap();
+        sched
+            .admit_campaign("t", "c", spec(4, 2), vec![0, 1], 0, false)
+            .unwrap();
+        let snap = sched.stats_snapshot();
+        assert_eq!(snap.counters.accepted_interactive, 1);
+        assert_eq!(snap.counters.accepted_batch, 1);
+        assert_eq!(snap.queue_interactive, 1);
+        assert_eq!(snap.queue_batch_units, 2);
+        assert_eq!(snap.batch_jobs_in_flight, 1);
+        let fields = snap.fields();
+        assert!(fields.iter().any(|&(k, v)| k == "uptime_ms" && v >= 0.0));
+        assert!(fields.iter().any(|&(k, _)| k == "queue_interactive"));
+        // Both admissions went through the timed edge, and the journal
+        // fsync for the campaign accept reached its observer histogram.
+        assert_eq!(sched.metrics.admission_ms.snapshot().count, 2);
+        assert!(sched.metrics.journal_sync_ms.snapshot().count >= 1);
+        let doc = sched.metrics_doc().to_json();
+        assert_eq!(
+            doc.str_field("schema").as_deref(),
+            Some(metrics::SCHEMA),
+            "{}",
+            doc.render()
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().num_field("queue_batch_units"),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("counters").unwrap().num_field("accepted_batch"),
+            Some(1.0)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

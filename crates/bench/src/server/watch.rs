@@ -53,10 +53,7 @@ pub(super) enum WatchEnd {
 /// stamp is *not* part of the replayable event identity (a replayed
 /// event carries a fresh stamp; clients dedup by seq alone).
 fn now_ms() -> f64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs_f64() * 1e3)
-        .unwrap_or(0.0)
+    super::metrics::epoch_ms()
 }
 
 /// A chunk-completion event frame: the chunk's rows, their count, and
@@ -122,6 +119,7 @@ fn done_event(job: &Job, seq: u64) -> Json {
         ("resumed", Json::Bool(job.resumed)),
         ("sent_ms", Json::num(now_ms())),
         ("telemetry", telemetry_json(job)),
+        ("timeline", s.timeline.to_json()),
     ];
     if let Some(output) = &s.output {
         m.push(("csv_digest", Json::str(fnv64(output))));
@@ -255,11 +253,13 @@ fn stream_events(
                     return WatchEnd::Continue;
                 }
             };
+            let t0 = Instant::now();
             match write_frame(
                 stream,
                 &chunk_event(&job.key, seq, &rows, telemetry_json(job)),
             ) {
                 Ok(()) => {
+                    sched.metrics.watch_frame_ms.record(t0.elapsed());
                     sched.counters.watch_events.fetch_add(1, Ordering::Relaxed);
                     seq += 1;
                     last_write = Instant::now();
@@ -283,8 +283,10 @@ fn stream_events(
                 seq = terminal_seq;
             }
             if seq == terminal_seq {
+                let t0 = Instant::now();
                 match write_frame(stream, &done_event(job, seq)) {
                     Ok(()) => {
+                        sched.metrics.watch_frame_ms.record(t0.elapsed());
                         sched.counters.watch_events.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(_) => return WatchEnd::Close,

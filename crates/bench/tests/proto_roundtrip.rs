@@ -50,7 +50,7 @@ fn gen_spec(rng: &mut StdRng) -> CampaignSpec {
 }
 
 fn gen_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0u32..8) {
+    match rng.gen_range(0u32..9) {
         0 => Request::Ping,
         1 => Request::Run {
             tenant: gen_name(rng),
@@ -77,6 +77,7 @@ fn gen_request(rng: &mut StdRng) -> Request {
             from_seq: rng.gen_range(1u64..1 << 32),
         },
         6 => Request::Stats,
+        7 => Request::Metrics,
         _ => Request::Drain,
     }
 }
@@ -84,7 +85,7 @@ fn gen_request(rng: &mut StdRng) -> Request {
 #[test]
 fn every_request_variant_round_trips_through_the_wire() {
     let mut rng = StdRng::seed_from_u64(0xD1CE_u64);
-    let mut seen = [0u32; 8];
+    let mut seen = [0u32; 9];
     for _ in 0..500 {
         let req = gen_request(&mut rng);
         seen[match &req {
@@ -95,7 +96,8 @@ fn every_request_variant_round_trips_through_the_wire() {
             Request::Cancel { .. } => 4,
             Request::Watch { .. } => 5,
             Request::Stats => 6,
-            Request::Drain => 7,
+            Request::Metrics => 7,
+            Request::Drain => 8,
         }] += 1;
 
         // Document level: render → parse → from_json is identity.
@@ -161,6 +163,9 @@ fn malformed_request_frames_are_rejected_with_reasons() {
         (r#"{"kind":"poll"}"#, "missing job"),
         (r#"{"kind":"cancel"}"#, "missing job"),
         (r#"{"kind":"watch","from_seq":3}"#, "missing job"),
+        // Verbs are case-sensitive: `METRICS` is not the metrics scrape.
+        (r#"{"kind":"METRICS"}"#, "unknown request kind"),
+        (r#"{"kind":"metrics "}"#, "unknown request kind"),
     ];
     for (text, want) in cases {
         let doc = Json::parse(text).expect("case is syntactically valid JSON");
@@ -221,6 +226,68 @@ fn oversize_and_truncated_frames_are_rejected_not_misread() {
     bad.extend_from_slice(&body);
     let err = read_frame(&mut &bad[..]).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+}
+
+#[test]
+fn timeline_bearing_replies_round_trip_through_the_wire() {
+    use cml_bench::server::metrics::Timeline;
+    use std::time::Duration;
+
+    // A partially-executed resumed campaign: 4 chunk slots, chunks 1
+    // and 2 timed this incarnation, 0 and 3 still null.
+    let mut timeline = Timeline::new(4, true);
+    assert!(timeline.mark_running().is_some());
+    assert!(timeline.record_chunk(1, Duration::from_millis(12)));
+    assert!(timeline.record_chunk(2, Duration::from_millis(48)));
+    let reply = Json::obj(vec![
+        ("status", Json::str("running")),
+        ("job", Json::str("t/j")),
+        ("done_chunks", Json::num(2.0)),
+        ("total_chunks", Json::num(4.0)),
+        ("resumed", Json::Bool(true)),
+        ("timeline", timeline.to_json()),
+    ]);
+
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &reply).unwrap();
+    let framed = read_frame(&mut &buf[..]).unwrap().expect("one frame");
+    assert_eq!(framed.render(), reply.render(), "frame is transparent");
+
+    let tl = framed.get("timeline").expect("timeline attached");
+    assert_eq!(tl.get("resumed").and_then(Json::as_bool), Some(true));
+    assert!(tl.num_field("accepted_ms").unwrap() > 0.0);
+    assert!(tl.num_field("running_ms").unwrap() >= tl.num_field("accepted_ms").unwrap());
+    assert_eq!(tl.get("finalized_ms"), Some(&Json::Null));
+    assert_eq!(tl.num_field("chunks_timed"), Some(2.0));
+    assert!((tl.num_field("chunk_total_ms").unwrap() - 60.0).abs() < 1e-9);
+    let chunks = tl.get("chunk_ms").and_then(Json::as_arr).unwrap();
+    assert_eq!(chunks.len(), 4);
+    assert_eq!(chunks[0], Json::Null);
+    assert_eq!(chunks[1].as_f64(), Some(12.0));
+    assert_eq!(chunks[2].as_f64(), Some(48.0));
+    assert_eq!(chunks[3], Json::Null);
+
+    // Terminal reply: finalize stamps once, re-records are refused, and
+    // the finalized document still round-trips bit-for-bit.
+    timeline.mark_finalized();
+    assert!(!timeline.record_chunk(1, Duration::from_millis(99)));
+    let done = Json::obj(vec![
+        ("status", Json::str("ok")),
+        ("job", Json::str("t/j")),
+        ("resumed", Json::Bool(true)),
+        ("timeline", timeline.to_json()),
+    ]);
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &done).unwrap();
+    let framed = read_frame(&mut &buf[..]).unwrap().expect("one frame");
+    assert_eq!(framed.render(), done.render());
+    let tl = framed.get("timeline").unwrap();
+    assert!(tl.num_field("finalized_ms").unwrap() >= tl.num_field("accepted_ms").unwrap());
+    assert_eq!(
+        tl.get("chunk_ms").and_then(Json::as_arr).unwrap()[1].as_f64(),
+        Some(12.0),
+        "re-record after finalize must not alter the slot"
+    );
 }
 
 #[test]

@@ -54,6 +54,8 @@ const SCRUBBED: &[&str] = &[
     "SERVE_WATCH_WRITE_TIMEOUT_MS",
     "SERVE_WATCH_LAG_BUDGET",
     "SERVE_WATCH_SNDBUF",
+    "SERVE_ACCESS_LOG",
+    "SERVE_ACCESS_LOG_ROTATE",
     "CLIENT_READ_TIMEOUT_MS",
     "CLIENT_WATCH_IDLE_MS",
     "CLIENT_BACKOFF_BASE_MS",
@@ -464,6 +466,174 @@ fn sigkill_and_restart_loses_zero_accepted_jobs() {
 }
 
 #[test]
+fn metrics_scrape_access_log_and_serve_report() {
+    let dir = fresh_dir("metrics");
+    let log_path = dir.join("access.jsonl");
+    let mut daemon = spawn_daemon(&dir, &[("SERVE_ACCESS_LOG", log_path.to_str().unwrap())]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+
+    // One interactive job and one campaign so both classes have samples.
+    let reply = client.run("obs", OP_DECK, None).unwrap();
+    assert_eq!(status_of(&reply), status::OK);
+    client.submit_campaign("obs", "camp", &spec(4, 2)).unwrap();
+    let done = client
+        .wait_job("obs/camp", Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+
+    // The terminal reply carries the lifecycle timeline.
+    let tl = done.get("timeline").expect("done reply carries a timeline");
+    assert_eq!(tl.get("resumed").and_then(Json::as_bool), Some(false));
+    assert!(tl.num_field("running_ms").unwrap() >= tl.num_field("accepted_ms").unwrap());
+    assert!(tl.num_field("finalized_ms").unwrap() >= tl.num_field("running_ms").unwrap());
+    assert_eq!(tl.num_field("chunks_timed"), Some(2.0));
+    let slots = tl.get("chunk_ms").and_then(Json::as_arr).unwrap();
+    assert_eq!(slots.len(), 2);
+    assert!(
+        slots.iter().all(|s| s.as_f64().is_some()),
+        "{}",
+        tl.render()
+    );
+
+    // The scrape: stable schema, both expositions, per-class histograms.
+    let scrape = client.metrics().unwrap();
+    assert_eq!(status_of(&scrape), status::OK);
+    assert_eq!(
+        scrape.str_field("schema").as_deref(),
+        Some("spicier-serve-metrics-v1")
+    );
+    assert!(scrape.num_field("uptime_ms").unwrap() >= 0.0);
+    let counters = scrape.get("counters").expect("counters map");
+    assert!(counters.num_field("accepted_interactive").unwrap() >= 1.0);
+    assert!(counters.num_field("accepted_batch").unwrap() >= 1.0);
+    let hists = scrape.get("histograms").expect("histograms map");
+    let job_interactive = hists
+        .get("job_ms")
+        .and_then(|h| h.get("interactive"))
+        .unwrap();
+    assert!(job_interactive.num_field("count").unwrap() >= 1.0);
+    assert!(job_interactive.num_field("p99_ms").unwrap() >= 0.0);
+    let exec_batch = hists
+        .get("execute_ms")
+        .and_then(|h| h.get("batch"))
+        .unwrap();
+    assert_eq!(
+        exec_batch.num_field("count"),
+        Some(2.0),
+        "{}",
+        exec_batch.render()
+    );
+    assert!(
+        hists
+            .get("journal_sync_ms")
+            .unwrap()
+            .num_field("count")
+            .unwrap()
+            >= 1.0
+    );
+    let prom = scrape.str_field("prometheus").unwrap();
+    assert!(
+        prom.contains("spicier_serve_accepted_interactive_total"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("spicier_serve_job_ms_bucket{class=\"interactive\""),
+        "{prom}"
+    );
+    assert!(prom.contains("le=\"+Inf\""), "{prom}");
+
+    // Drain: the daemon rolls everything into SERVE_REPORT.json.
+    sigterm(&daemon);
+    assert_eq!(wait_exit(&mut daemon, Duration::from_secs(30)), Some(0));
+    let report = std::fs::read_to_string(dir.join("SERVE_REPORT.json")).unwrap();
+    let report = Json::parse(&report).expect("SERVE_REPORT.json parses");
+    assert_eq!(
+        report.str_field("schema").as_deref(),
+        Some("spicier-serve-report-v1")
+    );
+    let jobs = report.get("jobs").and_then(Json::as_arr).unwrap();
+    assert!(jobs.len() >= 2, "{}", report.render());
+    for job in jobs {
+        assert!(job.get("timeline").is_some(), "{}", job.render());
+        assert!(job.str_field("class").is_some());
+    }
+    let rollup = report.get("rollup").expect("telemetry rollup");
+    assert!(rollup.num_field("wall_ms").unwrap() > 0.0);
+
+    // Access log: every line is parseable JSONL and the scrape was logged.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let mut verbs = Vec::new();
+    for line in log.lines().filter(|l| !l.trim().is_empty()) {
+        let entry = Json::parse(line).expect("access log line parses");
+        assert!(entry.num_field("elapsed_ms").is_some(), "{line}");
+        assert!(entry.num_field("ts_ms").unwrap() > 0.0, "{line}");
+        verbs.push(entry.str_field("verb").unwrap_or_default());
+    }
+    for expected in ["run", "campaign", "poll", "metrics"] {
+        assert!(verbs.iter().any(|v| v == expected), "{verbs:?}");
+    }
+}
+
+#[test]
+fn resumed_timeline_is_exactly_once_across_sigkill() {
+    let dir = fresh_dir("kill-timeline");
+    let mut daemon = spawn_daemon(
+        &dir,
+        &[("SERVE_SLOW_CORNER_MS", "40"), ("SERVE_WORKERS", "1")],
+    );
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let accept = client.submit_campaign("tl", "job", &spec(10, 2)).unwrap();
+    assert_eq!(status_of(&accept), status::ACCEPTED);
+    // Wait until at least one chunk has landed so the resume has
+    // pre-kill history to *not* re-count, then SIGKILL.
+    let t0 = Instant::now();
+    loop {
+        let reply = client.poll("tl/job").unwrap();
+        if stat(&reply, "done_chunks") >= 1.0 || t0.elapsed() > Duration::from_secs(30) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.child.kill().unwrap();
+    let _ = daemon.child.wait();
+    drop(daemon);
+
+    let daemon = spawn_daemon(&dir, &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let done = client.wait_job("tl/job", Duration::from_secs(60)).unwrap();
+    assert_eq!(status_of(&done), status::OK, "{}", done.render());
+
+    let tl = done
+        .get("timeline")
+        .expect("resumed reply carries a timeline");
+    assert_eq!(
+        tl.get("resumed").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        tl.render()
+    );
+    assert!(tl.num_field("finalized_ms").unwrap() >= tl.num_field("accepted_ms").unwrap());
+
+    // Exactly-once: only the chunks this incarnation actually ran are
+    // timed. Slots finished before the SIGKILL stay null — their wall
+    // must never be double-counted into the resumed timeline.
+    let stats = client.stats().unwrap();
+    let skipped = stat(&stats, "resumed_chunks_skipped");
+    assert!(skipped >= 1.0, "{}", stats.render());
+    let slots = tl.get("chunk_ms").and_then(Json::as_arr).unwrap();
+    assert_eq!(slots.len(), 5, "spec(10, 2) has five chunks");
+    let timed = slots.iter().filter(|s| s.as_f64().is_some()).count() as f64;
+    assert_eq!(tl.num_field("chunks_timed"), Some(timed));
+    assert_eq!(
+        timed + skipped,
+        5.0,
+        "timed + skipped must cover every chunk exactly once: {}",
+        tl.render()
+    );
+    assert!(timed < 5.0, "pre-kill chunks must not be re-timed");
+}
+
+#[test]
 fn enospc_on_accept_refuses_busy_and_daemon_recovers() {
     let dir = fresh_dir("enospc");
     // One-shot failpoint: the first journal append hits ENOSPC.
@@ -719,6 +889,9 @@ fn loadgen_quick_passes_its_gates_and_writes_report() {
         "stream_event_p99_ms",
         "stream_lagged_evictions",
         "stream_slow_consumer_job_ok",
+        "server_p99_ms",
+        "server_metrics_scrape_ok",
+        "client_server_p99_agreement",
     ] {
         assert!(report.contains(key), "missing {key} in {report}");
     }

@@ -567,6 +567,22 @@ impl TelemetrySummary {
             worst_opt(self.worst_backward_error, other.worst_backward_error);
         self.cond_estimate = worst_opt(self.cond_estimate, other.cond_estimate);
     }
+
+    /// Folds many summaries into one under [`absorb`]'s discipline:
+    /// durations and counters add, worsts worst-merge (`NaN` pessimal).
+    /// An empty iterator yields the default (all-zero) summary. Used by
+    /// the campaign daemon's drain report to roll every job this
+    /// incarnation touched into a single line.
+    ///
+    /// [`absorb`]: TelemetrySummary::absorb
+    #[must_use]
+    pub fn merged<'a, I: IntoIterator<Item = &'a TelemetrySummary>>(items: I) -> TelemetrySummary {
+        let mut total = TelemetrySummary::default();
+        for item in items {
+            total.absorb(item);
+        }
+        total
+    }
 }
 
 /// Process-global telemetry rollup, drained per experiment by the
@@ -636,6 +652,30 @@ mod tests {
     fn own(events: Vec<Event>) -> Vec<Event> {
         let me = thread_id();
         events.into_iter().filter(|e| e.thread == me).collect()
+    }
+
+    #[test]
+    fn merged_folds_summaries_with_worst_merge() {
+        let a = TelemetrySummary {
+            wall: Duration::from_millis(10),
+            newton_iterations: 3,
+            worst_backward_error: Some(1e-12),
+            ..Default::default()
+        };
+        let b = TelemetrySummary {
+            wall: Duration::from_millis(5),
+            newton_iterations: 4,
+            worst_backward_error: Some(1e-9),
+            ..Default::default()
+        };
+        let total = TelemetrySummary::merged([&a, &b]);
+        assert_eq!(total.wall, Duration::from_millis(15));
+        assert_eq!(total.newton_iterations, 7);
+        assert_eq!(total.worst_backward_error, Some(1e-9));
+        assert_eq!(
+            TelemetrySummary::merged(std::iter::empty()),
+            TelemetrySummary::default()
+        );
     }
 
     #[test]
